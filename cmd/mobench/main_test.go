@@ -1,0 +1,55 @@
+package main
+
+import "testing"
+
+// The experiments print to stdout; these smoke tests assert they run to
+// completion without error (their content is asserted by the library
+// test suites they are built on).
+
+func TestTable1(t *testing.T) {
+	if err := table1(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscussion(t *testing.T) {
+	if err := discussion(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInhibitory(t *testing.T) {
+	if err := inhibitory(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynthesis(t *testing.T) {
+	if err := synthesis(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLemma3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded-universe sweep")
+	}
+	if err := lemma3(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExploreExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("schedule enumeration")
+	}
+	if err := explore(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"nope"}); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+}

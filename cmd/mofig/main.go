@@ -1,0 +1,329 @@
+// Command mofig regenerates the paper's ten figures as ASCII time
+// diagrams and predicate graphs, each computed from the library's actual
+// data structures (not hand-drawn): the causal-past construction of
+// Figure 1, the FIFO inhibition of Figure 2, the knowledge gained through
+// control messages (Figure 3), the system-versus-user view projection
+// (Figure 4), the star-completion of Theorem 1 (Figure 5), the Example 1
+// predicate graph (Figure 6), the numbering ladder of Lemma 2.1
+// (Figure 7), and the proof constructions of Lemma 2 (Figures 8-10).
+//
+// Usage:
+//
+//	mofig          # all figures
+//	mofig 4        # one figure
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"msgorder/internal/catalog"
+	"msgorder/internal/conformance"
+	"msgorder/internal/event"
+	"msgorder/internal/pgraph"
+	"msgorder/internal/run"
+	"msgorder/internal/trace"
+	"msgorder/internal/userview"
+
+	syncproto "msgorder/internal/protocols/sync"
+)
+
+func main() {
+	if err := render(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mofig:", err)
+		os.Exit(1)
+	}
+}
+
+var figures = []func(w io.Writer) error{
+	figure1, figure2, figure3, figure4, figure5,
+	figure6, figure7, figure8, figure9, figure10,
+}
+
+func render(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		for i, fig := range figures {
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			if err := fig(w); err != nil {
+				return fmt.Errorf("figure %d: %w", i+1, err)
+			}
+		}
+		return nil
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil || n < 1 || n > len(figures) {
+		return fmt.Errorf("figure number must be 1..%d", len(figures))
+	}
+	return figures[n-1](w)
+}
+
+func header(w io.Writer, n int, caption string) {
+	fmt.Fprintf(w, "Figure %d: %s\n", n, caption)
+}
+
+func inv(m event.MsgID) event.Event { return event.E(m, event.Invoke) }
+func snd(m event.MsgID) event.Event { return event.E(m, event.Send) }
+func rcv(m event.MsgID) event.Event { return event.E(m, event.Receive) }
+func dlv(m event.MsgID) event.Event { return event.E(m, event.Deliver) }
+
+func mustSys(msgs []event.Message, procs [][]event.Event) *run.Run {
+	r, err := run.New(msgs, procs)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// figure1: causal past of a run with respect to a process.
+func figure1(w io.Writer) error {
+	header(w, 1, "causal past of H with respect to process 1")
+	msgs := []event.Message{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 2, To: 0},
+		{ID: 2, From: 2, To: 1},
+	}
+	h := mustSys(msgs, [][]event.Event{
+		{inv(0), snd(0), rcv(1), dlv(1)},
+		{rcv(0), dlv(0)},
+		{inv(1), snd(1), inv(2), snd(2)},
+	})
+	fmt.Fprintln(w, "run H (m2 still in transit to P1):")
+	fmt.Fprint(w, trace.SystemDiagram(h))
+	past, err := h.CausalPast(1)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "CausalPast_1(H): exactly the events that precede some event of P1:")
+	fmt.Fprint(w, trace.SystemDiagram(past))
+	return nil
+}
+
+// figure2: FIFO ordering by inhibition — delivery of m1 delayed past m0.
+func figure2(w io.Writer) error {
+	header(w, 2, "FIFO protocol inhibits delivery: m1 received first, delivered second")
+	msgs := []event.Message{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 0, To: 1},
+	}
+	h := mustSys(msgs, [][]event.Event{
+		{inv(0), snd(0), inv(1), snd(1)},
+		{rcv(1), rcv(0), dlv(0), dlv(1)},
+	})
+	fmt.Fprint(w, trace.SystemDiagram(h))
+	fmt.Fprintln(w, "P1 receives m1 before m0 (network reordering) but the protocol")
+	fmt.Fprintln(w, "enables m1.r only after m0.r has executed.")
+	return nil
+}
+
+// figure3: control messages provide knowledge of concurrent events.
+func figure3(w io.Writer) error {
+	header(w, 3, "control messages: the sequencer serializes logically synchronous sends")
+	cfg := conformance.Config{
+		Maker:       syncproto.Maker,
+		Procs:       3,
+		InitialMsgs: 4,
+		Seed:        2,
+	}
+	res, err := conformance.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "user view (control messages deleted from the projection):")
+	fmt.Fprint(w, trace.UserDiagram(res.View))
+	fmt.Fprintf(w, "control messages used: %d (3 per user message: REQ, GO, DONE)\n",
+		res.Stats.ControlMessages)
+	fmt.Fprintf(w, "the view is logically synchronous: %v\n", res.View.InSync())
+	return nil
+}
+
+// figure4: system view versus user's view of a FIFO run.
+func figure4(w io.Writer) error {
+	header(w, 4, "system's view vs user's view: buffering creates causality the user never sees")
+	msgs := []event.Message{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 0, To: 1},
+	}
+	h := mustSys(msgs, [][]event.Event{
+		{inv(0), snd(0), inv(1), snd(1)},
+		{rcv(1), rcv(0), dlv(0), dlv(1)},
+	})
+	fmt.Fprintln(w, "system view:")
+	fmt.Fprint(w, trace.SystemDiagram(h))
+	fmt.Fprintf(w, "system: m1.s -> m0.r holds: %v (through the buffered receive)\n",
+		h.Before(snd(1), dlv(0)))
+	view, err := h.UsersView()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "user's view:")
+	fmt.Fprint(w, trace.UserDiagram(view))
+	fmt.Fprintf(w, "user:   m1.s ▷ m0.r holds: %v\n", view.Before(snd(1), dlv(0)))
+	return nil
+}
+
+// figure5: constructing a system run H from a user view (H,▷).
+func figure5(w io.Writer) error {
+	header(w, 5, "Theorem 1 construction: insert x.s* before x.s and x.r* before x.r")
+	msgs := []event.Message{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 1, To: 0},
+	}
+	view, err := userview.New(msgs, [][]event.Event{
+		{snd(0), dlv(1)},
+		{snd(1), dlv(0)},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "user view (H,▷) — a crossing pair, causally ordered:")
+	fmt.Fprint(w, trace.UserDiagram(view))
+	h, err := run.FromUserView(view)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "completed system run H with UsersView(H) = (H,▷):")
+	fmt.Fprint(w, trace.SystemDiagram(h))
+	fmt.Fprintf(w, "H ∈ X_u: %v, H ∈ X_td: %v, H ∈ X_gn: %v (crossing pair has no numbering)\n",
+		h.InXu(), h.InXtd(), h.InXgn())
+	return nil
+}
+
+// figure6: the Example 1 predicate graph with its cycles and β vertices.
+func figure6(w io.Writer) error {
+	header(w, 6, "predicate graph of Example 1, its cycles and β vertices")
+	e, _ := catalog.ByName("example-1")
+	fmt.Fprintf(w, "predicate: %s\n", e.Pred)
+	g := pgraph.New(e.Pred)
+	fmt.Fprintln(w, "edges:")
+	for _, ed := range g.Edges() {
+		fmt.Fprintf(w, "  %s\n", g.EdgeString(ed))
+	}
+	fmt.Fprintln(w, "simple cycles:")
+	g.SimpleCycles(func(c pgraph.Cycle) bool {
+		names := make([]string, 0, len(c.BetaVertices()))
+		for _, v := range c.BetaVertices() {
+			names = append(names, g.Var(v))
+		}
+		fmt.Fprintf(w, "  order %d, β=%v: %s\n", c.Order(), names, g.CycleString(c))
+		return true
+	})
+	fmt.Fprint(w, g.DOT())
+	return nil
+}
+
+// figure7: the numbering ladder N(x.r) = N(x.s*)+3 of Lemma 2.1.
+func figure7(w io.Writer) error {
+	header(w, 7, "X_gn prefix ladder: every run with a numbering is reachable in 4-step blocks")
+	msgs := []event.Message{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 1, To: 0},
+	}
+	h := mustSys(msgs, [][]event.Event{
+		{inv(0), snd(0), rcv(1), dlv(1)},
+		{rcv(0), dlv(0), inv(1), snd(1)},
+	})
+	fmt.Fprint(w, trace.SystemDiagram(h))
+	scheme, ok := h.NumberingScheme()
+	if !ok {
+		return fmt.Errorf("sequential run must admit a numbering")
+	}
+	order, _ := h.Numbering()
+	fmt.Fprintf(w, "message numbering T: %v\n", order)
+	fmt.Fprintln(w, "event numbers N (N(x.r) = N(x.r*)+1 = N(x.s)+2 = N(x.s*)+3):")
+	for _, id := range order {
+		for _, k := range []event.Kind{event.Invoke, event.Send, event.Receive, event.Deliver} {
+			ev := event.E(id, k)
+			fmt.Fprintf(w, "  N(%v) = %d\n", ev, scheme[ev])
+		}
+	}
+	return nil
+}
+
+// figure8: the prefix chain of the Lemma 2.1 proof.
+func figure8(w io.Writer) error {
+	header(w, 8, "Lemma 2.1 proof: building an X_gn run one enabled event at a time")
+	msgs := []event.Message{
+		{ID: 0, From: 0, To: 1},
+	}
+	steps := [][][]event.Event{
+		{{inv(0)}, {}},
+		{{inv(0), snd(0)}, {}},
+		{{inv(0), snd(0)}, {rcv(0)}},
+		{{inv(0), snd(0)}, {rcv(0), dlv(0)}},
+	}
+	for i, procs := range steps {
+		h := mustSys(msgs, procs)
+		fmt.Fprintf(w, "H^%d (pending: S=%d R=%d D=%d):\n", i+1,
+			len(h.SendPending(0)), len(h.ReceivePending(1)), len(h.DeliverPending(1)))
+		fmt.Fprint(w, trace.SystemDiagram(h))
+	}
+	fmt.Fprintln(w, "each extension adds one event drawn from the enabled set P(H).")
+	return nil
+}
+
+// figure9: the Lemma 2.2 construction — a tagged protocol cannot
+// distinguish H from the causal-past-equivalent run G.
+func figure9(w io.Writer) error {
+	header(w, 9, "Lemma 2.2 construction: G agrees with H on CausalPast_1 but quiesces elsewhere")
+	msgs := []event.Message{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 0, To: 2},
+	}
+	h := mustSys(msgs, [][]event.Event{
+		{inv(0), snd(0), inv(1), snd(1)},
+		{rcv(0), dlv(0)},
+		{},
+	})
+	fmt.Fprintln(w, "run H (m1 in transit to P2):")
+	fmt.Fprint(w, trace.SystemDiagram(h))
+	// G: extend the causal past of P1 by completing messages not headed
+	// to P1.
+	g := mustSys(msgs, [][]event.Event{
+		{inv(0), snd(0), inv(1), snd(1)},
+		{rcv(0), dlv(0)},
+		{rcv(1), dlv(1)},
+	})
+	fmt.Fprintln(w, "run G (m1 received and delivered at P2):")
+	fmt.Fprint(w, trace.SystemDiagram(g))
+	hp, err := h.CausalPast(1)
+	if err != nil {
+		return err
+	}
+	gp, err := g.CausalPast(1)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "CausalPast_1(H) = CausalPast_1(G): %v — a tagged protocol must act identically at P1\n",
+		hp.Equal(gp))
+	return nil
+}
+
+// figure10: the Lemma 2.3 construction — a tagless protocol sees only the
+// local history.
+func figure10(w io.Writer) error {
+	header(w, 10, "Lemma 2.3 construction: G agrees with H on H_1 only; a tagless protocol cannot tell")
+	msgs := []event.Message{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 0, To: 1},
+	}
+	h := mustSys(msgs, [][]event.Event{
+		{inv(0), snd(0), inv(1), snd(1)},
+		{rcv(1)},
+	})
+	fmt.Fprintln(w, "run H (m0 sent first, but P1 has received only m1):")
+	fmt.Fprint(w, trace.SystemDiagram(h))
+	g := mustSys(msgs, [][]event.Event{
+		{inv(1), snd(1)},
+		{rcv(1)},
+	})
+	fmt.Fprintln(w, "run G (m0 never requested; P1's local history is identical):")
+	fmt.Fprint(w, trace.SystemDiagram(g))
+	fmt.Fprintln(w, "P1's local history matches, so a tagless protocol must enable m1.r in both;")
+	fmt.Fprintln(w, "in G the enablement is mandatory for liveness, in H it breaks FIFO — hence")
+	fmt.Fprintln(w, "tagless protocols cannot implement FIFO.")
+	return nil
+}

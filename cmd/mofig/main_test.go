@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllFigures(t *testing.T) {
+	var b strings.Builder
+	if err := render(nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for i := 1; i <= 10; i++ {
+		want := "Figure " + string(rune('0'+i%10))
+		if i == 10 {
+			want = "Figure 10"
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	for _, want := range []string{
+		"CausalPast_1(H)",
+		"logically synchronous: true",
+		"user:   m1.s ▷ m0.r holds: false",
+		"H ∈ X_u: true",
+		"β=[x4]",
+		"N(m0.s*) = 0",
+		"CausalPast_1(H) = CausalPast_1(G): true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figures output missing %q", want)
+		}
+	}
+}
+
+func TestSingleFigure(t *testing.T) {
+	var b strings.Builder
+	if err := render([]string{"6"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "digraph predicate") {
+		t.Error("figure 6 missing DOT graph")
+	}
+	if strings.Contains(b.String(), "Figure 1:") {
+		t.Error("single-figure mode rendered extra figures")
+	}
+}
+
+func TestBadFigureNumber(t *testing.T) {
+	var b strings.Builder
+	for _, arg := range []string{"0", "11", "x"} {
+		if err := render([]string{arg}, &b); err == nil {
+			t.Errorf("render(%q) should fail", arg)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Command mosim executes a message-ordering protocol over the
+// deterministic simulator under a randomized workload, verifies the
+// recorded run against a specification, and reports overhead statistics.
+//
+// Usage:
+//
+//	mosim -protocol causal-rst -procs 4 -msgs 20 -seed 7 -spec causal-b2
+//	mosim -protocol tagless -spec fifo -hunt 500   # search for a violating seed
+//	mosim -protocol sync -diagram                  # print the run diagram
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"msgorder/internal/catalog"
+	"msgorder/internal/check"
+	"msgorder/internal/conformance"
+	"msgorder/internal/event"
+	"msgorder/internal/predicate"
+	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/causal"
+	"msgorder/internal/protocols/fifo"
+	"msgorder/internal/protocols/flush"
+	"msgorder/internal/protocols/kweaker"
+	syncproto "msgorder/internal/protocols/sync"
+	"msgorder/internal/protocols/tagless"
+	"msgorder/internal/synth"
+	"msgorder/internal/trace"
+)
+
+func makers() map[string]protocol.Maker {
+	return map[string]protocol.Maker{
+		"tagless":    tagless.Maker,
+		"fifo":       fifo.Maker,
+		"causal-rst": causal.RSTMaker,
+		"causal-ses": causal.SESMaker,
+		"causal-bss": causal.BSSMaker,
+		"sync":       syncproto.Maker,
+		"sync-ra":    syncproto.RAMaker,
+		"flush":      flush.Maker,
+		"kweaker-1":  kweaker.Maker(1),
+		"kweaker-2":  kweaker.Maker(2),
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mosim:", err)
+		os.Exit(1)
+	}
+}
+
+// specArg resolves a catalog entry name or predicate text.
+func specArg(s string) (*predicate.Predicate, error) {
+	if e, ok := catalog.ByName(s); ok {
+		return e.Pred, nil
+	}
+	p, err := predicate.Parse(s)
+	if err != nil {
+		return nil, fmt.Errorf("%q is neither a catalog name nor a predicate: %w", s, err)
+	}
+	return p, nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mosim", flag.ContinueOnError)
+	var (
+		protoName = fs.String("protocol", "causal-rst", "protocol to run (see -listprotocols)")
+		listProto = fs.Bool("listprotocols", false, "list protocols and exit")
+		procs     = fs.Int("procs", 3, "number of processes")
+		msgs      = fs.Int("msgs", 12, "initial messages")
+		chain     = fs.Int("chain", 8, "budget of delivery-triggered follow-up messages")
+		seed      = fs.Int64("seed", 1, "workload and network seed")
+		specName  = fs.String("spec", "", "catalog entry or predicate text to check the run against")
+		hunt      = fs.Int("hunt", 0, "search this many seeds for a violation of -spec")
+		diagram   = fs.Bool("diagram", false, "print the user-view time diagram")
+		jsonOut   = fs.Bool("json", false, "print the run as JSON")
+		colors    = fs.Bool("colored", false, "color some messages red (for flush/handoff specs)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *listProto {
+		names := make([]string, 0)
+		for name := range makers() {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, "\n"))
+		return nil
+	}
+
+	var maker protocol.Maker
+	if rest, found := strings.CutPrefix(*protoName, "synth:"); found {
+		// Generate a protocol from a catalog entry or predicate text.
+		p, err := specArg(rest)
+		if err != nil {
+			return err
+		}
+		m, plan, err := synth.Generate(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("generated protocol: strategy %s (%s)\n", plan.Strategy, strings.Join(plan.Notes, "; "))
+		maker = m
+	} else {
+		m, ok := makers()[*protoName]
+		if !ok {
+			return fmt.Errorf("unknown protocol %q (try -listprotocols)", *protoName)
+		}
+		maker = m
+	}
+
+	cfg := conformance.Config{
+		Maker:       maker,
+		Procs:       *procs,
+		InitialMsgs: *msgs,
+		ChainBudget: *chain,
+		Seed:        *seed,
+	}
+	if *colors {
+		cfg.Colors = []event.Color{
+			event.ColorNone, event.ColorNone, event.ColorNone, event.ColorRed,
+		}
+	}
+
+	var spec *predicate.Predicate
+	if *specName != "" {
+		var err error
+		spec, err = specArg(*specName)
+		if err != nil {
+			return err
+		}
+	}
+
+	if *hunt > 0 {
+		if spec == nil {
+			return fmt.Errorf("-hunt requires -spec")
+		}
+		v, found, err := conformance.FindsViolation(cfg, *hunt, spec)
+		if err != nil {
+			return err
+		}
+		if !found {
+			fmt.Printf("no violation of the specification in %d seeds\n", *hunt)
+			return nil
+		}
+		fmt.Printf("violation found at seed %d: %s\n", v.Seed, v.Match.String(spec))
+		fmt.Print(trace.UserDiagram(v.View))
+		return nil
+	}
+
+	res, err := conformance.Run(cfg)
+	if err != nil {
+		return err
+	}
+	st := res.Stats
+	fmt.Printf("protocol: %s  procs: %d  seed: %d\n", *protoName, *procs, *seed)
+	fmt.Printf("user messages: %d  deliveries: %d  steps: %d  simulated time: %d\n",
+		st.UserMessages, st.Deliveries, res.Steps, res.EndTime)
+	fmt.Printf("overhead: %.1f tag bytes/msg, %.2f control msgs/msg (%d control, %d payload bytes)\n",
+		st.TagBytesPerUser(), st.ControlPerUser(), st.ControlMessages, st.ControlBytes)
+	fmt.Printf("limit sets: async=%v co=%v sync=%v\n",
+		res.View.InAsync(), res.View.InCO(), res.View.InSync())
+
+	if spec != nil {
+		if m, bad := check.FindViolation(res.View, spec); bad {
+			fmt.Printf("specification VIOLATED: %s\n", m.String(spec))
+		} else {
+			fmt.Println("specification satisfied")
+		}
+	}
+	if *diagram {
+		fmt.Print(trace.UserDiagram(res.View))
+	}
+	if *jsonOut {
+		data, err := trace.EncodeUserView(res.View)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import "testing"
+
+func TestBasicRun(t *testing.T) {
+	if err := run([]string{"-protocol", "causal-rst", "-procs", "3", "-msgs", "8",
+		"-spec", "causal-b2", "-diagram", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHunt(t *testing.T) {
+	if err := run([]string{"-protocol", "tagless", "-spec", "fifo", "-hunt", "100"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHuntNoViolation(t *testing.T) {
+	if err := run([]string{"-protocol", "fifo", "-spec", "fifo", "-hunt", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListProtocols(t *testing.T) {
+	if err := run([]string{"-listprotocols"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynthProtocol(t *testing.T) {
+	if err := run([]string{"-protocol", "synth:fifo", "-spec", "fifo", "-msgs", "6"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColoredWorkload(t *testing.T) {
+	if err := run([]string{"-protocol", "flush", "-colored", "-spec", "local-forward-flush"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecAsPredicateText(t *testing.T) {
+	if err := run([]string{"-protocol", "sync", "-spec", "x1, x2 : x1.s -> x2.r && x2.s -> x1.r"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-protocol", "nope"},
+		{"-protocol", "synth:sync-2"}, // needs control messages
+		{"-protocol", "synth:not a pred"},
+		{"-spec", "not a pred ->"},
+		{"-hunt", "5"}, // hunt without spec
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Command mospec classifies message-ordering specifications written as
+// forbidden predicates, reporting the protocol class required (tagless /
+// tagged / general / unimplementable) with the predicate graph, its
+// minimum-order cycle, β vertices, and the Lemma 4 contraction.
+//
+// Usage:
+//
+//	mospec [flags] "x, y : x.s -> y.s && y.r -> x.r"
+//	mospec -name fifo            # classify a catalog entry
+//	mospec -list                 # list the catalog
+//	mospec -dot "..."            # also emit the predicate graph in DOT
+//	mospec -witness "..."        # construct separating witness runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"msgorder/internal/catalog"
+	"msgorder/internal/classify"
+	"msgorder/internal/pgraph"
+	"msgorder/internal/predicate"
+	"msgorder/internal/trace"
+	"msgorder/internal/universe"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mospec:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mospec", flag.ContinueOnError)
+	var (
+		name    = fs.String("name", "", "classify a catalog entry instead of a predicate argument")
+		list    = fs.Bool("list", false, "list the specification catalog and exit")
+		dot     = fs.Bool("dot", false, "print the predicate graph in Graphviz DOT")
+		witness = fs.Bool("witness", false, "construct witness runs separating the limit sets")
+		cycles  = fs.Bool("cycles", false, "enumerate all simple cycles")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range catalog.Entries() {
+			fmt.Fprintf(out, "%-22s %-16s %s\n", e.Name, e.PaperClass, e.Title)
+		}
+		return nil
+	}
+
+	var pred *predicate.Predicate
+	switch {
+	case *name != "":
+		e, ok := catalog.ByName(*name)
+		if !ok {
+			return fmt.Errorf("unknown catalog entry %q (try -list)", *name)
+		}
+		pred = e.Pred
+		fmt.Fprintf(out, "catalog entry: %s (%s)\n", e.Title, e.Source)
+	case fs.NArg() == 1:
+		var err error
+		pred, err = predicate.Parse(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("expected exactly one predicate argument or -name/-list")
+	}
+
+	fmt.Fprintf(out, "predicate: %s\n\n", pred)
+	res, err := classify.Classify(pred)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "class: %s\n", strings.ToUpper(res.Class.String()))
+	if res.HasCycle {
+		fmt.Fprintf(out, "minimum cycle order: %d\n", res.MinOrder)
+	}
+	fmt.Fprintf(out, "\nexplanation:\n")
+	for _, n := range res.Notes {
+		fmt.Fprintf(out, "  - %s\n", n)
+	}
+
+	if len(res.Contraction.Steps) > 1 {
+		fmt.Fprintf(out, "\nLemma 4 contraction:\n")
+		for i, step := range res.Contraction.Steps {
+			fmt.Fprintf(out, "  step %d: %s (order %d)\n", i, res.Graph.CycleString(step), step.Order())
+		}
+	}
+
+	if *cycles {
+		fmt.Fprintf(out, "\nsimple cycles:\n")
+		g := res.Graph
+		g.SimpleCycles(func(c pgraph.Cycle) bool {
+			fmt.Fprintf(out, "  order %d: %s\n", c.Order(), g.CycleString(c))
+			return true
+		})
+	}
+
+	if *dot {
+		fmt.Fprintf(out, "\n%s", res.Graph.DOT())
+	}
+
+	if *witness {
+		fmt.Fprintf(out, "\nwitness runs:\n")
+		printWitness(out, "logically synchronous run satisfying the predicate (⇒ unimplementable)",
+			func() (diag string, err error) {
+				r, err := universe.SyncWitness(pred)
+				if err != nil {
+					return "", err
+				}
+				return trace.UserDiagram(r), nil
+			})
+		printWitness(out, "causally ordered run satisfying the predicate (⇒ control messages required)",
+			func() (string, error) {
+				r, err := universe.COWitness(pred)
+				if err != nil {
+					return "", err
+				}
+				return trace.UserDiagram(r), nil
+			})
+		printWitness(out, "valid run satisfying the predicate (⇒ some protocol required)",
+			func() (string, error) {
+				r, err := universe.AsyncWitness(pred)
+				if err != nil {
+					return "", err
+				}
+				return trace.UserDiagram(r), nil
+			})
+	}
+	return nil
+}
+
+func printWitness(out io.Writer, title string, build func() (string, error)) {
+	diag, err := build()
+	if err != nil {
+		fmt.Fprintf(out, "  %s: none (%v)\n", title, err)
+		return
+	}
+	fmt.Fprintf(out, "  %s:\n", title)
+	for _, line := range strings.Split(strings.TrimRight(diag, "\n"), "\n") {
+		fmt.Fprintf(out, "    %s\n", line)
+	}
+}

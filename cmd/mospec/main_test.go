@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runOut(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+func TestClassifyArgument(t *testing.T) {
+	out := runOut(t, "x, y : x.s -> y.s && y.r -> x.r")
+	for _, want := range []string{"class: TAGGED", "minimum cycle order: 1", "β vertices: x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCatalogEntry(t *testing.T) {
+	out := runOut(t, "-name", "handoff")
+	for _, want := range []string{"catalog entry:", "class: GENERAL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestList(t *testing.T) {
+	out := runOut(t, "-list")
+	for _, want := range []string{"fifo", "sync-2", "second-before-first"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	out := runOut(t, "-dot", "x, y : x.s -> y.s && y.r -> x.r")
+	if !strings.Contains(out, "digraph predicate") {
+		t.Errorf("missing DOT output:\n%s", out)
+	}
+}
+
+func TestCycles(t *testing.T) {
+	out := runOut(t, "-cycles", "-name", "example-1")
+	if !strings.Contains(out, "simple cycles:") || strings.Count(out, "order ") < 2 {
+		t.Errorf("cycle listing incomplete:\n%s", out)
+	}
+}
+
+func TestWitness(t *testing.T) {
+	out := runOut(t, "-witness", "x1, x2 : x1.s -> x2.r && x2.s -> x1.r")
+	if !strings.Contains(out, "causally ordered run satisfying the predicate") {
+		t.Errorf("missing CO witness:\n%s", out)
+	}
+	if !strings.Contains(out, "logically synchronous run satisfying the predicate (⇒ unimplementable): none") {
+		t.Errorf("implementable spec must have no sync witness:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	cases := [][]string{
+		{},                  // no predicate
+		{"-name", "nope"},   // unknown entry
+		{"not a predicate"}, // parse error
+		{"a", "b"},          // too many args
+	}
+	for _, args := range cases {
+		if err := run(args, &b); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

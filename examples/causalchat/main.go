@@ -1,0 +1,69 @@
+// Causalchat: the paper's motivating scenario for causal ordering. Three
+// users chat; replies are triggered by deliveries, so a reply is causally
+// after the message it answers. Under a reordering network the naive
+// (tagless) transport shows replies before their questions; the RST
+// matrix-clock protocol — tagging only, as Theorem 1.2 promises — never
+// does.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"msgorder"
+)
+
+func main() {
+	spec, _ := msgorder.CatalogByName("causal-b2")
+	protos := msgorder.Protocols()
+
+	fmt.Println("hunting for a reply-before-question anomaly under the tagless transport...")
+	anomalySeed := int64(-1)
+	for seed := int64(1); seed <= 500; seed++ {
+		view, err := chat(protos["tagless"], seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if m, bad := msgorder.FindViolation(view, spec.Pred); bad {
+			anomalySeed = seed
+			fmt.Printf("anomaly at seed %d (%s):\n", seed, m.String(spec.Pred))
+			fmt.Print(msgorder.Diagram(view))
+			break
+		}
+	}
+	if anomalySeed < 0 {
+		fmt.Println("no anomaly found (unexpected — widen the search)")
+		return
+	}
+
+	fmt.Println("\nreplaying every seed up to the anomaly with causal-rst (tags only)...")
+	for seed := int64(1); seed <= anomalySeed; seed++ {
+		view, err := chat(protos["causal-rst"], seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, bad := msgorder.FindViolation(view, spec.Pred); bad {
+			log.Fatalf("causal protocol violated causal ordering at seed %d!", seed)
+		}
+	}
+	fmt.Printf("causal-rst: no anomaly in %d seeds — piggybacked matrix clocks are enough,\n", anomalySeed)
+	fmt.Println("exactly the paper's claim that X_co needs tagging but no control messages.")
+}
+
+// chat runs one seeded chat session: a few opening messages, each
+// delivery prompting a reply with high probability.
+func chat(maker msgorder.ProtocolMaker, seed int64) (*msgorder.Run, error) {
+	res, err := msgorder.Simulate(msgorder.SimConfig{
+		Maker:       maker,
+		Procs:       3,
+		InitialMsgs: 6,
+		ChainBudget: 10,
+		ChainProb:   0.8,
+		Seed:        seed,
+		DelayMax:    50,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.View, nil
+}

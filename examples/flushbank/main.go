@@ -1,0 +1,78 @@
+// Flushbank: flush channels in anger. A branch streams transfer records
+// to headquarters and periodically sends an audit marker that must arrive
+// after every transfer that preceded it — a forward-flush send — while
+// ordinary transfers may ride any network path. The F-channel protocol
+// implements this with tags alone, as its order-1 predicate cycle
+// predicts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"msgorder"
+)
+
+func main() {
+	entry, ok := msgorder.CatalogByName("local-forward-flush")
+	if !ok {
+		log.Fatal("flush spec missing from catalog")
+	}
+	fmt.Printf("specification (red = audit marker): %s\n\n", entry.Pred)
+
+	res, err := msgorder.Classify(entry.Pred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classification: %s — the marker needs only a tag\n\n", res.Class)
+
+	flush := msgorder.Protocols()["flush"]
+	tagless := msgorder.Protocols()["tagless"]
+
+	// The branch (P0) sends 9 transfers and 3 audit markers to HQ (P1).
+	colors := []msgorder.Color{
+		msgorder.ColorNone, msgorder.ColorNone, msgorder.ColorNone, msgorder.ColorRed,
+	}
+	runOnce := func(maker msgorder.ProtocolMaker, seed int64) *msgorder.Run {
+		sim, err := msgorder.Simulate(msgorder.SimConfig{
+			Maker:       maker,
+			Procs:       2,
+			InitialMsgs: 12,
+			Seed:        seed,
+			Colors:      colors,
+			DelayMax:    60,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sim.View
+	}
+
+	// Baseline: raw transport loses the audit invariant.
+	for seed := int64(1); seed <= 500; seed++ {
+		view := runOnce(tagless, seed)
+		if m, bad := msgorder.FindViolation(view, entry.Pred); bad {
+			fmt.Printf("raw transport, seed %d: a transfer outran its audit marker (%s)\n",
+				seed, m.String(entry.Pred))
+			fmt.Print(msgorder.Diagram(view))
+			break
+		}
+	}
+
+	// Flush channels: the invariant holds across seeds, and ordinary
+	// transfers still reorder freely (cheaper than full FIFO).
+	reorders := 0
+	fifoPred, _ := msgorder.CatalogByName("fifo")
+	for seed := int64(1); seed <= 200; seed++ {
+		view := runOnce(flush, seed)
+		if m, bad := msgorder.FindViolation(view, entry.Pred); bad {
+			log.Fatalf("flush channel broke the audit invariant at seed %d: %s",
+				seed, m.String(entry.Pred))
+		}
+		if _, bad := msgorder.FindViolation(view, fifoPred.Pred); bad {
+			reorders++
+		}
+	}
+	fmt.Printf("\nflush channels: 200 seeds, audit invariant intact; ordinary transfers\n")
+	fmt.Printf("reordered in %d/200 runs — the protocol buys exactly the ordering paid for.\n", reorders)
+}

@@ -1,0 +1,63 @@
+// Handoff: the paper's Section 5 mobile-computing example. When a mobile
+// unit moves between base stations, the handoff message must not be
+// crossed by ordinary traffic. The classifier proves tags cannot enforce
+// this (control messages are necessary); the witness construction
+// exhibits a causally ordered run that still crosses the handoff; and the
+// sequencer protocol demonstrates the ordering holding in execution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"msgorder"
+)
+
+func main() {
+	entry, ok := msgorder.CatalogByName("handoff")
+	if !ok {
+		log.Fatal("handoff spec missing from catalog")
+	}
+	fmt.Printf("specification: %s\n\n", entry.Pred)
+
+	// 1. Classify: control messages are necessary.
+	res, err := msgorder.Classify(entry.Pred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classification: %s\n%s\n\n", res.Class, res.Explanation())
+
+	// 2. The paper's Theorem 4.2 witness: a causally ordered run that
+	// violates the spec — so no amount of piggybacking can help.
+	witness, err := msgorder.COWitness(entry.Pred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("causally ordered run crossing the handoff (red = handoff):")
+	fmt.Print(msgorder.Diagram(witness))
+	fmt.Printf("witness is causally ordered: %v, logically synchronous: %v\n\n",
+		witness.InCO(), witness.InSync())
+
+	// 3. Run the general-class sequencer protocol with handoff traffic:
+	// no crossing in any seed.
+	for seed := int64(1); seed <= 50; seed++ {
+		sim, err := msgorder.Simulate(msgorder.SimConfig{
+			Maker:       msgorder.Protocols()["sync"],
+			Procs:       4,
+			InitialMsgs: 12,
+			ChainBudget: 8,
+			Seed:        seed,
+			Colors: []msgorder.Color{
+				msgorder.ColorNone, msgorder.ColorNone, msgorder.ColorRed,
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if m, bad := msgorder.FindViolation(sim.View, entry.Pred); bad {
+			log.Fatalf("sequencer crossed a handoff at seed %d: %s", seed, m.String(entry.Pred))
+		}
+	}
+	fmt.Println("sequencer protocol: 50 seeds of mixed handoff traffic, zero crossings —")
+	fmt.Println("the control messages the paper proves necessary are also sufficient.")
+}

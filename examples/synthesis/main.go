@@ -1,0 +1,69 @@
+// Synthesis: from a specification you write to a protocol you can run —
+// the companion-paper direction the introduction points at. We invent an
+// ordering ("no plain message may overtake a priority (red) message on
+// its channel"), let the library classify it, generate a protocol for
+// it, and watch the generated protocol enforce exactly that ordering and
+// nothing more.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"msgorder"
+)
+
+func main() {
+	// Priority lanes: red messages act as barriers on their channel —
+	// a message sent after a red one must not be delivered before it.
+	spec, err := msgorder.Parse(`x, y :
+		process(x.s) == process(y.s) && process(x.r) == process(y.r) && color(x) == red :
+		x.s -> y.s && y.r -> x.r`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("specification: %s\n\n", spec)
+
+	res, err := msgorder.Classify(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classification: %s\n\n", res.Class)
+
+	maker, plan, err := msgorder.GenerateProtocol(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated protocol: %s strategy\n", plan.Strategy)
+	for _, n := range plan.Notes {
+		fmt.Printf("  %s\n", n)
+	}
+
+	colors := []msgorder.Color{
+		msgorder.ColorNone, msgorder.ColorNone, msgorder.ColorNone, msgorder.ColorRed,
+	}
+	violations, reorders := 0, 0
+	fifoSpec, _ := msgorder.CatalogByName("fifo")
+	for seed := int64(1); seed <= 300; seed++ {
+		sim, err := msgorder.Simulate(msgorder.SimConfig{
+			Maker:       maker,
+			Procs:       2,
+			InitialMsgs: 14,
+			Seed:        seed,
+			Colors:      colors,
+			DelayMax:    60,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !msgorder.Satisfies(sim.View, spec) {
+			violations++
+		}
+		if !msgorder.Satisfies(sim.View, fifoSpec.Pred) {
+			reorders++
+		}
+	}
+	fmt.Printf("\n300 adversarial seeds: %d violations of the priority ordering,\n", violations)
+	fmt.Printf("while plain messages still reordered freely in %d runs —\n", reorders)
+	fmt.Println("the generated protocol enforces exactly what the predicate forbids.")
+}

@@ -1,0 +1,3 @@
+module msgorder
+
+go 1.22

@@ -1,0 +1,260 @@
+// Package catalog collects every message-ordering specification discussed
+// in the paper as a named forbidden predicate, together with the protocol
+// class the paper assigns it. The catalog drives the Table 1 reproduction
+// (cmd/mobench table1), the classifier tests, and the protocol
+// conformance suite.
+package catalog
+
+import (
+	"fmt"
+
+	"msgorder/internal/classify"
+	"msgorder/internal/predicate"
+)
+
+// Entry is one named specification.
+type Entry struct {
+	// Name is a stable identifier, e.g. "causal-b2".
+	Name string
+	// Title is the human-readable name used in tables.
+	Title string
+	// Pred is the forbidden predicate.
+	Pred *predicate.Predicate
+	// PaperClass is the protocol class the paper assigns (Sections 1, 4
+	// and 5).
+	PaperClass classify.Class
+	// Source cites the paper location.
+	Source string
+	// Notes records interpretation choices.
+	Notes string
+}
+
+// Crown returns the k-crown predicate forbidding the logically
+// synchronous violation of size k (k ≥ 2):
+//
+//	x1.s -> x2.r && x2.s -> x3.r && ... && xk.s -> x1.r
+func Crown(k int) *predicate.Predicate {
+	vars := make([]string, k)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("x%d", i+1)
+	}
+	b := predicate.NewBuilder(vars...)
+	for i := 0; i < k; i++ {
+		b.Atom(vars[i], predicate.S, vars[(i+1)%k], predicate.R)
+	}
+	return b.MustBuild()
+}
+
+// KWeaker returns the k-weaker causal-ordering predicate of Section 5:
+// a chain of k+2 causally ordered sends whose last message is delivered
+// before the first.
+func KWeaker(k int) *predicate.Predicate {
+	n := k + 2
+	vars := make([]string, n)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("x%d", i+1)
+	}
+	b := predicate.NewBuilder(vars...)
+	for i := 0; i+1 < n; i++ {
+		b.Atom(vars[i], predicate.S, vars[i+1], predicate.S)
+	}
+	b.Atom(vars[n-1], predicate.R, vars[0], predicate.R)
+	return b.MustBuild()
+}
+
+// KWeakerChannel returns the per-channel restriction of KWeaker: all
+// messages share sender and receiver. This is the specification the
+// kweaker protocol implements.
+func KWeakerChannel(k int) *predicate.Predicate {
+	n := k + 2
+	vars := make([]string, n)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("x%d", i+1)
+	}
+	b := predicate.NewBuilder(vars...)
+	for i := 1; i < n; i++ {
+		b.SameProc(vars[0], predicate.S, vars[i], predicate.S)
+		b.SameProc(vars[0], predicate.R, vars[i], predicate.R)
+	}
+	for i := 0; i+1 < n; i++ {
+		b.Atom(vars[i], predicate.S, vars[i+1], predicate.S)
+	}
+	b.Atom(vars[n-1], predicate.R, vars[0], predicate.R)
+	return b.MustBuild()
+}
+
+// Entries returns the full catalog, in presentation order.
+func Entries() []Entry {
+	return []Entry{
+		{
+			Name:       "causal-b2",
+			Title:      "Causal ordering (B2)",
+			Pred:       predicate.MustParse("x, y : x.s -> y.s && y.r -> x.r"),
+			PaperClass: classify.Tagged,
+			Source:     "§1, §3.4, Lemma 3.2(b)",
+		},
+		{
+			Name:       "causal-b1",
+			Title:      "Causal ordering (B1)",
+			Pred:       predicate.MustParse("x, y : x.s -> y.r && y.r -> x.r"),
+			PaperClass: classify.Tagged,
+			Source:     "Lemma 3.2(a)",
+			Notes:      "equivalent to B2 on runs without self-addressed messages",
+		},
+		{
+			Name:       "causal-b3",
+			Title:      "Causal ordering (B3)",
+			Pred:       predicate.MustParse("x, y : x.s -> y.s && y.s -> x.r"),
+			PaperClass: classify.Tagged,
+			Source:     "Lemma 3.2(c)",
+			Notes:      "equivalent to B2 on runs without self-addressed messages",
+		},
+		{
+			Name:  "fifo",
+			Title: "FIFO channels",
+			Pred: predicate.MustParse(`x, y :
+				process(x.s) == process(y.s) && process(x.r) == process(y.r) :
+				x.s -> y.s && y.r -> x.r`),
+			PaperClass: classify.Tagged,
+			Source:     "§5 (Discussion)",
+		},
+		{
+			Name:       "sync-2",
+			Title:      "Logically synchronous (2-crown)",
+			Pred:       Crown(2),
+			PaperClass: classify.General,
+			Source:     "§3.4, Lemma 3.1",
+		},
+		{
+			Name:       "sync-3",
+			Title:      "Logically synchronous (3-crown)",
+			Pred:       Crown(3),
+			PaperClass: classify.General,
+			Source:     "§3.4, Lemma 3.1",
+		},
+		{
+			Name:       "sync-4",
+			Title:      "Logically synchronous (4-crown)",
+			Pred:       Crown(4),
+			PaperClass: classify.General,
+			Source:     "§3.4, Lemma 3.1",
+		},
+		{
+			Name:       "kweaker-1",
+			Title:      "1-weaker causal ordering",
+			Pred:       KWeaker(1),
+			PaperClass: classify.Tagged,
+			Source:     "§5 (Discussion)",
+		},
+		{
+			Name:       "kweaker-2",
+			Title:      "2-weaker causal ordering",
+			Pred:       KWeaker(2),
+			PaperClass: classify.Tagged,
+			Source:     "§5 (Discussion)",
+		},
+		{
+			Name:       "kweaker-1-channel",
+			Title:      "1-weaker FIFO (per channel)",
+			Pred:       KWeakerChannel(1),
+			PaperClass: classify.Tagged,
+			Source:     "§5 (Discussion), channel restriction",
+		},
+		{
+			Name:  "local-forward-flush",
+			Title: "Local forward flush",
+			Pred: predicate.MustParse(`x, y :
+				process(x.s) == process(y.s) && process(x.r) == process(y.r) && color(y) == red :
+				x.s -> y.s && y.r -> x.r`),
+			PaperClass: classify.Tagged,
+			Source:     "§5 (Discussion)",
+			Notes:      "red marks the flush message",
+		},
+		{
+			Name:       "global-forward-flush",
+			Title:      "Global forward flush",
+			Pred:       predicate.MustParse("x, y : color(y) == red : x.s -> y.s && y.r -> x.r"),
+			PaperClass: classify.Tagged,
+			Source:     "§5 (Discussion)",
+		},
+		{
+			Name:  "local-backward-flush",
+			Title: "Local backward flush",
+			Pred: predicate.MustParse(`x, y :
+				process(x.s) == process(y.s) && process(x.r) == process(y.r) && color(x) == blue :
+				x.s -> y.s && y.r -> x.r`),
+			PaperClass: classify.Tagged,
+			Source:     "§2 (F-channels [1])",
+			Notes:      "blue marks the barrier: later sends on the channel must trail it",
+		},
+		{
+			Name:       "handoff",
+			Title:      "Mobile handoff (no message crosses a handoff)",
+			Pred:       predicate.MustParse("x, y : color(x) == red : x.s -> y.r && y.s -> x.r"),
+			PaperClass: classify.General,
+			Source:     "§5 (Discussion)",
+			Notes: "the paper's handoff condition demands every message be ordered " +
+				"against a handoff; as a forbidden predicate we forbid crossings " +
+				"with the (red) handoff, the crown-shaped core that forces control messages",
+		},
+		{
+			Name:       "second-before-first",
+			Title:      "Receive the second message before the first",
+			Pred:       predicate.MustParse("x, y : x.s -> y.s && x.r -> y.r"),
+			PaperClass: classify.Unimplementable,
+			Source:     "§5 (Discussion)",
+			Notes:      "requires knowing the future or giving up liveness",
+		},
+		{
+			Name:       "async-a",
+			Title:      "Vacuous spec (mutual send cycle)",
+			Pred:       predicate.MustParse("x, y : x.s -> y.s && y.s -> x.s"),
+			PaperClass: classify.Tagless,
+			Source:     "Lemma 3.3(a)",
+		},
+		{
+			Name:       "async-b",
+			Title:      "Vacuous spec (send/deliver cycle)",
+			Pred:       predicate.MustParse("x, y : x.s -> y.s && y.r -> x.s"),
+			PaperClass: classify.Tagless,
+			Source:     "Lemma 3.3(b)",
+		},
+		{
+			Name:       "async-e",
+			Title:      "Vacuous spec (mutual deliver cycle)",
+			Pred:       predicate.MustParse("x, y : x.r -> y.r && y.r -> x.r"),
+			PaperClass: classify.Tagless,
+			Source:     "Lemma 3.3(e)",
+		},
+		{
+			Name:  "example-1",
+			Title: "Example 1 (five-variable predicate)",
+			Pred: predicate.MustParse(`x1, x2, x3, x4, x5 :
+				x1.r -> x2.s && x2.s -> x3.s && x3.r -> x4.r &&
+				x4.s -> x1.s && x4.s -> x5.r && x1.s -> x4.r`),
+			PaperClass: classify.Tagged,
+			Source:     "§4.2, Examples 1–3",
+			Notes:      "its minimum-order cycle has the single β vertex x4",
+		},
+	}
+}
+
+// ByName returns the entry with the given name.
+func ByName(name string) (Entry, bool) {
+	for _, e := range Entries() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Names returns all entry names in order.
+func Names() []string {
+	es := Entries()
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.Name
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package catalog
+
+import (
+	"testing"
+
+	"msgorder/internal/classify"
+	"msgorder/internal/pgraph"
+)
+
+// TestClassifierMatchesPaper is the Table 1 reproduction in test form:
+// the classifier must assign every catalog entry the class the paper
+// states.
+func TestClassifierMatchesPaper(t *testing.T) {
+	for _, e := range Entries() {
+		t.Run(e.Name, func(t *testing.T) {
+			res, err := classify.Classify(e.Pred)
+			if err != nil {
+				t.Fatalf("Classify: %v", err)
+			}
+			if res.Class != e.PaperClass {
+				t.Fatalf("class = %v, want %v (%s)\n%s",
+					res.Class, e.PaperClass, e.Source, res.Explanation())
+			}
+		})
+	}
+}
+
+// TestMinOrderMethodsAgree cross-checks the polynomial walk-based
+// minimum-order computation against exhaustive simple-cycle enumeration
+// on every catalog predicate (ablation 1 of DESIGN.md).
+func TestMinOrderMethodsAgree(t *testing.T) {
+	for _, e := range Entries() {
+		t.Run(e.Name, func(t *testing.T) {
+			g := pgraph.New(e.Pred)
+			fast, _, fok := g.MinOrder()
+			ex, _, eok := g.MinOrderExhaustive()
+			if fok != eok {
+				t.Fatalf("cycle existence disagrees: fast=%v exhaustive=%v", fok, eok)
+			}
+			if fok && fast != ex {
+				t.Fatalf("min order disagrees: fast=%d exhaustive=%d", fast, ex)
+			}
+		})
+	}
+}
+
+func TestUniqueNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Entries() {
+		if seen[e.Name] {
+			t.Errorf("duplicate name %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Title == "" || e.Source == "" {
+			t.Errorf("%s: missing title or source", e.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	e, ok := ByName("fifo")
+	if !ok || e.Name != "fifo" {
+		t.Fatal("ByName(fifo) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName must fail on unknown names")
+	}
+	if len(Names()) != len(Entries()) {
+		t.Fatal("Names length mismatch")
+	}
+}
+
+func TestCrownShapes(t *testing.T) {
+	for k := 2; k <= 5; k++ {
+		p := Crown(k)
+		if len(p.Vars) != k || len(p.Atoms) != k {
+			t.Fatalf("Crown(%d): %d vars %d atoms", k, len(p.Vars), len(p.Atoms))
+		}
+	}
+}
+
+func TestKWeakerShapes(t *testing.T) {
+	p := KWeaker(2)
+	if len(p.Vars) != 4 || len(p.Atoms) != 4 {
+		t.Fatalf("KWeaker(2): %d vars %d atoms", len(p.Vars), len(p.Atoms))
+	}
+	pc := KWeakerChannel(1)
+	if len(pc.Vars) != 3 || len(pc.Guards) != 4 {
+		t.Fatalf("KWeakerChannel(1): %d vars %d guards", len(pc.Vars), len(pc.Guards))
+	}
+	res, err := classify.Classify(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != classify.Tagged {
+		t.Fatalf("KWeakerChannel class = %v, want tagged", res.Class)
+	}
+}

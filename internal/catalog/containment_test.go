@@ -1,0 +1,97 @@
+package catalog
+
+import (
+	"testing"
+
+	"msgorder/internal/check"
+	"msgorder/internal/classify"
+	"msgorder/internal/event"
+	"msgorder/internal/universe"
+	"msgorder/internal/userview"
+)
+
+// TestClassifierVsBoundedContainment cross-validates the graph-based
+// classifier against brute force: for every catalog entry with at most
+// three variables, enumerate complete runs over bounded universes
+// (no self-addressed messages — the paper's model) and check the
+// limit-set containment signature Theorem 1 associates with each class:
+//
+//	unimplementable  ⇔ some logically synchronous run violates B
+//	general          ⇔ sync runs safe, some causally ordered run violates B
+//	tagged           ⇔ CO runs safe, some valid run violates B
+//	tagless          ⇔ no run violates B (B unsatisfiable)
+//
+// Violations found at this bound are definitive; "safe" directions are
+// exhaustive for the 3-message universes, which by the Theorem 2/4
+// constructions suffice for predicates of ≤ 3 variables.
+func TestClassifierVsBoundedContainment(t *testing.T) {
+	type flags struct {
+		violSync, violCO, violAny bool
+	}
+	var entries []Entry
+	for _, e := range Entries() {
+		if len(e.Pred.Vars) <= 3 {
+			entries = append(entries, e)
+		}
+	}
+	results := make([]flags, len(entries))
+
+	scan := func(r *userview.Run) bool {
+		inSync := r.InSync()
+		inCO := r.InCO()
+		for i, e := range entries {
+			if _, bad := check.FindViolation(r, e.Pred); !bad {
+				continue
+			}
+			results[i].violAny = true
+			if inCO {
+				results[i].violCO = true
+			}
+			if inSync {
+				results[i].violSync = true
+			}
+		}
+		return true
+	}
+	// The 2-process scan carries every color the catalog's guards name;
+	// the wider 3-process scan (needed for 3-variable cross-process
+	// witnesses, none of which are color-guarded) keeps the cheaper set.
+	universe.RunsNoSelfColored(3, 2,
+		[]event.Color{event.ColorNone, event.ColorRed, event.ColorBlue}, scan)
+	if !testing.Short() {
+		universe.RunsNoSelfColored(3, 3,
+			[]event.Color{event.ColorNone, event.ColorRed}, scan)
+	}
+
+	for i, e := range entries {
+		res, err := classify.Classify(e.Pred)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		got := results[i]
+		switch res.Class {
+		case classify.Unimplementable:
+			if !got.violSync {
+				t.Errorf("%s: classified unimplementable but no sync run violates it at this bound", e.Name)
+			}
+		case classify.General:
+			if got.violSync {
+				t.Errorf("%s: classified general but a sync run violates it", e.Name)
+			}
+			if !got.violCO {
+				t.Errorf("%s: classified general but no CO run violates it at this bound", e.Name)
+			}
+		case classify.Tagged:
+			if got.violSync || got.violCO {
+				t.Errorf("%s: classified tagged but a CO run violates it (%+v)", e.Name, got)
+			}
+			if !got.violAny {
+				t.Errorf("%s: classified tagged but no run violates it at this bound", e.Name)
+			}
+		case classify.Tagless:
+			if got.violAny {
+				t.Errorf("%s: classified tagless but some run violates it", e.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package check evaluates forbidden predicates over user-view runs: it
+// searches for an instantiation of the predicate's message variables that
+// satisfies every guard and every causality atom. A complete run belongs
+// to the specification set X_B exactly when no such instantiation exists.
+//
+// Variables bind to pairwise distinct messages. This is the only
+// consistent reading of the paper's ∃ x1,...,xm ∈ M quantification: if a
+// variable pair could share a message, the trivially true conjunct
+// x.s ▷ x.r would satisfy every k-crown, making X_sync empty.
+//
+// Two matchers are provided: a pruned backtracking search (the default)
+// and a naive nested-loop enumeration kept as the reference
+// implementation and ablation baseline (BenchmarkCheckMatcher).
+package check
+
+import (
+	"fmt"
+
+	"msgorder/internal/event"
+	"msgorder/internal/predicate"
+	"msgorder/internal/userview"
+)
+
+// Match is a satisfying assignment: Assignment[i] is the message bound to
+// predicate variable i.
+type Match struct {
+	Assignment []event.MsgID
+}
+
+// String renders the match as "x=m0, y=m3" given the predicate.
+func (m Match) String(p *predicate.Predicate) string {
+	s := ""
+	for i, id := range m.Assignment {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s=m%d", p.Vars[i], id)
+	}
+	return s
+}
+
+// FindViolation searches for an assignment of pairwise distinct messages
+// to the predicate's variables that satisfies the predicate (i.e.
+// exhibits the forbidden pattern).
+func FindViolation(r *userview.Run, p *predicate.Predicate) (Match, bool) {
+	s := newSearch(r, p)
+	if s.run(0) {
+		return Match{Assignment: s.assign}, true
+	}
+	return Match{}, false
+}
+
+// Satisfies reports whether the run belongs to X_B: it is complete and no
+// instantiation of the predicate holds.
+func Satisfies(r *userview.Run, p *predicate.Predicate) bool {
+	if !r.IsComplete() {
+		return false
+	}
+	_, bad := FindViolation(r, p)
+	return !bad
+}
+
+// CountViolations returns the number of satisfying assignments (used by
+// diagnostics and tests). Cost is O(m^vars); intended for small runs.
+func CountViolations(r *userview.Run, p *predicate.Predicate) int {
+	n := 0
+	enumerate(r, p, func(Match) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// FindViolationNaive is the reference matcher: it enumerates every tuple.
+func FindViolationNaive(r *userview.Run, p *predicate.Predicate) (Match, bool) {
+	var out Match
+	found := false
+	enumerate(r, p, func(m Match) bool {
+		out = m
+		found = true
+		return false
+	})
+	return out, found
+}
+
+// enumerate calls fn for every satisfying assignment until fn returns
+// false.
+func enumerate(r *userview.Run, p *predicate.Predicate, fn func(Match) bool) {
+	nv := len(p.Vars)
+	nm := r.NumMessages()
+	if nm < nv {
+		return
+	}
+	assign := make([]event.MsgID, nv)
+	used := make([]bool, nm)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == nv {
+			if !holds(r, p, assign) {
+				return true
+			}
+			return fn(Match{Assignment: append([]event.MsgID(nil), assign...)})
+		}
+		for m := 0; m < nm; m++ {
+			if used[m] {
+				continue
+			}
+			used[m] = true
+			assign[i] = event.MsgID(m)
+			if !rec(i + 1) {
+				return false
+			}
+			used[m] = false
+		}
+		return true
+	}
+	rec(0)
+}
+
+// holds evaluates guards and atoms under a full assignment.
+func holds(r *userview.Run, p *predicate.Predicate, assign []event.MsgID) bool {
+	msgs := make([]event.Message, len(assign))
+	for i, id := range assign {
+		msgs[i] = r.Message(id)
+	}
+	if !p.GuardsSatisfied(msgs) {
+		return false
+	}
+	for _, a := range p.Atoms {
+		from := event.E(assign[a.From.Var], a.From.Part.Kind())
+		to := event.E(assign[a.To.Var], a.To.Part.Kind())
+		if !r.Before(from, to) {
+			return false
+		}
+	}
+	return true
+}
+
+// search is the pruned backtracking matcher. Variables are ordered by
+// descending atom degree so highly-constrained variables bind first, and
+// every guard or atom whose variables are all bound is checked as soon as
+// possible.
+type search struct {
+	r      *userview.Run
+	p      *predicate.Predicate
+	order  []int // variable binding order
+	rank   []int // rank[v] = position of v in order
+	assign []event.MsgID
+	bound  []bool
+	used   []bool // messages already bound (bindings are pairwise distinct)
+	// atomAt[k] lists atoms whose later-bound endpoint has rank k.
+	atomAt [][]predicate.Atom
+	// guardAt[k] lists guards fully bound at rank k.
+	guardAt [][]predicate.Guard
+}
+
+func newSearch(r *userview.Run, p *predicate.Predicate) *search {
+	nv := len(p.Vars)
+	s := &search{
+		r:      r,
+		p:      p,
+		assign: make([]event.MsgID, nv),
+		bound:  make([]bool, nv),
+		used:   make([]bool, r.NumMessages()),
+		rank:   make([]int, nv),
+	}
+	// Degree-ordered variable selection.
+	deg := make([]int, nv)
+	for _, a := range p.Atoms {
+		deg[a.From.Var]++
+		deg[a.To.Var]++
+	}
+	s.order = make([]int, nv)
+	for i := range s.order {
+		s.order[i] = i
+	}
+	// Insertion sort by descending degree (stable, nv is tiny).
+	for i := 1; i < nv; i++ {
+		for j := i; j > 0 && deg[s.order[j]] > deg[s.order[j-1]]; j-- {
+			s.order[j], s.order[j-1] = s.order[j-1], s.order[j]
+		}
+	}
+	for k, v := range s.order {
+		s.rank[v] = k
+	}
+	s.atomAt = make([][]predicate.Atom, nv)
+	for _, a := range p.Atoms {
+		k := s.rank[a.From.Var]
+		if s.rank[a.To.Var] > k {
+			k = s.rank[a.To.Var]
+		}
+		s.atomAt[k] = append(s.atomAt[k], a)
+	}
+	s.guardAt = make([][]predicate.Guard, nv)
+	for _, g := range p.Guards {
+		k := 0
+		switch g.Kind {
+		case predicate.GuardColorIs:
+			k = s.rank[g.Var]
+		default:
+			k = s.rank[g.A.Var]
+			if s.rank[g.B.Var] > k {
+				k = s.rank[g.B.Var]
+			}
+		}
+		s.guardAt[k] = append(s.guardAt[k], g)
+	}
+	return s
+}
+
+func (s *search) run(k int) bool {
+	if k == len(s.order) {
+		return true
+	}
+	v := s.order[k]
+	for m := 0; m < s.r.NumMessages(); m++ {
+		if s.used[m] {
+			continue
+		}
+		s.used[m] = true
+		s.assign[v] = event.MsgID(m)
+		s.bound[v] = true
+		if s.consistentAt(k) && s.run(k+1) {
+			return true
+		}
+		s.bound[v] = false
+		s.used[m] = false
+	}
+	return false
+}
+
+// consistentAt checks the atoms and guards that became fully bound at
+// rank k.
+func (s *search) consistentAt(k int) bool {
+	for _, g := range s.guardAt[k] {
+		if !s.guardHolds(g) {
+			return false
+		}
+	}
+	for _, a := range s.atomAt[k] {
+		from := event.E(s.assign[a.From.Var], a.From.Part.Kind())
+		to := event.E(s.assign[a.To.Var], a.To.Part.Kind())
+		if !s.r.Before(from, to) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *search) guardHolds(g predicate.Guard) bool {
+	proc := func(ref predicate.EventRef) event.ProcID {
+		m := s.r.Message(s.assign[ref.Var])
+		if ref.Part == predicate.S {
+			return m.From
+		}
+		return m.To
+	}
+	switch g.Kind {
+	case predicate.GuardProcEq:
+		return proc(g.A) == proc(g.B)
+	case predicate.GuardProcNeq:
+		return proc(g.A) != proc(g.B)
+	case predicate.GuardColorIs:
+		return s.r.Message(s.assign[g.Var]).Color == g.Color
+	default:
+		return false
+	}
+}

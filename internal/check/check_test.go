@@ -1,0 +1,293 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"msgorder/internal/event"
+	"msgorder/internal/predicate"
+	"msgorder/internal/userview"
+)
+
+var (
+	coPred   = predicate.MustParse("x, y : x.s -> y.s && y.r -> x.r")
+	fifoPred = predicate.MustParse(`x, y :
+		process(x.s) == process(y.s) && process(x.r) == process(y.r) :
+		x.s -> y.s && y.r -> x.r`)
+	crown2Pred = predicate.MustParse("x1, x2 : x1.s -> x2.r && x2.s -> x1.r")
+)
+
+func s(m event.MsgID) event.Event { return event.E(m, event.Send) }
+func d(m event.MsgID) event.Event { return event.E(m, event.Deliver) }
+
+func mkRun(t *testing.T, msgs []event.Message, procs [][]event.Event) *userview.Run {
+	t.Helper()
+	r, err := userview.New(msgs, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func fifoViolation(t *testing.T) *userview.Run {
+	msgs := []event.Message{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 0, To: 1},
+	}
+	return mkRun(t, msgs, [][]event.Event{
+		{s(0), s(1)},
+		{d(1), d(0)},
+	})
+}
+
+func crownRun(t *testing.T) *userview.Run {
+	msgs := []event.Message{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 1, To: 0},
+	}
+	return mkRun(t, msgs, [][]event.Event{
+		{s(0), d(1)},
+		{s(1), d(0)},
+	})
+}
+
+func TestFindViolationCausal(t *testing.T) {
+	r := fifoViolation(t)
+	m, found := FindViolation(r, coPred)
+	if !found {
+		t.Fatal("expected a causal violation")
+	}
+	if m.Assignment[0] != 0 || m.Assignment[1] != 1 {
+		t.Fatalf("assignment = %v, want [0 1]", m.Assignment)
+	}
+	if got := m.String(coPred); got != "x=m0, y=m1" {
+		t.Errorf("String = %q", got)
+	}
+	if Satisfies(r, coPred) {
+		t.Error("run must not satisfy causal ordering")
+	}
+}
+
+func TestFIFOGuardsRestrict(t *testing.T) {
+	// Same pattern but messages on different channels: FIFO is satisfied,
+	// causal ordering is not.
+	msgs := []event.Message{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 0, To: 2},
+	}
+	// m0.s before m1.s at P0; m1 delivered at P2, then P2 sends m2? Keep
+	// it minimal: two receivers, so no FIFO pair exists.
+	r := mkRun(t, msgs, [][]event.Event{
+		{s(0), s(1)},
+		{d(0)},
+		{d(1)},
+	})
+	if !Satisfies(r, fifoPred) {
+		t.Error("different destinations: FIFO trivially satisfied")
+	}
+	if !Satisfies(r, coPred) {
+		t.Error("deliveries at different processes are concurrent: CO holds")
+	}
+}
+
+func TestCrownDetection(t *testing.T) {
+	r := crownRun(t)
+	if Satisfies(r, crown2Pred) {
+		t.Error("crossing pair must violate the 2-crown predicate")
+	}
+	if !Satisfies(r, coPred) {
+		t.Error("crossing pair is causally ordered")
+	}
+}
+
+func TestColorGuard(t *testing.T) {
+	flush := predicate.MustParse("x, y : color(y) == red : x.s -> y.s && y.r -> x.r")
+	msgs := []event.Message{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 0, To: 1, Color: event.ColorRed},
+	}
+	// m1 (red) overtakes m0: forbidden.
+	r := mkRun(t, msgs, [][]event.Event{
+		{s(0), s(1)},
+		{d(1), d(0)},
+	})
+	if Satisfies(r, flush) {
+		t.Error("red message overtaking must violate forward flush")
+	}
+	// Swap colors: the overtaking message is not red; allowed.
+	msgs2 := []event.Message{
+		{ID: 0, From: 0, To: 1, Color: event.ColorRed},
+		{ID: 1, From: 0, To: 1},
+	}
+	r2 := mkRun(t, msgs2, [][]event.Event{
+		{s(0), s(1)},
+		{d(1), d(0)},
+	})
+	if !Satisfies(r2, flush) {
+		t.Error("plain message overtaking a red one is allowed by forward flush")
+	}
+}
+
+func TestIncompleteRunNeverSatisfies(t *testing.T) {
+	msgs := []event.Message{{ID: 0, From: 0, To: 1}}
+	r := mkRun(t, msgs, [][]event.Event{{s(0)}, {}})
+	if Satisfies(r, coPred) {
+		t.Error("incomplete runs are outside every specification set")
+	}
+}
+
+func TestEmptyRunSatisfiesEverything(t *testing.T) {
+	r := mkRun(t, nil, [][]event.Event{{}, {}})
+	for _, p := range []*predicate.Predicate{coPred, fifoPred, crown2Pred} {
+		if !Satisfies(r, p) {
+			t.Errorf("empty run must satisfy %s", p)
+		}
+	}
+}
+
+func TestCountViolations(t *testing.T) {
+	r := fifoViolation(t)
+	if got := CountViolations(r, coPred); got != 1 {
+		t.Fatalf("CountViolations = %d, want 1", got)
+	}
+	if got := CountViolations(crownRun(t), coPred); got != 0 {
+		t.Fatalf("CountViolations = %d, want 0", got)
+	}
+}
+
+func TestBindingsAreDistinct(t *testing.T) {
+	// ∃x,y binds distinct messages: with a single message, x.s -> y.r has
+	// no instantiation even though m0.s ▷ m0.r.
+	p := predicate.MustParse("x, y : x.s -> y.r")
+	msgs := []event.Message{{ID: 0, From: 0, To: 1}}
+	r := mkRun(t, msgs, [][]event.Event{{s(0)}, {d(0)}})
+	if _, found := FindViolation(r, p); found {
+		t.Fatal("variables must bind distinct messages")
+	}
+	if _, found := FindViolationNaive(r, p); found {
+		t.Fatal("naive matcher must also bind distinct messages")
+	}
+	// With two chained messages the pattern matches.
+	msgs2 := []event.Message{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 1, To: 0},
+	}
+	r2 := mkRun(t, msgs2, [][]event.Event{
+		{s(0), d(1)},
+		{d(0), s(1)},
+	})
+	m, found := FindViolation(r2, p)
+	if !found {
+		t.Fatal("m0.s ▷ m1.r should match with x=m0, y=m1")
+	}
+	if m.Assignment[0] == m.Assignment[1] {
+		t.Fatalf("assignment = %v, want distinct bindings", m.Assignment)
+	}
+}
+
+// randomRun builds a random valid complete user-view run with colors.
+func randomRun(rng *rand.Rand, nProcs, nMsgs int) *userview.Run {
+	colors := []event.Color{event.ColorNone, event.ColorRed, event.ColorBlue}
+	msgs := make([]event.Message, nMsgs)
+	for i := range msgs {
+		msgs[i] = event.Message{
+			ID:    event.MsgID(i),
+			From:  event.ProcID(rng.Intn(nProcs)),
+			To:    event.ProcID(rng.Intn(nProcs)),
+			Color: colors[rng.Intn(len(colors))],
+		}
+	}
+	procs := make([][]event.Event, nProcs)
+	sent := make([]bool, nMsgs)
+	delivered := make([]bool, nMsgs)
+	for steps := 0; steps < 2*nMsgs; steps++ {
+		var choices []event.Event
+		for i := 0; i < nMsgs; i++ {
+			if !sent[i] {
+				choices = append(choices, s(event.MsgID(i)))
+			} else if !delivered[i] {
+				choices = append(choices, d(event.MsgID(i)))
+			}
+		}
+		e := choices[rng.Intn(len(choices))]
+		if e.Kind == event.Send {
+			sent[e.Msg] = true
+		} else {
+			delivered[e.Msg] = true
+		}
+		p := e.Proc(msgs[e.Msg])
+		procs[p] = append(procs[p], e)
+	}
+	r, err := userview.New(msgs, procs)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// TestQuickMatchersAgree cross-checks the pruned matcher against the
+// naive enumerator on random runs and a spread of predicates.
+func TestQuickMatchersAgree(t *testing.T) {
+	preds := []*predicate.Predicate{
+		coPred,
+		fifoPred,
+		crown2Pred,
+		predicate.MustParse("x1, x2, x3 : x1.s -> x2.r && x2.s -> x3.r && x3.s -> x1.r"),
+		predicate.MustParse("x, y : color(y) == red : x.s -> y.s && y.r -> x.r"),
+		predicate.MustParse("x, y : process(x.s) != process(y.s) : x.s -> y.r"),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRun(rng, 2+rng.Intn(3), 1+rng.Intn(5))
+		for _, p := range preds {
+			_, fast := FindViolation(r, p)
+			_, naive := FindViolationNaive(r, p)
+			if fast != naive {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCOPredicateMatchesBuiltin: the B2 predicate matcher must agree
+// with the userview package's built-in causal-ordering test.
+func TestQuickCOPredicateMatchesBuiltin(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRun(rng, 2+rng.Intn(3), 1+rng.Intn(5))
+		return Satisfies(r, coPred) == r.InCO()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCrownFamilyMatchesBuiltin: violating any k-crown predicate for
+// k = 2..4 must coincide with not being logically synchronous, on runs
+// with few messages (a crown in a run of ≤ 4 messages has length ≤ 4).
+func TestQuickCrownFamilyMatchesBuiltin(t *testing.T) {
+	crowns := []*predicate.Predicate{
+		crown2Pred,
+		predicate.MustParse("x1, x2, x3 : x1.s -> x2.r && x2.s -> x3.r && x3.s -> x1.r"),
+		predicate.MustParse("x1, x2, x3, x4 : x1.s -> x2.r && x2.s -> x3.r && x3.s -> x4.r && x4.s -> x1.r"),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRun(rng, 2+rng.Intn(3), 1+rng.Intn(4))
+		violated := false
+		for _, p := range crowns {
+			if !Satisfies(r, p) {
+				violated = true
+			}
+		}
+		return violated == !r.InSync()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,258 @@
+// Package classify implements the paper's central algorithm: given a
+// forbidden predicate, decide whether the specification X_B is
+// implementable and, if so, which protocol class is necessary and
+// sufficient (Section 4.3, Theorems 2–4):
+//
+//	no cycle in the predicate graph      → not implementable,
+//	some cycle of order 0                → tagless ("do nothing") suffices,
+//	minimum cycle order 1                → tagged (piggybacking) suffices,
+//	minimum cycle order ≥ 2              → general (control messages) needed.
+//
+// The classifier additionally detects predicates that are unsatisfiable
+// (their specification set is all of X_async — equivalent to a cycle of
+// order 0, see Lemma 3.3) and degenerate predicates whose atoms are all
+// trivially true (their specification admits only the empty run — never
+// implementable).
+//
+// Model assumption: like the paper's proofs, the classification is stated
+// for systems where processes do not send messages to themselves. With
+// self-addressed messages the Lemma 3.2 equivalences underpinning the
+// order-1 case can fail — e.g. X_co ⊄ X_B1 for B1 ≡ (x.s ▷ y.r) ∧
+// (y.r ▷ x.r), witnessed by two self-messages delivered in FIFO order —
+// so an order-1 predicate may then require control messages. See
+// EXPERIMENTS.md ("self-message caveat").
+package classify
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"msgorder/internal/pgraph"
+	"msgorder/internal/predicate"
+)
+
+// Class is the protocol class required to implement a specification.
+type Class int
+
+// Protocol classes, ordered by increasing power.
+const (
+	// Unimplementable: no inhibitory protocol can guarantee safety and
+	// liveness (X_sync ⊄ X_B).
+	Unimplementable Class = iota + 1
+	// Tagless: the trivial protocol that enables every pending event
+	// suffices (X_async ⊆ X_B).
+	Tagless
+	// Tagged: piggybacking information on user messages is sufficient and
+	// necessary (X_co ⊆ X_B but X_async ⊄ X_B).
+	Tagged
+	// General: control messages are necessary (X_sync ⊆ X_B but
+	// X_co ⊄ X_B).
+	General
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case Unimplementable:
+		return "unimplementable"
+	case Tagless:
+		return "tagless"
+	case Tagged:
+		return "tagged"
+	case General:
+		return "general"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Result is the full classification outcome.
+type Result struct {
+	Class Class
+	// MinOrder is the minimum cycle order when the graph is cyclic.
+	MinOrder int
+	// HasCycle reports whether the predicate graph has a cycle at all.
+	HasCycle bool
+	// Witness is a minimum-order closed walk when HasCycle.
+	Witness pgraph.Cycle
+	// Graph is the predicate graph built from the effective (preprocessed)
+	// atoms.
+	Graph *pgraph.Graph
+	// Contraction is the Lemma 4 reduction of the witness.
+	Contraction pgraph.ContractResult
+	// Unsatisfiable reports that no run can satisfy the predicate, so
+	// X_B = X_async.
+	Unsatisfiable bool
+	// Notes is a human-readable explanation trail.
+	Notes []string
+}
+
+// Explanation joins the notes into a printable paragraph.
+func (r *Result) Explanation() string { return strings.Join(r.Notes, "\n") }
+
+// Classification errors.
+var (
+	ErrInvalid = errors.New("classify: invalid predicate")
+)
+
+// Classify runs the algorithm on a forbidden predicate.
+//
+// Guards restrict the instantiations of the predicate and therefore only
+// enlarge the specification set, so the class computed from the guard-free
+// graph remains sufficient; it is also necessary whenever the guards admit
+// the witness constructions of Theorem 4 (true for all specifications in
+// the paper). Contradictory guards make the predicate unsatisfiable and
+// are detected exactly.
+func Classify(p *predicate.Predicate) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	res := &Result{}
+
+	if reason, bad := contradictoryGuards(p); bad {
+		res.Class = Tagless
+		res.Unsatisfiable = true
+		res.Notes = append(res.Notes,
+			"guards are contradictory: "+reason,
+			"the predicate can never hold, so X_B = X_async and the trivial protocol suffices")
+		res.Graph = pgraph.New(&predicate.Predicate{Vars: p.Vars})
+		return res, nil
+	}
+
+	// Preprocess same-variable atoms.
+	effective := &predicate.Predicate{Vars: append([]string(nil), p.Vars...), Guards: p.Guards}
+	for _, a := range p.Atoms {
+		switch {
+		case a.Trivial():
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"dropping trivially true conjunct %s.s -> %s.r (holds for every message)",
+				p.Vars[a.From.Var], p.Vars[a.To.Var]))
+		case a.Impossible():
+			res.Class = Tagless
+			res.Unsatisfiable = true
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"conjunct %s.%s -> %s.%s can never hold (▷ is irreflexive and x.s always precedes x.r)",
+				p.Vars[a.From.Var], a.From.Part, p.Vars[a.To.Var], a.To.Part),
+				"the predicate is unsatisfiable, so X_B = X_async and the trivial protocol suffices")
+			res.Graph = pgraph.New(effective)
+			return res, nil
+		default:
+			effective.Atoms = append(effective.Atoms, a)
+		}
+	}
+
+	if len(effective.Atoms) == 0 {
+		res.Class = Unimplementable
+		res.Graph = pgraph.New(effective)
+		res.Notes = append(res.Notes,
+			"every conjunct is trivially true: the predicate forbids any run containing a matching message",
+			"only the empty run satisfies the specification; X_sync ⊄ X_B, so no protocol exists (Corollary 1)")
+		return res, nil
+	}
+
+	g := pgraph.New(effective)
+	res.Graph = g
+	minOrder, witness, ok := g.MinOrder()
+	res.HasCycle = ok
+	if !ok {
+		res.Class = Unimplementable
+		res.Notes = append(res.Notes,
+			"the predicate graph is acyclic",
+			"by Theorem 2 the specification is not implementable: the Theorem's construction yields a logically synchronous run that violates it (X_sync ⊄ X_B)")
+		return res, nil
+	}
+	res.MinOrder = minOrder
+	res.Witness = witness
+	res.Contraction = pgraph.Contract(witness)
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"the predicate graph has a cycle; minimum order over cycles is %d", minOrder))
+	res.Notes = append(res.Notes, "minimum-order cycle: "+g.CycleString(witness))
+	if bvs := witness.BetaVertices(); len(bvs) > 0 {
+		names := make([]string, len(bvs))
+		for i, v := range bvs {
+			names[i] = g.Var(v)
+		}
+		res.Notes = append(res.Notes, "β vertices: "+strings.Join(names, ", "))
+	}
+
+	switch {
+	case minOrder == 0:
+		res.Class = Tagless
+		res.Unsatisfiable = true
+		res.Notes = append(res.Notes,
+			"a cycle of order 0 exists: by Lemma 3.3 the predicate implies an event preceding itself and is unsatisfiable",
+			"X_async ⊆ X_B (in fact X_B = X_async): the trivial protocol suffices (Theorem 3.1)")
+	case minOrder == 1:
+		res.Class = Tagged
+		res.Notes = append(res.Notes,
+			"minimum order 1: by Lemma 4 and Lemma 3.2 the cycle reduces to a causal-ordering predicate, so X_co ⊆ X_B — tagging user messages suffices (Theorem 3.2)",
+			"no cycle of order 0 exists, so X_async ⊄ X_B — some protocol action is necessary (Theorem 4.3)")
+	default:
+		res.Class = General
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"minimum order %d (> 1): the cycle reduces to a %d-crown, so X_sync ⊆ X_B — a protocol with control messages suffices (Theorem 3.3)",
+			minOrder, minOrder),
+			"no cycle of order 0 or 1 exists, so X_co ⊄ X_B — tagging alone cannot implement the specification; control messages are necessary (Theorem 4.2)")
+	}
+	return res, nil
+}
+
+// contradictoryGuards decides guard satisfiability exactly: process
+// selectors are united by equality guards (union-find), then inequality
+// guards are checked within classes; color guards conflict when one
+// variable is required to have two different colors.
+func contradictoryGuards(p *predicate.Predicate) (string, bool) {
+	// Selector id: 2*var + side (0 = sender, 1 = receiver).
+	sel := func(r predicate.EventRef) int {
+		side := 0
+		if r.Part == predicate.R {
+			side = 1
+		}
+		return 2*r.Var + side
+	}
+	parent := make([]int, 2*len(p.Vars))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	for _, g := range p.Guards {
+		if g.Kind == predicate.GuardProcEq {
+			union(sel(g.A), sel(g.B))
+		}
+	}
+	selName := func(id int) string {
+		part := "s"
+		if id%2 == 1 {
+			part = "r"
+		}
+		return fmt.Sprintf("process(%s.%s)", p.Vars[id/2], part)
+	}
+	for _, g := range p.Guards {
+		if g.Kind == predicate.GuardProcNeq && find(sel(g.A)) == find(sel(g.B)) {
+			return fmt.Sprintf("%s != %s conflicts with the equality guards",
+				selName(sel(g.A)), selName(sel(g.B))), true
+		}
+	}
+	colors := make(map[int]predicate.Guard)
+	for _, g := range p.Guards {
+		if g.Kind != predicate.GuardColorIs {
+			continue
+		}
+		if prev, ok := colors[g.Var]; ok && prev.Color != g.Color {
+			return fmt.Sprintf("color(%s) constrained to both %s and %s",
+				p.Vars[g.Var], prev.Color, g.Color), true
+		}
+		colors[g.Var] = g
+	}
+	return "", false
+}

@@ -1,0 +1,264 @@
+package classify
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"msgorder/internal/predicate"
+)
+
+func classOf(t *testing.T, src string) *Result {
+	t.Helper()
+	res, err := Classify(predicate.MustParse(src))
+	if err != nil {
+		t.Fatalf("Classify(%q): %v", src, err)
+	}
+	return res
+}
+
+func TestPaperCatalogClasses(t *testing.T) {
+	cases := []struct {
+		name, src string
+		want      Class
+	}{
+		{
+			"causal ordering (B2)",
+			"x, y : x.s -> y.s && y.r -> x.r",
+			Tagged,
+		},
+		{
+			"causal ordering (B1)",
+			"x, y : x.s -> y.r && y.r -> x.r",
+			Tagged,
+		},
+		{
+			"causal ordering (B3)",
+			"x, y : x.s -> y.s && y.s -> x.r",
+			Tagged,
+		},
+		{
+			"FIFO",
+			"x, y : process(x.s) == process(y.s) && process(x.r) == process(y.r) : x.s -> y.s && y.r -> x.r",
+			Tagged,
+		},
+		{
+			"logically synchronous (2-crown)",
+			"x1, x2 : x1.s -> x2.r && x2.s -> x1.r",
+			General,
+		},
+		{
+			"logically synchronous (3-crown)",
+			"x1, x2, x3 : x1.s -> x2.r && x2.s -> x3.r && x3.s -> x1.r",
+			General,
+		},
+		{
+			"k-weaker causal (k=1)",
+			"x1, x2, x3 : x1.s -> x2.s && x2.s -> x3.s && x3.r -> x1.r",
+			Tagged,
+		},
+		{
+			"local forward flush",
+			"x, y : process(x.s) == process(y.s) && process(x.r) == process(y.r) && color(y) == red : x.s -> y.s && y.r -> x.r",
+			Tagged,
+		},
+		{
+			"global forward flush",
+			"x, y : color(y) == red : x.s -> y.s && y.r -> x.r",
+			Tagged,
+		},
+		{
+			"mobile handoff (no message crosses a red handoff)",
+			"x, y : color(x) == red : x.s -> y.r && y.s -> x.r",
+			General,
+		},
+		{
+			"receive second before first",
+			"x, y : x.s -> y.s && x.r -> y.r",
+			Unimplementable,
+		},
+		{
+			"async witness a",
+			"x, y : x.s -> y.s && y.s -> x.s",
+			Tagless,
+		},
+		{
+			"async witness e",
+			"x, y : x.r -> y.r && y.r -> x.r",
+			Tagless,
+		},
+		{
+			"example 1",
+			"x1, x2, x3, x4, x5 : x1.r -> x2.s && x2.s -> x3.s && x3.r -> x4.r && x4.s -> x1.s && x4.s -> x5.r && x1.s -> x4.r",
+			Tagged,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res := classOf(t, c.src)
+			if res.Class != c.want {
+				t.Fatalf("class = %v, want %v\n%s", res.Class, c.want, res.Explanation())
+			}
+		})
+	}
+}
+
+func TestMinOrderReported(t *testing.T) {
+	res := classOf(t, "x1, x2, x3 : x1.s -> x2.r && x2.s -> x3.r && x3.s -> x1.r")
+	if !res.HasCycle || res.MinOrder != 3 {
+		t.Fatalf("MinOrder = %d (cycle=%v), want 3", res.MinOrder, res.HasCycle)
+	}
+	if res.Witness.Len() != 3 {
+		t.Fatalf("witness len = %d", res.Witness.Len())
+	}
+}
+
+func TestTaglessIffUnsatisfiable(t *testing.T) {
+	// Order-0 classification must coincide with unsatisfiability.
+	srcs := []string{
+		"x, y : x.s -> y.s && y.s -> x.s",
+		"x, y : x.s -> y.s && y.r -> x.s",
+		"x, y : x.r -> y.r && y.r -> x.s",
+		"x, y : x.s -> y.s && y.r -> x.r",
+		"x1, x2 : x1.s -> x2.r && x2.s -> x1.r",
+		"x, y : x.s -> y.s && x.r -> y.r",
+	}
+	for _, src := range srcs {
+		res := classOf(t, src)
+		if (res.Class == Tagless) != res.Unsatisfiable {
+			t.Errorf("%s: class %v but unsat=%v", src, res.Class, res.Unsatisfiable)
+		}
+	}
+}
+
+func TestImpossibleSelfAtom(t *testing.T) {
+	p := &predicate.Predicate{
+		Vars: []string{"x"},
+		Atoms: []predicate.Atom{{
+			From: predicate.EventRef{Var: 0, Part: predicate.R},
+			To:   predicate.EventRef{Var: 0, Part: predicate.S},
+		}},
+	}
+	res, err := Classify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != Tagless || !res.Unsatisfiable {
+		t.Fatalf("class = %v unsat = %v, want tagless/unsat", res.Class, res.Unsatisfiable)
+	}
+}
+
+func TestAllTrivialAtoms(t *testing.T) {
+	p := &predicate.Predicate{
+		Vars: []string{"x"},
+		Atoms: []predicate.Atom{{
+			From: predicate.EventRef{Var: 0, Part: predicate.S},
+			To:   predicate.EventRef{Var: 0, Part: predicate.R},
+		}},
+	}
+	res, err := Classify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != Unimplementable {
+		t.Fatalf("class = %v, want unimplementable (forbids every nonempty run)", res.Class)
+	}
+}
+
+func TestTrivialAtomDropped(t *testing.T) {
+	// x.s -> x.r conjoined with causal ordering changes nothing.
+	p := predicate.MustParse("x, y : x.s -> x.r && x.s -> y.s && y.r -> x.r")
+	res, err := Classify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != Tagged {
+		t.Fatalf("class = %v, want tagged", res.Class)
+	}
+	if res.Graph.NumEdges() != 2 {
+		t.Fatalf("effective edges = %d, want 2", res.Graph.NumEdges())
+	}
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "trivially true") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing preprocessing note")
+	}
+}
+
+func TestContradictoryColorGuards(t *testing.T) {
+	res := classOf(t, "x, y : color(x) == red && color(x) == blue : x.s -> y.s && y.r -> x.r")
+	if res.Class != Tagless || !res.Unsatisfiable {
+		t.Fatalf("class = %v, want tagless via contradictory guards", res.Class)
+	}
+	if !strings.Contains(res.Explanation(), "contradictory") {
+		t.Error("missing contradiction note")
+	}
+}
+
+func TestContradictoryProcessGuards(t *testing.T) {
+	res := classOf(t, `x, y :
+		process(x.s) == process(y.s) && process(y.s) == process(x.r) && process(x.s) != process(x.r) :
+		x.s -> y.s && y.r -> x.r`)
+	if res.Class != Tagless || !res.Unsatisfiable {
+		t.Fatalf("class = %v, want tagless via contradictory process guards", res.Class)
+	}
+}
+
+func TestConsistentGuardsNotFlagged(t *testing.T) {
+	res := classOf(t, `x, y :
+		process(x.s) == process(y.s) && process(x.s) != process(x.r) && color(x) == red && color(y) == red :
+		x.s -> y.s && y.r -> x.r`)
+	if res.Class != Tagged {
+		t.Fatalf("class = %v, want tagged", res.Class)
+	}
+}
+
+func TestInvalidPredicate(t *testing.T) {
+	if _, err := Classify(&predicate.Predicate{}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("err = %v, want ErrInvalid", err)
+	}
+}
+
+func TestExplanationNonEmpty(t *testing.T) {
+	for _, src := range []string{
+		"x, y : x.s -> y.s && y.r -> x.r",
+		"x, y : x.s -> y.s && x.r -> y.r",
+		"x1, x2 : x1.s -> x2.r && x2.s -> x1.r",
+		"x, y : x.s -> y.s && y.s -> x.s",
+	} {
+		res := classOf(t, src)
+		if res.Explanation() == "" {
+			t.Errorf("%s: empty explanation", src)
+		}
+	}
+}
+
+func TestContractionAttachedForTagged(t *testing.T) {
+	res := classOf(t, "x1, x2, x3 : x1.s -> x2.s && x2.s -> x3.s && x3.r -> x1.r")
+	if len(res.Contraction.Steps) == 0 {
+		t.Fatal("missing contraction")
+	}
+	canon := res.Contraction.Canonical()
+	if canon.Order() != 1 {
+		t.Fatalf("canonical order = %d, want 1", canon.Order())
+	}
+}
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		Unimplementable: "unimplementable",
+		Tagless:         "tagless",
+		Tagged:          "tagged",
+		General:         "general",
+		Class(99):       "class(99)",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(c), got, want)
+		}
+	}
+}

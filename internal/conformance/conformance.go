@@ -1,0 +1,176 @@
+// Package conformance drives message-ordering protocols through the
+// deterministic simulator under randomized workloads and checks the
+// resulting user views against forbidden-predicate specifications.
+//
+// It is the engine behind the Theorem 1 reproduction (cmd/mobench
+// protocols): each protocol class's witness must always satisfy its own
+// specification, and for every strictly stronger specification some seed
+// must exhibit a violation.
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"msgorder/internal/check"
+	"msgorder/internal/dsim"
+	"msgorder/internal/event"
+	"msgorder/internal/predicate"
+	"msgorder/internal/protocol"
+	"msgorder/internal/userview"
+)
+
+// Config describes one workload run.
+type Config struct {
+	// Maker builds the protocol under test.
+	Maker protocol.Maker
+	// Procs is the number of processes (≥ 2).
+	Procs int
+	// InitialMsgs is the number of spontaneously invoked messages.
+	InitialMsgs int
+	// ChainBudget bounds follow-up messages triggered by deliveries
+	// (causal chains). Zero disables chaining.
+	ChainBudget int
+	// ChainProb is the per-delivery probability of a follow-up.
+	ChainProb float64
+	// Colors, when non-empty, are assigned to messages at random
+	// (uncolored otherwise).
+	Colors []event.Color
+	// Seed drives both the workload and the network adversary.
+	Seed int64
+	// DelayMin/DelayMax bound network delays (defaults 1/16).
+	DelayMin, DelayMax int64
+	// FIFONet makes the network order-preserving per channel.
+	FIFONet bool
+	// AllowSelf permits self-addressed messages (off by default; the
+	// paper's model sends between distinct processes).
+	AllowSelf bool
+	// Broadcast makes every invocation a broadcast to all other
+	// processes (the multicast extension); chained follow-ups broadcast
+	// too.
+	Broadcast bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Procs == 0 {
+		c.Procs = 3
+	}
+	if c.InitialMsgs == 0 {
+		c.InitialMsgs = 12
+	}
+	if c.DelayMax == 0 {
+		c.DelayMin, c.DelayMax = 1, 16
+	}
+	if c.ChainBudget > 0 && c.ChainProb == 0 {
+		c.ChainProb = 0.5
+	}
+	return c
+}
+
+// Run executes one simulation and requires quiescence (liveness).
+func Run(cfg Config) (*dsim.Result, error) {
+	cfg = cfg.withDefaults()
+	opts := []dsim.Option{
+		dsim.WithSeed(cfg.Seed),
+		dsim.WithDelay(cfg.DelayMin, cfg.DelayMax),
+	}
+	if cfg.FIFONet {
+		opts = append(opts, dsim.WithFIFONetwork())
+	}
+	sim := dsim.New(cfg.Procs, cfg.Maker, opts...)
+
+	wrng := rand.New(rand.NewSource(cfg.Seed*0x9e3779b9 + 17))
+	color := func() event.Color {
+		if len(cfg.Colors) == 0 {
+			return event.ColorNone
+		}
+		return cfg.Colors[wrng.Intn(len(cfg.Colors))]
+	}
+	pick := func(not event.ProcID) event.ProcID {
+		for {
+			p := event.ProcID(wrng.Intn(cfg.Procs))
+			if cfg.AllowSelf || p != not {
+				return p
+			}
+		}
+	}
+	budget := cfg.ChainBudget
+	sim.OnDeliver(func(p event.ProcID, _ event.MsgID) []dsim.Request {
+		if budget <= 0 || wrng.Float64() >= cfg.ChainProb {
+			return nil
+		}
+		budget--
+		if cfg.Broadcast {
+			return []dsim.Request{{From: p, Broadcast: true, Color: color()}}
+		}
+		return []dsim.Request{{From: p, To: pick(p), Color: color()}}
+	})
+	for i := 0; i < cfg.InitialMsgs; i++ {
+		from := event.ProcID(wrng.Intn(cfg.Procs))
+		req := dsim.Request{From: from, Color: color()}
+		if cfg.Broadcast {
+			req.Broadcast = true
+		} else {
+			req.To = pick(from)
+		}
+		sim.Invoke(int64(i)*2, req)
+	}
+	return sim.MustQuiesce()
+}
+
+// Violation describes a specification violation found during a sweep.
+type Violation struct {
+	Seed  int64
+	Match check.Match
+	View  *userview.Run
+}
+
+// Sweep runs seeds 1..n and returns the views plus any violations of the
+// predicate.
+func Sweep(cfg Config, n int, pred *predicate.Predicate) ([]*dsim.Result, []Violation, error) {
+	var results []*dsim.Result
+	var violations []Violation
+	for seed := int64(1); seed <= int64(n); seed++ {
+		cfg.Seed = seed
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		results = append(results, res)
+		if m, found := check.FindViolation(res.View, pred); found {
+			violations = append(violations, Violation{Seed: seed, Match: m, View: res.View})
+		}
+	}
+	return results, violations, nil
+}
+
+// AlwaysSatisfies sweeps n seeds and returns an error naming the first
+// violating seed, if any. Use it to assert protocol safety.
+func AlwaysSatisfies(cfg Config, n int, pred *predicate.Predicate) error {
+	_, violations, err := Sweep(cfg, n, pred)
+	if err != nil {
+		return err
+	}
+	if len(violations) > 0 {
+		v := violations[0]
+		return fmt.Errorf("seed %d violates the specification with %s",
+			v.Seed, v.Match.String(pred))
+	}
+	return nil
+}
+
+// FindsViolation sweeps up to n seeds and returns the first violation.
+// Use it to show a protocol class is too weak for a specification.
+func FindsViolation(cfg Config, n int, pred *predicate.Predicate) (Violation, bool, error) {
+	for seed := int64(1); seed <= int64(n); seed++ {
+		cfg.Seed = seed
+		res, err := Run(cfg)
+		if err != nil {
+			return Violation{}, false, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		if m, found := check.FindViolation(res.View, pred); found {
+			return Violation{Seed: seed, Match: m, View: res.View}, true, nil
+		}
+	}
+	return Violation{}, false, nil
+}

@@ -1,0 +1,548 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"msgorder/internal/catalog"
+	"msgorder/internal/event"
+	"msgorder/internal/predicate"
+	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/causal"
+	"msgorder/internal/protocols/fifo"
+	"msgorder/internal/protocols/flush"
+	"msgorder/internal/protocols/kweaker"
+	"msgorder/internal/protocols/sync"
+	"msgorder/internal/protocols/tagless"
+)
+
+const (
+	safetySeeds    = 60  // seeds each protocol must satisfy its spec on
+	violationSeeds = 300 // budget for finding a violating seed
+)
+
+func pred(t *testing.T, name string) *predicate.Predicate {
+	t.Helper()
+	e, ok := catalog.ByName(name)
+	if !ok {
+		t.Fatalf("unknown catalog entry %q", name)
+	}
+	return e.Pred
+}
+
+func chainCfg(maker protocol.Maker) Config {
+	return Config{
+		Maker:       maker,
+		Procs:       3,
+		InitialMsgs: 10,
+		ChainBudget: 10,
+		ChainProb:   0.7,
+		DelayMin:    1,
+		DelayMax:    40,
+	}
+}
+
+// --- tagless ---
+
+func TestTaglessAlwaysLiveAndAsync(t *testing.T) {
+	results, _, err := Sweep(chainCfg(tagless.Maker), safetySeeds, pred(t, "causal-b2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.View.InAsync() {
+			t.Fatal("every quiesced run is in X_async")
+		}
+	}
+}
+
+func TestTaglessViolatesFIFO(t *testing.T) {
+	v, found, err := FindsViolation(chainCfg(tagless.Maker), violationSeeds, pred(t, "fifo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("tagless protocol should violate FIFO under some seed")
+	}
+	if v.View.InCO() {
+		t.Error("a FIFO violation is a causal-ordering violation")
+	}
+}
+
+func TestTaglessViolatesCausal(t *testing.T) {
+	_, found, err := FindsViolation(chainCfg(tagless.Maker), violationSeeds, pred(t, "causal-b2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("tagless protocol should violate causal ordering under some seed")
+	}
+}
+
+// --- FIFO ---
+
+func TestFIFOSatisfiesFIFO(t *testing.T) {
+	if err := AlwaysSatisfies(chainCfg(fifo.Maker), safetySeeds, pred(t, "fifo")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOViolatesCausal(t *testing.T) {
+	// Cross-channel relays defeat per-channel sequencing.
+	_, found, err := FindsViolation(chainCfg(fifo.Maker), violationSeeds, pred(t, "causal-b2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("FIFO should violate causal ordering under some seed")
+	}
+}
+
+// --- causal (RST and SES) ---
+
+func TestRSTSatisfiesCausal(t *testing.T) {
+	if err := AlwaysSatisfies(chainCfg(causal.RSTMaker), safetySeeds, pred(t, "causal-b2")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSESSatisfiesCausal(t *testing.T) {
+	if err := AlwaysSatisfies(chainCfg(causal.SESMaker), safetySeeds, pred(t, "causal-b2")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCausalImpliesFIFO(t *testing.T) {
+	for name, maker := range map[string]protocol.Maker{
+		"rst": causal.RSTMaker,
+		"ses": causal.SESMaker,
+	} {
+		if err := AlwaysSatisfies(chainCfg(maker), safetySeeds/2, pred(t, "fifo")); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestCausalViolatesSync(t *testing.T) {
+	// Theorem 4.2's empirical face: causally ordered runs still contain
+	// crowns, so tagging cannot implement logical synchrony.
+	for name, maker := range map[string]protocol.Maker{
+		"rst": causal.RSTMaker,
+		"ses": causal.SESMaker,
+	} {
+		v, found, err := FindsViolation(chainCfg(maker), violationSeeds, pred(t, "sync-2"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !found {
+			t.Fatalf("%s: causal protocol should produce a crown under some seed", name)
+		}
+		if !v.View.InCO() {
+			t.Fatalf("%s: crown witness must still be causally ordered", name)
+		}
+	}
+}
+
+func TestCausalVariantsAgreeOnDeliverability(t *testing.T) {
+	// Both causal implementations must accept exactly X_co; their views
+	// may differ per seed, but both must be causally ordered and live.
+	for seed := int64(1); seed <= 25; seed++ {
+		for name, maker := range map[string]protocol.Maker{
+			"rst": causal.RSTMaker,
+			"ses": causal.SESMaker,
+		} {
+			cfg := chainCfg(maker)
+			cfg.Seed = seed
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if !res.View.InCO() {
+				t.Fatalf("%s seed %d: view not causally ordered", name, seed)
+			}
+		}
+	}
+}
+
+// --- broadcast (the multicast extension) ---
+
+func broadcastCfg(maker protocol.Maker) Config {
+	cfg := chainCfg(maker)
+	cfg.Broadcast = true
+	cfg.Procs = 4
+	cfg.InitialMsgs = 6
+	cfg.ChainBudget = 6
+	return cfg
+}
+
+func TestBSSSatisfiesCausalOnBroadcasts(t *testing.T) {
+	if err := AlwaysSatisfies(broadcastCfg(causal.BSSMaker), safetySeeds, pred(t, "causal-b2")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBSSLiveOnBroadcasts(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		cfg := broadcastCfg(causal.BSSMaker)
+		cfg.Seed = seed
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.View.IsComplete() {
+			t.Fatalf("seed %d: incomplete", seed)
+		}
+	}
+}
+
+func TestTaglessViolatesCausalOnBroadcasts(t *testing.T) {
+	_, found, err := FindsViolation(broadcastCfg(tagless.Maker), violationSeeds, pred(t, "causal-b2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("tagless broadcast should violate causal ordering under some seed")
+	}
+}
+
+func TestRSTHandlesBroadcastWorkloads(t *testing.T) {
+	// RST has no native broadcast; the harness decomposes into unicasts,
+	// and matrix clocks still enforce causal ordering.
+	if err := AlwaysSatisfies(broadcastCfg(causal.RSTMaker), safetySeeds/2, pred(t, "causal-b2")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBSSTagBytesBeatRSTOnBroadcasts(t *testing.T) {
+	total := func(maker protocol.Maker) float64 {
+		cfg := broadcastCfg(maker)
+		cfg.Procs = 8
+		cfg.Seed = 3
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.TagBytesPerUser()
+	}
+	bss, rst := total(causal.BSSMaker), total(causal.RSTMaker)
+	if bss >= rst {
+		t.Fatalf("BSS tag bytes (%.1f) should undercut RST (%.1f) at n=8", bss, rst)
+	}
+}
+
+// --- sync ---
+
+func TestSyncSatisfiesEverything(t *testing.T) {
+	cfg := chainCfg(sync.Maker)
+	for _, spec := range []string{"sync-2", "sync-3", "sync-4", "causal-b2", "fifo"} {
+		if err := AlwaysSatisfies(cfg, safetySeeds/2, pred(t, spec)); err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+	}
+}
+
+func TestSyncRunsAreLogicallySynchronous(t *testing.T) {
+	results, _, err := Sweep(chainCfg(sync.Maker), safetySeeds/2, pred(t, "sync-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.View.InSync() {
+			t.Fatal("sequencer protocol must yield logically synchronous views")
+		}
+		if r.Stats.ControlMessages != 3*r.Stats.UserMessages {
+			t.Fatalf("control overhead = %d for %d user messages, want 3x",
+				r.Stats.ControlMessages, r.Stats.UserMessages)
+		}
+	}
+}
+
+func TestRASatisfiesEverything(t *testing.T) {
+	cfg := chainCfg(sync.RAMaker)
+	for _, spec := range []string{"sync-2", "sync-3", "causal-b2", "fifo"} {
+		if err := AlwaysSatisfies(cfg, safetySeeds/2, pred(t, spec)); err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+	}
+}
+
+func TestRAControlOverheadScalesWithN(t *testing.T) {
+	// RA pays 2(n-1)+1 control messages per user message.
+	for _, procs := range []int{2, 3, 5} {
+		cfg := chainCfg(sync.RAMaker)
+		cfg.Procs = procs
+		cfg.Seed = 1
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2*(procs-1) + 1
+		got := res.Stats.ControlPerUser()
+		if got != float64(want) {
+			t.Fatalf("procs=%d: control/user = %v, want %d", procs, got, want)
+		}
+		if !res.View.InSync() {
+			t.Fatalf("procs=%d: view not logically synchronous", procs)
+		}
+	}
+}
+
+// --- flush ---
+
+func flushCfg() Config {
+	cfg := chainCfg(flush.Maker)
+	// Red = forward flush; plain = ordinary.
+	cfg.Colors = []event.Color{
+		event.ColorNone, event.ColorNone, event.ColorNone, event.ColorRed,
+	}
+	return cfg
+}
+
+func TestFlushSatisfiesLocalForwardFlush(t *testing.T) {
+	if err := AlwaysSatisfies(flushCfg(), safetySeeds, pred(t, "local-forward-flush")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushOrdinaryMessagesMayReorder(t *testing.T) {
+	// Flush channels are weaker than FIFO: ordinary messages may overtake
+	// each other.
+	_, found, err := FindsViolation(flushCfg(), violationSeeds, pred(t, "fifo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("flush protocol should reorder ordinary messages under some seed")
+	}
+}
+
+func TestFlushBackwardBarrier(t *testing.T) {
+	// Blue = backward flush: later sends on the channel must trail it.
+	// Specification: forbidden x (blue), y : x.s -> y.s (same channel) &&
+	// y.r -> x.r.
+	spec := predicate.MustParse(`x, y :
+		process(x.s) == process(y.s) && process(x.r) == process(y.r) && color(x) == blue :
+		x.s -> y.s && y.r -> x.r`)
+	cfg := chainCfg(flush.Maker)
+	cfg.Colors = []event.Color{event.ColorNone, event.ColorNone, event.ColorBlue}
+	if err := AlwaysSatisfies(cfg, safetySeeds, spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushTwoWay(t *testing.T) {
+	// Green = two-way flush: acts as both barrier and forward flush.
+	forward := predicate.MustParse(`x, y :
+		process(x.s) == process(y.s) && process(x.r) == process(y.r) && color(y) == green :
+		x.s -> y.s && y.r -> x.r`)
+	backward := predicate.MustParse(`x, y :
+		process(x.s) == process(y.s) && process(x.r) == process(y.r) && color(x) == green :
+		x.s -> y.s && y.r -> x.r`)
+	cfg := chainCfg(flush.Maker)
+	cfg.Colors = []event.Color{event.ColorNone, event.ColorNone, event.ColorGreen}
+	for name, spec := range map[string]*predicate.Predicate{
+		"forward": forward, "backward": backward,
+	} {
+		if err := AlwaysSatisfies(cfg, safetySeeds/2, spec); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestGlobalFlushNeedsMoreThanChannelFlush(t *testing.T) {
+	// The per-channel flush protocol does not implement the GLOBAL
+	// forward-flush specification: a red marker can be outrun through a
+	// relay on another channel.
+	cfg := flushCfg()
+	cfg.Procs = 3
+	cfg.InitialMsgs = 12
+	cfg.ChainBudget = 12
+	cfg.ChainProb = 0.8
+	_, found, err := FindsViolation(cfg, violationSeeds, pred(t, "global-forward-flush"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("channel-local flush should violate the global flush spec under some seed")
+	}
+}
+
+func TestCausalOrderingImpliesGlobalFlush(t *testing.T) {
+	// X_co is contained in the global forward-flush specification, so the
+	// RST protocol implements it outright.
+	cfg := chainCfg(causal.RSTMaker)
+	cfg.Colors = []event.Color{
+		event.ColorNone, event.ColorNone, event.ColorNone, event.ColorRed,
+	}
+	if err := AlwaysSatisfies(cfg, safetySeeds, pred(t, "global-forward-flush")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- k-weaker ---
+
+func TestKWeakerSatisfiesChannelSpec(t *testing.T) {
+	for _, k := range []int{0, 1, 2} {
+		cfg := chainCfg(kweaker.Maker(k))
+		cfg.Procs = 2 // concentrate traffic on one channel
+		cfg.InitialMsgs = 14
+		if err := AlwaysSatisfies(cfg, safetySeeds, catalog.KWeakerChannel(k)); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestKWeakerZeroIsFIFO(t *testing.T) {
+	cfg := chainCfg(kweaker.Maker(0))
+	if err := AlwaysSatisfies(cfg, safetySeeds, pred(t, "fifo")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKWeakerOneViolatesFIFO(t *testing.T) {
+	cfg := chainCfg(kweaker.Maker(1))
+	cfg.Procs = 2
+	cfg.InitialMsgs = 14
+	cfg.DelayMax = 60
+	_, found, err := FindsViolation(cfg, violationSeeds, pred(t, "fifo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("k=1 should permit single-step overtaking under some seed")
+	}
+}
+
+// --- harness behaviour ---
+
+func TestDefaultsApplied(t *testing.T) {
+	// A zero config (plus a maker) gets workable defaults.
+	res, err := Run(Config{Maker: tagless.Maker, ChainBudget: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.View.NumProcs() != 3 {
+		t.Fatalf("default procs = %d, want 3", res.View.NumProcs())
+	}
+	if res.Stats.UserMessages < 12 {
+		t.Fatalf("default workload too small: %+v", res.Stats)
+	}
+}
+
+func TestAlwaysSatisfiesReportsSeed(t *testing.T) {
+	err := AlwaysSatisfies(chainCfg(tagless.Maker), violationSeeds, pred(t, "causal-b2"))
+	if err == nil {
+		t.Fatal("tagless must violate causal ordering within the budget")
+	}
+	if !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("error should name the seed: %v", err)
+	}
+}
+
+func TestSweepReturnsViolations(t *testing.T) {
+	results, violations, err := Sweep(chainCfg(tagless.Maker), 50, pred(t, "causal-b2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 50 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if len(violations) == 0 {
+		t.Fatal("expected at least one violation in 50 tagless seeds")
+	}
+	v := violations[0]
+	if v.Seed == 0 || v.View == nil || len(v.Match.Assignment) == 0 {
+		t.Fatalf("violation incomplete: %+v", v)
+	}
+}
+
+func TestFindsViolationExhaustsBudget(t *testing.T) {
+	// The sync protocol never violates anything: the hunt must come back
+	// empty after its budget.
+	_, found, err := FindsViolation(chainCfg(sync.Maker), 5, pred(t, "sync-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatal("sequencer cannot violate sync-2")
+	}
+}
+
+func TestHarnessPropagatesProtocolErrors(t *testing.T) {
+	cfg := chainCfg(func() protocol.Process { return &cheater{} })
+	if _, _, err := Sweep(cfg, 3, pred(t, "fifo")); err == nil {
+		t.Fatal("protocol errors must propagate through Sweep")
+	}
+	if err := AlwaysSatisfies(cfg, 3, pred(t, "fifo")); err == nil {
+		t.Fatal("protocol errors must propagate through AlwaysSatisfies")
+	}
+	if _, _, err := FindsViolation(cfg, 3, pred(t, "fifo")); err == nil {
+		t.Fatal("protocol errors must propagate through FindsViolation")
+	}
+}
+
+// cheater claims tagless but tags.
+type cheater struct{ env protocol.Env }
+
+func (p *cheater) Describe() protocol.Descriptor {
+	return protocol.Descriptor{Name: "cheater", Class: protocol.Tagless}
+}
+func (p *cheater) Init(env protocol.Env) { p.env = env }
+func (p *cheater) OnInvoke(m event.Message) {
+	p.env.Send(protocol.Wire{To: m.To, Kind: protocol.UserWire, Msg: m.ID, Tag: []byte{1}})
+}
+func (p *cheater) OnReceive(w protocol.Wire) {
+	if w.Kind == protocol.UserWire {
+		p.env.Deliver(w.Msg)
+	}
+}
+
+// --- liveness across the board ---
+
+func TestAllProtocolsLive(t *testing.T) {
+	makers := map[string]protocol.Maker{
+		"tagless":   tagless.Maker,
+		"fifo":      fifo.Maker,
+		"rst":       causal.RSTMaker,
+		"ses":       causal.SESMaker,
+		"sync":      sync.Maker,
+		"sync-ra":   sync.RAMaker,
+		"flush":     flush.Maker,
+		"kweaker-1": kweaker.Maker(1),
+	}
+	for name, maker := range makers {
+		cfg := chainCfg(maker)
+		cfg.InitialMsgs = 20
+		cfg.ChainBudget = 20
+		for seed := int64(1); seed <= 15; seed++ {
+			cfg.Seed = seed
+			if _, err := Run(cfg); err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+		}
+	}
+}
+
+// TestSelfMessagesSupported: protocols must stay live when a process
+// sends to itself.
+func TestSelfMessagesSupported(t *testing.T) {
+	makers := map[string]protocol.Maker{
+		"tagless": tagless.Maker,
+		"fifo":    fifo.Maker,
+		"rst":     causal.RSTMaker,
+		"ses":     causal.SESMaker,
+		"sync":    sync.Maker,
+		"sync-ra": sync.RAMaker,
+	}
+	for name, maker := range makers {
+		cfg := chainCfg(maker)
+		cfg.AllowSelf = true
+		cfg.InitialMsgs = 10
+		for seed := int64(1); seed <= 10; seed++ {
+			cfg.Seed = seed
+			if _, err := Run(cfg); err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package dsim
+
+import (
+	"errors"
+	"testing"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/causal"
+	"msgorder/internal/protocols/tagless"
+)
+
+func TestBroadcastFansOut(t *testing.T) {
+	s := New(4, tagless.Maker, WithSeed(1))
+	s.Invoke(0, Request{From: 1, Broadcast: true})
+	res, err := s.MustQuiesce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.View.NumMessages() != 3 {
+		t.Fatalf("messages = %d, want 3 copies", res.View.NumMessages())
+	}
+	for _, m := range res.View.Messages() {
+		if m.From != 1 || m.To == 1 {
+			t.Fatalf("copy %v must go from P1 to another process", m)
+		}
+	}
+}
+
+func TestBroadcastReachesBroadcaster(t *testing.T) {
+	// BSS implements protocol.Broadcaster: all copies share one stamp.
+	s := New(3, causal.BSSMaker, WithSeed(2))
+	s.Invoke(0, Request{From: 0, Broadcast: true})
+	s.Invoke(1, Request{From: 0, Broadcast: true})
+	res, err := s.MustQuiesce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.View.InCO() {
+		t.Fatal("BSS broadcasts must stay causally ordered")
+	}
+	if res.Stats.UserMessages != 4 {
+		t.Fatalf("user messages = %d, want 4", res.Stats.UserMessages)
+	}
+}
+
+func TestBroadcastSingleProcessNoop(t *testing.T) {
+	s := New(1, tagless.Maker)
+	s.Invoke(0, Request{From: 0, Broadcast: true})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.View.NumMessages() != 0 {
+		t.Fatal("broadcast in a single-process system creates no copies")
+	}
+}
+
+func TestBroadcastBadSender(t *testing.T) {
+	s := New(2, tagless.Maker)
+	s.Invoke(0, Request{From: 7, Broadcast: true})
+	if _, err := s.Run(); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v, want ErrProtocol", err)
+	}
+}
+
+// selfDeliverer delivers without a prior send: event-order violation.
+type selfDeliverer struct{ env protocol.Env }
+
+func (p *selfDeliverer) Init(env protocol.Env)    { p.env = env }
+func (p *selfDeliverer) OnInvoke(m event.Message) { p.env.Deliver(m.ID) }
+func (p *selfDeliverer) OnReceive(protocol.Wire)  {}
+
+func TestDeliverBeforeSendRejected(t *testing.T) {
+	s := New(2, func() protocol.Process { return &selfDeliverer{} })
+	s.Invoke(0, Request{From: 0, To: 1})
+	if _, err := s.Run(); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v, want ErrProtocol", err)
+	}
+}
+
+func TestSendBadWireKindRejected(t *testing.T) {
+	bad := func() protocol.Process { return &badKind{} }
+	s := New(2, bad)
+	s.Invoke(0, Request{From: 0, To: 1})
+	if _, err := s.Run(); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v, want ErrProtocol", err)
+	}
+}
+
+type badKind struct{ env protocol.Env }
+
+func (p *badKind) Init(env protocol.Env) { p.env = env }
+func (p *badKind) OnInvoke(m event.Message) {
+	p.env.Send(protocol.Wire{To: m.To, Kind: protocol.WireKind(99), Msg: m.ID})
+}
+func (p *badKind) OnReceive(protocol.Wire) {}
+
+func TestSendOutOfRangeRejected(t *testing.T) {
+	s := New(2, func() protocol.Process { return &badTarget{} })
+	s.Invoke(0, Request{From: 0, To: 1})
+	if _, err := s.Run(); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v, want ErrProtocol", err)
+	}
+}
+
+type badTarget struct{ env protocol.Env }
+
+func (p *badTarget) Init(env protocol.Env) { p.env = env }
+func (p *badTarget) OnInvoke(m event.Message) {
+	p.env.Send(protocol.Wire{To: 9, Kind: protocol.UserWire, Msg: m.ID})
+}
+func (p *badTarget) OnReceive(protocol.Wire) {}
+
+// envProbe checks the env accessors.
+type envProbe struct {
+	env protocol.Env
+	t   *testing.T
+}
+
+func (p *envProbe) Init(env protocol.Env) { p.env = env }
+func (p *envProbe) OnInvoke(m event.Message) {
+	if p.env.NumProcs() != 3 {
+		p.t.Error("NumProcs wrong")
+	}
+	if p.env.Self() != m.From {
+		p.t.Error("Self wrong")
+	}
+	p.env.Send(protocol.Wire{To: m.To, Kind: protocol.UserWire, Msg: m.ID})
+}
+func (p *envProbe) OnReceive(w protocol.Wire) { p.env.Deliver(w.Msg) }
+
+func TestEnvAccessors(t *testing.T) {
+	s := New(3, func() protocol.Process { return &envProbe{t: t} })
+	s.Invoke(0, Request{From: 2, To: 0})
+	if _, err := s.MustQuiesce(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBSSAllSchedulesCausal model-checks BSS: two broadcasts from
+// different senders, every arrival order, all views causally ordered.
+func TestBSSAllSchedulesCausal(t *testing.T) {
+	n, err := Explore(ExploreConfig{
+		Procs: 3,
+		Maker: causal.BSSMaker,
+		Requests: []Request{
+			{From: 0, Broadcast: true},
+			{From: 1, Broadcast: true},
+		},
+	}, func(res *Result) bool {
+		if len(res.Undelivered) > 0 {
+			t.Fatal("liveness lost")
+		}
+		if !res.View.InCO() {
+			t.Fatalf("non-causal BSS view: %v", res.View)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 6 {
+		t.Fatalf("schedules = %d, expected at least 4!/(2!2!)-ish interleavings", n)
+	}
+	t.Logf("explored %d schedules", n)
+}
+
+func TestExploreHookBadRequest(t *testing.T) {
+	// A hook invoking an out-of-range process is rejected.
+	_, err := Explore(ExploreConfig{
+		Procs:    2,
+		Maker:    tagless.Maker,
+		Requests: []Request{{From: 0, To: 1}},
+		MakeHook: func() func(event.ProcID, event.MsgID) []Request {
+			return func(event.ProcID, event.MsgID) []Request {
+				return []Request{{From: 0, To: 9}}
+			}
+		},
+	}, func(*Result) bool { return true })
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v, want ErrProtocol", err)
+	}
+}
+
+func TestExploreCapabilityViolation(t *testing.T) {
+	_, err := Explore(ExploreConfig{
+		Procs:    2,
+		Maker:    func() protocol.Process { return &sneakyTagged{} },
+		Requests: []Request{{From: 0, To: 1}},
+	}, func(*Result) bool { return true })
+	if err == nil {
+		t.Fatal("capability violation must surface in Explore")
+	}
+}
+
+func TestExploreBadRequest(t *testing.T) {
+	_, err := Explore(ExploreConfig{
+		Procs:    2,
+		Maker:    tagless.Maker,
+		Requests: []Request{{From: 9, To: 0}},
+	}, func(*Result) bool { return true })
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v, want ErrProtocol", err)
+	}
+}

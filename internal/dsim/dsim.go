@@ -1,0 +1,378 @@
+// Package dsim is a deterministic discrete-event simulator for
+// message-ordering protocols. All scheduling comes from a seeded PRNG, so
+// every run is exactly reproducible from its seed — the tool used to
+// search for specification violations ("protocol X violates spec Y under
+// seed Z") and to regenerate the paper's figures.
+//
+// The network is reliable but unordered: each wire message is assigned an
+// independent random delay, so later sends routinely overtake earlier
+// ones — the adversary the paper's protocols must tame.
+package dsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+	"msgorder/internal/run"
+	"msgorder/internal/userview"
+)
+
+// Simulation errors.
+var (
+	ErrProtocol = errors.New("dsim: protocol error")
+	ErrLiveness = errors.New("dsim: liveness violation")
+)
+
+// Request asks the harness to invoke a user message. With Broadcast set,
+// To is ignored and one copy is invoked for every other process (the
+// multicast extension); protocols implementing protocol.Broadcaster
+// receive all copies together.
+type Request struct {
+	From, To  event.ProcID
+	Color     event.Color
+	Broadcast bool
+}
+
+// Result is the outcome of a completed simulation.
+type Result struct {
+	System      *run.Run
+	View        *userview.Run
+	Stats       protocol.Stats
+	Undelivered []event.MsgID
+	// Steps is the number of discrete events processed.
+	Steps int
+	// EndTime is the simulated clock at quiescence.
+	EndTime int64
+}
+
+// Option configures a Sim.
+type Option func(*Sim)
+
+// WithSeed sets the PRNG seed (default 1).
+func WithSeed(seed int64) Option {
+	return func(s *Sim) { s.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithDelay sets the inclusive network delay range (default [1, 16]).
+func WithDelay(min, max int64) Option {
+	return func(s *Sim) { s.minDelay, s.maxDelay = min, max }
+}
+
+// WithFIFONetwork makes the network preserve per-channel order (default
+// off: the network reorders freely). Useful as an ablation.
+func WithFIFONetwork() Option {
+	return func(s *Sim) { s.fifoNet = true }
+}
+
+// Sim is one deterministic simulation instance. Not safe for concurrent
+// use.
+type Sim struct {
+	n       int
+	procs   []protocol.Process
+	classes []protocol.Class
+	rec     *protocol.Recorder
+	rng     *rand.Rand
+	queue   itemHeap
+	now     int64
+	seq     int
+	steps   int
+	state   []event.Kind // last executed kind per message
+	err     error
+
+	minDelay, maxDelay int64
+	fifoNet            bool
+	chanClock          map[[2]event.ProcID]int64 // per-channel FIFO frontier
+
+	onDeliver func(p event.ProcID, id event.MsgID) []Request
+}
+
+// New builds a simulator over n processes running the given protocol.
+func New(n int, maker protocol.Maker, opts ...Option) *Sim {
+	s := &Sim{
+		n:         n,
+		rec:       protocol.NewRecorder(n),
+		rng:       rand.New(rand.NewSource(1)),
+		minDelay:  1,
+		maxDelay:  16,
+		chanClock: make(map[[2]event.ProcID]int64),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	for i := 0; i < n; i++ {
+		p := maker()
+		class := protocol.General // undeclared protocols get full power
+		if d, ok := p.(protocol.Describer); ok {
+			class = d.Describe().Class
+		}
+		s.procs = append(s.procs, p)
+		s.classes = append(s.classes, class)
+		p.Init(&env{sim: s, self: event.ProcID(i)})
+	}
+	return s
+}
+
+// OnDeliver installs a workload hook: each delivery may trigger follow-up
+// requests (invoked immediately), enabling causal-chain workloads.
+func (s *Sim) OnDeliver(fn func(p event.ProcID, id event.MsgID) []Request) {
+	s.onDeliver = fn
+}
+
+// Invoke schedules a user request at simulated time at.
+func (s *Sim) Invoke(at int64, req Request) {
+	s.push(at, item{kind: itemInvoke, req: req})
+}
+
+// Run drains the event queue and returns the recorded run. It fails if a
+// protocol violated its capability class or the event-state machine, and
+// reports (without failing) messages never delivered — the caller decides
+// whether that is a liveness bug or an artifact of a truncated workload.
+func (s *Sim) Run() (*Result, error) {
+	for len(s.queue) > 0 {
+		it := heap.Pop(&s.queue).(*queued)
+		s.now = it.at
+		s.steps++
+		switch it.item.kind {
+		case itemInvoke:
+			s.doInvoke(it.item.req)
+		case itemArrival:
+			s.doArrival(it.item.wire)
+		}
+		if s.err != nil {
+			return nil, s.err
+		}
+	}
+	sys, err := s.rec.SystemRun()
+	if err != nil {
+		return nil, fmt.Errorf("%w: recorded run invalid: %v", ErrProtocol, err)
+	}
+	view, err := sys.UsersView()
+	if err != nil {
+		return nil, fmt.Errorf("%w: user view invalid: %v", ErrProtocol, err)
+	}
+	return &Result{
+		System:      sys,
+		View:        view,
+		Stats:       s.rec.Stats(),
+		Undelivered: s.rec.Undelivered(),
+		Steps:       s.steps,
+		EndTime:     s.now,
+	}, nil
+}
+
+// MustQuiesce runs the simulation and additionally fails if any invoked
+// message was never delivered (the paper's liveness condition).
+func (s *Sim) MustQuiesce() (*Result, error) {
+	res, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Undelivered) > 0 {
+		return res, fmt.Errorf("%w: %d undelivered messages: %v",
+			ErrLiveness, len(res.Undelivered), res.Undelivered)
+	}
+	return res, nil
+}
+
+func (s *Sim) doInvoke(req Request) {
+	if int(req.From) >= s.n || req.From < 0 {
+		s.fail("invoke with out-of-range process: %+v", req)
+		return
+	}
+	if req.Broadcast {
+		var msgs []event.Message
+		for to := 0; to < s.n; to++ {
+			if event.ProcID(to) == req.From {
+				continue
+			}
+			m := s.rec.NewMessage(req.From, event.ProcID(to), req.Color)
+			s.state = append(s.state, event.Invoke)
+			msgs = append(msgs, m)
+		}
+		if len(msgs) == 0 {
+			return // single-process system: nothing to broadcast
+		}
+		if b, ok := s.procs[req.From].(protocol.Broadcaster); ok {
+			b.OnBroadcast(msgs)
+			return
+		}
+		for _, m := range msgs {
+			s.procs[req.From].OnInvoke(m)
+		}
+		return
+	}
+	if int(req.To) >= s.n || req.To < 0 {
+		s.fail("invoke with out-of-range process: %+v", req)
+		return
+	}
+	m := s.rec.NewMessage(req.From, req.To, req.Color)
+	s.state = append(s.state, event.Invoke)
+	if int(m.ID) != len(s.state)-1 {
+		s.fail("message id skew")
+		return
+	}
+	s.procs[req.From].OnInvoke(m)
+}
+
+func (s *Sim) doArrival(w protocol.Wire) {
+	if w.Kind == protocol.UserWire {
+		if !s.advance(w.Msg, event.Receive) {
+			return
+		}
+		s.rec.RecordReceive(w.Msg)
+	}
+	s.procs[w.To].OnReceive(w)
+}
+
+// advance enforces the per-message event order s* → s → r* → r.
+func (s *Sim) advance(id event.MsgID, k event.Kind) bool {
+	if int(id) >= len(s.state) {
+		s.fail("event for unknown message m%d", id)
+		return false
+	}
+	if s.state[id] != k-1 {
+		s.fail("m%d: %v executed after %v", id, k, s.state[id])
+		return false
+	}
+	s.state[id] = k
+	return true
+}
+
+func (s *Sim) fail(format string, args ...any) {
+	if s.err == nil {
+		s.err = fmt.Errorf("%w: %s", ErrProtocol, fmt.Sprintf(format, args...))
+	}
+}
+
+// failWith preserves the cause's identity for errors.Is matching.
+func (s *Sim) failWith(err error) {
+	if s.err == nil {
+		s.err = fmt.Errorf("%w: %w", ErrProtocol, err)
+	}
+}
+
+func (s *Sim) delay(from, to event.ProcID) int64 {
+	d := s.minDelay
+	if s.maxDelay > s.minDelay {
+		d += s.rng.Int63n(s.maxDelay - s.minDelay + 1)
+	}
+	if !s.fifoNet {
+		return d
+	}
+	// FIFO network: arrival times on a channel are monotone.
+	key := [2]event.ProcID{from, to}
+	at := s.now + d
+	if at <= s.chanClock[key] {
+		at = s.chanClock[key] + 1
+	}
+	s.chanClock[key] = at
+	return at - s.now
+}
+
+// env implements protocol.Env for one process.
+type env struct {
+	sim  *Sim
+	self event.ProcID
+}
+
+var _ protocol.Env = (*env)(nil)
+
+func (e *env) Self() event.ProcID { return e.self }
+func (e *env) NumProcs() int      { return e.sim.n }
+
+func (e *env) Send(w protocol.Wire) {
+	s := e.sim
+	w.From = e.self
+	if int(w.To) >= s.n || w.To < 0 {
+		s.fail("send to out-of-range process %d", w.To)
+		return
+	}
+	if err := protocol.CheckCapability(s.classes[e.self], w); err != nil {
+		s.failWith(fmt.Errorf("P%d: %w", e.self, err))
+		return
+	}
+	switch w.Kind {
+	case protocol.UserWire:
+		if !s.advance(w.Msg, event.Send) {
+			return
+		}
+		s.rec.RecordSend(w.Msg, len(w.Tag))
+	case protocol.ControlWire:
+		s.rec.RecordControl(len(w.Tag))
+	default:
+		s.fail("P%d sent wire with invalid kind %d", e.self, w.Kind)
+		return
+	}
+	s.push(s.now+s.delay(w.From, w.To), item{kind: itemArrival, wire: w})
+}
+
+func (e *env) Deliver(id event.MsgID) {
+	s := e.sim
+	if !s.advance(id, event.Deliver) {
+		return
+	}
+	msg := s.rec.Message(id)
+	if msg.To != e.self {
+		s.fail("P%d delivered m%d addressed to P%d", e.self, id, msg.To)
+		return
+	}
+	s.rec.RecordDeliver(id)
+	if s.onDeliver != nil {
+		for _, req := range s.onDeliver(e.self, id) {
+			s.push(s.now, item{kind: itemInvoke, req: req})
+		}
+	}
+}
+
+// --- event queue ---
+
+type itemKind uint8
+
+const (
+	itemInvoke itemKind = iota + 1
+	itemArrival
+)
+
+type item struct {
+	kind itemKind
+	req  Request
+	wire protocol.Wire
+}
+
+type queued struct {
+	at   int64
+	seq  int
+	item item
+}
+
+type itemHeap []*queued
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x any)   { *h = append(*h, x.(*queued)) }
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+func (s *Sim) push(at int64, it item) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &queued{at: at, seq: s.seq, item: it})
+}

@@ -1,0 +1,203 @@
+package dsim
+
+import (
+	"errors"
+	"testing"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/tagless"
+)
+
+func TestDeterminism(t *testing.T) {
+	runOnce := func() string {
+		s := New(3, tagless.Maker, WithSeed(42))
+		for i := 0; i < 10; i++ {
+			s.Invoke(int64(i), Request{From: event.ProcID(i % 3), To: event.ProcID((i + 1) % 3)})
+		}
+		res, err := s.MustQuiesce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.View.Key()
+	}
+	if runOnce() != runOnce() {
+		t.Fatal("same seed must reproduce the same run")
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	keys := map[string]bool{}
+	for seed := int64(1); seed <= 8; seed++ {
+		s := New(2, tagless.Maker, WithSeed(seed), WithDelay(1, 50))
+		for i := 0; i < 6; i++ {
+			s.Invoke(0, Request{From: 0, To: 1})
+		}
+		res, err := s.MustQuiesce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[res.View.Key()] = true
+	}
+	if len(keys) < 2 {
+		t.Fatal("different seeds should reorder deliveries")
+	}
+}
+
+func TestRecordedRunValid(t *testing.T) {
+	s := New(3, tagless.Maker, WithSeed(7))
+	for i := 0; i < 20; i++ {
+		s.Invoke(int64(i), Request{From: event.ProcID(i % 3), To: event.ProcID((i + 2) % 3)})
+	}
+	res, err := s.MustQuiesce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.View.IsComplete() {
+		t.Error("quiesced run must be complete")
+	}
+	if !res.System.InXu() {
+		t.Error("tagless runs execute requests immediately: must be in X_u")
+	}
+	if res.Stats.UserMessages != 20 || res.Stats.Deliveries != 20 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+	if res.Stats.ControlMessages != 0 || res.Stats.UserTagBytes != 0 {
+		t.Errorf("tagless protocol has no overhead: %+v", res.Stats)
+	}
+	if res.Steps == 0 || res.EndTime == 0 {
+		t.Error("missing step/clock accounting")
+	}
+}
+
+func TestOnDeliverChains(t *testing.T) {
+	s := New(2, tagless.Maker, WithSeed(3))
+	count := 0
+	s.OnDeliver(func(p event.ProcID, _ event.MsgID) []Request {
+		if count >= 5 {
+			return nil
+		}
+		count++
+		return []Request{{From: p, To: 1 - p}}
+	})
+	s.Invoke(0, Request{From: 0, To: 1})
+	res, err := s.MustQuiesce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.View.NumMessages() != 6 {
+		t.Fatalf("messages = %d, want 6 (1 + 5 chained)", res.View.NumMessages())
+	}
+}
+
+func TestFIFONetworkOption(t *testing.T) {
+	// Under a FIFO network even the tagless protocol preserves channel
+	// order.
+	for seed := int64(1); seed <= 30; seed++ {
+		s := New(2, tagless.Maker, WithSeed(seed), WithDelay(1, 50), WithFIFONetwork())
+		for i := 0; i < 8; i++ {
+			s.Invoke(0, Request{From: 0, To: 1})
+		}
+		res, err := s.MustQuiesce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, bad := res.View.FindCOViolation(); bad {
+			t.Fatalf("seed %d: FIFO net produced violation %v", seed, v)
+		}
+	}
+}
+
+func TestInvokeRangeChecked(t *testing.T) {
+	s := New(2, tagless.Maker)
+	s.Invoke(0, Request{From: 0, To: 9})
+	if _, err := s.Run(); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v, want ErrProtocol", err)
+	}
+}
+
+// doubleDeliver delivers every user message twice.
+type doubleDeliver struct{ env protocol.Env }
+
+func (p *doubleDeliver) Init(env protocol.Env) { p.env = env }
+func (p *doubleDeliver) OnInvoke(m event.Message) {
+	p.env.Send(protocol.Wire{To: m.To, Kind: protocol.UserWire, Msg: m.ID})
+}
+func (p *doubleDeliver) OnReceive(w protocol.Wire) {
+	p.env.Deliver(w.Msg)
+	p.env.Deliver(w.Msg)
+}
+
+func TestEventOrderEnforced(t *testing.T) {
+	s := New(2, func() protocol.Process { return &doubleDeliver{} })
+	s.Invoke(0, Request{From: 0, To: 1})
+	if _, err := s.Run(); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v, want ErrProtocol for double delivery", err)
+	}
+}
+
+// sneakyTagged declares itself tagged but sends a control wire.
+type sneakyTagged struct{ env protocol.Env }
+
+func (p *sneakyTagged) Describe() protocol.Descriptor {
+	return protocol.Descriptor{Name: "sneaky", Class: protocol.Tagged}
+}
+func (p *sneakyTagged) Init(env protocol.Env) { p.env = env }
+func (p *sneakyTagged) OnInvoke(m event.Message) {
+	p.env.Send(protocol.Wire{To: m.To, Kind: protocol.ControlWire})
+	p.env.Send(protocol.Wire{To: m.To, Kind: protocol.UserWire, Msg: m.ID})
+}
+func (p *sneakyTagged) OnReceive(w protocol.Wire) {
+	if w.Kind == protocol.UserWire {
+		p.env.Deliver(w.Msg)
+	}
+}
+
+func TestCapabilityEnforced(t *testing.T) {
+	s := New(2, func() protocol.Process { return &sneakyTagged{} })
+	s.Invoke(0, Request{From: 0, To: 1})
+	_, err := s.Run()
+	if !errors.Is(err, protocol.ErrClassViolation) {
+		t.Fatalf("err = %v, want ErrClassViolation", err)
+	}
+}
+
+// dropper never delivers.
+type dropper struct{ env protocol.Env }
+
+func (p *dropper) Init(env protocol.Env) { p.env = env }
+func (p *dropper) OnInvoke(m event.Message) {
+	p.env.Send(protocol.Wire{To: m.To, Kind: protocol.UserWire, Msg: m.ID})
+}
+func (p *dropper) OnReceive(protocol.Wire) {}
+
+func TestLivenessViolationDetected(t *testing.T) {
+	s := New(2, func() protocol.Process { return &dropper{} })
+	s.Invoke(0, Request{From: 0, To: 1})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Undelivered) != 1 {
+		t.Fatalf("undelivered = %v, want one entry", res.Undelivered)
+	}
+	if _, err := (func() (*Result, error) {
+		s2 := New(2, func() protocol.Process { return &dropper{} })
+		s2.Invoke(0, Request{From: 0, To: 1})
+		return s2.MustQuiesce()
+	})(); !errors.Is(err, ErrLiveness) {
+		t.Fatalf("err = %v, want ErrLiveness", err)
+	}
+}
+
+func TestSelfMessage(t *testing.T) {
+	s := New(2, tagless.Maker, WithSeed(1))
+	s.Invoke(0, Request{From: 1, To: 1})
+	res, err := s.MustQuiesce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.View.IsComplete() {
+		t.Error("self message must round-trip")
+	}
+}

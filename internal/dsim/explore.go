@@ -1,0 +1,316 @@
+package dsim
+
+import (
+	"errors"
+	"fmt"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+)
+
+// ErrExploreLimit reports that exploration was truncated by MaxRuns.
+var ErrExploreLimit = errors.New("dsim: exploration truncated by run limit")
+
+// ExploreConfig drives an exhaustive schedule search: the same protocol
+// and workload are replayed under every possible network arrival order.
+// Invokes execute eagerly in submission order; the only nondeterminism is
+// which in-flight wire arrives next. This turns seed-based violation
+// hunting into small-scope model checking: if no schedule violates a
+// specification, none exists for that workload.
+type ExploreConfig struct {
+	// Procs is the number of processes.
+	Procs int
+	// Maker builds the protocol under test (fresh instances per replay).
+	Maker protocol.Maker
+	// Requests are the initial user invocations, executed in order.
+	Requests []Request
+	// MakeHook, when non-nil, builds a fresh per-replay delivery hook for
+	// causal-chain workloads. It must be deterministic so replays agree.
+	MakeHook func() func(p event.ProcID, id event.MsgID) []Request
+	// MaxRuns bounds the number of complete schedules visited
+	// (default 100000). Exceeding it returns ErrExploreLimit.
+	MaxRuns int
+}
+
+// Explore enumerates every arrival order, calling visit with each
+// completed run. visit returning false stops the search early (not an
+// error). Returns the number of schedules visited.
+func Explore(cfg ExploreConfig, visit func(*Result) bool) (int, error) {
+	if cfg.Procs <= 0 || cfg.Maker == nil {
+		return 0, fmt.Errorf("%w: bad config", ErrProtocol)
+	}
+	if cfg.MaxRuns == 0 {
+		cfg.MaxRuns = 100000
+	}
+	e := &explorer{cfg: cfg, visit: visit}
+	err := e.dfs(nil)
+	if err != nil {
+		return e.count, err
+	}
+	if e.truncated {
+		return e.count, ErrExploreLimit
+	}
+	return e.count, nil
+}
+
+type explorer struct {
+	cfg       ExploreConfig
+	visit     func(*Result) bool
+	count     int
+	stopped   bool
+	truncated bool
+	script    []int
+}
+
+func (e *explorer) dfs(script []int) error {
+	if e.stopped {
+		return nil
+	}
+	fanout, res, err := e.replay(script)
+	if err != nil {
+		return err
+	}
+	if res != nil {
+		e.count++
+		if e.count >= e.cfg.MaxRuns {
+			e.truncated = true
+			e.stopped = true
+		}
+		if !e.visit(res) {
+			e.stopped = true
+		}
+		return nil
+	}
+	for i := 0; i < fanout && !e.stopped; i++ {
+		if err := e.dfs(append(script, i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replay executes the workload following the script of arrival choices.
+// If the script ends at a choice point, it returns the fanout; if the
+// run completes, it returns the Result.
+func (e *explorer) replay(script []int) (int, *Result, error) {
+	st := newReplayState(e.cfg)
+	if st.hook == nil && e.cfg.MakeHook != nil {
+		st.hook = e.cfg.MakeHook()
+	}
+	for _, req := range e.cfg.Requests {
+		st.invoke(req)
+		if st.err != nil {
+			return 0, nil, st.err
+		}
+	}
+	pos := 0
+	for {
+		if len(st.inFlight) == 0 {
+			break
+		}
+		if pos == len(script) {
+			return len(st.inFlight), nil, nil
+		}
+		i := script[pos]
+		pos++
+		if i >= len(st.inFlight) {
+			return 0, nil, fmt.Errorf("%w: script index out of range", ErrProtocol)
+		}
+		w := st.inFlight[i]
+		st.inFlight = append(st.inFlight[:i], st.inFlight[i+1:]...)
+		st.arrive(w)
+		if st.err != nil {
+			return 0, nil, st.err
+		}
+	}
+	sys, err := st.rec.SystemRun()
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: recorded run invalid: %v", ErrProtocol, err)
+	}
+	view, err := sys.UsersView()
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: user view invalid: %v", ErrProtocol, err)
+	}
+	return 0, &Result{
+		System:      sys,
+		View:        view,
+		Stats:       st.rec.Stats(),
+		Undelivered: st.rec.Undelivered(),
+		Steps:       st.steps,
+	}, nil
+}
+
+// replayState is the lightweight single-threaded harness used by replay.
+type replayState struct {
+	n        int
+	procs    []protocol.Process
+	classes  []protocol.Class
+	rec      *protocol.Recorder
+	inFlight []protocol.Wire
+	state    []event.Kind
+	steps    int
+	err      error
+	hook     func(p event.ProcID, id event.MsgID) []Request
+	// pending holds hook-triggered invokes, executed after the current
+	// handler returns (matching the Sim and live-network semantics).
+	pending []Request
+}
+
+func newReplayState(cfg ExploreConfig) *replayState {
+	st := &replayState{
+		n:   cfg.Procs,
+		rec: protocol.NewRecorder(cfg.Procs),
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		p := cfg.Maker()
+		class := protocol.General
+		if d, ok := p.(protocol.Describer); ok {
+			class = d.Describe().Class
+		}
+		st.procs = append(st.procs, p)
+		st.classes = append(st.classes, class)
+		p.Init(&replayEnv{st: st, self: event.ProcID(i)})
+	}
+	return st
+}
+
+func (st *replayState) fail(format string, args ...any) {
+	if st.err == nil {
+		st.err = fmt.Errorf("%w: %s", ErrProtocol, fmt.Sprintf(format, args...))
+	}
+}
+
+func (st *replayState) advance(id event.MsgID, k event.Kind) bool {
+	if int(id) >= len(st.state) {
+		st.fail("event for unknown message m%d", id)
+		return false
+	}
+	if st.state[id] != k-1 {
+		st.fail("m%d: %v executed after %v", id, k, st.state[id])
+		return false
+	}
+	st.state[id] = k
+	return true
+}
+
+func (st *replayState) invoke(req Request) {
+	if int(req.From) >= st.n || req.From < 0 {
+		st.fail("invoke with out-of-range process: %+v", req)
+		return
+	}
+	if req.Broadcast {
+		var msgs []event.Message
+		for to := 0; to < st.n; to++ {
+			if event.ProcID(to) == req.From {
+				continue
+			}
+			m := st.rec.NewMessage(req.From, event.ProcID(to), req.Color)
+			st.state = append(st.state, event.Invoke)
+			msgs = append(msgs, m)
+		}
+		st.steps++
+		if len(msgs) == 0 {
+			return
+		}
+		if b, ok := st.procs[req.From].(protocol.Broadcaster); ok {
+			b.OnBroadcast(msgs)
+		} else {
+			for _, m := range msgs {
+				st.procs[req.From].OnInvoke(m)
+			}
+		}
+		st.drainPending()
+		return
+	}
+	if int(req.To) >= st.n || req.To < 0 {
+		st.fail("invoke with out-of-range process: %+v", req)
+		return
+	}
+	m := st.rec.NewMessage(req.From, req.To, req.Color)
+	st.state = append(st.state, event.Invoke)
+	st.steps++
+	st.procs[req.From].OnInvoke(m)
+	st.drainPending()
+}
+
+func (st *replayState) arrive(w protocol.Wire) {
+	st.steps++
+	if w.Kind == protocol.UserWire {
+		if !st.advance(w.Msg, event.Receive) {
+			return
+		}
+		st.rec.RecordReceive(w.Msg)
+	}
+	st.procs[w.To].OnReceive(w)
+	st.drainPending()
+}
+
+// drainPending executes hook-triggered invokes accumulated during the
+// last handler, including those triggered transitively.
+func (st *replayState) drainPending() {
+	for len(st.pending) > 0 && st.err == nil {
+		req := st.pending[0]
+		st.pending = st.pending[1:]
+		m := st.rec.NewMessage(req.From, req.To, req.Color)
+		st.state = append(st.state, event.Invoke)
+		st.steps++
+		st.procs[req.From].OnInvoke(m)
+	}
+}
+
+type replayEnv struct {
+	st   *replayState
+	self event.ProcID
+}
+
+var _ protocol.Env = (*replayEnv)(nil)
+
+func (e *replayEnv) Self() event.ProcID { return e.self }
+func (e *replayEnv) NumProcs() int      { return e.st.n }
+
+func (e *replayEnv) Send(w protocol.Wire) {
+	st := e.st
+	w.From = e.self
+	if int(w.To) < 0 || int(w.To) >= st.n {
+		st.fail("send to out-of-range process %d", w.To)
+		return
+	}
+	if err := protocol.CheckCapability(st.classes[e.self], w); err != nil {
+		st.fail("P%d: %v", e.self, err)
+		return
+	}
+	switch w.Kind {
+	case protocol.UserWire:
+		if !st.advance(w.Msg, event.Send) {
+			return
+		}
+		st.rec.RecordSend(w.Msg, len(w.Tag))
+	case protocol.ControlWire:
+		st.rec.RecordControl(len(w.Tag))
+	default:
+		st.fail("P%d sent wire with invalid kind", e.self)
+		return
+	}
+	st.inFlight = append(st.inFlight, w)
+}
+
+func (e *replayEnv) Deliver(id event.MsgID) {
+	st := e.st
+	if !st.advance(id, event.Deliver) {
+		return
+	}
+	if st.rec.Message(id).To != e.self {
+		st.fail("P%d delivered m%d not addressed to it", e.self, id)
+		return
+	}
+	st.rec.RecordDeliver(id)
+	if st.hook != nil {
+		for _, req := range st.hook(e.self, id) {
+			if int(req.From) >= st.n || int(req.To) >= st.n || req.From < 0 || req.To < 0 {
+				st.fail("hook invoke with out-of-range process: %+v", req)
+				return
+			}
+			st.pending = append(st.pending, req)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package dsim
+
+import (
+	"errors"
+	"testing"
+
+	"msgorder/internal/catalog"
+	"msgorder/internal/check"
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/causal"
+	"msgorder/internal/protocols/fifo"
+	syncproto "msgorder/internal/protocols/sync"
+	"msgorder/internal/protocols/tagless"
+)
+
+func fifoPred(t *testing.T) *catalogPred { return catPred(t, "fifo") }
+
+type catalogPred = catalog.Entry
+
+func catPred(t *testing.T, name string) *catalog.Entry {
+	t.Helper()
+	e, ok := catalog.ByName(name)
+	if !ok {
+		t.Fatalf("missing %s", name)
+	}
+	return &e
+}
+
+func TestExploreCountsSchedules(t *testing.T) {
+	// Two messages on one channel under tagless transport: the two
+	// arrival orders give two distinct runs.
+	n, err := Explore(ExploreConfig{
+		Procs: 2,
+		Maker: tagless.Maker,
+		Requests: []Request{
+			{From: 0, To: 1},
+			{From: 0, To: 1},
+		},
+	}, func(*Result) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("schedules = %d, want 2", n)
+	}
+}
+
+// TestTaglessViolatesFIFOInSomeSchedule upgrades the seed hunt to a
+// proof-by-enumeration: among ALL schedules of two same-channel messages,
+// one violates FIFO.
+func TestTaglessViolatesFIFOInSomeSchedule(t *testing.T) {
+	e := fifoPred(t)
+	found := false
+	_, err := Explore(ExploreConfig{
+		Procs: 2,
+		Maker: tagless.Maker,
+		Requests: []Request{
+			{From: 0, To: 1},
+			{From: 0, To: 1},
+		},
+	}, func(res *Result) bool {
+		if _, bad := check.FindViolation(res.View, e.Pred); bad {
+			found = true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("no schedule violates FIFO — the adversary lost power")
+	}
+}
+
+// TestFIFOSafeInAllSchedules: the FIFO protocol withstands every arrival
+// order — exhaustive, not probabilistic.
+func TestFIFOSafeInAllSchedules(t *testing.T) {
+	e := fifoPred(t)
+	n, err := Explore(ExploreConfig{
+		Procs: 2,
+		Maker: fifo.Maker,
+		Requests: []Request{
+			{From: 0, To: 1},
+			{From: 0, To: 1},
+			{From: 0, To: 1},
+		},
+	}, func(res *Result) bool {
+		if len(res.Undelivered) > 0 {
+			t.Fatal("liveness lost")
+		}
+		if m, bad := check.FindViolation(res.View, e.Pred); bad {
+			t.Fatalf("FIFO violated: %s", m.String(e.Pred))
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 { // 3! arrival orders
+		t.Fatalf("schedules = %d, want 6", n)
+	}
+}
+
+// TestRSTCausalInAllSchedules model-checks the triangle workload: P0
+// fires at P2 and P1; P1's delivery triggers a relay to P2. Every
+// schedule must stay causally ordered and live.
+func TestRSTCausalInAllSchedules(t *testing.T) {
+	for name, maker := range map[string]protocol.Maker{
+		"rst": causal.RSTMaker,
+		"ses": causal.SESMaker,
+	} {
+		e := catPred(t, "causal-b2")
+		n, err := Explore(ExploreConfig{
+			Procs: 3,
+			Maker: maker,
+			Requests: []Request{
+				{From: 0, To: 2},
+				{From: 0, To: 1},
+			},
+			MakeHook: func() func(event.ProcID, event.MsgID) []Request {
+				fired := false
+				return func(p event.ProcID, _ event.MsgID) []Request {
+					if p != 1 || fired {
+						return nil
+					}
+					fired = true
+					return []Request{{From: 1, To: 2}}
+				}
+			},
+		}, func(res *Result) bool {
+			if len(res.Undelivered) > 0 {
+				t.Fatalf("%s: liveness lost", name)
+			}
+			if m, bad := check.FindViolation(res.View, e.Pred); bad {
+				t.Fatalf("%s: causal ordering violated: %s", name, m.String(e.Pred))
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatalf("%s: no schedules explored", name)
+		}
+	}
+}
+
+// TestTaglessTriangleViolatesCausal: the same triangle under tagless
+// transport violates causal ordering in at least one schedule.
+func TestTaglessTriangleViolatesCausal(t *testing.T) {
+	e := catPred(t, "causal-b2")
+	found := false
+	_, err := Explore(ExploreConfig{
+		Procs: 3,
+		Maker: tagless.Maker,
+		Requests: []Request{
+			{From: 0, To: 2},
+			{From: 0, To: 1},
+		},
+		MakeHook: func() func(event.ProcID, event.MsgID) []Request {
+			fired := false
+			return func(p event.ProcID, _ event.MsgID) []Request {
+				if p != 1 || fired {
+					return nil
+				}
+				fired = true
+				return []Request{{From: 1, To: 2}}
+			}
+		},
+	}, func(res *Result) bool {
+		if _, bad := check.FindViolation(res.View, e.Pred); bad {
+			found = true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("triangle workload must violate causal ordering in some schedule")
+	}
+}
+
+// TestSyncAllSchedulesSynchronous model-checks the sequencer: every
+// arrival order of a two-message workload stays in X_sync.
+func TestSyncAllSchedulesSynchronous(t *testing.T) {
+	n, err := Explore(ExploreConfig{
+		Procs: 3,
+		Maker: syncproto.Maker,
+		Requests: []Request{
+			{From: 1, To: 2},
+			{From: 2, To: 1},
+		},
+	}, func(res *Result) bool {
+		if len(res.Undelivered) > 0 {
+			t.Fatal("liveness lost")
+		}
+		if !res.View.InSync() {
+			t.Fatalf("non-synchronous view under schedule:\n%v", res.View)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no schedules explored")
+	}
+	t.Logf("explored %d schedules", n)
+}
+
+func TestExploreRunLimit(t *testing.T) {
+	_, err := Explore(ExploreConfig{
+		Procs:   2,
+		Maker:   tagless.Maker,
+		MaxRuns: 3,
+		Requests: []Request{
+			{From: 0, To: 1}, {From: 0, To: 1}, {From: 0, To: 1}, {From: 0, To: 1},
+		},
+	}, func(*Result) bool { return true })
+	if !errors.Is(err, ErrExploreLimit) {
+		t.Fatalf("err = %v, want ErrExploreLimit", err)
+	}
+}
+
+func TestExploreEarlyStopNotError(t *testing.T) {
+	calls := 0
+	n, err := Explore(ExploreConfig{
+		Procs: 2,
+		Maker: tagless.Maker,
+		Requests: []Request{
+			{From: 0, To: 1}, {From: 0, To: 1}, {From: 0, To: 1},
+		},
+	}, func(*Result) bool {
+		calls++
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || calls != 1 {
+		t.Fatalf("n = %d calls = %d, want 1/1", n, calls)
+	}
+}
+
+func TestExploreBadConfig(t *testing.T) {
+	if _, err := Explore(ExploreConfig{}, func(*Result) bool { return true }); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v, want ErrProtocol", err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package event defines the four-event message model of Murty & Garg:
+// every user message x consists of the system events invoke (x.s*),
+// send (x.s), receive (x.r*), and deliver (x.r). The user only observes
+// send and deliver; protocols act by inhibiting the controllable events
+// send and deliver.
+package event
+
+import "fmt"
+
+// ProcID identifies a process. Processes are numbered 0..n-1.
+type ProcID int
+
+// MsgID identifies a message within a run. Messages are numbered 0..m-1.
+type MsgID int
+
+// Color is an optional message attribute used by guarded specifications
+// (e.g. "red marker messages" in flush orderings). The zero value is
+// ColorNone.
+type Color int
+
+// Message colors. Specifications may constrain variables to a color.
+const (
+	ColorNone Color = iota
+	ColorRed
+	ColorBlue
+	ColorGreen
+)
+
+// String returns the lowercase color name.
+func (c Color) String() string {
+	switch c {
+	case ColorNone:
+		return "none"
+	case ColorRed:
+		return "red"
+	case ColorBlue:
+		return "blue"
+	case ColorGreen:
+		return "green"
+	default:
+		return fmt.Sprintf("color(%d)", int(c))
+	}
+}
+
+// ParseColor maps a color name to its Color, reporting ok=false for
+// unknown names.
+func ParseColor(s string) (Color, bool) {
+	switch s {
+	case "none":
+		return ColorNone, true
+	case "red":
+		return ColorRed, true
+	case "blue":
+		return ColorBlue, true
+	case "green":
+		return ColorGreen, true
+	default:
+		return ColorNone, false
+	}
+}
+
+// Kind distinguishes the four system events of a message.
+type Kind uint8
+
+// The four system events, in the order they occur for a single message.
+const (
+	Invoke  Kind = iota + 1 // x.s*: the user requests the send
+	Send                    // x.s : the protocol releases the message
+	Receive                 // x.r*: the message arrives at the destination
+	Deliver                 // x.r : the protocol hands it to the user
+)
+
+// String returns the paper's notation for the event kind.
+func (k Kind) String() string {
+	switch k {
+	case Invoke:
+		return "s*"
+	case Send:
+		return "s"
+	case Receive:
+		return "r*"
+	case Deliver:
+		return "r"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// UserVisible reports whether the kind survives the user's-view projection
+// (only send and deliver do).
+func (k Kind) UserVisible() bool { return k == Send || k == Deliver }
+
+// SenderSide reports whether the event occurs at the sending process.
+func (k Kind) SenderSide() bool { return k == Invoke || k == Send }
+
+// Valid reports whether k is one of the four defined kinds.
+func (k Kind) Valid() bool { return k >= Invoke && k <= Deliver }
+
+// Message carries the immutable attributes of a user message.
+type Message struct {
+	ID    MsgID
+	From  ProcID // sending process
+	To    ProcID // destination process
+	Color Color
+}
+
+// String renders the message as "m3(P0->P1)".
+func (m Message) String() string {
+	s := fmt.Sprintf("m%d(P%d->P%d)", m.ID, m.From, m.To)
+	if m.Color != ColorNone {
+		s += ":" + m.Color.String()
+	}
+	return s
+}
+
+// Event is a system event: one of the four kinds of one message.
+type Event struct {
+	Msg  MsgID
+	Kind Kind
+}
+
+// E is shorthand for constructing an Event.
+func E(m MsgID, k Kind) Event { return Event{Msg: m, Kind: k} }
+
+// String renders the event as "m3.s*".
+func (e Event) String() string { return fmt.Sprintf("m%d.%s", e.Msg, e.Kind) }
+
+// Proc returns the process at which the event occurs, given the message's
+// endpoints.
+func (e Event) Proc(m Message) ProcID {
+	if e.Kind.SenderSide() {
+		return m.From
+	}
+	return m.To
+}
+
+// Index packs an event into a dense integer 4*msg+offset, suitable for
+// poset node ids. Offsets follow temporal order: s*=0, s=1, r*=2, r=3.
+func (e Event) Index() int { return 4*int(e.Msg) + int(e.Kind-Invoke) }
+
+// FromIndex is the inverse of Index.
+func FromIndex(i int) Event {
+	return Event{Msg: MsgID(i / 4), Kind: Kind(i%4) + Invoke}
+}
+
+// UserIndex packs a user-visible event into 2*msg+offset (send=0,
+// deliver=1). It must only be called on Send or Deliver events.
+func (e Event) UserIndex() int {
+	off := 0
+	if e.Kind == Deliver {
+		off = 1
+	}
+	return 2*int(e.Msg) + off
+}
+
+// FromUserIndex is the inverse of UserIndex.
+func FromUserIndex(i int) Event {
+	k := Send
+	if i%2 == 1 {
+		k = Deliver
+	}
+	return Event{Msg: MsgID(i / 2), Kind: k}
+}

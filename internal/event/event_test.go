@@ -1,0 +1,131 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		want string
+	}{
+		{Invoke, "s*"},
+		{Send, "s"},
+		{Receive, "r*"},
+		{Deliver, "r"},
+		{Kind(9), "kind(9)"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", c.k, got, c.want)
+		}
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !Send.UserVisible() || !Deliver.UserVisible() {
+		t.Error("send and deliver must be user visible")
+	}
+	if Invoke.UserVisible() || Receive.UserVisible() {
+		t.Error("invoke and receive must not be user visible")
+	}
+	if !Invoke.SenderSide() || !Send.SenderSide() {
+		t.Error("invoke and send are sender side")
+	}
+	if Receive.SenderSide() || Deliver.SenderSide() {
+		t.Error("receive and deliver are receiver side")
+	}
+	for k := Invoke; k <= Deliver; k++ {
+		if !k.Valid() {
+			t.Errorf("%v should be valid", k)
+		}
+	}
+	if Kind(0).Valid() || Kind(5).Valid() {
+		t.Error("0 and 5 are invalid kinds")
+	}
+}
+
+func TestEventProc(t *testing.T) {
+	m := Message{ID: 1, From: 3, To: 7}
+	if got := E(1, Invoke).Proc(m); got != 3 {
+		t.Errorf("invoke proc = %d, want 3", got)
+	}
+	if got := E(1, Send).Proc(m); got != 3 {
+		t.Errorf("send proc = %d, want 3", got)
+	}
+	if got := E(1, Receive).Proc(m); got != 7 {
+		t.Errorf("receive proc = %d, want 7", got)
+	}
+	if got := E(1, Deliver).Proc(m); got != 7 {
+		t.Errorf("deliver proc = %d, want 7", got)
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	f := func(msg uint8, kindRaw uint8) bool {
+		k := Kind(kindRaw%4) + Invoke
+		e := E(MsgID(msg), k)
+		return FromIndex(e.Index()) == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexOrderWithinMessage(t *testing.T) {
+	// Index must respect the temporal order s* < s < r* < r.
+	for m := MsgID(0); m < 3; m++ {
+		prev := -1
+		for k := Invoke; k <= Deliver; k++ {
+			i := E(m, k).Index()
+			if i <= prev {
+				t.Fatalf("index not increasing for m%d.%v", m, k)
+			}
+			prev = i
+		}
+	}
+}
+
+func TestUserIndexRoundTrip(t *testing.T) {
+	f := func(msg uint8, deliver bool) bool {
+		k := Send
+		if deliver {
+			k = Deliver
+		}
+		e := E(MsgID(msg), k)
+		return FromUserIndex(e.UserIndex()) == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	m := Message{ID: 3, From: 0, To: 1}
+	if got := m.String(); got != "m3(P0->P1)" {
+		t.Errorf("Message.String() = %q", got)
+	}
+	m.Color = ColorRed
+	if got := m.String(); got != "m3(P0->P1):red" {
+		t.Errorf("colored Message.String() = %q", got)
+	}
+	if got := E(3, Invoke).String(); got != "m3.s*" {
+		t.Errorf("Event.String() = %q", got)
+	}
+}
+
+func TestParseColor(t *testing.T) {
+	for _, c := range []Color{ColorNone, ColorRed, ColorBlue, ColorGreen} {
+		got, ok := ParseColor(c.String())
+		if !ok || got != c {
+			t.Errorf("ParseColor(%q) = %v,%v", c.String(), got, ok)
+		}
+	}
+	if _, ok := ParseColor("magenta"); ok {
+		t.Error("ParseColor should reject unknown names")
+	}
+	if Color(9).String() != "color(9)" {
+		t.Error("unknown color string")
+	}
+}

@@ -1,0 +1,371 @@
+// Package inhib mechanizes Section 3.2 of the paper: the denotational
+// model of inhibitory protocols. A protocol is a function from runs to
+// enabled controllable events per process; the set of runs possible under
+// it, X_P, is generated inductively by executing one enabled event at a
+// time. Over bounded message universes the package computes X_P exactly,
+// checks the paper's liveness condition, decides mechanically whether a
+// protocol meets the tagless or tagged information conditions
+// (P_i depends only on the local history / the causal past), and verifies
+// the Lemma 2 lower bounds X_u ⊆ X_P, X_td ⊆ X_P, X_gn ⊆ X_P.
+package inhib
+
+import (
+	"errors"
+	"fmt"
+
+	"msgorder/internal/event"
+	"msgorder/internal/run"
+)
+
+// Protocol is the denotational protocol of the paper: given the current
+// run, the subset of process i's controllable events (pending sends and
+// deliveries) it enables. Uncontrollable events (invokes and receives)
+// are always enabled by the model itself.
+type Protocol interface {
+	// Enabled returns the enabled controllable events of process i in h.
+	// It must be a subset of h.Controllable(i).
+	Enabled(h *run.Run, i event.ProcID) []event.Event
+	// Name labels the protocol in diagnostics.
+	Name() string
+}
+
+// Exploration errors.
+var (
+	ErrNotLive   = errors.New("inhib: protocol violates the liveness condition")
+	ErrBadEnable = errors.New("inhib: protocol enabled a non-controllable event")
+	ErrTooLarge  = errors.New("inhib: state space exceeds the exploration limit")
+)
+
+// Result is the exhaustive exploration of X_P over one message universe.
+type Result struct {
+	// Reachable holds every reachable run, keyed for dedup.
+	Reachable []*run.Run
+	// Complete holds the quiescent complete runs (the protocol's
+	// characteristic set restricted to this universe).
+	Complete []*run.Run
+}
+
+// maxStates bounds the exploration.
+const maxStates = 250000
+
+// Explore computes every run reachable under the protocol for the fixed
+// message universe, enforcing the paper's protocol axioms:
+//
+//	P1: I and R events are always enabled; enabled ⊆ I ∪ R ∪ C,
+//	Liveness: whenever R ∪ C ≠ ∅ the enabled set intersects it.
+func Explore(p Protocol, msgs []event.Message, nProcs int) (*Result, error) {
+	empty, err := run.New(msgs, make([][]event.Event, nProcs))
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	seen := map[string]bool{}
+	queue := []*run.Run{empty}
+	seen[key(empty)] = true
+	for len(queue) > 0 {
+		if len(seen) > maxStates {
+			return nil, ErrTooLarge
+		}
+		h := queue[0]
+		queue = queue[1:]
+		res.Reachable = append(res.Reachable, h)
+
+		enabled, err := enabledEvents(p, h, nProcs)
+		if err != nil {
+			return nil, err
+		}
+		if len(enabled) == 0 {
+			if quiescentComplete(h) {
+				res.Complete = append(res.Complete, h)
+			} else if pendingWork(h, nProcs) {
+				return nil, fmt.Errorf("%w: %s stuck at %v", ErrNotLive, p.Name(), h)
+			}
+			continue
+		}
+		for _, e := range enabled {
+			g, err := extend(h, e)
+			if err != nil {
+				return nil, err
+			}
+			k := key(g)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			queue = append(queue, g)
+		}
+	}
+	return res, nil
+}
+
+// enabledEvents is I ∪ R ∪ (protocol's enabled C events), validated.
+func enabledEvents(p Protocol, h *run.Run, nProcs int) ([]event.Event, error) {
+	var out []event.Event
+	anyRC := false
+	enabledRC := false
+	for i := 0; i < nProcs; i++ {
+		pid := event.ProcID(i)
+		out = append(out, h.NotInvoked(pid)...)
+		recv := h.ReceivePending(pid)
+		out = append(out, recv...)
+		if len(recv) > 0 {
+			anyRC, enabledRC = true, true
+		}
+		ctrl := h.Controllable(pid)
+		if len(ctrl) > 0 {
+			anyRC = true
+		}
+		allowed := make(map[event.Event]bool, len(ctrl))
+		for _, e := range ctrl {
+			allowed[e] = true
+		}
+		for _, e := range p.Enabled(h, pid) {
+			if !allowed[e] {
+				return nil, fmt.Errorf("%w: %s enabled %v at P%d", ErrBadEnable, p.Name(), e, i)
+			}
+			out = append(out, e)
+			enabledRC = true
+		}
+	}
+	if anyRC && !enabledRC {
+		return nil, fmt.Errorf("%w: %s", ErrNotLive, p.Name())
+	}
+	return out, nil
+}
+
+// extend executes one event.
+func extend(h *run.Run, e event.Event) (*run.Run, error) {
+	procs := make([][]event.Event, h.NumProcs())
+	for i := 0; i < h.NumProcs(); i++ {
+		procs[i] = h.ProcSeq(event.ProcID(i))
+	}
+	p := e.Proc(h.Message(e.Msg))
+	procs[p] = append(procs[p], e)
+	return run.New(h.Messages(), procs)
+}
+
+func key(h *run.Run) string { return h.String() }
+
+// quiescentComplete: every message fully delivered.
+func quiescentComplete(h *run.Run) bool {
+	for _, m := range h.Messages() {
+		if !h.Has(event.E(m.ID, event.Deliver)) {
+			return false
+		}
+	}
+	return true
+}
+
+func pendingWork(h *run.Run, nProcs int) bool {
+	for i := 0; i < nProcs; i++ {
+		pid := event.ProcID(i)
+		if len(h.ReceivePending(pid)) > 0 || len(h.Controllable(pid)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// --- information-condition checking (the three protocol classes) ---
+
+// ClassReport records whether a protocol meets an information condition
+// over a result's reachable runs, with a counterexample when it does not.
+type ClassReport struct {
+	Holds  bool
+	ProcID event.ProcID
+	RunA   *run.Run
+	RunB   *run.Run
+	Detail string
+}
+
+// CheckTaglessCondition verifies H_i = G_i ⇒ P_i(H) = P_i(G) over every
+// reachable pair (bucketed by local history, so the scan is linear).
+func CheckTaglessCondition(p Protocol, res *Result) ClassReport {
+	return checkCondition(p, res, func(h *run.Run, i event.ProcID) string {
+		return fmt.Sprint(h.ProcSeq(i))
+	}, "equal local histories")
+}
+
+// CheckTaggedCondition verifies CausalPast_i(H) = CausalPast_i(G) ⇒
+// P_i(H) = P_i(G) over every reachable pair (bucketed by causal past).
+func CheckTaggedCondition(p Protocol, res *Result) ClassReport {
+	return checkCondition(p, res, func(h *run.Run, i event.ProcID) string {
+		past, err := h.CausalPast(i)
+		if err != nil {
+			return "" // unreachable for valid runs; empty key groups errors
+		}
+		return past.String()
+	}, "equal causal pasts")
+}
+
+func checkCondition(p Protocol, res *Result, keyFn func(h *run.Run, i event.ProcID) string, what string) ClassReport {
+	type bucket struct {
+		h       *run.Run
+		enabled map[event.Event]bool
+	}
+	buckets := make(map[string]bucket)
+	for _, h := range res.Reachable {
+		for i := 0; i < h.NumProcs(); i++ {
+			pid := event.ProcID(i)
+			key := fmt.Sprintf("P%d|%s", i, keyFn(h, pid))
+			en := eventSet(p.Enabled(h, pid))
+			prev, ok := buckets[key]
+			if !ok {
+				buckets[key] = bucket{h: h, enabled: en}
+				continue
+			}
+			if !sameSet(prev.enabled, en) {
+				return ClassReport{
+					Holds:  false,
+					ProcID: pid,
+					RunA:   prev.h,
+					RunB:   h,
+					Detail: fmt.Sprintf("%s at P%d but enabled sets differ: %v vs %v",
+						what, i, prev.enabled, en),
+				}
+			}
+		}
+	}
+	return ClassReport{Holds: true}
+}
+
+func eventSet(es []event.Event) map[event.Event]bool {
+	out := make(map[event.Event]bool, len(es))
+	for _, e := range es {
+		out[e] = true
+	}
+	return out
+}
+
+func sameSet(a, b map[event.Event]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for e := range a {
+		if !b[e] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- built-in denotational protocols ---
+
+// AllEnabled is the trivial tagless protocol: enable every controllable
+// event.
+type AllEnabled struct{}
+
+var _ Protocol = AllEnabled{}
+
+// Name labels the protocol.
+func (AllEnabled) Name() string { return "all-enabled" }
+
+// Enabled returns every controllable event.
+func (AllEnabled) Enabled(h *run.Run, i event.ProcID) []event.Event {
+	return h.Controllable(i)
+}
+
+// FIFODelivery enables sends freely and delivers a message only when all
+// earlier sends on its channel are delivered. Its decision depends only
+// on the causal past (the channel's send order precedes each receive), so
+// it meets the tagged condition — verified mechanically in the tests.
+type FIFODelivery struct{}
+
+var _ Protocol = FIFODelivery{}
+
+// Name labels the protocol.
+func (FIFODelivery) Name() string { return "fifo-delivery" }
+
+// Enabled applies the per-channel rule.
+func (FIFODelivery) Enabled(h *run.Run, i event.ProcID) []event.Event {
+	var out []event.Event
+	out = append(out, h.SendPending(i)...)
+	for _, e := range h.DeliverPending(i) {
+		if fifoReady(h, e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func fifoReady(h *run.Run, e event.Event) bool {
+	m := h.Message(e.Msg)
+	for _, o := range h.Messages() {
+		if o.ID == m.ID || o.From != m.From || o.To != m.To {
+			continue
+		}
+		if h.Before(event.E(o.ID, event.Send), event.E(m.ID, event.Send)) &&
+			!h.Has(event.E(o.ID, event.Deliver)) {
+			return false // an earlier channel message is undelivered
+		}
+	}
+	return true
+}
+
+// CausalDelivery enables a delivery only when every message to the same
+// destination sent causally before it has been delivered — the
+// denotational counterpart of the RST protocol.
+type CausalDelivery struct{}
+
+var _ Protocol = CausalDelivery{}
+
+// Name labels the protocol.
+func (CausalDelivery) Name() string { return "causal-delivery" }
+
+// Enabled applies the causal rule.
+func (CausalDelivery) Enabled(h *run.Run, i event.ProcID) []event.Event {
+	var out []event.Event
+	out = append(out, h.SendPending(i)...)
+	for _, e := range h.DeliverPending(i) {
+		if causalReady(h, e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func causalReady(h *run.Run, e event.Event) bool {
+	m := h.Message(e.Msg)
+	for _, o := range h.Messages() {
+		if o.ID == m.ID || o.To != m.To {
+			continue
+		}
+		if h.Before(event.E(o.ID, event.Send), event.E(m.ID, event.Send)) &&
+			!h.Has(event.E(o.ID, event.Deliver)) {
+			return false
+		}
+	}
+	return true
+}
+
+// SyncGate serializes messages globally: a send is enabled only when no
+// other message is in flight (sent but undelivered) anywhere in the run.
+// Its decision inspects concurrent events, so it fails the tagged
+// condition — the mechanical face of "logically synchronous ordering
+// needs control messages".
+type SyncGate struct{}
+
+var _ Protocol = SyncGate{}
+
+// Name labels the protocol.
+func (SyncGate) Name() string { return "sync-gate" }
+
+// Enabled applies the global gate.
+func (SyncGate) Enabled(h *run.Run, i event.ProcID) []event.Event {
+	var out []event.Event
+	out = append(out, h.DeliverPending(i)...)
+	if !openMessage(h) {
+		out = append(out, h.SendPending(i)...)
+	}
+	return out
+}
+
+// openMessage reports a message sent but not yet delivered.
+func openMessage(h *run.Run) bool {
+	for _, m := range h.Messages() {
+		if h.Has(event.E(m.ID, event.Send)) && !h.Has(event.E(m.ID, event.Deliver)) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,282 @@
+package inhib
+
+import (
+	"errors"
+	"testing"
+
+	"msgorder/internal/catalog"
+	"msgorder/internal/check"
+	"msgorder/internal/event"
+	"msgorder/internal/run"
+	"msgorder/internal/universe"
+	"msgorder/internal/userview"
+)
+
+// fifoTable: two messages on one channel.
+func fifoTable() []event.Message {
+	return []event.Message{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 0, To: 1},
+	}
+}
+
+// triangleTable: the relay scenario over three processes.
+func triangleTable() []event.Message {
+	return []event.Message{
+		{ID: 0, From: 0, To: 2},
+		{ID: 1, From: 0, To: 1},
+		{ID: 2, From: 1, To: 2},
+	}
+}
+
+// crossTable: two unrelated messages over three processes (for the
+// sync-gate condition counterexample).
+func crossTable() []event.Message {
+	return []event.Message{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 2, To: 0},
+	}
+}
+
+func explore(t *testing.T, p Protocol, msgs []event.Message, nProcs int) *Result {
+	t.Helper()
+	res, err := Explore(p, msgs, nProcs)
+	if err != nil {
+		t.Fatalf("Explore(%s): %v", p.Name(), err)
+	}
+	if len(res.Complete) == 0 {
+		t.Fatalf("%s: no complete runs", p.Name())
+	}
+	return res
+}
+
+// limitSetMembers enumerates the X_u members for a message table (star
+// completions of every user view), filtered into X_td and X_gn.
+func limitSetMembers(t *testing.T, msgs []event.Message, nProcs int) (xu, xtd, xgn []*run.Run) {
+	t.Helper()
+	universe.Schedules(msgs, nProcs, func(v *userview.Run) bool {
+		h, err := run.FromUserView(v)
+		if err != nil {
+			t.Fatalf("FromUserView: %v", err)
+		}
+		if !h.InXu() {
+			t.Fatalf("star completion must be in X_u: %v", h)
+		}
+		xu = append(xu, h)
+		if h.InXtd() {
+			xtd = append(xtd, h)
+		}
+		if h.InXgn() {
+			xgn = append(xgn, h)
+		}
+		return true
+	})
+	return xu, xtd, xgn
+}
+
+// containsAll checks that every run in want appears among got (by key).
+func containsAll(t *testing.T, label string, want []*run.Run, got []*run.Run) {
+	t.Helper()
+	keys := make(map[string]bool, len(got))
+	for _, h := range got {
+		keys[h.String()] = true
+	}
+	for _, h := range want {
+		if !keys[h.String()] {
+			t.Fatalf("%s: run missing from X_P: %v", label, h)
+		}
+	}
+}
+
+// --- Lemma 2: the lower bounds ---
+
+func TestLemma2TaglessLowerBound(t *testing.T) {
+	// X_u ⊆ X_P for the live tagless protocol.
+	for _, msgs := range [][]event.Message{fifoTable(), triangleTable()} {
+		res := explore(t, AllEnabled{}, msgs, 3)
+		xu, _, _ := limitSetMembers(t, msgs, 3)
+		containsAll(t, "all-enabled", xu, res.Complete)
+	}
+}
+
+func TestLemma2TaggedLowerBound(t *testing.T) {
+	// X_td ⊆ X_P for live tagged protocols.
+	for _, p := range []Protocol{FIFODelivery{}, CausalDelivery{}} {
+		for _, msgs := range [][]event.Message{fifoTable(), triangleTable()} {
+			res := explore(t, p, msgs, 3)
+			_, xtd, _ := limitSetMembers(t, msgs, 3)
+			containsAll(t, p.Name(), xtd, res.Complete)
+		}
+	}
+}
+
+func TestLemma2GeneralLowerBound(t *testing.T) {
+	// X_gn ⊆ X_P for the live general protocol.
+	for _, msgs := range [][]event.Message{fifoTable(), triangleTable(), crossTable()} {
+		res := explore(t, SyncGate{}, msgs, 3)
+		_, _, xgn := limitSetMembers(t, msgs, 3)
+		containsAll(t, "sync-gate", xgn, res.Complete)
+	}
+}
+
+// --- safety of the denotational protocols ---
+
+func userViews(t *testing.T, runs []*run.Run) []*userview.Run {
+	t.Helper()
+	var out []*userview.Run
+	for _, h := range runs {
+		v, err := h.UsersView()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestFIFODeliverySafety(t *testing.T) {
+	e, _ := catalog.ByName("fifo")
+	res := explore(t, FIFODelivery{}, fifoTable(), 2)
+	for _, v := range userViews(t, res.Complete) {
+		if _, bad := check.FindViolation(v, e.Pred); bad {
+			t.Fatalf("FIFO protocol produced a FIFO violation: %v", v)
+		}
+	}
+}
+
+func TestCausalDeliverySafety(t *testing.T) {
+	e, _ := catalog.ByName("causal-b2")
+	res := explore(t, CausalDelivery{}, triangleTable(), 3)
+	for _, v := range userViews(t, res.Complete) {
+		if _, bad := check.FindViolation(v, e.Pred); bad {
+			t.Fatalf("causal protocol produced a causal violation: %v", v)
+		}
+	}
+	// And the tagless baseline does violate on the same universe.
+	res2 := explore(t, AllEnabled{}, triangleTable(), 3)
+	violated := false
+	for _, v := range userViews(t, res2.Complete) {
+		if _, bad := check.FindViolation(v, e.Pred); bad {
+			violated = true
+			break
+		}
+	}
+	if !violated {
+		t.Fatal("all-enabled should violate causal ordering on the triangle")
+	}
+}
+
+func TestSyncGateSafety(t *testing.T) {
+	for _, msgs := range [][]event.Message{fifoTable(), triangleTable(), crossTable()} {
+		res := explore(t, SyncGate{}, msgs, 3)
+		for _, v := range userViews(t, res.Complete) {
+			if !v.InSync() {
+				t.Fatalf("sync-gate produced a non-synchronous view: %v", v)
+			}
+		}
+	}
+}
+
+// --- the information conditions, mechanically ---
+
+func TestAllEnabledIsTagless(t *testing.T) {
+	res := explore(t, AllEnabled{}, triangleTable(), 3)
+	if rep := CheckTaglessCondition(AllEnabled{}, res); !rep.Holds {
+		t.Fatalf("all-enabled must meet the tagless condition: %s", rep.Detail)
+	}
+}
+
+func TestFIFONotTagless(t *testing.T) {
+	// FIFO's decision depends on the sender's order, which is invisible
+	// in the receiver's local history: the tagless condition fails.
+	res := explore(t, FIFODelivery{}, fifoTable(), 2)
+	rep := CheckTaglessCondition(FIFODelivery{}, res)
+	if rep.Holds {
+		t.Fatal("FIFO delivery should fail the tagless condition")
+	}
+	t.Logf("counterexample: %s", rep.Detail)
+}
+
+func TestFIFOIsTagged(t *testing.T) {
+	for _, msgs := range [][]event.Message{fifoTable(), triangleTable()} {
+		res := explore(t, FIFODelivery{}, msgs, 3)
+		if rep := CheckTaggedCondition(FIFODelivery{}, res); !rep.Holds {
+			t.Fatalf("FIFO delivery must meet the tagged condition: %s", rep.Detail)
+		}
+	}
+}
+
+func TestCausalIsTagged(t *testing.T) {
+	for _, msgs := range [][]event.Message{fifoTable(), triangleTable()} {
+		res := explore(t, CausalDelivery{}, msgs, 3)
+		if rep := CheckTaggedCondition(CausalDelivery{}, res); !rep.Holds {
+			t.Fatalf("causal delivery must meet the tagged condition: %s", rep.Detail)
+		}
+	}
+}
+
+func TestSyncGateNotTagged(t *testing.T) {
+	// The gate inspects in-flight messages elsewhere — concurrent
+	// knowledge no tag can carry. The mechanical checker finds two runs
+	// with equal causal pasts at a process but different enabled sets:
+	// the face of "logical synchrony needs control messages".
+	res := explore(t, SyncGate{}, crossTable(), 3)
+	rep := CheckTaggedCondition(SyncGate{}, res)
+	if rep.Holds {
+		t.Fatal("sync-gate should fail the tagged condition")
+	}
+	t.Logf("counterexample at P%d: %s", rep.ProcID, rep.Detail)
+}
+
+// --- model hygiene ---
+
+// misbehaved enables a send event for a message that was never invoked.
+type misbehaved struct{}
+
+func (misbehaved) Name() string { return "misbehaved" }
+func (misbehaved) Enabled(h *run.Run, i event.ProcID) []event.Event {
+	for _, m := range h.Messages() {
+		if m.From == i && !h.Has(event.E(m.ID, event.Invoke)) {
+			return []event.Event{event.E(m.ID, event.Send)}
+		}
+	}
+	return h.Controllable(i)
+}
+
+func TestBadEnableRejected(t *testing.T) {
+	if _, err := Explore(misbehaved{}, fifoTable(), 2); !errors.Is(err, ErrBadEnable) {
+		t.Fatalf("err = %v, want ErrBadEnable", err)
+	}
+}
+
+// stubborn never enables anything: violates liveness.
+type stubborn struct{}
+
+func (stubborn) Name() string { return "stubborn" }
+func (stubborn) Enabled(*run.Run, event.ProcID) []event.Event {
+	return nil
+}
+
+func TestLivenessViolationDetected(t *testing.T) {
+	if _, err := Explore(stubborn{}, fifoTable(), 2); !errors.Is(err, ErrNotLive) {
+		t.Fatalf("err = %v, want ErrNotLive", err)
+	}
+}
+
+func TestReachableSetsGrowWithFreedom(t *testing.T) {
+	// More inhibition means fewer complete runs: |X_sync-gate| ≤
+	// |X_causal| ≤ |X_fifo| ≤ |X_all| on the fifo table.
+	counts := map[string]int{}
+	for _, p := range []Protocol{AllEnabled{}, FIFODelivery{}, CausalDelivery{}, SyncGate{}} {
+		res := explore(t, p, fifoTable(), 2)
+		counts[p.Name()] = len(res.Complete)
+	}
+	if !(counts["sync-gate"] <= counts["causal-delivery"] &&
+		counts["causal-delivery"] <= counts["fifo-delivery"] &&
+		counts["fifo-delivery"] <= counts["all-enabled"]) {
+		t.Fatalf("unexpected ordering of X_P sizes: %v", counts)
+	}
+	if counts["all-enabled"] <= counts["fifo-delivery"] {
+		t.Fatalf("FIFO must strictly inhibit on the fifo table: %v", counts)
+	}
+}

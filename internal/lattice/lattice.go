@@ -1,0 +1,217 @@
+// Package lattice computes the empirical inclusion lattice of
+// specification sets over a bounded universe of runs — the paper's
+// opening picture ("a message ordering specification is characterized as
+// the set of acceptable runs") made concrete. Each specification is
+// evaluated on every run of the universe; pairwise set inclusions are
+// derived from the resulting satisfaction vectors, and the Hasse diagram
+// is obtained by transitive reduction.
+package lattice
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"msgorder/internal/check"
+	"msgorder/internal/event"
+	"msgorder/internal/poset"
+	"msgorder/internal/predicate"
+	"msgorder/internal/universe"
+	"msgorder/internal/userview"
+)
+
+// Node is one specification in the lattice.
+type Node struct {
+	Name string
+	Pred *predicate.Predicate
+	// Size is |X_B| on the universe.
+	Size int
+	sat  []bool
+}
+
+// Lattice is the computed inclusion structure.
+type Lattice struct {
+	// Nodes in input order.
+	Nodes []Node
+	// Universe is the number of runs examined.
+	Universe int
+	// incl[i][j] reports X_i ⊆ X_j on the universe.
+	incl [][]bool
+}
+
+// Config bounds the universe.
+type Config struct {
+	Msgs, Procs int
+	Colors      []event.Color
+	// AllowSelf includes self-addressed messages (default off, matching
+	// the paper's model).
+	AllowSelf bool
+}
+
+// Compute evaluates the named specifications over the bounded universe.
+func Compute(cfg Config, specs map[string]*predicate.Predicate) (*Lattice, error) {
+	if cfg.Msgs == 0 {
+		cfg.Msgs = 3
+	}
+	if cfg.Procs == 0 {
+		cfg.Procs = 2
+	}
+	if len(cfg.Colors) == 0 {
+		cfg.Colors = []event.Color{event.ColorNone}
+	}
+	lat := &Lattice{}
+	names := make([]string, 0, len(specs))
+	for name := range specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := specs[name].Validate(); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		lat.Nodes = append(lat.Nodes, Node{Name: name, Pred: specs[name]})
+	}
+	scan := func(r *userview.Run) bool {
+		lat.Universe++
+		for i := range lat.Nodes {
+			n := &lat.Nodes[i]
+			sat := check.Satisfies(r, n.Pred)
+			n.sat = append(n.sat, sat)
+			if sat {
+				n.Size++
+			}
+		}
+		return true
+	}
+	if cfg.AllowSelf {
+		universe.RunsWithColors(cfg.Msgs, cfg.Procs, cfg.Colors, scan)
+	} else {
+		universe.RunsNoSelfColored(cfg.Msgs, cfg.Procs, cfg.Colors, scan)
+	}
+	n := len(lat.Nodes)
+	lat.incl = make([][]bool, n)
+	for i := range lat.incl {
+		lat.incl[i] = make([]bool, n)
+		for j := range lat.incl[i] {
+			lat.incl[i][j] = subset(lat.Nodes[i].sat, lat.Nodes[j].sat)
+		}
+	}
+	return lat, nil
+}
+
+func subset(a, b []bool) bool {
+	for k := range a {
+		if a[k] && !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Included reports X_a ⊆ X_b on the universe.
+func (l *Lattice) Included(a, b string) (bool, error) {
+	ia, ib := l.index(a), l.index(b)
+	if ia < 0 || ib < 0 {
+		return false, fmt.Errorf("lattice: unknown specification")
+	}
+	return l.incl[ia][ib], nil
+}
+
+// Equivalent reports X_a = X_b on the universe.
+func (l *Lattice) Equivalent(a, b string) (bool, error) {
+	ab, err := l.Included(a, b)
+	if err != nil {
+		return false, err
+	}
+	ba, err := l.Included(b, a)
+	if err != nil {
+		return false, err
+	}
+	return ab && ba, nil
+}
+
+func (l *Lattice) index(name string) int {
+	for i, n := range l.Nodes {
+		if n.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasseEdges returns the covering relation: strict inclusions with no
+// intermediate node, computed by transitive reduction. Equivalent nodes
+// are merged onto the lexicographically-first representative.
+func (l *Lattice) HasseEdges() [][2]string {
+	// Merge equivalence classes.
+	rep := make([]int, len(l.Nodes))
+	for i := range rep {
+		rep[i] = i
+		for j := 0; j < i; j++ {
+			if l.incl[i][j] && l.incl[j][i] {
+				rep[i] = rep[j]
+				break
+			}
+		}
+	}
+	g := poset.NewDAG(len(l.Nodes))
+	for i := range l.Nodes {
+		if rep[i] != i {
+			continue
+		}
+		for j := range l.Nodes {
+			if rep[j] != j || i == j {
+				continue
+			}
+			if l.incl[i][j] && !l.incl[j][i] {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	reduced, err := poset.TransitiveReduction(g)
+	if err != nil {
+		return nil // inclusion is antisymmetric after merging: unreachable
+	}
+	var out [][2]string
+	for i := 0; i < reduced.Len(); i++ {
+		for _, j := range reduced.Succ(i) {
+			out = append(out, [2]string{l.Nodes[i].Name, l.Nodes[j].Name})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// ClassOf returns the names equivalent to the given specification
+// (including itself).
+func (l *Lattice) ClassOf(name string) []string {
+	i := l.index(name)
+	if i < 0 {
+		return nil
+	}
+	var out []string
+	for j := range l.Nodes {
+		if l.incl[i][j] && l.incl[j][i] {
+			out = append(out, l.Nodes[j].Name)
+		}
+	}
+	return out
+}
+
+// String renders sizes and Hasse edges.
+func (l *Lattice) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lattice over %d runs\n", l.Universe)
+	for _, n := range l.Nodes {
+		fmt.Fprintf(&b, "  |%s| = %d\n", n.Name, n.Size)
+	}
+	for _, e := range l.HasseEdges() {
+		fmt.Fprintf(&b, "  %s ⊂ %s\n", e[0], e[1])
+	}
+	return b.String()
+}

@@ -1,0 +1,190 @@
+package lattice
+
+import (
+	"strings"
+	"testing"
+
+	"msgorder/internal/catalog"
+	"msgorder/internal/event"
+	"msgorder/internal/predicate"
+)
+
+func coreSpecs(t *testing.T) map[string]*predicate.Predicate {
+	t.Helper()
+	out := map[string]*predicate.Predicate{}
+	for _, name := range []string{"causal-b2", "fifo", "sync-2", "kweaker-1-channel"} {
+		e, ok := catalog.ByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		out[name] = e.Pred
+	}
+	return out
+}
+
+func TestCoreLatticeShape(t *testing.T) {
+	lat, err := Compute(Config{Msgs: 3, Procs: 3}, coreSpecs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat.Universe == 0 {
+		t.Fatal("empty universe")
+	}
+	// The textbook chain: sync ⊂ causal ⊂ fifo ⊂ kweaker-1 on a
+	// 2-process universe.
+	chain := [][2]string{
+		{"sync-2", "causal-b2"},
+		{"causal-b2", "fifo"},
+		{"fifo", "kweaker-1-channel"},
+	}
+	for _, pair := range chain {
+		ok, err := lat.Included(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("expected %s ⊆ %s", pair[0], pair[1])
+		}
+		back, err := lat.Included(pair[1], pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back {
+			t.Errorf("inclusion %s ⊆ %s must be strict", pair[0], pair[1])
+		}
+	}
+}
+
+func TestHasseEdgesAreCovers(t *testing.T) {
+	lat, err := Compute(Config{Msgs: 3, Procs: 3}, coreSpecs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := lat.HasseEdges()
+	want := map[[2]string]bool{
+		{"sync-2", "causal-b2"}:       true,
+		{"causal-b2", "fifo"}:         true,
+		{"fifo", "kweaker-1-channel"}: true,
+	}
+	if len(edges) != len(want) {
+		t.Fatalf("edges = %v, want the 3-link chain", edges)
+	}
+	for _, e := range edges {
+		if !want[e] {
+			t.Errorf("unexpected Hasse edge %v", e)
+		}
+	}
+}
+
+func TestEquivalenceMerging(t *testing.T) {
+	specs := map[string]*predicate.Predicate{
+		"b1": predicate.MustParse("x, y : x.s -> y.r && y.r -> x.r"),
+		"b2": predicate.MustParse("x, y : x.s -> y.s && y.r -> x.r"),
+		"b3": predicate.MustParse("x, y : x.s -> y.s && y.s -> x.r"),
+		"fifo": predicate.MustParse(`x, y :
+			process(x.s) == process(y.s) && process(x.r) == process(y.r) :
+			x.s -> y.s && y.r -> x.r`),
+	}
+	lat, err := Compute(Config{Msgs: 3, Procs: 3}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := lat.Equivalent("b1", "b2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("B1 and B2 must coincide on the no-self universe (Lemma 3.2)")
+	}
+	cls := lat.ClassOf("b2")
+	if len(cls) != 3 {
+		t.Fatalf("equivalence class = %v, want {b1,b2,b3}", cls)
+	}
+	// Only one edge after merging: causal ⊂ fifo.
+	edges := lat.HasseEdges()
+	if len(edges) != 1 || edges[0][1] != "fifo" {
+		t.Fatalf("edges = %v, want single causal ⊂ fifo edge", edges)
+	}
+}
+
+// TestTwoProcessCausalEqualsFIFO pins a classical fact the lattice
+// rediscovered empirically: between exactly two processes, causal
+// ordering and FIFO coincide — any causal violation routes through a
+// same-channel overtaking pair.
+func TestTwoProcessCausalEqualsFIFO(t *testing.T) {
+	lat, err := Compute(Config{Msgs: 3, Procs: 2}, coreSpecs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := lat.Equivalent("causal-b2", "fifo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("on two processes X_co must equal X_fifo")
+	}
+}
+
+func TestSelfMessagesSplitB1(t *testing.T) {
+	specs := map[string]*predicate.Predicate{
+		"b1": predicate.MustParse("x, y : x.s -> y.r && y.r -> x.r"),
+		"b2": predicate.MustParse("x, y : x.s -> y.s && y.r -> x.r"),
+	}
+	lat, err := Compute(Config{Msgs: 2, Procs: 2, AllowSelf: true}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := lat.Equivalent("b1", "b2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("with self-messages B1 must be strictly smaller than B2")
+	}
+	sub, err := lat.Included("b1", "b2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub {
+		t.Fatal("B1 ⊆ B2 must still hold (B2 matches imply B1 matches)")
+	}
+}
+
+func TestColorsInUniverse(t *testing.T) {
+	e, _ := catalog.ByName("global-forward-flush")
+	c, _ := catalog.ByName("causal-b2")
+	lat, err := Compute(Config{
+		Msgs: 2, Procs: 2,
+		Colors: []event.Color{event.ColorNone, event.ColorRed},
+	}, map[string]*predicate.Predicate{"flush": e.Pred, "causal": c.Pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := lat.Included("causal", "flush")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("X_co ⊆ X_flush must hold")
+	}
+}
+
+func TestErrorsAndString(t *testing.T) {
+	lat, err := Compute(Config{Msgs: 2, Procs: 2}, coreSpecs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lat.Included("nope", "fifo"); err == nil {
+		t.Fatal("unknown names must error")
+	}
+	if lat.ClassOf("nope") != nil {
+		t.Fatal("unknown class must be nil")
+	}
+	s := lat.String()
+	if !strings.Contains(s, "lattice over") || !strings.Contains(s, "|fifo|") {
+		t.Fatalf("String = %q", s)
+	}
+	if _, err := Compute(Config{}, map[string]*predicate.Predicate{"bad": {}}); err == nil {
+		t.Fatal("invalid predicate must be rejected")
+	}
+}

@@ -1,0 +1,102 @@
+package pgraph
+
+import "msgorder/internal/predicate"
+
+// ContractResult records the Lemma 4 reduction of a cycle: the successive
+// weaker predicates' cycles, ending in a canonical cycle that is either
+// two edges long or consists solely of β vertices. Every step preserves
+// the order of the cycle, so the canonical cycle classifies the original
+// predicate.
+//
+// If the contraction ever produces an impossible same-variable atom
+// (x.r ▷ x.s or x.p ▷ x.p), the original predicate is unsatisfiable and
+// Unsat is set; the specification then equals X_async.
+type ContractResult struct {
+	Steps []Cycle // Steps[0] is the input; the last entry is canonical
+	Unsat bool
+}
+
+// Canonical returns the final cycle of the contraction.
+func (r ContractResult) Canonical() Cycle { return r.Steps[len(r.Steps)-1] }
+
+// Contract applies the Lemma 4 reduction to a cycle (or closed edge-walk).
+// Non-β junctions are composed through transitivity — an incoming
+// x.p ▷ y.s with outgoing y.s ▷ z.q (or any junction that is not
+// "arrive at r, depart at s") yields x.p ▷ z.q — until the cycle has two
+// edges or every junction is β. Synthesized edges carry ID -1.
+func Contract(c Cycle) ContractResult {
+	res := ContractResult{Steps: []Cycle{c}}
+	cur := append([]Edge(nil), c.Edges...)
+	for len(cur) > 2 {
+		// Find a non-β junction: between cur[i] and cur[(i+1)%n].
+		n := len(cur)
+		j := -1
+		for i := 0; i < n; i++ {
+			if !betaJunction(cur[i], cur[(i+1)%n]) {
+				j = i
+				break
+			}
+		}
+		if j == -1 {
+			break // all β: canonical crown
+		}
+		in, out := cur[j], cur[(j+1)%n]
+		merged := Edge{
+			ID:       -1,
+			From:     in.From,
+			FromPart: in.FromPart,
+			To:       out.To,
+			ToPart:   out.ToPart,
+		}
+		next := make([]Edge, 0, n-1)
+		for i := 0; i < n; i++ {
+			if i == j {
+				next = append(next, merged)
+				continue
+			}
+			if i == (j+1)%n {
+				continue
+			}
+			next = append(next, cur[i])
+		}
+		// Rotate so the sequence remains a closed walk in order. (The
+		// construction above preserves cyclic adjacency already: merged
+		// replaces the pair in place.)
+		cur = next
+		// A merged same-variable atom is either trivially true
+		// (x.s ▷ x.r — drop it and fuse its neighbours' junction) or
+		// impossible (unsatisfiable predicate).
+		cur, res.Unsat = simplifySelfAtoms(cur)
+		res.Steps = append(res.Steps, Cycle{Edges: append([]Edge(nil), cur...)})
+		if res.Unsat || len(cur) == 0 {
+			break
+		}
+	}
+	return res
+}
+
+// simplifySelfAtoms removes trivially-true self atoms (x.s ▷ x.r) and
+// reports unsatisfiability on impossible ones.
+func simplifySelfAtoms(edges []Edge) ([]Edge, bool) {
+	out := edges[:0]
+	for _, e := range edges {
+		if e.From != e.To {
+			out = append(out, e)
+			continue
+		}
+		if e.FromPart == predicate.S && e.ToPart == predicate.R {
+			continue // trivially true conjunct: drop
+		}
+		return edges, true // impossible conjunct: predicate unsatisfiable
+	}
+	return out, false
+}
+
+// IsCanonical reports whether a cycle satisfies Lemma 4's stopping
+// condition: it has at most two edges, or every junction is β.
+func IsCanonical(c Cycle) bool {
+	if len(c.Edges) <= 2 {
+		return true
+	}
+	return c.Order() == len(c.Edges)
+}

@@ -1,0 +1,387 @@
+// Package pgraph implements the predicate graph of Definition 4.2 in
+// Murty & Garg: a directed multigraph with one vertex per message variable
+// of a forbidden predicate and one edge per causality conjunct
+// xj.p ▷ xk.q. The package provides
+//
+//   - simple-cycle enumeration with β-vertex analysis (Definition 4.3),
+//   - a polynomial minimum-order computation over closed edge-walks via
+//     0-1 breadth-first search on the line graph, and
+//   - the Lemma 4 contraction that reduces any cycle to a canonical
+//     two-vertex or all-β cycle while preserving its order.
+//
+// A vertex is a β vertex with respect to a cycle when its incoming edge
+// arrives at the variable's delivery event (·▷ x.r) and its outgoing edge
+// departs from the variable's send event (x.s ▷ ·). The order of a cycle
+// is its number of β vertices; by Theorems 3 and 4 the minimum order over
+// cycles decides the protocol class required by the specification.
+package pgraph
+
+import (
+	"fmt"
+	"strings"
+
+	"msgorder/internal/predicate"
+)
+
+// Edge is one conjunct of the predicate viewed as a multigraph edge.
+type Edge struct {
+	ID       int // index into Graph.Edges
+	From, To int // variable indices
+	FromPart predicate.Part
+	ToPart   predicate.Part
+}
+
+// Graph is the predicate graph. Same-variable atoms become self-loops;
+// callers that follow the paper's preprocessing (see package classify)
+// remove them before construction.
+type Graph struct {
+	vars  []string
+	edges []Edge
+	out   [][]int // edge IDs leaving each vertex
+	in    [][]int // edge IDs entering each vertex
+}
+
+// New builds the predicate graph of p. Every atom contributes one edge.
+func New(p *predicate.Predicate) *Graph {
+	g := &Graph{
+		vars: append([]string(nil), p.Vars...),
+		out:  make([][]int, len(p.Vars)),
+		in:   make([][]int, len(p.Vars)),
+	}
+	for _, a := range p.Atoms {
+		id := len(g.edges)
+		e := Edge{
+			ID:       id,
+			From:     a.From.Var,
+			To:       a.To.Var,
+			FromPart: a.From.Part,
+			ToPart:   a.To.Part,
+		}
+		g.edges = append(g.edges, e)
+		g.out[e.From] = append(g.out[e.From], id)
+		g.in[e.To] = append(g.in[e.To], id)
+	}
+	return g
+}
+
+// NumVertices returns the number of variables.
+func (g *Graph) NumVertices() int { return len(g.vars) }
+
+// NumEdges returns the number of conjuncts.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Var returns the name of vertex v.
+func (g *Graph) Var(v int) string { return g.vars[v] }
+
+// Edges returns a copy of the edge list.
+func (g *Graph) Edges() []Edge { return append([]Edge(nil), g.edges...) }
+
+// EdgeString renders an edge as "x.s -> y.r".
+func (g *Graph) EdgeString(e Edge) string {
+	return fmt.Sprintf("%s.%s -> %s.%s", g.vars[e.From], e.FromPart, g.vars[e.To], e.ToPart)
+}
+
+// Cycle is a closed edge sequence: Edges[i].To == Edges[i+1].From
+// (cyclically). For simple cycles vertices are distinct.
+type Cycle struct {
+	Edges []Edge
+}
+
+// Len returns the number of edges in the cycle.
+func (c Cycle) Len() int { return len(c.Edges) }
+
+// betaJunction reports whether the junction where edge in arrives and edge
+// out departs forms a β vertex: incoming at r, outgoing at s.
+func betaJunction(in, out Edge) bool {
+	return in.ToPart == predicate.R && out.FromPart == predicate.S
+}
+
+// Order returns the number of β vertices of the cycle (Definition 4.3).
+// A single self-loop edge x.s -> x.r counts its unique junction.
+func (c Cycle) Order() int {
+	n := 0
+	for i, out := range c.Edges {
+		in := c.Edges[(i-1+len(c.Edges))%len(c.Edges)]
+		if betaJunction(in, out) {
+			n++
+		}
+	}
+	return n
+}
+
+// BetaVertices returns the vertex indices that are β with respect to the
+// cycle, in cycle order.
+func (c Cycle) BetaVertices() []int {
+	var out []int
+	for i, e := range c.Edges {
+		in := c.Edges[(i-1+len(c.Edges))%len(c.Edges)]
+		if betaJunction(in, e) {
+			out = append(out, e.From)
+		}
+	}
+	return out
+}
+
+// Vertices returns the vertex sequence visited by the cycle.
+func (c Cycle) Vertices() []int {
+	out := make([]int, len(c.Edges))
+	for i, e := range c.Edges {
+		out[i] = e.From
+	}
+	return out
+}
+
+// String renders the cycle using the graph for variable names.
+func (g *Graph) CycleString(c Cycle) string {
+	parts := make([]string, len(c.Edges))
+	for i, e := range c.Edges {
+		parts[i] = g.EdgeString(e)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// SimpleCycles enumerates every simple cycle (distinct vertices; edges of
+// a multigraph pair are distinguished) exactly once. Each cycle starts at
+// its minimum vertex. The callback may return false to stop early.
+//
+// Enumeration cost grows exponentially with graph size; it is intended for
+// the small predicates that arise in specifications (≤ ~12 variables).
+// For classification use MinOrder, which is polynomial.
+func (g *Graph) SimpleCycles(fn func(Cycle) bool) {
+	n := len(g.vars)
+	onPath := make([]bool, n)
+	var path []Edge
+	stopped := false
+
+	var dfs func(start, v int)
+	dfs = func(start, v int) {
+		if stopped {
+			return
+		}
+		for _, eid := range g.out[v] {
+			e := g.edges[eid]
+			if e.To == start {
+				cyc := Cycle{Edges: append(append([]Edge(nil), path...), e)}
+				if !fn(cyc) {
+					stopped = true
+					return
+				}
+				continue
+			}
+			// Only visit vertices greater than start so each cycle is
+			// produced exactly once, anchored at its minimum vertex.
+			if e.To < start || onPath[e.To] {
+				continue
+			}
+			onPath[e.To] = true
+			path = append(path, e)
+			dfs(start, e.To)
+			path = path[:len(path)-1]
+			onPath[e.To] = false
+			if stopped {
+				return
+			}
+		}
+	}
+	for s := 0; s < n && !stopped; s++ {
+		onPath[s] = true
+		dfs(s, s)
+		onPath[s] = false
+	}
+}
+
+// AllCycles returns every simple cycle (see SimpleCycles).
+func (g *Graph) AllCycles() []Cycle {
+	var out []Cycle
+	g.SimpleCycles(func(c Cycle) bool {
+		out = append(out, c)
+		return true
+	})
+	return out
+}
+
+// HasCycle reports whether the graph contains any cycle, in time linear in
+// the graph size (Theorem 2's implementability test).
+func (g *Graph) HasCycle() bool {
+	n := len(g.vars)
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int8, n)
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for _, eid := range g.out[u] {
+			v := g.edges[eid].To
+			switch color[v] {
+			case gray:
+				return true
+			case white:
+				if dfs(v) {
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := 0; u < n; u++ {
+		if color[u] == white && dfs(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// MinOrder returns the minimum order over all closed edge-walks of the
+// graph, together with a witness cycle attaining it, using 0-1 BFS on the
+// line graph (nodes are edges; an arc joins consecutive edges and weighs 1
+// exactly when the junction is a β vertex). ok is false when the graph is
+// acyclic.
+//
+// Closed edge-walks subsume simple cycles, and the Lemma 4 contraction
+// argument applies to them unchanged, so the classification derived from
+// this minimum agrees with the paper's cycle-based table. MinOrder runs in
+// O(E) space and O(E·A) time where A ≤ E² is the number of line-graph
+// arcs.
+func (g *Graph) MinOrder() (order int, witness Cycle, ok bool) {
+	ne := len(g.edges)
+	if ne == 0 || !g.HasCycle() {
+		return 0, Cycle{}, false
+	}
+	best := -1
+	var bestCycle Cycle
+	dist := make([]int, ne)
+	prev := make([]int, ne)
+	for start := 0; start < ne; start++ {
+		// Shortest walk weight from the end of `start` back around to
+		// `start` itself.
+		for i := range dist {
+			dist[i] = -1
+			prev[i] = -1
+		}
+		// Deque for 0-1 BFS over line-graph nodes (= edges).
+		var deque []int
+		pushFront := func(x int) { deque = append([]int{x}, deque...) }
+		pushBack := func(x int) { deque = append(deque, x) }
+
+		// Initialize with the successors of start.
+		for _, eid := range g.out[g.edges[start].To] {
+			w := 0
+			if betaJunction(g.edges[start], g.edges[eid]) {
+				w = 1
+			}
+			if eid == start {
+				// Immediate closure: self-loop walk of length 1.
+				if best == -1 || w < best {
+					best = w
+					bestCycle = Cycle{Edges: []Edge{g.edges[start]}}
+				}
+				continue
+			}
+			if dist[eid] == -1 || w < dist[eid] {
+				dist[eid] = w
+				prev[eid] = -1 // direct successor of start
+				if w == 0 {
+					pushFront(eid)
+				} else {
+					pushBack(eid)
+				}
+			}
+		}
+		visited := make([]bool, ne)
+		for len(deque) > 0 {
+			u := deque[0]
+			deque = deque[1:]
+			if visited[u] {
+				continue
+			}
+			visited[u] = true
+			for _, vid := range g.out[g.edges[u].To] {
+				w := 0
+				if betaJunction(g.edges[u], g.edges[vid]) {
+					w = 1
+				}
+				if vid == start {
+					// Closing junction weight: start's own junction.
+					closing := 0
+					if betaJunction(g.edges[u], g.edges[start]) {
+						closing = 1
+					}
+					total := dist[u] + closing
+					if best == -1 || total < best {
+						best = total
+						bestCycle = g.walkFrom(start, u, prev)
+					}
+					continue
+				}
+				nd := dist[u] + w
+				if dist[vid] == -1 || nd < dist[vid] {
+					dist[vid] = nd
+					prev[vid] = u
+					if w == 0 {
+						pushFront(vid)
+					} else {
+						pushBack(vid)
+					}
+				}
+			}
+		}
+	}
+	if best == -1 {
+		return 0, Cycle{}, false
+	}
+	return best, bestCycle, true
+}
+
+// walkFrom reconstructs the closed walk start -> ... -> last -> start.
+func (g *Graph) walkFrom(start, last int, prev []int) Cycle {
+	var rev []Edge
+	for e := last; e != -1; e = prev[e] {
+		rev = append(rev, g.edges[e])
+	}
+	edges := []Edge{g.edges[start]}
+	for i := len(rev) - 1; i >= 0; i-- {
+		edges = append(edges, rev[i])
+	}
+	return Cycle{Edges: edges}
+}
+
+// MinOrderExhaustive computes the minimum order over simple cycles by
+// enumeration, with a witness. It exists as the exact reference
+// implementation for MinOrder; the two agree on every predicate whose
+// minimum is attained by a simple cycle (in particular the full catalog —
+// see the cross-check tests and BenchmarkCycleEnum).
+func (g *Graph) MinOrderExhaustive() (order int, witness Cycle, ok bool) {
+	best := -1
+	var bestCycle Cycle
+	g.SimpleCycles(func(c Cycle) bool {
+		if o := c.Order(); best == -1 || o < best {
+			best = o
+			bestCycle = c
+		}
+		return best != 0 // an order-0 cycle cannot be beaten
+	})
+	if best == -1 {
+		return 0, Cycle{}, false
+	}
+	return best, bestCycle, true
+}
+
+// DOT renders the graph in Graphviz DOT syntax, labeling each edge with
+// its parts.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph predicate {\n")
+	for _, v := range g.vars {
+		fmt.Fprintf(&b, "  %q;\n", v)
+	}
+	for _, e := range g.edges {
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%s->%s\"];\n",
+			g.vars[e.From], g.vars[e.To], e.FromPart, e.ToPart)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

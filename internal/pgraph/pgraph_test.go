@@ -1,0 +1,451 @@
+package pgraph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"msgorder/internal/predicate"
+)
+
+func causalB2() *predicate.Predicate {
+	return predicate.MustParse("x, y : x.s -> y.s && y.r -> x.r")
+}
+
+// example1 is the predicate of Example 1 / Figure 6 in the paper, with the
+// edge set E = {(x1,x2),(x2,x3),(x3,x4),(x4,x1),(x4,x5),(x1,x4)}.
+func example1() *predicate.Predicate {
+	return predicate.MustParse(`forbidden x1, x2, x3, x4, x5 :
+		x1.r -> x2.s && x2.s -> x3.s && x3.r -> x4.r &&
+		x4.s -> x1.s && x4.s -> x5.r && x1.s -> x4.r`)
+}
+
+func crown(k int) *predicate.Predicate {
+	b := predicate.NewBuilder(vars(k)...)
+	for i := 0; i < k; i++ {
+		b.Atom(varName(i), predicate.S, varName((i+1)%k), predicate.R)
+	}
+	return b.MustBuild()
+}
+
+func vars(k int) []string {
+	out := make([]string, k)
+	for i := range out {
+		out[i] = varName(i)
+	}
+	return out
+}
+
+func varName(i int) string { return "x" + string(rune('1'+i)) }
+
+func TestGraphShape(t *testing.T) {
+	g := New(causalB2())
+	if g.NumVertices() != 2 || g.NumEdges() != 2 {
+		t.Fatalf("shape = (%d,%d), want (2,2)", g.NumVertices(), g.NumEdges())
+	}
+	if g.Var(0) != "x" || g.Var(1) != "y" {
+		t.Fatalf("vars = %q, %q", g.Var(0), g.Var(1))
+	}
+	es := g.Edges()
+	if es[0].From != 0 || es[0].To != 1 || es[0].FromPart != predicate.S {
+		t.Fatalf("edge0 = %+v", es[0])
+	}
+	if got := g.EdgeString(es[1]); got != "y.r -> x.r" {
+		t.Fatalf("EdgeString = %q", got)
+	}
+}
+
+func TestCausalCycleOrderOne(t *testing.T) {
+	g := New(causalB2())
+	cycles := g.AllCycles()
+	if len(cycles) != 1 {
+		t.Fatalf("cycles = %d, want 1", len(cycles))
+	}
+	c := cycles[0]
+	if c.Order() != 1 {
+		t.Fatalf("order = %d, want 1", c.Order())
+	}
+	// The β vertex is x (incoming y.r -> x.r, outgoing x.s -> y.s).
+	bv := c.BetaVertices()
+	if len(bv) != 1 || g.Var(bv[0]) != "x" {
+		t.Fatalf("β vertices = %v", bv)
+	}
+}
+
+func TestLemma3CausalVariantsOrderOne(t *testing.T) {
+	for _, src := range []string{
+		"x, y : x.s -> y.r && y.r -> x.r", // B1
+		"x, y : x.s -> y.s && y.r -> x.r", // B2
+		"x, y : x.s -> y.s && y.s -> x.r", // B3
+	} {
+		g := New(predicate.MustParse(src))
+		got, _, ok := g.MinOrder()
+		if !ok || got != 1 {
+			t.Errorf("%s: MinOrder = %d (ok=%v), want 1", src, got, ok)
+		}
+	}
+}
+
+func TestLemma3AsyncVariantsOrderZero(t *testing.T) {
+	for _, src := range []string{
+		"x, y : x.s -> y.s && y.s -> x.s",
+		"x, y : x.s -> y.s && y.r -> x.s",
+		"x, y : x.r -> y.s && y.s -> x.r",
+		"x, y : x.r -> y.r && y.r -> x.s",
+		"x, y : x.r -> y.r && y.r -> x.r",
+	} {
+		g := New(predicate.MustParse(src))
+		got, _, ok := g.MinOrder()
+		if !ok || got != 0 {
+			t.Errorf("%s: MinOrder = %d (ok=%v), want 0", src, got, ok)
+		}
+	}
+}
+
+func TestCrownOrders(t *testing.T) {
+	for k := 2; k <= 6; k++ {
+		g := New(crown(k))
+		got, w, ok := g.MinOrder()
+		if !ok || got != k {
+			t.Errorf("crown(%d): MinOrder = %d (ok=%v), want %d", k, got, ok, k)
+		}
+		if w.Len() != k {
+			t.Errorf("crown(%d): witness length %d, want %d", k, w.Len(), k)
+		}
+		if len(w.BetaVertices()) != k {
+			t.Errorf("crown(%d): all vertices must be β", k)
+		}
+	}
+}
+
+func TestAcyclicPredicateNoCycle(t *testing.T) {
+	// "receive the second message before the first": both edges x -> y.
+	g := New(predicate.MustParse("x, y : x.s -> y.s && x.r -> y.r"))
+	if g.HasCycle() {
+		t.Fatal("graph should be acyclic")
+	}
+	if _, _, ok := g.MinOrder(); ok {
+		t.Fatal("MinOrder should report no cycle")
+	}
+	if _, _, ok := g.MinOrderExhaustive(); ok {
+		t.Fatal("MinOrderExhaustive should report no cycle")
+	}
+	if cycles := g.AllCycles(); len(cycles) != 0 {
+		t.Fatalf("AllCycles = %d, want 0", len(cycles))
+	}
+}
+
+// TestExample1Graph checks the Example 1 edge set.
+func TestExample1Graph(t *testing.T) {
+	g := New(example1())
+	if g.NumVertices() != 5 || g.NumEdges() != 6 {
+		t.Fatalf("shape = (%d,%d), want (5,6)", g.NumVertices(), g.NumEdges())
+	}
+	want := map[string]bool{
+		"x1->x2": true, "x2->x3": true, "x3->x4": true,
+		"x4->x1": true, "x4->x5": true, "x1->x4": true,
+	}
+	for _, e := range g.Edges() {
+		key := g.Var(e.From) + "->" + g.Var(e.To)
+		if !want[key] {
+			t.Errorf("unexpected edge %s", key)
+		}
+		delete(want, key)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing edges: %v", want)
+	}
+}
+
+// TestExample2Cycle verifies the 4-vertex cycle of Example 2 has order 1
+// with β vertex x4 (Example 3).
+func TestExample2Cycle(t *testing.T) {
+	g := New(example1())
+	var found bool
+	g.SimpleCycles(func(c Cycle) bool {
+		if c.Len() != 4 {
+			return true
+		}
+		found = true
+		if c.Order() != 1 {
+			t.Errorf("4-cycle order = %d, want 1", c.Order())
+		}
+		bv := c.BetaVertices()
+		if len(bv) != 1 || g.Var(bv[0]) != "x4" {
+			t.Errorf("β vertices = %v, want [x4]", bv)
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("4-vertex cycle of Example 2 not found")
+	}
+}
+
+func TestExample1MinOrder(t *testing.T) {
+	g := New(example1())
+	got, _, ok := g.MinOrder()
+	if !ok || got != 1 {
+		t.Fatalf("MinOrder = %d (ok=%v), want 1", got, ok)
+	}
+	exGot, _, exOK := g.MinOrderExhaustive()
+	if !exOK || exGot != got {
+		t.Fatalf("exhaustive = %d (ok=%v), fast = %d", exGot, exOK, got)
+	}
+}
+
+func TestSimpleCyclesDistinct(t *testing.T) {
+	g := New(example1())
+	seen := map[string]bool{}
+	g.SimpleCycles(func(c Cycle) bool {
+		key := g.CycleString(c)
+		if seen[key] {
+			t.Errorf("cycle produced twice: %s", key)
+		}
+		seen[key] = true
+		// Validate adjacency.
+		for i, e := range c.Edges {
+			next := c.Edges[(i+1)%len(c.Edges)]
+			if e.To != next.From {
+				t.Errorf("broken cycle %s", key)
+			}
+		}
+		return true
+	})
+	// Cycles of example1: [x1,x2,x3,x4] and [x1,x4] (one pair of
+	// antiparallel edges).
+	if len(seen) != 2 {
+		t.Errorf("found %d cycles, want 2: %v", len(seen), seen)
+	}
+}
+
+func TestSimpleCyclesEarlyStop(t *testing.T) {
+	g := New(example1())
+	calls := 0
+	g.SimpleCycles(func(Cycle) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestMultigraphParallelEdges(t *testing.T) {
+	// Two parallel edges x->y plus one y->x: two distinct cycles.
+	p := predicate.MustParse("x, y : x.s -> y.s && x.s -> y.r && y.r -> x.r")
+	g := New(p)
+	if got := len(g.AllCycles()); got != 2 {
+		t.Fatalf("cycles = %d, want 2", got)
+	}
+	got, _, ok := g.MinOrder()
+	if !ok || got != 1 {
+		t.Fatalf("MinOrder = %d, want 1", got)
+	}
+}
+
+func TestSelfLoopCycle(t *testing.T) {
+	// x.s -> x.r as an edge is a self-loop; its junction is β.
+	p := &predicate.Predicate{
+		Vars: []string{"x"},
+		Atoms: []predicate.Atom{{
+			From: predicate.EventRef{Var: 0, Part: predicate.S},
+			To:   predicate.EventRef{Var: 0, Part: predicate.R},
+		}},
+	}
+	g := New(p)
+	if !g.HasCycle() {
+		t.Fatal("self-loop must count as a cycle")
+	}
+	got, w, ok := g.MinOrder()
+	if !ok || got != 1 || w.Len() != 1 {
+		t.Fatalf("MinOrder = %d len %d (ok=%v)", got, w.Len(), ok)
+	}
+}
+
+func TestFIFOGuardsIgnoredByGraph(t *testing.T) {
+	p := predicate.MustParse(`x, y :
+		process(x.s) == process(y.s) && process(x.r) == process(y.r) :
+		x.s -> y.s && y.r -> x.r`)
+	g := New(p)
+	got, _, ok := g.MinOrder()
+	if !ok || got != 1 {
+		t.Fatalf("FIFO MinOrder = %d (ok=%v), want 1", got, ok)
+	}
+}
+
+func TestKWeakerOrderOne(t *testing.T) {
+	// k=1: s1 -> s2, s2 -> s3, r3 -> r1.
+	p := predicate.MustParse("x1, x2, x3 : x1.s -> x2.s && x2.s -> x3.s && x3.r -> x1.r")
+	g := New(p)
+	got, _, ok := g.MinOrder()
+	if !ok || got != 1 {
+		t.Fatalf("MinOrder = %d (ok=%v), want 1", got, ok)
+	}
+}
+
+func TestContractCausalAlreadyCanonical(t *testing.T) {
+	g := New(causalB2())
+	c := g.AllCycles()[0]
+	res := Contract(c)
+	if res.Unsat {
+		t.Fatal("causal predicate is satisfiable")
+	}
+	if got := res.Canonical(); got.Len() != 2 || got.Order() != 1 {
+		t.Fatalf("canonical = len %d order %d", got.Len(), got.Order())
+	}
+	if !IsCanonical(res.Canonical()) {
+		t.Fatal("result not canonical")
+	}
+}
+
+func TestContractExample2PreservesOrder(t *testing.T) {
+	g := New(example1())
+	g.SimpleCycles(func(c Cycle) bool {
+		if c.Len() != 4 {
+			return true
+		}
+		res := Contract(c)
+		if res.Unsat {
+			t.Fatal("cycle contraction reported unsat")
+		}
+		canon := res.Canonical()
+		if !IsCanonical(canon) {
+			t.Fatalf("not canonical: %v", canon)
+		}
+		if canon.Order() != c.Order() {
+			t.Fatalf("order changed: %d -> %d", c.Order(), canon.Order())
+		}
+		if canon.Len() != 2 {
+			t.Fatalf("canonical length = %d, want 2", canon.Len())
+		}
+		return true
+	})
+}
+
+func TestContractCrownStaysPut(t *testing.T) {
+	g := New(crown(4))
+	cycles := g.AllCycles()
+	if len(cycles) != 1 {
+		t.Fatalf("crown cycles = %d", len(cycles))
+	}
+	res := Contract(cycles[0])
+	if res.Canonical().Len() != 4 || res.Canonical().Order() != 4 {
+		t.Fatalf("crown should be canonical already: %+v", res.Canonical())
+	}
+}
+
+func TestContractLongOrderZero(t *testing.T) {
+	// A long cycle with no β vertex contracts to 2 edges of order 0.
+	p := predicate.MustParse("a, b, c : a.s -> b.s && b.s -> c.s && c.s -> a.s")
+	g := New(p)
+	res := Contract(g.AllCycles()[0])
+	if res.Unsat {
+		t.Fatal("unexpected unsat: contraction stops at 2 edges")
+	}
+	canon := res.Canonical()
+	if canon.Len() != 2 || canon.Order() != 0 {
+		t.Fatalf("canonical = len %d order %d, want 2/0", canon.Len(), canon.Order())
+	}
+}
+
+func TestDOT(t *testing.T) {
+	dot := New(causalB2()).DOT()
+	for _, want := range []string{"digraph", `"x" -> "y"`, "s->s"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+// randomPredicate builds a predicate with nv variables and na atoms with
+// distinct endpoint variables.
+func randomPredicate(rng *rand.Rand, nv, na int) *predicate.Predicate {
+	p := &predicate.Predicate{Vars: vars(nv)}
+	parts := []predicate.Part{predicate.S, predicate.R}
+	for i := 0; i < na; i++ {
+		a := rng.Intn(nv)
+		b := rng.Intn(nv)
+		for b == a {
+			b = rng.Intn(nv)
+		}
+		p.Atoms = append(p.Atoms, predicate.Atom{
+			From: predicate.EventRef{Var: a, Part: parts[rng.Intn(2)]},
+			To:   predicate.EventRef{Var: b, Part: parts[rng.Intn(2)]},
+		})
+	}
+	return p
+}
+
+// TestQuickMinOrderLowerBoundsExhaustive: the walk-based minimum can never
+// exceed the simple-cycle minimum (walks subsume cycles), and both agree
+// on cycle existence.
+func TestQuickMinOrderLowerBoundsExhaustive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPredicate(rng, 2+rng.Intn(4), 1+rng.Intn(7))
+		g := New(p)
+		fast, _, fok := g.MinOrder()
+		ex, _, eok := g.MinOrderExhaustive()
+		if fok != eok {
+			return false
+		}
+		if !fok {
+			return true
+		}
+		return fast <= ex
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMinOrderWitnessConsistent: the witness walk must be a closed
+// walk whose order equals the reported minimum.
+func TestQuickMinOrderWitnessConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPredicate(rng, 2+rng.Intn(4), 1+rng.Intn(7))
+		g := New(p)
+		min, w, ok := g.MinOrder()
+		if !ok {
+			return true
+		}
+		for i, e := range w.Edges {
+			if e.To != w.Edges[(i+1)%len(w.Edges)].From {
+				return false
+			}
+		}
+		return w.Order() == min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickContractPreservesOrder: for simple cycles, the Lemma 4
+// contraction preserves order unless it detects unsatisfiability.
+func TestQuickContractPreservesOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPredicate(rng, 2+rng.Intn(4), 2+rng.Intn(6))
+		g := New(p)
+		ok := true
+		g.SimpleCycles(func(c Cycle) bool {
+			res := Contract(c)
+			if res.Unsat {
+				return true // degenerate composition; nothing to check
+			}
+			canon := res.Canonical()
+			if !IsCanonical(canon) || canon.Order() != c.Order() {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

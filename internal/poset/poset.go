@@ -1,0 +1,502 @@
+// Package poset provides finite directed-graph and partial-order utilities
+// used throughout the message-ordering library: reachability, transitive
+// closure and reduction, topological sorting, cycle detection, and linear
+// extensions.
+//
+// Nodes are dense integers 0..n-1. Higher layers map domain objects (events,
+// messages) onto node indices. All operations are deterministic: where a
+// choice exists (e.g. among topological orders) the smallest node index wins.
+package poset
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// ErrCycle is reported by operations that require an acyclic graph.
+var ErrCycle = errors.New("poset: graph contains a cycle")
+
+// DAG is a mutable directed graph over nodes 0..n-1. The zero value is an
+// empty graph; add nodes with Grow or AddNode. Despite the name, a DAG may
+// temporarily contain cycles; operations that require acyclicity report
+// ErrCycle.
+type DAG struct {
+	succ [][]int // adjacency lists, deduplicated lazily by Edge/AddEdge
+	pred [][]int
+	m    int // number of edges
+}
+
+// NewDAG returns a graph with n isolated nodes.
+func NewDAG(n int) *DAG {
+	d := &DAG{}
+	d.Grow(n)
+	return d
+}
+
+// Len returns the number of nodes.
+func (d *DAG) Len() int { return len(d.succ) }
+
+// NumEdges returns the number of distinct directed edges.
+func (d *DAG) NumEdges() int { return d.m }
+
+// Grow ensures the graph has at least n nodes.
+func (d *DAG) Grow(n int) {
+	for len(d.succ) < n {
+		d.succ = append(d.succ, nil)
+		d.pred = append(d.pred, nil)
+	}
+}
+
+// AddNode appends a fresh node and returns its index.
+func (d *DAG) AddNode() int {
+	d.succ = append(d.succ, nil)
+	d.pred = append(d.pred, nil)
+	return len(d.succ) - 1
+}
+
+// HasEdge reports whether the edge u->v is present.
+func (d *DAG) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(d.succ) {
+		return false
+	}
+	for _, w := range d.succ[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AddEdge inserts the edge u->v, growing the graph as needed.
+// Duplicate edges are ignored. Self-loops are permitted (they make the
+// graph cyclic).
+func (d *DAG) AddEdge(u, v int) {
+	if u < 0 || v < 0 {
+		return
+	}
+	n := u
+	if v > n {
+		n = v
+	}
+	d.Grow(n + 1)
+	if d.HasEdge(u, v) {
+		return
+	}
+	d.succ[u] = append(d.succ[u], v)
+	d.pred[v] = append(d.pred[v], u)
+	d.m++
+}
+
+// Succ returns the successors of u. The returned slice must not be modified.
+func (d *DAG) Succ(u int) []int { return d.succ[u] }
+
+// Pred returns the predecessors of u. The returned slice must not be modified.
+func (d *DAG) Pred(u int) []int { return d.pred[u] }
+
+// Clone returns a deep copy of the graph.
+func (d *DAG) Clone() *DAG {
+	c := NewDAG(d.Len())
+	for u, vs := range d.succ {
+		for _, v := range vs {
+			c.AddEdge(u, v)
+		}
+	}
+	return c
+}
+
+// TopoSort returns a topological order of the nodes, or ErrCycle if the
+// graph is cyclic. Among valid orders it returns the lexicographically
+// smallest (by node index), which makes results reproducible.
+func (d *DAG) TopoSort() ([]int, error) {
+	n := d.Len()
+	indeg := make([]int, n)
+	for _, vs := range d.succ {
+		for _, v := range vs {
+			indeg[v]++
+		}
+	}
+	// Min-heap of ready nodes for deterministic output.
+	ready := &intHeap{}
+	for u := 0; u < n; u++ {
+		if indeg[u] == 0 {
+			ready.push(u)
+		}
+	}
+	order := make([]int, 0, n)
+	for ready.len() > 0 {
+		u := ready.pop()
+		order = append(order, u)
+		for _, v := range d.succ[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready.push(v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// IsAcyclic reports whether the graph has no directed cycle.
+func (d *DAG) IsAcyclic() bool {
+	_, err := d.TopoSort()
+	return err == nil
+}
+
+// FindCycle returns one directed cycle as a node sequence
+// [v0, v1, ..., vk] with edges v0->v1->...->vk->v0, or nil if the graph is
+// acyclic. Self-loops yield a single-element cycle.
+func (d *DAG) FindCycle() []int {
+	n := d.Len()
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int8, n)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycle []int
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for _, v := range d.succ[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				// Found a back edge u->v; walk parents from u back to v.
+				cycle = []int{u}
+				for w := u; w != v; {
+					w = parent[w]
+					cycle = append(cycle, w)
+				}
+				reverse(cycle)
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := 0; u < n; u++ {
+		if color[u] == white && dfs(u) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// Reachability is a dense transitive-closure matrix built once from a DAG.
+type Reachability struct {
+	n    int
+	bits []uint64 // n rows of ceil(n/64) words; row u marks nodes reachable from u (excluding u unless on a cycle through u)
+	w    int
+}
+
+// NewReachability computes reachability (the strict transitive closure of
+// the edge relation) for every pair of nodes. Works for cyclic graphs too:
+// Reaches(u,u) is true iff u lies on a cycle.
+func NewReachability(d *DAG) *Reachability {
+	n := d.Len()
+	w := (n + 63) / 64
+	r := &Reachability{n: n, w: w, bits: make([]uint64, n*w)}
+	order, err := d.TopoSort()
+	if err == nil {
+		// Acyclic fast path: process in reverse topological order.
+		for i := n - 1; i >= 0; i-- {
+			u := order[i]
+			row := r.bits[u*w : (u+1)*w]
+			for _, v := range d.succ[u] {
+				row[v/64] |= 1 << (uint(v) % 64)
+				vrow := r.bits[v*w : (v+1)*w]
+				for k := 0; k < w; k++ {
+					row[k] |= vrow[k]
+				}
+			}
+		}
+		return r
+	}
+	// General path: BFS from each node.
+	for u := 0; u < n; u++ {
+		row := r.bits[u*w : (u+1)*w]
+		stack := append([]int(nil), d.succ[u]...)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if row[v/64]&(1<<(uint(v)%64)) != 0 {
+				continue
+			}
+			row[v/64] |= 1 << (uint(v) % 64)
+			stack = append(stack, d.succ[v]...)
+		}
+	}
+	return r
+}
+
+// Reaches reports whether v is reachable from u by a nonempty path.
+func (r *Reachability) Reaches(u, v int) bool {
+	if u < 0 || v < 0 || u >= r.n || v >= r.n {
+		return false
+	}
+	return r.bits[u*r.w+v/64]&(1<<(uint(v)%64)) != 0
+}
+
+// Comparable reports whether u and v are ordered either way.
+func (r *Reachability) Comparable(u, v int) bool {
+	return r.Reaches(u, v) || r.Reaches(v, u)
+}
+
+// Concurrent reports whether distinct nodes u and v are unordered.
+func (r *Reachability) Concurrent(u, v int) bool {
+	return u != v && !r.Comparable(u, v)
+}
+
+// CountReachable returns the number of nodes reachable from u.
+func (r *Reachability) CountReachable(u int) int {
+	c := 0
+	for _, word := range r.bits[u*r.w : (u+1)*r.w] {
+		c += bits.OnesCount64(word)
+	}
+	return c
+}
+
+// TransitiveReduction returns a new graph containing the minimal edge set
+// whose transitive closure equals that of d. Requires an acyclic graph.
+func TransitiveReduction(d *DAG) (*DAG, error) {
+	if !d.IsAcyclic() {
+		return nil, ErrCycle
+	}
+	r := NewReachability(d)
+	out := NewDAG(d.Len())
+	for u := 0; u < d.Len(); u++ {
+		for _, v := range d.succ[u] {
+			// u->v is redundant if some other successor w of u reaches v.
+			redundant := false
+			for _, w := range d.succ[u] {
+				if w != v && r.Reaches(w, v) {
+					redundant = true
+					break
+				}
+			}
+			if !redundant {
+				out.AddEdge(u, v)
+			}
+		}
+	}
+	return out, nil
+}
+
+// TransitiveClosure returns a new graph with an edge u->v for every
+// nonempty path u~>v in d.
+func TransitiveClosure(d *DAG) *DAG {
+	r := NewReachability(d)
+	out := NewDAG(d.Len())
+	for u := 0; u < d.Len(); u++ {
+		for v := 0; v < d.Len(); v++ {
+			if r.Reaches(u, v) {
+				out.AddEdge(u, v)
+			}
+		}
+	}
+	return out
+}
+
+// LinearExtensions enumerates every topological order of the acyclic graph
+// d and calls fn for each. The slice passed to fn is reused; copy it if it
+// must be retained. If fn returns false, enumeration stops early.
+// Returns ErrCycle for cyclic graphs, and the total count otherwise.
+func LinearExtensions(d *DAG, fn func(order []int) bool) (int, error) {
+	n := d.Len()
+	if !d.IsAcyclic() {
+		return 0, ErrCycle
+	}
+	indeg := make([]int, n)
+	for _, vs := range d.succ {
+		for _, v := range vs {
+			indeg[v]++
+		}
+	}
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	count := 0
+	stopped := false
+	var rec func()
+	rec = func() {
+		if stopped {
+			return
+		}
+		if len(order) == n {
+			count++
+			if !fn(order) {
+				stopped = true
+			}
+			return
+		}
+		for u := 0; u < n; u++ {
+			if used[u] || indeg[u] != 0 {
+				continue
+			}
+			used[u] = true
+			order = append(order, u)
+			for _, v := range d.succ[u] {
+				indeg[v]--
+			}
+			rec()
+			for _, v := range d.succ[u] {
+				indeg[v]++
+			}
+			order = order[:len(order)-1]
+			used[u] = false
+			if stopped {
+				return
+			}
+		}
+	}
+	rec()
+	return count, nil
+}
+
+// StronglyConnected returns the strongly connected components of d in
+// reverse topological order of the condensation (Tarjan). Each component
+// is sorted ascending.
+func StronglyConnected(d *DAG) [][]int {
+	n := d.Len()
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	next := 0
+
+	// Iterative Tarjan to survive deep graphs.
+	type frame struct {
+		u, i int
+	}
+	var callStack []frame
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		callStack = append(callStack[:0], frame{start, 0})
+		index[start] = next
+		low[start] = next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			u := f.u
+			if f.i < len(d.succ[u]) {
+				v := d.succ[u][f.i]
+				f.i++
+				if index[v] == -1 {
+					index[v] = next
+					low[v] = next
+					next++
+					stack = append(stack, v)
+					onStack[v] = true
+					callStack = append(callStack, frame{v, 0})
+				} else if onStack[v] && index[v] < low[u] {
+					low[u] = index[v]
+				}
+				continue
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := callStack[len(callStack)-1].u
+				if low[u] < low[p] {
+					low[p] = low[u]
+				}
+			}
+			if low[u] == index[u] {
+				var comp []int
+				for {
+					v := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[v] = false
+					comp = append(comp, v)
+					if v == u {
+						break
+					}
+				}
+				sort.Ints(comp)
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// String renders the graph adjacency for debugging.
+func (d *DAG) String() string {
+	s := fmt.Sprintf("DAG(n=%d, m=%d)", d.Len(), d.m)
+	for u, vs := range d.succ {
+		if len(vs) == 0 {
+			continue
+		}
+		sorted := append([]int(nil), vs...)
+		sort.Ints(sorted)
+		s += fmt.Sprintf(" %d->%v", u, sorted)
+	}
+	return s
+}
+
+func reverse(a []int) {
+	for i, j := 0, len(a)-1; i < j; i, j = i+1, j-1 {
+		a[i], a[j] = a[j], a[i]
+	}
+}
+
+// intHeap is a tiny binary min-heap of ints.
+type intHeap struct{ a []int }
+
+func (h *intHeap) len() int { return len(h.a) }
+
+func (h *intHeap) push(x int) {
+	h.a = append(h.a, x)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *intHeap) pop() int {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.a[l] < h.a[small] {
+			small = l
+		}
+		if r < last && h.a[r] < h.a[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return top
+}

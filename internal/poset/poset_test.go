@@ -1,0 +1,433 @@
+package poset
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func chain(n int) *DAG {
+	d := NewDAG(n)
+	for i := 0; i+1 < n; i++ {
+		d.AddEdge(i, i+1)
+	}
+	return d
+}
+
+func diamond() *DAG {
+	d := NewDAG(4)
+	d.AddEdge(0, 1)
+	d.AddEdge(0, 2)
+	d.AddEdge(1, 3)
+	d.AddEdge(2, 3)
+	return d
+}
+
+func TestAddEdgeDeduplicates(t *testing.T) {
+	d := NewDAG(2)
+	d.AddEdge(0, 1)
+	d.AddEdge(0, 1)
+	if got := d.NumEdges(); got != 1 {
+		t.Fatalf("NumEdges = %d, want 1", got)
+	}
+	if !d.HasEdge(0, 1) || d.HasEdge(1, 0) {
+		t.Fatalf("unexpected edge set: %v", d)
+	}
+}
+
+func TestAddEdgeGrows(t *testing.T) {
+	var d DAG
+	d.AddEdge(3, 7)
+	if d.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", d.Len())
+	}
+	if !d.HasEdge(3, 7) {
+		t.Fatal("missing edge 3->7")
+	}
+}
+
+func TestAddEdgeNegativeIgnored(t *testing.T) {
+	var d DAG
+	d.AddEdge(-1, 2)
+	d.AddEdge(2, -5)
+	if d.Len() != 0 || d.NumEdges() != 0 {
+		t.Fatalf("negative edges should be ignored, got %v", &d)
+	}
+}
+
+func TestTopoSortChain(t *testing.T) {
+	d := chain(5)
+	order, err := d.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3, 4}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestTopoSortDeterministic(t *testing.T) {
+	// 2 and 0 are both sources; smallest index must come first.
+	d := NewDAG(3)
+	d.AddEdge(2, 1)
+	d.AddEdge(0, 1)
+	order, err := d.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 2, 1}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	d := NewDAG(3)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 0)
+	if _, err := d.TopoSort(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+	if d.IsAcyclic() {
+		t.Fatal("IsAcyclic = true on a 3-cycle")
+	}
+}
+
+func TestSelfLoopIsCycle(t *testing.T) {
+	d := NewDAG(1)
+	d.AddEdge(0, 0)
+	if d.IsAcyclic() {
+		t.Fatal("self-loop should be cyclic")
+	}
+	c := d.FindCycle()
+	if len(c) != 1 || c[0] != 0 {
+		t.Fatalf("FindCycle = %v, want [0]", c)
+	}
+}
+
+func TestFindCycleNilOnDAG(t *testing.T) {
+	if c := diamond().FindCycle(); c != nil {
+		t.Fatalf("FindCycle = %v on acyclic graph", c)
+	}
+}
+
+func TestFindCycleValid(t *testing.T) {
+	d := NewDAG(6)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 3)
+	d.AddEdge(3, 1) // cycle 1->2->3->1
+	d.AddEdge(3, 4)
+	c := d.FindCycle()
+	if len(c) == 0 {
+		t.Fatal("no cycle found")
+	}
+	for i, u := range c {
+		v := c[(i+1)%len(c)]
+		if !d.HasEdge(u, v) {
+			t.Fatalf("cycle %v uses missing edge %d->%d", c, u, v)
+		}
+	}
+}
+
+func TestReachabilityDiamond(t *testing.T) {
+	r := NewReachability(diamond())
+	cases := []struct {
+		u, v int
+		want bool
+	}{
+		{0, 3, true}, {0, 1, true}, {0, 2, true},
+		{1, 2, false}, {2, 1, false},
+		{3, 0, false}, {1, 3, true},
+		{0, 0, false}, // not on a cycle
+	}
+	for _, c := range cases {
+		if got := r.Reaches(c.u, c.v); got != c.want {
+			t.Errorf("Reaches(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+	if !r.Concurrent(1, 2) {
+		t.Error("1 and 2 should be concurrent")
+	}
+	if r.Concurrent(0, 3) {
+		t.Error("0 and 3 are ordered, not concurrent")
+	}
+	if got := r.CountReachable(0); got != 3 {
+		t.Errorf("CountReachable(0) = %d, want 3", got)
+	}
+}
+
+func TestReachabilityCyclic(t *testing.T) {
+	d := NewDAG(4)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 0)
+	d.AddEdge(1, 2)
+	r := NewReachability(d)
+	if !r.Reaches(0, 0) || !r.Reaches(1, 1) {
+		t.Error("nodes on a cycle should reach themselves")
+	}
+	if !r.Reaches(0, 2) {
+		t.Error("0 should reach 2")
+	}
+	if r.Reaches(2, 0) || r.Reaches(3, 3) {
+		t.Error("unexpected reachability")
+	}
+}
+
+func TestReachabilityOutOfRange(t *testing.T) {
+	r := NewReachability(chain(2))
+	if r.Reaches(-1, 0) || r.Reaches(0, 5) {
+		t.Error("out-of-range queries must be false")
+	}
+}
+
+func TestTransitiveReduction(t *testing.T) {
+	d := chain(4)
+	d.AddEdge(0, 2) // redundant
+	d.AddEdge(0, 3) // redundant
+	tr, err := TransitiveReduction(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumEdges() != 3 {
+		t.Fatalf("reduction has %d edges, want 3: %v", tr.NumEdges(), tr)
+	}
+	// Closure of reduction must equal closure of original.
+	r1, r2 := NewReachability(d), NewReachability(tr)
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			if r1.Reaches(u, v) != r2.Reaches(u, v) {
+				t.Fatalf("closure changed at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestTransitiveReductionCycle(t *testing.T) {
+	d := NewDAG(2)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 0)
+	if _, err := TransitiveReduction(d); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	tc := TransitiveClosure(chain(4))
+	wantEdges := 3 + 2 + 1
+	if tc.NumEdges() != wantEdges {
+		t.Fatalf("closure has %d edges, want %d", tc.NumEdges(), wantEdges)
+	}
+	if !tc.HasEdge(0, 3) {
+		t.Fatal("missing closure edge 0->3")
+	}
+}
+
+func TestLinearExtensionsCount(t *testing.T) {
+	// An antichain of n elements has n! linear extensions.
+	d := NewDAG(4)
+	n, err := LinearExtensions(d, func([]int) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 24 {
+		t.Fatalf("count = %d, want 24", n)
+	}
+
+	// A chain has exactly one.
+	n, err = LinearExtensions(chain(5), func([]int) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("count = %d, want 1", n)
+	}
+
+	// The diamond has two (1 before 2, or 2 before 1).
+	n, err = LinearExtensions(diamond(), func([]int) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("count = %d, want 2", n)
+	}
+}
+
+func TestLinearExtensionsValid(t *testing.T) {
+	d := diamond()
+	_, err := LinearExtensions(d, func(order []int) bool {
+		pos := make([]int, d.Len())
+		for i, u := range order {
+			pos[u] = i
+		}
+		for u := 0; u < d.Len(); u++ {
+			for _, v := range d.Succ(u) {
+				if pos[u] >= pos[v] {
+					t.Fatalf("order %v violates edge %d->%d", order, u, v)
+				}
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearExtensionsEarlyStop(t *testing.T) {
+	d := NewDAG(5)
+	calls := 0
+	_, err := LinearExtensions(d, func([]int) bool {
+		calls++
+		return calls < 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3 (early stop)", calls)
+	}
+}
+
+func TestLinearExtensionsCycle(t *testing.T) {
+	d := NewDAG(2)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 0)
+	if _, err := LinearExtensions(d, func([]int) bool { return true }); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestStronglyConnected(t *testing.T) {
+	d := NewDAG(6)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 0) // SCC {0,1,2}
+	d.AddEdge(2, 3)
+	d.AddEdge(3, 4)
+	d.AddEdge(4, 3) // SCC {3,4}
+	// node 5 isolated
+	comps := StronglyConnected(d)
+	var sizes []int
+	for _, c := range comps {
+		sizes = append(sizes, len(c))
+	}
+	sort.Ints(sizes)
+	if !reflect.DeepEqual(sizes, []int{1, 2, 3}) {
+		t.Fatalf("component sizes = %v, want [1 2 3]", sizes)
+	}
+	for _, c := range comps {
+		if len(c) == 3 && !reflect.DeepEqual(c, []int{0, 1, 2}) {
+			t.Fatalf("3-SCC = %v, want [0 1 2]", c)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	d := diamond()
+	c := d.Clone()
+	c.AddEdge(3, 0)
+	if !d.IsAcyclic() {
+		t.Fatal("mutating clone affected original")
+	}
+	if c.IsAcyclic() {
+		t.Fatal("clone should have become cyclic")
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	if s := diamond().String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// randomDAG builds an acyclic graph by only adding forward edges i<j.
+func randomDAG(rng *rand.Rand, n int, p float64) *DAG {
+	d := NewDAG(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				d.AddEdge(i, j)
+			}
+		}
+	}
+	return d
+}
+
+func TestQuickReachabilityMatchesDFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(12)
+		d := randomDAG(r, n, 0.3)
+		re := NewReachability(d)
+		// Independent check: DFS per pair.
+		var dfs func(u, target int, seen []bool) bool
+		dfs = func(u, target int, seen []bool) bool {
+			for _, v := range d.Succ(u) {
+				if v == target {
+					return true
+				}
+				if !seen[v] {
+					seen[v] = true
+					if dfs(v, target, seen) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				want := dfs(u, v, make([]bool, n))
+				if re.Reaches(u, v) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTransitiveReductionMinimal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(9)
+		d := randomDAG(r, n, 0.4)
+		tr, err := TransitiveReduction(d)
+		if err != nil {
+			return false
+		}
+		full := NewReachability(d)
+		// Removing any edge of the reduction must change the closure.
+		for u := 0; u < n; u++ {
+			for _, v := range tr.Succ(u) {
+				smaller := NewDAG(n)
+				for a := 0; a < n; a++ {
+					for _, b := range tr.Succ(a) {
+						if a == u && b == v {
+							continue
+						}
+						smaller.AddEdge(a, b)
+					}
+				}
+				if NewReachability(smaller).Reaches(u, v) == full.Reaches(u, v) {
+					return false // edge was redundant: not minimal
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

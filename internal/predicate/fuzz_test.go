@@ -1,0 +1,41 @@
+package predicate
+
+import "testing"
+
+// FuzzParse drives the lexer and parser with arbitrary input: it must
+// never panic, and anything that parses must validate, print, and
+// re-parse to an equivalent form.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"x, y : x.s -> y.s && y.r -> x.r",
+		"forbidden x, y : process(x.s) == process(y.s) && color(y) == red : x.s -> y.s && y.r -> x.r",
+		"exists a : a.s ▷ a.r",
+		"x1, x2, x3 : x1.s -> x2.r && x2.s -> x3.r && x3.s -> x1.r",
+		"x, y : process(x.r) != process(y.r) : x.r -> y.r",
+		"x : : x.s -> x.r",
+		"process : process.s -> process.r",
+		"x, y : x.s -> y.s &&",
+		"",
+		"▷▷▷",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("parsed predicate fails validation: %v", verr)
+		}
+		rendered := p.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", rendered, err)
+		}
+		if back.String() != rendered {
+			t.Fatalf("canonical form unstable: %q vs %q", rendered, back.String())
+		}
+	})
+}

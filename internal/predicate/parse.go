@@ -1,0 +1,442 @@
+package predicate
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"msgorder/internal/event"
+)
+
+// ParseError describes a syntax error with its byte offset in the input.
+type ParseError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("predicate: parse error at offset %d: %s", e.Offset, e.Msg)
+}
+
+// ErrParse can be matched with errors.Is against any *ParseError.
+var ErrParse = errors.New("predicate: parse error")
+
+// Is makes errors.Is(err, ErrParse) succeed for parse errors.
+func (e *ParseError) Is(target error) bool { return target == ErrParse }
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokComma
+	tokColon
+	tokArrow  // -> or ▷
+	tokAnd    // &&
+	tokLParen // (
+	tokRParen // )
+	tokEq     // == or =
+	tokNeq    // !=
+	tokDot    // .
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokComma:
+		return "','"
+	case tokColon:
+		return "':'"
+	case tokArrow:
+		return "'->'"
+	case tokAnd:
+		return "'&&'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokEq:
+		return "'=='"
+	case tokNeq:
+		return "'!='"
+	case tokDot:
+		return "'.'"
+	default:
+		return "unknown token"
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	off  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		switch {
+		case unicode.IsSpace(r):
+			l.pos += size
+		case r == ',':
+			l.emit(tokComma, ",")
+		case r == ':':
+			l.emit(tokColon, ":")
+		case r == '(':
+			l.emit(tokLParen, "(")
+		case r == ')':
+			l.emit(tokRParen, ")")
+		case r == '.':
+			l.emit(tokDot, ".")
+		case r == '▷':
+			l.toks = append(l.toks, token{tokArrow, "▷", l.pos})
+			l.pos += size
+		case r == '-':
+			if strings.HasPrefix(l.src[l.pos:], "->") {
+				l.toks = append(l.toks, token{tokArrow, "->", l.pos})
+				l.pos += 2
+			} else {
+				return nil, &ParseError{l.pos, "expected '->'"}
+			}
+		case r == '&':
+			if strings.HasPrefix(l.src[l.pos:], "&&") {
+				l.toks = append(l.toks, token{tokAnd, "&&", l.pos})
+				l.pos += 2
+			} else {
+				return nil, &ParseError{l.pos, "expected '&&'"}
+			}
+		case r == '=':
+			if strings.HasPrefix(l.src[l.pos:], "==") {
+				l.toks = append(l.toks, token{tokEq, "==", l.pos})
+				l.pos += 2
+			} else {
+				l.emit(tokEq, "=")
+			}
+		case r == '!':
+			if strings.HasPrefix(l.src[l.pos:], "!=") {
+				l.toks = append(l.toks, token{tokNeq, "!=", l.pos})
+				l.pos += 2
+			} else {
+				return nil, &ParseError{l.pos, "expected '!='"}
+			}
+		case unicode.IsLetter(r) || r == '_':
+			start := l.pos
+			for l.pos < len(l.src) {
+				r2, sz := utf8.DecodeRuneInString(l.src[l.pos:])
+				if !unicode.IsLetter(r2) && !unicode.IsDigit(r2) && r2 != '_' {
+					break
+				}
+				l.pos += sz
+			}
+			l.toks = append(l.toks, token{tokIdent, l.src[start:l.pos], start})
+		case unicode.IsDigit(r):
+			start := l.pos
+			for l.pos < len(l.src) {
+				r2, sz := utf8.DecodeRuneInString(l.src[l.pos:])
+				if !unicode.IsLetter(r2) && !unicode.IsDigit(r2) && r2 != '_' {
+					break
+				}
+				l.pos += sz
+			}
+			l.toks = append(l.toks, token{tokIdent, l.src[start:l.pos], start})
+		default:
+			return nil, &ParseError{l.pos, fmt.Sprintf("unexpected character %q", r)}
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", len(l.src)})
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokenKind, text string) {
+	l.toks = append(l.toks, token{k, text, l.pos})
+	l.pos += len(text)
+}
+
+type parser struct {
+	toks []token
+	i    int
+	pred *Predicate
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.cur()
+	if t.kind != k {
+		return t, &ParseError{t.off, fmt.Sprintf("expected %v, found %v %q", k, t.kind, t.text)}
+	}
+	p.i++
+	return t, nil
+}
+
+// clause is an intermediate parse result: either a guard or an atom.
+type clause struct {
+	isGuard bool
+	guard   Guard
+	atom    Atom
+	off     int
+}
+
+// Parse parses a forbidden predicate from its text syntax:
+//
+//	[forbidden|exists] vars [":" guards] ":" atoms
+//	vars   := ident ("," ident)*
+//	guards := guard ("&&" guard)*
+//	guard  := "process" "(" eventref ")" ("=="|"="|"!=") "process" "(" eventref ")"
+//	        | "color" "(" ident ")" ("=="|"=") colorname
+//	atoms  := atom ("&&" atom)*
+//	atom   := eventref ("->"|"▷") eventref
+//	eventref := ident "." ("s"|"r")
+func Parse(src string) (*Predicate, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, pred: &Predicate{}}
+
+	// Optional leading keyword.
+	if t := p.cur(); t.kind == tokIdent && (t.text == "forbidden" || t.text == "exists") {
+		p.i++
+	}
+	// Variable list.
+	for {
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if isReservedWord(t.text) {
+			return nil, &ParseError{t.off, fmt.Sprintf("%q is reserved and cannot name a variable", t.text)}
+		}
+		if p.pred.VarIndex(t.text) >= 0 {
+			return nil, &ParseError{t.off, fmt.Sprintf("duplicate variable %q", t.text)}
+		}
+		p.pred.Vars = append(p.pred.Vars, t.text)
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.i++
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	// First clause list. If a ':' follows, these were guards.
+	first, err := p.parseClauses()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokColon {
+		p.i++
+		for _, c := range first {
+			if !c.isGuard {
+				return nil, &ParseError{c.off, "causality atom in guard section (guards use process()/color())"}
+			}
+			p.pred.Guards = append(p.pred.Guards, c.guard)
+		}
+		second, err := p.parseClauses()
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range second {
+			if c.isGuard {
+				return nil, &ParseError{c.off, "guard in atom section (atoms use x.s -> y.r)"}
+			}
+			p.pred.Atoms = append(p.pred.Atoms, c.atom)
+		}
+	} else {
+		allGuards := true
+		for _, c := range first {
+			if !c.isGuard {
+				allGuards = false
+			}
+		}
+		for _, c := range first {
+			if c.isGuard {
+				if allGuards {
+					return nil, &ParseError{c.off, "guard clauses require a following ':' and atom section"}
+				}
+				return nil, &ParseError{c.off, "guard in atom section (guards must precede the second ':')"}
+			}
+			p.pred.Atoms = append(p.pred.Atoms, c.atom)
+		}
+	}
+	if _, err := p.expect(tokEOF); err != nil {
+		return nil, err
+	}
+	if err := p.pred.Validate(); err != nil {
+		return nil, err
+	}
+	return p.pred, nil
+}
+
+func isReservedWord(s string) bool {
+	switch s {
+	case "forbidden", "exists", "process", "color":
+		return true
+	}
+	return false
+}
+
+// MustParse is Parse for tests and package-level catalogs; it panics on
+// error.
+func MustParse(src string) *Predicate {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *parser) parseClauses() ([]clause, error) {
+	var out []clause
+	for {
+		c, err := p.parseClause()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+		if p.cur().kind != tokAnd {
+			return out, nil
+		}
+		p.i++
+	}
+}
+
+func (p *parser) parseClause() (clause, error) {
+	t := p.cur()
+	if t.kind == tokIdent && t.text == "process" {
+		g, err := p.parseProcGuard()
+		return clause{isGuard: true, guard: g, off: t.off}, err
+	}
+	if t.kind == tokIdent && t.text == "color" {
+		g, err := p.parseColorGuard()
+		return clause{isGuard: true, guard: g, off: t.off}, err
+	}
+	a, err := p.parseAtom()
+	return clause{atom: a, off: t.off}, err
+}
+
+func (p *parser) parseEventRef() (EventRef, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return EventRef{}, err
+	}
+	vi := p.pred.VarIndex(name.text)
+	if vi < 0 {
+		return EventRef{}, &ParseError{name.off, fmt.Sprintf("unknown variable %q", name.text)}
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return EventRef{}, err
+	}
+	part, err := p.expect(tokIdent)
+	if err != nil {
+		return EventRef{}, err
+	}
+	switch part.text {
+	case "s":
+		return EventRef{Var: vi, Part: S}, nil
+	case "r":
+		return EventRef{Var: vi, Part: R}, nil
+	default:
+		return EventRef{}, &ParseError{part.off, fmt.Sprintf("event part must be 's' or 'r', found %q", part.text)}
+	}
+}
+
+func (p *parser) parseAtom() (Atom, error) {
+	from, err := p.parseEventRef()
+	if err != nil {
+		return Atom{}, err
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return Atom{}, err
+	}
+	to, err := p.parseEventRef()
+	if err != nil {
+		return Atom{}, err
+	}
+	return Atom{From: from, To: to}, nil
+}
+
+func (p *parser) parseProcGuard() (Guard, error) {
+	p.i++ // consume "process"
+	if _, err := p.expect(tokLParen); err != nil {
+		return Guard{}, err
+	}
+	a, err := p.parseEventRef()
+	if err != nil {
+		return Guard{}, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return Guard{}, err
+	}
+	op := p.next()
+	var kind GuardKind
+	switch op.kind {
+	case tokEq:
+		kind = GuardProcEq
+	case tokNeq:
+		kind = GuardProcNeq
+	default:
+		return Guard{}, &ParseError{op.off, fmt.Sprintf("expected '==' or '!=', found %q", op.text)}
+	}
+	kw, err := p.expect(tokIdent)
+	if err != nil {
+		return Guard{}, err
+	}
+	if kw.text != "process" {
+		return Guard{}, &ParseError{kw.off, "process(...) must be compared with process(...)"}
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return Guard{}, err
+	}
+	b, err := p.parseEventRef()
+	if err != nil {
+		return Guard{}, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return Guard{}, err
+	}
+	return Guard{Kind: kind, A: a, B: b}, nil
+}
+
+func (p *parser) parseColorGuard() (Guard, error) {
+	p.i++ // consume "color"
+	if _, err := p.expect(tokLParen); err != nil {
+		return Guard{}, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return Guard{}, err
+	}
+	vi := p.pred.VarIndex(name.text)
+	if vi < 0 {
+		return Guard{}, &ParseError{name.off, fmt.Sprintf("unknown variable %q", name.text)}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return Guard{}, err
+	}
+	if _, err := p.expect(tokEq); err != nil {
+		return Guard{}, err
+	}
+	cname, err := p.expect(tokIdent)
+	if err != nil {
+		return Guard{}, err
+	}
+	c, ok := event.ParseColor(cname.text)
+	if !ok {
+		return Guard{}, &ParseError{cname.off, fmt.Sprintf("unknown color %q", cname.text)}
+	}
+	return Guard{Kind: GuardColorIs, Var: vi, Color: c}, nil
+}

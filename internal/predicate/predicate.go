@@ -1,0 +1,343 @@
+// Package predicate implements the forbidden-predicate specification
+// language of Section 4 of Murty & Garg. A forbidden predicate
+//
+//	B ≡ ∃ x1, ..., xm ∈ M : ∧ (xj.p ▷ xk.q)
+//
+// is an existentially quantified conjunction of causality atoms over
+// message variables, where p and q name the send or deliver event of a
+// message. Variables may additionally be constrained by attribute guards
+// on the sending process, the receiving process, and the message color
+// (Section 4.1). The specification set X_B contains exactly the complete
+// user-view runs in which no instantiation of the variables satisfies B.
+//
+// Predicates can be built programmatically (see Builder) or parsed from a
+// concise text syntax:
+//
+//	forbidden x, y :
+//	    process(x.s) == process(y.s) && process(x.r) == process(y.r) :
+//	    x.s -> y.s && y.r -> x.r
+//
+// The leading keyword "forbidden" (or "exists") is optional, as is the
+// guard section. "->" may also be written "▷".
+package predicate
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"msgorder/internal/event"
+)
+
+// Part selects the user-visible event of a message variable.
+type Part uint8
+
+// The two user-visible event parts.
+const (
+	S Part = iota + 1 // send
+	R                 // deliver (the paper writes r for the delivery event)
+)
+
+// String returns "s" or "r".
+func (p Part) String() string {
+	switch p {
+	case S:
+		return "s"
+	case R:
+		return "r"
+	default:
+		return fmt.Sprintf("part(%d)", uint8(p))
+	}
+}
+
+// Kind converts the part to the user-visible event kind.
+func (p Part) Kind() event.Kind {
+	if p == S {
+		return event.Send
+	}
+	return event.Deliver
+}
+
+// EventRef names one event of one predicate variable, e.g. x.s.
+type EventRef struct {
+	Var  int // index into Predicate.Vars
+	Part Part
+}
+
+// Atom is a causality conjunct From ▷ To.
+type Atom struct {
+	From, To EventRef
+}
+
+// SameVar reports whether both endpoints name the same variable.
+func (a Atom) SameVar() bool { return a.From.Var == a.To.Var }
+
+// Trivial reports whether the atom holds for every message in a complete
+// run: x.s ▷ x.r.
+func (a Atom) Trivial() bool {
+	return a.SameVar() && a.From.Part == S && a.To.Part == R
+}
+
+// Impossible reports whether the atom can never hold: x.p ▷ x.p or
+// x.r ▷ x.s (▷ is irreflexive, and a message's send always precedes its
+// delivery).
+func (a Atom) Impossible() bool {
+	return a.SameVar() && !a.Trivial()
+}
+
+// GuardKind distinguishes attribute guards.
+type GuardKind uint8
+
+// Guard kinds.
+const (
+	GuardProcEq  GuardKind = iota + 1 // process(a) == process(b)
+	GuardProcNeq                      // process(a) != process(b)
+	GuardColorIs                      // color(x) == c
+)
+
+// Guard is an attribute constraint on the quantified variables.
+type Guard struct {
+	Kind GuardKind
+	// A and B are used by the process guards: process(A) relates to
+	// process(B). Part selects sender (s) or receiver (r) side.
+	A, B EventRef
+	// Var and Color are used by the color guard.
+	Var   int
+	Color event.Color
+}
+
+// Predicate is a forbidden predicate: quantified variables, attribute
+// guards, and a conjunction of causality atoms.
+type Predicate struct {
+	Vars   []string
+	Guards []Guard
+	Atoms  []Atom
+}
+
+// Validation errors.
+var (
+	ErrNoVars      = errors.New("predicate: no variables")
+	ErrNoAtoms     = errors.New("predicate: no atoms")
+	ErrDupVar      = errors.New("predicate: duplicate variable")
+	ErrBadVarIndex = errors.New("predicate: variable index out of range")
+	ErrBadPart     = errors.New("predicate: invalid event part")
+	ErrBadGuard    = errors.New("predicate: invalid guard")
+)
+
+// Validate checks structural well-formedness. Semantically degenerate
+// atoms (same-variable atoms) are allowed — the classifier handles them —
+// but indices and parts must be in range.
+func (p *Predicate) Validate() error {
+	if len(p.Vars) == 0 {
+		return ErrNoVars
+	}
+	if len(p.Atoms) == 0 {
+		return ErrNoAtoms
+	}
+	seen := make(map[string]bool, len(p.Vars))
+	for _, v := range p.Vars {
+		if seen[v] {
+			return fmt.Errorf("%w: %s", ErrDupVar, v)
+		}
+		seen[v] = true
+	}
+	checkRef := func(r EventRef) error {
+		if r.Var < 0 || r.Var >= len(p.Vars) {
+			return fmt.Errorf("%w: %d", ErrBadVarIndex, r.Var)
+		}
+		if r.Part != S && r.Part != R {
+			return fmt.Errorf("%w: %d", ErrBadPart, r.Part)
+		}
+		return nil
+	}
+	for _, a := range p.Atoms {
+		if err := checkRef(a.From); err != nil {
+			return err
+		}
+		if err := checkRef(a.To); err != nil {
+			return err
+		}
+	}
+	for _, g := range p.Guards {
+		switch g.Kind {
+		case GuardProcEq, GuardProcNeq:
+			if err := checkRef(g.A); err != nil {
+				return err
+			}
+			if err := checkRef(g.B); err != nil {
+				return err
+			}
+		case GuardColorIs:
+			if g.Var < 0 || g.Var >= len(p.Vars) {
+				return fmt.Errorf("%w: %d", ErrBadVarIndex, g.Var)
+			}
+		default:
+			return fmt.Errorf("%w: kind %d", ErrBadGuard, g.Kind)
+		}
+	}
+	return nil
+}
+
+// VarIndex returns the index of the named variable, or -1.
+func (p *Predicate) VarIndex(name string) int {
+	for i, v := range p.Vars {
+		if v == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// refString renders an EventRef using the predicate's variable names.
+func (p *Predicate) refString(r EventRef) string {
+	name := "?"
+	if r.Var >= 0 && r.Var < len(p.Vars) {
+		name = p.Vars[r.Var]
+	}
+	return name + "." + r.Part.String()
+}
+
+// String renders the predicate in the parser's input syntax.
+func (p *Predicate) String() string {
+	var b strings.Builder
+	b.WriteString("forbidden ")
+	b.WriteString(strings.Join(p.Vars, ", "))
+	if len(p.Guards) > 0 {
+		b.WriteString(" : ")
+		parts := make([]string, len(p.Guards))
+		for i, g := range p.Guards {
+			switch g.Kind {
+			case GuardProcEq:
+				parts[i] = fmt.Sprintf("process(%s) == process(%s)", p.refString(g.A), p.refString(g.B))
+			case GuardProcNeq:
+				parts[i] = fmt.Sprintf("process(%s) != process(%s)", p.refString(g.A), p.refString(g.B))
+			case GuardColorIs:
+				name := "?"
+				if g.Var >= 0 && g.Var < len(p.Vars) {
+					name = p.Vars[g.Var]
+				}
+				parts[i] = fmt.Sprintf("color(%s) == %s", name, g.Color)
+			}
+		}
+		b.WriteString(strings.Join(parts, " && "))
+	}
+	b.WriteString(" : ")
+	parts := make([]string, len(p.Atoms))
+	for i, a := range p.Atoms {
+		parts[i] = fmt.Sprintf("%s -> %s", p.refString(a.From), p.refString(a.To))
+	}
+	b.WriteString(strings.Join(parts, " && "))
+	return b.String()
+}
+
+// GuardsSatisfied evaluates every guard under the assignment
+// vars[i] -> msgs[i].
+func (p *Predicate) GuardsSatisfied(assign []event.Message) bool {
+	proc := func(r EventRef) event.ProcID {
+		m := assign[r.Var]
+		if r.Part == S {
+			return m.From
+		}
+		return m.To
+	}
+	for _, g := range p.Guards {
+		switch g.Kind {
+		case GuardProcEq:
+			if proc(g.A) != proc(g.B) {
+				return false
+			}
+		case GuardProcNeq:
+			if proc(g.A) == proc(g.B) {
+				return false
+			}
+		case GuardColorIs:
+			if assign[g.Var].Color != g.Color {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (p *Predicate) Clone() *Predicate {
+	return &Predicate{
+		Vars:   append([]string(nil), p.Vars...),
+		Guards: append([]Guard(nil), p.Guards...),
+		Atoms:  append([]Atom(nil), p.Atoms...),
+	}
+}
+
+// Builder assembles predicates programmatically. Methods panic on unknown
+// variable names — builders are written by programmers against a fixed
+// variable list, so a bad name is a programming error, matching the
+// fmt.Sprintf convention of failing loudly during development.
+type Builder struct {
+	p   Predicate
+	err error
+}
+
+// NewBuilder starts a predicate over the given variables.
+func NewBuilder(vars ...string) *Builder {
+	b := &Builder{}
+	b.p.Vars = append(b.p.Vars, vars...)
+	return b
+}
+
+func (b *Builder) ref(varName string, part Part) EventRef {
+	i := b.p.VarIndex(varName)
+	if i < 0 && b.err == nil {
+		b.err = fmt.Errorf("predicate: unknown variable %q", varName)
+	}
+	return EventRef{Var: i, Part: part}
+}
+
+// Atom appends the conjunct from.fp ▷ to.tp.
+func (b *Builder) Atom(from string, fp Part, to string, tp Part) *Builder {
+	b.p.Atoms = append(b.p.Atoms, Atom{From: b.ref(from, fp), To: b.ref(to, tp)})
+	return b
+}
+
+// SameProc appends the guard process(a.ap) == process(b.bp).
+func (b *Builder) SameProc(a string, ap Part, c string, cp Part) *Builder {
+	b.p.Guards = append(b.p.Guards, Guard{Kind: GuardProcEq, A: b.ref(a, ap), B: b.ref(c, cp)})
+	return b
+}
+
+// DistinctProc appends the guard process(a.ap) != process(b.bp).
+func (b *Builder) DistinctProc(a string, ap Part, c string, cp Part) *Builder {
+	b.p.Guards = append(b.p.Guards, Guard{Kind: GuardProcNeq, A: b.ref(a, ap), B: b.ref(c, cp)})
+	return b
+}
+
+// Colored appends the guard color(v) == c.
+func (b *Builder) Colored(v string, c event.Color) *Builder {
+	i := b.p.VarIndex(v)
+	if i < 0 && b.err == nil {
+		b.err = fmt.Errorf("predicate: unknown variable %q", v)
+	}
+	b.p.Guards = append(b.p.Guards, Guard{Kind: GuardColorIs, Var: i, Color: c})
+	return b
+}
+
+// Build validates and returns the predicate.
+func (b *Builder) Build() (*Predicate, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	p := b.p.Clone()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build for tests and package-level catalogs; it panics on
+// error.
+func (b *Builder) MustBuild() *Predicate {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,342 @@
+package predicate
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"msgorder/internal/event"
+)
+
+func TestBuilderCausalOrdering(t *testing.T) {
+	p, err := NewBuilder("x", "y").
+		Atom("x", S, "y", S).
+		Atom("y", R, "x", R).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Vars) != 2 || len(p.Atoms) != 2 {
+		t.Fatalf("unexpected shape: %+v", p)
+	}
+	want := "forbidden x, y : x.s -> y.s && y.r -> x.r"
+	if got := p.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestBuilderUnknownVar(t *testing.T) {
+	if _, err := NewBuilder("x").Atom("x", S, "z", R).Build(); err == nil {
+		t.Fatal("expected error for unknown variable")
+	}
+	if _, err := NewBuilder("x").Colored("q", event.ColorRed).Atom("x", S, "x", R).Build(); err == nil {
+		t.Fatal("expected error for unknown color variable")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Predicate
+		want error
+	}{
+		{"no vars", Predicate{}, ErrNoVars},
+		{"no atoms", Predicate{Vars: []string{"x"}}, ErrNoAtoms},
+		{
+			"dup var",
+			Predicate{Vars: []string{"x", "x"}, Atoms: []Atom{{From: EventRef{0, S}, To: EventRef{1, R}}}},
+			ErrDupVar,
+		},
+		{
+			"bad var index",
+			Predicate{Vars: []string{"x"}, Atoms: []Atom{{From: EventRef{3, S}, To: EventRef{0, R}}}},
+			ErrBadVarIndex,
+		},
+		{
+			"bad part",
+			Predicate{Vars: []string{"x"}, Atoms: []Atom{{From: EventRef{0, Part(7)}, To: EventRef{0, R}}}},
+			ErrBadPart,
+		},
+		{
+			"bad guard kind",
+			Predicate{
+				Vars:   []string{"x"},
+				Atoms:  []Atom{{From: EventRef{0, S}, To: EventRef{0, R}}},
+				Guards: []Guard{{Kind: GuardKind(9)}},
+			},
+			ErrBadGuard,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.p.Validate(); !errors.Is(err, c.want) {
+				t.Fatalf("err = %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+func TestAtomClassification(t *testing.T) {
+	sx := EventRef{0, S}
+	rx := EventRef{0, R}
+	sy := EventRef{1, S}
+	cases := []struct {
+		a                   Atom
+		trivial, impossible bool
+	}{
+		{Atom{From: sx, To: rx}, true, false},  // x.s -> x.r
+		{Atom{From: rx, To: sx}, false, true},  // x.r -> x.s
+		{Atom{From: sx, To: sx}, false, true},  // x.s -> x.s
+		{Atom{From: rx, To: rx}, false, true},  // x.r -> x.r
+		{Atom{From: sx, To: sy}, false, false}, // distinct vars
+	}
+	for _, c := range cases {
+		if got := c.a.Trivial(); got != c.trivial {
+			t.Errorf("Trivial(%+v) = %v, want %v", c.a, got, c.trivial)
+		}
+		if got := c.a.Impossible(); got != c.impossible {
+			t.Errorf("Impossible(%+v) = %v, want %v", c.a, got, c.impossible)
+		}
+	}
+}
+
+func TestParseCausal(t *testing.T) {
+	p, err := Parse("forbidden x, y : x.s -> y.s && y.r -> x.r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Vars) != 2 || p.Vars[0] != "x" || p.Vars[1] != "y" {
+		t.Fatalf("vars = %v", p.Vars)
+	}
+	if len(p.Atoms) != 2 {
+		t.Fatalf("atoms = %v", p.Atoms)
+	}
+	want := Atom{From: EventRef{0, S}, To: EventRef{1, S}}
+	if p.Atoms[0] != want {
+		t.Errorf("atom[0] = %+v, want %+v", p.Atoms[0], want)
+	}
+}
+
+func TestParseKeywordOptional(t *testing.T) {
+	for _, src := range []string{
+		"x, y : x.s -> y.s",
+		"exists x, y : x.s -> y.s",
+		"forbidden x, y : x.s -> y.s",
+	} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+}
+
+func TestParseUnicodeArrow(t *testing.T) {
+	p, err := Parse("x, y : x.s ▷ y.r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Atoms) != 1 || p.Atoms[0].To.Part != R {
+		t.Fatalf("atoms = %+v", p.Atoms)
+	}
+}
+
+func TestParseFIFO(t *testing.T) {
+	src := `forbidden x, y :
+		process(x.s) == process(y.s) && process(x.r) == process(y.r) :
+		x.s -> y.s && y.r -> x.r`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Guards) != 2 || len(p.Atoms) != 2 {
+		t.Fatalf("shape = %d guards, %d atoms", len(p.Guards), len(p.Atoms))
+	}
+	if p.Guards[0].Kind != GuardProcEq {
+		t.Errorf("guard kind = %v", p.Guards[0].Kind)
+	}
+}
+
+func TestParseColorGuard(t *testing.T) {
+	p, err := Parse("x, y : color(y) == red : x.s -> y.s && y.r -> x.r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Guards[0]
+	if g.Kind != GuardColorIs || g.Color != event.ColorRed || g.Var != 1 {
+		t.Fatalf("guard = %+v", g)
+	}
+}
+
+func TestParseNeqGuard(t *testing.T) {
+	p, err := Parse("x, y : process(x.s) != process(y.s) : x.s -> y.r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Guards[0].Kind != GuardProcNeq {
+		t.Fatalf("guard = %+v", p.Guards[0])
+	}
+}
+
+func TestParseSingleEquals(t *testing.T) {
+	if _, err := Parse("x, y : process(x.s) = process(y.s) : x.s -> y.s"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"empty", "", "identifier"},
+		{"missing colon", "x y.s -> y.r", "':'"},
+		{"unknown var", "x : z.s -> x.r", `unknown variable "z"`},
+		{"bad part", "x : x.q -> x.r", "'s' or 'r'"},
+		{"dup var", "x, x : x.s -> x.r", "duplicate variable"},
+		{"guard in atoms", "x : x.s -> x.r && process(x.s) == process(x.r)", "guard in atom section"},
+		{"atom in guards", "x : x.s -> x.r : x.s -> x.r", "causality atom in guard section"},
+		{"trailing junk", "x : x.s -> x.r extra", "end of input"},
+		{"bad char", "x : x.s -> x.r #", "unexpected character"},
+		{"lone minus", "x : x.s - x.r", "'->'"},
+		{"lone amp", "x : x.s -> x.r & x", "'&&'"},
+		{"lone bang", "x : x.s -> x.r !", "'!='"},
+		{"unknown color", "x : color(x) == mauve : x.s -> x.r", "unknown color"},
+		{"reserved var", "process : process.s -> process.r", "reserved"},
+		{"process vs color", "x : process(x.s) == color(x) : x.s -> x.r", "compared with process"},
+		{"guards need atoms", "x : process(x.s) == process(x.r)", "require a following ':'"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !errors.Is(err, ErrParse) {
+				t.Fatalf("error %v is not a parse error", err)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseErrorOffset(t *testing.T) {
+	_, err := Parse("x : z.s -> x.r")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not *ParseError", err)
+	}
+	if pe.Offset != 4 {
+		t.Errorf("offset = %d, want 4", pe.Offset)
+	}
+}
+
+func TestRoundTripStringParse(t *testing.T) {
+	srcs := []string{
+		"forbidden x, y : x.s -> y.s && y.r -> x.r",
+		"forbidden x, y : process(x.s) == process(y.s) && color(y) == red : x.s -> y.s && y.r -> x.r",
+		"forbidden x1, x2, x3 : x1.s -> x2.r && x2.s -> x3.r && x3.s -> x1.r",
+		"forbidden a, b : process(a.s) != process(b.r) : a.s -> b.r",
+	}
+	for _, src := range srcs {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		p2, err := Parse(p1.String())
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", p1.String(), err)
+		}
+		if p1.String() != p2.String() {
+			t.Errorf("round trip changed predicate:\n%s\n%s", p1, p2)
+		}
+	}
+}
+
+func TestGuardsSatisfied(t *testing.T) {
+	p := MustParse("x, y : process(x.s) == process(y.s) && color(y) == red : x.s -> y.s && y.r -> x.r")
+	sameProcRed := []event.Message{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 0, To: 2, Color: event.ColorRed},
+	}
+	if !p.GuardsSatisfied(sameProcRed) {
+		t.Error("guards should pass: same sender, y red")
+	}
+	diffProc := []event.Message{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 3, To: 2, Color: event.ColorRed},
+	}
+	if p.GuardsSatisfied(diffProc) {
+		t.Error("guards should fail: different senders")
+	}
+	notRed := []event.Message{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 0, To: 2},
+	}
+	if p.GuardsSatisfied(notRed) {
+		t.Error("guards should fail: y not red")
+	}
+
+	neq := MustParse("x, y : process(x.s) != process(y.s) : x.s -> y.s")
+	if neq.GuardsSatisfied(sameProcRed) {
+		t.Error("!= guard should fail on same sender")
+	}
+	if !neq.GuardsSatisfied(diffProc) {
+		t.Error("!= guard should pass on different senders")
+	}
+}
+
+func TestGuardReceiverSide(t *testing.T) {
+	p := MustParse("x, y : process(x.r) == process(y.r) : x.s -> y.s")
+	sameDest := []event.Message{{ID: 0, From: 0, To: 5}, {ID: 1, From: 1, To: 5}}
+	diffDest := []event.Message{{ID: 0, From: 0, To: 5}, {ID: 1, From: 1, To: 6}}
+	if !p.GuardsSatisfied(sameDest) || p.GuardsSatisfied(diffDest) {
+		t.Error("receiver-side process guard misevaluated")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := MustParse("x, y : x.s -> y.s")
+	c := p.Clone()
+	c.Vars[0] = "zzz"
+	c.Atoms[0].From.Part = R
+	if p.Vars[0] != "x" || p.Atoms[0].From.Part != S {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestVarIndex(t *testing.T) {
+	p := MustParse("alpha, beta : alpha.s -> beta.r")
+	if p.VarIndex("beta") != 1 || p.VarIndex("nope") != -1 {
+		t.Error("VarIndex broken")
+	}
+}
+
+func TestPartKind(t *testing.T) {
+	if S.Kind() != event.Send || R.Kind() != event.Deliver {
+		t.Error("Part.Kind mapping wrong")
+	}
+	if S.String() != "s" || R.String() != "r" {
+		t.Error("Part.String wrong")
+	}
+	if Part(9).String() != "part(9)" {
+		t.Error("invalid part string")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("not a predicate ->")
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild should panic on bad input")
+		}
+	}()
+	NewBuilder().MustBuild()
+}

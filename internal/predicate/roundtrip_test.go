@@ -1,0 +1,112 @@
+package predicate
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"msgorder/internal/event"
+)
+
+// randomPredicate builds an arbitrary well-formed predicate.
+func randomPredicate(rng *rand.Rand) *Predicate {
+	nv := 1 + rng.Intn(5)
+	p := &Predicate{}
+	for i := 0; i < nv; i++ {
+		p.Vars = append(p.Vars, string(rune('a'+i)))
+	}
+	parts := []Part{S, R}
+	na := 1 + rng.Intn(6)
+	for i := 0; i < na; i++ {
+		p.Atoms = append(p.Atoms, Atom{
+			From: EventRef{Var: rng.Intn(nv), Part: parts[rng.Intn(2)]},
+			To:   EventRef{Var: rng.Intn(nv), Part: parts[rng.Intn(2)]},
+		})
+	}
+	ng := rng.Intn(4)
+	colors := []event.Color{event.ColorRed, event.ColorBlue, event.ColorGreen}
+	for i := 0; i < ng; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			p.Guards = append(p.Guards, Guard{
+				Kind: GuardProcEq,
+				A:    EventRef{Var: rng.Intn(nv), Part: parts[rng.Intn(2)]},
+				B:    EventRef{Var: rng.Intn(nv), Part: parts[rng.Intn(2)]},
+			})
+		case 1:
+			p.Guards = append(p.Guards, Guard{
+				Kind: GuardProcNeq,
+				A:    EventRef{Var: rng.Intn(nv), Part: parts[rng.Intn(2)]},
+				B:    EventRef{Var: rng.Intn(nv), Part: parts[rng.Intn(2)]},
+			})
+		case 2:
+			p.Guards = append(p.Guards, Guard{
+				Kind:  GuardColorIs,
+				Var:   rng.Intn(nv),
+				Color: colors[rng.Intn(len(colors))],
+			})
+		}
+	}
+	return p
+}
+
+// TestQuickStringParseRoundTrip: Parse(p.String()) reproduces the exact
+// AST for arbitrary predicates.
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPredicate(rng)
+		back, err := Parse(p.String())
+		if err != nil {
+			t.Logf("Parse(%q): %v", p.String(), err)
+			return false
+		}
+		return reflect.DeepEqual(p, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParserNeverPanics: arbitrary byte strings must produce errors,
+// not panics.
+func TestQuickParserNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		_, _ = Parse(src) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParserFragments: random token soup built from the grammar's
+// vocabulary must never panic and must either parse or error cleanly.
+func TestQuickParserFragments(t *testing.T) {
+	vocab := []string{
+		"x", "y", "z", ",", ":", "->", "▷", "&&", ".", "s", "r",
+		"process", "color", "(", ")", "==", "!=", "red", "forbidden", " ",
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20)
+		src := ""
+		for i := 0; i < n; i++ {
+			src += vocab[rng.Intn(len(vocab))]
+		}
+		if p, err := Parse(src); err == nil {
+			// Anything that parses must be valid and re-parseable.
+			if p.Validate() != nil {
+				return false
+			}
+			if _, err := Parse(p.String()); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}

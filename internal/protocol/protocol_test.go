@@ -1,0 +1,120 @@
+package protocol
+
+import (
+	"errors"
+	"testing"
+
+	"msgorder/internal/event"
+)
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		Tagless:  "tagless",
+		Tagged:   "tagged",
+		General:  "general",
+		Class(9): "class(9)",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+func TestCheckCapability(t *testing.T) {
+	user := Wire{Kind: UserWire}
+	tagged := Wire{Kind: UserWire, Tag: []byte{1}}
+	ctrl := Wire{Kind: ControlWire}
+	cases := []struct {
+		class Class
+		wire  Wire
+		ok    bool
+	}{
+		{Tagless, user, true},
+		{Tagless, tagged, false},
+		{Tagless, ctrl, false},
+		{Tagged, tagged, true},
+		{Tagged, ctrl, false},
+		{General, ctrl, true},
+		{General, tagged, true},
+	}
+	for _, c := range cases {
+		err := CheckCapability(c.class, c.wire)
+		if (err == nil) != c.ok {
+			t.Errorf("CheckCapability(%v, %+v) = %v, want ok=%v", c.class, c.wire, err, c.ok)
+		}
+		if err != nil && !errors.Is(err, ErrClassViolation) {
+			t.Errorf("error %v must match ErrClassViolation", err)
+		}
+	}
+}
+
+func TestRecorderLifecycle(t *testing.T) {
+	r := NewRecorder(2)
+	m := r.NewMessage(0, 1, event.ColorRed)
+	if m.ID != 0 || m.From != 0 || m.To != 1 || m.Color != event.ColorRed {
+		t.Fatalf("message = %+v", m)
+	}
+	r.RecordSend(m.ID, 10)
+	r.RecordReceive(m.ID)
+	r.RecordDeliver(m.ID)
+	r.RecordControl(4)
+
+	st := r.Stats()
+	if st.UserMessages != 1 || st.UserTagBytes != 10 ||
+		st.ControlMessages != 1 || st.ControlBytes != 4 || st.Deliveries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	sys, err := r.SystemRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.InXu() {
+		t.Error("immediate execution must land in X_u")
+	}
+	view, err := r.UserView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !view.IsComplete() {
+		t.Error("view must be complete")
+	}
+	if got := r.Undelivered(); len(got) != 0 {
+		t.Errorf("undelivered = %v", got)
+	}
+	if r.Message(0) != m {
+		t.Error("Message accessor mismatch")
+	}
+	if msgs := r.Messages(); len(msgs) != 1 || msgs[0] != m {
+		t.Error("Messages accessor mismatch")
+	}
+}
+
+func TestRecorderUndelivered(t *testing.T) {
+	r := NewRecorder(2)
+	m := r.NewMessage(0, 1, event.ColorNone)
+	r.RecordSend(m.ID, 0)
+	got := r.Undelivered()
+	if len(got) != 1 || got[0] != m.ID {
+		t.Fatalf("undelivered = %v", got)
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	var s Stats
+	s.Add(Stats{UserMessages: 2, ControlMessages: 6, UserTagBytes: 20, ControlBytes: 3, Deliveries: 2})
+	s.Add(Stats{UserMessages: 2, ControlMessages: 0, UserTagBytes: 0, Deliveries: 2})
+	if s.UserMessages != 4 || s.ControlMessages != 6 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if got := s.ControlPerUser(); got != 1.5 {
+		t.Errorf("ControlPerUser = %v", got)
+	}
+	if got := s.TagBytesPerUser(); got != 5 {
+		t.Errorf("TagBytesPerUser = %v", got)
+	}
+	var empty Stats
+	if empty.ControlPerUser() != 0 || empty.TagBytesPerUser() != 0 {
+		t.Error("empty stats must not divide by zero")
+	}
+}

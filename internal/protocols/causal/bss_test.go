@@ -1,0 +1,143 @@
+package causal
+
+import (
+	"reflect"
+	"testing"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/ptest"
+)
+
+func newBSS(t *testing.T, id event.ProcID, n int) (*BSS, *ptest.Env) {
+	t.Helper()
+	env := ptest.NewEnv(id, n)
+	p, ok := BSSMaker().(*BSS)
+	if !ok {
+		t.Fatal("BSSMaker did not return *BSS")
+	}
+	p.Init(env)
+	return p, env
+}
+
+func TestBSSDescribe(t *testing.T) {
+	p, _ := newBSS(t, 0, 3)
+	if d := p.Describe(); d.Class != protocol.Tagged || d.Name != "causal-bss" {
+		t.Fatalf("descriptor = %+v", d)
+	}
+}
+
+// broadcast invokes OnBroadcast with one copy per destination.
+func broadcast(p *BSS, env *ptest.Env, baseID event.MsgID) []protocol.Wire {
+	var msgs []event.Message
+	id := baseID
+	for to := 0; to < env.N; to++ {
+		if event.ProcID(to) == env.ID {
+			continue
+		}
+		msgs = append(msgs, event.Message{ID: id, From: env.ID, To: event.ProcID(to)})
+		id++
+	}
+	p.OnBroadcast(msgs)
+	return env.TakeSent()
+}
+
+func TestBSSSharedTimestamp(t *testing.T) {
+	p, env := newBSS(t, 0, 3)
+	wires := broadcast(p, env, 0)
+	if len(wires) != 2 {
+		t.Fatalf("copies = %d, want 2", len(wires))
+	}
+	if !reflect.DeepEqual(wires[0].Tag, wires[1].Tag) {
+		t.Fatal("all copies of a broadcast share one timestamp")
+	}
+}
+
+func TestBSSTagSizeLinear(t *testing.T) {
+	// BSS tags are O(n) versus RST's O(n²).
+	n := 16
+	bss, envB := newBSS(t, 0, n)
+	rst, envR := newRST(t, 0, n)
+	copies := broadcast(bss, envB, 0)
+	rst.OnInvoke(event.Message{ID: 0, From: 0, To: 1})
+	wb := copies[0]
+	wr, _ := envR.LastSent()
+	if len(wb.Tag) >= len(wr.Tag) {
+		t.Fatalf("BSS tag (%dB) should undercut RST tag (%dB) at n=%d",
+			len(wb.Tag), len(wr.Tag), n)
+	}
+}
+
+// TestBSSCausalDeliveryOrder reproduces the classic scenario with
+// broadcasts: P0 broadcasts b1; P1 delivers it and broadcasts b2; P2
+// receives b2's copy first and must buffer it until b1's copy arrives.
+func TestBSSCausalDeliveryOrder(t *testing.T) {
+	p0, env0 := newBSS(t, 0, 3)
+	p1, env1 := newBSS(t, 1, 3)
+	p2, env2 := newBSS(t, 2, 3)
+
+	b1 := broadcast(p0, env0, 0) // copies: m0 -> P1, m1 -> P2
+	var toP1, toP2 protocol.Wire
+	for _, w := range b1 {
+		if w.To == 1 {
+			toP1 = w
+		} else {
+			toP2 = w
+		}
+	}
+	p1.OnReceive(toP1)
+	if !reflect.DeepEqual(env1.DeliveredSeq(), []int{0}) {
+		t.Fatalf("P1 delivered = %v", env1.DeliveredSeq())
+	}
+	b2 := broadcast(p1, env1, 2) // copies: m2 -> P0, m3 -> P2
+	var b2ToP2 protocol.Wire
+	for _, w := range b2 {
+		if w.To == 2 {
+			b2ToP2 = w
+		}
+	}
+	p2.OnReceive(b2ToP2)
+	if len(env2.Delivered) != 0 {
+		t.Fatal("P2 must buffer b2: b1 is causally prior")
+	}
+	p2.OnReceive(toP2)
+	if !reflect.DeepEqual(env2.DeliveredSeq(), []int{1, 3}) {
+		t.Fatalf("P2 delivered = %v, want b1 then b2", env2.DeliveredSeq())
+	}
+}
+
+func TestBSSSenderOrderPreserved(t *testing.T) {
+	p0, env0 := newBSS(t, 0, 2)
+	p1, env1 := newBSS(t, 1, 2)
+	first := broadcast(p0, env0, 0)
+	second := broadcast(p0, env0, 1)
+	p1.OnReceive(second[0])
+	if len(env1.Delivered) != 0 {
+		t.Fatal("second broadcast must wait for the first")
+	}
+	p1.OnReceive(first[0])
+	if !reflect.DeepEqual(env1.DeliveredSeq(), []int{0, 1}) {
+		t.Fatalf("delivered = %v", env1.DeliveredSeq())
+	}
+}
+
+func TestBSSUnicastFallbackLive(t *testing.T) {
+	p0, env0 := newBSS(t, 0, 2)
+	p1, env1 := newBSS(t, 1, 2)
+	p0.OnInvoke(event.Message{ID: 0, From: 0, To: 1})
+	w, _ := env0.LastSent()
+	p1.OnReceive(w)
+	if !reflect.DeepEqual(env1.DeliveredSeq(), []int{0}) {
+		t.Fatal("fallback unicast must deliver immediately")
+	}
+}
+
+func TestBSSMalformedDropped(t *testing.T) {
+	p, env := newBSS(t, 1, 2)
+	p.OnReceive(protocol.Wire{From: 0, Kind: protocol.UserWire, Msg: 1, Tag: nil})
+	p.OnReceive(protocol.Wire{From: 0, Kind: protocol.UserWire, Msg: 2, Tag: []byte{bssCast, 0xff}})
+	p.OnReceive(protocol.Wire{From: 0, Kind: protocol.ControlWire})
+	if len(env.Delivered) != 0 {
+		t.Fatal("malformed wires must not deliver")
+	}
+}

@@ -1,0 +1,232 @@
+package causal
+
+import (
+	"reflect"
+	"testing"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/ptest"
+	"msgorder/internal/vc"
+)
+
+// --- RST unit tests ---
+
+func newRST(t *testing.T, id event.ProcID, n int) (*RST, *ptest.Env) {
+	t.Helper()
+	env := ptest.NewEnv(id, n)
+	p, ok := RSTMaker().(*RST)
+	if !ok {
+		t.Fatal("RSTMaker did not return *RST")
+	}
+	p.Init(env)
+	return p, env
+}
+
+func TestRSTDescribe(t *testing.T) {
+	p, _ := newRST(t, 0, 3)
+	if d := p.Describe(); d.Class != protocol.Tagged {
+		t.Fatalf("descriptor = %+v", d)
+	}
+}
+
+func TestRSTTagsMatrix(t *testing.T) {
+	p, env := newRST(t, 0, 3)
+	p.OnInvoke(event.Message{ID: 0, From: 0, To: 1})
+	w, ok := env.LastSent()
+	if !ok {
+		t.Fatal("no wire sent")
+	}
+	m, err := vc.DecodeMatrix(w.Tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Get(0, 1) != 1 {
+		t.Fatalf("tag matrix = %v, want M[0][1]=1", m)
+	}
+}
+
+// TestRSTTriangle reproduces the classic causal violation scenario at the
+// receiver: P2 receives the relayed message before the direct one and
+// must buffer it.
+func TestRSTTriangle(t *testing.T) {
+	// P0 sends m0 to P2, then m1 to P1. P1 delivers m1 and relays m2 to
+	// P2. P2 receives m2 BEFORE m0: must hold m2 until m0 is delivered.
+	p0, env0 := newRST(t, 0, 3)
+	p1, env1 := newRST(t, 1, 3)
+	p2, env2 := newRST(t, 2, 3)
+
+	p0.OnInvoke(event.Message{ID: 0, From: 0, To: 2})
+	p0.OnInvoke(event.Message{ID: 1, From: 0, To: 1})
+	wires := env0.TakeSent()
+	if len(wires) != 2 {
+		t.Fatal("P0 must send two wires")
+	}
+	w0, w1 := wires[0], wires[1]
+
+	p1.OnReceive(w1)
+	if !reflect.DeepEqual(env1.DeliveredSeq(), []int{1}) {
+		t.Fatal("P1 must deliver m1 immediately")
+	}
+	p1.OnInvoke(event.Message{ID: 2, From: 1, To: 2})
+	w2, ok := env1.LastSent()
+	if !ok {
+		t.Fatal("P1 must send m2")
+	}
+
+	// m2 arrives at P2 first.
+	p2.OnReceive(w2)
+	if len(env2.Delivered) != 0 {
+		t.Fatal("P2 must buffer m2: m0 is causally prior")
+	}
+	p2.OnReceive(w0)
+	if !reflect.DeepEqual(env2.DeliveredSeq(), []int{0, 2}) {
+		t.Fatalf("delivered = %v, want [0 2]", env2.DeliveredSeq())
+	}
+}
+
+func TestRSTFIFOWithinChannel(t *testing.T) {
+	p0, env0 := newRST(t, 0, 2)
+	p1, env1 := newRST(t, 1, 2)
+	p0.OnInvoke(event.Message{ID: 0, From: 0, To: 1})
+	p0.OnInvoke(event.Message{ID: 1, From: 0, To: 1})
+	wires := env0.TakeSent()
+	p1.OnReceive(wires[1]) // out of order
+	if len(env1.Delivered) != 0 {
+		t.Fatal("second message must wait for the first")
+	}
+	p1.OnReceive(wires[0])
+	if !reflect.DeepEqual(env1.DeliveredSeq(), []int{0, 1}) {
+		t.Fatalf("delivered = %v", env1.DeliveredSeq())
+	}
+}
+
+func TestRSTMalformedTag(t *testing.T) {
+	p, env := newRST(t, 1, 2)
+	p.OnReceive(protocol.Wire{From: 0, Kind: protocol.UserWire, Msg: 3, Tag: []byte{0xff}})
+	if len(env.Delivered) != 0 {
+		t.Fatal("malformed tag must not deliver")
+	}
+	p.OnReceive(protocol.Wire{From: 0, Kind: protocol.ControlWire})
+	if len(env.Delivered) != 0 {
+		t.Fatal("control wires ignored")
+	}
+}
+
+// --- SES unit tests ---
+
+func newSES(t *testing.T, id event.ProcID, n int) (*SES, *ptest.Env) {
+	t.Helper()
+	env := ptest.NewEnv(id, n)
+	p, ok := SESMaker().(*SES)
+	if !ok {
+		t.Fatal("SESMaker did not return *SES")
+	}
+	p.Init(env)
+	return p, env
+}
+
+func TestSESDescribe(t *testing.T) {
+	p, _ := newSES(t, 0, 3)
+	if d := p.Describe(); d.Class != protocol.Tagged || d.Name != "causal-ses" {
+		t.Fatalf("descriptor = %+v", d)
+	}
+}
+
+func TestSESTriangle(t *testing.T) {
+	p0, env0 := newSES(t, 0, 3)
+	p1, env1 := newSES(t, 1, 3)
+	p2, env2 := newSES(t, 2, 3)
+
+	p0.OnInvoke(event.Message{ID: 0, From: 0, To: 2})
+	p0.OnInvoke(event.Message{ID: 1, From: 0, To: 1})
+	wires := env0.TakeSent()
+	w0, w1 := wires[0], wires[1]
+
+	p1.OnReceive(w1)
+	if !reflect.DeepEqual(env1.DeliveredSeq(), []int{1}) {
+		t.Fatal("P1 must deliver m1 immediately")
+	}
+	p1.OnInvoke(event.Message{ID: 2, From: 1, To: 2})
+	w2, _ := env1.LastSent()
+
+	p2.OnReceive(w2)
+	if len(env2.Delivered) != 0 {
+		t.Fatal("P2 must buffer the relayed message")
+	}
+	p2.OnReceive(w0)
+	if !reflect.DeepEqual(env2.DeliveredSeq(), []int{0, 2}) {
+		t.Fatalf("delivered = %v, want [0 2]", env2.DeliveredSeq())
+	}
+}
+
+func TestSESFIFOWithinChannel(t *testing.T) {
+	p0, env0 := newSES(t, 0, 2)
+	p1, env1 := newSES(t, 1, 2)
+	p0.OnInvoke(event.Message{ID: 0, From: 0, To: 1})
+	p0.OnInvoke(event.Message{ID: 1, From: 0, To: 1})
+	wires := env0.TakeSent()
+	p1.OnReceive(wires[1])
+	if len(env1.Delivered) != 0 {
+		t.Fatal("second message must wait for the first")
+	}
+	p1.OnReceive(wires[0])
+	if !reflect.DeepEqual(env1.DeliveredSeq(), []int{0, 1}) {
+		t.Fatalf("delivered = %v", env1.DeliveredSeq())
+	}
+}
+
+func TestSESTagSmallerThanRSTWhenSparse(t *testing.T) {
+	// With little history, SES tags are smaller than RST's n×n matrix.
+	n := 16
+	rst, envR := newRST(t, 0, n)
+	ses, envS := newSES(t, 0, n)
+	rst.OnInvoke(event.Message{ID: 0, From: 0, To: 1})
+	ses.OnInvoke(event.Message{ID: 0, From: 0, To: 1})
+	wr, _ := envR.LastSent()
+	ws, _ := envS.LastSent()
+	if len(ws.Tag) >= len(wr.Tag) {
+		t.Fatalf("SES tag (%d bytes) should be smaller than RST tag (%d bytes) at n=%d",
+			len(ws.Tag), len(wr.Tag), n)
+	}
+}
+
+func TestSESMalformedTag(t *testing.T) {
+	p, env := newSES(t, 1, 2)
+	p.OnReceive(protocol.Wire{From: 0, Kind: protocol.UserWire, Msg: 3, Tag: []byte{0xff}})
+	if len(env.Delivered) != 0 {
+		t.Fatal("malformed tag must not deliver")
+	}
+}
+
+func TestSESCodecRoundTrip(t *testing.T) {
+	tm := vc.Vector{1, 2, 3}
+	vm := map[event.ProcID]vc.Vector{
+		2: {0, 1, 0},
+		0: {4, 0, 0},
+	}
+	tm2, entries, err := decodeSES(encodeSES(tm, vm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tm2, tm) {
+		t.Fatalf("tm = %v", tm2)
+	}
+	if len(entries) != 2 || !reflect.DeepEqual(entries[2], vm[2]) || !reflect.DeepEqual(entries[0], vm[0]) {
+		t.Fatalf("entries = %v", entries)
+	}
+}
+
+func TestSESCodecErrors(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{1, 1},          // vector then missing count
+		{1, 1, 2, 0},    // count 2 but one truncated entry
+		{0, 0, 1, 1, 9}, // trailing garbage
+	}
+	for _, b := range bad {
+		if _, _, err := decodeSES(b); err == nil {
+			t.Errorf("decodeSES(%v) should fail", b)
+		}
+	}
+}

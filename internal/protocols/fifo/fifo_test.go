@@ -1,0 +1,114 @@
+package fifo
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/ptest"
+)
+
+func newProc(t *testing.T, id event.ProcID, n int) (*Process, *ptest.Env) {
+	t.Helper()
+	env := ptest.NewEnv(id, n)
+	p, ok := Maker().(*Process)
+	if !ok {
+		t.Fatal("Maker did not return *Process")
+	}
+	p.Init(env)
+	return p, env
+}
+
+func userWire(from event.ProcID, id event.MsgID, seq uint64) protocol.Wire {
+	return protocol.Wire{
+		From: from,
+		Kind: protocol.UserWire,
+		Msg:  id,
+		Tag:  binary.AppendUvarint(nil, seq),
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	p, _ := newProc(t, 0, 2)
+	d := p.Describe()
+	if d.Class != protocol.Tagged || d.Name != "fifo" {
+		t.Fatalf("descriptor = %+v", d)
+	}
+}
+
+func TestSendsTagSequences(t *testing.T) {
+	p, env := newProc(t, 0, 2)
+	p.OnInvoke(event.Message{ID: 0, From: 0, To: 1})
+	p.OnInvoke(event.Message{ID: 1, From: 0, To: 1})
+	p.OnInvoke(event.Message{ID: 2, From: 0, To: 0}) // different channel
+	wires := env.TakeSent()
+	if len(wires) != 3 {
+		t.Fatalf("sent %d wires", len(wires))
+	}
+	seq := func(w protocol.Wire) uint64 {
+		s, _ := binary.Uvarint(w.Tag)
+		return s
+	}
+	if seq(wires[0]) != 0 || seq(wires[1]) != 1 {
+		t.Error("sequences must increment per channel")
+	}
+	if seq(wires[2]) != 0 {
+		t.Error("sequences are per destination")
+	}
+}
+
+func TestInOrderDelivery(t *testing.T) {
+	p, env := newProc(t, 1, 2)
+	p.OnReceive(userWire(0, 10, 0))
+	p.OnReceive(userWire(0, 11, 1))
+	if !reflect.DeepEqual(env.DeliveredSeq(), []int{10, 11}) {
+		t.Fatalf("delivered = %v", env.DeliveredSeq())
+	}
+}
+
+func TestOutOfOrderBuffered(t *testing.T) {
+	p, env := newProc(t, 1, 2)
+	p.OnReceive(userWire(0, 11, 1))
+	if len(env.Delivered) != 0 {
+		t.Fatal("seq 1 must wait for seq 0")
+	}
+	p.OnReceive(userWire(0, 12, 2))
+	if len(env.Delivered) != 0 {
+		t.Fatal("seq 2 must also wait")
+	}
+	p.OnReceive(userWire(0, 10, 0))
+	if !reflect.DeepEqual(env.DeliveredSeq(), []int{10, 11, 12}) {
+		t.Fatalf("delivered = %v, want drain in order", env.DeliveredSeq())
+	}
+}
+
+func TestPerSourceIndependence(t *testing.T) {
+	p, env := newProc(t, 2, 3)
+	p.OnReceive(userWire(0, 20, 1)) // held: from P0
+	p.OnReceive(userWire(1, 30, 0)) // from P1, in order
+	if !reflect.DeepEqual(env.DeliveredSeq(), []int{30}) {
+		t.Fatalf("delivered = %v", env.DeliveredSeq())
+	}
+	p.OnReceive(userWire(0, 21, 0))
+	if !reflect.DeepEqual(env.DeliveredSeq(), []int{30, 21, 20}) {
+		t.Fatalf("delivered = %v", env.DeliveredSeq())
+	}
+}
+
+func TestControlWireIgnored(t *testing.T) {
+	p, env := newProc(t, 1, 2)
+	p.OnReceive(protocol.Wire{From: 0, Kind: protocol.ControlWire})
+	if len(env.Delivered) != 0 || len(env.Sent) != 0 {
+		t.Fatal("control wires must be ignored")
+	}
+}
+
+func TestMalformedTagDropped(t *testing.T) {
+	p, env := newProc(t, 1, 2)
+	p.OnReceive(protocol.Wire{From: 0, Kind: protocol.UserWire, Msg: 5, Tag: nil})
+	if len(env.Delivered) != 0 {
+		t.Fatal("malformed tag must not deliver")
+	}
+}

@@ -1,0 +1,174 @@
+package flush
+
+import (
+	"reflect"
+	"testing"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/ptest"
+)
+
+func newProc(t *testing.T, id event.ProcID) (*Process, *ptest.Env) {
+	t.Helper()
+	env := ptest.NewEnv(id, 2)
+	p, ok := Maker().(*Process)
+	if !ok {
+		t.Fatal("Maker did not return *Process")
+	}
+	p.Init(env)
+	return p, env
+}
+
+// sendAll invokes messages on a sender and returns the wires.
+func sendAll(p *Process, env *ptest.Env, colors ...event.Color) []protocol.Wire {
+	for i, c := range colors {
+		p.OnInvoke(event.Message{ID: event.MsgID(i), From: env.ID, To: 1, Color: c})
+	}
+	return env.TakeSent()
+}
+
+func TestKindMapping(t *testing.T) {
+	cases := map[event.Color]Kind{
+		event.ColorNone:  Ordinary,
+		event.ColorRed:   ForwardFlush,
+		event.ColorBlue:  BackwardFlush,
+		event.ColorGreen: TwoWayFlush,
+	}
+	for c, want := range cases {
+		if got := KindFor(c); got != want {
+			t.Errorf("KindFor(%v) = %v, want %v", c, got, want)
+		}
+	}
+	for _, k := range []Kind{Ordinary, ForwardFlush, BackwardFlush, TwoWayFlush} {
+		if k.String() == "kind(?)" {
+			t.Errorf("missing String for %d", k)
+		}
+	}
+	if Kind(99).String() != "kind(?)" {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	p, _ := newProc(t, 0)
+	if d := p.Describe(); d.Class != protocol.Tagged {
+		t.Fatalf("descriptor = %+v", d)
+	}
+}
+
+func TestOrdinaryMessagesReorderFreely(t *testing.T) {
+	s, envS := newProc(t, 0)
+	r, envR := newProc(t, 1)
+	wires := sendAll(s, envS, event.ColorNone, event.ColorNone, event.ColorNone)
+	r.OnReceive(wires[2])
+	r.OnReceive(wires[0])
+	r.OnReceive(wires[1])
+	if !reflect.DeepEqual(envR.DeliveredSeq(), []int{2, 0, 1}) {
+		t.Fatalf("delivered = %v: ordinary messages deliver on arrival", envR.DeliveredSeq())
+	}
+}
+
+func TestForwardFlushWaitsForAllEarlier(t *testing.T) {
+	s, envS := newProc(t, 0)
+	r, envR := newProc(t, 1)
+	// m0, m1 ordinary; m2 forward flush (red).
+	wires := sendAll(s, envS, event.ColorNone, event.ColorNone, event.ColorRed)
+	r.OnReceive(wires[2]) // flush arrives first: must wait
+	if len(envR.Delivered) != 0 {
+		t.Fatal("forward flush must wait for all earlier sends")
+	}
+	r.OnReceive(wires[0])
+	if !reflect.DeepEqual(envR.DeliveredSeq(), []int{0}) {
+		t.Fatalf("delivered = %v", envR.DeliveredSeq())
+	}
+	r.OnReceive(wires[1])
+	if !reflect.DeepEqual(envR.DeliveredSeq(), []int{0, 1, 2}) {
+		t.Fatalf("delivered = %v: flush drains after the backlog", envR.DeliveredSeq())
+	}
+}
+
+func TestForwardFlushDoesNotBlockLater(t *testing.T) {
+	s, envS := newProc(t, 0)
+	r, envR := newProc(t, 1)
+	// m0 forward flush, m1 ordinary sent after: m1 may overtake m0.
+	wires := sendAll(s, envS, event.ColorRed, event.ColorNone)
+	r.OnReceive(wires[1])
+	if !reflect.DeepEqual(envR.DeliveredSeq(), []int{1}) {
+		t.Fatal("a forward flush is not a barrier for later messages")
+	}
+	r.OnReceive(wires[0])
+	if !reflect.DeepEqual(envR.DeliveredSeq(), []int{1, 0}) {
+		t.Fatalf("delivered = %v", envR.DeliveredSeq())
+	}
+}
+
+func TestBackwardFlushBarrier(t *testing.T) {
+	s, envS := newProc(t, 0)
+	r, envR := newProc(t, 1)
+	// m0 backward flush (blue), m1 ordinary after it.
+	wires := sendAll(s, envS, event.ColorBlue, event.ColorNone)
+	r.OnReceive(wires[1]) // must wait for the barrier
+	if len(envR.Delivered) != 0 {
+		t.Fatal("messages after a backward flush must wait for it")
+	}
+	r.OnReceive(wires[0])
+	if !reflect.DeepEqual(envR.DeliveredSeq(), []int{0, 1}) {
+		t.Fatalf("delivered = %v", envR.DeliveredSeq())
+	}
+}
+
+func TestBackwardFlushItselfUnconstrained(t *testing.T) {
+	s, envS := newProc(t, 0)
+	r, envR := newProc(t, 1)
+	// m0 ordinary, m1 backward flush: m1 may overtake m0.
+	wires := sendAll(s, envS, event.ColorNone, event.ColorBlue)
+	r.OnReceive(wires[1])
+	if !reflect.DeepEqual(envR.DeliveredSeq(), []int{1}) {
+		t.Fatal("a backward flush is not constrained by earlier sends")
+	}
+}
+
+func TestTwoWayFlushBothDirections(t *testing.T) {
+	s, envS := newProc(t, 0)
+	r, envR := newProc(t, 1)
+	// m0 ordinary, m1 two-way (green), m2 ordinary.
+	wires := sendAll(s, envS, event.ColorNone, event.ColorGreen, event.ColorNone)
+	r.OnReceive(wires[1]) // waits for m0
+	r.OnReceive(wires[2]) // waits for barrier m1
+	if len(envR.Delivered) != 0 {
+		t.Fatal("two-way flush pins both sides")
+	}
+	r.OnReceive(wires[0])
+	if !reflect.DeepEqual(envR.DeliveredSeq(), []int{0, 1, 2}) {
+		t.Fatalf("delivered = %v", envR.DeliveredSeq())
+	}
+}
+
+func TestChainedBarriers(t *testing.T) {
+	s, envS := newProc(t, 0)
+	r, envR := newProc(t, 1)
+	// Two successive backward flushes; the second records the first as
+	// its barrier.
+	wires := sendAll(s, envS, event.ColorBlue, event.ColorBlue, event.ColorNone)
+	r.OnReceive(wires[2])
+	r.OnReceive(wires[1])
+	if len(envR.Delivered) != 0 {
+		t.Fatal("everything waits on the first barrier")
+	}
+	r.OnReceive(wires[0])
+	if !reflect.DeepEqual(envR.DeliveredSeq(), []int{0, 1, 2}) {
+		t.Fatalf("delivered = %v", envR.DeliveredSeq())
+	}
+}
+
+func TestMalformedTags(t *testing.T) {
+	r, envR := newProc(t, 1)
+	for _, tag := range [][]byte{nil, {1}, {1, 0}, {1, 0, 1, 9}} {
+		r.OnReceive(protocol.Wire{From: 0, Kind: protocol.UserWire, Msg: 9, Tag: tag})
+	}
+	r.OnReceive(protocol.Wire{From: 0, Kind: protocol.ControlWire})
+	if len(envR.Delivered) != 0 {
+		t.Fatal("malformed or control wires must not deliver")
+	}
+}

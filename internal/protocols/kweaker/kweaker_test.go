@@ -1,0 +1,123 @@
+package kweaker
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/ptest"
+)
+
+func newProc(t *testing.T, k int, id event.ProcID) (*Process, *ptest.Env) {
+	t.Helper()
+	env := ptest.NewEnv(id, 2)
+	p, ok := Maker(k)().(*Process)
+	if !ok {
+		t.Fatal("Maker did not return *Process")
+	}
+	p.Init(env)
+	return p, env
+}
+
+func wire(from event.ProcID, id event.MsgID, seq uint64) protocol.Wire {
+	return protocol.Wire{
+		From: from,
+		Kind: protocol.UserWire,
+		Msg:  id,
+		Tag:  binary.AppendUvarint(nil, seq),
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	p, _ := newProc(t, 1, 0)
+	if d := p.Describe(); d.Class != protocol.Tagged {
+		t.Fatalf("descriptor = %+v", d)
+	}
+}
+
+func TestNegativeKClamped(t *testing.T) {
+	p, _ := newProc(t, -5, 0)
+	if p.k != 0 {
+		t.Fatalf("k = %d, want 0", p.k)
+	}
+}
+
+func TestSequencesStartAtOne(t *testing.T) {
+	p, env := newProc(t, 1, 0)
+	p.OnInvoke(event.Message{ID: 0, From: 0, To: 1})
+	w, _ := env.LastSent()
+	seq, _ := binary.Uvarint(w.Tag)
+	if seq != 1 {
+		t.Fatalf("first seq = %d, want 1", seq)
+	}
+}
+
+func TestZeroSlackIsFIFO(t *testing.T) {
+	p, env := newProc(t, 0, 1)
+	p.OnReceive(wire(0, 11, 2))
+	if len(env.Delivered) != 0 {
+		t.Fatal("k=0 must hold seq 2 until seq 1")
+	}
+	p.OnReceive(wire(0, 10, 1))
+	if !reflect.DeepEqual(env.DeliveredSeq(), []int{10, 11}) {
+		t.Fatalf("delivered = %v", env.DeliveredSeq())
+	}
+}
+
+func TestSlackOneAllowsSingleOvertake(t *testing.T) {
+	p, env := newProc(t, 1, 1)
+	p.OnReceive(wire(0, 11, 2)) // seq 2 with slack 1: eligible immediately
+	if !reflect.DeepEqual(env.DeliveredSeq(), []int{11}) {
+		t.Fatalf("delivered = %v: seq 2 is within the slack window", env.DeliveredSeq())
+	}
+	p.OnReceive(wire(0, 12, 3)) // seq 3 needs contiguous >= 1
+	if len(env.Delivered) != 1 {
+		t.Fatal("seq 3 must wait: seq 1 still missing")
+	}
+	p.OnReceive(wire(0, 10, 1))
+	if !reflect.DeepEqual(env.DeliveredSeq(), []int{11, 10, 12}) {
+		t.Fatalf("delivered = %v", env.DeliveredSeq())
+	}
+}
+
+func TestSlackBoundsChainOvertake(t *testing.T) {
+	// With k=1 a message may never overtake a chain of 2: seq 4 waits
+	// until contiguous >= 2.
+	p, env := newProc(t, 1, 1)
+	p.OnReceive(wire(0, 14, 4))
+	p.OnReceive(wire(0, 13, 3))
+	if len(env.Delivered) != 0 {
+		t.Fatal("seqs 3 and 4 must wait for the prefix")
+	}
+	p.OnReceive(wire(0, 11, 1))
+	// contiguous=1: seq 3 eligible (3-2=1), seq 4 not (needs 2).
+	if !reflect.DeepEqual(env.DeliveredSeq(), []int{11, 13}) {
+		t.Fatalf("delivered = %v", env.DeliveredSeq())
+	}
+	p.OnReceive(wire(0, 12, 2))
+	if !reflect.DeepEqual(env.DeliveredSeq(), []int{11, 13, 12, 14}) {
+		t.Fatalf("delivered = %v", env.DeliveredSeq())
+	}
+}
+
+func TestPerChannelIndependence(t *testing.T) {
+	env := ptest.NewEnv(1, 3)
+	p := Maker(0)().(*Process)
+	p.Init(env)
+	p.OnReceive(wire(0, 20, 2)) // held, from P0
+	p.OnReceive(wire(2, 30, 1)) // from P2, in order
+	if !reflect.DeepEqual(env.DeliveredSeq(), []int{30}) {
+		t.Fatalf("delivered = %v", env.DeliveredSeq())
+	}
+}
+
+func TestMalformedAndControl(t *testing.T) {
+	p, env := newProc(t, 1, 1)
+	p.OnReceive(protocol.Wire{From: 0, Kind: protocol.UserWire, Msg: 1, Tag: nil})
+	p.OnReceive(protocol.Wire{From: 0, Kind: protocol.ControlWire})
+	if len(env.Delivered) != 0 {
+		t.Fatal("nothing should deliver")
+	}
+}

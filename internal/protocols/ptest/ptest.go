@@ -1,0 +1,68 @@
+// Package ptest provides a scripted in-memory environment for
+// unit-testing protocol instances without a simulator: tests inject
+// invokes and receives directly and inspect the wires sent and messages
+// delivered.
+package ptest
+
+import (
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+)
+
+// Env is a recording protocol.Env. The zero value is not ready; use
+// NewEnv.
+type Env struct {
+	ID        event.ProcID
+	N         int
+	Sent      []protocol.Wire
+	Delivered []event.MsgID
+}
+
+var _ protocol.Env = (*Env)(nil)
+
+// NewEnv returns an environment for process id of n.
+func NewEnv(id event.ProcID, n int) *Env {
+	return &Env{ID: id, N: n}
+}
+
+// Self returns the process id.
+func (e *Env) Self() event.ProcID { return e.ID }
+
+// NumProcs returns the process count.
+func (e *Env) NumProcs() int { return e.N }
+
+// Send records the wire, stamping From like the real harness.
+func (e *Env) Send(w protocol.Wire) {
+	w.From = e.ID
+	e.Sent = append(e.Sent, w)
+}
+
+// Deliver records the delivery.
+func (e *Env) Deliver(id event.MsgID) {
+	e.Delivered = append(e.Delivered, id)
+}
+
+// TakeSent returns and clears the sent wires.
+func (e *Env) TakeSent() []protocol.Wire {
+	out := e.Sent
+	e.Sent = nil
+	return out
+}
+
+// LastSent returns the most recent wire, or ok=false.
+func (e *Env) LastSent() (protocol.Wire, bool) {
+	if len(e.Sent) == 0 {
+		return protocol.Wire{}, false
+	}
+	return e.Sent[len(e.Sent)-1], true
+}
+
+// DeliveredSeq reports the delivered ids as plain ints for easy
+// comparison.
+func (e *Env) DeliveredSeq() []int {
+	out := make([]int, len(e.Delivered))
+	for i, id := range e.Delivered {
+		out[i] = int(id)
+	}
+	return out
+}

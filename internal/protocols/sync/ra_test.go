@@ -1,0 +1,142 @@
+package sync
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/ptest"
+)
+
+func newRA(t *testing.T, id event.ProcID, n int) (*RA, *ptest.Env) {
+	t.Helper()
+	env := ptest.NewEnv(id, n)
+	p, ok := RAMaker().(*RA)
+	if !ok {
+		t.Fatal("RAMaker did not return *RA")
+	}
+	p.Init(env)
+	return p, env
+}
+
+func TestRADescribe(t *testing.T) {
+	p, _ := newRA(t, 0, 3)
+	if d := p.Describe(); d.Class != protocol.General || d.Name != "sync-ra" {
+		t.Fatalf("descriptor = %+v", d)
+	}
+}
+
+func TestRAInvokeBroadcastsRequests(t *testing.T) {
+	p, env := newRA(t, 1, 4)
+	p.OnInvoke(event.Message{ID: 0, From: 1, To: 2})
+	wires := env.TakeSent()
+	if len(wires) != 3 {
+		t.Fatalf("sent %d wires, want 3 REQUESTs", len(wires))
+	}
+	seen := map[event.ProcID]bool{}
+	for _, w := range wires {
+		if w.Kind != protocol.ControlWire || w.Ctrl != ctrlRARequest {
+			t.Fatalf("wire = %+v", w)
+		}
+		seen[w.To] = true
+	}
+	if seen[1] || len(seen) != 3 {
+		t.Fatalf("requests to %v", seen)
+	}
+}
+
+func TestRASingleProcessShortCircuit(t *testing.T) {
+	p, env := newRA(t, 0, 1)
+	p.OnInvoke(event.Message{ID: 0, From: 0, To: 0})
+	w, ok := env.LastSent()
+	if !ok || w.Kind != protocol.UserWire {
+		t.Fatalf("wire = %+v, want immediate user send", w)
+	}
+}
+
+func TestRAEntersCSAfterAllReplies(t *testing.T) {
+	p, env := newRA(t, 0, 3)
+	p.OnInvoke(event.Message{ID: 5, From: 0, To: 2})
+	env.TakeSent()
+	p.OnReceive(protocol.Wire{From: 1, Kind: protocol.ControlWire, Ctrl: ctrlRAReply})
+	if len(env.Sent) != 0 {
+		t.Fatal("one reply is not enough at n=3")
+	}
+	p.OnReceive(protocol.Wire{From: 2, Kind: protocol.ControlWire, Ctrl: ctrlRAReply})
+	w, ok := env.LastSent()
+	if !ok || w.Kind != protocol.UserWire || w.Msg != 5 {
+		t.Fatalf("wire = %+v, want user m5", w)
+	}
+}
+
+func TestRAPriorityDefersLowerClaims(t *testing.T) {
+	p, env := newRA(t, 0, 3)
+	p.OnInvoke(event.Message{ID: 0, From: 0, To: 1})
+	env.TakeSent()
+	// P0 requested with ts=1. A competing request with a later timestamp
+	// must be deferred...
+	later := binary.AppendUvarint(nil, 9)
+	p.OnReceive(protocol.Wire{From: 2, Kind: protocol.ControlWire, Ctrl: ctrlRARequest, Tag: later})
+	if len(env.Sent) != 0 {
+		t.Fatal("later claim must be deferred while we hold priority")
+	}
+	// ...while an earlier one gets an immediate reply.
+	earlier := binary.AppendUvarint(nil, 0)
+	p.OnReceive(protocol.Wire{From: 1, Kind: protocol.ControlWire, Ctrl: ctrlRARequest, Tag: earlier})
+	w, ok := env.LastSent()
+	if !ok || w.Ctrl != ctrlRAReply || w.To != 1 {
+		t.Fatalf("wire = %+v, want REPLY to P1", w)
+	}
+}
+
+func TestRAAckReleasesAndAnswersDeferred(t *testing.T) {
+	p, env := newRA(t, 0, 3)
+	p.OnInvoke(event.Message{ID: 0, From: 0, To: 1})
+	env.TakeSent()
+	later := binary.AppendUvarint(nil, 9)
+	p.OnReceive(protocol.Wire{From: 2, Kind: protocol.ControlWire, Ctrl: ctrlRARequest, Tag: later})
+	// Complete the handshake: replies, then the delivery ack.
+	p.OnReceive(protocol.Wire{From: 1, Kind: protocol.ControlWire, Ctrl: ctrlRAReply})
+	p.OnReceive(protocol.Wire{From: 2, Kind: protocol.ControlWire, Ctrl: ctrlRAReply})
+	env.TakeSent() // the user message
+	p.OnReceive(protocol.Wire{From: 1, Kind: protocol.ControlWire, Ctrl: ctrlRAAck})
+	w, ok := env.LastSent()
+	if !ok || w.Ctrl != ctrlRAReply || w.To != 2 {
+		t.Fatalf("wire = %+v, want deferred REPLY to P2", w)
+	}
+}
+
+func TestRAReceiverDeliversAndAcks(t *testing.T) {
+	p, env := newRA(t, 2, 3)
+	p.OnReceive(protocol.Wire{From: 0, To: 2, Kind: protocol.UserWire, Msg: 7})
+	if len(env.Delivered) != 1 || env.Delivered[0] != 7 {
+		t.Fatalf("delivered = %v", env.Delivered)
+	}
+	w, ok := env.LastSent()
+	if !ok || w.Ctrl != ctrlRAAck || w.To != 0 {
+		t.Fatalf("wire = %+v, want ACK to sender", w)
+	}
+}
+
+func TestRAMalformedRequestIgnored(t *testing.T) {
+	p, env := newRA(t, 0, 2)
+	p.OnReceive(protocol.Wire{From: 1, Kind: protocol.ControlWire, Ctrl: ctrlRARequest, Tag: nil})
+	if len(env.Sent) != 0 {
+		t.Fatal("malformed request must be dropped")
+	}
+	// A stray REPLY while not requesting must not panic or enter CS.
+	p.OnReceive(protocol.Wire{From: 1, Kind: protocol.ControlWire, Ctrl: ctrlRAReply})
+	if len(env.Sent) != 0 {
+		t.Fatal("stray reply must be ignored")
+	}
+}
+
+func TestBeforePriority(t *testing.T) {
+	if !before(1, 0, 2, 1) || before(2, 1, 1, 0) {
+		t.Error("lower timestamp must win")
+	}
+	if !before(3, 0, 3, 1) || before(3, 1, 3, 0) {
+		t.Error("ties break by process id")
+	}
+}

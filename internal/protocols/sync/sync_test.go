@@ -1,0 +1,105 @@
+package sync
+
+import (
+	"reflect"
+	"testing"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/ptest"
+)
+
+func newProc(t *testing.T, id event.ProcID, n int) (*Process, *ptest.Env) {
+	t.Helper()
+	env := ptest.NewEnv(id, n)
+	p, ok := Maker().(*Process)
+	if !ok {
+		t.Fatal("Maker did not return *Process")
+	}
+	p.Init(env)
+	return p, env
+}
+
+func TestDescribe(t *testing.T) {
+	p, _ := newProc(t, 0, 3)
+	if d := p.Describe(); d.Class != protocol.General {
+		t.Fatalf("descriptor = %+v", d)
+	}
+}
+
+func TestInvokeSendsReq(t *testing.T) {
+	p, env := newProc(t, 1, 3)
+	p.OnInvoke(event.Message{ID: 4, From: 1, To: 2})
+	w, ok := env.LastSent()
+	if !ok || w.Kind != protocol.ControlWire || w.Ctrl != ctrlReq || w.To != sequencerID {
+		t.Fatalf("wire = %+v, want REQ to sequencer", w)
+	}
+	if len(env.Sent) != 1 {
+		t.Fatal("user message must be buffered until GO")
+	}
+}
+
+func TestSequencerSerializesGrants(t *testing.T) {
+	seq, env := newProc(t, 0, 3)
+	// Two REQs arrive.
+	req := func(from event.ProcID, id uint64) protocol.Wire {
+		return protocol.Wire{From: from, To: 0, Kind: protocol.ControlWire,
+			Ctrl: ctrlReq, Tag: []byte{byte(id)}}
+	}
+	seq.OnReceive(req(1, 4))
+	seq.OnReceive(req(2, 5))
+	wires := env.TakeSent()
+	if len(wires) != 1 {
+		t.Fatalf("grants = %d, want 1 (serialized)", len(wires))
+	}
+	if wires[0].Ctrl != ctrlGo || wires[0].To != 1 {
+		t.Fatalf("grant = %+v", wires[0])
+	}
+	// DONE releases the slot; the next grant goes out.
+	seq.OnReceive(protocol.Wire{From: 2, To: 0, Kind: protocol.ControlWire, Ctrl: ctrlDone})
+	wires = env.TakeSent()
+	if len(wires) != 1 || wires[0].To != 2 {
+		t.Fatalf("second grant = %+v", wires)
+	}
+}
+
+func TestGoReleasesBufferedMessage(t *testing.T) {
+	p, env := newProc(t, 1, 3)
+	p.OnInvoke(event.Message{ID: 4, From: 1, To: 2, Color: event.ColorRed})
+	env.TakeSent() // discard REQ
+	p.onControl(protocol.Wire{From: 0, Kind: protocol.ControlWire, Ctrl: ctrlGo, Tag: []byte{4}})
+	w, ok := env.LastSent()
+	if !ok || w.Kind != protocol.UserWire || w.Msg != 4 || w.To != 2 || w.Color != event.ColorRed {
+		t.Fatalf("wire = %+v, want user m4 to P2", w)
+	}
+}
+
+func TestGoForUnknownMessageIgnored(t *testing.T) {
+	p, env := newProc(t, 1, 3)
+	p.onControl(protocol.Wire{From: 0, Kind: protocol.ControlWire, Ctrl: ctrlGo, Tag: []byte{9}})
+	if len(env.Sent) != 0 {
+		t.Fatal("unknown GO must be ignored")
+	}
+}
+
+func TestReceiverDeliversAndAcks(t *testing.T) {
+	p, env := newProc(t, 2, 3)
+	p.OnReceive(protocol.Wire{From: 1, To: 2, Kind: protocol.UserWire, Msg: 4})
+	if !reflect.DeepEqual(env.DeliveredSeq(), []int{4}) {
+		t.Fatalf("delivered = %v", env.DeliveredSeq())
+	}
+	w, ok := env.LastSent()
+	if !ok || w.Ctrl != ctrlDone || w.To != sequencerID {
+		t.Fatalf("wire = %+v, want DONE to sequencer", w)
+	}
+}
+
+func TestMalformedControlIgnored(t *testing.T) {
+	p, env := newProc(t, 0, 2)
+	p.OnReceive(protocol.Wire{From: 1, Kind: protocol.ControlWire, Ctrl: ctrlReq, Tag: nil})
+	p.OnReceive(protocol.Wire{From: 1, Kind: protocol.ControlWire, Ctrl: ctrlGo, Tag: nil})
+	p.OnReceive(protocol.Wire{From: 1, Kind: protocol.ControlWire, Ctrl: 99})
+	if len(env.Sent) != 0 && env.Sent[0].Ctrl == ctrlGo {
+		t.Fatal("malformed REQ must not grant")
+	}
+}

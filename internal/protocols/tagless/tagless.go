@@ -1,0 +1,51 @@
+// Package tagless implements the paper's trivial "do nothing" protocol:
+// every invoke is sent immediately and every receive is delivered
+// immediately, with no tags and no control messages. It is the witness
+// that X_async needs no protocol (Theorem 1.3) — and, under an
+// adversarial network, the baseline that visibly violates every stronger
+// ordering.
+package tagless
+
+import (
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+)
+
+// Process is one tagless protocol instance. The zero value is NOT ready;
+// construct with New (via Maker).
+type Process struct {
+	env protocol.Env
+}
+
+var (
+	_ protocol.Process   = (*Process)(nil)
+	_ protocol.Describer = (*Process)(nil)
+)
+
+// Maker builds tagless protocol instances.
+func Maker() protocol.Process { return &Process{} }
+
+// Describe declares the tagless capability class.
+func (p *Process) Describe() protocol.Descriptor {
+	return protocol.Descriptor{Name: "tagless", Class: protocol.Tagless}
+}
+
+// Init stores the environment.
+func (p *Process) Init(env protocol.Env) { p.env = env }
+
+// OnInvoke sends immediately, untagged.
+func (p *Process) OnInvoke(m event.Message) {
+	p.env.Send(protocol.Wire{
+		To:    m.To,
+		Kind:  protocol.UserWire,
+		Msg:   m.ID,
+		Color: m.Color,
+	})
+}
+
+// OnReceive delivers immediately.
+func (p *Process) OnReceive(w protocol.Wire) {
+	if w.Kind == protocol.UserWire {
+		p.env.Deliver(w.Msg)
+	}
+}

@@ -1,0 +1,45 @@
+package tagless
+
+import (
+	"reflect"
+	"testing"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/ptest"
+)
+
+func TestDescribe(t *testing.T) {
+	p := Maker().(*Process)
+	if d := p.Describe(); d.Class != protocol.Tagless || d.Name != "tagless" {
+		t.Fatalf("descriptor = %+v", d)
+	}
+}
+
+func TestSendImmediateUntagged(t *testing.T) {
+	env := ptest.NewEnv(0, 2)
+	p := Maker().(*Process)
+	p.Init(env)
+	p.OnInvoke(event.Message{ID: 3, From: 0, To: 1, Color: event.ColorRed})
+	w, ok := env.LastSent()
+	if !ok {
+		t.Fatal("no wire sent")
+	}
+	if w.Kind != protocol.UserWire || w.Msg != 3 || w.To != 1 || len(w.Tag) != 0 {
+		t.Fatalf("wire = %+v", w)
+	}
+	if w.Color != event.ColorRed {
+		t.Error("color must ride along")
+	}
+}
+
+func TestDeliverImmediate(t *testing.T) {
+	env := ptest.NewEnv(1, 2)
+	p := Maker().(*Process)
+	p.Init(env)
+	p.OnReceive(protocol.Wire{From: 0, Kind: protocol.UserWire, Msg: 7})
+	p.OnReceive(protocol.Wire{From: 0, Kind: protocol.ControlWire})
+	if !reflect.DeepEqual(env.DeliveredSeq(), []int{7}) {
+		t.Fatalf("delivered = %v", env.DeliveredSeq())
+	}
+}

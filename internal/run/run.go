@@ -1,0 +1,509 @@
+// Package run models system runs: decomposed partially ordered sets
+// H = (H_1, ..., H_n, →) over the four system events of each message
+// (invoke x.s*, send x.s, receive x.r*, deliver x.r), as defined in
+// Section 3.1 of Murty & Garg.
+//
+// A Run carries the full message set M (the distributed system's message
+// universe) together with the events that have occurred so far, so the
+// paper's pending-event sets I, S, R, D are all derivable.
+//
+// The package implements the run axioms R1–R3, prefixes, the causal past
+// with respect to a process, the user's-view projection, and membership in
+// the protocol limit sets X_u (tagless), X_td (tagged) and X_gn (general)
+// of Section 3.2.1.
+package run
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"msgorder/internal/event"
+	"msgorder/internal/poset"
+	"msgorder/internal/userview"
+)
+
+// Validation errors returned by New.
+var (
+	ErrBadMessageID   = errors.New("run: message IDs must be 0..m-1 in order")
+	ErrWrongProcess   = errors.New("run: event placed at wrong process")
+	ErrDuplicateEvent = errors.New("run: event occurs twice")
+	ErrUnknownMessage = errors.New("run: event references unknown message")
+	ErrBadKind        = errors.New("run: invalid event kind")
+	ErrNoSend         = errors.New("run: receive present without send (axiom R2)")
+	ErrNoRequest      = errors.New("run: execution precedes its request (axiom R3)")
+	ErrCyclic         = errors.New("run: causality relation is cyclic (axiom R1)")
+)
+
+// Run is an immutable system run. Construct with New.
+type Run struct {
+	msgs    []event.Message
+	procs   [][]event.Event
+	present []bool // indexed by Event.Index()
+	pos     []int  // position within the owning process sequence
+	reach   *poset.Reachability
+}
+
+// New builds and validates a system run over the message universe msgs.
+// procs[i] is the event sequence H_i. The run axioms are enforced:
+//
+//	R1: the induced relation → is a partial order (acyclic),
+//	R2: x.r* present only if x.s is present,
+//	R3: x.s only after x.s* on the same process, x.r only after x.r*.
+//
+// Events must occur at the correct process and at most once. The run may
+// be any prefix of a computation: messages may be un-invoked, in flight,
+// or undelivered.
+func New(msgs []event.Message, procs [][]event.Event) (*Run, error) {
+	for i, m := range msgs {
+		if int(m.ID) != i {
+			return nil, fmt.Errorf("%w: msgs[%d].ID = %d", ErrBadMessageID, i, m.ID)
+		}
+	}
+	r := &Run{
+		msgs:    append([]event.Message(nil), msgs...),
+		present: make([]bool, 4*len(msgs)),
+		pos:     make([]int, 4*len(msgs)),
+	}
+	r.procs = make([][]event.Event, len(procs))
+	for p, seq := range procs {
+		r.procs[p] = append([]event.Event(nil), seq...)
+	}
+	for p, seq := range r.procs {
+		for i, e := range seq {
+			if !e.Kind.Valid() {
+				return nil, fmt.Errorf("%w: %v", ErrBadKind, e)
+			}
+			if int(e.Msg) < 0 || int(e.Msg) >= len(msgs) {
+				return nil, fmt.Errorf("%w: %v", ErrUnknownMessage, e)
+			}
+			if want := e.Proc(msgs[e.Msg]); want != event.ProcID(p) {
+				return nil, fmt.Errorf("%w: %v at P%d, want P%d", ErrWrongProcess, e, p, want)
+			}
+			if r.present[e.Index()] {
+				return nil, fmt.Errorf("%w: %v", ErrDuplicateEvent, e)
+			}
+			r.present[e.Index()] = true
+			r.pos[e.Index()] = i
+		}
+	}
+	for _, m := range msgs {
+		id := m.ID
+		if r.Has(event.E(id, event.Receive)) && !r.Has(event.E(id, event.Send)) {
+			return nil, fmt.Errorf("%w: m%d", ErrNoSend, id)
+		}
+		// R3: execution preceded by request on the same process sequence.
+		if err := r.requireBefore(id, event.Invoke, event.Send); err != nil {
+			return nil, err
+		}
+		if err := r.requireBefore(id, event.Receive, event.Deliver); err != nil {
+			return nil, err
+		}
+	}
+	g := r.eventGraph()
+	if !g.IsAcyclic() {
+		return nil, ErrCyclic
+	}
+	r.reach = poset.NewReachability(g)
+	return r, nil
+}
+
+func (r *Run) requireBefore(id event.MsgID, req, exec event.Kind) error {
+	e := event.E(id, exec)
+	if !r.Has(e) {
+		return nil
+	}
+	q := event.E(id, req)
+	if !r.Has(q) || r.pos[q.Index()] >= r.pos[e.Index()] {
+		return fmt.Errorf("%w: %v", ErrNoRequest, e)
+	}
+	return nil
+}
+
+// eventGraph builds → as a DAG over event indices: per-process sequencing
+// plus the message edge x.s → x.r*.
+func (r *Run) eventGraph() *poset.DAG {
+	g := poset.NewDAG(4 * len(r.msgs))
+	for _, seq := range r.procs {
+		for i := 0; i+1 < len(seq); i++ {
+			g.AddEdge(seq[i].Index(), seq[i+1].Index())
+		}
+	}
+	for _, m := range r.msgs {
+		snd, rcv := event.E(m.ID, event.Send), event.E(m.ID, event.Receive)
+		if r.Has(snd) && r.Has(rcv) {
+			g.AddEdge(snd.Index(), rcv.Index())
+		}
+	}
+	return g
+}
+
+// NumMessages returns the size of the message universe M.
+func (r *Run) NumMessages() int { return len(r.msgs) }
+
+// NumProcs returns the number of processes.
+func (r *Run) NumProcs() int { return len(r.procs) }
+
+// Message returns the message with the given id.
+func (r *Run) Message(id event.MsgID) event.Message { return r.msgs[id] }
+
+// Messages returns a copy of the message universe.
+func (r *Run) Messages() []event.Message {
+	return append([]event.Message(nil), r.msgs...)
+}
+
+// ProcSeq returns a copy of H_i.
+func (r *Run) ProcSeq(p event.ProcID) []event.Event {
+	return append([]event.Event(nil), r.procs[p]...)
+}
+
+// Has reports whether the event has occurred.
+func (r *Run) Has(e event.Event) bool {
+	i := e.Index()
+	return i >= 0 && i < len(r.present) && r.present[i]
+}
+
+// Before reports e → f (strict happened-before in the system's view).
+func (r *Run) Before(e, f event.Event) bool {
+	if !r.Has(e) || !r.Has(f) {
+		return false
+	}
+	return r.reach.Reaches(e.Index(), f.Index())
+}
+
+// Concurrent reports that both events occur and neither precedes the other.
+func (r *Run) Concurrent(e, f event.Event) bool {
+	if !r.Has(e) || !r.Has(f) || e == f {
+		return false
+	}
+	return !r.Before(e, f) && !r.Before(f, e)
+}
+
+// NumEvents returns the total number of events in the run.
+func (r *Run) NumEvents() int {
+	n := 0
+	for _, seq := range r.procs {
+		n += len(seq)
+	}
+	return n
+}
+
+// --- Pending-event sets (Section 3.1) ---
+
+// NotInvoked returns I_i(H): invoke events of messages from process i that
+// the user has not yet requested.
+func (r *Run) NotInvoked(i event.ProcID) []event.Event {
+	var out []event.Event
+	for _, m := range r.msgs {
+		if m.From == i && !r.Has(event.E(m.ID, event.Invoke)) {
+			out = append(out, event.E(m.ID, event.Invoke))
+		}
+	}
+	return out
+}
+
+// SendPending returns S_i(H): messages invoked at process i but not yet
+// sent.
+func (r *Run) SendPending(i event.ProcID) []event.Event {
+	var out []event.Event
+	for _, m := range r.msgs {
+		if m.From != i {
+			continue
+		}
+		if r.Has(event.E(m.ID, event.Invoke)) && !r.Has(event.E(m.ID, event.Send)) {
+			out = append(out, event.E(m.ID, event.Send))
+		}
+	}
+	return out
+}
+
+// ReceivePending returns R_i(H): messages sent to process i but not yet
+// received (in transit).
+func (r *Run) ReceivePending(i event.ProcID) []event.Event {
+	var out []event.Event
+	for _, m := range r.msgs {
+		if m.To != i {
+			continue
+		}
+		if r.Has(event.E(m.ID, event.Send)) && !r.Has(event.E(m.ID, event.Receive)) {
+			out = append(out, event.E(m.ID, event.Receive))
+		}
+	}
+	return out
+}
+
+// DeliverPending returns D_i(H): messages received at process i but not
+// yet delivered.
+func (r *Run) DeliverPending(i event.ProcID) []event.Event {
+	var out []event.Event
+	for _, m := range r.msgs {
+		if m.To != i {
+			continue
+		}
+		if r.Has(event.E(m.ID, event.Receive)) && !r.Has(event.E(m.ID, event.Deliver)) {
+			out = append(out, event.E(m.ID, event.Deliver))
+		}
+	}
+	return out
+}
+
+// Controllable returns C_i(H) = S_i(H) ∪ D_i(H): the events a protocol may
+// enable or delay at process i.
+func (r *Run) Controllable(i event.ProcID) []event.Event {
+	return append(r.SendPending(i), r.DeliverPending(i)...)
+}
+
+// Quiescent reports that no events are pending anywhere:
+// S(H) ∪ R(H) ∪ D(H) = ∅. A live protocol must eventually reach a
+// quiescent run if the user stops invoking messages.
+func (r *Run) Quiescent() bool {
+	for p := 0; p < len(r.procs); p++ {
+		i := event.ProcID(p)
+		if len(r.SendPending(i)) > 0 || len(r.ReceivePending(i)) > 0 || len(r.DeliverPending(i)) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Prefixes and causal past ---
+
+// IsPrefixOf reports whether every H_i of r is a prefix of the
+// corresponding sequence of s.
+func (r *Run) IsPrefixOf(s *Run) bool {
+	if len(r.procs) != len(s.procs) {
+		return false
+	}
+	for p := range r.procs {
+		if len(r.procs[p]) > len(s.procs[p]) {
+			return false
+		}
+		for i, e := range r.procs[p] {
+			if s.procs[p][i] != e {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CausalPast returns CausalPast_i(H): the prefix containing all of H_i and,
+// for j ≠ i, exactly the events of H_j that happen before some event of
+// H_i (Section 3.1, Figure 1).
+func (r *Run) CausalPast(i event.ProcID) (*Run, error) {
+	keep := func(g event.Event) bool {
+		for _, h := range r.procs[i] {
+			if r.Before(g, h) {
+				return true
+			}
+		}
+		return false
+	}
+	procs := make([][]event.Event, len(r.procs))
+	for p, seq := range r.procs {
+		if event.ProcID(p) == i {
+			procs[p] = append([]event.Event(nil), seq...)
+			continue
+		}
+		for _, g := range seq {
+			if keep(g) {
+				procs[p] = append(procs[p], g)
+			}
+		}
+	}
+	return New(r.msgs, procs)
+}
+
+// Equal reports whether two runs have identical message universes and
+// process sequences (the paper's H = G).
+func (r *Run) Equal(s *Run) bool {
+	if len(r.msgs) != len(s.msgs) || len(r.procs) != len(s.procs) {
+		return false
+	}
+	for i := range r.msgs {
+		if r.msgs[i] != s.msgs[i] {
+			return false
+		}
+	}
+	for p := range r.procs {
+		if len(r.procs[p]) != len(s.procs[p]) {
+			return false
+		}
+		for i := range r.procs[p] {
+			if r.procs[p][i] != s.procs[p][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// --- User's view ---
+
+// UsersView projects the run onto its send and deliver events
+// (Section 3.3, Figure 4) and returns the resulting user-view run.
+func (r *Run) UsersView() (*userview.Run, error) {
+	procs := make([][]event.Event, len(r.procs))
+	for p, seq := range r.procs {
+		for _, e := range seq {
+			if e.Kind.UserVisible() {
+				procs[p] = append(procs[p], e)
+			}
+		}
+	}
+	return userview.New(r.msgs, procs)
+}
+
+// --- Limit-set membership (Section 3.2.1) ---
+
+// immediatePair reports whether a (present) and b are adjacent in their
+// process sequence with a directly before b.
+func (r *Run) immediatePair(a, b event.Event) bool {
+	if !r.Has(a) || !r.Has(b) {
+		return false
+	}
+	return r.pos[b.Index()] == r.pos[a.Index()]+1
+}
+
+// InXu reports membership in X_u (achievable by every live tagless
+// protocol): each x.s* immediately precedes x.s, each x.r* immediately
+// precedes x.r, and every requested message has been delivered.
+func (r *Run) InXu() bool {
+	for _, m := range r.msgs {
+		id := m.ID
+		inv, snd := event.E(id, event.Invoke), event.E(id, event.Send)
+		rcv, dlv := event.E(id, event.Receive), event.E(id, event.Deliver)
+		if r.Has(inv) != r.Has(snd) || (r.Has(inv) && !r.immediatePair(inv, snd)) {
+			return false
+		}
+		if r.Has(rcv) != r.Has(dlv) || (r.Has(rcv) && !r.immediatePair(rcv, dlv)) {
+			return false
+		}
+		if r.Has(inv) && !r.Has(dlv) {
+			return false // requested but not delivered
+		}
+	}
+	return true
+}
+
+// InXtd reports membership in X_td (achievable by every live tagged
+// protocol): X_u plus causal ordering of messages at the receive level:
+// x.s → y.s ⇒ ¬(y.r* → x.r*).
+func (r *Run) InXtd() bool {
+	if !r.InXu() {
+		return false
+	}
+	for _, x := range r.msgs {
+		for _, y := range r.msgs {
+			if x.ID == y.ID {
+				continue
+			}
+			if r.Before(event.E(x.ID, event.Send), event.E(y.ID, event.Send)) &&
+				r.Before(event.E(y.ID, event.Receive), event.E(x.ID, event.Receive)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// InXgn reports membership in X_gn (achievable by every live general
+// protocol): X_td plus the existence of the numbering scheme N with
+// N(x.r) = N(x.r*)+1 = N(x.s)+2 = N(x.s*)+3 and h → g ⇒ N(h) < N(g).
+func (r *Run) InXgn() bool {
+	if !r.InXtd() {
+		return false
+	}
+	_, ok := r.Numbering()
+	return ok
+}
+
+// Numbering returns a message order T witnessing the X_gn numbering scheme
+// (messages listed in increasing N-block order), or ok=false if none
+// exists. A numbering exists iff the system message-collision graph
+// (x → y when any event of x happens before any event of y) is acyclic.
+func (r *Run) Numbering() ([]event.MsgID, bool) {
+	g := poset.NewDAG(len(r.msgs))
+	kinds := []event.Kind{event.Invoke, event.Send, event.Receive, event.Deliver}
+	for _, x := range r.msgs {
+		for _, y := range r.msgs {
+			if x.ID == y.ID {
+				continue
+			}
+			for _, hk := range kinds {
+				for _, fk := range kinds {
+					if r.Before(event.E(x.ID, hk), event.E(y.ID, fk)) {
+						g.AddEdge(int(x.ID), int(y.ID))
+					}
+				}
+			}
+		}
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, false
+	}
+	ids := make([]event.MsgID, len(order))
+	for i, v := range order {
+		ids[i] = event.MsgID(v)
+	}
+	return ids, true
+}
+
+// NumberingScheme materializes N for every present event from the message
+// order returned by Numbering. It returns ok=false when no numbering
+// exists.
+func (r *Run) NumberingScheme() (map[event.Event]int, bool) {
+	order, ok := r.Numbering()
+	if !ok {
+		return nil, false
+	}
+	n := make(map[event.Event]int)
+	for blk, id := range order {
+		base := 4 * blk
+		for off, k := range []event.Kind{event.Invoke, event.Send, event.Receive, event.Deliver} {
+			e := event.E(id, k)
+			if r.Has(e) {
+				n[e] = base + off
+			}
+		}
+	}
+	return n, true
+}
+
+// --- Construction from a user view (Theorem 1, Figure 5) ---
+
+// FromUserView builds the system run H from a user-view run (H,▷) by
+// inserting x.s* immediately before each x.s and x.r* immediately before
+// each x.r. The result satisfies UsersView(H) = (H,▷), and if the view is
+// complete and in X_sync / X_co / X_async then H is in X_gn / X_td / X_u
+// respectively (the paper's Theorem 1 construction).
+func FromUserView(v *userview.Run) (*Run, error) {
+	procs := make([][]event.Event, v.NumProcs())
+	for p := 0; p < v.NumProcs(); p++ {
+		for _, e := range v.ProcSeq(event.ProcID(p)) {
+			star := event.Invoke
+			if e.Kind == event.Deliver {
+				star = event.Receive
+			}
+			procs[p] = append(procs[p], event.E(e.Msg, star), e)
+		}
+	}
+	return New(v.Messages(), procs)
+}
+
+// String renders the run compactly, one process per line fragment.
+func (r *Run) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sysrun{%d msgs", len(r.msgs))
+	for p, seq := range r.procs {
+		fmt.Fprintf(&b, "; P%d:", p)
+		parts := make([]string, len(seq))
+		for i, e := range seq {
+			parts[i] = e.String()
+		}
+		b.WriteString(strings.Join(parts, " "))
+	}
+	b.WriteString("}")
+	return b.String()
+}

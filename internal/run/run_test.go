@@ -1,0 +1,545 @@
+package run
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"msgorder/internal/event"
+	"msgorder/internal/userview"
+)
+
+func mk(pairs ...[2]event.ProcID) []event.Message {
+	msgs := make([]event.Message, len(pairs))
+	for i, p := range pairs {
+		msgs[i] = event.Message{ID: event.MsgID(i), From: p[0], To: p[1]}
+	}
+	return msgs
+}
+
+func ev(m event.MsgID, k event.Kind) event.Event { return event.E(m, k) }
+
+func inv(m event.MsgID) event.Event { return ev(m, event.Invoke) }
+func snd(m event.MsgID) event.Event { return ev(m, event.Send) }
+func rcv(m event.MsgID) event.Event { return ev(m, event.Receive) }
+func dlv(m event.MsgID) event.Event { return ev(m, event.Deliver) }
+
+func mustNew(t *testing.T, msgs []event.Message, procs [][]event.Event) *Run {
+	t.Helper()
+	r, err := New(msgs, procs)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return r
+}
+
+// fifoRun models Figure 2: P0 sends m0 then m1 to P1; the network delivers
+// m1 first (receive), but a FIFO protocol delays delivery of m1 until m0
+// is delivered.
+func fifoRun(t *testing.T) *Run {
+	msgs := mk([2]event.ProcID{0, 1}, [2]event.ProcID{0, 1})
+	return mustNew(t, msgs, [][]event.Event{
+		{inv(0), snd(0), inv(1), snd(1)},
+		{rcv(1), rcv(0), dlv(0), dlv(1)},
+	})
+}
+
+// immediateRun is a fully sequential run where every request is
+// immediately executed: member of X_u.
+func immediateRun(t *testing.T) *Run {
+	msgs := mk([2]event.ProcID{0, 1}, [2]event.ProcID{1, 0})
+	return mustNew(t, msgs, [][]event.Event{
+		{inv(0), snd(0), rcv(1), dlv(1)},
+		{rcv(0), dlv(0), inv(1), snd(1)},
+	})
+}
+
+func TestValidationErrors(t *testing.T) {
+	msgs := mk([2]event.ProcID{0, 1})
+	cases := []struct {
+		name  string
+		msgs  []event.Message
+		procs [][]event.Event
+		want  error
+	}{
+		{"bad id", []event.Message{{ID: 3}}, [][]event.Event{{}}, ErrBadMessageID},
+		{"wrong process", msgs, [][]event.Event{{rcv(0)}, {}}, ErrWrongProcess},
+		{"duplicate", msgs, [][]event.Event{{inv(0), inv(0)}, {}}, ErrDuplicateEvent},
+		{"unknown message", msgs, [][]event.Event{{inv(9)}, {}}, ErrUnknownMessage},
+		{"bad kind", msgs, [][]event.Event{{event.Event{Msg: 0, Kind: 0}}, {}}, ErrBadKind},
+		{"receive without send", msgs, [][]event.Event{{}, {rcv(0)}}, ErrNoSend},
+		{"send without invoke", msgs, [][]event.Event{{snd(0)}, {}}, ErrNoRequest},
+		{"invoke after send", msgs, [][]event.Event{{snd(0), inv(0)}, {}}, ErrNoRequest},
+		{"deliver without receive", msgs, [][]event.Event{{inv(0), snd(0)}, {dlv(0)}}, ErrNoRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := New(c.msgs, c.procs); !errors.Is(err, c.want) {
+				t.Fatalf("err = %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+func TestCyclicRunRejected(t *testing.T) {
+	// m0: P0->P1, m1: P1->P0; each receive precedes the local send.
+	msgs := mk([2]event.ProcID{0, 1}, [2]event.ProcID{1, 0})
+	_, err := New(msgs, [][]event.Event{
+		{rcv(1), dlv(1), inv(0), snd(0)},
+		{rcv(0), dlv(0), inv(1), snd(1)},
+	})
+	if !errors.Is(err, ErrCyclic) {
+		t.Fatalf("err = %v, want ErrCyclic", err)
+	}
+}
+
+func TestBeforeAcrossMessage(t *testing.T) {
+	r := fifoRun(t)
+	if !r.Before(snd(0), rcv(0)) {
+		t.Error("x.s → x.r* must hold")
+	}
+	if !r.Before(inv(0), dlv(1)) {
+		t.Error("m0.s* → m1.r via chains")
+	}
+	if r.Before(rcv(0), rcv(1)) {
+		t.Error("m0.r* is after m1.r* at P1")
+	}
+	if !r.Before(rcv(1), rcv(0)) {
+		t.Error("P1 sequencing: m1.r* before m0.r*")
+	}
+	if r.Concurrent(snd(1), rcv(1)) {
+		t.Error("a send and its receive are ordered, not concurrent")
+	}
+}
+
+func TestPendingSets(t *testing.T) {
+	// Universe of 2 messages from P0 to P1; m0 sent and received (not
+	// delivered), m1 invoked (not sent). A third message m2 not invoked.
+	msgs := mk([2]event.ProcID{0, 1}, [2]event.ProcID{0, 1}, [2]event.ProcID{0, 1})
+	r := mustNew(t, msgs, [][]event.Event{
+		{inv(0), snd(0), inv(1)},
+		{rcv(0)},
+	})
+	if got := r.NotInvoked(0); len(got) != 1 || got[0] != inv(2) {
+		t.Errorf("NotInvoked(0) = %v, want [m2.s*]", got)
+	}
+	if got := r.SendPending(0); len(got) != 1 || got[0] != snd(1) {
+		t.Errorf("SendPending(0) = %v, want [m1.s]", got)
+	}
+	if got := r.ReceivePending(1); len(got) != 0 {
+		t.Errorf("ReceivePending(1) = %v, want empty", got)
+	}
+	if got := r.DeliverPending(1); len(got) != 1 || got[0] != dlv(0) {
+		t.Errorf("DeliverPending(1) = %v, want [m0.r]", got)
+	}
+	if got := r.Controllable(0); len(got) != 1 {
+		t.Errorf("Controllable(0) = %v", got)
+	}
+	if r.Quiescent() {
+		t.Error("run with pending events is not quiescent")
+	}
+}
+
+func TestReceivePendingInTransit(t *testing.T) {
+	msgs := mk([2]event.ProcID{0, 1})
+	r := mustNew(t, msgs, [][]event.Event{
+		{inv(0), snd(0)},
+		{},
+	})
+	got := r.ReceivePending(1)
+	if len(got) != 1 || got[0] != rcv(0) {
+		t.Errorf("ReceivePending(1) = %v, want [m0.r*]", got)
+	}
+}
+
+func TestQuiescent(t *testing.T) {
+	if !immediateRun(t).Quiescent() {
+		t.Error("completed run must be quiescent")
+	}
+	// Un-invoked messages do not block quiescence.
+	msgs := mk([2]event.ProcID{0, 1})
+	r := mustNew(t, msgs, [][]event.Event{{}, {}})
+	if !r.Quiescent() {
+		t.Error("empty run is quiescent")
+	}
+}
+
+func TestIsPrefixOf(t *testing.T) {
+	full := fifoRun(t)
+	prefix := mustNew(t, full.Messages(), [][]event.Event{
+		{inv(0), snd(0)},
+		{},
+	})
+	if !prefix.IsPrefixOf(full) {
+		t.Error("prefix not recognized")
+	}
+	if full.IsPrefixOf(prefix) {
+		t.Error("full run is not a prefix of its prefix")
+	}
+	other := mustNew(t, full.Messages(), [][]event.Event{
+		{inv(1), snd(1)},
+		{},
+	})
+	if other.IsPrefixOf(full) {
+		t.Error("diverging run accepted as prefix")
+	}
+}
+
+// TestCausalPastFigure1 reconstructs the Figure 1 scenario: a three-process
+// run where the causal past w.r.t. process 1 contains exactly the events
+// that precede some event at process 1.
+func TestCausalPastFigure1(t *testing.T) {
+	// m0: P0->P1 (delivered), m1: P2->P0 (delivered at P0 but after P0's
+	// send; unrelated to P1), m2: P2->P1 (sent but not received).
+	msgs := mk([2]event.ProcID{0, 1}, [2]event.ProcID{2, 0}, [2]event.ProcID{2, 1})
+	r := mustNew(t, msgs, [][]event.Event{
+		{inv(0), snd(0), rcv(1), dlv(1)},
+		{rcv(0), dlv(0)},
+		{inv(1), snd(1), inv(2), snd(2)},
+	})
+	past, err := r.CausalPast(1)
+	if err != nil {
+		t.Fatalf("CausalPast: %v", err)
+	}
+	// P1's own events all kept.
+	if got := past.ProcSeq(1); len(got) != 2 {
+		t.Fatalf("P1 events = %v", got)
+	}
+	// P0: inv(0), snd(0) precede P1's rcv(0); rcv(1), dlv(1) do not.
+	wantP0 := []event.Event{inv(0), snd(0)}
+	gotP0 := past.ProcSeq(0)
+	if len(gotP0) != len(wantP0) || gotP0[0] != wantP0[0] || gotP0[1] != wantP0[1] {
+		t.Fatalf("P0 past = %v, want %v", gotP0, wantP0)
+	}
+	// P2: nothing precedes events of P1 (m2 never received).
+	if got := past.ProcSeq(2); len(got) != 0 {
+		t.Fatalf("P2 past = %v, want empty", got)
+	}
+	if !past.IsPrefixOf(r) {
+		t.Error("causal past must be a prefix")
+	}
+}
+
+func TestCausalPastIdempotent(t *testing.T) {
+	r := fifoRun(t)
+	p1, err := r.CausalPast(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := p1.CausalPast(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p1.Equal(p2) {
+		t.Error("CausalPast is not idempotent")
+	}
+}
+
+func TestUsersViewProjection(t *testing.T) {
+	r := fifoRun(t)
+	v, err := r.UsersView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User view of the FIFO run has m0.s, m1.s at P0 and m0.r, m1.r at P1
+	// in FIFO delivery order.
+	p1 := v.ProcSeq(1)
+	if len(p1) != 2 || p1[0] != dlv(0) || p1[1] != dlv(1) {
+		t.Fatalf("user P1 = %v, want [m0.r m1.r]", p1)
+	}
+	if !v.IsComplete() || !v.InCO() {
+		t.Error("FIFO system run projects to a causally ordered view")
+	}
+}
+
+// TestUsersViewFigure4 reproduces Figure 4: in the system view s2 → r1
+// (via the receive buffering), but in the user's view s2 does not precede
+// r1.
+func TestUsersViewFigure4(t *testing.T) {
+	r := fifoRun(t)
+	// System view: m1.s → m1.r* → m0.r* ... wait: P1 = [r*1, r*0, r0, r1].
+	if !r.Before(snd(1), dlv(0)) {
+		t.Fatal("system view should order m1.s before m0.r via receive buffering")
+	}
+	v, err := r.UsersView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Before(snd(1), dlv(0)) {
+		t.Error("user view must not order m1.s before m0.r")
+	}
+}
+
+func TestInXu(t *testing.T) {
+	if !immediateRun(t).InXu() {
+		t.Error("immediate run must be in X_u")
+	}
+	if fifoRun(t).InXu() {
+		t.Error("FIFO run delays deliveries; not in X_u")
+	}
+	// Requested but never delivered: not in X_u.
+	msgs := mk([2]event.ProcID{0, 1})
+	r := mustNew(t, msgs, [][]event.Event{{inv(0), snd(0)}, {}})
+	if r.InXu() {
+		t.Error("undelivered request must exclude run from X_u")
+	}
+}
+
+func TestInXtd(t *testing.T) {
+	if !immediateRun(t).InXtd() {
+		t.Error("immediate sequential run is in X_td")
+	}
+	// A run in X_u that violates receive-level causal ordering:
+	// m0: P0->P2, m1: P0->P1, m2: P1->P2. m0.s → m1.s, m1 delivered at P1
+	// triggers m2, and m2 overtakes m0 at P2.
+	msgs := mk([2]event.ProcID{0, 2}, [2]event.ProcID{0, 1}, [2]event.ProcID{1, 2})
+	r := mustNew(t, msgs, [][]event.Event{
+		{inv(0), snd(0), inv(1), snd(1)},
+		{rcv(1), dlv(1), inv(2), snd(2)},
+		{rcv(2), dlv(2), rcv(0), dlv(0)},
+	})
+	if !r.InXu() {
+		t.Fatal("run is immediate and complete; should be in X_u")
+	}
+	if r.InXtd() {
+		t.Error("m0.s → m2.s and m2.r* → m0.r*: not in X_td")
+	}
+}
+
+func TestInXgn(t *testing.T) {
+	if !immediateRun(t).InXgn() {
+		t.Error("sequential run is in X_gn")
+	}
+	// Crossing messages: in X_td but not X_gn.
+	msgs := mk([2]event.ProcID{0, 1}, [2]event.ProcID{1, 0})
+	r := mustNew(t, msgs, [][]event.Event{
+		{inv(0), snd(0), rcv(1), dlv(1)},
+		{inv(1), snd(1), rcv(0), dlv(0)},
+	})
+	if !r.InXtd() {
+		t.Fatal("crossing pair is causally ordered at receive level")
+	}
+	if r.InXgn() {
+		t.Error("crossing messages admit no vertical-arrow numbering")
+	}
+}
+
+func TestNumberingScheme(t *testing.T) {
+	r := immediateRun(t)
+	n, ok := r.NumberingScheme()
+	if !ok {
+		t.Fatal("numbering must exist for sequential run")
+	}
+	// N(x.r) = N(x.r*)+1 = N(x.s)+2 = N(x.s*)+3
+	for _, m := range r.Messages() {
+		base := n[inv(m.ID)]
+		if n[snd(m.ID)] != base+1 || n[rcv(m.ID)] != base+2 || n[dlv(m.ID)] != base+3 {
+			t.Fatalf("block broken for m%d: %v", m.ID, n)
+		}
+	}
+	// h → g ⇒ N(h) < N(g)
+	kinds := []event.Kind{event.Invoke, event.Send, event.Receive, event.Deliver}
+	for _, x := range r.Messages() {
+		for _, y := range r.Messages() {
+			for _, hk := range kinds {
+				for _, fk := range kinds {
+					h, g := ev(x.ID, hk), ev(y.ID, fk)
+					if r.Before(h, g) && n[h] >= n[g] {
+						t.Fatalf("numbering violates %v → %v", h, g)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFromUserViewRoundTrip(t *testing.T) {
+	msgs := mk([2]event.ProcID{0, 1}, [2]event.ProcID{1, 0})
+	v, err := userview.New(msgs, [][]event.Event{
+		{snd(0), dlv(1)},
+		{snd(1), dlv(0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := FromUserView(v)
+	if err != nil {
+		t.Fatalf("FromUserView: %v", err)
+	}
+	if !h.InXu() {
+		t.Error("star-completion must land in X_u")
+	}
+	back, err := h.UsersView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Key() != v.Key() {
+		t.Errorf("round trip changed the view:\n got %s\nwant %s", back.Key(), v.Key())
+	}
+}
+
+func TestFromUserViewPreservesLimitSets(t *testing.T) {
+	// Theorem 1: completion of an X_co view is in X_td; completion of an
+	// X_sync view is in X_gn.
+	msgs := mk([2]event.ProcID{0, 1}, [2]event.ProcID{1, 0})
+	crossing, err := userview.New(msgs, [][]event.Event{
+		{snd(0), dlv(1)},
+		{snd(1), dlv(0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := FromUserView(crossing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !crossing.InCO() || !h.InXtd() {
+		t.Error("X_co view must complete into X_td")
+	}
+	if crossing.InSync() || h.InXgn() {
+		t.Error("crossing view is not sync; completion must not be in X_gn")
+	}
+
+	seq, err := userview.New(msgs, [][]event.Event{
+		{snd(0), dlv(1)},
+		{dlv(0), snd(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := FromUserView(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.InSync() || !h2.InXgn() {
+		t.Error("X_sync view must complete into X_gn")
+	}
+}
+
+// randomSystemRun generates a valid system run via random scheduling.
+func randomSystemRun(rng *rand.Rand, nProcs, nMsgs int) *Run {
+	msgs := make([]event.Message, nMsgs)
+	for i := range msgs {
+		msgs[i] = event.Message{
+			ID:   event.MsgID(i),
+			From: event.ProcID(rng.Intn(nProcs)),
+			To:   event.ProcID(rng.Intn(nProcs)),
+		}
+	}
+	procs := make([][]event.Event, nProcs)
+	stage := make([]event.Kind, nMsgs) // last executed kind; 0 = none
+	for steps := 0; steps < 4*nMsgs; steps++ {
+		var choices []event.Event
+		for i := 0; i < nMsgs; i++ {
+			if stage[i] < event.Deliver {
+				choices = append(choices, ev(event.MsgID(i), stage[i]+1))
+			}
+		}
+		if len(choices) == 0 {
+			break
+		}
+		e := choices[rng.Intn(len(choices))]
+		stage[e.Msg] = e.Kind
+		p := e.Proc(msgs[e.Msg])
+		procs[p] = append(procs[p], e)
+	}
+	r, err := New(msgs, procs)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func TestQuickSystemLimitSetChain(t *testing.T) {
+	// X_gn ⊆ X_td ⊆ X_u on random runs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomSystemRun(rng, 2+rng.Intn(3), 1+rng.Intn(4))
+		if r.InXgn() && !r.InXtd() {
+			return false
+		}
+		if r.InXtd() && !r.InXu() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCausalPastClosed(t *testing.T) {
+	// The causal past must contain every event that precedes one of its
+	// events (downward closure).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomSystemRun(rng, 2+rng.Intn(2), 1+rng.Intn(4))
+		i := event.ProcID(rng.Intn(r.NumProcs()))
+		past, err := r.CausalPast(i)
+		if err != nil {
+			return false
+		}
+		for p := 0; p < r.NumProcs(); p++ {
+			for _, g := range past.ProcSeq(event.ProcID(p)) {
+				for q := 0; q < r.NumProcs(); q++ {
+					for _, h := range r.ProcSeq(event.ProcID(q)) {
+						if r.Before(h, g) && !past.Has(h) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUsersViewWeakensCausality(t *testing.T) {
+	// e ▷ f in the user's view implies e → f in the system's view
+	// (projection never invents causality).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomSystemRun(rng, 2+rng.Intn(3), 1+rng.Intn(4))
+		v, err := r.UsersView()
+		if err != nil {
+			return false
+		}
+		kinds := []event.Kind{event.Send, event.Deliver}
+		for _, x := range r.Messages() {
+			for _, y := range r.Messages() {
+				for _, hk := range kinds {
+					for _, fk := range kinds {
+						h, g := ev(x.ID, hk), ev(y.ID, fk)
+						if v.Before(h, g) && !r.Before(h, g) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualAndString(t *testing.T) {
+	a, b := fifoRun(t), fifoRun(t)
+	if !a.Equal(b) {
+		t.Error("identical runs must be Equal")
+	}
+	if a.Equal(immediateRun(t)) {
+		t.Error("different runs must not be Equal")
+	}
+	if a.String() == "" {
+		t.Error("empty String()")
+	}
+	if a.NumEvents() != 8 {
+		t.Errorf("NumEvents = %d, want 8", a.NumEvents())
+	}
+}

@@ -1,0 +1,350 @@
+// Package sim is the live execution harness: every process runs as its
+// own goroutine with an unbounded mailbox, and an adversary goroutine
+// holds all in-flight wires and releases them in random order. Unlike
+// package dsim there is no virtual clock — real concurrency exercises the
+// protocols' state machines under true interleaving, while the random
+// release order supplies the reordering adversary.
+//
+// Safety properties must hold on every execution; exact traces are not
+// reproducible across runs (the adversary's choices are seeded, but the
+// goroutine interleaving is the scheduler's). Use dsim when a bit-exact
+// replay is needed.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+	"msgorder/internal/run"
+	"msgorder/internal/userview"
+)
+
+// Simulation errors.
+var (
+	ErrTimeout  = errors.New("sim: timed out waiting for quiescence")
+	ErrProtocol = errors.New("sim: protocol error")
+)
+
+// Request asks for a user message invocation.
+type Request struct {
+	From, To event.ProcID
+	Color    event.Color
+}
+
+// Result is the outcome of a stopped network.
+type Result struct {
+	System      *run.Run
+	View        *userview.Run
+	Stats       protocol.Stats
+	Undelivered []event.MsgID
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithSeed seeds the adversary's release order (default 1).
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithTimeout bounds Quiesce (default 10s).
+func WithTimeout(d time.Duration) Option {
+	return func(n *Network) { n.timeout = d }
+}
+
+// Network is a live protocol harness. Construct with New, feed with
+// Invoke, then Stop to collect the recorded run.
+type Network struct {
+	n       int
+	rec     *protocol.Recorder
+	rng     *rand.Rand
+	timeout time.Duration
+
+	procs   []*mailbox
+	insts   []protocol.Process
+	classes []protocol.Class
+
+	pool     chan protocol.Wire
+	work     sync.WaitGroup
+	stopOnce sync.Once
+	done     chan struct{}
+
+	mu        sync.Mutex
+	err       error
+	onDeliver func(p event.ProcID, id event.MsgID) []Request
+	stopped   bool
+
+	// hookMu serializes onDeliver invocations so workload closures need
+	// no locking of their own.
+	hookMu sync.Mutex
+}
+
+// item is one mailbox entry: either an invoke or a wire arrival.
+type item struct {
+	isInvoke bool
+	msg      event.Message
+	wire     protocol.Wire
+}
+
+// mailbox is an unbounded FIFO with condition-variable signalling.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []item
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) push(it item) {
+	m.mu.Lock()
+	m.items = append(m.items, it)
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// pop blocks until an item arrives or the mailbox closes.
+func (m *mailbox) pop() (item, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.items) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.items) == 0 {
+		return item{}, false
+	}
+	it := m.items[0]
+	m.items = m.items[1:]
+	return it, true
+}
+
+// New builds and starts a live network of n processes.
+func New(n int, maker protocol.Maker, opts ...Option) *Network {
+	nw := &Network{
+		n:       n,
+		rec:     protocol.NewRecorder(n),
+		rng:     rand.New(rand.NewSource(1)),
+		timeout: 10 * time.Second,
+		pool:    make(chan protocol.Wire, 1),
+		done:    make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(nw)
+	}
+	for i := 0; i < n; i++ {
+		p := maker()
+		class := protocol.General
+		if d, ok := p.(protocol.Describer); ok {
+			class = d.Describe().Class
+		}
+		nw.insts = append(nw.insts, p)
+		nw.classes = append(nw.classes, class)
+		nw.procs = append(nw.procs, newMailbox())
+		p.Init(&env{nw: nw, self: event.ProcID(i)})
+	}
+	for i := 0; i < n; i++ {
+		go nw.runProcess(event.ProcID(i))
+	}
+	go nw.runAdversary()
+	return nw
+}
+
+// OnDeliver installs the delivery hook. Must be called before the first
+// Invoke.
+func (nw *Network) OnDeliver(fn func(p event.ProcID, id event.MsgID) []Request) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.onDeliver = fn
+}
+
+// Invoke submits a user request.
+func (nw *Network) Invoke(req Request) {
+	nw.mu.Lock()
+	if nw.stopped {
+		nw.mu.Unlock()
+		return
+	}
+	m := nw.rec.NewMessage(req.From, req.To, req.Color)
+	nw.mu.Unlock()
+	nw.work.Add(1)
+	nw.procs[req.From].push(item{isInvoke: true, msg: m})
+}
+
+// Quiesce waits until all submitted work (and everything it spawned) has
+// been processed.
+func (nw *Network) Quiesce() error {
+	ch := make(chan struct{})
+	go func() {
+		nw.work.Wait()
+		close(ch)
+	}()
+	select {
+	case <-ch:
+		nw.mu.Lock()
+		defer nw.mu.Unlock()
+		return nw.err
+	case <-time.After(nw.timeout):
+		return ErrTimeout
+	}
+}
+
+// Stop quiesces, shuts the goroutines down, and returns the recorded run.
+func (nw *Network) Stop() (*Result, error) {
+	if err := nw.Quiesce(); err != nil {
+		return nil, err
+	}
+	nw.stopOnce.Do(func() {
+		nw.mu.Lock()
+		nw.stopped = true
+		nw.mu.Unlock()
+		close(nw.done)
+		for _, m := range nw.procs {
+			m.close()
+		}
+	})
+	sys, err := nw.rec.SystemRun()
+	if err != nil {
+		return nil, fmt.Errorf("%w: recorded run invalid: %v", ErrProtocol, err)
+	}
+	view, err := sys.UsersView()
+	if err != nil {
+		return nil, fmt.Errorf("%w: user view invalid: %v", ErrProtocol, err)
+	}
+	return &Result{
+		System:      sys,
+		View:        view,
+		Stats:       nw.rec.Stats(),
+		Undelivered: nw.rec.Undelivered(),
+	}, nil
+}
+
+// runProcess is one process goroutine: it drains its mailbox, invoking
+// the protocol handlers.
+func (nw *Network) runProcess(self event.ProcID) {
+	for {
+		it, ok := nw.procs[self].pop()
+		if !ok {
+			return
+		}
+		if it.isInvoke {
+			nw.insts[self].OnInvoke(it.msg)
+		} else {
+			if it.wire.Kind == protocol.UserWire {
+				nw.rec.RecordReceive(it.wire.Msg)
+			}
+			nw.insts[self].OnReceive(it.wire)
+		}
+		nw.work.Done()
+	}
+}
+
+// runAdversary accumulates in-flight wires and releases them in random
+// order.
+func (nw *Network) runAdversary() {
+	var inflight []protocol.Wire
+	for {
+		if len(inflight) == 0 {
+			select {
+			case w := <-nw.pool:
+				inflight = append(inflight, w)
+			case <-nw.done:
+				return
+			}
+			continue
+		}
+		// Opportunistically batch whatever is queued, then release one
+		// at random.
+		for {
+			select {
+			case w := <-nw.pool:
+				inflight = append(inflight, w)
+				continue
+			default:
+			}
+			break
+		}
+		i := nw.rng.Intn(len(inflight))
+		w := inflight[i]
+		inflight[i] = inflight[len(inflight)-1]
+		inflight = inflight[:len(inflight)-1]
+		nw.procs[w.To].push(item{wire: w})
+	}
+}
+
+func (nw *Network) fail(err error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.err == nil {
+		nw.err = err
+	}
+}
+
+// env implements protocol.Env for a live process.
+type env struct {
+	nw   *Network
+	self event.ProcID
+}
+
+var _ protocol.Env = (*env)(nil)
+
+func (e *env) Self() event.ProcID { return e.self }
+func (e *env) NumProcs() int      { return e.nw.n }
+
+func (e *env) Send(w protocol.Wire) {
+	nw := e.nw
+	w.From = e.self
+	if int(w.To) < 0 || int(w.To) >= nw.n {
+		nw.fail(fmt.Errorf("%w: send to out-of-range process %d", ErrProtocol, w.To))
+		return
+	}
+	if err := protocol.CheckCapability(nw.classes[e.self], w); err != nil {
+		nw.fail(fmt.Errorf("%w: P%d: %w", ErrProtocol, e.self, err))
+		return
+	}
+	switch w.Kind {
+	case protocol.UserWire:
+		nw.rec.RecordSend(w.Msg, len(w.Tag))
+	case protocol.ControlWire:
+		nw.rec.RecordControl(len(w.Tag))
+	default:
+		nw.fail(fmt.Errorf("%w: P%d sent wire with invalid kind", ErrProtocol, e.self))
+		return
+	}
+	nw.work.Add(1)
+	nw.pool <- w
+}
+
+func (e *env) Deliver(id event.MsgID) {
+	nw := e.nw
+	nw.rec.RecordDeliver(id)
+	nw.mu.Lock()
+	hook := nw.onDeliver
+	nw.mu.Unlock()
+	if hook == nil {
+		return
+	}
+	nw.hookMu.Lock()
+	reqs := hook(e.self, id)
+	nw.hookMu.Unlock()
+	for _, req := range reqs {
+		m := nw.rec.NewMessage(req.From, req.To, req.Color)
+		nw.work.Add(1)
+		nw.procs[req.From].push(item{isInvoke: true, msg: m})
+	}
+}

@@ -1,0 +1,129 @@
+// Package spec composes multiple forbidden predicates into one
+// specification: the acceptable runs are those violating none of the
+// predicates (the intersection of the individual specification sets).
+//
+// Classification lifts cleanly: an intersection contains a limit set
+// exactly when every component does, so the protocol class of a composite
+// is the maximum of its components' classes, and it is implementable only
+// if every component is.
+package spec
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"msgorder/internal/check"
+	"msgorder/internal/classify"
+	"msgorder/internal/predicate"
+	"msgorder/internal/userview"
+)
+
+// ErrEmpty reports a specification with no predicates.
+var ErrEmpty = errors.New("spec: no predicates")
+
+// Spec is a named conjunction of forbidden predicates.
+type Spec struct {
+	Name  string
+	Preds []*predicate.Predicate
+}
+
+// New builds a specification from predicates.
+func New(name string, preds ...*predicate.Predicate) (*Spec, error) {
+	if len(preds) == 0 {
+		return nil, ErrEmpty
+	}
+	for i, p := range preds {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("predicate %d: %w", i, err)
+		}
+	}
+	return &Spec{Name: name, Preds: append([]*predicate.Predicate(nil), preds...)}, nil
+}
+
+// Result is the classification of a composite specification.
+type Result struct {
+	// Class is the protocol class required for the whole specification.
+	Class classify.Class
+	// PerPredicate holds each component's classification, in order.
+	PerPredicate []*classify.Result
+	// Dominant is the index of a component attaining the composite class.
+	Dominant int
+}
+
+// Classify classifies the composite: the maximum class over components,
+// with Unimplementable absorbing everything.
+func (s *Spec) Classify() (*Result, error) {
+	if len(s.Preds) == 0 {
+		return nil, ErrEmpty
+	}
+	res := &Result{Class: classify.Tagless, Dominant: 0}
+	for i, p := range s.Preds {
+		r, err := classify.Classify(p)
+		if err != nil {
+			return nil, fmt.Errorf("predicate %d: %w", i, err)
+		}
+		res.PerPredicate = append(res.PerPredicate, r)
+		if harder(r.Class, res.Class) {
+			res.Class = r.Class
+			res.Dominant = i
+		}
+	}
+	return res, nil
+}
+
+// harder reports whether a requires a strictly more powerful protocol
+// than b (with Unimplementable hardest).
+func harder(a, b classify.Class) bool {
+	return rank(a) > rank(b)
+}
+
+func rank(c classify.Class) int {
+	switch c {
+	case classify.Tagless:
+		return 0
+	case classify.Tagged:
+		return 1
+	case classify.General:
+		return 2
+	case classify.Unimplementable:
+		return 3
+	default:
+		return -1
+	}
+}
+
+// Violation names the first predicate a run violates.
+type Violation struct {
+	Index int
+	Match check.Match
+}
+
+// Check tests a run against every component, returning the first
+// violation found.
+func (s *Spec) Check(r *userview.Run) (Violation, bool) {
+	for i, p := range s.Preds {
+		if m, found := check.FindViolation(r, p); found {
+			return Violation{Index: i, Match: m}, true
+		}
+	}
+	return Violation{}, false
+}
+
+// Satisfied reports whether the complete run satisfies every component.
+func (s *Spec) Satisfied(r *userview.Run) bool {
+	if !r.IsComplete() {
+		return false
+	}
+	_, bad := s.Check(r)
+	return !bad
+}
+
+// String renders the composite.
+func (s *Spec) String() string {
+	parts := make([]string, len(s.Preds))
+	for i, p := range s.Preds {
+		parts[i] = p.String()
+	}
+	return fmt.Sprintf("%s{%s}", s.Name, strings.Join(parts, " AND "))
+}

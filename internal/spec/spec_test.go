@@ -1,0 +1,153 @@
+package spec
+
+import (
+	"errors"
+	"testing"
+
+	"msgorder/internal/catalog"
+	"msgorder/internal/classify"
+	"msgorder/internal/event"
+	"msgorder/internal/predicate"
+	"msgorder/internal/userview"
+)
+
+func entry(t *testing.T, name string) *predicate.Predicate {
+	t.Helper()
+	e, ok := catalog.ByName(name)
+	if !ok {
+		t.Fatalf("missing catalog entry %s", name)
+	}
+	return e.Pred
+}
+
+func TestEmptyRejected(t *testing.T) {
+	if _, err := New("nothing"); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+	s := &Spec{Name: "nothing"}
+	if _, err := s.Classify(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestInvalidComponentRejected(t *testing.T) {
+	if _, err := New("bad", &predicate.Predicate{}); err == nil {
+		t.Fatal("invalid predicate must be rejected")
+	}
+}
+
+func TestCompositeClassIsMax(t *testing.T) {
+	cases := []struct {
+		name  string
+		parts []string
+		want  classify.Class
+	}{
+		{"fifo+flush", []string{"fifo", "global-forward-flush"}, classify.Tagged},
+		{"causal+crown", []string{"causal-b2", "sync-2"}, classify.General},
+		{"vacuous+vacuous", []string{"async-a", "async-e"}, classify.Tagless},
+		{"vacuous+causal", []string{"async-a", "causal-b2"}, classify.Tagged},
+		{"causal+impossible", []string{"causal-b2", "second-before-first"}, classify.Unimplementable},
+		{"crown+impossible", []string{"sync-3", "second-before-first"}, classify.Unimplementable},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var preds []*predicate.Predicate
+			for _, n := range c.parts {
+				preds = append(preds, entry(t, n))
+			}
+			s, err := New(c.name, preds...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Classify()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Class != c.want {
+				t.Fatalf("class = %v, want %v", res.Class, c.want)
+			}
+			if len(res.PerPredicate) != len(c.parts) {
+				t.Fatalf("components = %d", len(res.PerPredicate))
+			}
+			if got := res.PerPredicate[res.Dominant].Class; got != c.want {
+				t.Fatalf("dominant class = %v", got)
+			}
+		})
+	}
+}
+
+func mkRun(t *testing.T, msgs []event.Message, procs [][]event.Event) *userview.Run {
+	t.Helper()
+	r, err := userview.New(msgs, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCheckReportsComponent(t *testing.T) {
+	s, err := New("fifo-and-crown", entry(t, "fifo"), entry(t, "sync-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A crossing pair: satisfies FIFO (different channels) but violates
+	// the crown.
+	msgs := []event.Message{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 1, To: 0},
+	}
+	r := mkRun(t, msgs, [][]event.Event{
+		{event.E(0, event.Send), event.E(1, event.Deliver)},
+		{event.E(1, event.Send), event.E(0, event.Deliver)},
+	})
+	v, bad := s.Check(r)
+	if !bad {
+		t.Fatal("crossing pair must violate the composite")
+	}
+	if v.Index != 1 {
+		t.Fatalf("violated component = %d, want 1 (the crown)", v.Index)
+	}
+	if s.Satisfied(r) {
+		t.Fatal("Satisfied must agree with Check")
+	}
+}
+
+func TestSatisfiedRequiresCompleteness(t *testing.T) {
+	s, err := New("fifo", entry(t, "fifo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := []event.Message{{ID: 0, From: 0, To: 1}}
+	r := mkRun(t, msgs, [][]event.Event{{event.E(0, event.Send)}, {}})
+	if s.Satisfied(r) {
+		t.Fatal("incomplete run can satisfy nothing")
+	}
+}
+
+func TestSatisfiedPositive(t *testing.T) {
+	s, err := New("both", entry(t, "fifo"), entry(t, "causal-b2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := []event.Message{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 0, To: 1},
+	}
+	r := mkRun(t, msgs, [][]event.Event{
+		{event.E(0, event.Send), event.E(1, event.Send)},
+		{event.E(0, event.Deliver), event.E(1, event.Deliver)},
+	})
+	if !s.Satisfied(r) {
+		t.Fatal("in-order run satisfies FIFO and causal ordering")
+	}
+}
+
+func TestString(t *testing.T) {
+	s, err := New("combo", entry(t, "fifo"), entry(t, "causal-b2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.String(); got == "" || got[:5] != "combo" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,336 @@
+// Package synth generates an executing protocol from a forbidden
+// predicate — the direction of the paper's companion work [19]: "
+// specification using forbidden predicates also permits automatic
+// generation of efficient protocols".
+//
+// Generate classifies the predicate and picks the cheapest sound
+// strategy:
+//
+//   - tagless class → the trivial protocol (nothing to enforce),
+//   - tagged class, same-channel B2 shape (both endpoints of the pattern
+//     guarded onto one channel, as in FIFO, local flush, and colored
+//     variants) → a per-channel sequence protocol that delays exactly the
+//     deliveries the predicate constrains,
+//   - any other tagged class → the full causal-ordering protocol
+//     (conservative but sound: order 1 implies X_co ⊆ X_B),
+//   - general or unimplementable class → an error citing the theorem
+//     that forbids a tagged implementation.
+//
+// The channel strategy is sound precisely because the guards force both
+// deliveries of the forbidden pattern onto one process, where delivery
+// order is local: for global patterns (e.g. global forward flush),
+// delaying only the constrained message is NOT sound — a relay chain can
+// carry the delivery knowledge across processes — which the unsoundness
+// test in this package demonstrates constructively.
+package synth
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"msgorder/internal/classify"
+	"msgorder/internal/event"
+	"msgorder/internal/predicate"
+	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/causal"
+	"msgorder/internal/protocols/tagless"
+)
+
+// Strategy names the generated implementation technique.
+type Strategy int
+
+// Strategies, cheapest first.
+const (
+	// TrivialStrategy: enable everything (tagless class).
+	TrivialStrategy Strategy = iota + 1
+	// ChannelSeqStrategy: per-channel sequence numbers delaying exactly
+	// the constrained deliveries.
+	ChannelSeqStrategy
+	// CausalStrategy: full causal ordering (sound for every tagged
+	// specification).
+	CausalStrategy
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case TrivialStrategy:
+		return "trivial"
+	case ChannelSeqStrategy:
+		return "channel-seq"
+	case CausalStrategy:
+		return "causal"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Plan describes the generated protocol.
+type Plan struct {
+	Class    classify.Class
+	Strategy Strategy
+	// XColor/YColor are the pattern roles' color constraints
+	// (ColorNone = unconstrained), meaningful for ChannelSeqStrategy.
+	XColor, YColor event.Color
+	XColorSet      bool
+	YColorSet      bool
+	Notes          []string
+}
+
+// Generation errors.
+var (
+	// ErrNeedsControl: the specification requires control messages
+	// (Theorem 4.2); no tagged protocol can be generated.
+	ErrNeedsControl = errors.New("synth: specification requires control messages (Theorem 4.2)")
+	// ErrUnimplementable: no protocol exists at all (Theorem 2).
+	ErrUnimplementable = errors.New("synth: specification is not implementable (Theorem 2)")
+)
+
+// Generate compiles a forbidden predicate into a protocol maker.
+func Generate(p *predicate.Predicate) (protocol.Maker, *Plan, error) {
+	res, err := classify.Classify(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan := &Plan{Class: res.Class}
+	switch res.Class {
+	case classify.Unimplementable:
+		return nil, nil, ErrUnimplementable
+	case classify.General:
+		return nil, nil, ErrNeedsControl
+	case classify.Tagless:
+		plan.Strategy = TrivialStrategy
+		plan.Notes = append(plan.Notes,
+			"the predicate is unsatisfiable: the trivial protocol suffices")
+		return tagless.Maker, plan, nil
+	}
+	// Tagged: try the cheap channel strategy, else fall back to causal.
+	if ok := analyzeChannelB2(p, plan); ok {
+		plan.Strategy = ChannelSeqStrategy
+		plan.Notes = append(plan.Notes,
+			"same-channel B2 pattern: per-channel sequences delay exactly the constrained deliveries")
+		maker := func() protocol.Process {
+			return &channelSeq{plan: *plan}
+		}
+		return maker, plan, nil
+	}
+	plan.Strategy = CausalStrategy
+	plan.Notes = append(plan.Notes,
+		"no same-channel structure: enforcing full causal ordering (X_co ⊆ X_B for every order-1 predicate)")
+	return causal.RSTMaker, plan, nil
+}
+
+// analyzeChannelB2 recognizes the guarded B2 shape
+//
+//	process(x.s)==process(y.s) && process(x.r)==process(y.r)
+//	[&& color(x)==c1] [&& color(y)==c2] :
+//	x.s -> y.s && y.r -> x.r
+//
+// with exactly two variables. Variable order and atom order are free.
+func analyzeChannelB2(p *predicate.Predicate, plan *Plan) bool {
+	if len(p.Vars) != 2 || len(p.Atoms) != 2 {
+		return false
+	}
+	// Identify roles: the x role has the s->s atom source, the y role its
+	// target.
+	var x, y = -1, -1
+	var haveSS, haveRR bool
+	for _, a := range p.Atoms {
+		switch {
+		case a.From.Part == predicate.S && a.To.Part == predicate.S && !a.SameVar():
+			haveSS = true
+			x, y = a.From.Var, a.To.Var
+		case a.From.Part == predicate.R && a.To.Part == predicate.R && !a.SameVar():
+			haveRR = true
+		default:
+			return false
+		}
+	}
+	if !haveSS || !haveRR {
+		return false
+	}
+	// The r->r atom must be y.r -> x.r.
+	for _, a := range p.Atoms {
+		if a.From.Part == predicate.R && (a.From.Var != y || a.To.Var != x) {
+			return false
+		}
+	}
+	// Guards: need sender equality and receiver equality across the two
+	// variables; color guards bind roles; anything else disqualifies.
+	var senderEq, receiverEq bool
+	for _, g := range p.Guards {
+		switch g.Kind {
+		case predicate.GuardProcEq:
+			sameVarPair := (g.A.Var == x && g.B.Var == y) || (g.A.Var == y && g.B.Var == x)
+			if !sameVarPair {
+				return false
+			}
+			switch {
+			case g.A.Part == predicate.S && g.B.Part == predicate.S:
+				senderEq = true
+			case g.A.Part == predicate.R && g.B.Part == predicate.R:
+				receiverEq = true
+			default:
+				return false
+			}
+		case predicate.GuardColorIs:
+			if g.Var == x {
+				if plan.XColorSet && plan.XColor != g.Color {
+					return false
+				}
+				plan.XColor, plan.XColorSet = g.Color, true
+			} else {
+				if plan.YColorSet && plan.YColor != g.Color {
+					return false
+				}
+				plan.YColor, plan.YColorSet = g.Color, true
+			}
+		default:
+			return false
+		}
+	}
+	return senderEq && receiverEq
+}
+
+// channelSeq is the generated per-channel protocol: every wire carries
+// its channel sequence number; a y-eligible delivery waits until every
+// x-eligible message with a smaller sequence on its channel has been
+// delivered. FIFO is the special case where every message plays both
+// roles.
+type channelSeq struct {
+	plan Plan
+	env  protocol.Env
+	out  map[event.ProcID]*csOut // per-destination sender state
+	in   map[event.ProcID]*csIn  // per-source receiver state
+}
+
+type csOut struct {
+	nextSeq uint64 // next sequence on this channel
+	xCount  uint64 // x-eligible messages already sent on it
+}
+
+type csIn struct {
+	// xDelivered holds the sequence numbers of delivered x-eligible
+	// messages.
+	xDelivered map[uint64]bool
+	held       []csHeld
+}
+
+type csHeld struct {
+	id      event.MsgID
+	seq     uint64
+	xBefore uint64
+	color   event.Color
+}
+
+var (
+	_ protocol.Process   = (*channelSeq)(nil)
+	_ protocol.Describer = (*channelSeq)(nil)
+)
+
+// Describe declares the tagged class with a synthetic name.
+func (p *channelSeq) Describe() protocol.Descriptor {
+	return protocol.Descriptor{Name: "synth-channel-seq", Class: protocol.Tagged}
+}
+
+// Init prepares per-channel state.
+func (p *channelSeq) Init(env protocol.Env) {
+	p.env = env
+	p.out = make(map[event.ProcID]*csOut)
+	p.in = make(map[event.ProcID]*csIn)
+}
+
+// xEligible reports whether a message can play the x role.
+func (p *channelSeq) xEligible(c event.Color) bool {
+	return !p.plan.XColorSet || c == p.plan.XColor
+}
+
+// yEligible reports whether a message can play the y role (and therefore
+// must wait).
+func (p *channelSeq) yEligible(c event.Color) bool {
+	return !p.plan.YColorSet || c == p.plan.YColor
+}
+
+// OnInvoke tags (seq, xBefore) and sends immediately.
+func (p *channelSeq) OnInvoke(m event.Message) {
+	o := p.out[m.To]
+	if o == nil {
+		o = &csOut{}
+		p.out[m.To] = o
+	}
+	tag := binary.AppendUvarint(nil, o.nextSeq)
+	tag = binary.AppendUvarint(tag, o.xCount)
+	o.nextSeq++
+	if p.xEligible(m.Color) {
+		o.xCount++
+	}
+	p.env.Send(protocol.Wire{
+		To:    m.To,
+		Kind:  protocol.UserWire,
+		Msg:   m.ID,
+		Color: m.Color,
+		Tag:   tag,
+	})
+}
+
+// OnReceive delivers unconstrained messages immediately and holds
+// y-eligible ones until their x backlog is delivered.
+func (p *channelSeq) OnReceive(w protocol.Wire) {
+	if w.Kind != protocol.UserWire {
+		return
+	}
+	seq, n := binary.Uvarint(w.Tag)
+	if n <= 0 {
+		return
+	}
+	xBefore, n2 := binary.Uvarint(w.Tag[n:])
+	if n2 <= 0 || len(w.Tag[n+n2:]) != 0 {
+		return
+	}
+	ib := p.in[w.From]
+	if ib == nil {
+		ib = &csIn{xDelivered: make(map[uint64]bool)}
+		p.in[w.From] = ib
+	}
+	ib.held = append(ib.held, csHeld{id: w.Msg, seq: seq, xBefore: xBefore, color: w.Color})
+	p.drain(ib)
+}
+
+// eligibleNow: a y-eligible message waits until every x-eligible message
+// with a smaller sequence has been delivered (counted exactly).
+func (p *channelSeq) eligibleNow(ib *csIn, h csHeld) bool {
+	if !p.yEligible(h.color) {
+		return true
+	}
+	var deliveredBelow uint64
+	for s := range ib.xDelivered {
+		if s < h.seq {
+			deliveredBelow++
+		}
+	}
+	return deliveredBelow >= h.xBefore
+}
+
+func (p *channelSeq) drain(ib *csIn) {
+	for {
+		progress := false
+		for i := 0; i < len(ib.held); i++ {
+			h := ib.held[i]
+			if !p.eligibleNow(ib, h) {
+				continue
+			}
+			ib.held = append(ib.held[:i], ib.held[i+1:]...)
+			// Commit state before delivering (Deliver may reenter).
+			if p.xEligible(h.color) {
+				ib.xDelivered[h.seq] = true
+			}
+			p.env.Deliver(h.id)
+			progress = true
+			break
+		}
+		if !progress {
+			return
+		}
+	}
+}

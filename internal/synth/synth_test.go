@@ -1,0 +1,305 @@
+package synth
+
+import (
+	"errors"
+	"testing"
+
+	"msgorder/internal/catalog"
+	"msgorder/internal/classify"
+	"msgorder/internal/conformance"
+	"msgorder/internal/event"
+	"msgorder/internal/predicate"
+	"msgorder/internal/protocol"
+	"msgorder/internal/vc"
+)
+
+func entry(t *testing.T, name string) *predicate.Predicate {
+	t.Helper()
+	e, ok := catalog.ByName(name)
+	if !ok {
+		t.Fatalf("missing catalog entry %s", name)
+	}
+	return e.Pred
+}
+
+func TestGenerateStrategies(t *testing.T) {
+	cases := []struct {
+		name string
+		want Strategy
+	}{
+		{"fifo", ChannelSeqStrategy},
+		{"local-forward-flush", ChannelSeqStrategy},
+		{"causal-b2", CausalStrategy},
+		{"causal-b1", CausalStrategy},
+		{"global-forward-flush", CausalStrategy},
+		{"kweaker-1", CausalStrategy},
+		{"example-1", CausalStrategy},
+		{"async-a", TrivialStrategy},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			maker, plan, err := Generate(entry(t, c.name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.Strategy != c.want {
+				t.Fatalf("strategy = %v, want %v\n%v", plan.Strategy, c.want, plan.Notes)
+			}
+			if maker == nil {
+				t.Fatal("nil maker")
+			}
+		})
+	}
+}
+
+func TestGenerateRejectsGeneral(t *testing.T) {
+	if _, _, err := Generate(entry(t, "sync-2")); !errors.Is(err, ErrNeedsControl) {
+		t.Fatalf("err = %v, want ErrNeedsControl", err)
+	}
+	if _, _, err := Generate(entry(t, "handoff")); !errors.Is(err, ErrNeedsControl) {
+		t.Fatalf("err = %v, want ErrNeedsControl", err)
+	}
+}
+
+func TestGenerateRejectsUnimplementable(t *testing.T) {
+	if _, _, err := Generate(entry(t, "second-before-first")); !errors.Is(err, ErrUnimplementable) {
+		t.Fatalf("err = %v, want ErrUnimplementable", err)
+	}
+}
+
+func TestGenerateRejectsInvalid(t *testing.T) {
+	if _, _, err := Generate(&predicate.Predicate{}); err == nil {
+		t.Fatal("invalid predicate must be rejected")
+	}
+}
+
+func TestPlanColorRoles(t *testing.T) {
+	_, plan, err := Generate(entry(t, "local-forward-flush"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.YColorSet || plan.YColor != event.ColorRed || plan.XColorSet {
+		t.Fatalf("plan roles = %+v", plan)
+	}
+	if plan.Class != classify.Tagged {
+		t.Fatalf("class = %v", plan.Class)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for s, want := range map[Strategy]string{
+		TrivialStrategy:    "trivial",
+		ChannelSeqStrategy: "channel-seq",
+		CausalStrategy:     "causal",
+		Strategy(9):        "strategy(9)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("String(%d) = %q", int(s), got)
+		}
+	}
+}
+
+// --- conformance of generated protocols ---
+
+const (
+	safetySeeds = 60
+	huntSeeds   = 300
+)
+
+func cfgFor(maker protocol.Maker, colors []event.Color) conformance.Config {
+	return conformance.Config{
+		Maker:       maker,
+		Procs:       3,
+		InitialMsgs: 12,
+		ChainBudget: 10,
+		ChainProb:   0.7,
+		Colors:      colors,
+		DelayMax:    40,
+	}
+}
+
+func TestGeneratedFIFOConforms(t *testing.T) {
+	spec := entry(t, "fifo")
+	maker, _, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conformance.AlwaysSatisfies(cfgFor(maker, nil), safetySeeds, spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratedFIFOIsExactlyFIFO(t *testing.T) {
+	// The generated FIFO must not over-enforce: causal ordering must
+	// still break under relays (it is weaker than causal).
+	spec := entry(t, "fifo")
+	maker, _, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, found, err := conformance.FindsViolation(cfgFor(maker, nil), huntSeeds, entry(t, "causal-b2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("generated FIFO over-enforces: no causal violation found")
+	}
+}
+
+func TestGeneratedLocalFlushConforms(t *testing.T) {
+	spec := entry(t, "local-forward-flush")
+	maker, _, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors := []event.Color{
+		event.ColorNone, event.ColorNone, event.ColorNone, event.ColorRed,
+	}
+	if err := conformance.AlwaysSatisfies(cfgFor(maker, colors), safetySeeds, spec); err != nil {
+		t.Fatal(err)
+	}
+	// And it is cheaper than FIFO: plain messages still reorder.
+	_, found, err := conformance.FindsViolation(cfgFor(maker, colors), huntSeeds, entry(t, "fifo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("generated flush over-enforces: plain messages never reorder")
+	}
+}
+
+func TestGeneratedCausalFallbackConforms(t *testing.T) {
+	spec := entry(t, "global-forward-flush")
+	maker, plan, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy != CausalStrategy {
+		t.Fatalf("strategy = %v", plan.Strategy)
+	}
+	colors := []event.Color{
+		event.ColorNone, event.ColorNone, event.ColorNone, event.ColorRed,
+	}
+	if err := conformance.AlwaysSatisfies(cfgFor(maker, colors), safetySeeds, spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- the unsoundness demonstration ---
+
+// naive is the tempting-but-wrong generated protocol for GLOBAL forward
+// flush: every message carries the RST matrix, but only red deliveries
+// wait (until every message sent here causally before the red's send is
+// delivered); plain messages deliver on receipt. The channel-local
+// version of this idea is sound; globally it is not, because a relay
+// chain can carry "the red message was delivered" to another process
+// that then delivers a causally-older plain message — realizing
+// x.s ▷ y.s ∧ y.r ▷ x.r with a red y.
+type naive struct {
+	env           protocol.Env
+	m             *vc.Matrix
+	deliveredFrom []uint64
+	held          []naiveHeld
+}
+
+type naiveHeld struct {
+	id   event.MsgID
+	from event.ProcID
+	tag  *vc.Matrix
+}
+
+func newNaive() protocol.Process { return &naive{} }
+
+func (p *naive) Describe() protocol.Descriptor {
+	return protocol.Descriptor{Name: "naive-global-flush", Class: protocol.Tagged}
+}
+
+func (p *naive) Init(env protocol.Env) {
+	p.env = env
+	p.m = vc.NewMatrix(env.NumProcs())
+	p.deliveredFrom = make([]uint64, env.NumProcs())
+}
+
+func (p *naive) OnInvoke(m event.Message) {
+	p.m.Incr(int(p.env.Self()), int(m.To))
+	p.env.Send(protocol.Wire{
+		To: m.To, Kind: protocol.UserWire, Msg: m.ID, Color: m.Color,
+		Tag: p.m.Encode(),
+	})
+}
+
+func (p *naive) OnReceive(w protocol.Wire) {
+	if w.Kind != protocol.UserWire {
+		return
+	}
+	tag, err := vc.DecodeMatrix(w.Tag)
+	if err != nil {
+		return
+	}
+	if w.Color != event.ColorRed {
+		// Plain: deliver immediately (this is the unsound shortcut).
+		p.deliveredFrom[w.From]++
+		p.m.Merge(tag)
+		p.env.Deliver(w.Msg)
+		p.drainNaive()
+		return
+	}
+	p.held = append(p.held, naiveHeld{id: w.Msg, from: w.From, tag: tag})
+	p.drainNaive()
+}
+
+func (p *naive) redDeliverable(h naiveHeld) bool {
+	self := int(p.env.Self())
+	for k := 0; k < p.env.NumProcs(); k++ {
+		want := h.tag.Get(k, self)
+		if k == int(h.from) {
+			want-- // the red message itself is counted in its own tag
+		}
+		if p.deliveredFrom[k] < want {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *naive) drainNaive() {
+	for {
+		progress := false
+		for i := 0; i < len(p.held); i++ {
+			h := p.held[i]
+			if !p.redDeliverable(h) {
+				continue
+			}
+			p.held = append(p.held[:i], p.held[i+1:]...)
+			p.deliveredFrom[h.from]++
+			p.m.Merge(h.tag)
+			p.env.Deliver(h.id)
+			progress = true
+			break
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+func TestNaiveGlobalFlushUnsound(t *testing.T) {
+	spec := entry(t, "global-forward-flush")
+	colors := []event.Color{
+		event.ColorNone, event.ColorNone, event.ColorRed,
+	}
+	cfg := cfgFor(func() protocol.Process { return newNaive() }, colors)
+	cfg.Procs = 3
+	cfg.InitialMsgs = 10
+	cfg.ChainBudget = 12
+	cfg.ChainProb = 0.8
+	v, found, err := conformance.FindsViolation(cfg, 2000, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Skip("no violation found in 2000 seeds; the naive protocol dodged the adversary this time")
+	}
+	t.Logf("naive red-only delay violated global flush at seed %d: %s",
+		v.Seed, v.Match.String(spec))
+}

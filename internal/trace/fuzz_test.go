@@ -1,0 +1,54 @@
+package trace
+
+import "testing"
+
+// FuzzDecodeUserView drives the JSON run decoder with arbitrary bytes: it
+// must never panic, and anything it accepts must re-encode and decode to
+// the same run.
+func FuzzDecodeUserView(f *testing.F) {
+	seeds := []string{
+		`{"messages":[{"id":0,"from":0,"to":1}],"procs":[["m0.s"],["m0.r"]]}`,
+		`{"messages":[],"procs":[[],[]]}`,
+		`{"messages":[{"id":0,"from":0,"to":1,"color":"red"}],"procs":[["m0.s"],[]]}`,
+		`{"messages":[{"id":0,"from":0,"to":1}],"procs":[[],["m0.r"]]}`,
+		`not json`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := DecodeUserView(data)
+		if err != nil {
+			return
+		}
+		out, err := EncodeUserView(v)
+		if err != nil {
+			t.Fatalf("accepted run fails to encode: %v", err)
+		}
+		back, err := DecodeUserView(out)
+		if err != nil {
+			t.Fatalf("re-encoded run fails to decode: %v", err)
+		}
+		if back.Key() != v.Key() {
+			t.Fatal("round trip changed the run")
+		}
+	})
+}
+
+// FuzzParseEvent: the event notation parser must never panic and must
+// round-trip everything it accepts.
+func FuzzParseEvent(f *testing.F) {
+	for _, s := range []string{"m0.s", "m3.s*", "m12.r*", "m7.r", "x", "m.s", "m1.q"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		e, err := ParseEvent(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseEvent(e.String())
+		if err != nil || back != e {
+			t.Fatalf("round trip failed for %q -> %v", s, e)
+		}
+	})
+}

@@ -1,0 +1,278 @@
+// Package trace renders runs as ASCII time diagrams — the format of the
+// paper's figures — and serializes runs to JSON for storage and diffing.
+//
+// A diagram lays every event on a global time axis (a deterministic
+// linear extension of the causality relation), one row per process:
+//
+//	P0 | m0.s* m0.s  .     .     m1.s* m1.s  .     .
+//	P1 | .     .     m1.r* m1.r  .     .     m0.r* m0.r
+//	     m0: P0->P1   m1: P0->P1
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"msgorder/internal/event"
+	"msgorder/internal/poset"
+	"msgorder/internal/run"
+	"msgorder/internal/userview"
+)
+
+// ErrDecode reports malformed serialized runs.
+var ErrDecode = errors.New("trace: malformed run encoding")
+
+// SystemDiagram renders a system run as an ASCII time diagram.
+func SystemDiagram(r *run.Run) string {
+	var seqs [][]event.Event
+	for p := 0; p < r.NumProcs(); p++ {
+		seqs = append(seqs, r.ProcSeq(event.ProcID(p)))
+	}
+	order := linearize(seqs, r.Messages(), true)
+	return grid(seqs, r.Messages(), order)
+}
+
+// UserDiagram renders a user-view run as an ASCII time diagram.
+func UserDiagram(v *userview.Run) string {
+	var seqs [][]event.Event
+	for p := 0; p < v.NumProcs(); p++ {
+		seqs = append(seqs, v.ProcSeq(event.ProcID(p)))
+	}
+	order := linearize(seqs, v.Messages(), false)
+	return grid(seqs, v.Messages(), order)
+}
+
+// linearize produces a deterministic global order of all present events:
+// a topological order of per-process sequencing plus message edges.
+func linearize(seqs [][]event.Event, msgs []event.Message, system bool) []event.Event {
+	// Dense ids: 4*msg+kind covers both views.
+	g := poset.NewDAG(4 * len(msgs))
+	present := make([]bool, 4*len(msgs))
+	for _, seq := range seqs {
+		for i, e := range seq {
+			present[e.Index()] = true
+			if i > 0 {
+				g.AddEdge(seq[i-1].Index(), e.Index())
+			}
+		}
+	}
+	for _, m := range msgs {
+		var from, to event.Event
+		if system {
+			from, to = event.E(m.ID, event.Send), event.E(m.ID, event.Receive)
+		} else {
+			from, to = event.E(m.ID, event.Send), event.E(m.ID, event.Deliver)
+		}
+		if present[from.Index()] && present[to.Index()] {
+			g.AddEdge(from.Index(), to.Index())
+		}
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		// Recorded runs are always acyclic; fall back to sequence order
+		// for robustness.
+		var out []event.Event
+		for _, seq := range seqs {
+			out = append(out, seq...)
+		}
+		return out
+	}
+	var out []event.Event
+	for _, idx := range order {
+		if present[idx] {
+			out = append(out, event.FromIndex(idx))
+		}
+	}
+	return out
+}
+
+// grid renders rows of aligned event labels.
+func grid(seqs [][]event.Event, msgs []event.Message, order []event.Event) string {
+	col := make(map[event.Event]int, len(order))
+	width := 1
+	for i, e := range order {
+		col[e] = i
+		if w := len(e.String()); w > width {
+			width = w
+		}
+	}
+	pad := func(s string) string {
+		return s + strings.Repeat(" ", width-len(s)+1)
+	}
+	var b strings.Builder
+	for p, seq := range seqs {
+		fmt.Fprintf(&b, "P%d |", p)
+		cells := make([]string, len(order))
+		for i := range cells {
+			cells[i] = "."
+		}
+		for _, e := range seq {
+			cells[col[e]] = e.String()
+		}
+		for _, c := range cells {
+			b.WriteString(" " + pad(c))
+		}
+		b.WriteString("\n")
+	}
+	if len(msgs) > 0 {
+		b.WriteString("     ")
+		parts := make([]string, len(msgs))
+		for i, m := range msgs {
+			parts[i] = m.String()
+		}
+		b.WriteString(strings.Join(parts, "  "))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// --- JSON serialization ---
+
+type msgJSON struct {
+	ID    int    `json:"id"`
+	From  int    `json:"from"`
+	To    int    `json:"to"`
+	Color string `json:"color,omitempty"`
+}
+
+type runJSON struct {
+	Messages []msgJSON  `json:"messages"`
+	Procs    [][]string `json:"procs"`
+}
+
+func messagesToJSON(msgs []event.Message) []msgJSON {
+	out := make([]msgJSON, len(msgs))
+	for i, m := range msgs {
+		out[i] = msgJSON{ID: int(m.ID), From: int(m.From), To: int(m.To)}
+		if m.Color != event.ColorNone {
+			out[i].Color = m.Color.String()
+		}
+	}
+	return out
+}
+
+func messagesFromJSON(in []msgJSON) ([]event.Message, error) {
+	out := make([]event.Message, len(in))
+	for i, m := range in {
+		color := event.ColorNone
+		if m.Color != "" {
+			c, ok := event.ParseColor(m.Color)
+			if !ok {
+				return nil, fmt.Errorf("%w: color %q", ErrDecode, m.Color)
+			}
+			color = c
+		}
+		out[i] = event.Message{
+			ID:    event.MsgID(m.ID),
+			From:  event.ProcID(m.From),
+			To:    event.ProcID(m.To),
+			Color: color,
+		}
+	}
+	return out, nil
+}
+
+// EventString renders an event in the paper's notation ("m3.s*").
+func EventString(e event.Event) string { return e.String() }
+
+// ParseEvent parses the paper's notation back into an event.
+func ParseEvent(s string) (event.Event, error) {
+	var id int
+	var kind string
+	if _, err := fmt.Sscanf(s, "m%d.%s", &id, &kind); err != nil {
+		return event.Event{}, fmt.Errorf("%w: event %q", ErrDecode, s)
+	}
+	var k event.Kind
+	switch kind {
+	case "s*":
+		k = event.Invoke
+	case "s":
+		k = event.Send
+	case "r*":
+		k = event.Receive
+	case "r":
+		k = event.Deliver
+	default:
+		return event.Event{}, fmt.Errorf("%w: event kind %q", ErrDecode, kind)
+	}
+	return event.E(event.MsgID(id), k), nil
+}
+
+func seqsToJSON(n int, seq func(event.ProcID) []event.Event) [][]string {
+	out := make([][]string, n)
+	for p := 0; p < n; p++ {
+		events := seq(event.ProcID(p))
+		row := make([]string, len(events))
+		for i, e := range events {
+			row[i] = e.String()
+		}
+		out[p] = row
+	}
+	return out
+}
+
+func seqsFromJSON(in [][]string) ([][]event.Event, error) {
+	out := make([][]event.Event, len(in))
+	for p, row := range in {
+		for _, s := range row {
+			e, err := ParseEvent(s)
+			if err != nil {
+				return nil, err
+			}
+			out[p] = append(out[p], e)
+		}
+	}
+	return out, nil
+}
+
+// EncodeUserView serializes a user-view run to JSON.
+func EncodeUserView(v *userview.Run) ([]byte, error) {
+	return json.MarshalIndent(runJSON{
+		Messages: messagesToJSON(v.Messages()),
+		Procs:    seqsToJSON(v.NumProcs(), v.ProcSeq),
+	}, "", "  ")
+}
+
+// DecodeUserView parses a serialized user-view run, revalidating it.
+func DecodeUserView(data []byte) (*userview.Run, error) {
+	var rj runJSON
+	if err := json.Unmarshal(data, &rj); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	msgs, err := messagesFromJSON(rj.Messages)
+	if err != nil {
+		return nil, err
+	}
+	procs, err := seqsFromJSON(rj.Procs)
+	if err != nil {
+		return nil, err
+	}
+	return userview.New(msgs, procs)
+}
+
+// EncodeSystem serializes a system run to JSON.
+func EncodeSystem(r *run.Run) ([]byte, error) {
+	return json.MarshalIndent(runJSON{
+		Messages: messagesToJSON(r.Messages()),
+		Procs:    seqsToJSON(r.NumProcs(), r.ProcSeq),
+	}, "", "  ")
+}
+
+// DecodeSystem parses a serialized system run, revalidating it.
+func DecodeSystem(data []byte) (*run.Run, error) {
+	var rj runJSON
+	if err := json.Unmarshal(data, &rj); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	msgs, err := messagesFromJSON(rj.Messages)
+	if err != nil {
+		return nil, err
+	}
+	procs, err := seqsFromJSON(rj.Procs)
+	if err != nil {
+		return nil, err
+	}
+	return run.New(msgs, procs)
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"msgorder/internal/event"
+	"msgorder/internal/run"
+	"msgorder/internal/userview"
+)
+
+func fifoSystemRun(t *testing.T) *run.Run {
+	t.Helper()
+	msgs := []event.Message{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 0, To: 1},
+	}
+	r, err := run.New(msgs, [][]event.Event{
+		{event.E(0, event.Invoke), event.E(0, event.Send), event.E(1, event.Invoke), event.E(1, event.Send)},
+		{event.E(1, event.Receive), event.E(0, event.Receive), event.E(0, event.Deliver), event.E(1, event.Deliver)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func crownView(t *testing.T) *userview.Run {
+	t.Helper()
+	msgs := []event.Message{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 1, To: 0, Color: event.ColorRed},
+	}
+	v, err := userview.New(msgs, [][]event.Event{
+		{event.E(0, event.Send), event.E(1, event.Deliver)},
+		{event.E(1, event.Send), event.E(0, event.Deliver)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestSystemDiagram(t *testing.T) {
+	d := SystemDiagram(fifoSystemRun(t))
+	lines := strings.Split(strings.TrimRight(d, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("diagram lines = %d:\n%s", len(lines), d)
+	}
+	if !strings.HasPrefix(lines[0], "P0 |") || !strings.HasPrefix(lines[1], "P1 |") {
+		t.Fatalf("missing process rows:\n%s", d)
+	}
+	for _, want := range []string{"m0.s*", "m0.s", "m0.r*", "m0.r", "m1.r*", "m0(P0->P1)"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diagram missing %q:\n%s", want, d)
+		}
+	}
+	// Causality: m0.s must appear in an earlier column than m0.r*.
+	if strings.Index(lines[0], "m0.s") > strings.Index(lines[1], "m0.r*") {
+		t.Errorf("send column after receive column:\n%s", d)
+	}
+}
+
+func TestUserDiagram(t *testing.T) {
+	d := UserDiagram(crownView(t))
+	for _, want := range []string{"m0.s", "m1.r", "m1(P1->P0):red"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diagram missing %q:\n%s", want, d)
+		}
+	}
+	if strings.Contains(d, "m0.s*") {
+		t.Error("user diagram must not contain system events")
+	}
+}
+
+func TestEmptyDiagram(t *testing.T) {
+	v, err := userview.New(nil, [][]event.Event{{}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := UserDiagram(v)
+	if !strings.Contains(d, "P0 |") {
+		t.Fatalf("empty diagram should still show processes:\n%q", d)
+	}
+}
+
+func TestParseEvent(t *testing.T) {
+	cases := []struct {
+		s    string
+		want event.Event
+	}{
+		{"m0.s*", event.E(0, event.Invoke)},
+		{"m3.s", event.E(3, event.Send)},
+		{"m12.r*", event.E(12, event.Receive)},
+		{"m7.r", event.E(7, event.Deliver)},
+	}
+	for _, c := range cases {
+		got, err := ParseEvent(c.s)
+		if err != nil || got != c.want {
+			t.Errorf("ParseEvent(%q) = %v, %v", c.s, got, err)
+		}
+		if EventString(c.want) != c.s {
+			t.Errorf("EventString(%v) = %q, want %q", c.want, EventString(c.want), c.s)
+		}
+	}
+	for _, bad := range []string{"", "m.s", "x3.s", "m3.q", "m3"} {
+		if _, err := ParseEvent(bad); !errors.Is(err, ErrDecode) {
+			t.Errorf("ParseEvent(%q) err = %v, want ErrDecode", bad, err)
+		}
+	}
+}
+
+func TestSystemJSONRoundTrip(t *testing.T) {
+	r := fifoSystemRun(t)
+	data, err := EncodeSystem(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSystem(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(r) {
+		t.Fatal("round trip changed the system run")
+	}
+}
+
+func TestUserViewJSONRoundTrip(t *testing.T) {
+	v := crownView(t)
+	data, err := EncodeUserView(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeUserView(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Key() != v.Key() {
+		t.Fatal("round trip changed the user view")
+	}
+	if back.Message(1).Color != event.ColorRed {
+		t.Fatal("color lost in round trip")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"messages":[{"id":0,"from":0,"to":1,"color":"mauve"}],"procs":[[],[]]}`,
+		`{"messages":[{"id":0,"from":0,"to":1}],"procs":[["bogus"],[]]}`,
+	}
+	for _, c := range cases {
+		if _, err := DecodeUserView([]byte(c)); err == nil {
+			t.Errorf("DecodeUserView(%q) should fail", c)
+		}
+		if _, err := DecodeSystem([]byte(c)); err == nil {
+			t.Errorf("DecodeSystem(%q) should fail", c)
+		}
+	}
+	// Valid JSON, invalid run (deliver without send) must be rejected by
+	// revalidation.
+	bad := `{"messages":[{"id":0,"from":0,"to":1}],"procs":[[],["m0.r"]]}`
+	if _, err := DecodeUserView([]byte(bad)); err == nil {
+		t.Error("revalidation should reject deliver-without-send")
+	}
+}

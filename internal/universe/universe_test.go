@@ -1,0 +1,341 @@
+package universe
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"msgorder/internal/check"
+	"msgorder/internal/event"
+	"msgorder/internal/predicate"
+	"msgorder/internal/userview"
+)
+
+func msgTable(pairs ...[2]event.ProcID) []event.Message {
+	msgs := make([]event.Message, len(pairs))
+	for i, p := range pairs {
+		msgs[i] = event.Message{ID: event.MsgID(i), From: p[0], To: p[1]}
+	}
+	return msgs
+}
+
+func TestSchedulesSingleMessage(t *testing.T) {
+	msgs := msgTable([2]event.ProcID{0, 1})
+	n := Schedules(msgs, 2, func(r *userview.Run) bool {
+		if !r.IsComplete() {
+			t.Error("enumerated run must be complete")
+		}
+		return true
+	})
+	if n != 1 {
+		t.Fatalf("runs = %d, want 1", n)
+	}
+}
+
+func TestSchedulesSameChannelPair(t *testing.T) {
+	// Two messages P0->P1: 2 send orders x 2 deliver orders.
+	msgs := msgTable([2]event.ProcID{0, 1}, [2]event.ProcID{0, 1})
+	n := Schedules(msgs, 2, func(*userview.Run) bool { return true })
+	if n != 4 {
+		t.Fatalf("runs = %d, want 4", n)
+	}
+}
+
+func TestSchedulesDisjointPair(t *testing.T) {
+	// Two messages on disjoint process pairs: each process sequence is a
+	// single event, so there is exactly one run.
+	msgs := msgTable([2]event.ProcID{0, 1}, [2]event.ProcID{2, 3})
+	n := Schedules(msgs, 4, func(*userview.Run) bool { return true })
+	if n != 1 {
+		t.Fatalf("runs = %d, want 1", n)
+	}
+}
+
+func TestSchedulesEarlyStop(t *testing.T) {
+	msgs := msgTable([2]event.ProcID{0, 1}, [2]event.ProcID{0, 1})
+	calls := 0
+	Schedules(msgs, 2, func(*userview.Run) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestRunsCount(t *testing.T) {
+	// One message over 2 processes: 4 (from,to) assignments, 1 schedule
+	// each.
+	if n := Runs(1, 2, func(*userview.Run) bool { return true }); n != 4 {
+		t.Fatalf("Runs(1,2) = %d, want 4", n)
+	}
+}
+
+func TestRunsWithColorsCount(t *testing.T) {
+	n := RunsWithColors(1, 1, []event.Color{event.ColorNone, event.ColorRed},
+		func(*userview.Run) bool { return true })
+	// 1 (from,to) assignment x 2 colors.
+	if n != 2 {
+		t.Fatalf("count = %d, want 2", n)
+	}
+}
+
+// TestExhaustiveLimitChain verifies X_sync ⊆ X_co ⊆ X_async over the full
+// bounded universe of 3 messages on 2 processes.
+func TestExhaustiveLimitChain(t *testing.T) {
+	bad := 0
+	Runs(3, 2, func(r *userview.Run) bool {
+		if r.InSync() && !r.InCO() {
+			bad++
+		}
+		if r.InCO() && !r.InAsync() {
+			bad++
+		}
+		return bad == 0
+	})
+	if bad != 0 {
+		t.Fatal("limit-set chain violated")
+	}
+}
+
+// TestLemma3CausalEquivalence checks B1 ⇔ B2 ⇔ B3 (Lemma 3.2) over
+// bounded universes without self-addressed messages (the paper's implicit
+// model — see TestLemma3FailsWithSelfMessages), including three-process
+// tables where the paper's intermediate-message argument bites.
+func TestLemma3CausalEquivalence(t *testing.T) {
+	b1 := predicate.MustParse("x, y : x.s -> y.r && y.r -> x.r")
+	b2 := predicate.MustParse("x, y : x.s -> y.s && y.r -> x.r")
+	b3 := predicate.MustParse("x, y : x.s -> y.s && y.s -> x.r")
+
+	checkRun := func(r *userview.Run) bool {
+		s1 := check.Satisfies(r, b1)
+		s2 := check.Satisfies(r, b2)
+		s3 := check.Satisfies(r, b3)
+		if s1 != s2 || s2 != s3 {
+			t.Errorf("disagreement (B1=%v B2=%v B3=%v) on %v", s1, s2, s3, r)
+			return false
+		}
+		return true
+	}
+	RunsNoSelf(3, 2, checkRun)
+	if t.Failed() {
+		return
+	}
+	// Cross-process tables with 3 processes (sampled tables, all
+	// schedules).
+	tables := [][]event.Message{
+		msgTable([2]event.ProcID{0, 1}, [2]event.ProcID{2, 0}, [2]event.ProcID{0, 1}),
+		msgTable([2]event.ProcID{0, 1}, [2]event.ProcID{1, 2}, [2]event.ProcID{2, 0}),
+		msgTable([2]event.ProcID{0, 2}, [2]event.ProcID{0, 1}, [2]event.ProcID{1, 2}),
+	}
+	for _, msgs := range tables {
+		Schedules(msgs, 3, checkRun)
+	}
+}
+
+// TestLemma3FailsWithSelfMessages documents a reproduction finding: with
+// self-addressed messages (From == To) the Lemma 3.2 equivalence breaks.
+// Two self-messages at P0 interleaved as m0.s m1.s m0.r m1.r satisfy
+// B1 (m1.s ▷ m0.r ∧ m0.r ▷ m1.r with x=m1, y=m0) and B3, but not B2 —
+// the run is causally ordered yet outside X_B1. The paper's case analysis
+// ("x.r and y.s are in different processes") implicitly excludes this.
+func TestLemma3FailsWithSelfMessages(t *testing.T) {
+	b1 := predicate.MustParse("x, y : x.s -> y.r && y.r -> x.r")
+	b2 := predicate.MustParse("x, y : x.s -> y.s && y.r -> x.r")
+	msgs := []event.Message{
+		{ID: 0, From: 0, To: 0},
+		{ID: 1, From: 0, To: 0},
+	}
+	r, err := userview.New(msgs, [][]event.Event{{
+		event.E(0, event.Send),
+		event.E(1, event.Send),
+		event.E(0, event.Deliver),
+		event.E(1, event.Deliver),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !check.Satisfies(r, b2) {
+		t.Error("the run is causally ordered (B2 unmatched)")
+	}
+	if check.Satisfies(r, b1) {
+		t.Error("expected B1 to match via x=m1, y=m0 — counterexample vanished")
+	}
+}
+
+// TestB1StillGeneralWithSelfMessages pins down the other half of the
+// self-message finding: although X_co ⊄ X_B1 in the self-message model
+// (so tagging is insufficient there), X_sync ⊆ X_B1 still holds — no
+// logically synchronous run matches B1 — so B1 remains implementable
+// with control messages.
+func TestB1StillGeneralWithSelfMessages(t *testing.T) {
+	b1 := predicate.MustParse("x, y : x.s -> y.r && y.r -> x.r")
+	Runs(3, 2, func(r *userview.Run) bool {
+		if r.InSync() && !check.Satisfies(r, b1) {
+			t.Errorf("synchronous run matches B1: %v", r)
+			return false
+		}
+		return true
+	})
+}
+
+// TestLemma3AsyncUnsatisfiable: the Lemma 3.3 predicates can never be
+// satisfied by any run.
+func TestLemma3AsyncUnsatisfiable(t *testing.T) {
+	preds := []*predicate.Predicate{
+		predicate.MustParse("x, y : x.s -> y.s && y.s -> x.s"),
+		predicate.MustParse("x, y : x.s -> y.s && y.r -> x.s"),
+		predicate.MustParse("x, y : x.r -> y.s && y.s -> x.r"),
+		predicate.MustParse("x, y : x.r -> y.r && y.r -> x.s"),
+		predicate.MustParse("x, y : x.r -> y.r && y.r -> x.r"),
+	}
+	Runs(3, 2, func(r *userview.Run) bool {
+		for _, p := range preds {
+			if _, found := check.FindViolation(r, p); found {
+				t.Errorf("unsatisfiable predicate %v matched run %v", p, r)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestSyncWitnessAcyclicPredicate(t *testing.T) {
+	// "receive second before first" has an acyclic graph: Theorem 2 gives
+	// a logically synchronous run satisfying it.
+	p := predicate.MustParse("x, y : x.s -> y.s && x.r -> y.r")
+	r, err := SyncWitness(p)
+	if err != nil {
+		t.Fatalf("SyncWitness: %v", err)
+	}
+	if !r.InSync() {
+		t.Error("witness must be logically synchronous")
+	}
+	if _, sat := check.FindViolation(r, p); !sat {
+		t.Error("witness must satisfy the predicate")
+	}
+}
+
+func TestSyncWitnessFailsOnCyclicGraph(t *testing.T) {
+	// Causal ordering is implementable: no sync run satisfies it.
+	p := predicate.MustParse("x, y : x.s -> y.s && y.r -> x.r")
+	if _, err := SyncWitness(p); !errors.Is(err, ErrNoWitness) {
+		t.Fatalf("err = %v, want ErrNoWitness", err)
+	}
+}
+
+func TestCOWitnessCrown(t *testing.T) {
+	// The 2-crown (logically synchronous spec) admits a causally ordered
+	// violating run: control messages are necessary (Theorem 4.2).
+	p := predicate.MustParse("x1, x2 : x1.s -> x2.r && x2.s -> x1.r")
+	r, err := COWitness(p)
+	if err != nil {
+		t.Fatalf("COWitness: %v", err)
+	}
+	if !r.InCO() {
+		t.Error("witness must be causally ordered")
+	}
+	if _, sat := check.FindViolation(r, p); !sat {
+		t.Error("witness must satisfy the crown")
+	}
+	if r.InSync() {
+		t.Error("a run satisfying the crown cannot be logically synchronous")
+	}
+}
+
+func TestCOWitnessFailsOnCausalPredicate(t *testing.T) {
+	p := predicate.MustParse("x, y : x.s -> y.s && y.r -> x.r")
+	if _, err := COWitness(p); !errors.Is(err, ErrNoWitness) {
+		t.Fatalf("err = %v, want ErrNoWitness", err)
+	}
+}
+
+func TestAsyncWitnessCausalPredicate(t *testing.T) {
+	p := predicate.MustParse("x, y : x.s -> y.s && y.r -> x.r")
+	r, err := AsyncWitness(p)
+	if err != nil {
+		t.Fatalf("AsyncWitness: %v", err)
+	}
+	if !r.InAsync() {
+		t.Error("witness must be a valid complete run")
+	}
+	if r.InCO() {
+		t.Error("witness satisfying B2 cannot be causally ordered")
+	}
+}
+
+func TestAsyncWitnessUnsatisfiable(t *testing.T) {
+	p := predicate.MustParse("x, y : x.s -> y.s && y.s -> x.s")
+	if _, err := AsyncWitness(p); !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("err = %v, want ErrUnsatisfiable", err)
+	}
+}
+
+func TestWitnessHonorsColorGuard(t *testing.T) {
+	p := predicate.MustParse("x, y : color(x) == red : x.s -> y.r && y.s -> x.r")
+	r, err := COWitness(p)
+	if err != nil {
+		t.Fatalf("COWitness: %v", err)
+	}
+	if r.Message(0).Color != event.ColorRed {
+		t.Error("witness must color the handoff message red")
+	}
+}
+
+func TestWitnessGuardConflict(t *testing.T) {
+	// The atom co-locates x.s and y.s; the guard forbids it.
+	p := predicate.MustParse("x, y : process(x.s) != process(y.s) : x.s -> y.s")
+	if _, err := AsyncWitness(p); !errors.Is(err, ErrGuardsConflict) {
+		t.Fatalf("err = %v, want ErrGuardsConflict", err)
+	}
+}
+
+func TestRandomRunValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	msgs := RandomMessages(rng, 5, 3, []event.Color{event.ColorNone, event.ColorRed})
+	r := RandomRun(rng, msgs, 3)
+	if !r.IsComplete() {
+		t.Error("random run must be complete")
+	}
+	if r.NumMessages() != 5 {
+		t.Errorf("messages = %d", r.NumMessages())
+	}
+}
+
+// TestQuickAsyncWitnessSound: whenever AsyncWitness succeeds on a random
+// predicate, the run it returns is complete and satisfies the predicate.
+func TestQuickAsyncWitnessSound(t *testing.T) {
+	parts := []predicate.Part{predicate.S, predicate.R}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 2 + rng.Intn(3)
+		p := &predicate.Predicate{}
+		for i := 0; i < nv; i++ {
+			p.Vars = append(p.Vars, string(rune('a'+i)))
+		}
+		na := 1 + rng.Intn(5)
+		for i := 0; i < na; i++ {
+			a, b := rng.Intn(nv), rng.Intn(nv)
+			for b == a {
+				b = rng.Intn(nv)
+			}
+			p.Atoms = append(p.Atoms, predicate.Atom{
+				From: predicate.EventRef{Var: a, Part: parts[rng.Intn(2)]},
+				To:   predicate.EventRef{Var: b, Part: parts[rng.Intn(2)]},
+			})
+		}
+		r, err := AsyncWitness(p)
+		if err != nil {
+			return true // unsatisfiable or no realization found: fine
+		}
+		if !r.IsComplete() {
+			return false
+		}
+		_, sat := check.FindViolation(r, p)
+		return sat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

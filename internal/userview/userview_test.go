@@ -1,0 +1,380 @@
+package userview
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"msgorder/internal/event"
+)
+
+// mk builds a message table with the given (from,to) pairs.
+func mk(pairs ...[2]event.ProcID) []event.Message {
+	msgs := make([]event.Message, len(pairs))
+	for i, p := range pairs {
+		msgs[i] = event.Message{ID: event.MsgID(i), From: p[0], To: p[1]}
+	}
+	return msgs
+}
+
+func s(m event.MsgID) event.Event { return event.E(m, event.Send) }
+func d(m event.MsgID) event.Event { return event.E(m, event.Deliver) }
+
+func mustRun(t *testing.T, msgs []event.Message, procs [][]event.Event) *Run {
+	t.Helper()
+	r, err := New(msgs, procs)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return r
+}
+
+// fifoViolation: P0 sends m0 then m1 to P1; P1 delivers m1 first.
+// In X_async but not X_co (and hence not X_sync).
+func fifoViolation(t *testing.T) *Run {
+	msgs := mk([2]event.ProcID{0, 1}, [2]event.ProcID{0, 1})
+	return mustRun(t, msgs, [][]event.Event{
+		{s(0), s(1)},
+		{d(1), d(0)},
+	})
+}
+
+// crown2: two crossing messages between P0 and P1.
+// In X_co but not X_sync.
+func crown2(t *testing.T) *Run {
+	msgs := mk([2]event.ProcID{0, 1}, [2]event.ProcID{1, 0})
+	return mustRun(t, msgs, [][]event.Event{
+		{s(0), d(1)},
+		{s(1), d(0)},
+	})
+}
+
+// sequential: m0 P0->P1, then P1 sends m1 back. In X_sync.
+func sequential(t *testing.T) *Run {
+	msgs := mk([2]event.ProcID{0, 1}, [2]event.ProcID{1, 0})
+	return mustRun(t, msgs, [][]event.Event{
+		{s(0), d(1)},
+		{d(0), s(1)},
+	})
+}
+
+func TestValidationErrors(t *testing.T) {
+	msgs := mk([2]event.ProcID{0, 1})
+	cases := []struct {
+		name  string
+		msgs  []event.Message
+		procs [][]event.Event
+		want  error
+	}{
+		{
+			name:  "bad message id",
+			msgs:  []event.Message{{ID: 5, From: 0, To: 1}},
+			procs: [][]event.Event{{}, {}},
+			want:  ErrBadMessageID,
+		},
+		{
+			name:  "wrong process",
+			msgs:  msgs,
+			procs: [][]event.Event{{d(0)}, {s(0)}}, // swapped
+			want:  ErrWrongProcess,
+		},
+		{
+			name:  "duplicate event",
+			msgs:  msgs,
+			procs: [][]event.Event{{s(0), s(0)}, {}},
+			want:  ErrDuplicateEvent,
+		},
+		{
+			name:  "unknown message",
+			msgs:  msgs,
+			procs: [][]event.Event{{s(7)}, {}},
+			want:  ErrUnknownMessage,
+		},
+		{
+			name:  "deliver without send",
+			msgs:  msgs,
+			procs: [][]event.Event{{}, {d(0)}},
+			want:  ErrDeliverNoSend,
+		},
+		{
+			name:  "non-user event",
+			msgs:  msgs,
+			procs: [][]event.Event{{event.E(0, event.Invoke)}, {}},
+			want:  ErrNotUserEvent,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := New(c.msgs, c.procs); !errors.Is(err, c.want) {
+				t.Fatalf("err = %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+func TestCyclicRejected(t *testing.T) {
+	// P0: m0.s after m1.r; P1: m1.s after m0.r — causality cycle.
+	msgs := mk([2]event.ProcID{0, 1}, [2]event.ProcID{1, 0})
+	_, err := New(msgs, [][]event.Event{
+		{d(1), s(0)},
+		{d(0), s(1)},
+	})
+	if !errors.Is(err, ErrCyclic) {
+		t.Fatalf("err = %v, want ErrCyclic", err)
+	}
+}
+
+func TestBeforeBasics(t *testing.T) {
+	r := sequential(t)
+	if !r.Before(s(0), d(0)) {
+		t.Error("m0.s must precede m0.r")
+	}
+	if !r.Before(s(0), d(1)) {
+		t.Error("m0.s ▷ m1.r via m0.r, m1.s")
+	}
+	if r.Before(d(1), s(0)) {
+		t.Error("no backward causality")
+	}
+	if r.Before(s(0), s(0)) {
+		t.Error("▷ must be irreflexive")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	r := crown2(t)
+	if !r.Concurrent(s(0), s(1)) {
+		t.Error("the two sends of a crown are concurrent")
+	}
+	if r.Concurrent(s(0), d(0)) {
+		t.Error("ordered events are not concurrent")
+	}
+	if r.Concurrent(s(0), s(0)) {
+		t.Error("an event is not concurrent with itself")
+	}
+}
+
+func TestLimitSetMembership(t *testing.T) {
+	cases := []struct {
+		name                 string
+		r                    *Run
+		async, co, syncOrder bool
+	}{
+		{"fifoViolation", fifoViolation(t), true, false, false},
+		{"crown2", crown2(t), true, true, false},
+		{"sequential", sequential(t), true, true, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.r.InAsync(); got != c.async {
+				t.Errorf("InAsync = %v, want %v", got, c.async)
+			}
+			if got := c.r.InCO(); got != c.co {
+				t.Errorf("InCO = %v, want %v", got, c.co)
+			}
+			if got := c.r.InSync(); got != c.syncOrder {
+				t.Errorf("InSync = %v, want %v", got, c.syncOrder)
+			}
+		})
+	}
+}
+
+func TestFindCOViolation(t *testing.T) {
+	v, ok := fifoViolation(t).FindCOViolation()
+	if !ok {
+		t.Fatal("expected a CO violation")
+	}
+	if v.X != 0 || v.Y != 1 {
+		t.Fatalf("violation = %+v, want X=0 Y=1", v)
+	}
+	if v.String() == "" {
+		t.Error("empty violation string")
+	}
+	if _, ok := crown2(t).FindCOViolation(); ok {
+		t.Error("crown2 is causally ordered")
+	}
+}
+
+func TestFindCrown(t *testing.T) {
+	crown, ok := crown2(t).FindCrown()
+	if !ok {
+		t.Fatal("expected a crown")
+	}
+	if len(crown) != 2 {
+		t.Fatalf("crown = %v, want length 2", crown)
+	}
+	if _, ok := sequential(t).FindCrown(); ok {
+		t.Error("sequential run has no crown")
+	}
+}
+
+func TestSyncOrderWitness(t *testing.T) {
+	r := sequential(t)
+	order, ok := r.SyncOrder()
+	if !ok {
+		t.Fatal("sequential run must have a sync order")
+	}
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("order = %v, want [0 1]", order)
+	}
+	if _, ok := crown2(t).SyncOrder(); ok {
+		t.Error("crown2 must not have a sync order")
+	}
+}
+
+func TestIncompleteRun(t *testing.T) {
+	msgs := mk([2]event.ProcID{0, 1})
+	r := mustRun(t, msgs, [][]event.Event{{s(0)}, {}})
+	if r.IsComplete() {
+		t.Error("run with undelivered message is incomplete")
+	}
+	if r.InAsync() || r.InCO() || r.InSync() {
+		t.Error("incomplete runs belong to no specification set")
+	}
+	if _, ok := r.SyncOrder(); ok {
+		t.Error("incomplete run has no sync order")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	r := sequential(t)
+	if r.NumMessages() != 2 || r.NumProcs() != 2 {
+		t.Fatalf("size = (%d,%d), want (2,2)", r.NumMessages(), r.NumProcs())
+	}
+	if m := r.Message(0); m.From != 0 || m.To != 1 {
+		t.Errorf("Message(0) = %v", m)
+	}
+	seq := r.ProcSeq(0)
+	if len(seq) != 2 || seq[0] != s(0) {
+		t.Errorf("ProcSeq(0) = %v", seq)
+	}
+	seq[0] = d(1) // must not alias internal state
+	if r.ProcSeq(0)[0] != s(0) {
+		t.Error("ProcSeq leaked internal slice")
+	}
+	msgs := r.Messages()
+	msgs[0].From = 9
+	if r.Message(0).From != 0 {
+		t.Error("Messages leaked internal slice")
+	}
+	ids := r.SortMessages()
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Errorf("SortMessages = %v", ids)
+	}
+}
+
+func TestKeyDistinguishesRuns(t *testing.T) {
+	a, b := crown2(t), sequential(t)
+	if a.Key() == b.Key() {
+		t.Error("different runs share a key")
+	}
+	c := crown2(t)
+	if a.Key() != c.Key() {
+		t.Error("identical runs have different keys")
+	}
+	if a.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// randomCompleteRun builds a valid complete run by simulating a random
+// schedule: at each step pick either an unsent message's send or an
+// undelivered-but-sent message's deliver.
+func randomCompleteRun(rng *rand.Rand, nProcs, nMsgs int) *Run {
+	msgs := make([]event.Message, nMsgs)
+	for i := range msgs {
+		from := event.ProcID(rng.Intn(nProcs))
+		to := event.ProcID(rng.Intn(nProcs))
+		msgs[i] = event.Message{ID: event.MsgID(i), From: from, To: to}
+	}
+	procs := make([][]event.Event, nProcs)
+	sent := make([]bool, nMsgs)
+	delivered := make([]bool, nMsgs)
+	for steps := 0; steps < 2*nMsgs; steps++ {
+		var choices []event.Event
+		for i := 0; i < nMsgs; i++ {
+			if !sent[i] {
+				choices = append(choices, event.E(event.MsgID(i), event.Send))
+			} else if !delivered[i] {
+				choices = append(choices, event.E(event.MsgID(i), event.Deliver))
+			}
+		}
+		e := choices[rng.Intn(len(choices))]
+		if e.Kind == event.Send {
+			sent[e.Msg] = true
+		} else {
+			delivered[e.Msg] = true
+		}
+		p := e.Proc(msgs[e.Msg])
+		procs[p] = append(procs[p], e)
+	}
+	r, err := New(msgs, procs)
+	if err != nil {
+		panic(err) // construction above is always valid
+	}
+	return r
+}
+
+func TestQuickLimitSetChain(t *testing.T) {
+	// X_sync ⊆ X_co ⊆ X_async on random complete runs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomCompleteRun(rng, 2+rng.Intn(3), 1+rng.Intn(5))
+		if r.InSync() && !r.InCO() {
+			return false
+		}
+		if r.InCO() && !r.InAsync() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSyncOrderRespectsCausality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomCompleteRun(rng, 2+rng.Intn(3), 1+rng.Intn(5))
+		order, ok := r.SyncOrder()
+		if !ok {
+			return true // not sync; nothing to check
+		}
+		pos := make(map[event.MsgID]int, len(order))
+		for i, id := range order {
+			pos[id] = i
+		}
+		kinds := []event.Kind{event.Send, event.Deliver}
+		for _, x := range r.Messages() {
+			for _, y := range r.Messages() {
+				if x.ID == y.ID {
+					continue
+				}
+				for _, hk := range kinds {
+					for _, fk := range kinds {
+						if r.Before(event.E(x.ID, hk), event.E(y.ID, fk)) && pos[x.ID] >= pos[y.ID] {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCrownIffNotSync(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomCompleteRun(rng, 2+rng.Intn(3), 2+rng.Intn(4))
+		_, hasCrown := r.FindCrown()
+		return hasCrown == !r.InSync()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,236 @@
+// Package vc implements the logical clocks used by tagged message-ordering
+// protocols: Lamport scalar clocks, vector clocks, and the n×n matrix
+// clocks of Raynal, Schiper and Toueg — the machinery the paper cites as
+// the witness that causal ordering needs only tagging ([20, 21]).
+//
+// All clocks serialize to compact byte strings with encoding/binary so
+// protocols can account tag overhead in bytes.
+package vc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrDecode reports a malformed clock encoding.
+var ErrDecode = errors.New("vc: malformed clock encoding")
+
+// Lamport is a scalar logical clock. The zero value is ready to use.
+type Lamport struct {
+	t uint64
+}
+
+// Time returns the current clock value.
+func (l *Lamport) Time() uint64 { return l.t }
+
+// Tick advances the clock for a local event and returns the new value.
+func (l *Lamport) Tick() uint64 {
+	l.t++
+	return l.t
+}
+
+// Observe merges a received timestamp and ticks, per Lamport's rule.
+func (l *Lamport) Observe(remote uint64) uint64 {
+	if remote > l.t {
+		l.t = remote
+	}
+	return l.Tick()
+}
+
+// Vector is a vector clock over n processes.
+type Vector []uint64
+
+// NewVector returns a zeroed vector clock for n processes.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a copy.
+func (v Vector) Clone() Vector { return append(Vector(nil), v...) }
+
+// Tick increments the component of process i.
+func (v Vector) Tick(i int) { v[i]++ }
+
+// Merge sets v to the componentwise maximum of v and o.
+func (v Vector) Merge(o Vector) {
+	for i := range v {
+		if i < len(o) && o[i] > v[i] {
+			v[i] = o[i]
+		}
+	}
+}
+
+// LessEq reports v ≤ o componentwise.
+func (v Vector) LessEq(o Vector) bool {
+	for i := range v {
+		var oi uint64
+		if i < len(o) {
+			oi = o[i]
+		}
+		if v[i] > oi {
+			return false
+		}
+	}
+	return true
+}
+
+// Less reports v ≤ o and v ≠ o (the happened-before order on vector
+// timestamps).
+func (v Vector) Less(o Vector) bool {
+	return v.LessEq(o) && !o.LessEq(v)
+}
+
+// Concurrent reports that neither vector dominates the other.
+func (v Vector) Concurrent(o Vector) bool {
+	return !v.LessEq(o) && !o.LessEq(v)
+}
+
+// String renders the vector as "[1 0 2]".
+func (v Vector) String() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprint(x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Encode serializes the vector (length-prefixed varints).
+func (v Vector) Encode() []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(v)))
+	for _, x := range v {
+		buf = binary.AppendUvarint(buf, x)
+	}
+	return buf
+}
+
+// DecodeVector parses an encoded vector clock.
+func DecodeVector(b []byte) (Vector, error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 || n > 1<<20 {
+		return nil, ErrDecode
+	}
+	b = b[k:]
+	v := make(Vector, n)
+	for i := range v {
+		x, k := binary.Uvarint(b)
+		if k <= 0 {
+			return nil, ErrDecode
+		}
+		v[i] = x
+		b = b[k:]
+	}
+	if len(b) != 0 {
+		return nil, ErrDecode
+	}
+	return v, nil
+}
+
+// Matrix is an n×n matrix clock: M[j][k] is the owner's knowledge of how
+// many messages process j has sent to process k.
+type Matrix struct {
+	n int
+	m []uint64 // row-major
+}
+
+// NewMatrix returns a zeroed n×n matrix clock.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{n: n, m: make([]uint64, n*n)}
+}
+
+// N returns the dimension.
+func (mx *Matrix) N() int { return mx.n }
+
+// Get returns M[j][k].
+func (mx *Matrix) Get(j, k int) uint64 { return mx.m[j*mx.n+k] }
+
+// Set assigns M[j][k].
+func (mx *Matrix) Set(j, k int, v uint64) { mx.m[j*mx.n+k] = v }
+
+// Incr increments M[j][k] and returns the new value.
+func (mx *Matrix) Incr(j, k int) uint64 {
+	mx.m[j*mx.n+k]++
+	return mx.m[j*mx.n+k]
+}
+
+// Clone returns a deep copy.
+func (mx *Matrix) Clone() *Matrix {
+	c := NewMatrix(mx.n)
+	copy(c.m, mx.m)
+	return c
+}
+
+// Merge sets the matrix to the entrywise maximum with o.
+func (mx *Matrix) Merge(o *Matrix) {
+	if o == nil || o.n != mx.n {
+		return
+	}
+	for i, x := range o.m {
+		if x > mx.m[i] {
+			mx.m[i] = x
+		}
+	}
+}
+
+// Equal reports entrywise equality.
+func (mx *Matrix) Equal(o *Matrix) bool {
+	if o == nil || o.n != mx.n {
+		return false
+	}
+	for i := range mx.m {
+		if mx.m[i] != o.m[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix row by row.
+func (mx *Matrix) String() string {
+	var b strings.Builder
+	b.WriteString("[")
+	for j := 0; j < mx.n; j++ {
+		if j > 0 {
+			b.WriteString("; ")
+		}
+		for k := 0; k < mx.n; k++ {
+			if k > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprint(&b, mx.Get(j, k))
+		}
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// Encode serializes the matrix (dimension prefix plus varints).
+func (mx *Matrix) Encode() []byte {
+	buf := binary.AppendUvarint(nil, uint64(mx.n))
+	for _, x := range mx.m {
+		buf = binary.AppendUvarint(buf, x)
+	}
+	return buf
+}
+
+// DecodeMatrix parses an encoded matrix clock.
+func DecodeMatrix(b []byte) (*Matrix, error) {
+	n64, k := binary.Uvarint(b)
+	if k <= 0 || n64 > 1<<10 {
+		return nil, ErrDecode
+	}
+	b = b[k:]
+	n := int(n64)
+	mx := NewMatrix(n)
+	for i := range mx.m {
+		x, k := binary.Uvarint(b)
+		if k <= 0 {
+			return nil, ErrDecode
+		}
+		mx.m[i] = x
+		b = b[k:]
+	}
+	if len(b) != 0 {
+		return nil, ErrDecode
+	}
+	return mx, nil
+}

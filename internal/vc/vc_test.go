@@ -1,0 +1,212 @@
+package vc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLamport(t *testing.T) {
+	var l Lamport
+	if l.Time() != 0 {
+		t.Fatal("zero value must start at 0")
+	}
+	if l.Tick() != 1 || l.Tick() != 2 {
+		t.Fatal("Tick must increment")
+	}
+	if got := l.Observe(10); got != 11 {
+		t.Fatalf("Observe(10) = %d, want 11", got)
+	}
+	if got := l.Observe(3); got != 12 {
+		t.Fatalf("Observe(3) = %d, want 12 (no regression)", got)
+	}
+}
+
+func TestVectorOrdering(t *testing.T) {
+	a := Vector{1, 0, 2}
+	b := Vector{1, 1, 2}
+	c := Vector{0, 3, 0}
+	if !a.Less(b) || b.Less(a) {
+		t.Error("a < b expected")
+	}
+	if !a.Concurrent(c) || !c.Concurrent(a) {
+		t.Error("a and c are concurrent")
+	}
+	if a.Less(a) {
+		t.Error("Less must be irreflexive")
+	}
+	if !a.LessEq(a) {
+		t.Error("LessEq must be reflexive")
+	}
+}
+
+func TestVectorMergeTick(t *testing.T) {
+	v := NewVector(3)
+	v.Tick(1)
+	v.Merge(Vector{2, 0, 5})
+	want := Vector{2, 1, 5}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("v = %v, want %v", v, want)
+		}
+	}
+	cl := v.Clone()
+	cl.Tick(0)
+	if v[0] == cl[0] {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestVectorEncodeRoundTrip(t *testing.T) {
+	f := func(raw []uint64) bool {
+		v := Vector(raw)
+		got, err := DecodeVector(v.Encode())
+		if err != nil {
+			return false
+		}
+		if len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeVectorErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0xff},    // truncated varint
+		{2, 1},    // missing element
+		{1, 1, 9}, // trailing bytes
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}, // absurd length
+	}
+	for _, b := range cases {
+		if _, err := DecodeVector(b); !errors.Is(err, ErrDecode) {
+			t.Errorf("DecodeVector(%v) err = %v, want ErrDecode", b, err)
+		}
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(3)
+	if m.N() != 3 {
+		t.Fatal("N")
+	}
+	if got := m.Incr(1, 2); got != 1 {
+		t.Fatalf("Incr = %d, want 1", got)
+	}
+	m.Set(0, 1, 7)
+	if m.Get(0, 1) != 7 || m.Get(1, 2) != 1 || m.Get(2, 2) != 0 {
+		t.Fatalf("unexpected matrix %v", m)
+	}
+}
+
+func TestMatrixMergeClone(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 1, 3)
+	b := NewMatrix(2)
+	b.Set(0, 1, 1)
+	b.Set(1, 0, 5)
+	a.Merge(b)
+	if a.Get(0, 1) != 3 || a.Get(1, 0) != 5 {
+		t.Fatalf("merge wrong: %v", a)
+	}
+	c := a.Clone()
+	c.Set(0, 0, 9)
+	if a.Get(0, 0) != 0 {
+		t.Error("Clone aliases")
+	}
+	if !a.Equal(a.Clone()) || a.Equal(b) {
+		t.Error("Equal broken")
+	}
+	if a.Equal(nil) || a.Equal(NewMatrix(3)) {
+		t.Error("Equal must reject nil and size mismatch")
+	}
+	// Merging a mismatched matrix is a no-op.
+	before := a.Clone()
+	a.Merge(NewMatrix(5))
+	a.Merge(nil)
+	if !a.Equal(before) {
+		t.Error("mismatched merge must not modify")
+	}
+}
+
+func TestMatrixEncodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5)
+		m := NewMatrix(n)
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				m.Set(j, k, uint64(rng.Intn(100)))
+			}
+		}
+		got, err := DecodeMatrix(m.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(m) {
+			t.Fatalf("round trip changed matrix: %v -> %v", m, got)
+		}
+	}
+}
+
+func TestDecodeMatrixErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{3, 1},    // missing entries
+		{1, 1, 9}, // trailing
+	}
+	for _, b := range cases {
+		if _, err := DecodeMatrix(b); !errors.Is(err, ErrDecode) {
+			t.Errorf("DecodeMatrix(%v) err = %v, want ErrDecode", b, err)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if (Vector{1, 2}).String() != "[1 2]" {
+		t.Error("Vector.String")
+	}
+	m := NewMatrix(2)
+	m.Set(0, 1, 3)
+	if m.String() != "[0 3; 0 0]" {
+		t.Errorf("Matrix.String = %q", m.String())
+	}
+}
+
+// TestQuickVectorPartialOrder: Less is a strict partial order.
+func TestQuickVectorPartialOrder(t *testing.T) {
+	gen := func(rng *rand.Rand) Vector {
+		v := NewVector(3)
+		for i := range v {
+			v[i] = uint64(rng.Intn(4))
+		}
+		return v
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := gen(rng), gen(rng), gen(rng)
+		if a.Less(a) {
+			return false
+		}
+		if a.Less(b) && b.Less(a) {
+			return false
+		}
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

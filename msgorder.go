@@ -1,0 +1,274 @@
+// Package msgorder is a library for specifying, classifying, checking and
+// executing message-ordering guarantees in distributed systems. It
+// implements the framework of V. V. Murty and V. K. Garg,
+// "Characterization of Message Ordering Specifications and Protocols"
+// (ICDCS 1997):
+//
+//   - Specify an ordering as a forbidden predicate — an existential
+//     conjunction of causality atoms over message variables, with
+//     optional process and color guards:
+//
+//     p, err := msgorder.Parse("x, y : x.s -> y.s && y.r -> x.r")
+//
+//   - Classify it: is it implementable, and does it need nothing, tags on
+//     user messages, or control messages?
+//
+//     res, err := msgorder.Classify(p)   // res.Class == msgorder.Tagged
+//
+//   - Check recorded runs against it, and construct the paper's witness
+//     runs (logically synchronous / causally ordered runs that violate a
+//     too-strong specification).
+//
+//   - Execute real protocols (tagless, FIFO, three causal-ordering
+//     algorithms including causal broadcast, flush channels, k-weaker
+//     FIFO, and two logically synchronous protocols) over a deterministic
+//     simulator, exhaustive schedule exploration, or a live
+//     goroutine-per-process network, and verify the runs they produce —
+//     or synthesize a protocol directly from a predicate with
+//     GenerateProtocol.
+//
+// The subpackages under internal/ carry the implementation; this package
+// re-exports the stable surface.
+package msgorder
+
+import (
+	"msgorder/internal/catalog"
+	"msgorder/internal/check"
+	"msgorder/internal/classify"
+	"msgorder/internal/conformance"
+	"msgorder/internal/dsim"
+	"msgorder/internal/event"
+	"msgorder/internal/lattice"
+	"msgorder/internal/predicate"
+	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/causal"
+	"msgorder/internal/protocols/fifo"
+	"msgorder/internal/protocols/flush"
+	"msgorder/internal/protocols/kweaker"
+	syncproto "msgorder/internal/protocols/sync"
+	"msgorder/internal/protocols/tagless"
+	"msgorder/internal/run"
+	"msgorder/internal/spec"
+	"msgorder/internal/synth"
+	"msgorder/internal/trace"
+	"msgorder/internal/universe"
+	"msgorder/internal/userview"
+)
+
+// Core model types.
+type (
+	// ProcID identifies a process (0..n-1).
+	ProcID = event.ProcID
+	// MsgID identifies a message within a run.
+	MsgID = event.MsgID
+	// Color is an optional message attribute used by guarded
+	// specifications.
+	Color = event.Color
+	// Message carries a message's immutable attributes.
+	Message = event.Message
+	// Event is one of the four system events of a message.
+	Event = event.Event
+	// Kind distinguishes invoke/send/receive/deliver.
+	Kind = event.Kind
+)
+
+// Message colors.
+const (
+	ColorNone  = event.ColorNone
+	ColorRed   = event.ColorRed
+	ColorBlue  = event.ColorBlue
+	ColorGreen = event.ColorGreen
+)
+
+// Event kinds.
+const (
+	Invoke  = event.Invoke
+	Send    = event.Send
+	Receive = event.Receive
+	Deliver = event.Deliver
+)
+
+// Specification types.
+type (
+	// Predicate is a forbidden predicate.
+	Predicate = predicate.Predicate
+	// PredicateBuilder assembles predicates programmatically.
+	PredicateBuilder = predicate.Builder
+	// Part selects a message variable's send or deliver event.
+	Part = predicate.Part
+	// Classification is the classifier's full result.
+	Classification = classify.Result
+	// Class is the protocol class a specification requires.
+	Class = classify.Class
+	// CatalogEntry is a named specification from the paper.
+	CatalogEntry = catalog.Entry
+)
+
+// Protocol classes.
+const (
+	Unimplementable = classify.Unimplementable
+	Tagless         = classify.Tagless
+	Tagged          = classify.Tagged
+	General         = classify.General
+)
+
+// Event parts for the predicate builder.
+const (
+	S = predicate.S // send
+	R = predicate.R // deliver
+)
+
+// Run types.
+type (
+	// Run is a user-view run: the partial order of send and deliver
+	// events the user observes.
+	Run = userview.Run
+	// SystemRun is a full four-event system run.
+	SystemRun = run.Run
+	// Match is a satisfying assignment of a predicate in a run.
+	Match = check.Match
+)
+
+// Parse parses a forbidden predicate from its text syntax, e.g.
+// "x, y : x.s -> y.s && y.r -> x.r".
+func Parse(src string) (*Predicate, error) { return predicate.Parse(src) }
+
+// MustParse is Parse panicking on error, for constants and tests.
+func MustParse(src string) *Predicate { return predicate.MustParse(src) }
+
+// NewPredicate starts a programmatic predicate builder over the given
+// variables.
+func NewPredicate(vars ...string) *PredicateBuilder { return predicate.NewBuilder(vars...) }
+
+// Classify runs the paper's classification algorithm (Theorems 2-4) on a
+// forbidden predicate.
+func Classify(p *Predicate) (*Classification, error) { return classify.Classify(p) }
+
+// NewRun builds and validates a user-view run from a message table and
+// per-process sequences of send/deliver events.
+func NewRun(msgs []Message, procs [][]Event) (*Run, error) {
+	return userview.New(msgs, procs)
+}
+
+// Satisfies reports whether a complete run belongs to the predicate's
+// specification set X_B.
+func Satisfies(r *Run, p *Predicate) bool { return check.Satisfies(r, p) }
+
+// FindViolation searches a run for an instantiation of the forbidden
+// predicate.
+func FindViolation(r *Run, p *Predicate) (Match, bool) { return check.FindViolation(r, p) }
+
+// Catalog returns the paper's specification catalog.
+func Catalog() []CatalogEntry { return catalog.Entries() }
+
+// CatalogByName looks up one catalog entry.
+func CatalogByName(name string) (CatalogEntry, bool) { return catalog.ByName(name) }
+
+// Witness constructions (Theorems 2 and 4). Each returns a run in the
+// named limit set that satisfies the predicate, proving the containment
+// X_limit ⊆ X_B false.
+var (
+	// SyncWitness returns a logically synchronous run satisfying p
+	// (exists iff p's graph is acyclic — then p is unimplementable).
+	SyncWitness = universe.SyncWitness
+	// COWitness returns a causally ordered run satisfying p (exists when
+	// p has no cycle of order ≤ 1 — then p needs control messages).
+	COWitness = universe.COWitness
+	// AsyncWitness returns any valid run satisfying p (exists iff p is
+	// satisfiable — then p needs some protocol).
+	AsyncWitness = universe.AsyncWitness
+)
+
+// Diagram renders a run as an ASCII time diagram in the paper's style.
+func Diagram(r *Run) string { return trace.UserDiagram(r) }
+
+// SystemDiagram renders a system run as an ASCII time diagram.
+func SystemDiagram(r *SystemRun) string { return trace.SystemDiagram(r) }
+
+// Protocol execution.
+type (
+	// ProtocolMaker constructs protocol instances for the simulators.
+	ProtocolMaker = protocol.Maker
+	// SimConfig drives one simulated workload.
+	SimConfig = conformance.Config
+	// SimResult is a completed simulation.
+	SimResult = dsim.Result
+	// Stats aggregates protocol overhead.
+	Stats = protocol.Stats
+)
+
+// Protocols returns the built-in protocol registry: name -> maker.
+func Protocols() map[string]ProtocolMaker {
+	return map[string]ProtocolMaker{
+		"tagless":    tagless.Maker,
+		"fifo":       fifo.Maker,
+		"causal-rst": causal.RSTMaker,
+		"causal-ses": causal.SESMaker,
+		"causal-bss": causal.BSSMaker,
+		"sync":       syncproto.Maker,
+		"sync-ra":    syncproto.RAMaker,
+		"flush":      flush.Maker,
+		"kweaker-1":  kweaker.Maker(1),
+		"kweaker-2":  kweaker.Maker(2),
+	}
+}
+
+// Simulate runs one deterministic workload and returns the recorded run,
+// statistics and liveness report.
+func Simulate(cfg SimConfig) (*SimResult, error) { return conformance.Run(cfg) }
+
+// ExploreConfig drives exhaustive schedule exploration: the workload is
+// replayed under every possible network arrival order (small-scope model
+// checking).
+type ExploreConfig = dsim.ExploreConfig
+
+// ExploreRequest is one user invocation in an exploration workload.
+type ExploreRequest = dsim.Request
+
+// Explore enumerates every arrival order of the workload, calling visit
+// with each completed run. Returns the number of schedules visited.
+func Explore(cfg ExploreConfig, visit func(*SimResult) bool) (int, error) {
+	return dsim.Explore(cfg, visit)
+}
+
+// EncodeRun serializes a user-view run to JSON.
+func EncodeRun(r *Run) ([]byte, error) { return trace.EncodeUserView(r) }
+
+// DecodeRun parses and revalidates a serialized user-view run.
+func DecodeRun(data []byte) (*Run, error) { return trace.DecodeUserView(data) }
+
+// Spec is a composite specification: a conjunction of forbidden
+// predicates. Its protocol class is the maximum over components.
+type Spec = spec.Spec
+
+// NewSpec builds a composite specification.
+func NewSpec(name string, preds ...*Predicate) (*Spec, error) {
+	return spec.New(name, preds...)
+}
+
+// SynthPlan describes how GenerateProtocol implemented a specification.
+type SynthPlan = synth.Plan
+
+// GenerateProtocol compiles a forbidden predicate into an executing
+// protocol (the companion-paper direction): the trivial protocol for
+// vacuous specifications, a per-channel sequence protocol for
+// same-channel patterns like FIFO and local flush, and full causal
+// ordering for every other tagged specification. Specifications needing
+// control messages or unimplementable ones return an error.
+func GenerateProtocol(p *Predicate) (ProtocolMaker, *SynthPlan, error) {
+	return synth.Generate(p)
+}
+
+// Lattice is the empirical inclusion lattice of specification sets over
+// a bounded universe of runs.
+type Lattice = lattice.Lattice
+
+// LatticeConfig bounds the universe ComputeLattice enumerates.
+type LatticeConfig = lattice.Config
+
+// ComputeLattice evaluates the named specifications over a bounded
+// universe and returns their inclusion structure (sizes, pairwise
+// subset tests, Hasse edges).
+func ComputeLattice(cfg LatticeConfig, specs map[string]*Predicate) (*Lattice, error) {
+	return lattice.Compute(cfg, specs)
+}

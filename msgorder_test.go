@@ -1,0 +1,185 @@
+package msgorder
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	p, err := Parse("x, y : x.s -> y.s && y.r -> x.r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Classify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != Tagged {
+		t.Fatalf("class = %v, want Tagged", res.Class)
+	}
+}
+
+func TestBuilderFlow(t *testing.T) {
+	p, err := NewPredicate("x", "y").
+		Atom("x", S, "y", S).
+		Atom("y", R, "x", R).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Classify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != Tagged {
+		t.Fatalf("class = %v", res.Class)
+	}
+}
+
+func TestRunCheckFlow(t *testing.T) {
+	msgs := []Message{
+		{ID: 0, From: 0, To: 1},
+		{ID: 1, From: 0, To: 1},
+	}
+	r, err := NewRun(msgs, [][]Event{
+		{{Msg: 0, Kind: Send}, {Msg: 1, Kind: Send}},
+		{{Msg: 1, Kind: Deliver}, {Msg: 0, Kind: Deliver}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := MustParse("x, y : x.s -> y.s && y.r -> x.r")
+	if Satisfies(r, p) {
+		t.Fatal("overtaking run must violate causal ordering")
+	}
+	m, found := FindViolation(r, p)
+	if !found || len(m.Assignment) != 2 {
+		t.Fatalf("match = %+v, found = %v", m, found)
+	}
+	if d := Diagram(r); !strings.Contains(d, "m0.s") {
+		t.Errorf("diagram missing events:\n%s", d)
+	}
+}
+
+func TestCatalogAccess(t *testing.T) {
+	if len(Catalog()) < 10 {
+		t.Fatal("catalog too small")
+	}
+	e, ok := CatalogByName("sync-2")
+	if !ok {
+		t.Fatal("sync-2 missing")
+	}
+	res, err := Classify(e.Pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != General {
+		t.Fatalf("sync-2 class = %v", res.Class)
+	}
+}
+
+func TestWitnessesExported(t *testing.T) {
+	p := MustParse("x, y : x.s -> y.s && x.r -> y.r")
+	r, err := SyncWitness(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.InSync() {
+		t.Fatal("witness must be synchronous")
+	}
+	crown := MustParse("x1, x2 : x1.s -> x2.r && x2.s -> x1.r")
+	co, err := COWitness(crown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !co.InCO() || co.InSync() {
+		t.Fatal("CO witness must separate X_co from X_sync")
+	}
+	if _, err := AsyncWitness(MustParse("x, y : x.s -> y.s && y.r -> x.r")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateAllProtocols(t *testing.T) {
+	for name, maker := range Protocols() {
+		res, err := Simulate(SimConfig{Maker: maker, Seed: 3, InitialMsgs: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.View.IsComplete() {
+			t.Fatalf("%s: incomplete run", name)
+		}
+	}
+}
+
+func TestEncodeDecodeRun(t *testing.T) {
+	res, err := Simulate(SimConfig{Maker: Protocols()["fifo"], Seed: 1, InitialMsgs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeRun(res.View)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeRun(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Key() != res.View.Key() {
+		t.Fatal("round trip changed the run")
+	}
+}
+
+func TestComputeLatticeExported(t *testing.T) {
+	co := MustParse("x, y : x.s -> y.s && y.r -> x.r")
+	crown := MustParse("x1, x2 : x1.s -> x2.r && x2.s -> x1.r")
+	lat, err := ComputeLattice(LatticeConfig{Msgs: 2, Procs: 2},
+		map[string]*Predicate{"co": co, "sync": crown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := lat.Included("sync", "co")
+	if err != nil || !ok {
+		t.Fatalf("X_sync ⊆ X_co expected: %v %v", ok, err)
+	}
+}
+
+func TestGenerateProtocolExported(t *testing.T) {
+	maker, plan, err := GenerateProtocol(MustParse(
+		"x, y : process(x.s) == process(y.s) && process(x.r) == process(y.r) : x.s -> y.s && y.r -> x.r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maker == nil || plan.Strategy.String() != "channel-seq" {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if _, _, err := GenerateProtocol(MustParse("x1, x2 : x1.s -> x2.r && x2.s -> x1.r")); err == nil {
+		t.Fatal("crown must be rejected")
+	}
+}
+
+func TestNewSpecExported(t *testing.T) {
+	s, err := NewSpec("combo",
+		MustParse("x, y : x.s -> y.s && y.r -> x.r"),
+		MustParse("x1, x2 : x1.s -> x2.r && x2.s -> x1.r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != General {
+		t.Fatalf("composite class = %v", res.Class)
+	}
+}
+
+func TestSystemDiagramExported(t *testing.T) {
+	res, err := Simulate(SimConfig{Maker: Protocols()["tagless"], Seed: 1, InitialMsgs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := SystemDiagram(res.System); !strings.Contains(d, "m0.s*") {
+		t.Errorf("system diagram missing invoke events:\n%s", d)
+	}
+}
