@@ -7,6 +7,7 @@
 //	T3  BenchmarkProtocolSafety      protocol runs + specification checking
 //	E1  BenchmarkOverhead*           per-protocol tag/control cost
 //	E2  BenchmarkClassifyLarge/CycleEnum  classifier scaling ablation
+//	E8  BenchmarkExplore             sequential vs deduplicating explorer
 //	—   BenchmarkCheckMatcher        pruned vs naive matcher ablation
 //	—   BenchmarkSimBackends         dsim vs live goroutine network
 package msgorder
@@ -19,6 +20,7 @@ import (
 	"msgorder/internal/check"
 	"msgorder/internal/classify"
 	"msgorder/internal/conformance"
+	"msgorder/internal/dsim"
 	"msgorder/internal/inhib"
 	"msgorder/internal/pgraph"
 	"msgorder/internal/predicate"
@@ -328,4 +330,55 @@ func BenchmarkSynthChannelSeqRun(b *testing.B) {
 	}
 	b.Run("generated", func(b *testing.B) { benchProtocol(b, maker, "fifo") })
 	b.Run("handwritten", func(b *testing.B) { benchProtocol(b, fifo.Maker, "fifo") })
+}
+
+// --- E8: exhaustive schedule exploration ---
+
+// benchExplore measures one explorer configuration over a fixed workload.
+// The sequential/deduped pairs quantify the state-dedup + commutativity
+// reductions: same violation coverage, a fraction of the replays.
+func benchExplore(b *testing.B, cfg dsim.ExploreConfig) {
+	b.ReportAllocs()
+	var last dsim.ExploreStats
+	for i := 0; i < b.N; i++ {
+		st, err := dsim.ExploreWithStats(cfg, func(*dsim.Result) bool { return true })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Schedules == 0 {
+			b.Fatal("no schedules explored")
+		}
+		last = st
+	}
+	b.ReportMetric(float64(last.Replays), "replays/op")
+	b.ReportMetric(float64(last.Schedules), "schedules/op")
+}
+
+func BenchmarkExplore(b *testing.B) {
+	workloads := []struct {
+		name string
+		cfg  dsim.ExploreConfig
+	}{
+		{"causal-rst-4msg", dsim.ExploreConfig{
+			Procs: 3, Maker: causal.RSTMaker,
+			Requests: []dsim.Request{
+				{From: 0, To: 1}, {From: 0, To: 2},
+				{From: 1, To: 2}, {From: 2, To: 1},
+			},
+		}},
+		{"sync-2msg", dsim.ExploreConfig{
+			Procs: 3, Maker: syncproto.Maker,
+			Requests: []dsim.Request{{From: 1, To: 2}, {From: 2, To: 1}},
+		}},
+		{"sync-ra-2msg", dsim.ExploreConfig{
+			Procs: 3, Maker: syncproto.RAMaker,
+			Requests: []dsim.Request{{From: 1, To: 2}, {From: 2, To: 1}},
+		}},
+	}
+	for _, w := range workloads {
+		sequential := w.cfg
+		sequential.Workers = 1
+		b.Run(w.name+"/sequential", func(b *testing.B) { benchExplore(b, sequential) })
+		b.Run(w.name+"/deduped", func(b *testing.B) { benchExplore(b, w.cfg) })
+	}
 }

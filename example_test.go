@@ -137,3 +137,28 @@ func ExampleExplore() {
 	fmt.Println(n, violations)
 	// Output: 2 1
 }
+
+// ExampleExploreWithStats shows the search statistics: the deduplicating
+// explorer covers all 4! = 24 arrival orders of this workload by visiting
+// each distinct final state once.
+func ExampleExploreWithStats() {
+	st, err := msgorder.ExploreWithStats(msgorder.ExploreConfig{
+		Procs: 3,
+		Maker: msgorder.Protocols()["causal-rst"],
+		Requests: []msgorder.ExploreRequest{
+			{From: 0, To: 1},
+			{From: 0, To: 2},
+			{From: 1, To: 2},
+			{From: 2, To: 1},
+		},
+	}, func(res *msgorder.SimResult) bool { return true })
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("distinct final states: %d\n", st.Schedules)
+	fmt.Printf("pruned: %v\n", st.DedupHits+st.SleepHits > 0)
+	// Output:
+	// distinct final states: 4
+	// pruned: true
+}

@@ -1,4 +1,4 @@
-// Causalchat: the paper's motivating scenario for causal ordering. Three
+// Command causalchat demonstrates the paper's motivating scenario for causal ordering. Three
 // users chat; replies are triggered by deliveries, so a reply is causally
 // after the message it answers. Under a reordering network the naive
 // (tagless) transport shows replies before their questions; the RST

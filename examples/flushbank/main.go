@@ -1,4 +1,4 @@
-// Flushbank: flush channels in anger. A branch streams transfer records
+// Command flushbank puts flush channels to work. A branch streams transfer records
 // to headquarters and periodically sends an audit marker that must arrive
 // after every transfer that preceded it — a forward-flush send — while
 // ordinary transfers may ride any network path. The F-channel protocol

@@ -1,4 +1,4 @@
-// Handoff: the paper's Section 5 mobile-computing example. When a mobile
+// Command handoff replays the paper's Section 5 mobile-computing example. When a mobile
 // unit moves between base stations, the handoff message must not be
 // crossed by ordinary traffic. The classifier proves tags cannot enforce
 // this (control messages are necessary); the witness construction

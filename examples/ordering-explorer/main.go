@@ -1,6 +1,6 @@
-// Ordering-explorer: walk the bounded universe of runs and watch the
+// Command ordering-explorer walks the bounded universe of runs and watches the
 // paper's limit-set lattice X_sync ⊂ X_co ⊂ X_async materialize, then
-// check the whole specification catalog against it: a specification's
+// checks the whole specification catalog against it: a specification's
 // class is readable off which limit sets it contains.
 package main
 

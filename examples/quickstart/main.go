@@ -1,5 +1,5 @@
-// Quickstart: specify a message ordering as a forbidden predicate,
-// classify it, and test a recorded run against it — the library's core
+// Command quickstart specifies a message ordering as a forbidden predicate,
+// classifies it, and tests a recorded run against it — the library's core
 // loop in a dozen lines.
 package main
 

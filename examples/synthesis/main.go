@@ -1,4 +1,4 @@
-// Synthesis: from a specification you write to a protocol you can run —
+// Command synthesis goes from a specification you write to a protocol you can run —
 // the companion-paper direction the introduction points at. We invent an
 // ordering ("no plain message may overtake a priority (red) message on
 // its channel"), let the library classify it, generate a protocol for

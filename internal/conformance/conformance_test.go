@@ -1,10 +1,12 @@
 package conformance
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"msgorder/internal/catalog"
+	"msgorder/internal/dsim"
 	"msgorder/internal/event"
 	"msgorder/internal/predicate"
 	"msgorder/internal/protocol"
@@ -544,5 +546,79 @@ func TestSelfMessagesSupported(t *testing.T) {
 				t.Fatalf("%s seed %d: %v", name, seed, err)
 			}
 		}
+	}
+}
+
+// --- exhaustive exploration ---
+
+func exhaustiveTriangle(maker protocol.Maker) ExhaustiveConfig {
+	// The causal triangle: two concurrent sends from P0, plus a relay
+	// from P1 to P2 triggered by P1's first delivery.
+	return ExhaustiveConfig{
+		Maker: maker,
+		Procs: 3,
+		Requests: []dsim.Request{
+			{From: 0, To: 2},
+			{From: 0, To: 1},
+		},
+		MakeHook: func() func(event.ProcID, event.MsgID) []dsim.Request {
+			fired := false
+			return func(p event.ProcID, _ event.MsgID) []dsim.Request {
+				if p != 1 || fired {
+					return nil
+				}
+				fired = true
+				return []dsim.Request{{From: 1, To: 2}}
+			}
+		},
+	}
+}
+
+func TestExhaustiveRSTSatisfiesCausal(t *testing.T) {
+	st, err := AlwaysSatisfiesAllSchedules(exhaustiveTriangle(causal.RSTMaker), pred(t, "causal-b2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Schedules == 0 || st.Replays == 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+}
+
+func TestExhaustiveTaglessViolatesCausal(t *testing.T) {
+	v, found, err := FindsViolationInSomeSchedule(exhaustiveTriangle(tagless.Maker), pred(t, "causal-b2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("some schedule must deliver the relay before the direct send")
+	}
+	if v.View == nil || len(v.Match.Assignment) == 0 {
+		t.Fatalf("violation incomplete: %+v", v)
+	}
+}
+
+func TestExhaustiveReportsViolatingSchedule(t *testing.T) {
+	_, err := AlwaysSatisfiesAllSchedules(exhaustiveTriangle(tagless.Maker), pred(t, "causal-b2"))
+	if err == nil {
+		t.Fatal("tagless triangle must violate causal ordering in some schedule")
+	}
+	if !strings.Contains(err.Error(), "schedule") {
+		t.Fatalf("error should describe the violating schedule: %v", err)
+	}
+}
+
+func TestExhaustivePropagatesLimit(t *testing.T) {
+	cfg := ExhaustiveConfig{
+		Maker: sync.RAMaker,
+		Procs: 3,
+		Requests: []dsim.Request{
+			{From: 1, To: 2}, {From: 2, To: 1},
+		},
+		MaxRuns: 2,
+		Workers: 1,
+	}
+	_, err := AlwaysSatisfiesAllSchedules(cfg, pred(t, "sync-2"))
+	if !errors.Is(err, dsim.ErrExploreLimit) {
+		t.Fatalf("err = %v, want ErrExploreLimit", err)
 	}
 }

@@ -140,15 +140,19 @@ func TestEnvAccessors(t *testing.T) {
 
 // TestBSSAllSchedulesCausal model-checks BSS: two broadcasts from
 // different senders, every arrival order, all views causally ordered.
+// The legacy sequential search (Workers: 1) enumerates every
+// interleaving; the default deduplicating search must cover the same
+// ground with far fewer visits.
 func TestBSSAllSchedulesCausal(t *testing.T) {
-	n, err := Explore(ExploreConfig{
+	cfg := ExploreConfig{
 		Procs: 3,
 		Maker: causal.BSSMaker,
 		Requests: []Request{
 			{From: 0, Broadcast: true},
 			{From: 1, Broadcast: true},
 		},
-	}, func(res *Result) bool {
+	}
+	check := func(res *Result) bool {
 		if len(res.Undelivered) > 0 {
 			t.Fatal("liveness lost")
 		}
@@ -156,14 +160,25 @@ func TestBSSAllSchedulesCausal(t *testing.T) {
 			t.Fatalf("non-causal BSS view: %v", res.View)
 		}
 		return true
-	})
+	}
+	cfg.Workers = 1
+	n, err := Explore(cfg, check)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n < 6 {
 		t.Fatalf("schedules = %d, expected at least 4!/(2!2!)-ish interleavings", n)
 	}
-	t.Logf("explored %d schedules", n)
+	cfg.Workers = 0
+	st, err := ExploreWithStats(cfg, check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Schedules == 0 || st.Schedules > n {
+		t.Fatalf("deduped schedules = %d, want 1..%d", st.Schedules, n)
+	}
+	t.Logf("explored %d schedules sequentially, %d deduped (%d dedup hits, %d sleep hits)",
+		n, st.Schedules, st.DedupHits, st.SleepHits)
 }
 
 func TestExploreHookBadRequest(t *testing.T) {

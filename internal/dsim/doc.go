@@ -1,0 +1,83 @@
+// Package dsim is a deterministic discrete-event simulator for
+// message-ordering protocols, plus an exhaustive schedule explorer that
+// upgrades seed-based violation hunting to small-scope model checking.
+//
+// # The simulator
+//
+// Sim runs one workload under a seeded PRNG, so every run is exactly
+// reproducible from its seed — the tool used to search for specification
+// violations ("protocol X violates spec Y under seed Z") and to
+// regenerate the paper's figures. The network is reliable but unordered:
+// each wire message is assigned an independent random delay, so later
+// sends routinely overtake earlier ones — the adversary the paper's
+// protocols must tame.
+//
+// # The explorer
+//
+// Explore replays one fixed workload under every possible network
+// arrival order. User invocations execute eagerly in submission order;
+// the only nondeterminism is which in-flight wire arrives next, so the
+// search space is a tree of arrival choices. If no visited schedule
+// violates a specification, no schedule for that workload does — a proof
+// for the workload, not a sample.
+//
+// The default search (Workers: 0) walks that tree with one goroutine per
+// GOMAXPROCS core pulling schedule prefixes from a shared frontier, and
+// bounds the walk by visited states rather than schedules using two
+// reductions:
+//
+//   - Canonical-state deduplication. Every protocol process is a
+//     deterministic function of its handler-call history, and the run
+//     recorder keeps only per-process event logs — so a fingerprint of
+//     the per-process handler histories, the multiset of in-flight
+//     wires, and the global hook-call log identifies states exactly:
+//     equal fingerprints imply identical futures. Schedules that
+//     converge to a visited state are pruned (ExploreStats.DedupHits).
+//     Note the fingerprint hashes handler histories, not just delivered
+//     prefixes: a protocol's internal state may depend on receive order
+//     even when deliveries agree.
+//   - Commutativity (sleep-set) pruning. Two arrivals at distinct
+//     processes commute — each handler touches only its own process
+//     state, appends to the shared wire multiset, and records only
+//     per-process events — so of the two interleavings only one is
+//     explored (ExploreStats.SleepHits). Sleep sets combine with the
+//     fingerprint cache via Godefroid's fix: each cached state remembers
+//     the sleep set it was expanded with, and a later arrival whose
+//     sleep set is smaller re-expands the difference. Delivery hooks are
+//     shared mutable state across processes, so workloads with a
+//     MakeHook disable this reduction (deduplication stays on; the
+//     fingerprint then includes the global hook-call order).
+//
+// Both reductions preserve the set of reachable complete runs: every
+// distinct final state is still visited exactly once, so a violation
+// exists in the reduced search iff it exists in the full one. What
+// changes is the schedule count (ExploreStats.Schedules counts distinct
+// final states, not interleavings) and the visit order. The visit
+// callback is never invoked concurrently, but its order under parallel
+// search is unspecified.
+//
+// # Determinism and Workers: 1
+//
+// Workers: 1 selects the legacy sequential depth-first search: no
+// deduplication, no pruning, and schedules visited in lexicographic
+// order of arrival indices. Its visit sequence is a compatibility
+// contract — byte-identical to releases that predate the parallel
+// explorer — so use it when diffing explorer output across versions or
+// when an enumeration count like "3! arrival orders" is the point.
+//
+// Exploration is only well-defined if replaying a schedule prefix twice
+// makes the same choices, which requires ExploreConfig.Maker and
+// ExploreConfig.MakeHook to build deterministic instances. The explorer
+// cross-checks every replayed arrival against the wire identity the
+// parent prefix saw and fails with ErrDivergentReplay on disagreement
+// instead of silently exploring a different tree.
+//
+// # Limits
+//
+// ErrExploreLimit fires when the number of complete schedules visited
+// reaches ExploreConfig.MaxRuns (default 100000). The truncated search
+// has still visited MaxRuns complete runs — the error marks the result
+// as a sample rather than a proof. Early termination by the visit
+// callback returning false is not an error: it is the normal way to stop
+// after a counterexample.
+package dsim

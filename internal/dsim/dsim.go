@@ -1,12 +1,3 @@
-// Package dsim is a deterministic discrete-event simulator for
-// message-ordering protocols. All scheduling comes from a seeded PRNG, so
-// every run is exactly reproducible from its seed — the tool used to
-// search for specification violations ("protocol X violates spec Y under
-// seed Z") and to regenerate the paper's figures.
-//
-// The network is reliable but unordered: each wire message is assigned an
-// independent random delay, so later sends routinely overtake earlier
-// ones — the adversary the paper's protocols must tame.
 package dsim
 
 import (

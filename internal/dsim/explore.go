@@ -3,13 +3,23 @@ package dsim
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"time"
 
 	"msgorder/internal/event"
 	"msgorder/internal/protocol"
 )
 
-// ErrExploreLimit reports that exploration was truncated by MaxRuns.
-var ErrExploreLimit = errors.New("dsim: exploration truncated by run limit")
+// Exploration errors. See doc.go for when each fires.
+var (
+	// ErrExploreLimit reports that exploration was truncated by MaxRuns.
+	ErrExploreLimit = errors.New("dsim: exploration truncated by run limit")
+	// ErrDivergentReplay reports that two replays of the same schedule
+	// prefix disagreed — the MakeHook (or the protocol Maker) is not
+	// deterministic, so the schedule tree being explored is not
+	// well-defined.
+	ErrDivergentReplay = errors.New("dsim: divergent replay — ExploreConfig.MakeHook and Maker must be deterministic")
+)
 
 // ExploreConfig drives an exhaustive schedule search: the same protocol
 // and workload are replayed under every possible network arrival order.
@@ -25,119 +35,229 @@ type ExploreConfig struct {
 	// Requests are the initial user invocations, executed in order.
 	Requests []Request
 	// MakeHook, when non-nil, builds a fresh per-replay delivery hook for
-	// causal-chain workloads. It must be deterministic so replays agree.
+	// causal-chain workloads. Hooks must be deterministic: the explorer
+	// replays schedule prefixes many times and cross-checks that every
+	// replay makes the same wire choices, failing with ErrDivergentReplay
+	// on disagreement instead of silently exploring a different tree.
 	MakeHook func() func(p event.ProcID, id event.MsgID) []Request
 	// MaxRuns bounds the number of complete schedules visited
 	// (default 100000). Exceeding it returns ErrExploreLimit.
 	MaxRuns int
+	// Workers sets the number of concurrent search goroutines.
+	//
+	//	≤0  — default: one worker per GOMAXPROCS core, with canonical-state
+	//	      deduplication and commutativity (sleep-set) pruning enabled.
+	//	1   — the legacy sequential depth-first search: schedules are
+	//	      visited in lexicographic arrival order with no pruning, so
+	//	      the visit sequence is reproducible against earlier releases.
+	//	n>1 — n workers over a shared frontier.
+	//
+	// Under Workers != 1 the visit callback is still never called
+	// concurrently (calls are serialized), but the visit order is
+	// unspecified.
+	Workers int
+	// NoDedup disables the canonical-state fingerprint cache, so
+	// schedules that converge to an already-visited state are replayed
+	// anyway. Ignored when Workers is 1 (the legacy search never dedups).
+	NoDedup bool
 }
 
-// Explore enumerates every arrival order, calling visit with each
-// completed run. visit returning false stops the search early (not an
-// error). Returns the number of schedules visited.
+// ExploreStats reports how an exploration went.
+type ExploreStats struct {
+	// Schedules is the number of completed runs passed to visit.
+	Schedules int
+	// States is the number of interior choice-point states expanded.
+	States int
+	// Replays is the number of schedule-prefix replays executed — the
+	// work measure an exploration actually pays for.
+	Replays int
+	// DedupHits counts subtrees pruned because their canonical state had
+	// already been visited (fingerprint cache hits).
+	DedupHits int
+	// SleepHits counts arrivals skipped by commutativity pruning: two
+	// deliveries at distinct processes commute, so only one interleaving
+	// is explored.
+	SleepHits int
+	// Workers is the resolved worker count.
+	Workers int
+	// Truncated reports that MaxRuns stopped the search.
+	Truncated bool
+	// Elapsed is the wall-clock search time.
+	Elapsed time.Duration
+}
+
+// Explore enumerates arrival orders, calling visit with each completed
+// run. visit returning false stops the search early (not an error).
+// Returns the number of schedules visited; see ExploreWithStats for the
+// full accounting.
 func Explore(cfg ExploreConfig, visit func(*Result) bool) (int, error) {
+	st, err := ExploreWithStats(cfg, visit)
+	return st.Schedules, err
+}
+
+// ExploreWithStats is Explore returning the full search statistics.
+func ExploreWithStats(cfg ExploreConfig, visit func(*Result) bool) (ExploreStats, error) {
 	if cfg.Procs <= 0 || cfg.Maker == nil {
-		return 0, fmt.Errorf("%w: bad config", ErrProtocol)
+		return ExploreStats{}, fmt.Errorf("%w: bad config", ErrProtocol)
 	}
 	if cfg.MaxRuns == 0 {
 		cfg.MaxRuns = 100000
 	}
-	e := &explorer{cfg: cfg, visit: visit}
-	err := e.dfs(nil)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	var stats ExploreStats
+	var err error
+	if cfg.Workers == 1 {
+		e := &explorer{cfg: cfg, visit: visit, stats: &stats}
+		err = e.dfs(nil, nil)
+		stats.Workers = 1
+	} else {
+		stats, err = exploreParallel(cfg, workers, visit)
+	}
+	stats.Elapsed = time.Since(start)
 	if err != nil {
-		return e.count, err
+		return stats, err
 	}
-	if e.truncated {
-		return e.count, ErrExploreLimit
+	if stats.Truncated {
+		return stats, ErrExploreLimit
 	}
-	return e.count, nil
+	return stats, nil
 }
 
+// explorer is the legacy sequential depth-first search (Workers: 1). Its
+// visit order — lexicographic in the script of arrival indices — is part
+// of the compatibility contract and must not change.
 type explorer struct {
 	cfg       ExploreConfig
 	visit     func(*Result) bool
-	count     int
+	stats     *ExploreStats
 	stopped   bool
 	truncated bool
-	script    []int
 }
 
-func (e *explorer) dfs(script []int) error {
+func (e *explorer) dfs(script []int, want []uint64) error {
 	if e.stopped {
 		return nil
 	}
-	fanout, res, err := e.replay(script)
+	e.stats.Replays++
+	out, err := replay(e.cfg, script, want, false)
 	if err != nil {
 		return err
 	}
-	if res != nil {
-		e.count++
-		if e.count >= e.cfg.MaxRuns {
-			e.truncated = true
+	if out.res != nil {
+		e.stats.Schedules++
+		if e.stats.Schedules >= e.cfg.MaxRuns {
+			e.stats.Truncated = true
 			e.stopped = true
 		}
-		if !e.visit(res) {
+		if !e.visit(out.res) {
 			e.stopped = true
 		}
 		return nil
 	}
-	for i := 0; i < fanout && !e.stopped; i++ {
-		if err := e.dfs(append(script, i)); err != nil {
+	e.stats.States++
+	for i := 0; i < out.fanout && !e.stopped; i++ {
+		if err := e.dfs(append(script, i), append(want, out.hashes[i])); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// replayOutcome is what one replay of a schedule prefix produced: either
+// a completed run (res != nil) or a choice point with fanout in-flight
+// wires. encs/hashes canonically identify each in-flight wire; fp is the
+// canonical-state fingerprint (computed only when logging is on).
+type replayOutcome struct {
+	fanout int
+	encs   []string
+	hashes []uint64
+	res    *Result
+	fp     [16]byte
+}
+
 // replay executes the workload following the script of arrival choices.
-// If the script ends at a choice point, it returns the fanout; if the
-// run completes, it returns the Result.
-func (e *explorer) replay(script []int) (int, *Result, error) {
-	st := newReplayState(e.cfg)
-	if st.hook == nil && e.cfg.MakeHook != nil {
-		st.hook = e.cfg.MakeHook()
+// want carries the expected wire identity for each script position; a
+// mismatch (or an out-of-range index) means an earlier replay of the same
+// prefix saw a different tree and is reported as ErrDivergentReplay.
+// With logging set, the replay maintains the canonical-state logs needed
+// for fingerprinting.
+func replay(cfg ExploreConfig, script []int, want []uint64, logging bool) (*replayOutcome, error) {
+	st := newReplayState(cfg, logging)
+	if cfg.MakeHook != nil {
+		st.hook = cfg.MakeHook()
 	}
-	for _, req := range e.cfg.Requests {
+	for _, req := range cfg.Requests {
 		st.invoke(req)
 		if st.err != nil {
-			return 0, nil, st.err
+			return nil, st.err
 		}
 	}
+	var scratch []byte
 	pos := 0
-	for {
-		if len(st.inFlight) == 0 {
-			break
-		}
+	for len(st.inFlight) > 0 {
 		if pos == len(script) {
-			return len(st.inFlight), nil, nil
+			out := &replayOutcome{
+				fanout: len(st.inFlight),
+				encs:   make([]string, len(st.inFlight)),
+				hashes: make([]uint64, len(st.inFlight)),
+			}
+			for i, w := range st.inFlight {
+				enc := string(appendWireEnc(nil, w))
+				out.encs[i] = enc
+				out.hashes[i] = hash64([]byte(enc))
+			}
+			if logging {
+				out.fp = st.fingerprint()
+			}
+			return out, nil
 		}
 		i := script[pos]
-		pos++
 		if i >= len(st.inFlight) {
-			return 0, nil, fmt.Errorf("%w: script index out of range", ErrProtocol)
+			return nil, fmt.Errorf("%w: arrival %d of %d disappeared at step %d",
+				ErrDivergentReplay, i, len(st.inFlight), pos)
 		}
 		w := st.inFlight[i]
+		if want != nil {
+			scratch = appendWireEnc(scratch[:0], w)
+			if hash64(scratch) != want[pos] {
+				return nil, fmt.Errorf("%w: arrival %d changed identity at step %d",
+					ErrDivergentReplay, i, pos)
+			}
+		}
 		st.inFlight = append(st.inFlight[:i], st.inFlight[i+1:]...)
 		st.arrive(w)
 		if st.err != nil {
-			return 0, nil, st.err
+			return nil, st.err
 		}
+		pos++
+	}
+	if pos < len(script) {
+		return nil, fmt.Errorf("%w: schedule ended after %d of %d arrivals",
+			ErrDivergentReplay, pos, len(script))
 	}
 	sys, err := st.rec.SystemRun()
 	if err != nil {
-		return 0, nil, fmt.Errorf("%w: recorded run invalid: %v", ErrProtocol, err)
+		return nil, fmt.Errorf("%w: recorded run invalid: %v", ErrProtocol, err)
 	}
 	view, err := sys.UsersView()
 	if err != nil {
-		return 0, nil, fmt.Errorf("%w: user view invalid: %v", ErrProtocol, err)
+		return nil, fmt.Errorf("%w: user view invalid: %v", ErrProtocol, err)
 	}
-	return 0, &Result{
+	out := &replayOutcome{res: &Result{
 		System:      sys,
 		View:        view,
 		Stats:       st.rec.Stats(),
 		Undelivered: st.rec.Undelivered(),
 		Steps:       st.steps,
-	}, nil
+	}}
+	if logging {
+		out.fp = st.fingerprint()
+	}
+	return out, nil
 }
 
 // replayState is the lightweight single-threaded harness used by replay.
@@ -154,12 +274,26 @@ type replayState struct {
 	// pending holds hook-triggered invokes, executed after the current
 	// handler returns (matching the Sim and live-network semantics).
 	pending []Request
+
+	// Canonical-state logging for the fingerprint cache: plog records the
+	// sequence of handler calls per process (which, by protocol
+	// determinism, determines each process's state and the recorder's
+	// per-process logs); hooklog records the global order of hook calls
+	// (shared hook closures make deliveries at distinct processes
+	// order-dependent).
+	logging bool
+	plog    [][]byte
+	hooklog []byte
 }
 
-func newReplayState(cfg ExploreConfig) *replayState {
+func newReplayState(cfg ExploreConfig, logging bool) *replayState {
 	st := &replayState{
-		n:   cfg.Procs,
-		rec: protocol.NewRecorder(cfg.Procs),
+		n:       cfg.Procs,
+		rec:     protocol.NewRecorder(cfg.Procs),
+		logging: logging,
+	}
+	if logging {
+		st.plog = make([][]byte, cfg.Procs)
 	}
 	for i := 0; i < cfg.Procs; i++ {
 		p := cfg.Maker()
@@ -193,6 +327,15 @@ func (st *replayState) advance(id event.MsgID, k event.Kind) bool {
 	return true
 }
 
+// logInvoke appends an invoke handler call to p's canonical log.
+func (st *replayState) logInvoke(p event.ProcID, m event.Message) {
+	if !st.logging {
+		return
+	}
+	b := append(st.plog[p], 'I')
+	st.plog[p] = appendUint32(appendUint32(b, uint32(m.ID)), uint32(m.Color))
+}
+
 func (st *replayState) invoke(req Request) {
 	if int(req.From) >= st.n || req.From < 0 {
 		st.fail("invoke with out-of-range process: %+v", req)
@@ -206,6 +349,7 @@ func (st *replayState) invoke(req Request) {
 			}
 			m := st.rec.NewMessage(req.From, event.ProcID(to), req.Color)
 			st.state = append(st.state, event.Invoke)
+			st.logInvoke(req.From, m)
 			msgs = append(msgs, m)
 		}
 		st.steps++
@@ -228,6 +372,7 @@ func (st *replayState) invoke(req Request) {
 	}
 	m := st.rec.NewMessage(req.From, req.To, req.Color)
 	st.state = append(st.state, event.Invoke)
+	st.logInvoke(req.From, m)
 	st.steps++
 	st.procs[req.From].OnInvoke(m)
 	st.drainPending()
@@ -235,6 +380,9 @@ func (st *replayState) invoke(req Request) {
 
 func (st *replayState) arrive(w protocol.Wire) {
 	st.steps++
+	if st.logging {
+		st.plog[w.To] = appendWireEnc(append(st.plog[w.To], 'R'), w)
+	}
 	if w.Kind == protocol.UserWire {
 		if !st.advance(w.Msg, event.Receive) {
 			return
@@ -253,6 +401,7 @@ func (st *replayState) drainPending() {
 		st.pending = st.pending[1:]
 		m := st.rec.NewMessage(req.From, req.To, req.Color)
 		st.state = append(st.state, event.Invoke)
+		st.logInvoke(req.From, m)
 		st.steps++
 		st.procs[req.From].OnInvoke(m)
 	}
@@ -305,6 +454,9 @@ func (e *replayEnv) Deliver(id event.MsgID) {
 	}
 	st.rec.RecordDeliver(id)
 	if st.hook != nil {
+		if st.logging {
+			st.hooklog = appendUint32(appendUint32(st.hooklog, uint32(e.self)), uint32(id))
+		}
 		for _, req := range st.hook(e.self, id) {
 			if int(req.From) >= st.n || int(req.To) >= st.n || req.From < 0 || req.To < 0 {
 				st.fail("hook invoke with out-of-range process: %+v", req)

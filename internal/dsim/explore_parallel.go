@@ -1,0 +1,387 @@
+package dsim
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+)
+
+// exploreParallel walks the schedule tree from a shared frontier with a
+// bounded worker pool. Each frontier node is a schedule prefix (script of
+// arrival choices); a worker replays it from scratch, then either visits
+// the completed run or expands the choice point into child prefixes.
+//
+// Two reductions bound the walk by visited states instead of schedules:
+//
+//   - Canonical-state dedup: a fingerprint of the per-process handler
+//     histories plus the in-flight wire multiset identifies states that
+//     different schedules converge to; a converged subtree is explored
+//     once. Sound because every protocol process is a deterministic
+//     function of its handler-call history, and the recorder keeps only
+//     per-process logs — equal fingerprints imply identical futures.
+//   - Sleep sets: arrivals at distinct processes commute (hook-free
+//     workloads only — a delivery hook is shared global state), so after
+//     exploring sibling w_j, the sibling-then-w_i interleaving already
+//     covers w_i-then-w_j and the latter is put to sleep. Combining sleep
+//     sets with state caching uses Godefroid's fix: each cached state
+//     stores the sleep set it was expanded with, and a later visit
+//     arriving with a smaller sleep set re-expands the difference.
+type parallel struct {
+	cfg     ExploreConfig
+	visit   func(*Result) bool
+	dedup   bool
+	sleepOK bool
+
+	// mu serializes visit callbacks and guards stats and the stop flags.
+	mu      sync.Mutex
+	stats   ExploreStats
+	stopped bool
+	err     error
+
+	// vmu guards the fingerprint cache.
+	vmu     sync.Mutex
+	visited map[[16]byte]*stateRec
+
+	// qmu guards the frontier.
+	qmu    sync.Mutex
+	qcond  *sync.Cond
+	queue  []*pnode
+	active int
+	dead   bool
+}
+
+// pnode is one frontier entry: a schedule prefix plus the wire-identity
+// checksums that detect divergent replays and the transitions asleep at
+// this node.
+type pnode struct {
+	script []int
+	want   []uint64
+	sleep  []string
+}
+
+// stateRec is a fingerprint-cache entry. sleep records which transitions
+// were pruned when the state was first expanded, so a later arrival with
+// fewer sleeping transitions knows what remains to explore.
+type stateRec struct {
+	sleep map[string]struct{}
+}
+
+func exploreParallel(cfg ExploreConfig, workers int, visit func(*Result) bool) (ExploreStats, error) {
+	p := &parallel{
+		cfg:     cfg,
+		visit:   visit,
+		dedup:   !cfg.NoDedup,
+		sleepOK: cfg.MakeHook == nil,
+		visited: make(map[[16]byte]*stateRec),
+		queue:   []*pnode{{}},
+	}
+	p.qcond = sync.NewCond(&p.qmu)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := p.take()
+				if n == nil {
+					return
+				}
+				p.process(n)
+				p.release()
+			}
+		}()
+	}
+	wg.Wait()
+	p.stats.Workers = workers
+	return p.stats, p.err
+}
+
+// take pops a frontier node, blocking while other workers may still
+// produce more. A nil return means the search is over.
+func (p *parallel) take() *pnode {
+	p.qmu.Lock()
+	defer p.qmu.Unlock()
+	for {
+		if p.dead || (len(p.queue) == 0 && p.active == 0) {
+			p.dead = true
+			p.qcond.Broadcast()
+			return nil
+		}
+		if n := len(p.queue); n > 0 {
+			node := p.queue[n-1]
+			p.queue = p.queue[:n-1]
+			p.active++
+			return node
+		}
+		p.qcond.Wait()
+	}
+}
+
+func (p *parallel) release() {
+	p.qmu.Lock()
+	p.active--
+	if p.active == 0 && len(p.queue) == 0 {
+		p.qcond.Broadcast()
+	}
+	p.qmu.Unlock()
+}
+
+func (p *parallel) push(kids []*pnode) {
+	if len(kids) == 0 {
+		return
+	}
+	p.qmu.Lock()
+	if !p.dead {
+		p.queue = append(p.queue, kids...)
+		p.qcond.Broadcast()
+	}
+	p.qmu.Unlock()
+}
+
+// kill drops the remaining frontier and wakes every worker.
+func (p *parallel) kill() {
+	p.qmu.Lock()
+	p.dead = true
+	p.queue = nil
+	p.qcond.Broadcast()
+	p.qmu.Unlock()
+}
+
+func (p *parallel) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.stopped = true
+	p.mu.Unlock()
+	p.kill()
+}
+
+func (p *parallel) process(n *pnode) {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.stats.Replays++
+	p.mu.Unlock()
+
+	out, err := replay(p.cfg, n.script, n.want, p.dedup)
+	if err != nil {
+		p.fail(err)
+		return
+	}
+	if out.res != nil {
+		p.finishRun(out)
+		return
+	}
+	p.expand(n, out)
+}
+
+// finishRun visits a completed schedule (serialized, respecting MaxRuns
+// and early stop), skipping terminal states already seen.
+func (p *parallel) finishRun(out *replayOutcome) {
+	if p.dedup {
+		p.vmu.Lock()
+		if _, seen := p.visited[out.fp]; seen {
+			p.vmu.Unlock()
+			p.mu.Lock()
+			p.stats.DedupHits++
+			p.mu.Unlock()
+			return
+		}
+		p.visited[out.fp] = &stateRec{}
+		p.vmu.Unlock()
+	}
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.stats.Schedules++
+	stop := false
+	if p.stats.Schedules >= p.cfg.MaxRuns {
+		p.stats.Truncated = true
+		p.stopped = true
+		stop = true
+	}
+	if !p.visit(out.res) {
+		p.stopped = true
+		stop = true
+	}
+	p.mu.Unlock()
+	if stop {
+		p.kill()
+	}
+}
+
+// expand turns a choice point into child frontier nodes, applying the
+// fingerprint cache and sleep-set pruning.
+func (p *parallel) expand(n *pnode, out *replayOutcome) {
+	asleep := make(map[string]struct{}, len(n.sleep))
+	for _, enc := range n.sleep {
+		asleep[enc] = struct{}{}
+	}
+	var children []int
+	slept := 0
+	first := true
+	if p.dedup {
+		p.vmu.Lock()
+		rec, seen := p.visited[out.fp]
+		if !seen {
+			pruned := make(map[string]struct{})
+			dupe := make(map[string]struct{}, len(out.encs))
+			for i, enc := range out.encs {
+				if _, s := asleep[enc]; s {
+					pruned[enc] = struct{}{}
+					slept++
+					continue
+				}
+				if _, d := dupe[enc]; d {
+					slept++ // identical wire: same successor state
+					continue
+				}
+				dupe[enc] = struct{}{}
+				children = append(children, i)
+			}
+			p.visited[out.fp] = &stateRec{sleep: pruned}
+		} else {
+			// Revisited state: explore only transitions that were asleep
+			// at first expansion but are awake on this path.
+			first = false
+			for i, enc := range out.encs {
+				if _, was := rec.sleep[enc]; !was {
+					continue
+				}
+				if _, s := asleep[enc]; s {
+					continue
+				}
+				delete(rec.sleep, enc)
+				children = append(children, i)
+			}
+		}
+		p.vmu.Unlock()
+		if !first && len(children) == 0 {
+			p.mu.Lock()
+			p.stats.DedupHits++
+			p.mu.Unlock()
+			return
+		}
+	} else {
+		dupe := make(map[string]struct{}, len(out.encs))
+		for i, enc := range out.encs {
+			if _, s := asleep[enc]; s {
+				slept++
+				continue
+			}
+			if _, d := dupe[enc]; d {
+				slept++
+				continue
+			}
+			dupe[enc] = struct{}{}
+			children = append(children, i)
+		}
+	}
+
+	p.mu.Lock()
+	p.stats.States++
+	p.stats.SleepHits += slept
+	p.mu.Unlock()
+
+	kids := make([]*pnode, 0, len(children))
+	var taken []string
+	for _, i := range children {
+		var childSleep []string
+		if p.sleepOK && first {
+			// Transitions asleep here, plus siblings explored before i,
+			// stay asleep in the child when they commute with arrival i
+			// (different destination process).
+			to := encTo(out.encs[i])
+			for enc := range asleep {
+				if encTo(enc) != to {
+					childSleep = append(childSleep, enc)
+				}
+			}
+			for _, enc := range taken {
+				if encTo(enc) != to {
+					childSleep = append(childSleep, enc)
+				}
+			}
+			taken = append(taken, out.encs[i])
+		}
+		script := make([]int, len(n.script)+1)
+		copy(script, n.script)
+		script[len(n.script)] = i
+		want := make([]uint64, len(n.want)+1)
+		copy(want, n.want)
+		want[len(n.want)] = out.hashes[i]
+		kids = append(kids, &pnode{script: script, want: want, sleep: childSleep})
+	}
+	p.push(kids)
+}
+
+// --- canonical state encoding ---
+
+// appendWireEnc appends a canonical fixed-layout encoding of a wire. The
+// destination process occupies the first four bytes so encTo can recover
+// it from the encoded form.
+func appendWireEnc(b []byte, w protocol.Wire) []byte {
+	b = appendUint32(b, uint32(w.To))
+	b = appendUint32(b, uint32(w.From))
+	b = append(b, byte(w.Kind), w.Ctrl, byte(w.Color))
+	b = appendUint32(b, uint32(w.Msg))
+	b = appendUint32(b, uint32(len(w.Tag)))
+	return append(b, w.Tag...)
+}
+
+// encTo recovers the destination process from an encoded wire.
+func encTo(enc string) event.ProcID {
+	return event.ProcID(uint32(enc[0])<<24 | uint32(enc[1])<<16 | uint32(enc[2])<<8 | uint32(enc[3]))
+}
+
+func appendUint32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// hash64 is FNV-1a, used for the cheap per-arrival divergence checksums.
+func hash64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// fingerprint hashes the canonical exploration state: the per-process
+// handler-call histories, the multiset of in-flight wires (sorted so the
+// arrival list's order is irrelevant), and the global hook-call log.
+func (st *replayState) fingerprint() [16]byte {
+	h := fnv.New128a()
+	var len4 [4]byte
+	writeLen := func(n int) {
+		len4[0], len4[1], len4[2], len4[3] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+		h.Write(len4[:])
+	}
+	for _, log := range st.plog {
+		writeLen(len(log))
+		h.Write(log)
+	}
+	encs := make([]string, len(st.inFlight))
+	for i, w := range st.inFlight {
+		encs[i] = string(appendWireEnc(nil, w))
+	}
+	sort.Strings(encs)
+	writeLen(len(encs))
+	for _, enc := range encs {
+		writeLen(len(enc))
+		h.Write([]byte(enc))
+	}
+	h.Write(st.hooklog)
+	var fp [16]byte
+	copy(fp[:], h.Sum(nil))
+	return fp
+}

@@ -2,6 +2,7 @@ package dsim
 
 import (
 	"errors"
+	"sync/atomic"
 	"testing"
 
 	"msgorder/internal/catalog"
@@ -249,5 +250,249 @@ func TestExploreEarlyStopNotError(t *testing.T) {
 func TestExploreBadConfig(t *testing.T) {
 	if _, err := Explore(ExploreConfig{}, func(*Result) bool { return true }); !errors.Is(err, ErrProtocol) {
 		t.Fatalf("err = %v, want ErrProtocol", err)
+	}
+}
+
+// triangleHook builds the triangle workload's relay hook: P1's first
+// delivery triggers a send to P2.
+func triangleHook() func(event.ProcID, event.MsgID) []Request {
+	fired := false
+	return func(p event.ProcID, _ event.MsgID) []Request {
+		if p != 1 || fired {
+			return nil
+		}
+		fired = true
+		return []Request{{From: 1, To: 2}}
+	}
+}
+
+// exploreCensus runs one exploration and returns its stats, the ordered
+// sequence of visited view keys, and the set of keys violating pred.
+func exploreCensus(t *testing.T, cfg ExploreConfig, pred *catalog.Entry) (ExploreStats, []string, map[string]bool) {
+	t.Helper()
+	var seq []string
+	viol := make(map[string]bool)
+	st, err := ExploreWithStats(cfg, func(res *Result) bool {
+		key := res.View.Key()
+		seq = append(seq, key)
+		if _, bad := check.FindViolation(res.View, pred.Pred); bad {
+			viol[key] = true
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, seq, viol
+}
+
+// TestParallelMatchesSequentialViolationSets is the soundness contract of
+// the deduplicating search: over a matrix of protocols and workloads, the
+// default parallel+dedup explorer must find exactly the same set of
+// distinct views — and hence the same violation set — as the legacy
+// Workers: 1 enumeration.
+func TestParallelMatchesSequentialViolationSets(t *testing.T) {
+	msgs := func(reqs ...Request) []Request { return reqs }
+	cases := []struct {
+		name string
+		cfg  ExploreConfig
+		spec string
+	}{
+		{"tagless-vs-fifo", ExploreConfig{Procs: 2, Maker: tagless.Maker,
+			Requests: msgs(Request{From: 0, To: 1}, Request{From: 0, To: 1}, Request{From: 0, To: 1})}, "fifo"},
+		{"fifo-vs-fifo", ExploreConfig{Procs: 2, Maker: fifo.Maker,
+			Requests: msgs(Request{From: 0, To: 1}, Request{From: 0, To: 1}, Request{From: 0, To: 1})}, "fifo"},
+		{"tagless-triangle-vs-causal", ExploreConfig{Procs: 3, Maker: tagless.Maker,
+			Requests: msgs(Request{From: 0, To: 2}, Request{From: 0, To: 1}),
+			MakeHook: triangleHook}, "causal-b2"},
+		{"rst-triangle-vs-causal", ExploreConfig{Procs: 3, Maker: causal.RSTMaker,
+			Requests: msgs(Request{From: 0, To: 2}, Request{From: 0, To: 1}),
+			MakeHook: triangleHook}, "causal-b2"},
+		{"rst-crossing-vs-causal", ExploreConfig{Procs: 3, Maker: causal.RSTMaker,
+			Requests: msgs(Request{From: 0, To: 1}, Request{From: 0, To: 2},
+				Request{From: 1, To: 2}, Request{From: 2, To: 1})}, "causal-b2"},
+		{"sync-vs-sync", ExploreConfig{Procs: 3, Maker: syncproto.Maker,
+			Requests: msgs(Request{From: 1, To: 2}, Request{From: 2, To: 1})}, "sync-2"},
+		{"sync-ra-vs-sync", ExploreConfig{Procs: 3, Maker: syncproto.RAMaker,
+			Requests: msgs(Request{From: 1, To: 2}, Request{From: 2, To: 1})}, "sync-2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pred := catPred(t, tc.spec)
+			serial := tc.cfg
+			serial.Workers = 1
+			_, sseq, sviol := exploreCensus(t, serial, pred)
+			_, pseq, pviol := exploreCensus(t, tc.cfg, pred)
+
+			sset := make(map[string]bool, len(sseq))
+			for _, k := range sseq {
+				sset[k] = true
+			}
+			pset := make(map[string]bool, len(pseq))
+			for _, k := range pseq {
+				pset[k] = true
+			}
+			if len(sset) != len(pset) {
+				t.Fatalf("distinct views: serial %d, parallel %d", len(sset), len(pset))
+			}
+			for k := range sset {
+				if !pset[k] {
+					t.Fatalf("view visited serially but not in parallel:\n%s", k)
+				}
+			}
+			if len(sviol) != len(pviol) {
+				t.Fatalf("violation sets differ: serial %d, parallel %d", len(sviol), len(pviol))
+			}
+			for k := range sviol {
+				if !pviol[k] {
+					t.Fatalf("violation found serially but not in parallel:\n%s", k)
+				}
+			}
+		})
+	}
+}
+
+// TestSequentialOrderIsStable pins the Workers: 1 compatibility contract:
+// the legacy search visits schedules in lexicographic arrival order, so
+// two runs produce identical visit sequences (and the deduplicating
+// search covers the same distinct views).
+func TestSequentialOrderIsStable(t *testing.T) {
+	cfg := ExploreConfig{
+		Procs: 2,
+		Maker: fifo.Maker,
+		Requests: []Request{
+			{From: 0, To: 1}, {From: 0, To: 1}, {From: 0, To: 1},
+		},
+		Workers: 1,
+	}
+	e := fifoPred(t)
+	_, first, _ := exploreCensus(t, cfg, e)
+	_, second, _ := exploreCensus(t, cfg, e)
+	if len(first) != 6 {
+		t.Fatalf("visited %d schedules, want 3! = 6", len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("visit %d differs between identical sequential runs", i)
+		}
+	}
+}
+
+// TestDedupCutsReplaysAtLeastTwofold encodes the performance contract:
+// on 3-process workloads with commuting deliveries, the deduplicating
+// search must do at most half the replays of the full enumeration.
+func TestDedupCutsReplaysAtLeastTwofold(t *testing.T) {
+	for name, cfg := range map[string]ExploreConfig{
+		"causal-rst": {Procs: 3, Maker: causal.RSTMaker, Requests: []Request{
+			{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2}, {From: 2, To: 1},
+		}},
+		"sync-ra": {Procs: 3, Maker: syncproto.RAMaker, Requests: []Request{
+			{From: 1, To: 2}, {From: 2, To: 1},
+		}},
+	} {
+		serial := cfg
+		serial.Workers = 1
+		sst, _, _ := exploreCensus(t, serial, fifoPred(t))
+		pst, _, _ := exploreCensus(t, cfg, fifoPred(t))
+		if pst.Replays*2 > sst.Replays {
+			t.Errorf("%s: dedup replays %d vs sequential %d — less than 2x reduction",
+				name, pst.Replays, sst.Replays)
+		}
+		if pst.DedupHits+pst.SleepHits == 0 {
+			t.Errorf("%s: no pruning recorded in stats", name)
+		}
+		t.Logf("%s: %d -> %d replays (%.1fx), %d dedup hits, %d sleep hits",
+			name, sst.Replays, pst.Replays,
+			float64(sst.Replays)/float64(pst.Replays), pst.DedupHits, pst.SleepHits)
+	}
+}
+
+// TestDivergentHookDetected: a MakeHook whose behavior changes between
+// replays makes the schedule tree ill-defined; the explorer must fail
+// with ErrDivergentReplay instead of silently exploring a different tree.
+func TestDivergentHookDetected(t *testing.T) {
+	for _, workers := range []int{1, 0} {
+		// The first replay stops at the root choice point before any
+		// delivery, so the hook must misbehave on the second replay —
+		// the first one that delivers — for the trees to diverge.
+		var replayCount atomic.Int32
+		_, err := Explore(ExploreConfig{
+			Procs:   2,
+			Maker:   tagless.Maker,
+			Workers: workers,
+			Requests: []Request{
+				{From: 0, To: 1}, {From: 0, To: 1},
+			},
+			MakeHook: func() func(event.ProcID, event.MsgID) []Request {
+				fire := replayCount.Add(1) == 2
+				sent := false
+				return func(p event.ProcID, _ event.MsgID) []Request {
+					if !fire || sent || p != 1 {
+						return nil
+					}
+					sent = true
+					return []Request{{From: 1, To: 0}}
+				}
+			},
+		}, func(*Result) bool { return true })
+		if !errors.Is(err, ErrDivergentReplay) {
+			t.Fatalf("workers=%d: err = %v, want ErrDivergentReplay", workers, err)
+		}
+	}
+}
+
+// TestNoDedupStillCoversAllViews: disabling the fingerprint cache keeps
+// the search sound (commutativity pruning alone preserves all final
+// states).
+func TestNoDedupStillCoversAllViews(t *testing.T) {
+	cfg := ExploreConfig{Procs: 3, Maker: causal.RSTMaker, Requests: []Request{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2}, {From: 2, To: 1},
+	}}
+	serial := cfg
+	serial.Workers = 1
+	_, sseq, _ := exploreCensus(t, serial, fifoPred(t))
+	nodedup := cfg
+	nodedup.NoDedup = true
+	_, pseq, _ := exploreCensus(t, nodedup, fifoPred(t))
+	want := make(map[string]bool)
+	for _, k := range sseq {
+		want[k] = true
+	}
+	got := make(map[string]bool)
+	for _, k := range pseq {
+		got[k] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("distinct views: no-dedup %d, sequential %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("view lost without dedup:\n%s", k)
+		}
+	}
+}
+
+// TestExploreStatsAccounting sanity-checks the Stats result on a workload
+// small enough to reason about: 2 same-channel messages have 2 schedules,
+// 3 interior states (root, after-m0, after-m1) and no pruning.
+func TestExploreStatsAccounting(t *testing.T) {
+	st, err := ExploreWithStats(ExploreConfig{
+		Procs: 2,
+		Maker: tagless.Maker,
+		Requests: []Request{
+			{From: 0, To: 1}, {From: 0, To: 1},
+		},
+	}, func(*Result) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Schedules != 2 || st.States != 3 {
+		t.Fatalf("schedules=%d states=%d, want 2/3", st.Schedules, st.States)
+	}
+	if st.Replays != st.States+st.Schedules {
+		t.Fatalf("replays=%d, want states+schedules=%d", st.Replays, st.States+st.Schedules)
+	}
+	if st.Workers < 1 || st.Elapsed <= 0 {
+		t.Fatalf("workers=%d elapsed=%v not populated", st.Workers, st.Elapsed)
 	}
 }

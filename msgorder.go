@@ -231,6 +231,27 @@ func Explore(cfg ExploreConfig, visit func(*SimResult) bool) (int, error) {
 	return dsim.Explore(cfg, visit)
 }
 
+// Exploration errors (see the internal/dsim package docs).
+var (
+	// ErrExploreLimit marks a truncated search: MaxRuns complete
+	// schedules were visited, so the result is a sample, not a proof.
+	ErrExploreLimit = dsim.ErrExploreLimit
+	// ErrDivergentReplay reports a nondeterministic Maker or MakeHook:
+	// replaying a schedule prefix made different choices than its
+	// parent, so the schedule tree is ill-defined.
+	ErrDivergentReplay = dsim.ErrDivergentReplay
+)
+
+// ExploreStats reports how an exploration covered the schedule space:
+// distinct complete runs, interior states, replays performed, and how
+// much the deduplication and commutativity reductions pruned.
+type ExploreStats = dsim.ExploreStats
+
+// ExploreWithStats is Explore returning the full search statistics.
+func ExploreWithStats(cfg ExploreConfig, visit func(*SimResult) bool) (ExploreStats, error) {
+	return dsim.ExploreWithStats(cfg, visit)
+}
+
 // EncodeRun serializes a user-view run to JSON.
 func EncodeRun(r *Run) ([]byte, error) { return trace.EncodeUserView(r) }
 

@@ -1,0 +1,50 @@
+#!/bin/sh
+# verify.sh — the tier-1 gate: build, vet, format, doc lint, tests.
+# Run from the repository root. Exits non-zero on the first failure.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== doc lint =="
+# Every package must open its canonical doc file with a package comment:
+# "// Package <name> ..." for libraries, "// Command <name> ..." for mains.
+missing=0
+for dir in $(go list -f '{{.Dir}}' ./...); do
+    name=$(go list -f '{{.Name}}' "$dir")
+    if [ "$name" = main ]; then
+        want="// Command "
+    else
+        want="// Package $name"
+    fi
+    ok=0
+    for f in "$dir"/*.go; do
+        case "$f" in *_test.go) continue ;; esac
+        if grep -q "^$want" "$f"; then
+            ok=1
+            break
+        fi
+    done
+    if [ "$ok" = 0 ]; then
+        echo "missing package comment (want \"$want...\"): $dir" >&2
+        missing=1
+    fi
+done
+[ "$missing" = 0 ]
+
+echo "== go test =="
+go test ./...
+
+echo "verify: OK"
