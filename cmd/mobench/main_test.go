@@ -48,6 +48,15 @@ func TestExploreExperiment(t *testing.T) {
 	}
 }
 
+func TestFaultsExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live lossy-network sweep")
+	}
+	if err := faults(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
 	if err := run([]string{"nope"}); err == nil {
 		t.Fatal("unknown experiment must fail")

@@ -17,6 +17,8 @@ import (
 	"msgorder/internal/event"
 	"msgorder/internal/predicate"
 	"msgorder/internal/protocol"
+	"msgorder/internal/sim"
+	"msgorder/internal/transport"
 	"msgorder/internal/userview"
 )
 
@@ -49,6 +51,14 @@ type Config struct {
 	// processes (the multicast extension); chained follow-ups broadcast
 	// too.
 	Broadcast bool
+	// Faults, when non-nil, runs the workload on the live harness
+	// (internal/sim) over a lossy network with the reliable transport
+	// sublayer, instead of the deterministic simulator. The protocols
+	// still see reliable channels; Stats additionally reports
+	// retransmits, dups dropped and faults injected. Live runs are
+	// seeded but not bit-reproducible (goroutine interleaving); leave
+	// Faults nil for byte-identical deterministic runs.
+	Faults *transport.FaultPlan
 }
 
 func (c Config) withDefaults() Config {
@@ -67,9 +77,72 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Run executes one simulation and requires quiescence (liveness).
+// workload derives the randomized request stream for one config. Both
+// harness backends (deterministic dsim and live sim) draw from the same
+// seeded stream, so the workload shape is identical across them.
+type workload struct {
+	cfg    Config
+	wrng   *rand.Rand
+	budget int
+}
+
+func newWorkload(cfg Config) *workload {
+	return &workload{
+		cfg:    cfg,
+		wrng:   rand.New(rand.NewSource(cfg.Seed*0x9e3779b9 + 17)),
+		budget: cfg.ChainBudget,
+	}
+}
+
+func (w *workload) color() event.Color {
+	if len(w.cfg.Colors) == 0 {
+		return event.ColorNone
+	}
+	return w.cfg.Colors[w.wrng.Intn(len(w.cfg.Colors))]
+}
+
+func (w *workload) pick(not event.ProcID) event.ProcID {
+	for {
+		p := event.ProcID(w.wrng.Intn(w.cfg.Procs))
+		if w.cfg.AllowSelf || p != not {
+			return p
+		}
+	}
+}
+
+// initial returns the i-th spontaneous request.
+func (w *workload) initial() (from, to event.ProcID, color event.Color) {
+	from = event.ProcID(w.wrng.Intn(w.cfg.Procs))
+	color = w.color()
+	if !w.cfg.Broadcast {
+		to = w.pick(from)
+	}
+	return from, to, color
+}
+
+// chain rolls for a delivery-triggered follow-up from p. The RNG draw
+// order (pick before color on unicasts) is load-bearing: it keeps
+// seeded workloads byte-identical to the pre-refactor harness.
+func (w *workload) chain(p event.ProcID) (to event.ProcID, color event.Color, ok bool) {
+	if w.budget <= 0 || w.wrng.Float64() >= w.cfg.ChainProb {
+		return 0, 0, false
+	}
+	w.budget--
+	if !w.cfg.Broadcast {
+		to = w.pick(p)
+	}
+	color = w.color()
+	return to, color, true
+}
+
+// Run executes one simulation and requires quiescence (liveness). With
+// cfg.Faults set it runs on the live lossy-network harness; otherwise
+// on the deterministic simulator.
 func Run(cfg Config) (*dsim.Result, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Faults != nil {
+		return runLive(cfg)
+	}
 	opts := []dsim.Option{
 		dsim.WithSeed(cfg.Seed),
 		dsim.WithDelay(cfg.DelayMin, cfg.DelayMax),
@@ -77,45 +150,61 @@ func Run(cfg Config) (*dsim.Result, error) {
 	if cfg.FIFONet {
 		opts = append(opts, dsim.WithFIFONetwork())
 	}
-	sim := dsim.New(cfg.Procs, cfg.Maker, opts...)
-
-	wrng := rand.New(rand.NewSource(cfg.Seed*0x9e3779b9 + 17))
-	color := func() event.Color {
-		if len(cfg.Colors) == 0 {
-			return event.ColorNone
-		}
-		return cfg.Colors[wrng.Intn(len(cfg.Colors))]
-	}
-	pick := func(not event.ProcID) event.ProcID {
-		for {
-			p := event.ProcID(wrng.Intn(cfg.Procs))
-			if cfg.AllowSelf || p != not {
-				return p
-			}
-		}
-	}
-	budget := cfg.ChainBudget
-	sim.OnDeliver(func(p event.ProcID, _ event.MsgID) []dsim.Request {
-		if budget <= 0 || wrng.Float64() >= cfg.ChainProb {
+	s := dsim.New(cfg.Procs, cfg.Maker, opts...)
+	w := newWorkload(cfg)
+	s.OnDeliver(func(p event.ProcID, _ event.MsgID) []dsim.Request {
+		to, color, ok := w.chain(p)
+		if !ok {
 			return nil
 		}
-		budget--
-		if cfg.Broadcast {
-			return []dsim.Request{{From: p, Broadcast: true, Color: color()}}
-		}
-		return []dsim.Request{{From: p, To: pick(p), Color: color()}}
+		return []dsim.Request{{From: p, To: to, Color: color, Broadcast: cfg.Broadcast}}
 	})
 	for i := 0; i < cfg.InitialMsgs; i++ {
-		from := event.ProcID(wrng.Intn(cfg.Procs))
-		req := dsim.Request{From: from, Color: color()}
-		if cfg.Broadcast {
-			req.Broadcast = true
-		} else {
-			req.To = pick(from)
-		}
-		sim.Invoke(int64(i)*2, req)
+		from, to, color := w.initial()
+		s.Invoke(int64(i)*2, dsim.Request{From: from, To: to, Color: color, Broadcast: cfg.Broadcast})
 	}
-	return sim.MustQuiesce()
+	return s.MustQuiesce()
+}
+
+// runLive drives the same workload through the live harness with fault
+// injection and the reliable transport sublayer.
+func runLive(cfg Config) (*dsim.Result, error) {
+	plan := *cfg.Faults
+	if plan.Seed == 0 {
+		plan.Seed = cfg.Seed*0x9e3779b9 + 101
+	}
+	nw := sim.New(cfg.Procs, cfg.Maker,
+		sim.WithSeed(cfg.Seed),
+		sim.WithFaults(plan),
+	)
+	w := newWorkload(cfg)
+	nw.OnDeliver(func(p event.ProcID, _ event.MsgID) []sim.Request {
+		to, color, ok := w.chain(p)
+		if !ok {
+			return nil
+		}
+		return []sim.Request{{From: p, To: to, Color: color, Broadcast: cfg.Broadcast}}
+	})
+	for i := 0; i < cfg.InitialMsgs; i++ {
+		from, to, color := w.initial()
+		if err := nw.Invoke(sim.Request{From: from, To: to, Color: color, Broadcast: cfg.Broadcast}); err != nil {
+			return nil, err
+		}
+	}
+	res, err := nw.Stop()
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Undelivered) > 0 {
+		return nil, fmt.Errorf("lossy run not live: %d undelivered messages: %v",
+			len(res.Undelivered), res.Undelivered)
+	}
+	return &dsim.Result{
+		System:      res.System,
+		View:        res.View,
+		Stats:       res.Stats,
+		Undelivered: res.Undelivered,
+	}, nil
 }
 
 // Violation describes a specification violation found during a sweep.
@@ -173,6 +262,46 @@ func FindsViolation(cfg Config, n int, pred *predicate.Predicate) (Violation, bo
 		}
 	}
 	return Violation{}, false, nil
+}
+
+// FaultCell is one cell of a fault-matrix sweep: a fault plan, the
+// number of runs executed under it, how many violated the
+// specification, and the summed run statistics (including transport
+// counters).
+type FaultCell struct {
+	Plan       transport.FaultPlan
+	Runs       int
+	Violations int
+	Stats      protocol.Stats
+}
+
+// FaultMatrix sweeps the workload across fault plans on the live
+// harness, checking every run's user view against pred. Each plan runs
+// `seeds` seeds (1..seeds). A protocol satisfies its specification
+// under loss iff every cell reports zero violations.
+func FaultMatrix(cfg Config, plans []transport.FaultPlan, seeds int, pred *predicate.Predicate) ([]FaultCell, error) {
+	cells := make([]FaultCell, 0, len(plans))
+	for _, plan := range plans {
+		cell := FaultCell{Plan: plan}
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			cfg.Seed = seed
+			p := plan
+			cfg.Faults = &p
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("plan %+v seed %d: %w", plan, seed, err)
+			}
+			cell.Runs++
+			cell.Stats.Add(res.Stats)
+			if pred != nil {
+				if _, bad := check.FindViolation(res.View, pred); bad {
+					cell.Violations++
+				}
+			}
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
 }
 
 // ExhaustiveConfig describes one exhaustive-exploration check: a fixed

@@ -134,13 +134,20 @@ type Describer interface {
 	Describe() Descriptor
 }
 
-// Stats aggregates protocol overhead over a run.
+// Stats aggregates protocol overhead over a run. The transport fields
+// count work below the protocol layer (the live harness's reliable
+// sublayer over a lossy network); they stay zero on fault-free runs and
+// in the deterministic simulator.
 type Stats struct {
 	UserMessages    int // user messages sent
 	ControlMessages int // control wires sent
 	UserTagBytes    int // total bytes piggybacked on user wires
 	ControlBytes    int // total control payload bytes
 	Deliveries      int
+
+	Retransmits    int // transport-level resends (not recorded as sends)
+	DupsDropped    int // duplicate envelopes absorbed by transport dedup
+	FaultsInjected int // drops+dups+delays+partition cuts injected
 }
 
 // Add accumulates other into s.
@@ -150,6 +157,9 @@ func (s *Stats) Add(o Stats) {
 	s.UserTagBytes += o.UserTagBytes
 	s.ControlBytes += o.ControlBytes
 	s.Deliveries += o.Deliveries
+	s.Retransmits += o.Retransmits
+	s.DupsDropped += o.DupsDropped
+	s.FaultsInjected += o.FaultsInjected
 }
 
 // ControlPerUser returns the control-message overhead ratio.
@@ -223,6 +233,17 @@ func (r *Recorder) RecordDeliver(id event.MsgID) {
 	m := r.msgs[id]
 	r.procs[m.To] = append(r.procs[m.To], event.E(id, event.Deliver))
 	r.stats.Deliveries++
+}
+
+// RecordTransport folds the transport sublayer's counters into the
+// stats (live harness only; the deterministic simulator has no lossy
+// network to recover from).
+func (r *Recorder) RecordTransport(retransmits, dupsDropped, faultsInjected int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.Retransmits += retransmits
+	r.stats.DupsDropped += dupsDropped
+	r.stats.FaultsInjected += faultsInjected
 }
 
 // RecordControl accounts a control wire.

@@ -100,12 +100,27 @@ func TestRecorderUndelivered(t *testing.T) {
 	}
 }
 
+func TestRecordTransport(t *testing.T) {
+	r := NewRecorder(2)
+	r.RecordTransport(4, 2, 7)
+	r.RecordTransport(1, 0, 1)
+	s := r.Stats()
+	if s.Retransmits != 5 || s.DupsDropped != 2 || s.FaultsInjected != 8 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
 func TestStatsAggregation(t *testing.T) {
 	var s Stats
-	s.Add(Stats{UserMessages: 2, ControlMessages: 6, UserTagBytes: 20, ControlBytes: 3, Deliveries: 2})
-	s.Add(Stats{UserMessages: 2, ControlMessages: 0, UserTagBytes: 0, Deliveries: 2})
+	s.Add(Stats{UserMessages: 2, ControlMessages: 6, UserTagBytes: 20, ControlBytes: 3, Deliveries: 2,
+		Retransmits: 3, DupsDropped: 1, FaultsInjected: 5})
+	s.Add(Stats{UserMessages: 2, ControlMessages: 0, UserTagBytes: 0, Deliveries: 2,
+		Retransmits: 1, DupsDropped: 2, FaultsInjected: 0})
 	if s.UserMessages != 4 || s.ControlMessages != 6 {
 		t.Fatalf("stats = %+v", s)
+	}
+	if s.Retransmits != 4 || s.DupsDropped != 3 || s.FaultsInjected != 5 {
+		t.Fatalf("transport fields not accumulated: %+v", s)
 	}
 	if got := s.ControlPerUser(); got != 1.5 {
 		t.Errorf("ControlPerUser = %v", got)

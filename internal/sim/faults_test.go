@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/fifo"
+	"msgorder/internal/protocols/tagless"
+	"msgorder/internal/transport"
+)
+
+func TestLossyNetworkStaysLive(t *testing.T) {
+	nw := New(3, tagless.Maker, WithSeed(2),
+		WithFaults(transport.FaultPlan{DropRate: 0.3, DupRate: 0.2, DelayJitter: 0.2, Seed: 11}))
+	for i := 0; i < 40; i++ {
+		if err := nw.Invoke(Request{From: event.ProcID(i % 3), To: event.ProcID((i + 1) % 3)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := nw.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.View.IsComplete() || len(res.Undelivered) != 0 {
+		t.Fatalf("lossy run must still deliver everything; undelivered = %v", res.Undelivered)
+	}
+	if res.Stats.UserMessages != 40 {
+		t.Fatalf("user messages = %d, want 40 (dups must not be recorded)", res.Stats.UserMessages)
+	}
+	if res.Transport.Retransmits == 0 {
+		t.Fatal("a 30% drop rate must force retransmissions")
+	}
+	if res.Transport.DupsDropped == 0 {
+		t.Fatal("a 20% dup rate must exercise receiver-side dedup")
+	}
+	if res.Faults.Total() == 0 {
+		t.Fatal("fault counters must be nonzero")
+	}
+	// Transport counters surface through protocol.Stats too.
+	if res.Stats.Retransmits != res.Transport.Retransmits ||
+		res.Stats.DupsDropped != res.Transport.DupsDropped ||
+		res.Stats.FaultsInjected != res.Faults.Total() {
+		t.Fatalf("stats transport fields %+v disagree with counters %+v / %+v",
+			res.Stats, res.Transport, res.Faults)
+	}
+}
+
+func TestFIFOSafetyUnderLoss(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		nw := New(2, fifo.Maker, WithSeed(seed),
+			WithFaults(transport.FaultPlan{DropRate: 0.25, DupRate: 0.15, Seed: seed}))
+		for i := 0; i < 30; i++ {
+			nw.Invoke(Request{From: 0, To: 1})
+		}
+		res, err := nw.Stop()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if v, bad := res.View.FindCOViolation(); bad {
+			t.Fatalf("seed %d: FIFO violated under loss: %v", seed, v)
+		}
+		if !res.View.IsComplete() {
+			t.Fatalf("seed %d: incomplete", seed)
+		}
+	}
+}
+
+func TestPartitionHealsAndDelivers(t *testing.T) {
+	nw := New(2, tagless.Maker, WithSeed(6),
+		WithFaults(transport.FaultPlan{
+			Partitions: []transport.Partition{{A: []event.ProcID{0}, B: []event.ProcID{1}, Heal: 10}},
+			Seed:       6,
+		}))
+	for i := 0; i < 10; i++ {
+		nw.Invoke(Request{From: 0, To: 1})
+	}
+	res, err := nw.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.View.IsComplete() || len(res.Undelivered) != 0 {
+		t.Fatalf("messages lost to a healed partition: %v", res.Undelivered)
+	}
+	if res.Faults.PartitionDrops != 10 {
+		t.Fatalf("partition drops = %d, want exactly the heal budget (10)", res.Faults.PartitionDrops)
+	}
+	if res.Transport.Retransmits == 0 {
+		t.Fatal("recovery from the partition requires retransmissions")
+	}
+}
+
+// TestStallDetectorExtendsPastTimeout uses a stall window shorter than
+// the whole lossy run: Quiesce must keep extending the deadline while
+// the transport makes progress instead of reporting a spurious timeout.
+func TestStallDetectorExtendsPastTimeout(t *testing.T) {
+	nw := New(2, tagless.Maker, WithSeed(8),
+		WithTimeout(40*time.Millisecond),
+		WithFaults(transport.FaultPlan{DropRate: 0.3, Seed: 8}))
+	for i := 0; i < 20; i++ {
+		nw.Invoke(Request{From: event.ProcID(i % 2), To: event.ProcID((i + 1) % 2)})
+	}
+	res, err := nw.Stop()
+	if err != nil {
+		t.Fatalf("stall detector must tolerate a live lossy network: %v", err)
+	}
+	if !res.View.IsComplete() {
+		t.Fatal("incomplete")
+	}
+}
+
+// TestDeadlockDetectedUnderFaults checks the other side of the stall
+// detector: a genuinely stuck protocol still times out (wrapped
+// ErrTimeout), bounded by stallCap windows.
+func TestDeadlockDetectedUnderFaults(t *testing.T) {
+	window := 40 * time.Millisecond
+	nw := New(2, func() protocol.Process { return &staller{} },
+		WithTimeout(window),
+		WithFaults(transport.FaultPlan{DropRate: 0.2, Seed: 3}))
+	nw.Invoke(Request{From: 0, To: 1})
+	start := time.Now()
+	_, err := nw.Stop()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > (stallCap+2)*window {
+		t.Fatalf("stall detector ran %v, want <= ~%v", elapsed, stallCap*window)
+	}
+}
+
+func TestFaultFreeRunHasZeroTransportCounters(t *testing.T) {
+	nw := New(2, tagless.Maker, WithSeed(1))
+	for i := 0; i < 10; i++ {
+		nw.Invoke(Request{From: 0, To: 1})
+	}
+	res, err := nw.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transport != (transport.Counters{}) {
+		t.Fatalf("transport counters = %+v on a fault-free run", res.Transport)
+	}
+	if res.Faults != (transport.FaultCounters{}) {
+		t.Fatalf("fault counters = %+v on a fault-free run", res.Faults)
+	}
+	if res.Stats.Retransmits != 0 || res.Stats.DupsDropped != 0 || res.Stats.FaultsInjected != 0 {
+		t.Fatalf("stats transport fields must stay zero: %+v", res.Stats)
+	}
+}

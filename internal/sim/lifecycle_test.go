@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/tagless"
+)
+
+// TestQuiesceTimeoutLeaksNoGoroutines guards against the old harness's
+// waiter leak: every timed-out Quiesce parked one goroutine in
+// work.Wait() forever. Repeated timeouts must not grow the goroutine
+// count.
+func TestQuiesceTimeoutLeaksNoGoroutines(t *testing.T) {
+	nw := New(2, func() protocol.Process { return &staller{} },
+		WithTimeout(10*time.Millisecond))
+	defer nw.shutdown()
+	nw.Invoke(Request{From: 0, To: 1})
+
+	// Let the message reach the staller so the network settles into its
+	// stuck state before we start measuring.
+	if err := nw.Quiesce(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	const rounds = 25
+	for i := 0; i < rounds; i++ {
+		if err := nw.Quiesce(); !errors.Is(err, ErrTimeout) {
+			t.Fatalf("round %d: err = %v, want ErrTimeout", i, err)
+		}
+	}
+	runtime.GC()
+	after := runtime.NumGoroutine()
+	// Pre-fix this grows by one goroutine per round; allow slack for
+	// unrelated runtime noise.
+	if after > before+rounds/4 {
+		t.Fatalf("goroutines grew from %d to %d over %d timed-out Quiesces",
+			before, after, rounds)
+	}
+}
+
+// gatedSender blocks in OnReceive until released, then sends a control
+// wire — modelling a straggler handler that is still running when the
+// network shuts down.
+type gatedSender struct {
+	env      protocol.Env
+	gate     chan struct{}
+	finished chan struct{}
+}
+
+func (p *gatedSender) Init(env protocol.Env) { p.env = env }
+func (p *gatedSender) OnInvoke(m event.Message) {
+	p.env.Send(protocol.Wire{To: m.To, Kind: protocol.UserWire, Msg: m.ID})
+}
+func (p *gatedSender) OnReceive(w protocol.Wire) {
+	if w.Kind != protocol.UserWire {
+		return
+	}
+	<-p.gate
+	p.env.Send(protocol.Wire{To: w.From, Kind: protocol.ControlWire})
+	close(p.finished)
+}
+
+// TestSendAfterStopFailsFast guards against the old post-stop hang:
+// after Stop closed done, a straggler handler's Env.Send blocked
+// forever on the adversary pool. It must now return promptly and record
+// ErrProtocol.
+func TestSendAfterStopFailsFast(t *testing.T) {
+	gate := make(chan struct{})
+	finished := make(chan struct{})
+	makers := 0
+	nw := New(2, func() protocol.Process {
+		makers++
+		return &gatedSender{gate: gate, finished: finished}
+	}, WithTimeout(30*time.Millisecond))
+	_ = makers
+	nw.Invoke(Request{From: 0, To: 1})
+
+	if _, err := nw.Stop(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Stop err = %v, want ErrTimeout (handler is gated)", err)
+	}
+
+	// Release the straggler after teardown: its Send must fail fast.
+	close(gate)
+	select {
+	case <-finished:
+	case <-time.After(2 * time.Second):
+		t.Fatal("straggler handler still blocked in Send 2s after Stop")
+	}
+	if err := nw.runErr(); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("recorded err = %v, want ErrProtocol", err)
+	}
+}
+
+func TestInvokeAfterStopReturnsErrStopped(t *testing.T) {
+	nw := New(2, tagless.Maker)
+	nw.Invoke(Request{From: 0, To: 1})
+	if _, err := nw.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Invoke(Request{From: 0, To: 1}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+func TestInvokeValidatesRange(t *testing.T) {
+	nw := New(2, tagless.Maker)
+	for _, req := range []Request{
+		{From: -1, To: 1},
+		{From: 2, To: 1},
+		{From: 0, To: -1},
+		{From: 0, To: 2},
+	} {
+		if err := nw.Invoke(req); !errors.Is(err, ErrProtocol) {
+			t.Fatalf("Invoke(%+v) = %v, want ErrProtocol", req, err)
+		}
+	}
+	// Rejected requests must not be counted as work.
+	if _, err := nw.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentInvokeQuiesceStop hammers the lifecycle API from many
+// goroutines under the race detector. The old harness had a
+// WaitGroup-misuse race here (Add concurrent with Wait after the
+// counter hit zero).
+func TestConcurrentInvokeQuiesceStop(t *testing.T) {
+	nw := New(3, tagless.Maker, WithSeed(4))
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				err := nw.Invoke(Request{
+					From: event.ProcID((g + i) % 3),
+					To:   event.ProcID((g + i + 1) % 3),
+				})
+				if err != nil && !errors.Is(err, ErrStopped) {
+					t.Errorf("Invoke: %v", err)
+					return
+				}
+				if errors.Is(err, ErrStopped) {
+					return
+				}
+			}
+		}(g)
+	}
+	for q := 0; q < 2; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				nw.Quiesce()
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, err := nw.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	wg.Wait()
+}
+
+// TestBroadcastLive checks the live harness's broadcast plumbing: one
+// request fans out to every other process and each copy is delivered.
+func TestBroadcastLive(t *testing.T) {
+	nw := New(4, tagless.Maker, WithSeed(3))
+	for i := 0; i < 8; i++ {
+		if err := nw.Invoke(Request{From: event.ProcID(i % 4), Broadcast: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := nw.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.View.IsComplete() || len(res.Undelivered) != 0 {
+		t.Fatal("all broadcast copies must be delivered")
+	}
+	if res.Stats.UserMessages != 8*3 {
+		t.Fatalf("user messages = %d, want 24", res.Stats.UserMessages)
+	}
+}

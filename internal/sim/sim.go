@@ -1,14 +1,26 @@
 // Package sim is the live execution harness: every process runs as its
 // own goroutine with an unbounded mailbox, and an adversary goroutine
-// holds all in-flight wires and releases them in random order. Unlike
-// package dsim there is no virtual clock — real concurrency exercises the
-// protocols' state machines under true interleaving, while the random
-// release order supplies the reordering adversary.
+// holds all in-flight transmissions and releases them in random order.
+// Unlike package dsim there is no virtual clock — real concurrency
+// exercises the protocols' state machines under true interleaving,
+// while the random release order supplies the reordering adversary.
+//
+// The adversary is a pluggable fault-injecting scheduler. By default it
+// only reorders (the paper's reliable-channel model). With WithFaults
+// it also drops, duplicates, delays and partitions transmissions at the
+// configured rates, and every protocol wire is carried by the reliable
+// transport sublayer (internal/transport): sequenced envelopes, acks,
+// timeout-driven retransmission with exponential backoff, and
+// receiver-side dedup. Protocols above the transport still observe
+// reliable exactly-once (but freely reordering) channels, so the
+// paper's axioms R1-R3 keep holding while the network misbehaves.
 //
 // Safety properties must hold on every execution; exact traces are not
 // reproducible across runs (the adversary's choices are seeded, but the
 // goroutine interleaving is the scheduler's). Use dsim when a bit-exact
-// replay is needed.
+// replay is needed. With faults disabled the transport is bypassed
+// entirely, so fault-free recorded runs are identical to the
+// pre-transport harness's.
 package sim
 
 import (
@@ -21,6 +33,7 @@ import (
 	"msgorder/internal/event"
 	"msgorder/internal/protocol"
 	"msgorder/internal/run"
+	"msgorder/internal/transport"
 	"msgorder/internal/userview"
 )
 
@@ -28,12 +41,21 @@ import (
 var (
 	ErrTimeout  = errors.New("sim: timed out waiting for quiescence")
 	ErrProtocol = errors.New("sim: protocol error")
+	ErrStopped  = errors.New("sim: network already stopped")
 )
 
-// Request asks for a user message invocation.
+// stallCap bounds how long a lossy-network Quiesce may extend past the
+// configured timeout while the transport is still making progress.
+const stallCap = 8
+
+// Request asks for a user message invocation. With Broadcast set, To is
+// ignored and one copy is invoked for every other process (the
+// multicast extension); protocols implementing protocol.Broadcaster
+// receive all copies together.
 type Request struct {
-	From, To event.ProcID
-	Color    event.Color
+	From, To  event.ProcID
+	Color     event.Color
+	Broadcast bool
 }
 
 // Result is the outcome of a stopped network.
@@ -42,6 +64,45 @@ type Result struct {
 	View        *userview.Run
 	Stats       protocol.Stats
 	Undelivered []event.MsgID
+	// Transport holds the reliable sublayer's counters (zero when the
+	// network ran fault-free, i.e. without the transport).
+	Transport transport.Counters
+	// Faults holds the injected-fault tallies (zero without WithFaults).
+	Faults transport.FaultCounters
+}
+
+// Scheduler orders and perturbs the adversary's in-flight
+// transmissions. Pick chooses which of n in-flight transmissions to
+// release next; Fate decides what the network does with the released
+// one. The default scheduler picks uniformly at random (seeded) and
+// always delivers; WithFaults installs one whose Fate injects drops,
+// duplicates, delays and partition cuts. Fates other than
+// transport.Deliver require the reliable transport (WithFaults) —
+// without it a dropped wire would silently violate the paper's
+// reliable-channel axioms.
+type Scheduler interface {
+	Pick(n int) int
+	Fate(from, to event.ProcID) transport.Action
+}
+
+// randomSched is the default reorder-only adversary.
+type randomSched struct{ rng *rand.Rand }
+
+func (s *randomSched) Pick(n int) int { return s.rng.Intn(n) }
+func (s *randomSched) Fate(event.ProcID, event.ProcID) transport.Action {
+	return transport.Deliver
+}
+
+// faultSched keeps the random release order and delegates fates to the
+// fault injector.
+type faultSched struct {
+	rng *rand.Rand
+	inj *transport.Injector
+}
+
+func (s *faultSched) Pick(n int) int { return s.rng.Intn(n) }
+func (s *faultSched) Fate(from, to event.ProcID) transport.Action {
+	return s.inj.Decide(from, to)
 }
 
 // Option configures a Network.
@@ -52,9 +113,29 @@ func WithSeed(seed int64) Option {
 	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
 }
 
-// WithTimeout bounds Quiesce (default 10s).
+// WithTimeout bounds Quiesce (default 10s). Under a fault plan this is
+// the stall window: Quiesce keeps waiting past it while the transport
+// makes progress (retransmissions, acks), up to stallCap windows.
 func WithTimeout(d time.Duration) Option {
 	return func(n *Network) { n.timeout = d }
+}
+
+// WithFaults makes the network lossy per the plan and routes every wire
+// through the reliable transport sublayer.
+func WithFaults(plan transport.FaultPlan) Option {
+	return func(n *Network) { n.faults = &plan }
+}
+
+// WithTransportConfig tunes the transport's retransmission engine
+// (effective only together with WithFaults).
+func WithTransportConfig(cfg transport.Config) Option {
+	return func(n *Network) { n.trCfg = cfg }
+}
+
+// WithScheduler installs a custom adversary scheduler, overriding both
+// the default and the WithFaults one.
+func WithScheduler(s Scheduler) Option {
+	return func(n *Network) { n.sched = s }
 }
 
 // Network is a live protocol harness. Construct with New, feed with
@@ -69,10 +150,17 @@ type Network struct {
 	insts   []protocol.Process
 	classes []protocol.Class
 
-	pool     chan protocol.Wire
-	work     sync.WaitGroup
+	pool     chan flight
+	work     *workGate
 	stopOnce sync.Once
+	statOnce sync.Once
 	done     chan struct{}
+
+	faults *transport.FaultPlan
+	trCfg  transport.Config
+	tr     *transport.Reliable
+	inj    *transport.Injector
+	sched  Scheduler
 
 	mu        sync.Mutex
 	err       error
@@ -84,11 +172,79 @@ type Network struct {
 	hookMu sync.Mutex
 }
 
-// item is one mailbox entry: either an invoke or a wire arrival.
+// flight is one in-flight transmission: a bare wire (fault-free mode)
+// or a transport envelope (lossy mode).
+type flight struct {
+	wire  protocol.Wire
+	env   transport.Envelope
+	isEnv bool
+}
+
+func (f flight) from() event.ProcID {
+	if f.isEnv {
+		return f.env.Src
+	}
+	return f.wire.From
+}
+
+func (f flight) to() event.ProcID {
+	if f.isEnv {
+		return f.env.Dst
+	}
+	return f.wire.To
+}
+
+// workGate counts outstanding work items and exposes an idle channel
+// closed whenever the count is zero. Unlike sync.WaitGroup, add while
+// a waiter is blocked is well-defined (the waiter observes the zero
+// instant it was waiting for), and waiting costs no goroutine — the
+// two lifecycle bugs the old WaitGroup-based harness had.
+type workGate struct {
+	mu   sync.Mutex
+	n    int
+	zero chan struct{}
+}
+
+func newWorkGate() *workGate {
+	g := &workGate{zero: make(chan struct{})}
+	close(g.zero)
+	return g
+}
+
+func (g *workGate) add(d int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	was := g.n
+	g.n += d
+	switch {
+	case g.n < 0:
+		panic("sim: negative work count")
+	case was == 0 && g.n > 0:
+		g.zero = make(chan struct{})
+	case was > 0 && g.n == 0:
+		close(g.zero)
+	}
+}
+
+func (g *workGate) done() { g.add(-1) }
+
+// idle returns a channel that is closed once the count reaches zero.
+func (g *workGate) idle() <-chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.zero
+}
+
+// item is one mailbox entry: an invoke, a broadcast batch, a bare wire
+// arrival, or a transport envelope arrival.
 type item struct {
-	isInvoke bool
-	msg      event.Message
-	wire     protocol.Wire
+	isInvoke    bool
+	isBroadcast bool
+	isEnv       bool
+	msg         event.Message
+	msgs        []event.Message
+	wire        protocol.Wire
+	env         transport.Envelope
 }
 
 // mailbox is an unbounded FIFO with condition-variable signalling.
@@ -141,11 +297,25 @@ func New(n int, maker protocol.Maker, opts ...Option) *Network {
 		rec:     protocol.NewRecorder(n),
 		rng:     rand.New(rand.NewSource(1)),
 		timeout: 10 * time.Second,
-		pool:    make(chan protocol.Wire, 1),
+		pool:    make(chan flight, 1),
+		work:    newWorkGate(),
 		done:    make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(nw)
+	}
+	if nw.faults != nil {
+		nw.inj = transport.NewInjector(*nw.faults)
+		nw.tr = transport.NewReliable(nw.trCfg, func(ev transport.Envelope) {
+			nw.inject(flight{env: ev, isEnv: true})
+		})
+	}
+	if nw.sched == nil {
+		if nw.inj != nil {
+			nw.sched = &faultSched{rng: nw.rng, inj: nw.inj}
+		} else {
+			nw.sched = &randomSched{rng: nw.rng}
+		}
 	}
 	for i := 0; i < n; i++ {
 		p := maker()
@@ -173,51 +343,108 @@ func (nw *Network) OnDeliver(fn func(p event.ProcID, id event.MsgID) []Request) 
 	nw.onDeliver = fn
 }
 
-// Invoke submits a user request.
-func (nw *Network) Invoke(req Request) {
+// Invoke submits a user request. It returns ErrStopped after Stop and
+// ErrProtocol for out-of-range processes; the stopped check and the
+// work accounting are atomic, so Invoke never races a concurrent
+// Quiesce into a lost or half-counted request.
+func (nw *Network) Invoke(req Request) error {
+	if int(req.From) < 0 || int(req.From) >= nw.n {
+		return fmt.Errorf("%w: invoke from out-of-range process %d", ErrProtocol, req.From)
+	}
+	if !req.Broadcast && (int(req.To) < 0 || int(req.To) >= nw.n) {
+		return fmt.Errorf("%w: invoke to out-of-range process %d", ErrProtocol, req.To)
+	}
 	nw.mu.Lock()
 	if nw.stopped {
 		nw.mu.Unlock()
-		return
+		return ErrStopped
+	}
+	if req.Broadcast {
+		msgs := make([]event.Message, 0, nw.n-1)
+		for to := 0; to < nw.n; to++ {
+			if event.ProcID(to) == req.From {
+				continue
+			}
+			msgs = append(msgs, nw.rec.NewMessage(req.From, event.ProcID(to), req.Color))
+		}
+		if len(msgs) == 0 {
+			nw.mu.Unlock()
+			return nil // single-process system: nothing to broadcast
+		}
+		nw.work.add(1)
+		nw.mu.Unlock()
+		nw.procs[req.From].push(item{isBroadcast: true, msgs: msgs})
+		return nil
 	}
 	m := nw.rec.NewMessage(req.From, req.To, req.Color)
+	nw.work.add(1)
 	nw.mu.Unlock()
-	nw.work.Add(1)
 	nw.procs[req.From].push(item{isInvoke: true, msg: m})
+	return nil
 }
 
-// Quiesce waits until all submitted work (and everything it spawned) has
-// been processed.
+// Quiesce waits until all submitted work (and everything it spawned)
+// has been processed. No waiter goroutine is spawned, so a timed-out
+// Quiesce leaks nothing and may be retried. Under a fault plan the
+// timeout acts as a stall window: while the transport keeps making
+// progress (retransmitting, acking) the deadline extends, up to
+// stallCap windows — distinguishing a lossy-but-live network from a
+// deadlocked one.
 func (nw *Network) Quiesce() error {
-	ch := make(chan struct{})
-	go func() {
-		nw.work.Wait()
-		close(ch)
-	}()
-	select {
-	case <-ch:
-		nw.mu.Lock()
-		defer nw.mu.Unlock()
-		return nw.err
-	case <-time.After(nw.timeout):
-		return ErrTimeout
+	idle := nw.work.idle()
+	if nw.tr == nil {
+		select {
+		case <-idle:
+			return nw.runErr()
+		case <-time.After(nw.timeout):
+			return fmt.Errorf("%w after %v", ErrTimeout, nw.timeout)
+		}
+	}
+	start := time.Now()
+	last := nw.tr.Progress()
+	for {
+		select {
+		case <-idle:
+			return nw.runErr()
+		case <-time.After(nw.timeout):
+			cur := nw.tr.Progress()
+			if cur != last && time.Since(start) < stallCap*nw.timeout {
+				last = cur // still retransmitting: lossy but live
+				continue
+			}
+			if cur != last || nw.tr.Pending() > 0 {
+				return fmt.Errorf("%w: transport still retransmitting (%d unacked envelopes) after %v",
+					ErrTimeout, nw.tr.Pending(), time.Since(start).Round(time.Millisecond))
+			}
+			return fmt.Errorf("%w: no transport progress for %v — harness deadlocked",
+				ErrTimeout, nw.timeout)
+		}
 	}
 }
 
-// Stop quiesces, shuts the goroutines down, and returns the recorded run.
+func (nw *Network) runErr() error {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.err
+}
+
+// Stop quiesces, shuts the goroutines down, and returns the recorded
+// run. Teardown happens even when quiescence fails, so a timed-out
+// network does not leak its process, adversary and retransmission
+// goroutines; straggler handlers then fail fast instead of hanging.
 func (nw *Network) Stop() (*Result, error) {
-	if err := nw.Quiesce(); err != nil {
-		return nil, err
+	qerr := nw.Quiesce()
+	nw.shutdown()
+	if qerr != nil {
+		return nil, qerr
 	}
-	nw.stopOnce.Do(func() {
-		nw.mu.Lock()
-		nw.stopped = true
-		nw.mu.Unlock()
-		close(nw.done)
-		for _, m := range nw.procs {
-			m.close()
-		}
-	})
+	if nw.tr != nil {
+		nw.statOnce.Do(func() {
+			tc := nw.tr.Counters()
+			fc := nw.inj.Counters()
+			nw.rec.RecordTransport(tc.Retransmits, tc.DupsDropped, fc.Total())
+		})
+	}
 	sys, err := nw.rec.SystemRun()
 	if err != nil {
 		return nil, fmt.Errorf("%w: recorded run invalid: %v", ErrProtocol, err)
@@ -226,12 +453,54 @@ func (nw *Network) Stop() (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: user view invalid: %v", ErrProtocol, err)
 	}
-	return &Result{
+	res := &Result{
 		System:      sys,
 		View:        view,
 		Stats:       nw.rec.Stats(),
 		Undelivered: nw.rec.Undelivered(),
-	}, nil
+	}
+	if nw.tr != nil {
+		res.Transport = nw.tr.Counters()
+		res.Faults = nw.inj.Counters()
+	}
+	return res, nil
+}
+
+// shutdown tears the harness down exactly once: mark stopped, release
+// the adversary and any blocked senders, stop the transport's
+// retransmission loop, and close the mailboxes.
+func (nw *Network) shutdown() {
+	nw.stopOnce.Do(func() {
+		nw.mu.Lock()
+		nw.stopped = true
+		nw.mu.Unlock()
+		close(nw.done) // before tr.Close: unblocks the resend path
+		if nw.tr != nil {
+			nw.tr.Close()
+		}
+		for _, m := range nw.procs {
+			m.close()
+		}
+	})
+}
+
+// inject hands a transmission to the adversary, failing fast (false)
+// once the network has shut down instead of blocking forever on the
+// pool channel.
+func (nw *Network) inject(f flight) bool {
+	// Check done first: after shutdown the adversary is gone, and the
+	// pool's buffer would otherwise swallow one straggler send.
+	select {
+	case <-nw.done:
+		return false
+	default:
+	}
+	select {
+	case nw.pool <- f:
+		return true
+	case <-nw.done:
+		return false
+	}
 }
 
 // runProcess is one process goroutine: it drains its mailbox, invoking
@@ -242,48 +511,93 @@ func (nw *Network) runProcess(self event.ProcID) {
 		if !ok {
 			return
 		}
-		if it.isInvoke {
+		switch {
+		case it.isInvoke:
 			nw.insts[self].OnInvoke(it.msg)
-		} else {
+			nw.work.done()
+		case it.isBroadcast:
+			if b, ok := nw.insts[self].(protocol.Broadcaster); ok {
+				b.OnBroadcast(it.msgs)
+			} else {
+				for _, m := range it.msgs {
+					nw.insts[self].OnInvoke(m)
+				}
+			}
+			nw.work.done()
+		case it.isEnv:
+			nw.handleEnvelope(self, it.env)
+		default:
 			if it.wire.Kind == protocol.UserWire {
 				nw.rec.RecordReceive(it.wire.Msg)
 			}
 			nw.insts[self].OnReceive(it.wire)
+			nw.work.done()
 		}
-		nw.work.Done()
 	}
 }
 
-// runAdversary accumulates in-flight wires and releases them in random
-// order.
+// handleEnvelope is the receiver side of the transport sublayer: acks
+// are routed to the pending table; data envelopes are acknowledged,
+// deduplicated, and (first copy only) handed to the protocol.
+func (nw *Network) handleEnvelope(self event.ProcID, ev transport.Envelope) {
+	switch ev.Kind {
+	case transport.Ack:
+		nw.tr.Ack(ev)
+	case transport.Data:
+		fresh := nw.tr.Accept(ev)
+		// Always (re-)acknowledge — the previous ack may have been lost.
+		nw.inject(flight{env: transport.AckFor(ev), isEnv: true})
+		if !fresh {
+			return
+		}
+		w := ev.Wire
+		if w.Kind == protocol.UserWire {
+			nw.rec.RecordReceive(w.Msg)
+		}
+		nw.insts[self].OnReceive(w)
+		nw.work.done()
+	}
+}
+
+// runAdversary accumulates in-flight transmissions and releases them in
+// the scheduler's order, applying its fate (deliver, drop, duplicate,
+// delay) to each release.
 func (nw *Network) runAdversary() {
-	var inflight []protocol.Wire
+	var inflight []flight
 	for {
 		if len(inflight) == 0 {
 			select {
-			case w := <-nw.pool:
-				inflight = append(inflight, w)
+			case f := <-nw.pool:
+				inflight = append(inflight, f)
 			case <-nw.done:
 				return
 			}
 			continue
 		}
-		// Opportunistically batch whatever is queued, then release one
-		// at random.
+		// Opportunistically batch whatever is queued, then release one.
 		for {
 			select {
-			case w := <-nw.pool:
-				inflight = append(inflight, w)
+			case f := <-nw.pool:
+				inflight = append(inflight, f)
 				continue
 			default:
 			}
 			break
 		}
-		i := nw.rng.Intn(len(inflight))
-		w := inflight[i]
+		i := nw.sched.Pick(len(inflight))
+		f := inflight[i]
 		inflight[i] = inflight[len(inflight)-1]
 		inflight = inflight[:len(inflight)-1]
-		nw.procs[w.To].push(item{wire: w})
+		switch nw.sched.Fate(f.from(), f.to()) {
+		case transport.Drop:
+			continue // the transport's retransmission recovers it
+		case transport.Duplicate:
+			inflight = append(inflight, f) // deliver now, copy stays in flight
+		case transport.Delay:
+			inflight = append(inflight, f) // back into the reorder pool
+			continue
+		}
+		nw.procs[f.to()].push(item{wire: f.wire, env: f.env, isEnv: f.isEnv})
 	}
 }
 
@@ -326,8 +640,17 @@ func (e *env) Send(w protocol.Wire) {
 		nw.fail(fmt.Errorf("%w: P%d sent wire with invalid kind", ErrProtocol, e.self))
 		return
 	}
-	nw.work.Add(1)
-	nw.pool <- w
+	nw.work.add(1)
+	var f flight
+	if nw.tr != nil {
+		f = flight{env: nw.tr.Wrap(e.self, w.To, w), isEnv: true}
+	} else {
+		f = flight{wire: w}
+	}
+	if !nw.inject(f) {
+		nw.work.done()
+		nw.fail(fmt.Errorf("%w: P%d sent after network stop", ErrProtocol, e.self))
+	}
 }
 
 func (e *env) Deliver(id event.MsgID) {
@@ -343,8 +666,8 @@ func (e *env) Deliver(id event.MsgID) {
 	reqs := hook(e.self, id)
 	nw.hookMu.Unlock()
 	for _, req := range reqs {
-		m := nw.rec.NewMessage(req.From, req.To, req.Color)
-		nw.work.Add(1)
-		nw.procs[req.From].push(item{isInvoke: true, msg: m})
+		if err := nw.Invoke(req); err != nil && !errors.Is(err, ErrStopped) {
+			nw.fail(err)
+		}
 	}
 }

@@ -1,0 +1,424 @@
+// Package transport is the reliable-delivery sublayer of the live
+// harness (internal/sim). The paper's run model (axioms R1-R3) assumes
+// every sent message is eventually received exactly once; a production
+// network drops, duplicates, delays and partitions. This package closes
+// the gap from both sides:
+//
+//   - Injector decides, per transmission, what a lossy network does to
+//     it (deliver / drop / duplicate / delay), driven by a seeded
+//     FaultPlan with per-fault rates and healing partitions.
+//   - Reliable restores the paper's channel model above the faults:
+//     every protocol wire is wrapped in a sequenced Envelope, the
+//     receiver acknowledges and deduplicates, and the sender
+//     retransmits unacked envelopes on a timeout with exponential
+//     backoff (capped).
+//
+// Protocols therefore still see reliable, exactly-once (but freely
+// reordering) channels, while the network below misbehaves at
+// configurable rates. The counters on both halves (retransmits, dups
+// dropped, faults injected) surface through protocol.Stats.
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+)
+
+// FaultPlan configures the fault injector. Rates are probabilities in
+// [0, 1); the injector clamps them so that their sum stays below one
+// (a transmission suffers at most one fault per hop attempt). The zero
+// plan injects nothing.
+type FaultPlan struct {
+	// DropRate is the probability a transmission is silently discarded.
+	DropRate float64
+	// DupRate is the probability a transmission is delivered AND a copy
+	// is put back in flight.
+	DupRate float64
+	// DelayJitter is the probability a transmission is pushed back into
+	// the in-flight set instead of being released (extra reordering and
+	// latency).
+	DelayJitter float64
+	// Partitions are network cuts: transmissions crossing an active cut
+	// are dropped until the cut's heal budget is exhausted.
+	Partitions []Partition
+	// Seed drives the injector's RNG (default 1).
+	Seed int64
+}
+
+// Enabled reports whether the plan injects any fault at all.
+func (p FaultPlan) Enabled() bool {
+	return p.DropRate > 0 || p.DupRate > 0 || p.DelayJitter > 0 || len(p.Partitions) > 0
+}
+
+// Partition is a temporary network cut between two sets of processes.
+// Every transmission crossing the cut (in either direction) is dropped
+// and decrements the heal budget; when the budget hits zero the cut
+// heals permanently. Retransmissions burn the budget down, so any
+// finite budget preserves liveness.
+type Partition struct {
+	// A and B are the two sides of the cut.
+	A, B []event.ProcID
+	// Heal is the number of crossing transmissions dropped before the
+	// partition heals (default 16).
+	Heal int
+}
+
+// Action is the injector's verdict for one transmission.
+type Action int
+
+// Injector verdicts.
+const (
+	Deliver   Action = iota // release to the destination
+	Drop                    // discard silently
+	Duplicate               // deliver and keep a copy in flight
+	Delay                   // push back into the in-flight set
+)
+
+// FaultCounters tallies injected faults by kind.
+type FaultCounters struct {
+	Drops, Dups, Delays, PartitionDrops int
+}
+
+// Total returns the number of faults injected.
+func (c FaultCounters) Total() int {
+	return c.Drops + c.Dups + c.Delays + c.PartitionDrops
+}
+
+// Injector is a seeded, concurrency-safe fault source.
+type Injector struct {
+	mu     sync.Mutex
+	plan   FaultPlan
+	rng    *rand.Rand
+	parts  []partitionState
+	counts FaultCounters
+}
+
+type partitionState struct {
+	a, b   map[event.ProcID]bool
+	budget int
+}
+
+// maxFaultRate bounds the total fault probability so the adversary's
+// release loop terminates (a plan of all-drops would spin forever).
+const maxFaultRate = 0.95
+
+// defaultHeal is a partition's drop budget when Heal is zero.
+const defaultHeal = 16
+
+// NewInjector builds an injector for the plan. Rates are scaled down
+// proportionally if their sum exceeds maxFaultRate.
+func NewInjector(plan FaultPlan) *Injector {
+	if sum := plan.DropRate + plan.DupRate + plan.DelayJitter; sum > maxFaultRate {
+		scale := maxFaultRate / sum
+		plan.DropRate *= scale
+		plan.DupRate *= scale
+		plan.DelayJitter *= scale
+	}
+	seed := plan.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	in := &Injector{plan: plan, rng: rand.New(rand.NewSource(seed))}
+	for _, p := range plan.Partitions {
+		st := partitionState{
+			a:      make(map[event.ProcID]bool, len(p.A)),
+			b:      make(map[event.ProcID]bool, len(p.B)),
+			budget: p.Heal,
+		}
+		if st.budget <= 0 {
+			st.budget = defaultHeal
+		}
+		for _, id := range p.A {
+			st.a[id] = true
+		}
+		for _, id := range p.B {
+			st.b[id] = true
+		}
+		in.parts = append(in.parts, st)
+	}
+	return in
+}
+
+// Decide returns the network's action for a transmission from -> to.
+func (in *Injector) Decide(from, to event.ProcID) Action {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i := range in.parts {
+		p := &in.parts[i]
+		if p.budget > 0 && ((p.a[from] && p.b[to]) || (p.b[from] && p.a[to])) {
+			p.budget--
+			in.counts.PartitionDrops++
+			return Drop
+		}
+	}
+	r := in.rng.Float64()
+	if r < in.plan.DropRate {
+		in.counts.Drops++
+		return Drop
+	}
+	r -= in.plan.DropRate
+	if r < in.plan.DupRate {
+		in.counts.Dups++
+		return Duplicate
+	}
+	r -= in.plan.DupRate
+	if r < in.plan.DelayJitter {
+		in.counts.Delays++
+		return Delay
+	}
+	return Deliver
+}
+
+// Counters returns a snapshot of the injected-fault tallies.
+func (in *Injector) Counters() FaultCounters {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts
+}
+
+// Kind distinguishes data envelopes from acknowledgements.
+type Kind uint8
+
+// Envelope kinds.
+const (
+	Data Kind = iota + 1
+	Ack
+)
+
+// Envelope is one transport-layer transmission: a protocol wire wrapped
+// with a per-channel sequence number (Data), or its acknowledgement
+// (Ack, addressed back to the data sender and carrying the same Seq).
+type Envelope struct {
+	// Src and Dst are the transmission endpoints of THIS envelope
+	// (reversed for acks relative to the data they acknowledge).
+	Src, Dst event.ProcID
+	Kind     Kind
+	// Seq is the sequence number on the data channel Src->Dst (for
+	// acks: Dst->Src). Sequencing identifies envelopes for ack matching
+	// and dedup; it does NOT impose FIFO delivery — the network above
+	// still reorders freely, as the paper's model allows.
+	Seq uint64
+	// Attempt counts retransmissions of this envelope (0 = original).
+	Attempt int
+	// Wire is the wrapped protocol payload (Data only).
+	Wire protocol.Wire
+}
+
+// AckFor builds the acknowledgement for a data envelope.
+func AckFor(e Envelope) Envelope {
+	return Envelope{Src: e.Dst, Dst: e.Src, Kind: Ack, Seq: e.Seq}
+}
+
+// Config tunes the retransmission engine.
+type Config struct {
+	// RTO is the initial retransmission timeout (default 3ms).
+	RTO time.Duration
+	// MaxRTO caps the exponential backoff (default 48ms).
+	MaxRTO time.Duration
+	// Tick is the retransmit scan interval (default 1ms).
+	Tick time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.RTO <= 0 {
+		c.RTO = 3 * time.Millisecond
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = 48 * time.Millisecond
+	}
+	if c.Tick <= 0 {
+		c.Tick = time.Millisecond
+	}
+	return c
+}
+
+// Counters tallies the reliable sublayer's work.
+type Counters struct {
+	// Sent counts data envelopes originated (one per protocol wire).
+	Sent int
+	// Retransmits counts timeout-driven resends.
+	Retransmits int
+	// DupsDropped counts duplicate data envelopes absorbed by the
+	// receiver-side dedup.
+	DupsDropped int
+	// AcksReceived counts acknowledgements processed by senders.
+	AcksReceived int
+}
+
+type chanKey [2]event.ProcID
+
+type pendKey struct {
+	ch  chanKey
+	seq uint64
+}
+
+type pendingTx struct {
+	env      Envelope
+	deadline time.Time
+	attempt  int
+}
+
+// Reliable is the exactly-once delivery engine for one network: it
+// sequences outgoing wires, retransmits unacked envelopes, and
+// deduplicates arrivals. Safe for concurrent use. The send callback
+// reinjects retransmissions into the network; it must not block
+// forever after the network shuts down.
+type Reliable struct {
+	cfg  Config
+	send func(Envelope)
+
+	mu       sync.Mutex
+	next     map[chanKey]uint64
+	pending  map[pendKey]*pendingTx
+	seen     map[chanKey]map[uint64]struct{}
+	counts   Counters
+	progress uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewReliable starts a reliable sublayer; Close must be called to stop
+// its retransmission loop.
+func NewReliable(cfg Config, send func(Envelope)) *Reliable {
+	r := &Reliable{
+		cfg:     cfg.withDefaults(),
+		send:    send,
+		next:    make(map[chanKey]uint64),
+		pending: make(map[pendKey]*pendingTx),
+		seen:    make(map[chanKey]map[uint64]struct{}),
+		stop:    make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.loop()
+	return r
+}
+
+// Wrap sequences a wire into a data envelope and registers it for
+// retransmission until acknowledged.
+func (r *Reliable) Wrap(from, to event.ProcID, w protocol.Wire) Envelope {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ch := chanKey{from, to}
+	r.next[ch]++
+	env := Envelope{Src: from, Dst: to, Kind: Data, Seq: r.next[ch], Wire: w}
+	r.pending[pendKey{ch, env.Seq}] = &pendingTx{
+		env:      env,
+		deadline: time.Now().Add(r.cfg.RTO),
+	}
+	r.counts.Sent++
+	r.progress++
+	return env
+}
+
+// Ack processes an acknowledgement arriving back at the data sender,
+// cancelling its retransmission. Idempotent.
+func (r *Reliable) Ack(a Envelope) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.pending, pendKey{chanKey{a.Dst, a.Src}, a.Seq})
+	r.counts.AcksReceived++
+	r.progress++
+}
+
+// Accept runs receiver-side dedup on an arriving data envelope and
+// reports whether this is its first copy (deliver to the protocol) or
+// a duplicate (absorb). The caller acknowledges in both cases.
+func (r *Reliable) Accept(e Envelope) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ch := chanKey{e.Src, e.Dst}
+	s := r.seen[ch]
+	if s == nil {
+		s = make(map[uint64]struct{})
+		r.seen[ch] = s
+	}
+	if _, dup := s[e.Seq]; dup {
+		r.counts.DupsDropped++
+		r.progress++
+		return false
+	}
+	s[e.Seq] = struct{}{}
+	r.progress++
+	return true
+}
+
+// Pending returns the number of unacknowledged data envelopes.
+func (r *Reliable) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// Counters returns a snapshot of the sublayer's tallies.
+func (r *Reliable) Counters() Counters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts
+}
+
+// Progress returns a monotone counter that advances on every transport
+// event (send, retransmit, ack, accept, dup). The harness's stall
+// detector uses it to distinguish "still retransmitting" from
+// "deadlocked".
+func (r *Reliable) Progress() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.progress
+}
+
+// Close stops the retransmission loop and waits for it to exit.
+func (r *Reliable) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+// loop scans pending envelopes and resends overdue ones with
+// exponential backoff.
+func (r *Reliable) loop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.Tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case now := <-t.C:
+			var due []Envelope
+			r.mu.Lock()
+			for _, p := range r.pending {
+				if now.After(p.deadline) {
+					p.attempt++
+					p.env.Attempt = p.attempt
+					p.deadline = now.Add(r.rto(p.attempt))
+					r.counts.Retransmits++
+					r.progress++
+					due = append(due, p.env)
+				}
+			}
+			r.mu.Unlock()
+			// Resend outside the lock: the network injection path may
+			// block until the adversary picks the envelope up.
+			for _, e := range due {
+				r.send(e)
+			}
+		}
+	}
+}
+
+// rto returns the backoff for the given retransmission attempt.
+func (r *Reliable) rto(attempt int) time.Duration {
+	d := r.cfg.RTO
+	for i := 0; i < attempt && d < r.cfg.MaxRTO; i++ {
+		d *= 2
+	}
+	if d > r.cfg.MaxRTO {
+		d = r.cfg.MaxRTO
+	}
+	return d
+}

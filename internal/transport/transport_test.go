@@ -1,0 +1,272 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+)
+
+func noSend(Envelope) {}
+
+func wire(msg event.MsgID) protocol.Wire {
+	return protocol.Wire{Kind: protocol.UserWire, Msg: msg}
+}
+
+func TestWrapSequencesPerChannel(t *testing.T) {
+	r := NewReliable(Config{}, noSend)
+	defer r.Close()
+	a := r.Wrap(0, 1, wire(0))
+	b := r.Wrap(0, 1, wire(1))
+	c := r.Wrap(1, 0, wire(2))
+	if a.Seq != 1 || b.Seq != 2 {
+		t.Fatalf("channel 0->1 seqs = %d, %d, want 1, 2", a.Seq, b.Seq)
+	}
+	if c.Seq != 1 {
+		t.Fatalf("channel 1->0 starts at %d, want 1", c.Seq)
+	}
+	if a.Kind != Data || a.Src != 0 || a.Dst != 1 {
+		t.Fatalf("envelope = %+v", a)
+	}
+	if r.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", r.Pending())
+	}
+}
+
+func TestAcceptDedups(t *testing.T) {
+	r := NewReliable(Config{}, noSend)
+	defer r.Close()
+	e := r.Wrap(0, 1, wire(0))
+	if !r.Accept(e) {
+		t.Fatal("first copy must be fresh")
+	}
+	if r.Accept(e) {
+		t.Fatal("second copy must be absorbed")
+	}
+	if r.Accept(e) {
+		t.Fatal("third copy must be absorbed")
+	}
+	if c := r.Counters(); c.DupsDropped != 2 || c.Sent != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	// Same seq on the reverse channel is a different envelope.
+	rev := r.Wrap(1, 0, wire(1))
+	if !r.Accept(rev) {
+		t.Fatal("reverse-channel envelope must be fresh")
+	}
+}
+
+func TestAckClearsPending(t *testing.T) {
+	r := NewReliable(Config{}, noSend)
+	defer r.Close()
+	e := r.Wrap(0, 1, wire(0))
+	ack := AckFor(e)
+	if ack.Src != 1 || ack.Dst != 0 || ack.Seq != e.Seq || ack.Kind != Ack {
+		t.Fatalf("ack = %+v", ack)
+	}
+	r.Ack(ack)
+	if r.Pending() != 0 {
+		t.Fatalf("pending = %d after ack", r.Pending())
+	}
+	r.Ack(ack) // idempotent
+	if c := r.Counters(); c.AcksReceived != 2 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestRetransmitsUntilAcked(t *testing.T) {
+	sent := make(chan Envelope, 64)
+	r := NewReliable(
+		Config{RTO: 2 * time.Millisecond, MaxRTO: 8 * time.Millisecond, Tick: 500 * time.Microsecond},
+		func(e Envelope) { sent <- e },
+	)
+	defer r.Close()
+	e := r.Wrap(0, 1, wire(0))
+
+	// Unacked: at least two retransmissions must fire.
+	deadline := time.After(2 * time.Second)
+	for i := 0; i < 2; i++ {
+		select {
+		case re := <-sent:
+			if re.Seq != e.Seq || re.Attempt == 0 {
+				t.Fatalf("resend = %+v", re)
+			}
+		case <-deadline:
+			t.Fatal("no retransmission within 2s")
+		}
+	}
+	if c := r.Counters(); c.Retransmits < 2 {
+		t.Fatalf("retransmits = %d, want >= 2", c.Retransmits)
+	}
+
+	// Acked: retransmissions stop (allow one already in flight).
+	r.Ack(AckFor(e))
+	drainUntilQuiet(t, sent, 50*time.Millisecond)
+	if r.Pending() != 0 {
+		t.Fatalf("pending = %d after ack", r.Pending())
+	}
+}
+
+// drainUntilQuiet consumes envelopes until none arrive for the window.
+func drainUntilQuiet(t *testing.T, ch <-chan Envelope, quiet time.Duration) {
+	t.Helper()
+	for {
+		select {
+		case <-ch:
+		case <-time.After(quiet):
+			return
+		}
+	}
+}
+
+func TestBackoffIsCapped(t *testing.T) {
+	r := NewReliable(Config{RTO: 3 * time.Millisecond, MaxRTO: 12 * time.Millisecond}, noSend)
+	defer r.Close()
+	prev := time.Duration(0)
+	for attempt := 0; attempt < 10; attempt++ {
+		d := r.rto(attempt)
+		if d < prev {
+			t.Fatalf("rto(%d) = %v shrank below rto of previous attempt %v", attempt, d, prev)
+		}
+		if d > 12*time.Millisecond {
+			t.Fatalf("rto(%d) = %v exceeds cap", attempt, d)
+		}
+		prev = d
+	}
+	if r.rto(10) != 12*time.Millisecond {
+		t.Fatalf("rto(10) = %v, want cap", r.rto(10))
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	plan := FaultPlan{DropRate: 0.3, DupRate: 0.2, DelayJitter: 0.1, Seed: 42}
+	a, b := NewInjector(plan), NewInjector(plan)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Decide(0, 1), b.Decide(0, 1); got != want {
+			t.Fatalf("decision %d diverged: %v vs %v", i, got, want)
+		}
+	}
+	if a.Counters() != b.Counters() {
+		t.Fatalf("counters diverged: %+v vs %+v", a.Counters(), b.Counters())
+	}
+}
+
+func TestInjectorRates(t *testing.T) {
+	in := NewInjector(FaultPlan{DropRate: 0.2, DupRate: 0.1, DelayJitter: 0.1, Seed: 7})
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		in.Decide(0, 1)
+	}
+	c := in.Counters()
+	approx := func(name string, got int, want float64) {
+		t.Helper()
+		rate := float64(got) / trials
+		if rate < want-0.02 || rate > want+0.02 {
+			t.Fatalf("%s rate = %.3f, want %.2f +/- 0.02", name, rate, want)
+		}
+	}
+	approx("drop", c.Drops, 0.2)
+	approx("dup", c.Dups, 0.1)
+	approx("delay", c.Delays, 0.1)
+	if c.PartitionDrops != 0 {
+		t.Fatalf("partition drops = %d without partitions", c.PartitionDrops)
+	}
+}
+
+func TestInjectorClampsOverfullPlans(t *testing.T) {
+	// Drop+dup+delay sums to 2.4: the injector must scale the rates so
+	// some transmissions still get through.
+	in := NewInjector(FaultPlan{DropRate: 0.8, DupRate: 0.8, DelayJitter: 0.8, Seed: 3})
+	delivered := 0
+	for i := 0; i < 2000; i++ {
+		if in.Decide(0, 1) == Deliver {
+			delivered++
+		}
+	}
+	if delivered < 50 {
+		t.Fatalf("only %d/2000 delivered; clamping failed", delivered)
+	}
+}
+
+func TestPartitionDropsUntilHealed(t *testing.T) {
+	in := NewInjector(FaultPlan{
+		Partitions: []Partition{{A: []event.ProcID{0}, B: []event.ProcID{1, 2}, Heal: 5}},
+		Seed:       1,
+	})
+	// Crossing transmissions (both directions) are dropped until the
+	// budget runs out.
+	for i := 0; i < 5; i++ {
+		from, to := event.ProcID(0), event.ProcID(1+i%2)
+		if i%2 == 1 {
+			from, to = to, from
+		}
+		if act := in.Decide(from, to); act != Drop {
+			t.Fatalf("crossing transmission %d: %v, want Drop", i, act)
+		}
+	}
+	if act := in.Decide(0, 1); act != Deliver {
+		t.Fatalf("after heal: %v, want Deliver", act)
+	}
+	// Non-crossing traffic was never affected.
+	if act := in.Decide(1, 2); act != Deliver {
+		t.Fatalf("intra-side transmission: %v, want Deliver", act)
+	}
+	if c := in.Counters(); c.PartitionDrops != 5 {
+		t.Fatalf("partition drops = %d, want 5", c.PartitionDrops)
+	}
+}
+
+// TestConcurrentTransportOps exercises the reliable sublayer from many
+// goroutines for the race detector.
+func TestConcurrentTransportOps(t *testing.T) {
+	r := NewReliable(Config{RTO: time.Millisecond, Tick: 500 * time.Microsecond}, noSend)
+	defer r.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			from := event.ProcID(g % 4)
+			to := event.ProcID((g + 1) % 4)
+			for i := 0; i < 200; i++ {
+				e := r.Wrap(from, to, wire(event.MsgID(i)))
+				r.Accept(e)
+				r.Accept(e)
+				r.Ack(AckFor(e))
+				r.Counters()
+				r.Pending()
+				r.Progress()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Pending() != 0 {
+		t.Fatalf("pending = %d after acking everything", r.Pending())
+	}
+	c := r.Counters()
+	if c.Sent != 1600 || c.DupsDropped != 1600 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestProgressAdvancesOnTransportEvents(t *testing.T) {
+	r := NewReliable(Config{}, noSend)
+	defer r.Close()
+	p0 := r.Progress()
+	e := r.Wrap(0, 1, wire(0))
+	if r.Progress() <= p0 {
+		t.Fatal("Wrap must advance progress")
+	}
+	p1 := r.Progress()
+	r.Accept(e)
+	if r.Progress() <= p1 {
+		t.Fatal("Accept must advance progress")
+	}
+	p2 := r.Progress()
+	r.Ack(AckFor(e))
+	if r.Progress() <= p2 {
+		t.Fatal("Ack must advance progress")
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"msgorder/internal/spec"
 	"msgorder/internal/synth"
 	"msgorder/internal/trace"
+	"msgorder/internal/transport"
 	"msgorder/internal/universe"
 	"msgorder/internal/userview"
 )
@@ -195,6 +196,16 @@ type (
 	SimResult = dsim.Result
 	// Stats aggregates protocol overhead.
 	Stats = protocol.Stats
+	// FaultPlan configures lossy-network fault injection for Simulate
+	// (set SimConfig.Faults): seeded drop/duplicate/delay rates and
+	// healing partitions. The reliable transport sublayer keeps the
+	// protocols on the paper's channel model regardless.
+	FaultPlan = transport.FaultPlan
+	// FaultPartition is a temporary network cut inside a FaultPlan.
+	FaultPartition = transport.Partition
+	// FaultCell is one cell of a FaultSweep: plan, runs, violations and
+	// summed statistics.
+	FaultCell = conformance.FaultCell
 )
 
 // Protocols returns the built-in protocol registry: name -> maker.
@@ -213,9 +224,18 @@ func Protocols() map[string]ProtocolMaker {
 	}
 }
 
-// Simulate runs one deterministic workload and returns the recorded run,
-// statistics and liveness report.
+// Simulate runs one workload and returns the recorded run, statistics
+// and liveness report. With cfg.Faults nil it uses the deterministic
+// simulator; with a FaultPlan it runs on the live harness over a lossy
+// network with reliable-transport recovery.
 func Simulate(cfg SimConfig) (*SimResult, error) { return conformance.Run(cfg) }
+
+// FaultSweep runs the workload under each fault plan (live harness),
+// checking every run against pred (nil skips checking), and returns one
+// cell per plan. See conformance.FaultMatrix.
+func FaultSweep(cfg SimConfig, plans []FaultPlan, seeds int, pred *Predicate) ([]FaultCell, error) {
+	return conformance.FaultMatrix(cfg, plans, seeds, pred)
+}
 
 // ExploreConfig drives exhaustive schedule exploration: the workload is
 // replayed under every possible network arrival order (small-scope model

@@ -112,6 +112,41 @@ func TestSimulateAllProtocols(t *testing.T) {
 	}
 }
 
+func TestSimulateWithFaults(t *testing.T) {
+	res, err := Simulate(SimConfig{
+		Maker:       Protocols()["causal-rst"],
+		Seed:        2,
+		InitialMsgs: 20,
+		Faults:      &FaultPlan{DropRate: 0.2, DupRate: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.View.IsComplete() {
+		t.Fatal("lossy run incomplete")
+	}
+	if res.Stats.Retransmits == 0 || res.Stats.FaultsInjected == 0 {
+		t.Fatalf("transport stats not surfaced: %+v", res.Stats)
+	}
+}
+
+func TestFaultSweepExported(t *testing.T) {
+	fifoPred, ok := CatalogByName("fifo")
+	if !ok {
+		t.Fatal("fifo spec missing from catalog")
+	}
+	cells, err := FaultSweep(
+		SimConfig{Maker: Protocols()["fifo"], Procs: 2, InitialMsgs: 10},
+		[]FaultPlan{{DropRate: 0.25}},
+		2, fifoPred.Pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Runs != 2 || cells[0].Violations != 0 {
+		t.Fatalf("cells = %+v", cells)
+	}
+}
+
 func TestEncodeDecodeRun(t *testing.T) {
 	res, err := Simulate(SimConfig{Maker: Protocols()["fifo"], Seed: 1, InitialMsgs: 5})
 	if err != nil {

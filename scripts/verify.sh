@@ -47,4 +47,13 @@ done
 echo "== go test =="
 go test ./...
 
+echo "== go test -race (concurrency gate) =="
+# The live harness and transport sublayer are the concurrent core; run
+# their suites (plus the facade) under the race detector.
+go test -race ./internal/sim/... ./internal/transport/... ./internal/conformance/... .
+
+echo "== fault-matrix smoke (short mode) =="
+# A quick seeded-loss pass over the fault-injection paths.
+go test -short -run 'Fault|Lossy|Partition' ./internal/sim/... ./internal/conformance/...
+
 echo "verify: OK"
