@@ -380,5 +380,31 @@ func BenchmarkExplore(b *testing.B) {
 		sequential.Workers = 1
 		b.Run(w.name+"/sequential", func(b *testing.B) { benchExplore(b, sequential) })
 		b.Run(w.name+"/deduped", func(b *testing.B) { benchExplore(b, w.cfg) })
+		// The instrumented variant quantifies tracing overhead against
+		// /deduped — the nil-tracer fast path must keep the uninstrumented
+		// runs above within noise of their pre-observability cost.
+		b.Run(w.name+"/traced", func(b *testing.B) { benchExploreTraced(b, w.cfg) })
 	}
+}
+
+func benchExploreTraced(b *testing.B, cfg dsim.ExploreConfig) {
+	b.ReportAllocs()
+	var records int
+	for i := 0; i < b.N; i++ {
+		col := NewTraceCollector()
+		cfg.Tracer = col
+		cfg.Metrics = NewMetricsRegistry()
+		st, err := dsim.ExploreWithStats(cfg, func(*dsim.Result) bool { return true })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Schedules == 0 {
+			b.Fatal("no schedules explored")
+		}
+		if col.Len() == 0 {
+			b.Fatal("traced exploration emitted no records")
+		}
+		records = col.Len()
+	}
+	b.ReportMetric(float64(records), "records/op")
 }

@@ -9,12 +9,24 @@
 //	mobench scaling     # E2: classifier cost vs predicate size
 //	mobench discussion  # E3: the §5 discussion specifications
 //	mobench faults      # E9: protocols on a lossy network (fault matrix)
-//	mobench all         # everything
+//	mobench trace       # E10: instrumented run -> Chrome trace JSON (Perfetto)
+//	mobench bench       # write BENCH_explore.json / BENCH_faults.json
+//	mobench all         # every table experiment
+//
+// Global flags (before the subcommand):
+//
+//	-json          emit machine-readable JSON instead of tables
+//	               (explore, overhead, scaling, faults)
+//	-cpuprofile f  write a CPU profile to f
+//	-memprofile f  write a heap profile to f on exit
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -48,25 +60,69 @@ func main() {
 	}
 }
 
+// options are the global flags shared by all subcommands.
+type options struct {
+	json       bool
+	cpuprofile string
+	memprofile string
+}
+
 func run(args []string) error {
+	fs := flag.NewFlagSet("mobench", flag.ContinueOnError)
+	var opt options
+	fs.BoolVar(&opt.json, "json", false, "emit JSON instead of tables (explore, overhead, scaling, faults)")
+	fs.StringVar(&opt.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&opt.memprofile, "memprofile", "", "write a heap profile to this file on exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	args = fs.Args()
 	if len(args) == 0 {
 		args = []string{"all"}
 	}
+
+	if opt.cpuprofile != "" {
+		f, err := os.Create(opt.cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if opt.memprofile != "" {
+		defer func() {
+			f, err := os.Create(opt.memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mobench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mobench: memprofile:", err)
+			}
+		}()
+	}
+
 	cmds := map[string]func() error{
 		"table1":     table1,
 		"lemma3":     lemma3,
 		"protocols":  protocols,
-		"explore":    explore,
-		"overhead":   overhead,
+		"explore":    func() error { return explore(opt.json) },
+		"overhead":   func() error { return overhead(opt.json) },
 		"broadcast":  broadcastBench,
-		"scaling":    scaling,
+		"scaling":    func() error { return scaling(opt.json) },
 		"discussion": discussion,
 		"inhibitory": inhibitory,
 		"synthesis":  synthesis,
 		"lattice":    latticeBench,
-		"faults":     faults,
+		"faults":     func() error { return faults(opt.json) },
 	}
-	if args[0] == "all" {
+	switch args[0] {
+	case "all":
 		for _, name := range []string{
 			"table1", "lemma3", "protocols", "explore", "overhead",
 			"broadcast", "scaling", "discussion", "inhibitory", "synthesis",
@@ -78,6 +134,10 @@ func run(args []string) error {
 			fmt.Println()
 		}
 		return nil
+	case "trace":
+		return traceCmd(args[1:])
+	case "bench":
+		return benchCmd(args[1:])
 	}
 	fn, ok := cmds[args[0]]
 	if !ok {
@@ -274,20 +334,27 @@ func protocols() error {
 	return nil
 }
 
-// explore upgrades the seed-based matrix to small-scope model checking:
-// the triangle workload (two sends from P0, a relay from P1 to P2) is
-// replayed under EVERY network arrival order. The "orders" column is the
-// legacy sequential enumeration (Workers: 1); the remaining columns come
-// from the default deduplicating search, which covers the same ground in
-// "states" distinct final states.
-func explore() error {
-	fmt.Println("== T3b: exhaustive schedule exploration — triangle workload, every arrival order ==")
-	specs := []string{"fifo", "causal-b2"}
-	fmt.Printf("%-12s %-7s %-7s %-8s %-7s %-10s", "protocol", "orders", "states", "replays", "pruned", "time")
-	for _, s := range specs {
-		fmt.Printf(" %-14s", s)
+// exploreRow is one protocol's result in the exhaustive-exploration
+// experiment, in both table and -json form.
+type exploreRow struct {
+	Protocol   string         `json:"protocol"`
+	Orders     int            `json:"orders"`
+	Schedules  int            `json:"schedules"`
+	Replays    int            `json:"replays"`
+	Pruned     int            `json:"pruned"`
+	ElapsedUS  int64          `json:"elapsed_us"`
+	Violations map[string]int `json:"violations"`
+}
+
+// exploreData runs the triangle workload under every arrival order for
+// each catalog protocol and returns one row per protocol.
+func exploreData(specs []string) ([]exploreRow, error) {
+	preds := make([]*predicate.Predicate, len(specs))
+	for i, s := range specs {
+		e, _ := catalog.ByName(s)
+		preds[i] = e.Pred
 	}
-	fmt.Println()
+	var rows []exploreRow
 	for _, p := range protocolList() {
 		cfg := dsim.ExploreConfig{
 			Procs: 3,
@@ -311,17 +378,10 @@ func explore() error {
 		seq.Workers = 1
 		orders, err := dsim.Explore(seq, func(*dsim.Result) bool { return true })
 		if err != nil {
-			return fmt.Errorf("%s: %w", p.name, err)
+			return nil, fmt.Errorf("%s: %w", p.name, err)
 		}
 		counts := make([]int, len(specs))
-		var total int
-		preds := make([]*predicate.Predicate, len(specs))
-		for i, s := range specs {
-			e, _ := catalog.ByName(s)
-			preds[i] = e.Pred
-		}
 		st, err := dsim.ExploreWithStats(cfg, func(res *dsim.Result) bool {
-			total++
 			for i, pr := range preds {
 				if _, bad := check.FindViolation(res.View, pr); bad {
 					counts[i]++
@@ -330,15 +390,55 @@ func explore() error {
 			return true
 		})
 		if err != nil {
-			return fmt.Errorf("%s: %w", p.name, err)
+			return nil, fmt.Errorf("%s: %w", p.name, err)
 		}
-		fmt.Printf("%-12s %-7d %-7d %-8d %-7d %-10s", p.name, orders, st.Schedules,
-			st.Replays, st.DedupHits+st.SleepHits, st.Elapsed.Round(10*time.Microsecond))
-		for _, c := range counts {
-			if c == 0 {
+		row := exploreRow{
+			Protocol:   p.name,
+			Orders:     orders,
+			Schedules:  st.Schedules,
+			Replays:    st.Replays,
+			Pruned:     st.DedupHits + st.SleepHits,
+			ElapsedUS:  st.Elapsed.Microseconds(),
+			Violations: make(map[string]int, len(specs)),
+		}
+		for i, s := range specs {
+			row.Violations[s] = counts[i]
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// explore upgrades the seed-based matrix to small-scope model checking:
+// the triangle workload (two sends from P0, a relay from P1 to P2) is
+// replayed under EVERY network arrival order. The "orders" column is the
+// legacy sequential enumeration (Workers: 1); the remaining columns come
+// from the default deduplicating search, which covers the same ground in
+// "states" distinct final states.
+func explore(jsonOut bool) error {
+	specs := []string{"fifo", "causal-b2"}
+	rows, err := exploreData(specs)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return printJSON(os.Stdout, rows)
+	}
+	fmt.Println("== T3b: exhaustive schedule exploration — triangle workload, every arrival order ==")
+	fmt.Printf("%-12s %-7s %-7s %-8s %-7s %-10s", "protocol", "orders", "states", "replays", "pruned", "time")
+	for _, s := range specs {
+		fmt.Printf(" %-14s", s)
+	}
+	fmt.Println()
+	for _, row := range rows {
+		fmt.Printf("%-12s %-7d %-7d %-8d %-7d %-10s", row.Protocol, row.Orders, row.Schedules,
+			row.Replays, row.Pruned,
+			(time.Duration(row.ElapsedUS) * time.Microsecond).Round(10*time.Microsecond))
+		for _, s := range specs {
+			if c := row.Violations[s]; c == 0 {
 				fmt.Printf(" %-14s", "safe(all)")
 			} else {
-				fmt.Printf(" %-14s", fmt.Sprintf("viol %d/%d", c, total))
+				fmt.Printf(" %-14s", fmt.Sprintf("viol %d/%d", c, row.Schedules))
 			}
 		}
 		fmt.Println()
@@ -349,12 +449,20 @@ func explore() error {
 	return nil
 }
 
-// overhead measures protocol cost: piggyback bytes, control messages,
-// simulated latency.
-func overhead() error {
-	fmt.Println("== E1: protocol overhead by system size (20 initial + 20 chained messages, mean of 10 seeds) ==")
-	fmt.Printf("%-12s %-6s %-14s %-14s %-12s %-10s\n",
-		"protocol", "procs", "tagB/msg", "ctrl/msg", "steps", "simTime")
+// overheadRow is one (protocol, system size) cell of the overhead
+// experiment, averaged over seeds.
+type overheadRow struct {
+	Protocol       string  `json:"protocol"`
+	Procs          int     `json:"procs"`
+	TagBytesPerMsg float64 `json:"tag_bytes_per_msg"`
+	CtrlPerMsg     float64 `json:"ctrl_per_msg"`
+	Steps          float64 `json:"steps"`
+	SimTime        float64 `json:"sim_time"`
+}
+
+// overheadData measures protocol cost for every (protocol, procs) pair.
+func overheadData() ([]overheadRow, error) {
+	var rows []overheadRow
 	for _, p := range protocolList() {
 		for _, procs := range []int{2, 4, 8} {
 			var tagB, ctrl, steps, simTime float64
@@ -369,16 +477,42 @@ func overhead() error {
 					Seed:        seed,
 				})
 				if err != nil {
-					return fmt.Errorf("%s procs=%d seed=%d: %w", p.name, procs, seed, err)
+					return nil, fmt.Errorf("%s procs=%d seed=%d: %w", p.name, procs, seed, err)
 				}
 				tagB += res.Stats.TagBytesPerUser()
 				ctrl += res.Stats.ControlPerUser()
 				steps += float64(res.Steps)
 				simTime += float64(res.EndTime)
 			}
-			fmt.Printf("%-12s %-6d %-14.1f %-14.2f %-12.0f %-10.0f\n",
-				p.name, procs, tagB/seeds, ctrl/seeds, steps/seeds, simTime/seeds)
+			rows = append(rows, overheadRow{
+				Protocol:       p.name,
+				Procs:          procs,
+				TagBytesPerMsg: tagB / seeds,
+				CtrlPerMsg:     ctrl / seeds,
+				Steps:          steps / seeds,
+				SimTime:        simTime / seeds,
+			})
 		}
+	}
+	return rows, nil
+}
+
+// overhead measures protocol cost: piggyback bytes, control messages,
+// simulated latency.
+func overhead(jsonOut bool) error {
+	rows, err := overheadData()
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return printJSON(os.Stdout, rows)
+	}
+	fmt.Println("== E1: protocol overhead by system size (20 initial + 20 chained messages, mean of 10 seeds) ==")
+	fmt.Printf("%-12s %-6s %-14s %-14s %-12s %-10s\n",
+		"protocol", "procs", "tagB/msg", "ctrl/msg", "steps", "simTime")
+	for _, row := range rows {
+		fmt.Printf("%-12s %-6d %-14.1f %-14.2f %-12.0f %-10.0f\n",
+			row.Protocol, row.Procs, row.TagBytesPerMsg, row.CtrlPerMsg, row.Steps, row.SimTime)
 	}
 	fmt.Println("expected shape: tag bytes grow ~n² for causal-rst, sublinearly for causal-ses;")
 	fmt.Println("only sync pays control messages (3/msg) and its latency dominates (serialization).")
@@ -430,13 +564,21 @@ func broadcastBench() error {
 	return nil
 }
 
+// scalingRow is one predicate graph's timing in the classifier-scaling
+// experiment.
+type scalingRow struct {
+	Graph        string `json:"graph"`
+	Edges        int    `json:"edges"`
+	FastUS       int64  `json:"fast_us"`
+	ExhaustiveUS int64  `json:"exhaustive_us"`
+}
+
 // scaling measures classifier cost against predicate size. Crowns have a
 // single simple cycle (enumeration is trivial); dense all-β graphs have
 // exponentially many, which is where the polynomial walk-based minimum
 // pays off (DESIGN.md ablation 1).
-func scaling() error {
-	fmt.Println("== E2: classifier scaling — fast (0-1 BFS) vs exhaustive cycle enumeration ==")
-	fmt.Printf("%-12s %-10s %-14s %-14s\n", "graph", "edges", "fast(µs)", "exhaustive(µs)")
+func scaling(jsonOut bool) error {
+	var rows []scalingRow
 	measure := func(name string, p *predicate.Predicate, reps int) error {
 		g := pgraph.New(p)
 		start := time.Now()
@@ -453,7 +595,7 @@ func scaling() error {
 			}
 		}
 		exh := time.Since(start).Microseconds() / int64(reps)
-		fmt.Printf("%-12s %-10d %-14d %-14d\n", name, g.NumEdges(), fast, exh)
+		rows = append(rows, scalingRow{Graph: name, Edges: g.NumEdges(), FastUS: fast, ExhaustiveUS: exh})
 		return nil
 	}
 	for _, k := range []int{2, 8, 32, 64} {
@@ -485,6 +627,14 @@ func scaling() error {
 		if err := measure(fmt.Sprintf("dense-K%d", n), dense(n), 3); err != nil {
 			return err
 		}
+	}
+	if jsonOut {
+		return printJSON(os.Stdout, rows)
+	}
+	fmt.Println("== E2: classifier scaling — fast (0-1 BFS) vs exhaustive cycle enumeration ==")
+	fmt.Printf("%-12s %-10s %-14s %-14s\n", "graph", "edges", "fast(µs)", "exhaustive(µs)")
+	for _, row := range rows {
+		fmt.Printf("%-12s %-10d %-14d %-14d\n", row.Graph, row.Edges, row.FastUS, row.ExhaustiveUS)
 	}
 	fmt.Println("expected shape: exhaustive wins on single-cycle crowns; the walk-based")
 	fmt.Println("minimum wins as the simple-cycle count explodes on dense graphs.")
@@ -589,12 +739,25 @@ func latticeBench() error {
 	return nil
 }
 
-// faults runs the protocol catalog over a lossy live network: the
-// reliable transport sublayer must preserve every specification while
-// the fault injector drops, duplicates and partitions transmissions.
-func faults() error {
-	fmt.Println("== E9: lossy network fault matrix — live harness with reliable transport ==")
-	fmt.Println("cell: retransmits / dups dropped / faults injected, summed over seeds; 'viol' flags spec violations")
+// faultCell is one (protocol, fault plan) cell of the fault matrix,
+// summed over seeds.
+type faultCell struct {
+	Plan           string `json:"plan"`
+	Retransmits    int    `json:"retransmits"`
+	DupsDropped    int    `json:"dups_dropped"`
+	FaultsInjected int    `json:"faults_injected"`
+	Violations     int    `json:"violations"`
+}
+
+// faultsRow is one protocol's row of the fault matrix.
+type faultsRow struct {
+	Protocol string      `json:"protocol"`
+	Spec     string      `json:"spec"`
+	Cells    []faultCell `json:"cells"`
+}
+
+// faultsData runs the protocol catalog over every fault plan.
+func faultsData() ([]faultsRow, error) {
 	plans := []struct {
 		name string
 		plan transport.FaultPlan
@@ -619,11 +782,7 @@ func faults() error {
 		{"sync-ra", syncproto.RAMaker, "sync-2"},
 	}
 	const seeds = 3
-	fmt.Printf("%-12s", "protocol")
-	for _, p := range plans {
-		fmt.Printf(" %-22s", p.name)
-	}
-	fmt.Println(" spec")
+	var rows []faultsRow
 	for _, c := range cases {
 		cfg := conformance.Config{
 			Maker:       c.maker,
@@ -644,17 +803,53 @@ func faults() error {
 		}
 		cells, err := conformance.FaultMatrix(cfg, planList, seeds, pred)
 		if err != nil {
-			return fmt.Errorf("%s: %w", c.name, err)
+			return nil, fmt.Errorf("%s: %w", c.name, err)
 		}
-		fmt.Printf("%-12s", c.name)
-		for _, cell := range cells {
-			s := fmt.Sprintf("%d/%d/%d", cell.Stats.Retransmits, cell.Stats.DupsDropped, cell.Stats.FaultsInjected)
+		row := faultsRow{Protocol: c.name, Spec: specName}
+		for i, cell := range cells {
+			row.Cells = append(row.Cells, faultCell{
+				Plan:           plans[i].name,
+				Retransmits:    cell.Stats.Retransmits,
+				DupsDropped:    cell.Stats.DupsDropped,
+				FaultsInjected: cell.Stats.FaultsInjected,
+				Violations:     cell.Violations,
+			})
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// faults runs the protocol catalog over a lossy live network: the
+// reliable transport sublayer must preserve every specification while
+// the fault injector drops, duplicates and partitions transmissions.
+func faults(jsonOut bool) error {
+	rows, err := faultsData()
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return printJSON(os.Stdout, rows)
+	}
+	fmt.Println("== E9: lossy network fault matrix — live harness with reliable transport ==")
+	fmt.Println("cell: retransmits / dups dropped / faults injected, summed over seeds; 'viol' flags spec violations")
+	fmt.Printf("%-12s", "protocol")
+	if len(rows) > 0 {
+		for _, cell := range rows[0].Cells {
+			fmt.Printf(" %-22s", cell.Plan)
+		}
+	}
+	fmt.Println(" spec")
+	for _, row := range rows {
+		fmt.Printf("%-12s", row.Protocol)
+		for _, cell := range row.Cells {
+			s := fmt.Sprintf("%d/%d/%d", cell.Retransmits, cell.DupsDropped, cell.FaultsInjected)
 			if cell.Violations > 0 {
 				s += fmt.Sprintf(" viol:%d", cell.Violations)
 			}
 			fmt.Printf(" %-22s", s)
 		}
-		fmt.Printf(" %s\n", specName)
+		fmt.Printf(" %s\n", row.Spec)
 	}
 	fmt.Println("expected shape: every cell is violation-free — the transport restores the")
 	fmt.Println("paper's reliable-channel axioms, so each protocol's guarantees survive the")

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"msgorder/internal/obs"
+)
 
 // The experiments print to stdout; these smoke tests assert they run to
 // completion without error (their content is asserted by the library
@@ -43,7 +50,7 @@ func TestExploreExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("schedule enumeration")
 	}
-	if err := explore(); err != nil {
+	if err := explore(false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -52,7 +59,7 @@ func TestFaultsExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("live lossy-network sweep")
 	}
-	if err := faults(); err != nil {
+	if err := faults(false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -60,5 +67,79 @@ func TestFaultsExperiment(t *testing.T) {
 func TestUnknownExperiment(t *testing.T) {
 	if err := run([]string{"nope"}); err == nil {
 		t.Fatal("unknown experiment must fail")
+	}
+}
+
+// TestTraceCmd drives the trace subcommand end to end on both harness
+// backends and re-validates the emitted Chrome trace.
+func TestTraceCmd(t *testing.T) {
+	for _, lossy := range []bool{false, true} {
+		name := "deterministic"
+		args := []string{"-proto", "causal-rst", "-validate"}
+		if lossy {
+			name = "lossy"
+			args = append(args, "-lossy")
+		}
+		t.Run(name, func(t *testing.T) {
+			out := filepath.Join(t.TempDir(), "trace.json")
+			if err := traceCmd(append(args, "-o", out)); err != nil {
+				t.Fatal(err)
+			}
+			data, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := obs.ValidateChromeTrace(data); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestTraceCmdNDJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.ndjson")
+	if err := traceCmd([]string{"-format", "ndjson", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("ndjson trace is empty")
+	}
+}
+
+func TestTraceCmdRejectsBadFlags(t *testing.T) {
+	if err := traceCmd([]string{"-format", "xml"}); err == nil {
+		t.Fatal("bad format must fail")
+	}
+	if err := traceCmd([]string{"-proto", "nope", "-o", "-"}); err == nil {
+		t.Fatal("unknown protocol must fail")
+	}
+}
+
+// TestBenchCmd writes the BENCH_*.json snapshots into a temp dir and
+// checks they parse.
+func TestBenchCmd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("schedule enumeration + lossy sweep")
+	}
+	dir := t.TempDir()
+	if err := benchCmd([]string{"-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"BENCH_explore.json", "BENCH_faults.json"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bf benchFile
+		if err := json.Unmarshal(data, &bf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if bf.Experiment == "" || bf.Rows == nil {
+			t.Fatalf("%s: incomplete envelope %+v", name, bf)
+		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"msgorder/internal/check"
 	"msgorder/internal/dsim"
 	"msgorder/internal/event"
+	"msgorder/internal/obs"
 	"msgorder/internal/predicate"
 	"msgorder/internal/protocol"
 	"msgorder/internal/sim"
@@ -59,6 +60,24 @@ type Config struct {
 	// seeded but not bit-reproducible (goroutine interleaving); leave
 	// Faults nil for byte-identical deterministic runs.
 	Faults *transport.FaultPlan
+	// Tracer, when non-nil, receives the run's causally stamped trace
+	// records (both harness backends honor it).
+	Tracer obs.Tracer
+	// Metrics, when non-nil, receives the run's inhibition/latency
+	// distributions (and transport/stall metrics on live runs).
+	Metrics *obs.Registry
+}
+
+// WithTracer returns a copy of the config with the tracer attached.
+func (c Config) WithTracer(t obs.Tracer) Config {
+	c.Tracer = t
+	return c
+}
+
+// WithMetrics returns a copy of the config with the registry attached.
+func (c Config) WithMetrics(m *obs.Registry) Config {
+	c.Metrics = m
+	return c
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +169,12 @@ func Run(cfg Config) (*dsim.Result, error) {
 	if cfg.FIFONet {
 		opts = append(opts, dsim.WithFIFONetwork())
 	}
+	if cfg.Tracer != nil {
+		opts = append(opts, dsim.WithTracer(cfg.Tracer))
+	}
+	if cfg.Metrics != nil {
+		opts = append(opts, dsim.WithMetrics(cfg.Metrics))
+	}
 	s := dsim.New(cfg.Procs, cfg.Maker, opts...)
 	w := newWorkload(cfg)
 	s.OnDeliver(func(p event.ProcID, _ event.MsgID) []dsim.Request {
@@ -173,10 +198,17 @@ func runLive(cfg Config) (*dsim.Result, error) {
 	if plan.Seed == 0 {
 		plan.Seed = cfg.Seed*0x9e3779b9 + 101
 	}
-	nw := sim.New(cfg.Procs, cfg.Maker,
+	sopts := []sim.Option{
 		sim.WithSeed(cfg.Seed),
 		sim.WithFaults(plan),
-	)
+	}
+	if cfg.Tracer != nil {
+		sopts = append(sopts, sim.WithTracer(cfg.Tracer))
+	}
+	if cfg.Metrics != nil {
+		sopts = append(sopts, sim.WithMetrics(cfg.Metrics))
+	}
+	nw := sim.New(cfg.Procs, cfg.Maker, sopts...)
 	w := newWorkload(cfg)
 	nw.OnDeliver(func(p event.ProcID, _ event.MsgID) []sim.Request {
 		to, color, ok := w.chain(p)
@@ -325,6 +357,10 @@ type ExhaustiveConfig struct {
 	// Workers selects the search mode: 0 = parallel deduplicating
 	// search, 1 = legacy sequential enumeration (see dsim package docs).
 	Workers int
+	// Tracer and Metrics, when non-nil, receive the search's expansion
+	// records and depth/fanout distributions (see dsim.ExploreConfig).
+	Tracer  obs.Tracer
+	Metrics *obs.Registry
 }
 
 func (c ExhaustiveConfig) explore() dsim.ExploreConfig {
@@ -335,6 +371,8 @@ func (c ExhaustiveConfig) explore() dsim.ExploreConfig {
 		MakeHook: c.MakeHook,
 		MaxRuns:  c.MaxRuns,
 		Workers:  c.Workers,
+		Tracer:   c.Tracer,
+		Metrics:  c.Metrics,
 	}
 }
 

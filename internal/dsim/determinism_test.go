@@ -1,0 +1,107 @@
+package dsim
+
+import (
+	"testing"
+
+	"msgorder/internal/protocols/fifo"
+	"msgorder/internal/protocols/tagless"
+)
+
+// deterministicCases are workloads where no commutativity pruning can
+// fire — either a delivery hook disables sleep sets, or every arrival
+// targets the same process — so with NoDedup the parallel search must
+// visit exactly the schedules the legacy enumeration does.
+func deterministicCases() map[string]ExploreConfig {
+	return map[string]ExploreConfig{
+		"triangle-hooked": {Procs: 3, Maker: tagless.Maker,
+			Requests: []Request{{From: 0, To: 2}, {From: 0, To: 1}},
+			MakeHook: triangleHook},
+		"same-channel": {Procs: 2, Maker: fifo.Maker,
+			Requests: []Request{{From: 0, To: 1}, {From: 0, To: 1}, {From: 0, To: 1}}},
+	}
+}
+
+// TestCrossWorkerScheduleDeterminism pins the cross-worker contract of
+// ExploreStats: the completed-schedule count is a property of the
+// schedule tree, not of the worker interleaving, so Workers: 1 and
+// Workers: N with NoDedup agree exactly (on workloads where sleep-set
+// pruning cannot fire).
+func TestCrossWorkerScheduleDeterminism(t *testing.T) {
+	for name, cfg := range deterministicCases() {
+		t.Run(name, func(t *testing.T) {
+			serial := cfg
+			serial.Workers = 1
+			orders, err := Explore(serial, func(*Result) bool { return true })
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				par := cfg
+				par.Workers = workers
+				par.NoDedup = true
+				visited := 0
+				st, err := ExploreWithStats(par, func(*Result) bool {
+					visited++
+					return true
+				})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if st.Schedules != orders {
+					t.Fatalf("workers=%d: schedules=%d, sequential enumeration found %d",
+						workers, st.Schedules, orders)
+				}
+				if visited != st.Schedules {
+					t.Fatalf("workers=%d: visit called %d times, stats claim %d schedules",
+						workers, visited, st.Schedules)
+				}
+				if st.DedupHits != 0 {
+					t.Fatalf("workers=%d: dedup hits %d with NoDedup set", workers, st.DedupHits)
+				}
+			}
+		})
+	}
+}
+
+// TestExploreAccountingInvariant checks the replay ledger across modes
+// and worker counts: every frontier node processed is one replay, and
+// each replay ends as exactly one of a visited schedule, an expanded
+// interior state, or a dedup hit. Run under -race this also exercises
+// the stats mutex from many workers.
+func TestExploreAccountingInvariant(t *testing.T) {
+	workloads := deterministicCases()
+	workloads["crossing-hookfree"] = ExploreConfig{Procs: 3, Maker: tagless.Maker,
+		Requests: []Request{
+			{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2}, {From: 2, To: 1},
+		}}
+	for name, cfg := range workloads {
+		for _, mode := range []struct {
+			name    string
+			workers int
+			noDedup bool
+		}{
+			{"default", 0, false},
+			{"parallel-nodedup", 4, true},
+			{"two-workers-dedup", 2, false},
+		} {
+			c := cfg
+			c.Workers = mode.workers
+			c.NoDedup = mode.noDedup
+			st, err := ExploreWithStats(c, func(*Result) bool { return true })
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, mode.name, err)
+			}
+			if st.Replays != st.Schedules+st.States+st.DedupHits {
+				t.Errorf("%s/%s: replays=%d, want schedules+states+dedup = %d+%d+%d = %d",
+					name, mode.name, st.Replays, st.Schedules, st.States, st.DedupHits,
+					st.Schedules+st.States+st.DedupHits)
+			}
+			if mode.noDedup && st.DedupHits != 0 {
+				t.Errorf("%s/%s: dedup hits %d with NoDedup set", name, mode.name, st.DedupHits)
+			}
+			if st.Schedules <= 0 || st.Replays <= 0 {
+				t.Errorf("%s/%s: degenerate stats %+v", name, mode.name, st)
+			}
+		}
+	}
+}

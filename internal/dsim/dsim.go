@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"msgorder/internal/event"
+	"msgorder/internal/obs"
 	"msgorder/internal/protocol"
 	"msgorder/internal/run"
 	"msgorder/internal/userview"
@@ -59,6 +60,17 @@ func WithFIFONetwork() Option {
 	return func(s *Sim) { s.fifoNet = true }
 }
 
+// WithTracer streams causally stamped trace records of the run into t.
+// Record timestamps are simulated ticks.
+func WithTracer(t obs.Tracer) Option {
+	return func(s *Sim) { s.tracer = t }
+}
+
+// WithMetrics records inhibition and latency histograms into m.
+func WithMetrics(m *obs.Registry) Option {
+	return func(s *Sim) { s.metrics = m }
+}
+
 // Sim is one deterministic simulation instance. Not safe for concurrent
 // use.
 type Sim struct {
@@ -78,6 +90,10 @@ type Sim struct {
 	fifoNet            bool
 	chanClock          map[[2]event.ProcID]int64 // per-channel FIFO frontier
 
+	tracer  obs.Tracer
+	metrics *obs.Registry
+	probe   *obs.Probe // nil unless WithTracer/WithMetrics was given
+
 	onDeliver func(p event.ProcID, id event.MsgID) []Request
 }
 
@@ -94,16 +110,20 @@ func New(n int, maker protocol.Maker, opts ...Option) *Sim {
 	for _, o := range opts {
 		o(s)
 	}
+	proto := ""
 	for i := 0; i < n; i++ {
 		p := maker()
 		class := protocol.General // undeclared protocols get full power
 		if d, ok := p.(protocol.Describer); ok {
 			class = d.Describe().Class
+			proto = d.Describe().Name
 		}
 		s.procs = append(s.procs, p)
 		s.classes = append(s.classes, class)
 		p.Init(&env{sim: s, self: event.ProcID(i)})
 	}
+	// nil unless observability was requested — the fast path.
+	s.probe = obs.NewProbe(n, s.tracer, s.metrics, proto, func() int64 { return s.now })
 	return s
 }
 
@@ -187,6 +207,9 @@ func (s *Sim) doInvoke(req Request) {
 		if len(msgs) == 0 {
 			return // single-process system: nothing to broadcast
 		}
+		for _, m := range msgs {
+			s.probe.Invoke(m)
+		}
 		if b, ok := s.procs[req.From].(protocol.Broadcaster); ok {
 			b.OnBroadcast(msgs)
 			return
@@ -206,6 +229,7 @@ func (s *Sim) doInvoke(req Request) {
 		s.fail("message id skew")
 		return
 	}
+	s.probe.Invoke(m)
 	s.procs[req.From].OnInvoke(m)
 }
 
@@ -216,6 +240,7 @@ func (s *Sim) doArrival(w protocol.Wire) {
 		}
 		s.rec.RecordReceive(w.Msg)
 	}
+	s.probe.Receive(w)
 	s.procs[w.To].OnReceive(w)
 }
 
@@ -298,6 +323,7 @@ func (e *env) Send(w protocol.Wire) {
 		s.fail("P%d sent wire with invalid kind %d", e.self, w.Kind)
 		return
 	}
+	s.probe.Send(&w)
 	s.push(s.now+s.delay(w.From, w.To), item{kind: itemArrival, wire: w})
 }
 
@@ -312,6 +338,7 @@ func (e *env) Deliver(id event.MsgID) {
 		return
 	}
 	s.rec.RecordDeliver(id)
+	s.probe.Deliver(e.self, id)
 	if s.onDeliver != nil {
 		for _, req := range s.onDeliver(e.self, id) {
 			s.push(s.now, item{kind: itemInvoke, req: req})

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"msgorder/internal/event"
+	"msgorder/internal/obs"
 	"msgorder/internal/protocol"
 )
 
@@ -60,6 +61,17 @@ type ExploreConfig struct {
 	// schedules that converge to an already-visited state are replayed
 	// anyway. Ignored when Workers is 1 (the legacy search never dedups).
 	NoDedup bool
+	// Tracer, when non-nil, receives one OpExpand record per expanded
+	// choice point (timestamps are microseconds since search start).
+	// Parallel workers buffer records locally and merge them at join, so
+	// any Tracer works; ordering across workers is by buffer flush, not
+	// by time.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, receives the search distributions: frontier
+	// depth and expansion fanout histograms, peak depth, and per-outcome
+	// counters. Parallel workers record into private registries merged at
+	// join.
+	Metrics *obs.Registry
 }
 
 // ExploreStats reports how an exploration went.
@@ -111,11 +123,11 @@ func ExploreWithStats(cfg ExploreConfig, visit func(*Result) bool) (ExploreStats
 	var stats ExploreStats
 	var err error
 	if cfg.Workers == 1 {
-		e := &explorer{cfg: cfg, visit: visit, stats: &stats}
+		e := &explorer{cfg: cfg, visit: visit, stats: &stats, start: start}
 		err = e.dfs(nil, nil)
 		stats.Workers = 1
 	} else {
-		stats, err = exploreParallel(cfg, workers, visit)
+		stats, err = exploreParallel(cfg, workers, visit, start)
 	}
 	stats.Elapsed = time.Since(start)
 	if err != nil {
@@ -134,6 +146,7 @@ type explorer struct {
 	cfg       ExploreConfig
 	visit     func(*Result) bool
 	stats     *ExploreStats
+	start     time.Time
 	stopped   bool
 	truncated bool
 }
@@ -159,6 +172,7 @@ func (e *explorer) dfs(script []int, want []uint64) error {
 		return nil
 	}
 	e.stats.States++
+	emitExpand(e.cfg.Tracer, e.cfg.Metrics, e.start, len(script), out.fanout, out.fanout)
 	for i := 0; i < out.fanout && !e.stopped; i++ {
 		if err := e.dfs(append(script, i), append(want, out.hashes[i])); err != nil {
 			return err

@@ -1,11 +1,16 @@
 package dsim
 
 import (
+	"context"
+	"fmt"
 	"hash/fnv"
+	"runtime/pprof"
 	"sort"
 	"sync"
+	"time"
 
 	"msgorder/internal/event"
+	"msgorder/internal/obs"
 	"msgorder/internal/protocol"
 )
 
@@ -51,6 +56,9 @@ type parallel struct {
 	queue  []*pnode
 	active int
 	dead   bool
+
+	// start anchors trace-record timestamps (µs since search start).
+	start time.Time
 }
 
 // pnode is one frontier entry: a schedule prefix plus the wire-identity
@@ -69,7 +77,7 @@ type stateRec struct {
 	sleep map[string]struct{}
 }
 
-func exploreParallel(cfg ExploreConfig, workers int, visit func(*Result) bool) (ExploreStats, error) {
+func exploreParallel(cfg ExploreConfig, workers int, visit func(*Result) bool, start time.Time) (ExploreStats, error) {
 	p := &parallel{
 		cfg:     cfg,
 		visit:   visit,
@@ -77,26 +85,73 @@ func exploreParallel(cfg ExploreConfig, workers int, visit func(*Result) bool) (
 		sleepOK: cfg.MakeHook == nil,
 		visited: make(map[[16]byte]*stateRec),
 		queue:   []*pnode{{}},
+		start:   start,
 	}
 	p.qcond = sync.NewCond(&p.qmu)
+
+	// Each worker records into a private collector and registry so the
+	// search's hot path takes no shared observability locks; the buffers
+	// are merged into cfg.Tracer/cfg.Metrics after the join, in worker
+	// order. pprof labels make workers distinguishable in CPU profiles.
+	instrumented := cfg.Tracer != nil || cfg.Metrics != nil
+	wtrace := make([]*obs.Collector, workers)
+	wmet := make([]*obs.Registry, workers)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				n := p.take()
-				if n == nil {
-					return
-				}
-				p.process(n)
-				p.release()
+		if instrumented {
+			if cfg.Tracer != nil {
+				wtrace[i] = obs.NewCollector()
 			}
-		}()
+			wmet[i] = obs.NewRegistry()
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			labels := pprof.Labels("explorer-worker", fmt.Sprint(i))
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				for {
+					n := p.take()
+					if n == nil {
+						return
+					}
+					var tr obs.Tracer
+					if wtrace[i] != nil {
+						tr = wtrace[i]
+					}
+					p.process(n, tr, wmet[i])
+					p.release()
+				}
+			})
+		}(i)
 	}
 	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if wtrace[i] != nil {
+			wtrace[i].FlushTo(cfg.Tracer)
+		}
+		cfg.Metrics.Merge(wmet[i])
+	}
 	p.stats.Workers = workers
 	return p.stats, p.err
+}
+
+// emitExpand records one choice-point expansion: an OpExpand trace
+// record plus the depth/fanout distributions. Shared by the sequential
+// and parallel searches; tr and met may be nil.
+func emitExpand(tr obs.Tracer, met *obs.Registry, start time.Time, depth, fanout, children int) {
+	if tr != nil {
+		tr.Emit(obs.Record{
+			Step: time.Since(start).Microseconds(),
+			Proc: obs.HarnessProc,
+			Op:   obs.OpExpand,
+			Msg:  obs.NoMsg,
+			Note: fmt.Sprintf("depth %d, %d in flight, %d explored", depth, fanout, children),
+		})
+	}
+	met.Observe("explore.frontier.depth", int64(depth))
+	met.Observe("explore.expand.fanout", int64(fanout))
+	met.GaugeMax("explore.depth.max", int64(depth))
+	met.Count("explore.expansions", 1)
 }
 
 // take pops a frontier node, blocking while other workers may still
@@ -160,7 +215,7 @@ func (p *parallel) fail(err error) {
 	p.kill()
 }
 
-func (p *parallel) process(n *pnode) {
+func (p *parallel) process(n *pnode, tr obs.Tracer, met *obs.Registry) {
 	p.mu.Lock()
 	if p.stopped {
 		p.mu.Unlock()
@@ -178,7 +233,7 @@ func (p *parallel) process(n *pnode) {
 		p.finishRun(out)
 		return
 	}
-	p.expand(n, out)
+	p.expand(n, out, tr, met)
 }
 
 // finishRun visits a completed schedule (serialized, respecting MaxRuns
@@ -220,7 +275,7 @@ func (p *parallel) finishRun(out *replayOutcome) {
 
 // expand turns a choice point into child frontier nodes, applying the
 // fingerprint cache and sleep-set pruning.
-func (p *parallel) expand(n *pnode, out *replayOutcome) {
+func (p *parallel) expand(n *pnode, out *replayOutcome, tr obs.Tracer, met *obs.Registry) {
 	asleep := make(map[string]struct{}, len(n.sleep))
 	for _, enc := range n.sleep {
 		asleep[enc] = struct{}{}
@@ -290,6 +345,7 @@ func (p *parallel) expand(n *pnode, out *replayOutcome) {
 	p.stats.States++
 	p.stats.SleepHits += slept
 	p.mu.Unlock()
+	emitExpand(tr, met, p.start, len(n.script), out.fanout, len(children))
 
 	kids := make([]*pnode, 0, len(children))
 	var taken []string

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"msgorder/internal/event"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// the format Perfetto and chrome://tracing load directly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of a trace file.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// chromePID maps a record's process to its Chrome pid: pid 0 is the
+// harness track, process i is pid i+1 — one track per process, so the
+// causal run is visible as parallel timelines in Perfetto.
+func chromePID(p event.ProcID) int {
+	if p == HarnessProc {
+		return 0
+	}
+	return int(p) + 1
+}
+
+func chromeTrackName(pid int) string {
+	if pid == 0 {
+		return "harness"
+	}
+	return fmt.Sprintf("P%d", pid-1)
+}
+
+// WriteChromeTrace exports records as Chrome trace-event JSON. Records
+// are sorted by timestamp (stable, so same-step records keep their
+// emission order); instants become thread-scoped "i" events and spans
+// become complete "X" events. Timestamps are interpreted as
+// microseconds by viewers; for the deterministic simulators they are
+// really logical ticks — the shape, not the unit, is the point.
+func WriteChromeTrace(w io.Writer, recs []Record) error {
+	sorted := append([]Record(nil), recs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Step < sorted[j].Step })
+
+	pids := make(map[int]bool)
+	tr := chromeTrace{DisplayTimeUnit: "ms"}
+	for _, r := range sorted {
+		pids[chromePID(r.Proc)] = true
+	}
+	// Metadata first: name each pid's track.
+	var pidList []int
+	for pid := range pids {
+		pidList = append(pidList, pid)
+	}
+	sort.Ints(pidList)
+	for _, pid := range pidList {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": chromeTrackName(pid)},
+		})
+	}
+	for _, r := range sorted {
+		ev := chromeEvent{
+			Name: r.Op.String(),
+			Cat:  "msgorder",
+			Ph:   "i",
+			S:    "t",
+			TS:   r.Step,
+			PID:  chromePID(r.Proc),
+			Args: map[string]any{"op": r.Op.String()},
+		}
+		if r.Msg != NoMsg {
+			ev.Name = fmt.Sprintf("%s m%d", r.Op, r.Msg)
+			ev.Args["msg"] = int(r.Msg)
+		}
+		if r.Dur > 0 {
+			d := r.Dur
+			ev.Ph, ev.S, ev.Dur = "X", "", &d
+		}
+		if r.VC != nil {
+			ev.Args["vc"] = r.VC.String()
+		}
+		if r.Note != "" {
+			ev.Args["note"] = r.Note
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+// WriteNDJSON exports records as newline-delimited JSON, one record
+// per line, in emission order — the machine-first format for piping
+// into jq or a log store.
+func WriteNDJSON(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateChromeTrace structurally checks an exported Chrome trace:
+// the JSON is well-formed with a non-empty traceEvents array,
+// timestamps are monotone per (pid, tid) track, and every deliver
+// event is preceded (in array order and in time) by the send of the
+// same message. This is the shape the verify gate asserts on the
+// mobench trace smoke.
+func ValidateChromeTrace(data []byte) error {
+	var tr struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("obs: trace not well-formed JSON: %w", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		return fmt.Errorf("obs: trace has no events")
+	}
+	lastTS := make(map[[2]int]int64)
+	sent := make(map[int]int64) // msg -> send ts
+	events := 0
+	for i, ev := range tr.TraceEvents {
+		if ev.Ph == "M" {
+			continue // metadata carries no timestamp
+		}
+		events++
+		track := [2]int{ev.PID, ev.TID}
+		if ts, ok := lastTS[track]; ok && ev.TS < ts {
+			return fmt.Errorf("obs: event %d (%q): timestamp %d before %d on track pid=%d tid=%d",
+				i, ev.Name, ev.TS, ts, ev.PID, ev.TID)
+		}
+		lastTS[track] = ev.TS
+		op, _ := ev.Args["op"].(string)
+		msgVal, hasMsg := ev.Args["msg"].(float64)
+		if !hasMsg {
+			continue
+		}
+		msg := int(msgVal)
+		switch op {
+		case "send":
+			if _, dup := sent[msg]; !dup {
+				sent[msg] = ev.TS
+			}
+		case "deliver":
+			ts, ok := sent[msg]
+			if !ok {
+				return fmt.Errorf("obs: event %d: deliver of m%d with no preceding send", i, msg)
+			}
+			if ts > ev.TS {
+				return fmt.Errorf("obs: event %d: deliver of m%d at %d before its send at %d",
+					i, msg, ev.TS, ts)
+			}
+		}
+	}
+	if events == 0 {
+		return fmt.Errorf("obs: trace has only metadata events")
+	}
+	return nil
+}

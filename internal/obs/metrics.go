@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+)
+
+// Registry is a concurrency-safe metrics registry of counters, gauges
+// and histograms, keyed by name. Snapshots are JSON-marshalable, and
+// registries merge — the parallel explorer gives each worker its own
+// registry and folds them together at join.
+//
+// A nil *Registry is valid and records nothing: every method begins
+// with a pointer test, so instrumented code paths carry no branches of
+// their own (the disabled fast path).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]int64
+	hists    map[string]*hist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]int64),
+		hists:    make(map[string]*hist),
+	}
+}
+
+// hist is a power-of-two-bucket histogram: bucket i counts values v
+// with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i). Bucket 0 counts
+// values ≤ 0.
+type hist struct {
+	count    int64
+	sum      int64
+	min, max int64
+	buckets  [65]int64
+}
+
+func bucketIdx(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Count adds d to the named counter.
+func (r *Registry) Count(name string, d int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += d
+	r.mu.Unlock()
+}
+
+// Gauge sets the named gauge.
+func (r *Registry) Gauge(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// GaugeMax raises the named gauge to v if v is larger (high-water
+// marks; this is also the merge rule for gauges).
+func (r *Registry) GaugeMax(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if cur, ok := r.gauges[name]; !ok || v > cur {
+		r.gauges[name] = v
+	}
+	r.mu.Unlock()
+}
+
+// Observe records a sample in the named histogram.
+func (r *Registry) Observe(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &hist{min: math.MaxInt64, max: math.MinInt64}
+		r.hists[name] = h
+	}
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bucketIdx(v)]++
+	r.mu.Unlock()
+}
+
+// Merge folds o into r: counters add, gauges take the maximum,
+// histograms fold bucket-wise. o is left unchanged. Merging a nil
+// registry (either side) is a no-op. Merge never holds both locks at
+// once (it goes through a snapshot), so concurrent cross-merges are
+// deadlock-free.
+func (r *Registry) Merge(o *Registry) {
+	if r == nil || o == nil || r == o {
+		return
+	}
+	r.MergeSnapshot(o.Snapshot())
+}
+
+// MergeSnapshot folds a snapshot into r with the same rules as Merge.
+func (r *Registry) MergeSnapshot(s Snapshot) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range s.Counters {
+		r.counters[k] += v
+	}
+	for k, v := range s.Gauges {
+		if cur, ok := r.gauges[k]; !ok || v > cur {
+			r.gauges[k] = v
+		}
+	}
+	for k, oh := range s.Histograms {
+		h := r.hists[k]
+		if h == nil {
+			h = &hist{min: math.MaxInt64, max: math.MinInt64}
+			r.hists[k] = h
+		}
+		h.count += oh.Count
+		h.sum += oh.Sum
+		if oh.Min < h.min {
+			h.min = oh.Min
+		}
+		if oh.Max > h.max {
+			h.max = oh.Max
+		}
+		// Bucket upper bounds are 2^i - 1, so bits.Len64 recovers the
+		// bucket index exactly.
+		for _, b := range oh.Buckets {
+			h.buckets[bucketIdx(b.Le)] += b.N
+		}
+	}
+}
+
+// Counter returns the named counter's current value (0 if absent).
+func (r *Registry) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Bucket is one non-empty histogram bucket: N samples with value ≤ Le
+// (and greater than the previous bucket's Le).
+type Bucket struct {
+	Le int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// Histogram is a histogram snapshot.
+type Histogram struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the mean sample value.
+func (h Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Snapshot is a point-in-time copy of a registry, JSON-marshalable.
+type Snapshot struct {
+	Counters   map[string]int64     `json:"counters,omitempty"`
+	Gauges     map[string]int64     `json:"gauges,omitempty"`
+	Histograms map[string]Histogram `json:"histograms,omitempty"`
+}
+
+// Snapshot returns a copy of the registry's current state. A nil
+// registry snapshots to the zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for k, v := range r.counters {
+			s.Counters[k] = v
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for k, v := range r.gauges {
+			s.Gauges[k] = v
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]Histogram, len(r.hists))
+		for k, h := range r.hists {
+			hs := Histogram{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+			for i, n := range h.buckets {
+				if n == 0 {
+					continue
+				}
+				le := int64(0)
+				if i > 0 {
+					le = int64(1)<<uint(i) - 1
+				}
+				hs.Buckets = append(hs.Buckets, Bucket{Le: le, N: n})
+			}
+			s.Histograms[k] = hs
+		}
+	}
+	return s
+}
+
+// Names returns the sorted metric names of a snapshot (counters,
+// gauges and histograms together), for deterministic rendering.
+func (s Snapshot) Names() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(k string) {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for k := range s.Counters {
+		add(k)
+	}
+	for k := range s.Gauges {
+		add(k)
+	}
+	for k := range s.Histograms {
+		add(k)
+	}
+	sort.Strings(out)
+	return out
+}

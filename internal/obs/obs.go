@@ -1,0 +1,409 @@
+// Package obs is the observability layer of the harness stack: a
+// zero-dependency tracer of causally stamped event records, a metrics
+// registry of counters, gauges and histograms, and exporters that turn
+// a recorded timeline into Chrome trace-event JSON (loadable in
+// Perfetto) or NDJSON.
+//
+// The paper's objects of study are *runs* — partial orders of events
+// shaped by what a protocol inhibited and for how long. End-of-run
+// aggregates (protocol.Stats, dsim.ExploreStats) cannot show that
+// structure; this package records it. Every record carries a vector
+// clock maintained by the observability layer itself (independent of
+// any clocks the protocol under test may or may not use), so the
+// causal structure of a run is visible even for tagless protocols.
+//
+// Instrumentation is strictly pay-for-what-you-use: a nil *Probe, nil
+// Tracer, nil *Registry and nil *Sink are all valid and turn every
+// emission site into a pointer test. Harnesses thread a single Probe
+// through their event path and never branch on "is tracing on".
+package obs
+
+import (
+	"fmt"
+	"sync"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+	"msgorder/internal/vc"
+)
+
+// Op identifies what a trace record describes.
+type Op uint8
+
+// Record operations. The four lifecycle operations mirror the paper's
+// event kinds (x.s*, x.s, x.r*, x.r); the inhibition spans are derived
+// from the gaps between them; the transport and explorer operations
+// come from the layers below and above the protocols.
+const (
+	// OpInvoke is the user's send request (x.s*).
+	OpInvoke Op = iota + 1
+	// OpSend is the protocol's send execution (x.s); for control wires
+	// Msg is NoMsg and Note names the control type.
+	OpSend
+	// OpReceive is the wire arrival (x.r* for user wires).
+	OpReceive
+	// OpDeliver is the protocol's delivery execution (x.r).
+	OpDeliver
+	// OpInhibitSend is a span: the protocol held a message between its
+	// invoke and its send.
+	OpInhibitSend
+	// OpInhibitDeliver is a span: the protocol held a message between
+	// its receive and its delivery. Note records what released it.
+	OpInhibitDeliver
+	// OpRetransmit is a transport-level timeout-driven resend.
+	OpRetransmit
+	// OpDrop is an injected transmission loss.
+	OpDrop
+	// OpDup is an injected transmission duplication.
+	OpDup
+	// OpDelay is an injected transmission delay.
+	OpDelay
+	// OpPartitionDrop is a transmission lost to an active partition.
+	OpPartitionDrop
+	// OpStallExtend is the stall detector extending its window because
+	// the transport made progress.
+	OpStallExtend
+	// OpStallVerdict is the stall detector's final verdict.
+	OpStallVerdict
+	// OpExpand is one explorer choice-point expansion.
+	OpExpand
+)
+
+var opNames = map[Op]string{
+	OpInvoke:         "invoke",
+	OpSend:           "send",
+	OpReceive:        "receive",
+	OpDeliver:        "deliver",
+	OpInhibitSend:    "inhibit-send",
+	OpInhibitDeliver: "inhibit-deliver",
+	OpRetransmit:     "retransmit",
+	OpDrop:           "drop",
+	OpDup:            "dup",
+	OpDelay:          "delay",
+	OpPartitionDrop:  "partition-drop",
+	OpStallExtend:    "stall-extend",
+	OpStallVerdict:   "stall-verdict",
+	OpExpand:         "expand",
+}
+
+// String returns the operation's wire name (used in exports).
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// MarshalJSON renders the operation as its name.
+func (o Op) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + o.String() + `"`), nil
+}
+
+// HarnessProc is the Proc value for records owned by the harness
+// itself (stall detector, explorer) rather than any process.
+const HarnessProc = event.ProcID(-1)
+
+// NoMsg is the Msg value for records not scoped to a user message.
+const NoMsg = event.MsgID(-1)
+
+// Record is one structured trace event.
+type Record struct {
+	// Step is the timestamp in the emitting harness's timebase:
+	// simulated ticks for dsim, scheduler steps for explorer replays,
+	// wall microseconds since harness start for the live network.
+	Step int64 `json:"step"`
+	// Dur is the span length for span operations (0 for instants).
+	Dur int64 `json:"dur,omitempty"`
+	// Proc is the owning process track (HarnessProc for global records).
+	Proc event.ProcID `json:"proc"`
+	// Op is the operation.
+	Op Op `json:"op"`
+	// Msg is the user message involved (NoMsg when not message-scoped).
+	Msg event.MsgID `json:"msg"`
+	// VC is the observability layer's vector clock at the event (nil
+	// when the emitter keeps no clocks, e.g. the transport).
+	VC vc.Vector `json:"vc,omitempty"`
+	// Note carries human detail: the blocking condition of an
+	// inhibition span, a fault's endpoints, an expansion's fanout.
+	Note string `json:"note,omitempty"`
+}
+
+// Tracer receives trace records. Implementations used by the live
+// harness must be safe for concurrent use; the deterministic
+// simulators emit from one goroutine.
+type Tracer interface {
+	Emit(Record)
+}
+
+// Collector is an in-memory Tracer: it buffers records for later
+// export or merging. Safe for concurrent use.
+type Collector struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Emit appends a record.
+func (c *Collector) Emit(r Record) {
+	c.mu.Lock()
+	c.recs = append(c.recs, r)
+	c.mu.Unlock()
+}
+
+// Len returns the number of buffered records.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.recs)
+}
+
+// Records returns a copy of the buffered records in emission order.
+func (c *Collector) Records() []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Record(nil), c.recs...)
+}
+
+// Reset drops all buffered records.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.recs = c.recs[:0]
+	c.mu.Unlock()
+}
+
+// FlushTo emits every buffered record into t and clears the buffer.
+// Used to merge per-worker collectors into a shared tracer at join.
+func (c *Collector) FlushTo(t Tracer) {
+	if t == nil {
+		return
+	}
+	c.mu.Lock()
+	recs := c.recs
+	c.recs = nil
+	c.mu.Unlock()
+	for _, r := range recs {
+		t.Emit(r)
+	}
+}
+
+// Sink bundles the tracer, registry and timebase one subsystem emits
+// into. A nil *Sink (and nil fields) disables everything; every method
+// is safe on a nil receiver, so emission sites need no guards.
+type Sink struct {
+	// Tracer receives records (nil: tracing off).
+	Tracer Tracer
+	// Metrics receives counters and histograms (nil: metrics off).
+	Metrics *Registry
+	// Now supplies Step timestamps (nil: records carry step 0).
+	Now func() int64
+}
+
+// Enabled reports whether the sink records anything at all.
+func (s *Sink) Enabled() bool {
+	return s != nil && (s.Tracer != nil || s.Metrics != nil)
+}
+
+// Step returns the current timestamp, or 0 without a timebase.
+func (s *Sink) Step() int64 {
+	if s == nil || s.Now == nil {
+		return 0
+	}
+	return s.Now()
+}
+
+// Trace emits a record if tracing is on.
+func (s *Sink) Trace(r Record) {
+	if s == nil || s.Tracer == nil {
+		return
+	}
+	s.Tracer.Emit(r)
+}
+
+// Count adds d to the named counter if metrics are on.
+func (s *Sink) Count(name string, d int64) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Count(name, d)
+}
+
+// Observe records a histogram sample if metrics are on.
+func (s *Sink) Observe(name string, v int64) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Observe(name, v)
+}
+
+// Probe instruments one harness run. It maintains the observability
+// layer's own vector clocks (ticked on every lifecycle event, merged
+// through the stamps carried on wires), derives inhibition spans and
+// latency histograms from the four-event lifecycle, and emits causally
+// stamped records.
+//
+// A nil *Probe is the disabled fast path: every method returns after a
+// single pointer test, so harnesses call it unconditionally on their
+// hot paths. All methods are safe for concurrent use (the live harness
+// emits from many goroutines).
+type Probe struct {
+	mu      sync.Mutex
+	tracer  Tracer
+	metrics *Registry
+	now     func() int64
+	proto   string
+
+	vcs      []vc.Vector
+	invokeAt map[event.MsgID]int64
+	recvAt   map[event.MsgID]int64
+	// ctx describes the handler currently running at each process, so
+	// inhibition-release notes can name the unblocking event.
+	ctx map[event.ProcID]string
+}
+
+// NewProbe builds a probe over n processes emitting into tracer and
+// metrics with the given timebase. It returns nil — the disabled fast
+// path — when both tracer and metrics are nil. proto labels the
+// per-protocol histograms (pass the protocol's descriptor name).
+func NewProbe(n int, tracer Tracer, metrics *Registry, proto string, now func() int64) *Probe {
+	if tracer == nil && metrics == nil {
+		return nil
+	}
+	if now == nil {
+		now = func() int64 { return 0 }
+	}
+	p := &Probe{
+		tracer:   tracer,
+		metrics:  metrics,
+		now:      now,
+		proto:    proto,
+		vcs:      make([]vc.Vector, n),
+		invokeAt: make(map[event.MsgID]int64),
+		recvAt:   make(map[event.MsgID]int64),
+		ctx:      make(map[event.ProcID]string),
+	}
+	for i := range p.vcs {
+		p.vcs[i] = vc.NewVector(n)
+	}
+	return p
+}
+
+// metric labels a metric name with the probe's protocol.
+func (p *Probe) metric(name string) string {
+	if p.proto == "" {
+		return name
+	}
+	return name + "." + p.proto
+}
+
+func (p *Probe) emit(r Record) {
+	if p.tracer != nil {
+		p.tracer.Emit(r)
+	}
+}
+
+// stamp ticks process q's clock and returns a snapshot.
+func (p *Probe) stamp(q event.ProcID) vc.Vector {
+	p.vcs[q].Tick(int(q))
+	return p.vcs[q].Clone()
+}
+
+// Invoke records the user's send request of m at its source.
+func (p *Probe) Invoke(m event.Message) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	p.invokeAt[m.ID] = now
+	p.ctx[m.From] = fmt.Sprintf("invoke of m%d", m.ID)
+	p.emit(Record{Step: now, Proc: m.From, Op: OpInvoke, Msg: m.ID, VC: p.stamp(m.From)})
+}
+
+// Send records the protocol's send execution and stamps the wire with
+// the sender's clock so the receive side can merge it. Must be called
+// with the wire the harness is about to transmit.
+func (p *Probe) Send(w *protocol.Wire) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	stamp := p.stamp(w.From)
+	w.VC = stamp
+	rec := Record{Step: now, Proc: w.From, Op: OpSend, VC: stamp, Msg: NoMsg}
+	if w.Kind == protocol.UserWire {
+		rec.Msg = w.Msg
+		if at, ok := p.invokeAt[w.Msg]; ok && now > at {
+			p.emit(Record{
+				Step: at, Dur: now - at, Proc: w.From, Op: OpInhibitSend, Msg: w.Msg,
+				Note: fmt.Sprintf("m%d held %d steps after invoke", w.Msg, now-at),
+			})
+			p.metrics.Observe(p.metric("inhibit.send.steps"), now-at)
+		}
+	} else {
+		rec.Note = fmt.Sprintf("ctrl %d to P%d", w.Ctrl, w.To)
+	}
+	p.emit(rec)
+}
+
+// Receive records a wire arrival at its destination, merging the
+// sender's stamp into the destination's clock.
+func (p *Probe) Receive(w protocol.Wire) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	if w.VC != nil {
+		p.vcs[w.To].Merge(vc.Vector(w.VC))
+	}
+	rec := Record{Step: now, Proc: w.To, Op: OpReceive, VC: p.stamp(w.To), Msg: NoMsg}
+	if w.Kind == protocol.UserWire {
+		rec.Msg = w.Msg
+		p.recvAt[w.Msg] = now
+		p.ctx[w.To] = fmt.Sprintf("arrival of m%d", w.Msg)
+	} else {
+		rec.Note = fmt.Sprintf("ctrl %d from P%d", w.Ctrl, w.From)
+		p.ctx[w.To] = fmt.Sprintf("ctrl %d from P%d", w.Ctrl, w.From)
+	}
+	p.emit(rec)
+}
+
+// Deliver records the protocol's delivery execution of m at proc,
+// emitting the delivery-inhibition span (with the event that released
+// it) and the end-to-end latency histogram.
+func (p *Probe) Deliver(proc event.ProcID, m event.MsgID) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	p.emit(Record{Step: now, Proc: proc, Op: OpDeliver, Msg: m, VC: p.stamp(proc)})
+	if at, ok := p.invokeAt[m]; ok {
+		p.metrics.Observe(p.metric("deliver.latency.steps"), now-at)
+	}
+	if at, ok := p.recvAt[m]; ok && now > at {
+		note := fmt.Sprintf("m%d held %d steps after receive", m, now-at)
+		if cause, ok := p.ctx[proc]; ok {
+			note += "; released by " + cause
+		}
+		p.emit(Record{Step: at, Dur: now - at, Proc: proc, Op: OpInhibitDeliver, Msg: m, Note: note})
+		p.metrics.Observe(p.metric("inhibit.deliver.steps"), now-at)
+	}
+}
+
+// Clock returns a copy of process q's current vector clock.
+func (p *Probe) Clock(q event.ProcID) vc.Vector {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.vcs[q].Clone()
+}

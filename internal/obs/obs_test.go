@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+)
+
+// TestNilFastPath: a nil probe, registry and sink must absorb every
+// call without panicking — this is the disabled path every harness
+// runs in production benchmarks.
+func TestNilFastPath(t *testing.T) {
+	var p *Probe
+	m := event.Message{ID: 0, From: 0, To: 1}
+	p.Invoke(m)
+	w := protocol.Wire{From: 0, To: 1, Kind: protocol.UserWire, Msg: 0}
+	p.Send(&w)
+	p.Receive(w)
+	p.Deliver(1, 0)
+	if p.Clock(0) != nil {
+		t.Fatal("nil probe returned a clock")
+	}
+
+	var r *Registry
+	r.Count("x", 1)
+	r.Gauge("x", 1)
+	r.GaugeMax("x", 1)
+	r.Observe("x", 1)
+	r.Merge(NewRegistry())
+	NewRegistry().Merge(r)
+	if got := r.Snapshot(); got.Counters != nil {
+		t.Fatal("nil registry snapshot not zero")
+	}
+
+	var s *Sink
+	s.Trace(Record{})
+	s.Count("x", 1)
+	s.Observe("x", 1)
+	if s.Enabled() || s.Step() != 0 {
+		t.Fatal("nil sink not disabled")
+	}
+
+	if NewProbe(2, nil, nil, "p", nil) != nil {
+		t.Fatal("probe with no outputs must be nil (the fast path)")
+	}
+}
+
+// TestProbeCausality walks a two-message relay through a probe and
+// checks the vector-clock stamps order causally related events.
+func TestProbeCausality(t *testing.T) {
+	c := NewCollector()
+	reg := NewRegistry()
+	step := int64(0)
+	now := func() int64 { return step }
+	p := NewProbe(3, c, reg, "test", now)
+
+	m0 := event.Message{ID: 0, From: 0, To: 1}
+	p.Invoke(m0)
+	w0 := protocol.Wire{From: 0, To: 1, Kind: protocol.UserWire, Msg: 0}
+	step = 1
+	p.Send(&w0)
+	if w0.VC == nil {
+		t.Fatal("send did not stamp the wire")
+	}
+	step = 4
+	p.Receive(w0)
+	step = 7
+	p.Deliver(1, 0)
+
+	// Relay: P1 sends m1 to P2 after delivering m0.
+	m1 := event.Message{ID: 1, From: 1, To: 2}
+	p.Invoke(m1)
+	w1 := protocol.Wire{From: 1, To: 2, Kind: protocol.UserWire, Msg: 1}
+	step = 8
+	p.Send(&w1)
+	step = 12
+	p.Receive(w1)
+	p.Deliver(2, 1) // same step: delivered on arrival, no inhibition
+
+	recs := c.Records()
+	var sendVC, deliverVC, relayDeliverVC []uint64
+	for _, r := range recs {
+		switch {
+		case r.Op == OpSend && r.Msg == 0:
+			sendVC = r.VC
+		case r.Op == OpDeliver && r.Msg == 0:
+			deliverVC = r.VC
+		case r.Op == OpDeliver && r.Msg == 1:
+			relayDeliverVC = r.VC
+		}
+	}
+	if sendVC == nil || deliverVC == nil || relayDeliverVC == nil {
+		t.Fatalf("missing records: %+v", recs)
+	}
+	lessEq := func(a, b []uint64) bool {
+		for i := range a {
+			if a[i] > b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !lessEq(sendVC, deliverVC) {
+		t.Fatalf("send VC %v not ≤ deliver VC %v", sendVC, deliverVC)
+	}
+	if !lessEq(deliverVC, relayDeliverVC) {
+		t.Fatalf("m0 deliver VC %v not ≤ relayed m1 deliver VC %v (transitivity lost)", deliverVC, relayDeliverVC)
+	}
+
+	// The delivery of m0 was held 3 steps past its receive: an
+	// inhibition span and a histogram sample must exist.
+	var span *Record
+	for i := range recs {
+		if recs[i].Op == OpInhibitDeliver && recs[i].Msg == 0 {
+			span = &recs[i]
+		}
+	}
+	if span == nil {
+		t.Fatal("no delivery-inhibition span recorded")
+	}
+	if span.Dur != 3 || span.Step != 4 {
+		t.Fatalf("span = step %d dur %d, want step 4 dur 3", span.Step, span.Dur)
+	}
+	if !strings.Contains(span.Note, "released by") {
+		t.Fatalf("span note %q does not name the releasing event", span.Note)
+	}
+	snap := reg.Snapshot()
+	h, ok := snap.Histograms["inhibit.deliver.steps.test"]
+	if !ok || h.Count != 1 || h.Sum != 3 {
+		t.Fatalf("inhibition histogram = %+v, want one sample of 3", h)
+	}
+	if h = snap.Histograms["deliver.latency.steps.test"]; h.Count != 2 {
+		t.Fatalf("latency histogram count = %d, want 2", h.Count)
+	}
+}
+
+func TestRegistrySnapshotAndMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Count("c", 2)
+	b.Count("c", 3)
+	a.Gauge("g", 10)
+	b.GaugeMax("g", 7)
+	for _, v := range []int64{1, 2, 3, 100} {
+		a.Observe("h", v)
+	}
+	b.Observe("h", 1000)
+
+	a.Merge(b)
+	s := a.Snapshot()
+	if s.Counters["c"] != 5 {
+		t.Fatalf("merged counter = %d, want 5", s.Counters["c"])
+	}
+	if s.Gauges["g"] != 10 {
+		t.Fatalf("merged gauge = %d, want max 10", s.Gauges["g"])
+	}
+	h := s.Histograms["h"]
+	if h.Count != 5 || h.Sum != 1106 || h.Min != 1 || h.Max != 1000 {
+		t.Fatalf("merged histogram = %+v", h)
+	}
+	var total int64
+	for _, bk := range h.Buckets {
+		total += bk.N
+	}
+	if total != h.Count {
+		t.Fatalf("bucket sum %d != count %d", total, h.Count)
+	}
+	// Snapshot → MergeSnapshot roundtrip preserves the distribution.
+	c := NewRegistry()
+	c.MergeSnapshot(s)
+	if got := c.Snapshot().Histograms["h"]; got.Count != h.Count || got.Sum != h.Sum {
+		t.Fatalf("roundtrip lost samples: %+v vs %+v", got, h)
+	}
+	names := s.Names()
+	if len(names) != 3 || names[0] != "c" || names[1] != "g" || names[2] != "h" {
+		t.Fatalf("snapshot names = %v", names)
+	}
+}
+
+// TestRegistryConcurrent exercises the registry from many goroutines;
+// meaningful under -race.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Count("c", 1)
+				r.Observe("h", int64(j))
+				r.GaugeMax("g", int64(i*1000+j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["c"] != 8000 || s.Histograms["h"].Count != 8000 || s.Gauges["g"] != 7999 {
+		t.Fatalf("lost updates: %+v", s)
+	}
+}
+
+func TestCollectorFlushTo(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	a.Emit(Record{Op: OpSend, Msg: 1})
+	a.Emit(Record{Op: OpDeliver, Msg: 1})
+	a.FlushTo(b)
+	if a.Len() != 0 || b.Len() != 2 {
+		t.Fatalf("flush: a=%d b=%d", a.Len(), b.Len())
+	}
+	a.FlushTo(nil) // must not panic
+}
+
+// traceRecords is a minimal valid causal run for export tests.
+func traceRecords() []Record {
+	return []Record{
+		{Step: 0, Proc: 0, Op: OpInvoke, Msg: 0, VC: []uint64{1, 0}},
+		{Step: 1, Proc: 0, Op: OpSend, Msg: 0, VC: []uint64{2, 0}},
+		{Step: 5, Proc: 1, Op: OpReceive, Msg: 0, VC: []uint64{2, 1}},
+		{Step: 5, Dur: 3, Proc: 1, Op: OpInhibitDeliver, Msg: 0, Note: "held"},
+		{Step: 8, Proc: 1, Op: OpDeliver, Msg: 0, VC: []uint64{2, 2}},
+		{Step: 9, Proc: -1, Op: OpStallVerdict, Msg: NoMsg, Note: "idle"},
+	}
+}
+
+func TestChromeExportValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, traceRecords()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("exported trace fails validation: %v", err)
+	}
+	// Spot-check structure: metadata names the tracks, spans are "X".
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	evs := doc["traceEvents"].([]any)
+	var haveHarness, haveSpan bool
+	for _, e := range evs {
+		ev := e.(map[string]any)
+		if ev["ph"] == "M" {
+			if args, ok := ev["args"].(map[string]any); ok && args["name"] == "harness" {
+				haveHarness = true
+			}
+		}
+		if ev["ph"] == "X" {
+			haveSpan = true
+		}
+	}
+	if !haveHarness || !haveSpan {
+		t.Fatalf("export missing harness track (%v) or span event (%v)", haveHarness, haveSpan)
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := map[string][]Record{
+		"deliver without send": {
+			{Step: 0, Proc: 1, Op: OpDeliver, Msg: 3},
+		},
+		"deliver before send": {
+			{Step: 5, Proc: 0, Op: OpSend, Msg: 3},
+			{Step: 2, Proc: 1, Op: OpDeliver, Msg: 3},
+		},
+	}
+	for name, recs := range cases {
+		var buf bytes.Buffer
+		// Bypass the exporter's sort for the ordering case by writing
+		// records with equal timestamps where needed; for "deliver
+		// before send" the sort moves deliver first, which is exactly
+		// the broken shape.
+		if err := WriteChromeTrace(&buf, recs); err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateChromeTrace(buf.Bytes()); err == nil {
+			t.Errorf("%s: validation passed", name)
+		}
+	}
+	if err := ValidateChromeTrace([]byte("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if err := ValidateChromeTrace([]byte(`{"traceEvents":[]}`)); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestNDJSONExport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, traceRecords()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(traceRecords()) {
+		t.Fatalf("%d lines, want %d", len(lines), len(traceRecords()))
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first["op"] != "invoke" {
+		t.Fatalf("op marshaled as %v, want \"invoke\"", first["op"])
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op := OpInvoke; op <= OpExpand; op++ {
+		if strings.HasPrefix(op.String(), "op(") {
+			t.Fatalf("op %d has no name", op)
+		}
+	}
+	if Op(200).String() != "op(200)" {
+		t.Fatal("unknown op string")
+	}
+}

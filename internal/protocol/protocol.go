@@ -77,6 +77,11 @@ type Wire struct {
 	Ctrl uint8
 	// Tag is the piggybacked data (user wires) or control payload.
 	Tag []byte
+	// VC is the observability layer's send-time vector-clock stamp.
+	// It is set by the harness when tracing is enabled and is not part
+	// of the protocol contract: protocols must neither read nor write
+	// it, and the explorer's state fingerprint ignores it.
+	VC []uint64
 }
 
 // Env is the harness-provided environment for one protocol instance.

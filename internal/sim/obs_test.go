@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"msgorder/internal/event"
+	"msgorder/internal/obs"
+	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/tagless"
+	"msgorder/internal/transport"
+)
+
+// dropFirst releases flights in FIFO order and drops the first n of
+// them — a deterministic adversary that forces sustained retransmission
+// without randomness (the transport recovers every drop).
+type dropFirst struct{ n int }
+
+func (s *dropFirst) Pick(int) int { return 0 }
+func (s *dropFirst) Fate(event.ProcID, event.ProcID) transport.Action {
+	if s.n > 0 {
+		s.n--
+		return transport.Drop
+	}
+	return transport.Deliver
+}
+
+// TestStallDetectorMetricsLossyButLive pins the observable half of the
+// stall detector: a lossy-but-live run whose recovery outlasts the
+// quiescence window must record its window extensions (counter, progress
+// deltas, OpStallExtend records) and finish with an "idle" verdict.
+func TestStallDetectorMetricsLossyButLive(t *testing.T) {
+	col := obs.NewCollector()
+	reg := obs.NewRegistry()
+	window := 20 * time.Millisecond
+	// 50 drop credits over 5 pending messages with a 2-4ms RTO burn in
+	// roughly 30-40ms: past the first window (an extension must fire)
+	// but well inside the stallCap budget of 8 windows.
+	nw := New(2, tagless.Maker,
+		WithTimeout(window),
+		WithFaults(transport.FaultPlan{}),
+		WithScheduler(&dropFirst{n: 50}),
+		WithTransportConfig(transport.Config{
+			RTO: 2 * time.Millisecond, MaxRTO: 4 * time.Millisecond, Tick: time.Millisecond,
+		}),
+		WithTracer(col), WithMetrics(reg))
+	for i := 0; i < 5; i++ {
+		if err := nw.Invoke(Request{From: 0, To: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := nw.Stop()
+	if err != nil {
+		t.Fatalf("lossy-but-live run must quiesce: %v", err)
+	}
+	if !res.View.IsComplete() {
+		t.Fatal("incomplete")
+	}
+	if n := reg.Counter("sim.stall.extensions"); n < 1 {
+		t.Fatalf("stall extensions = %d, want >= 1 (recovery spans multiple windows)", n)
+	}
+	if n := reg.Counter("sim.stall.verdict.idle"); n != 1 {
+		t.Fatalf("idle verdicts = %d, want exactly 1", n)
+	}
+	if n := reg.Counter("transport.retransmits"); n < 1 {
+		t.Fatalf("transport.retransmits = %d, want >= 1", n)
+	}
+	snap := reg.Snapshot()
+	if h, ok := snap.Histograms["sim.stall.progress.delta"]; !ok || h.Count < 1 || h.Sum < 1 {
+		t.Fatalf("progress-delta histogram missing or empty: %+v", h)
+	}
+	var extends, verdicts int
+	for _, r := range col.Records() {
+		switch r.Op {
+		case obs.OpStallExtend:
+			extends++
+			if r.Proc != obs.HarnessProc || !strings.Contains(r.Note, "window extended") {
+				t.Fatalf("malformed extension record: %+v", r)
+			}
+		case obs.OpStallVerdict:
+			verdicts++
+			if !strings.Contains(r.Note, "idle") {
+				t.Fatalf("verdict record = %+v, want idle", r)
+			}
+		}
+	}
+	if extends < 1 || verdicts != 1 {
+		t.Fatalf("trace has %d extend / %d verdict records, want >=1 / 1", extends, verdicts)
+	}
+}
+
+// TestStallDetectorMetricsDeadlock is the other half: a protocol stuck
+// forever (after its transport traffic has drained) must be classified
+// as a deadlock, not as retransmission, and the verdict counter must say
+// so.
+func TestStallDetectorMetricsDeadlock(t *testing.T) {
+	col := obs.NewCollector()
+	reg := obs.NewRegistry()
+	nw := New(2, func() protocol.Process { return &staller{} },
+		WithTimeout(25*time.Millisecond),
+		WithFaults(transport.FaultPlan{}),
+		WithTracer(col), WithMetrics(reg))
+	nw.Invoke(Request{From: 0, To: 1})
+	_, err := nw.Stop()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if n := reg.Counter("sim.stall.verdict.deadlock"); n != 1 {
+		t.Fatalf("deadlock verdicts = %d, want exactly 1", n)
+	}
+	if n := reg.Counter("sim.stall.verdict.idle"); n != 0 {
+		t.Fatalf("idle verdicts = %d on a deadlocked run", n)
+	}
+	found := false
+	for _, r := range col.Records() {
+		if r.Op == obs.OpStallVerdict && strings.Contains(r.Note, "deadlock") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no OpStallVerdict deadlock record in the trace")
+	}
+}
+
+// TestLiveTraceExportsValidChromeTrace runs an instrumented lossy live
+// run end to end and checks the exported Chrome trace passes the causal
+// validator (monotone tracks, every deliver preceded by its send).
+func TestLiveTraceExportsValidChromeTrace(t *testing.T) {
+	col := obs.NewCollector()
+	reg := obs.NewRegistry()
+	nw := New(3, tagless.Maker, WithSeed(4),
+		WithFaults(transport.FaultPlan{DropRate: 0.2, DupRate: 0.1, Seed: 9}),
+		WithTracer(col), WithMetrics(reg))
+	for i := 0; i < 12; i++ {
+		if err := nw.Invoke(Request{From: event.ProcID(i % 3), To: event.ProcID((i + 1) % 3)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nw.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, col.Records()); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("live trace fails validation: %v", err)
+	}
+	if h, ok := reg.Snapshot().Histograms["deliver.latency.steps.tagless"]; !ok || h.Count != 12 {
+		t.Fatalf("deliver latency histogram = %+v, want 12 samples", h)
+	}
+}

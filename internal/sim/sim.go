@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"msgorder/internal/event"
+	"msgorder/internal/obs"
 	"msgorder/internal/protocol"
 	"msgorder/internal/run"
 	"msgorder/internal/transport"
@@ -138,6 +139,20 @@ func WithScheduler(s Scheduler) Option {
 	return func(n *Network) { n.sched = s }
 }
 
+// WithTracer streams causally stamped trace records of the run into t,
+// including transport retransmissions, injected faults and the stall
+// detector's decisions. Timestamps are wall microseconds since New. The
+// tracer must be safe for concurrent use (obs.Collector is).
+func WithTracer(t obs.Tracer) Option {
+	return func(n *Network) { n.tracer = t }
+}
+
+// WithMetrics records inhibition/latency histograms, transport
+// distributions and stall-detector counters into m.
+func WithMetrics(m *obs.Registry) Option {
+	return func(n *Network) { n.metrics = m }
+}
+
 // Network is a live protocol harness. Construct with New, feed with
 // Invoke, then Stop to collect the recorded run.
 type Network struct {
@@ -161,6 +176,11 @@ type Network struct {
 	tr     *transport.Reliable
 	inj    *transport.Injector
 	sched  Scheduler
+
+	tracer  obs.Tracer
+	metrics *obs.Registry
+	probe   *obs.Probe // nil unless WithTracer/WithMetrics was given
+	sink    *obs.Sink  // shared with the transport; nil when disabled
 
 	mu        sync.Mutex
 	err       error
@@ -304,8 +324,17 @@ func New(n int, maker protocol.Maker, opts ...Option) *Network {
 	for _, o := range opts {
 		o(nw)
 	}
+	if nw.tracer != nil || nw.metrics != nil {
+		start := time.Now()
+		now := func() int64 { return time.Since(start).Microseconds() }
+		nw.sink = &obs.Sink{Tracer: nw.tracer, Metrics: nw.metrics, Now: now}
+	}
 	if nw.faults != nil {
 		nw.inj = transport.NewInjector(*nw.faults)
+		if nw.sink != nil {
+			nw.inj.Observe(nw.sink)
+			nw.trCfg.Obs = nw.sink
+		}
 		nw.tr = transport.NewReliable(nw.trCfg, func(ev transport.Envelope) {
 			nw.inject(flight{env: ev, isEnv: true})
 		})
@@ -317,16 +346,21 @@ func New(n int, maker protocol.Maker, opts ...Option) *Network {
 			nw.sched = &randomSched{rng: nw.rng}
 		}
 	}
+	proto := ""
 	for i := 0; i < n; i++ {
 		p := maker()
 		class := protocol.General
 		if d, ok := p.(protocol.Describer); ok {
 			class = d.Describe().Class
+			proto = d.Describe().Name
 		}
 		nw.insts = append(nw.insts, p)
 		nw.classes = append(nw.classes, class)
 		nw.procs = append(nw.procs, newMailbox())
 		p.Init(&env{nw: nw, self: event.ProcID(i)})
+	}
+	if nw.sink != nil {
+		nw.probe = obs.NewProbe(n, nw.tracer, nw.metrics, proto, nw.sink.Now)
 	}
 	for i := 0; i < n; i++ {
 		go nw.runProcess(event.ProcID(i))
@@ -373,12 +407,16 @@ func (nw *Network) Invoke(req Request) error {
 		}
 		nw.work.add(1)
 		nw.mu.Unlock()
+		for _, m := range msgs {
+			nw.probe.Invoke(m)
+		}
 		nw.procs[req.From].push(item{isBroadcast: true, msgs: msgs})
 		return nil
 	}
 	m := nw.rec.NewMessage(req.From, req.To, req.Color)
 	nw.work.add(1)
 	nw.mu.Unlock()
+	nw.probe.Invoke(m)
 	nw.procs[req.From].push(item{isInvoke: true, msg: m})
 	return nil
 }
@@ -395,8 +433,10 @@ func (nw *Network) Quiesce() error {
 	if nw.tr == nil {
 		select {
 		case <-idle:
+			nw.stallVerdict("idle", "all work drained")
 			return nw.runErr()
 		case <-time.After(nw.timeout):
+			nw.stallVerdict("timeout", "work outstanding, no transport to observe")
 			return fmt.Errorf("%w after %v", ErrTimeout, nw.timeout)
 		}
 	}
@@ -405,21 +445,49 @@ func (nw *Network) Quiesce() error {
 	for {
 		select {
 		case <-idle:
+			nw.stallVerdict("idle", "all work drained")
 			return nw.runErr()
 		case <-time.After(nw.timeout):
 			cur := nw.tr.Progress()
 			if cur != last && time.Since(start) < stallCap*nw.timeout {
-				last = cur // still retransmitting: lossy but live
+				// Still retransmitting: lossy but live. Record the window
+				// extension and how much transport progress bought it.
+				if s := nw.sink; s.Enabled() {
+					s.Count("sim.stall.extensions", 1)
+					s.Observe("sim.stall.progress.delta", int64(cur-last))
+					s.Trace(obs.Record{
+						Step: s.Step(), Proc: obs.HarnessProc, Op: obs.OpStallExtend, Msg: obs.NoMsg,
+						Note: fmt.Sprintf("transport progress %d -> %d, window extended", last, cur),
+					})
+				}
+				last = cur
 				continue
 			}
 			if cur != last || nw.tr.Pending() > 0 {
+				nw.stallVerdict("retransmitting", fmt.Sprintf("%d unacked envelopes", nw.tr.Pending()))
 				return fmt.Errorf("%w: transport still retransmitting (%d unacked envelopes) after %v",
 					ErrTimeout, nw.tr.Pending(), time.Since(start).Round(time.Millisecond))
 			}
+			nw.stallVerdict("deadlock", "no transport progress for a full window")
 			return fmt.Errorf("%w: no transport progress for %v — harness deadlocked",
 				ErrTimeout, nw.timeout)
 		}
 	}
+}
+
+// stallVerdict records how one Quiesce call ended: a per-verdict
+// counter plus an OpStallVerdict trace record. No-op when the network
+// is uninstrumented.
+func (nw *Network) stallVerdict(kind, detail string) {
+	s := nw.sink
+	if !s.Enabled() {
+		return
+	}
+	s.Count("sim.stall.verdict."+kind, 1)
+	s.Trace(obs.Record{
+		Step: s.Step(), Proc: obs.HarnessProc, Op: obs.OpStallVerdict, Msg: obs.NoMsg,
+		Note: kind + ": " + detail,
+	})
 }
 
 func (nw *Network) runErr() error {
@@ -530,6 +598,7 @@ func (nw *Network) runProcess(self event.ProcID) {
 			if it.wire.Kind == protocol.UserWire {
 				nw.rec.RecordReceive(it.wire.Msg)
 			}
+			nw.probe.Receive(it.wire)
 			nw.insts[self].OnReceive(it.wire)
 			nw.work.done()
 		}
@@ -554,6 +623,7 @@ func (nw *Network) handleEnvelope(self event.ProcID, ev transport.Envelope) {
 		if w.Kind == protocol.UserWire {
 			nw.rec.RecordReceive(w.Msg)
 		}
+		nw.probe.Receive(w)
 		nw.insts[self].OnReceive(w)
 		nw.work.done()
 	}
@@ -640,6 +710,7 @@ func (e *env) Send(w protocol.Wire) {
 		nw.fail(fmt.Errorf("%w: P%d sent wire with invalid kind", ErrProtocol, e.self))
 		return
 	}
+	nw.probe.Send(&w)
 	nw.work.add(1)
 	var f flight
 	if nw.tr != nil {
@@ -656,6 +727,7 @@ func (e *env) Send(w protocol.Wire) {
 func (e *env) Deliver(id event.MsgID) {
 	nw := e.nw
 	nw.rec.RecordDeliver(id)
+	nw.probe.Deliver(e.self, id)
 	nw.mu.Lock()
 	hook := nw.onDeliver
 	nw.mu.Unlock()

@@ -20,11 +20,13 @@
 package transport
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
 	"msgorder/internal/event"
+	"msgorder/internal/obs"
 	"msgorder/internal/protocol"
 )
 
@@ -95,6 +97,33 @@ type Injector struct {
 	rng    *rand.Rand
 	parts  []partitionState
 	counts FaultCounters
+	sink   *obs.Sink
+}
+
+// Observe attaches an observability sink: every injected fault emits a
+// trace record and bumps a counter. A nil sink (the default) disables
+// this.
+func (in *Injector) Observe(s *obs.Sink) {
+	in.mu.Lock()
+	in.sink = s
+	in.mu.Unlock()
+}
+
+// record emits one injected fault into the sink. Called with in.mu held;
+// the sink takes its own locks, never in.mu, so there is no cycle.
+func (in *Injector) record(op obs.Op, name string, from, to event.ProcID) {
+	s := in.sink
+	if !s.Enabled() {
+		return
+	}
+	s.Count("transport.faults."+name, 1)
+	s.Trace(obs.Record{
+		Step: s.Step(),
+		Proc: from,
+		Op:   op,
+		Msg:  obs.NoMsg,
+		Note: fmt.Sprintf("P%d->P%d", from, to),
+	})
 }
 
 type partitionState struct {
@@ -152,22 +181,26 @@ func (in *Injector) Decide(from, to event.ProcID) Action {
 		if p.budget > 0 && ((p.a[from] && p.b[to]) || (p.b[from] && p.a[to])) {
 			p.budget--
 			in.counts.PartitionDrops++
+			in.record(obs.OpPartitionDrop, "partition", from, to)
 			return Drop
 		}
 	}
 	r := in.rng.Float64()
 	if r < in.plan.DropRate {
 		in.counts.Drops++
+		in.record(obs.OpDrop, "drop", from, to)
 		return Drop
 	}
 	r -= in.plan.DropRate
 	if r < in.plan.DupRate {
 		in.counts.Dups++
+		in.record(obs.OpDup, "dup", from, to)
 		return Duplicate
 	}
 	r -= in.plan.DupRate
 	if r < in.plan.DelayJitter {
 		in.counts.Delays++
+		in.record(obs.OpDelay, "delay", from, to)
 		return Delay
 	}
 	return Deliver
@@ -221,6 +254,9 @@ type Config struct {
 	MaxRTO time.Duration
 	// Tick is the retransmit scan interval (default 1ms).
 	Tick time.Duration
+	// Obs, when non-nil, receives retransmission trace records and the
+	// attempt/backoff distributions.
+	Obs *obs.Sink
 }
 
 func (c Config) withDefaults() Config {
@@ -390,18 +426,24 @@ func (r *Reliable) loop() {
 			return
 		case now := <-t.C:
 			var due []Envelope
+			var backoffs []time.Duration
 			r.mu.Lock()
 			for _, p := range r.pending {
 				if now.After(p.deadline) {
 					p.attempt++
 					p.env.Attempt = p.attempt
-					p.deadline = now.Add(r.rto(p.attempt))
+					backoff := r.rto(p.attempt)
+					p.deadline = now.Add(backoff)
 					r.counts.Retransmits++
 					r.progress++
 					due = append(due, p.env)
+					backoffs = append(backoffs, backoff)
 				}
 			}
 			r.mu.Unlock()
+			for i, e := range due {
+				r.observeRetransmit(e, backoffs[i])
+			}
 			// Resend outside the lock: the network injection path may
 			// block until the adversary picks the envelope up.
 			for _, e := range due {
@@ -409,6 +451,29 @@ func (r *Reliable) loop() {
 			}
 		}
 	}
+}
+
+// observeRetransmit records one timeout-driven resend into the
+// configured sink (no-op without one).
+func (r *Reliable) observeRetransmit(e Envelope, backoff time.Duration) {
+	s := r.cfg.Obs
+	if !s.Enabled() {
+		return
+	}
+	s.Count("transport.retransmits", 1)
+	s.Observe("transport.retransmit.attempt", int64(e.Attempt))
+	s.Observe("transport.backoff.us", backoff.Microseconds())
+	rec := obs.Record{
+		Step: s.Step(),
+		Proc: e.Src,
+		Op:   obs.OpRetransmit,
+		Msg:  obs.NoMsg,
+		Note: fmt.Sprintf("P%d->P%d seq %d attempt %d, next in %v", e.Src, e.Dst, e.Seq, e.Attempt, backoff),
+	}
+	if e.Wire.Kind == protocol.UserWire {
+		rec.Msg = e.Wire.Msg
+	}
+	s.Trace(rec)
 }
 
 // rto returns the backoff for the given retransmission attempt.

@@ -39,6 +39,7 @@ import (
 	"msgorder/internal/dsim"
 	"msgorder/internal/event"
 	"msgorder/internal/lattice"
+	"msgorder/internal/obs"
 	"msgorder/internal/predicate"
 	"msgorder/internal/protocol"
 	"msgorder/internal/protocols/causal"
@@ -271,6 +272,48 @@ type ExploreStats = dsim.ExploreStats
 func ExploreWithStats(cfg ExploreConfig, visit func(*SimResult) bool) (ExploreStats, error) {
 	return dsim.ExploreWithStats(cfg, visit)
 }
+
+// Observability. The obs layer records causally stamped event timelines
+// (invoke/send/receive/deliver, inhibition spans, transport faults,
+// explorer expansions) and aggregate distributions. Attach a collector
+// and registry to a SimConfig with WithTracer/WithMetrics, then export
+// the records for Perfetto:
+//
+//	tr, met := msgorder.NewTraceCollector(), msgorder.NewMetricsRegistry()
+//	res, err := msgorder.Simulate(cfg.WithTracer(tr).WithMetrics(met))
+//	msgorder.WriteChromeTrace(f, tr.Records())
+type (
+	// Tracer receives structured trace records.
+	Tracer = obs.Tracer
+	// TraceRecord is one vector-clock-stamped trace event.
+	TraceRecord = obs.Record
+	// TraceOp identifies what a trace record describes.
+	TraceOp = obs.Op
+	// TraceCollector is an in-memory Tracer.
+	TraceCollector = obs.Collector
+	// MetricsRegistry aggregates counters, gauges and histograms.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a JSON-marshalable registry snapshot.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// NewTraceCollector returns an empty in-memory tracer.
+func NewTraceCollector() *TraceCollector { return obs.NewCollector() }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// WriteChromeTrace exports trace records as Chrome trace-event JSON
+// (loadable in Perfetto and chrome://tracing, one track per process).
+var WriteChromeTrace = obs.WriteChromeTrace
+
+// WriteTraceNDJSON exports trace records as newline-delimited JSON.
+var WriteTraceNDJSON = obs.WriteNDJSON
+
+// ValidateChromeTrace structurally checks an exported Chrome trace:
+// well-formed JSON, monotone per-track timestamps, and every deliver
+// preceded by its send.
+var ValidateChromeTrace = obs.ValidateChromeTrace
 
 // EncodeRun serializes a user-view run to JSON.
 func EncodeRun(r *Run) ([]byte, error) { return trace.EncodeUserView(r) }

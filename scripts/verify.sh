@@ -48,12 +48,30 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrency gate) =="
-# The live harness and transport sublayer are the concurrent core; run
-# their suites (plus the facade) under the race detector.
-go test -race ./internal/sim/... ./internal/transport/... ./internal/conformance/... .
+# The live harness, transport sublayer, parallel explorer and the
+# observability registry are the concurrent core; run their suites
+# (plus the facade) under the race detector.
+go test -race ./internal/sim/... ./internal/transport/... ./internal/conformance/... \
+    ./internal/dsim/... ./internal/obs/... .
 
 echo "== fault-matrix smoke (short mode) =="
 # A quick seeded-loss pass over the fault-injection paths.
 go test -short -run 'Fault|Lossy|Partition' ./internal/sim/... ./internal/conformance/...
+
+echo "== trace smoke (observability gate) =="
+# Run an instrumented causal-order scenario through mobench and validate
+# the emitted Chrome trace: well-formed JSON, monotone per-track
+# timestamps, every deliver preceded by its send (-validate re-reads the
+# file and checks all three).
+tracetmp=$(mktemp -d)
+trap 'rm -rf "$tracetmp"' EXIT
+go run ./cmd/mobench trace -proto causal-rst -o "$tracetmp/trace.json" -validate 2>/dev/null
+go run ./cmd/mobench trace -proto causal-rst -lossy -o "$tracetmp/lossy.json" -validate 2>/dev/null
+
+echo "== nil-tracer overhead smoke =="
+# One pass over the explorer benchmarks, uninstrumented and traced: the
+# nil-tracer fast path must not break the hot loop (the /traced variant
+# asserts records flow; timing comparisons are for humans via -bench).
+go test -run '^$' -bench 'BenchmarkExplore/causal-rst-4msg' -benchtime 1x . >/dev/null
 
 echo "verify: OK"
