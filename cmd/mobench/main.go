@@ -10,7 +10,8 @@
 //	mobench discussion  # E3: the §5 discussion specifications
 //	mobench faults      # E9: protocols on a lossy network (fault matrix)
 //	mobench trace       # E10: instrumented run -> Chrome trace JSON (Perfetto)
-//	mobench bench       # write BENCH_explore.json / BENCH_faults.json
+//	mobench crashes     # E11: crash/recovery matrix (-json writes BENCH_crashes.json)
+//	mobench bench       # write BENCH_*.json snapshots (-outdir picks the directory)
 //	mobench all         # every table experiment
 //
 // Global flags (before the subcommand):
@@ -138,6 +139,8 @@ func run(args []string) error {
 		return traceCmd(args[1:])
 	case "bench":
 		return benchCmd(args[1:])
+	case "crashes":
+		return crashesCmd(args[1:])
 	}
 	fn, ok := cmds[args[0]]
 	if !ok {

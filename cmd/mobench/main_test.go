@@ -64,6 +64,54 @@ func TestFaultsExperiment(t *testing.T) {
 	}
 }
 
+// TestCrashesCmd drives the E11 matrix end to end: the table must
+// print, and -json must write a parseable BENCH_crashes.json with a
+// restart cell that actually recovered.
+func TestCrashesCmd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live crash sweep")
+	}
+	if err := crashesCmd(nil); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := crashesCmd([]string{"-json", "-outdir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_crashes.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf struct {
+		Experiment string       `json:"experiment"`
+		Rows       []crashesRow `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &bf); err != nil {
+		t.Fatal(err)
+	}
+	if len(bf.Rows) == 0 {
+		t.Fatal("no rows in BENCH_crashes.json")
+	}
+	for _, row := range bf.Rows {
+		for _, cell := range row.Cells {
+			if cell.Violations > 0 {
+				t.Fatalf("%s under %s: %d violations", row.Protocol, cell.Plan, cell.Violations)
+			}
+			if cell.Plan == "restart-p1p2" {
+				if cell.Recoveries != cell.Crashes || cell.Crashes == 0 {
+					t.Fatalf("%s: crashes/recoveries = %d/%d", row.Protocol, cell.Crashes, cell.Recoveries)
+				}
+				if cell.Undelivered != 0 {
+					t.Fatalf("%s restart cell lost %d messages", row.Protocol, cell.Undelivered)
+				}
+				if cell.RecoveryMaxUS == 0 {
+					t.Fatalf("%s: no recovery latency recorded", row.Protocol)
+				}
+			}
+		}
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
 	if err := run([]string{"nope"}); err == nil {
 		t.Fatal("unknown experiment must fail")
@@ -126,10 +174,10 @@ func TestBenchCmd(t *testing.T) {
 		t.Skip("schedule enumeration + lossy sweep")
 	}
 	dir := t.TempDir()
-	if err := benchCmd([]string{"-dir", dir}); err != nil {
+	if err := benchCmd([]string{"-outdir", dir}); err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"BENCH_explore.json", "BENCH_faults.json"} {
+	for _, name := range []string{"BENCH_explore.json", "BENCH_faults.json", "BENCH_crashes.json"} {
 		data, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
 			t.Fatal(err)

@@ -150,41 +150,51 @@ type benchFile struct {
 	Rows        any    `json:"rows"`
 }
 
-// benchCmd regenerates the machine-readable benchmark snapshots at the
-// repo root (or -dir): BENCH_explore.json and BENCH_faults.json.
-func benchCmd(args []string) error {
-	fs := flag.NewFlagSet("mobench bench", flag.ContinueOnError)
-	dir := fs.String("dir", ".", "directory to write BENCH_*.json into")
-	if err := fs.Parse(args); err != nil {
+// writeBench writes one BENCH_*.json snapshot into outdir.
+func writeBench(outdir, name, experiment string, rows any) error {
+	path := filepath.Join(outdir, name)
+	f, err := os.Create(path)
+	if err != nil {
 		return err
 	}
-	write := func(name, experiment string, rows any) error {
-		path := filepath.Join(*dir, name)
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := printJSON(f, benchFile{
-			Experiment:  experiment,
-			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-			Rows:        rows,
-		}); err != nil {
-			return err
-		}
-		fmt.Println("wrote", path)
-		return nil
+	defer f.Close()
+	if err := printJSON(f, benchFile{
+		Experiment:  experiment,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Rows:        rows,
+	}); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+// benchCmd regenerates the machine-readable benchmark snapshots at the
+// repo root (or -outdir): BENCH_explore.json, BENCH_faults.json and
+// BENCH_crashes.json.
+func benchCmd(args []string) error {
+	fs := flag.NewFlagSet("mobench bench", flag.ContinueOnError)
+	outdir := fs.String("outdir", ".", "directory to write BENCH_*.json into")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
 	exploreRows, err := exploreData([]string{"fifo", "causal-b2"})
 	if err != nil {
 		return err
 	}
-	if err := write("BENCH_explore.json", "T3b exhaustive schedule exploration", exploreRows); err != nil {
+	if err := writeBench(*outdir, "BENCH_explore.json", "T3b exhaustive schedule exploration", exploreRows); err != nil {
 		return err
 	}
 	faultsRows, err := faultsData()
 	if err != nil {
 		return err
 	}
-	return write("BENCH_faults.json", "E9 lossy-network fault matrix", faultsRows)
+	if err := writeBench(*outdir, "BENCH_faults.json", "E9 lossy-network fault matrix", faultsRows); err != nil {
+		return err
+	}
+	crashesRows, err := crashesData()
+	if err != nil {
+		return err
+	}
+	return writeBench(*outdir, "BENCH_crashes.json", "E11 crash/recovery matrix", crashesRows)
 }

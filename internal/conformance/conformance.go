@@ -9,10 +9,12 @@
 package conformance
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"msgorder/internal/check"
+	"msgorder/internal/crash"
 	"msgorder/internal/dsim"
 	"msgorder/internal/event"
 	"msgorder/internal/obs"
@@ -60,6 +62,13 @@ type Config struct {
 	// seeded but not bit-reproducible (goroutine interleaving); leave
 	// Faults nil for byte-identical deterministic runs.
 	Faults *transport.FaultPlan
+	// Crashes, when non-nil and non-empty, schedules process crashes on
+	// the live harness (composable with Faults). Crash-restart plans
+	// still require liveness — every message delivered; plans with a
+	// crash-stop tolerate undelivered messages, since mail to (or
+	// invocations queued on) a dead process is lost by design and the
+	// recorded run is a valid prefix.
+	Crashes *crash.Plan
 	// Tracer, when non-nil, receives the run's causally stamped trace
 	// records (both harness backends honor it).
 	Tracer obs.Tracer
@@ -159,7 +168,7 @@ func (w *workload) chain(p event.ProcID) (to event.ProcID, color event.Color, ok
 // on the deterministic simulator.
 func Run(cfg Config) (*dsim.Result, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Faults != nil {
+	if cfg.Faults != nil || (cfg.Crashes != nil && cfg.Crashes.Enabled()) {
 		return runLive(cfg)
 	}
 	opts := []dsim.Option{
@@ -192,15 +201,22 @@ func Run(cfg Config) (*dsim.Result, error) {
 }
 
 // runLive drives the same workload through the live harness with fault
-// injection and the reliable transport sublayer.
+// and/or crash injection and the reliable transport sublayer.
 func runLive(cfg Config) (*dsim.Result, error) {
-	plan := *cfg.Faults
-	if plan.Seed == 0 {
-		plan.Seed = cfg.Seed*0x9e3779b9 + 101
-	}
 	sopts := []sim.Option{
 		sim.WithSeed(cfg.Seed),
-		sim.WithFaults(plan),
+	}
+	if cfg.Faults != nil {
+		plan := *cfg.Faults
+		if plan.Seed == 0 {
+			plan.Seed = cfg.Seed*0x9e3779b9 + 101
+		}
+		sopts = append(sopts, sim.WithFaults(plan))
+	}
+	tolerateLoss := false
+	if cfg.Crashes != nil {
+		sopts = append(sopts, sim.WithCrashes(*cfg.Crashes))
+		tolerateLoss = cfg.Crashes.HasStop()
 	}
 	if cfg.Tracer != nil {
 		sopts = append(sopts, sim.WithTracer(cfg.Tracer))
@@ -219,7 +235,8 @@ func runLive(cfg Config) (*dsim.Result, error) {
 	})
 	for i := 0; i < cfg.InitialMsgs; i++ {
 		from, to, color := w.initial()
-		if err := nw.Invoke(sim.Request{From: from, To: to, Color: color, Broadcast: cfg.Broadcast}); err != nil {
+		err := nw.Invoke(sim.Request{From: from, To: to, Color: color, Broadcast: cfg.Broadcast})
+		if err != nil && !(tolerateLoss && errors.Is(err, sim.ErrCrashed)) {
 			return nil, err
 		}
 	}
@@ -227,7 +244,7 @@ func runLive(cfg Config) (*dsim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(res.Undelivered) > 0 {
+	if len(res.Undelivered) > 0 && !tolerateLoss {
 		return nil, fmt.Errorf("lossy run not live: %d undelivered messages: %v",
 			len(res.Undelivered), res.Undelivered)
 	}
@@ -325,6 +342,50 @@ func FaultMatrix(cfg Config, plans []transport.FaultPlan, seeds int, pred *predi
 			}
 			cell.Runs++
 			cell.Stats.Add(res.Stats)
+			if pred != nil {
+				if _, bad := check.FindViolation(res.View, pred); bad {
+					cell.Violations++
+				}
+			}
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+// CrashCell is one cell of a crash-matrix sweep: a crash plan, the
+// number of runs executed under it, how many violated the
+// specification, how many left messages undelivered (only legal for
+// plans with a crash-stop), and the summed run statistics (including
+// crash/recovery counters).
+type CrashCell struct {
+	Plan        crash.Plan
+	Runs        int
+	Violations  int
+	Undelivered int
+	Stats       protocol.Stats
+}
+
+// CrashMatrix sweeps the workload across crash plans on the live
+// harness, checking every run's user view against pred. Each plan runs
+// `seeds` seeds (1..seeds). A protocol survives crashes iff every cell
+// reports zero violations — the delivered prefix must still satisfy the
+// specification even when a crash-stop makes the run incomplete.
+func CrashMatrix(cfg Config, plans []crash.Plan, seeds int, pred *predicate.Predicate) ([]CrashCell, error) {
+	cells := make([]CrashCell, 0, len(plans))
+	for _, plan := range plans {
+		cell := CrashCell{Plan: plan}
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			cfg.Seed = seed
+			p := plan
+			cfg.Crashes = &p
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("plan %+v seed %d: %w", plan, seed, err)
+			}
+			cell.Runs++
+			cell.Stats.Add(res.Stats)
+			cell.Undelivered += len(res.Undelivered)
 			if pred != nil {
 				if _, bad := check.FindViolation(res.View, pred); bad {
 					cell.Violations++

@@ -1,0 +1,225 @@
+// Package crash is the process-failure layer of the live harness: a
+// seeded crash injector, a write-ahead log for durable protocol state,
+// and a timeout-based failure detector.
+//
+// The paper's protocols assume immortal processes — all inhibition
+// state (vector clocks, pending tags, blocked deliveries) lives only in
+// memory. This package supplies the other half of the failure model
+// that internal/transport started: processes that crash-stop (die
+// forever) or crash-restart (come back after a downtime and must
+// re-establish their pre-crash ordering state).
+//
+// The three pieces compose as follows. The Injector wraps the live
+// harness's scheduler and fires crash Specs at chosen points of the
+// adversary's release sequence, so crash timing is part of the seeded
+// schedule rather than wall-clock noise. Each process journals its
+// handler inputs and outputs into a WAL; on restart the harness replays
+// the journal suffix (on top of the latest protocol.Snapshotter
+// checkpoint, when one exists) into a fresh instance and verifies that
+// the replayed instance re-emits exactly the sends and deliveries the
+// pre-crash instance journaled — a divergence means the protocol's
+// state is not a function of its event history and recovery would
+// silently break its ordering guarantee. The Detector is purely
+// observational: it watches per-process heartbeats and surfaces
+// suspect/alive transitions as obs records and metrics, without
+// feeding back into protocol behaviour.
+package crash
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"msgorder/internal/event"
+	"msgorder/internal/transport"
+)
+
+// Spec schedules one crash of one process.
+type Spec struct {
+	// Proc is the process to crash.
+	Proc event.ProcID
+	// At is the adversary release count after which the crash fires:
+	// the crash happens just before the At-th transmission is released.
+	// Counting releases (not wall time) keeps crash placement coupled to
+	// the seeded schedule.
+	At int
+	// Restart selects crash-restart (recover after Downtime) over
+	// crash-stop (dead forever).
+	Restart bool
+	// Downtime is how long the process stays down before restarting
+	// (crash-restart only; 0 means the plan default).
+	Downtime time.Duration
+}
+
+// Plan configures crash injection for one run. The zero plan injects
+// nothing.
+type Plan struct {
+	// Crashes are the scheduled crashes, in any order.
+	Crashes []Spec
+	// SnapshotEvery checkpoints a Snapshotter protocol's state after
+	// every N journaled entries, truncating the WAL (0: never snapshot,
+	// recovery replays the full journal).
+	SnapshotEvery int
+	// Downtime is the default crash-restart downtime (default 25ms).
+	Downtime time.Duration
+	// Detector tunes the failure detector (zero value: defaults).
+	Detector DetectorConfig
+	// WALDir, when non-empty, backs each process's WAL with a file in
+	// that directory instead of memory only.
+	WALDir string
+}
+
+// DefaultDowntime is the crash-restart downtime when a plan does not
+// set one.
+const DefaultDowntime = 25 * time.Millisecond
+
+// Enabled reports whether the plan schedules any crash.
+func (p Plan) Enabled() bool { return len(p.Crashes) > 0 }
+
+// HasStop reports whether any scheduled crash is a crash-stop. Runs
+// with crash-stops lose liveness by design: messages addressed to (or
+// inhibited behind) a dead process may stay undelivered, and the
+// recorded run is a valid prefix rather than a complete run.
+func (p Plan) HasStop() bool {
+	for _, s := range p.Crashes {
+		if !s.Restart {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxProc returns the largest process id the plan crashes (-1 if none).
+func (p Plan) MaxProc() event.ProcID {
+	max := event.ProcID(-1)
+	for _, s := range p.Crashes {
+		if s.Proc > max {
+			max = s.Proc
+		}
+	}
+	return max
+}
+
+// Validate rejects plans that reference processes outside [0, n) or
+// schedule a crash before the first release.
+func (p Plan) Validate(n int) error {
+	for _, s := range p.Crashes {
+		if s.Proc < 0 || int(s.Proc) >= n {
+			return fmt.Errorf("crash: spec for P%d outside [0, %d)", s.Proc, n)
+		}
+		if s.At < 1 {
+			return fmt.Errorf("crash: spec for P%d at release %d (must be >= 1)", s.Proc, s.At)
+		}
+	}
+	return nil
+}
+
+// RestartStagger builds a crash-restart plan that crashes each given
+// process once, the first at release `first` and each subsequent one
+// `gap` releases later. downtime 0 means the package default.
+func RestartStagger(procs []event.ProcID, first, gap int, downtime time.Duration) Plan {
+	p := Plan{Downtime: downtime}
+	at := first
+	for _, q := range procs {
+		p.Crashes = append(p.Crashes, Spec{Proc: q, At: at, Restart: true})
+		at += gap
+	}
+	return p
+}
+
+// StopOne builds a crash-stop plan that kills one process at the given
+// release.
+func StopOne(proc event.ProcID, at int) Plan {
+	return Plan{Crashes: []Spec{{Proc: proc, At: at}}}
+}
+
+// Scheduler is the live harness's adversary hook (structurally
+// identical to sim.Scheduler; redeclared here so sim can depend on
+// crash and not the reverse).
+type Scheduler interface {
+	// Pick chooses which of n in-flight transmissions to release next.
+	Pick(n int) int
+	// Fate decides what the network does to the released transmission.
+	Fate(from, to event.ProcID) transport.Action
+}
+
+// InjectorCounters tallies crash injection.
+type InjectorCounters struct {
+	// Fired counts crashes handed to the harness.
+	Fired int
+	// Skipped counts specs that were due while their process was
+	// already down (or dead forever) and were dropped.
+	Skipped int
+}
+
+// Injector fires a Plan's crashes at their scheduled release counts.
+// It wraps the harness's Scheduler: every Fate call is one release, and
+// crashes due at or before the current release count are handed to the
+// onCrash callback (outside the injector's lock) just before the
+// release proceeds. onCrash must not call back into the injector and
+// must not block on the adversary loop.
+type Injector struct {
+	mu       sync.Mutex
+	inner    Scheduler
+	pending  []Spec // sorted by At
+	releases int
+	counts   InjectorCounters
+	onCrash  func(Spec) bool // reports whether the crash actually fired
+}
+
+// NewInjector wraps inner so that plan's crashes fire through onCrash.
+func NewInjector(plan Plan, inner Scheduler, onCrash func(Spec) bool) *Injector {
+	pending := append([]Spec(nil), plan.Crashes...)
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].At < pending[j].At })
+	for i := range pending {
+		if pending[i].Restart && pending[i].Downtime <= 0 {
+			pending[i].Downtime = plan.Downtime
+			if pending[i].Downtime <= 0 {
+				pending[i].Downtime = DefaultDowntime
+			}
+		}
+	}
+	return &Injector{inner: inner, pending: pending, onCrash: onCrash}
+}
+
+// Pick delegates to the wrapped scheduler.
+func (in *Injector) Pick(n int) int { return in.inner.Pick(n) }
+
+// Fate counts one release, fires any crashes that have come due, then
+// delegates the fault decision to the wrapped scheduler.
+func (in *Injector) Fate(from, to event.ProcID) transport.Action {
+	in.mu.Lock()
+	in.releases++
+	var due []Spec
+	for len(in.pending) > 0 && in.pending[0].At <= in.releases {
+		due = append(due, in.pending[0])
+		in.pending = in.pending[1:]
+	}
+	in.mu.Unlock()
+	for _, s := range due {
+		fired := in.onCrash(s)
+		in.mu.Lock()
+		if fired {
+			in.counts.Fired++
+		} else {
+			in.counts.Skipped++
+		}
+		in.mu.Unlock()
+	}
+	return in.inner.Fate(from, to)
+}
+
+// Releases returns the number of Fate calls so far.
+func (in *Injector) Releases() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.releases
+}
+
+// Counters returns a snapshot of the injection tallies.
+func (in *Injector) Counters() InjectorCounters {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts
+}

@@ -1,0 +1,248 @@
+package crash
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"msgorder/internal/event"
+	"msgorder/internal/obs"
+	"msgorder/internal/protocol"
+	"msgorder/internal/transport"
+)
+
+type fateCounter struct{ picks, fates int }
+
+func (f *fateCounter) Pick(n int) int { f.picks++; return 0 }
+func (f *fateCounter) Fate(from, to event.ProcID) transport.Action {
+	f.fates++
+	return transport.Deliver
+}
+
+func TestInjectorFiresAtReleaseCounts(t *testing.T) {
+	plan := Plan{Crashes: []Spec{
+		{Proc: 2, At: 5, Restart: true},
+		{Proc: 1, At: 2, Restart: true},
+	}}
+	var fired []Spec
+	inner := &fateCounter{}
+	in := NewInjector(plan, inner, func(s Spec) bool {
+		fired = append(fired, s)
+		return true
+	})
+	for i := 1; i <= 6; i++ {
+		in.Fate(0, 1)
+		switch {
+		case i < 2 && len(fired) != 0:
+			t.Fatalf("release %d: crash fired early", i)
+		case i >= 2 && i < 5 && len(fired) != 1:
+			t.Fatalf("release %d: fired = %d, want 1", i, len(fired))
+		case i >= 5 && len(fired) != 2:
+			t.Fatalf("release %d: fired = %d, want 2", i, len(fired))
+		}
+	}
+	// Specs fire in At order regardless of plan order, with the default
+	// downtime filled in.
+	if fired[0].Proc != 1 || fired[1].Proc != 2 {
+		t.Fatalf("fired order = %v", fired)
+	}
+	if fired[0].Downtime != DefaultDowntime {
+		t.Fatalf("downtime = %v, want default %v", fired[0].Downtime, DefaultDowntime)
+	}
+	if c := in.Counters(); c.Fired != 2 || c.Skipped != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if inner.fates != 6 {
+		t.Fatalf("inner scheduler saw %d fates, want 6", inner.fates)
+	}
+}
+
+func TestInjectorCountsSkips(t *testing.T) {
+	plan := Plan{Crashes: []Spec{{Proc: 0, At: 1}, {Proc: 0, At: 2}}}
+	calls := 0
+	in := NewInjector(plan, &fateCounter{}, func(Spec) bool {
+		calls++
+		return calls == 1 // second crash of an already-dead process
+	})
+	in.Fate(0, 1)
+	in.Fate(0, 1)
+	if c := in.Counters(); c.Fired != 1 || c.Skipped != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if err := (Plan{Crashes: []Spec{{Proc: 3, At: 1}}}).Validate(3); err == nil {
+		t.Fatal("out-of-range proc must be rejected")
+	}
+	if err := (Plan{Crashes: []Spec{{Proc: 0, At: 0}}}).Validate(3); err == nil {
+		t.Fatal("At=0 must be rejected")
+	}
+	if err := (Plan{Crashes: []Spec{{Proc: 2, At: 7}}}).Validate(3); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestPlanHelpers(t *testing.T) {
+	p := RestartStagger([]event.ProcID{1, 2}, 4, 3, 0)
+	want := []Spec{{Proc: 1, At: 4, Restart: true}, {Proc: 2, At: 7, Restart: true}}
+	if !reflect.DeepEqual(p.Crashes, want) {
+		t.Fatalf("RestartStagger = %+v", p.Crashes)
+	}
+	if p.HasStop() {
+		t.Fatal("restart-only plan reports HasStop")
+	}
+	if !StopOne(1, 5).HasStop() {
+		t.Fatal("StopOne must report HasStop")
+	}
+	if got := p.MaxProc(); got != 2 {
+		t.Fatalf("MaxProc = %d", got)
+	}
+	if !p.Enabled() || (Plan{}).Enabled() {
+		t.Fatal("Enabled misreports")
+	}
+}
+
+func walEntries() []Entry {
+	return []Entry{
+		{Kind: EntryInvoke, Msg: event.Message{ID: 3, From: 0, To: 2, Color: event.ColorRed}},
+		{Kind: EntryBroadcast, Msgs: []event.Message{
+			{ID: 4, From: 0, To: 1}, {ID: 5, From: 0, To: 2},
+		}},
+		{Kind: EntrySend, Wire: protocol.Wire{
+			From: 0, To: 2, Kind: protocol.UserWire, Msg: 3,
+			Color: event.ColorRed, Tag: []byte{1, 2, 3},
+		}},
+		{Kind: EntryReceive, Wire: protocol.Wire{
+			From: 1, To: 0, Kind: protocol.ControlWire, Ctrl: 7, Tag: []byte{9},
+		}},
+		{Kind: EntryDeliver, ID: 3},
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	w := NewWAL()
+	for _, e := range walEntries() {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, got := w.Replay()
+	if snap != nil {
+		t.Fatalf("unexpected snapshot %v", snap)
+	}
+	if !reflect.DeepEqual(got, walEntries()) {
+		t.Fatalf("replay = %+v\nwant %+v", got, walEntries())
+	}
+	if w.SinceCheckpoint() != 5 || w.Total() != 5 {
+		t.Fatalf("lengths = %d/%d", w.SinceCheckpoint(), w.Total())
+	}
+
+	if err := w.Checkpoint([]byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	extra := Entry{Kind: EntryDeliver, ID: 9}
+	if err := w.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	snap, got = w.Replay()
+	if string(snap) != "state" {
+		t.Fatalf("snapshot = %q", snap)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0], extra) {
+		t.Fatalf("entries after checkpoint = %+v", got)
+	}
+	if w.SinceCheckpoint() != 1 || w.Total() != 6 {
+		t.Fatalf("lengths = %d/%d", w.SinceCheckpoint(), w.Total())
+	}
+}
+
+func TestFileWALSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p0.wal")
+	w, err := OpenFileWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range walEntries()[:3] {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Checkpoint([]byte{0xAB, 0xCD}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range walEntries()[3:] {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenFileWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	snap, entries := re.Replay()
+	if string(snap) != "\xab\xcd" {
+		t.Fatalf("snapshot = %x", snap)
+	}
+	if !reflect.DeepEqual(entries, walEntries()[3:]) {
+		t.Fatalf("entries = %+v\nwant %+v", entries, walEntries()[3:])
+	}
+}
+
+func TestSameOutput(t *testing.T) {
+	send := walEntries()[2]
+	if !SameOutput(send, send) {
+		t.Fatal("identical sends must match")
+	}
+	mut := send
+	mut.Wire.Tag = []byte{1, 2, 4}
+	if SameOutput(send, mut) {
+		t.Fatal("differing tags must not match")
+	}
+	if SameOutput(Entry{Kind: EntryDeliver, ID: 1}, Entry{Kind: EntryDeliver, ID: 2}) {
+		t.Fatal("differing deliveries must not match")
+	}
+	if SameOutput(send, Entry{Kind: EntryDeliver, ID: 3}) {
+		t.Fatal("kind mismatch must not match")
+	}
+}
+
+func TestDetectorSuspectsAndClears(t *testing.T) {
+	reg := obs.NewRegistry()
+	d := NewDetector(2, DetectorConfig{Interval: 2 * time.Millisecond, Timeout: 8 * time.Millisecond},
+		&obs.Sink{Metrics: reg})
+	defer d.Close()
+	d.MarkCrashed(1, true)
+
+	// P0 keeps beating; P1 goes silent and must be suspected.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(d.Suspects()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("silent process never suspected")
+		}
+		d.Beat(0)
+		time.Sleep(time.Millisecond)
+	}
+	if s := d.Suspects(); len(s) != 1 || s[0] != 1 {
+		t.Fatalf("suspects = %v, want [1]", s)
+	}
+
+	// A resumed heartbeat clears the suspicion.
+	d.Beat(1)
+	if len(d.Suspects()) != 0 {
+		t.Fatalf("suspects = %v after heartbeat", d.Suspects())
+	}
+	c := d.Counters()
+	if c.Suspicions < 1 || c.Alives < 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if c.FalseSuspicions > c.Suspicions-1 {
+		t.Fatalf("counters = %+v: P1's suspicion counted as false", c)
+	}
+}

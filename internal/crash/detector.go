@@ -1,0 +1,200 @@
+package crash
+
+import (
+	"sync"
+	"time"
+
+	"msgorder/internal/event"
+	"msgorder/internal/obs"
+)
+
+// DetectorConfig tunes the failure detector.
+type DetectorConfig struct {
+	// Interval is the expected heartbeat period (default 2ms). The
+	// harness beats once per Interval for each live process.
+	Interval time.Duration
+	// Timeout is the heartbeat silence after which a process is
+	// suspected (default 5×Interval). Shorter timeouts detect crashes
+	// faster but mis-suspect processes the OS scheduler starved; the
+	// FalseSuspicions counter measures that trade-off.
+	Timeout time.Duration
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * c.Interval
+	}
+	return c
+}
+
+// DetectorCounters tallies suspect/alive transitions.
+type DetectorCounters struct {
+	// Suspicions counts suspect transitions.
+	Suspicions int
+	// Alives counts suspicions cleared by a resumed heartbeat.
+	Alives int
+	// FalseSuspicions counts suspicions of processes the harness never
+	// crashed — detector noise, not failures.
+	FalseSuspicions int
+}
+
+// Detector is a timeout-based failure detector: it watches per-process
+// heartbeats and flips processes between alive and suspected, emitting
+// obs trace records and metrics on every transition. It is purely
+// observational — nothing in the harness acts on its verdicts — which
+// keeps its inherent false suspicions from perturbing the run while
+// still measuring real-world detection latency. Safe for concurrent
+// use.
+type Detector struct {
+	mu          sync.Mutex
+	cfg         DetectorConfig
+	sink        *obs.Sink
+	last        []time.Time
+	suspect     []bool
+	suspectedAt []time.Time
+	crashed     []bool // harness ground truth, for the false-positive tally
+	counts      DetectorCounters
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewDetector starts a detector over n processes emitting into sink
+// (nil: no emission, counters only). Close must be called to stop its
+// monitor goroutine.
+func NewDetector(n int, cfg DetectorConfig, sink *obs.Sink) *Detector {
+	d := &Detector{
+		cfg:         cfg.withDefaults(),
+		sink:        sink,
+		last:        make([]time.Time, n),
+		suspect:     make([]bool, n),
+		suspectedAt: make([]time.Time, n),
+		crashed:     make([]bool, n),
+		stop:        make(chan struct{}),
+	}
+	now := time.Now()
+	for i := range d.last {
+		d.last[i] = now
+	}
+	d.wg.Add(1)
+	go d.monitor()
+	return d
+}
+
+// Config returns the detector's effective (defaulted) configuration.
+func (d *Detector) Config() DetectorConfig { return d.cfg }
+
+// Beat records a heartbeat from p, clearing any suspicion.
+func (d *Detector) Beat(p event.ProcID) {
+	d.mu.Lock()
+	d.last[p] = time.Now()
+	wasSuspect := d.suspect[p]
+	var latency time.Duration
+	if wasSuspect {
+		d.suspect[p] = false
+		d.counts.Alives++
+		latency = time.Since(d.suspectedAt[p])
+	}
+	s := d.sink
+	d.mu.Unlock()
+	if wasSuspect {
+		s.Count("crash.detector.alives", 1)
+		s.Observe("crash.detector.suspected.us", latency.Microseconds())
+		s.Trace(obs.Record{
+			Step: s.Step(), Proc: p, Op: obs.OpAlive, Msg: obs.NoMsg,
+			Note: "heartbeat resumed after " + latency.String(),
+		})
+	}
+}
+
+// MarkCrashed tells the detector the harness really crashed p, so a
+// following suspicion is a true positive. Purely bookkeeping for the
+// FalseSuspicions counter.
+func (d *Detector) MarkCrashed(p event.ProcID, crashed bool) {
+	d.mu.Lock()
+	d.crashed[p] = crashed
+	d.mu.Unlock()
+}
+
+// Suspects returns the currently suspected processes.
+func (d *Detector) Suspects() []event.ProcID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []event.ProcID
+	for p, s := range d.suspect {
+		if s {
+			out = append(out, event.ProcID(p))
+		}
+	}
+	return out
+}
+
+// Counters returns a snapshot of the transition tallies.
+func (d *Detector) Counters() DetectorCounters {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.counts
+}
+
+// Close stops the monitor goroutine and waits for it to exit.
+func (d *Detector) Close() {
+	d.stopOnce.Do(func() { close(d.stop) })
+	d.wg.Wait()
+}
+
+// monitor scans for heartbeat silence every Interval.
+func (d *Detector) monitor() {
+	defer d.wg.Done()
+	t := time.NewTicker(d.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case now := <-t.C:
+			d.scan(now)
+		}
+	}
+}
+
+// scan flips silent processes to suspected.
+func (d *Detector) scan(now time.Time) {
+	type flip struct {
+		p       event.ProcID
+		silence time.Duration
+		isFalse bool
+	}
+	var flips []flip
+	d.mu.Lock()
+	for p := range d.last {
+		if d.suspect[p] {
+			continue
+		}
+		if silence := now.Sub(d.last[p]); silence > d.cfg.Timeout {
+			d.suspect[p] = true
+			d.suspectedAt[p] = now
+			d.counts.Suspicions++
+			isFalse := !d.crashed[p]
+			if isFalse {
+				d.counts.FalseSuspicions++
+			}
+			flips = append(flips, flip{event.ProcID(p), silence, isFalse})
+		}
+	}
+	s := d.sink
+	d.mu.Unlock()
+	for _, f := range flips {
+		s.Count("crash.detector.suspicions", 1)
+		if f.isFalse {
+			s.Count("crash.detector.false_suspicions", 1)
+		}
+		s.Trace(obs.Record{
+			Step: s.Step(), Proc: f.p, Op: obs.OpSuspect, Msg: obs.NoMsg,
+			Note: "no heartbeat for " + f.silence.String(),
+		})
+	}
+}

@@ -1,0 +1,373 @@
+package crash
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+)
+
+// EntryKind identifies what a WAL entry journals.
+type EntryKind uint8
+
+// WAL entry kinds. Invoke, Broadcast and Receive are handler *inputs*
+// (replayed into the recovering instance); Send and Deliver are handler
+// *outputs* (used to verify the replayed instance re-emits the same
+// effects, which the harness suppresses during replay).
+const (
+	EntryInvoke EntryKind = iota + 1
+	EntryBroadcast
+	EntryReceive
+	EntrySend
+	EntryDeliver
+)
+
+// snapshotRecord tags a checkpoint in the file encoding.
+const snapshotRecord = 0x7F
+
+// String returns the kind name.
+func (k EntryKind) String() string {
+	switch k {
+	case EntryInvoke:
+		return "invoke"
+	case EntryBroadcast:
+		return "broadcast"
+	case EntryReceive:
+		return "receive"
+	case EntrySend:
+		return "send"
+	case EntryDeliver:
+		return "deliver"
+	default:
+		return fmt.Sprintf("entry(%d)", uint8(k))
+	}
+}
+
+// Entry is one journaled protocol event.
+type Entry struct {
+	Kind EntryKind
+	// Msg is the invoked message (EntryInvoke).
+	Msg event.Message
+	// Msgs are the copies of one logical broadcast (EntryBroadcast).
+	Msgs []event.Message
+	// Wire is the received or sent wire (EntryReceive, EntrySend). The
+	// observability stamp (Wire.VC) is not journaled.
+	Wire protocol.Wire
+	// ID is the delivered message (EntryDeliver).
+	ID event.MsgID
+}
+
+// Input reports whether the entry is a handler input (replayed) rather
+// than an output (verified).
+func (e Entry) Input() bool {
+	return e.Kind == EntryInvoke || e.Kind == EntryBroadcast || e.Kind == EntryReceive
+}
+
+// ErrWALCorrupt reports a malformed WAL file.
+var ErrWALCorrupt = errors.New("crash: corrupt WAL encoding")
+
+// WAL is one process's append-only write-ahead log. It holds the
+// latest snapshot checkpoint plus every entry journaled since, and
+// optionally mirrors both into a file. Safe for concurrent use (the
+// process goroutine appends while the restart goroutine replays).
+type WAL struct {
+	mu      sync.Mutex
+	snap    []byte // latest checkpoint (nil: none)
+	entries []Entry
+	total   int // entries ever journaled, across checkpoints
+	f       *os.File
+}
+
+// NewWAL returns an empty in-memory WAL.
+func NewWAL() *WAL { return &WAL{} }
+
+// OpenFileWAL opens (or creates) a file-backed WAL, loading any
+// snapshot and entries a previous incarnation persisted.
+func OpenFileWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := &WAL{f: f}
+	if err := w.load(b); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// load parses a serialized WAL into the in-memory mirror.
+func (w *WAL) load(b []byte) error {
+	for len(b) > 0 {
+		if b[0] == snapshotRecord {
+			rest, snap, err := readBytes(b[1:])
+			if err != nil {
+				return err
+			}
+			w.snap = snap
+			w.entries = nil
+			b = rest
+			continue
+		}
+		rest, e, err := decodeEntry(b)
+		if err != nil {
+			return err
+		}
+		w.entries = append(w.entries, e)
+		w.total++
+		b = rest
+	}
+	return nil
+}
+
+// Append journals one entry.
+func (w *WAL) Append(e Entry) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.entries = append(w.entries, e)
+	w.total++
+	if w.f == nil {
+		return nil
+	}
+	if _, err := w.f.Write(encodeEntry(nil, e)); err != nil {
+		return fmt.Errorf("crash: WAL append: %w", err)
+	}
+	return nil
+}
+
+// Checkpoint replaces everything journaled so far with a snapshot:
+// recovery will restore snap and replay only entries appended after
+// this call.
+func (w *WAL) Checkpoint(snap []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.snap = append([]byte(nil), snap...)
+	w.entries = nil
+	if w.f == nil {
+		return nil
+	}
+	buf := append([]byte{snapshotRecord}, binary.AppendUvarint(nil, uint64(len(w.snap)))...)
+	buf = append(buf, w.snap...)
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("crash: WAL checkpoint: %w", err)
+	}
+	if _, err := w.f.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("crash: WAL checkpoint: %w", err)
+	}
+	if _, err := w.f.Seek(int64(len(buf)), 0); err != nil {
+		return fmt.Errorf("crash: WAL checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Replay returns the latest snapshot (nil if none) and a copy of the
+// entries journaled since.
+func (w *WAL) Replay() ([]byte, []Entry) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var snap []byte
+	if w.snap != nil {
+		snap = append([]byte(nil), w.snap...)
+	}
+	return snap, append([]Entry(nil), w.entries...)
+}
+
+// SinceCheckpoint returns the number of entries journaled since the
+// latest checkpoint (or ever, without one).
+func (w *WAL) SinceCheckpoint() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.entries)
+}
+
+// Total returns the number of entries ever journaled.
+func (w *WAL) Total() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.total
+}
+
+// Close releases the backing file, if any.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// SameOutput reports whether two output entries describe the same
+// effect: identical deliveries, or sends of byte-identical wires
+// (ignoring the observability stamp).
+func SameOutput(a, b Entry) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case EntryDeliver:
+		return a.ID == b.ID
+	case EntrySend:
+		return a.Wire.From == b.Wire.From && a.Wire.To == b.Wire.To &&
+			a.Wire.Kind == b.Wire.Kind && a.Wire.Msg == b.Wire.Msg &&
+			a.Wire.Color == b.Wire.Color && a.Wire.Ctrl == b.Wire.Ctrl &&
+			bytes.Equal(a.Wire.Tag, b.Wire.Tag)
+	default:
+		return false
+	}
+}
+
+// encodeEntry appends e's file encoding to buf.
+func encodeEntry(buf []byte, e Entry) []byte {
+	buf = append(buf, byte(e.Kind))
+	switch e.Kind {
+	case EntryInvoke:
+		buf = appendMessage(buf, e.Msg)
+	case EntryBroadcast:
+		buf = binary.AppendUvarint(buf, uint64(len(e.Msgs)))
+		for _, m := range e.Msgs {
+			buf = appendMessage(buf, m)
+		}
+	case EntryReceive, EntrySend:
+		buf = appendWire(buf, e.Wire)
+	case EntryDeliver:
+		buf = binary.AppendUvarint(buf, uint64(e.ID))
+	}
+	return buf
+}
+
+// decodeEntry parses one entry off the front of b.
+func decodeEntry(b []byte) ([]byte, Entry, error) {
+	if len(b) == 0 {
+		return nil, Entry{}, ErrWALCorrupt
+	}
+	e := Entry{Kind: EntryKind(b[0])}
+	b = b[1:]
+	var err error
+	switch e.Kind {
+	case EntryInvoke:
+		b, e.Msg, err = readMessage(b)
+	case EntryBroadcast:
+		var n uint64
+		b, n, err = readUvarint(b)
+		if err == nil && n > 1<<20 {
+			err = ErrWALCorrupt
+		}
+		for i := uint64(0); err == nil && i < n; i++ {
+			var m event.Message
+			b, m, err = readMessage(b)
+			e.Msgs = append(e.Msgs, m)
+		}
+	case EntryReceive, EntrySend:
+		b, e.Wire, err = readWire(b)
+	case EntryDeliver:
+		var id uint64
+		b, id, err = readUvarint(b)
+		e.ID = event.MsgID(id)
+	default:
+		err = ErrWALCorrupt
+	}
+	if err != nil {
+		return nil, Entry{}, err
+	}
+	return b, e, nil
+}
+
+func appendMessage(buf []byte, m event.Message) []byte {
+	buf = binary.AppendUvarint(buf, uint64(m.ID))
+	buf = binary.AppendUvarint(buf, uint64(m.From))
+	buf = binary.AppendUvarint(buf, uint64(m.To))
+	buf = binary.AppendUvarint(buf, uint64(m.Color))
+	return buf
+}
+
+func readMessage(b []byte) ([]byte, event.Message, error) {
+	var m event.Message
+	vals := make([]uint64, 4)
+	var err error
+	for i := range vals {
+		if b, vals[i], err = readUvarint(b); err != nil {
+			return nil, m, err
+		}
+	}
+	m = event.Message{
+		ID:    event.MsgID(vals[0]),
+		From:  event.ProcID(vals[1]),
+		To:    event.ProcID(vals[2]),
+		Color: event.Color(vals[3]),
+	}
+	return b, m, nil
+}
+
+func appendWire(buf []byte, w protocol.Wire) []byte {
+	buf = binary.AppendUvarint(buf, uint64(w.From))
+	buf = binary.AppendUvarint(buf, uint64(w.To))
+	buf = append(buf, byte(w.Kind), w.Ctrl)
+	buf = binary.AppendUvarint(buf, uint64(w.Msg))
+	buf = binary.AppendUvarint(buf, uint64(w.Color))
+	buf = binary.AppendUvarint(buf, uint64(len(w.Tag)))
+	buf = append(buf, w.Tag...)
+	return buf
+}
+
+func readWire(b []byte) ([]byte, protocol.Wire, error) {
+	var w protocol.Wire
+	var from, to uint64
+	var err error
+	if b, from, err = readUvarint(b); err != nil {
+		return nil, w, err
+	}
+	if b, to, err = readUvarint(b); err != nil {
+		return nil, w, err
+	}
+	if len(b) < 2 {
+		return nil, w, ErrWALCorrupt
+	}
+	w.From, w.To = event.ProcID(from), event.ProcID(to)
+	w.Kind, w.Ctrl = protocol.WireKind(b[0]), b[1]
+	b = b[2:]
+	var msg, color uint64
+	if b, msg, err = readUvarint(b); err != nil {
+		return nil, w, err
+	}
+	if b, color, err = readUvarint(b); err != nil {
+		return nil, w, err
+	}
+	w.Msg, w.Color = event.MsgID(msg), event.Color(color)
+	var tag []byte
+	if b, tag, err = readBytes(b); err != nil {
+		return nil, w, err
+	}
+	if len(tag) > 0 {
+		w.Tag = tag
+	}
+	return b, w, nil
+}
+
+func readUvarint(b []byte) ([]byte, uint64, error) {
+	v, k := binary.Uvarint(b)
+	if k <= 0 {
+		return nil, 0, ErrWALCorrupt
+	}
+	return b[k:], v, nil
+}
+
+func readBytes(b []byte) ([]byte, []byte, error) {
+	b, n, err := readUvarint(b)
+	if err != nil || uint64(len(b)) < n || n > 1<<30 {
+		return nil, nil, ErrWALCorrupt
+	}
+	return b[n:], append([]byte(nil), b[:n]...), nil
+}

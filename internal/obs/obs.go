@@ -67,6 +67,18 @@ const (
 	OpStallVerdict
 	// OpExpand is one explorer choice-point expansion.
 	OpExpand
+	// OpCrash is an injected process crash (crash-stop or the start of
+	// a crash-restart cycle).
+	OpCrash
+	// OpRecover is a process completing recovery: snapshot restored,
+	// WAL suffix replayed, goroutine restarted.
+	OpRecover
+	// OpSuspect is the failure detector suspecting a process after
+	// heartbeat silence.
+	OpSuspect
+	// OpAlive is the failure detector clearing a suspicion after
+	// heartbeats resume.
+	OpAlive
 )
 
 var opNames = map[Op]string{
@@ -84,6 +96,10 @@ var opNames = map[Op]string{
 	OpStallExtend:    "stall-extend",
 	OpStallVerdict:   "stall-verdict",
 	OpExpand:         "expand",
+	OpCrash:          "crash",
+	OpRecover:        "recover",
+	OpSuspect:        "suspect",
+	OpAlive:          "alive",
 }
 
 // String returns the operation's wire name (used in exports).

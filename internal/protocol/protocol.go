@@ -115,6 +115,18 @@ type Process interface {
 // Maker constructs a fresh protocol instance for one process.
 type Maker func() Process
 
+// Snapshotter is implemented by protocol processes whose state can be
+// checkpointed for crash recovery. Snapshot must return a deterministic
+// encoding of the instance's complete ordering state (the same state
+// must always encode to the same bytes, so recovery can be verified);
+// Restore must rebuild that state onto a freshly Init'd instance.
+// Snapshots let the write-ahead log be truncated: a recovering process
+// restores the latest snapshot and replays only the journal suffix.
+type Snapshotter interface {
+	Snapshot() []byte
+	Restore(b []byte) error
+}
+
 // Broadcaster is implemented by protocols with native broadcast support
 // (the paper's multicast extension): the harness hands every copy of one
 // logical broadcast to the protocol together, so it can stamp them with a
@@ -153,6 +165,10 @@ type Stats struct {
 	Retransmits    int // transport-level resends (not recorded as sends)
 	DupsDropped    int // duplicate envelopes absorbed by transport dedup
 	FaultsInjected int // drops+dups+delays+partition cuts injected
+
+	Crashes        int // process crashes injected (stop + restart)
+	Recoveries     int // crash-restart cycles completed
+	ReplayedEvents int // WAL entries replayed across all recoveries
 }
 
 // Add accumulates other into s.
@@ -165,6 +181,9 @@ func (s *Stats) Add(o Stats) {
 	s.Retransmits += o.Retransmits
 	s.DupsDropped += o.DupsDropped
 	s.FaultsInjected += o.FaultsInjected
+	s.Crashes += o.Crashes
+	s.Recoveries += o.Recoveries
+	s.ReplayedEvents += o.ReplayedEvents
 }
 
 // ControlPerUser returns the control-message overhead ratio.
@@ -249,6 +268,17 @@ func (r *Recorder) RecordTransport(retransmits, dupsDropped, faultsInjected int)
 	r.stats.Retransmits += retransmits
 	r.stats.DupsDropped += dupsDropped
 	r.stats.FaultsInjected += faultsInjected
+}
+
+// RecordCrashes folds crash-injection counters into the stats (live
+// harness only): crashes fired, recoveries completed, and total WAL
+// entries replayed while recovering.
+func (r *Recorder) RecordCrashes(crashes, recoveries, replayed int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.Crashes += crashes
+	r.stats.Recoveries += recoveries
+	r.stats.ReplayedEvents += replayed
 }
 
 // RecordControl accounts a control wire.

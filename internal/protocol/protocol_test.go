@@ -100,6 +100,31 @@ func TestRecorderUndelivered(t *testing.T) {
 	}
 }
 
+// An empty run has no invoked messages, so nothing can be undelivered —
+// the degenerate case a crashed-at-start process produces.
+func TestRecorderUndeliveredEmpty(t *testing.T) {
+	r := NewRecorder(2)
+	if got := r.Undelivered(); len(got) != 0 {
+		t.Fatalf("empty recorder undelivered = %v, want none", got)
+	}
+	// A message that was created but never sent still counts as
+	// undelivered: the invoke happened, the delivery did not.
+	m := r.NewMessage(1, 0, event.ColorNone)
+	if got := r.Undelivered(); len(got) != 1 || got[0] != m.ID {
+		t.Fatalf("undelivered = %v, want [%d]", got, m.ID)
+	}
+}
+
+func TestRecordCrashes(t *testing.T) {
+	r := NewRecorder(2)
+	r.RecordCrashes(2, 1, 17)
+	r.RecordCrashes(1, 1, 3)
+	s := r.Stats()
+	if s.Crashes != 3 || s.Recoveries != 2 || s.ReplayedEvents != 20 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
 func TestRecordTransport(t *testing.T) {
 	r := NewRecorder(2)
 	r.RecordTransport(4, 2, 7)

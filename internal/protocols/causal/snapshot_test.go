@@ -1,0 +1,82 @@
+package causal
+
+import (
+	"reflect"
+	"testing"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/ptest"
+)
+
+// twoToOne scripts the common scenario: P0 sends m0 then m1 to P1, and
+// P1 receives them out of order so m1 is held when the crash hits.
+func twoToOne(t *testing.T, mk func() protocol.Process) (held protocol.Process, henv *ptest.Env, wires []protocol.Wire) {
+	t.Helper()
+	sender := mk()
+	senv := ptest.NewEnv(0, 3)
+	sender.Init(senv)
+	sender.OnInvoke(event.Message{ID: 0, From: 0, To: 1})
+	sender.OnInvoke(event.Message{ID: 1, From: 0, To: 1})
+	wires = senv.TakeSent()
+
+	recv := mk()
+	renv := ptest.NewEnv(1, 3)
+	recv.Init(renv)
+	recv.OnReceive(wires[1])
+	if len(renv.Delivered) != 0 {
+		t.Fatalf("causally later message delivered first: %v", renv.DeliveredSeq())
+	}
+	return recv, renv, wires
+}
+
+func TestRSTSnapshotMidStream(t *testing.T) {
+	recv, _, wires := twoToOne(t, RSTMaker)
+	clone := RSTMaker()
+	cenv := ptest.NewEnv(1, 3)
+	clone.Init(cenv)
+	ptest.RestoreClone(t, recv, clone)
+	clone.OnReceive(wires[0])
+	if got := cenv.DeliveredSeq(); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("restored clone delivered %v, want [0 1]", got)
+	}
+}
+
+func TestSESSnapshotMidStream(t *testing.T) {
+	recv, _, wires := twoToOne(t, SESMaker)
+	clone := SESMaker()
+	cenv := ptest.NewEnv(1, 3)
+	clone.Init(cenv)
+	ptest.RestoreClone(t, recv, clone)
+	clone.OnReceive(wires[0])
+	if got := cenv.DeliveredSeq(); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("restored clone delivered %v, want [0 1]", got)
+	}
+}
+
+func TestBSSSnapshotMidStream(t *testing.T) {
+	sender := BSSMaker()
+	senv := ptest.NewEnv(0, 3)
+	sender.Init(senv)
+	cast := sender.(protocol.Broadcaster)
+	cast.OnBroadcast([]event.Message{{ID: 0, From: 0, To: 1}, {ID: 1, From: 0, To: 2}})
+	cast.OnBroadcast([]event.Message{{ID: 2, From: 0, To: 1}, {ID: 3, From: 0, To: 2}})
+	wires := senv.TakeSent() // [m0->P1, m1->P2, m2->P1, m3->P2]
+
+	recv := BSSMaker()
+	renv := ptest.NewEnv(1, 3)
+	recv.Init(renv)
+	recv.OnReceive(wires[2]) // second broadcast first: held
+	if len(renv.Delivered) != 0 {
+		t.Fatalf("second broadcast delivered before the first: %v", renv.DeliveredSeq())
+	}
+
+	clone := BSSMaker()
+	cenv := ptest.NewEnv(1, 3)
+	clone.Init(cenv)
+	ptest.RestoreClone(t, recv, clone)
+	clone.OnReceive(wires[0])
+	if got := cenv.DeliveredSeq(); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("restored clone delivered %v, want [0 2]", got)
+	}
+}

@@ -1,0 +1,67 @@
+package fifo
+
+import (
+	"reflect"
+	"testing"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocols/ptest"
+)
+
+// TestSnapshotMidStream crashes a receiver holding an out-of-order
+// message: the restored clone must finish the run exactly like the
+// original would have.
+func TestSnapshotMidStream(t *testing.T) {
+	sender := Maker()
+	senv := ptest.NewEnv(0, 2)
+	sender.Init(senv)
+	for id := 0; id < 3; id++ {
+		sender.OnInvoke(event.Message{ID: event.MsgID(id), From: 0, To: 1})
+	}
+	wires := senv.TakeSent()
+
+	recv := Maker()
+	renv := ptest.NewEnv(1, 2)
+	recv.Init(renv)
+	recv.OnReceive(wires[2]) // out of order: held
+	if len(renv.Delivered) != 0 {
+		t.Fatalf("delivered %v before the gap filled", renv.DeliveredSeq())
+	}
+
+	clone := Maker()
+	cenv := ptest.NewEnv(1, 2)
+	clone.Init(cenv)
+	ptest.RestoreClone(t, recv, clone)
+
+	clone.OnReceive(wires[0])
+	clone.OnReceive(wires[1])
+	if got := cenv.DeliveredSeq(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("restored clone delivered %v, want [0 1 2]", got)
+	}
+
+	// Sender-side state survives too: the clone of the sender continues
+	// the sequence instead of restarting at 0.
+	sclone := Maker()
+	scenv := ptest.NewEnv(0, 2)
+	sclone.Init(scenv)
+	ptest.RestoreClone(t, sender, sclone)
+	sclone.OnInvoke(event.Message{ID: 3, From: 0, To: 1})
+	w, _ := scenv.LastSent()
+	recvB := Maker()
+	renvB := ptest.NewEnv(1, 2)
+	recvB.Init(renvB)
+	for _, x := range append(wires, w) {
+		recvB.OnReceive(x)
+	}
+	if got := renvB.DeliveredSeq(); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("post-restore send broke sequencing: delivered %v", got)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	p := Maker()
+	p.Init(ptest.NewEnv(0, 2))
+	if err := p.(interface{ Restore([]byte) error }).Restore([]byte{0xFF, 0x01, 0x02}); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}

@@ -1,0 +1,39 @@
+package flush
+
+import (
+	"reflect"
+	"testing"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocols/ptest"
+)
+
+func TestSnapshotMidStream(t *testing.T) {
+	sender := Maker()
+	senv := ptest.NewEnv(0, 2)
+	sender.Init(senv)
+	// seq 1 ordinary, seq 2 backward-flush barrier, seq 3 forward-flush.
+	sender.OnInvoke(event.Message{ID: 0, From: 0, To: 1})
+	sender.OnInvoke(event.Message{ID: 1, From: 0, To: 1, Color: event.ColorBlue})
+	sender.OnInvoke(event.Message{ID: 2, From: 0, To: 1, Color: event.ColorRed})
+	wires := senv.TakeSent()
+
+	recv := Maker()
+	renv := ptest.NewEnv(1, 2)
+	recv.Init(renv)
+	recv.OnReceive(wires[2]) // forward flush: must trail everything earlier
+	recv.OnReceive(wires[1]) // barrier, deliverable immediately
+	if got := renv.DeliveredSeq(); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("delivered %v, want [1]", got)
+	}
+
+	clone := Maker()
+	cenv := ptest.NewEnv(1, 2)
+	clone.Init(cenv)
+	ptest.RestoreClone(t, recv, clone)
+
+	clone.OnReceive(wires[0]) // fills the prefix; the forward flush drains
+	if got := cenv.DeliveredSeq(); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("restored clone delivered %v, want [0 2]", got)
+	}
+}

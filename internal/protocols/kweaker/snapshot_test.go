@@ -1,0 +1,41 @@
+package kweaker
+
+import (
+	"reflect"
+	"testing"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocols/ptest"
+)
+
+func TestSnapshotMidStream(t *testing.T) {
+	mk := Maker(1)
+	sender := mk()
+	senv := ptest.NewEnv(0, 2)
+	sender.Init(senv)
+	for id := 0; id < 3; id++ {
+		sender.OnInvoke(event.Message{ID: event.MsgID(id), From: 0, To: 1})
+	}
+	wires := senv.TakeSent()
+
+	// seq 3 arrives first: with k=1 it must wait for the contiguous
+	// prefix to reach seq 1.
+	recv := mk()
+	renv := ptest.NewEnv(1, 2)
+	recv.Init(renv)
+	recv.OnReceive(wires[2])
+	if len(renv.Delivered) != 0 {
+		t.Fatalf("delivered %v outside the slack window", renv.DeliveredSeq())
+	}
+
+	clone := mk()
+	cenv := ptest.NewEnv(1, 2)
+	clone.Init(cenv)
+	ptest.RestoreClone(t, recv, clone)
+
+	clone.OnReceive(wires[0]) // seq 1: eligible, then seq 3 drains
+	clone.OnReceive(wires[1])
+	if got := cenv.DeliveredSeq(); !reflect.DeepEqual(got, []int{0, 2, 1}) {
+		t.Fatalf("restored clone delivered %v, want [0 2 1]", got)
+	}
+}

@@ -5,6 +5,9 @@
 package ptest
 
 import (
+	"bytes"
+	"testing"
+
 	"msgorder/internal/event"
 	"msgorder/internal/protocol"
 )
@@ -65,4 +68,28 @@ func (e *Env) DeliveredSeq() []int {
 		out[i] = int(id)
 	}
 	return out
+}
+
+// RestoreClone snapshots src and restores the snapshot into clone
+// (which must already be Init'd). It fails the test unless the clone
+// re-encodes to byte-identical bytes — the determinism contract of
+// protocol.Snapshotter — and returns the snapshot for further checks.
+func RestoreClone(t testing.TB, src, clone protocol.Process) []byte {
+	t.Helper()
+	s, ok := src.(protocol.Snapshotter)
+	if !ok {
+		t.Fatalf("%T does not implement protocol.Snapshotter", src)
+	}
+	c, ok := clone.(protocol.Snapshotter)
+	if !ok {
+		t.Fatalf("%T does not implement protocol.Snapshotter", clone)
+	}
+	snap := s.Snapshot()
+	if err := c.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got := c.Snapshot(); !bytes.Equal(got, snap) {
+		t.Fatalf("snapshot not stable across restore:\n got %x\nwant %x", got, snap)
+	}
+	return snap
 }

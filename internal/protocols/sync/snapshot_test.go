@@ -1,0 +1,104 @@
+package sync
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/ptest"
+)
+
+func ctrl(from, to event.ProcID, c uint8, tag []byte) protocol.Wire {
+	return protocol.Wire{From: from, To: to, Kind: protocol.ControlWire, Ctrl: c, Tag: tag}
+}
+
+func msgIDTag(id event.MsgID) []byte {
+	return binary.AppendUvarint(nil, uint64(id))
+}
+
+// TestSequencerSnapshotMidGrant crashes the sequencer while one slot is
+// granted and another queued: the restored clone must hand out the
+// queued grant on DONE exactly like the original.
+func TestSequencerSnapshotMidGrant(t *testing.T) {
+	seq := Maker()
+	env := ptest.NewEnv(0, 3)
+	seq.Init(env)
+	seq.OnReceive(ctrl(1, 0, ctrlReq, msgIDTag(5))) // granted: GO to P1
+	seq.OnReceive(ctrl(2, 0, ctrlReq, msgIDTag(6))) // queued behind the busy slot
+	sent := env.TakeSent()
+	if len(sent) != 1 || sent[0].To != 1 || sent[0].Ctrl != ctrlGo {
+		t.Fatalf("sent = %+v, want one GO to P1", sent)
+	}
+
+	clone := Maker()
+	cenv := ptest.NewEnv(0, 3)
+	clone.Init(cenv)
+	ptest.RestoreClone(t, seq, clone)
+
+	clone.OnReceive(ctrl(1, 0, ctrlDone, nil))
+	sent = cenv.TakeSent()
+	if len(sent) != 1 || sent[0].To != 2 || sent[0].Ctrl != ctrlGo ||
+		!reflect.DeepEqual(sent[0].Tag, msgIDTag(6)) {
+		t.Fatalf("after DONE, restored sequencer sent %+v, want GO(m6) to P2", sent)
+	}
+}
+
+// TestSenderSnapshotKeepsPending crashes a sender between REQ and GO.
+func TestSenderSnapshotKeepsPending(t *testing.T) {
+	snd := Maker()
+	env := ptest.NewEnv(1, 3)
+	snd.Init(env)
+	snd.OnInvoke(event.Message{ID: 5, From: 1, To: 2, Color: event.ColorRed})
+	env.TakeSent() // the REQ
+
+	clone := Maker()
+	cenv := ptest.NewEnv(1, 3)
+	clone.Init(cenv)
+	ptest.RestoreClone(t, snd, clone)
+
+	clone.OnReceive(ctrl(0, 1, ctrlGo, msgIDTag(5)))
+	sent := cenv.TakeSent()
+	if len(sent) != 1 || sent[0].Kind != protocol.UserWire || sent[0].Msg != 5 ||
+		sent[0].To != 2 || sent[0].Color != event.ColorRed {
+		t.Fatalf("after GO, restored sender sent %+v, want user m5 to P2", sent)
+	}
+}
+
+// TestRASnapshotMidAcquisition crashes an RA process mid lock
+// acquisition with a deferred claimant.
+func TestRASnapshotMidAcquisition(t *testing.T) {
+	p := RAMaker()
+	env := ptest.NewEnv(1, 3)
+	p.Init(env)
+	p.OnInvoke(event.Message{ID: 7, From: 1, To: 0})
+	if sent := env.TakeSent(); len(sent) != 2 {
+		t.Fatalf("request fanout = %d wires, want 2", len(sent))
+	}
+	// A competing claim with the same timestamp loses the tie-break to
+	// us, so it is deferred.
+	p.OnReceive(ctrl(2, 1, ctrlRARequest, binary.AppendUvarint(nil, 1)))
+	if sent := env.TakeSent(); len(sent) != 0 {
+		t.Fatalf("deferred claim answered early: %+v", sent)
+	}
+
+	clone := RAMaker()
+	cenv := ptest.NewEnv(1, 3)
+	clone.Init(cenv)
+	ptest.RestoreClone(t, p, clone)
+
+	// Both replies arrive: the clone enters the critical section.
+	clone.OnReceive(ctrl(0, 1, ctrlRAReply, nil))
+	clone.OnReceive(ctrl(2, 1, ctrlRAReply, nil))
+	sent := cenv.TakeSent()
+	if len(sent) != 1 || sent[0].Kind != protocol.UserWire || sent[0].Msg != 7 {
+		t.Fatalf("after replies, restored RA sent %+v, want user m7", sent)
+	}
+	// The ack releases the lock and answers the deferred claimant.
+	clone.OnReceive(ctrl(0, 1, ctrlRAAck, nil))
+	sent = cenv.TakeSent()
+	if len(sent) != 1 || sent[0].Ctrl != ctrlRAReply || sent[0].To != 2 {
+		t.Fatalf("after ack, restored RA sent %+v, want reply to deferred P2", sent)
+	}
+}

@@ -18,8 +18,9 @@ type Process struct {
 }
 
 var (
-	_ protocol.Process   = (*Process)(nil)
-	_ protocol.Describer = (*Process)(nil)
+	_ protocol.Process     = (*Process)(nil)
+	_ protocol.Describer   = (*Process)(nil)
+	_ protocol.Snapshotter = (*Process)(nil)
 )
 
 // Maker builds tagless protocol instances.
@@ -49,3 +50,9 @@ func (p *Process) OnReceive(w protocol.Wire) {
 		p.env.Deliver(w.Msg)
 	}
 }
+
+// Snapshot returns the empty encoding: the protocol is stateless.
+func (p *Process) Snapshot() []byte { return nil }
+
+// Restore accepts any snapshot of the stateless protocol.
+func (p *Process) Restore([]byte) error { return nil }

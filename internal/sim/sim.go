@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"msgorder/internal/crash"
 	"msgorder/internal/event"
 	"msgorder/internal/obs"
 	"msgorder/internal/protocol"
@@ -43,6 +44,15 @@ var (
 	ErrTimeout  = errors.New("sim: timed out waiting for quiescence")
 	ErrProtocol = errors.New("sim: protocol error")
 	ErrStopped  = errors.New("sim: network already stopped")
+	// ErrCrashed reports an Invoke aimed at a crash-stopped process.
+	// The request is dropped, exactly as a real client's request to a
+	// dead server would be.
+	ErrCrashed = errors.New("sim: process crashed")
+	// ErrReplayDiverged reports that a restarted process, replaying its
+	// journal, emitted different sends or deliveries than its pre-crash
+	// incarnation journaled — the protocol's state is not a function of
+	// its event history, so recovery cannot be trusted.
+	ErrReplayDiverged = errors.New("sim: recovery replay diverged from journal")
 )
 
 // stallCap bounds how long a lossy-network Quiesce may extend past the
@@ -70,6 +80,12 @@ type Result struct {
 	Transport transport.Counters
 	// Faults holds the injected-fault tallies (zero without WithFaults).
 	Faults transport.FaultCounters
+	// Crashes holds the crash-injection tallies (zero without
+	// WithCrashes).
+	Crashes crash.InjectorCounters
+	// Detector holds the failure detector's transition tallies (zero
+	// without WithCrashes).
+	Detector crash.DetectorCounters
 }
 
 // Scheduler orders and perturbs the adversary's in-flight
@@ -128,9 +144,24 @@ func WithFaults(plan transport.FaultPlan) Option {
 }
 
 // WithTransportConfig tunes the transport's retransmission engine
-// (effective only together with WithFaults).
+// (effective only together with WithFaults or WithCrashes).
 func WithTransportConfig(cfg transport.Config) Option {
 	return func(n *Network) { n.trCfg = cfg }
+}
+
+// WithCrashes schedules process crashes per the plan. Crashed processes
+// tear down mid-run; crash-restart ones come back after their downtime,
+// restore the latest checkpoint, and replay their journal. Crashes
+// force the reliable transport on (a crashed process loses its mailbox,
+// so redelivery must come from retransmission) even without WithFaults.
+// A plan with no crashes is ignored, keeping the run byte-identical to
+// a crash-free one.
+func WithCrashes(plan crash.Plan) Option {
+	return func(n *Network) {
+		if plan.Enabled() {
+			n.crashes = &plan
+		}
+	}
 }
 
 // WithScheduler installs a custom adversary scheduler, overriding both
@@ -160,9 +191,9 @@ type Network struct {
 	rec     *protocol.Recorder
 	rng     *rand.Rand
 	timeout time.Duration
+	maker   protocol.Maker
 
 	procs   []*mailbox
-	insts   []protocol.Process
 	classes []protocol.Class
 
 	pool     chan flight
@@ -177,6 +208,21 @@ type Network struct {
 	inj    *transport.Injector
 	sched  Scheduler
 
+	crashes  *crash.Plan
+	crashInj *crash.Injector
+	det      *crash.Detector
+	wals     []*crash.WAL
+
+	// crashMu fences crash state against concurrent senders: Send holds
+	// the read lock across its dead-check and transport Wrap, so every
+	// envelope addressed to a process is either wrapped before the
+	// crash marks it dead (and cancelled by CancelTo) or never wrapped.
+	crashMu    sync.RWMutex
+	incs       []*incarnation
+	downProcs  []bool // crashed, restart pending (or dead)
+	deadProcs  []bool // crash-stopped forever
+	tallyCrash struct{ crashes, recoveries, replayed int }
+
 	tracer  obs.Tracer
 	metrics *obs.Registry
 	probe   *obs.Probe // nil unless WithTracer/WithMetrics was given
@@ -186,6 +232,7 @@ type Network struct {
 	err       error
 	onDeliver func(p event.ProcID, id event.MsgID) []Request
 	stopped   bool
+	timers    []*time.Timer // pending restarts, cancelled at shutdown
 
 	// hookMu serializes onDeliver invocations so workload closures need
 	// no locking of their own.
@@ -267,12 +314,17 @@ type item struct {
 	env         transport.Envelope
 }
 
-// mailbox is an unbounded FIFO with condition-variable signalling.
+// mailbox is an unbounded FIFO with condition-variable signalling. One
+// mailbox serves a process for the network's whole life, across crash
+// incarnations: down marks a crash (the incarnation's goroutine exits
+// at its next pop), dead marks a crash-stop.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []item
 	closed bool
+	down   bool
+	dead   bool
 }
 
 func newMailbox() *mailbox {
@@ -281,11 +333,60 @@ func newMailbox() *mailbox {
 	return m
 }
 
-func (m *mailbox) push(it item) {
+// push queues it, reporting false when the process is dead forever so
+// the caller can release the item's work count. Transmissions arriving
+// while the process is down are dropped — they are pre-accept, so the
+// transport redelivers them after restart; user invocations queue up
+// and drain in the next incarnation.
+func (m *mailbox) push(it item) bool {
 	m.mu.Lock()
+	if m.dead {
+		m.mu.Unlock()
+		return false
+	}
+	if m.down && !it.isInvoke && !it.isBroadcast {
+		m.mu.Unlock()
+		return true
+	}
 	m.items = append(m.items, it)
 	m.mu.Unlock()
 	m.cond.Signal()
+	return true
+}
+
+// crash marks the mailbox down, dropping queued transmissions. With
+// keepUser, queued user invocations survive for the next incarnation;
+// otherwise (crash-stop) they are dropped and their count returned so
+// the harness can release their work.
+func (m *mailbox) crash(keepUser bool) int {
+	m.mu.Lock()
+	m.down = true
+	m.dead = !keepUser
+	dropped := 0
+	var kept []item
+	for _, it := range m.items {
+		switch {
+		case !it.isInvoke && !it.isBroadcast:
+			// dropped: the transport redelivers after restart
+		case keepUser:
+			kept = append(kept, it)
+		default:
+			dropped++
+		}
+	}
+	m.items = kept
+	m.mu.Unlock()
+	m.cond.Broadcast()
+	return dropped
+}
+
+// restart reopens a down mailbox; anything queued while down drains in
+// arrival order.
+func (m *mailbox) restart() {
+	m.mu.Lock()
+	m.down = false
+	m.mu.Unlock()
+	m.cond.Broadcast()
 }
 
 func (m *mailbox) close() {
@@ -295,14 +396,16 @@ func (m *mailbox) close() {
 	m.cond.Broadcast()
 }
 
-// pop blocks until an item arrives or the mailbox closes.
+// pop blocks until an item arrives, the process crashes, or the mailbox
+// closes. A crash returns false immediately — queued items wait for the
+// next incarnation — while a close drains the queue first.
 func (m *mailbox) pop() (item, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.items) == 0 && !m.closed {
+	for len(m.items) == 0 && !m.closed && !m.down {
 		m.cond.Wait()
 	}
-	if len(m.items) == 0 {
+	if m.down || len(m.items) == 0 {
 		return item{}, false
 	}
 	it := m.items[0]
@@ -321,6 +424,7 @@ func New(n int, maker protocol.Maker, opts ...Option) *Network {
 		work:    newWorkGate(),
 		done:    make(chan struct{}),
 	}
+	nw.maker = maker
 	for _, o := range opts {
 		o(nw)
 	}
@@ -329,10 +433,20 @@ func New(n int, maker protocol.Maker, opts ...Option) *Network {
 		now := func() int64 { return time.Since(start).Microseconds() }
 		nw.sink = &obs.Sink{Tracer: nw.tracer, Metrics: nw.metrics, Now: now}
 	}
+	if nw.crashes != nil {
+		if err := nw.crashes.Validate(n); err != nil {
+			nw.fail(fmt.Errorf("%w: %v", ErrProtocol, err))
+			nw.crashes = nil
+		}
+	}
 	if nw.faults != nil {
 		nw.inj = transport.NewInjector(*nw.faults)
 		if nw.sink != nil {
 			nw.inj.Observe(nw.sink)
+		}
+	}
+	if nw.faults != nil || nw.crashes != nil {
+		if nw.sink != nil {
 			nw.trCfg.Obs = nw.sink
 		}
 		nw.tr = transport.NewReliable(nw.trCfg, func(ev transport.Envelope) {
@@ -346,6 +460,17 @@ func New(n int, maker protocol.Maker, opts ...Option) *Network {
 			nw.sched = &randomSched{rng: nw.rng}
 		}
 	}
+	if nw.crashes != nil {
+		nw.downProcs = make([]bool, n)
+		nw.deadProcs = make([]bool, n)
+		nw.wals = make([]*crash.WAL, n)
+		for i := range nw.wals {
+			nw.wals[i] = nw.openWAL(i)
+		}
+		nw.det = crash.NewDetector(n, nw.crashes.Detector, nw.sink)
+		nw.crashInj = crash.NewInjector(*nw.crashes, nw.sched, nw.crashProcess)
+		nw.sched = nw.crashInj
+	}
 	proto := ""
 	for i := 0; i < n; i++ {
 		p := maker()
@@ -354,16 +479,26 @@ func New(n int, maker protocol.Maker, opts ...Option) *Network {
 			class = d.Describe().Class
 			proto = d.Describe().Name
 		}
-		nw.insts = append(nw.insts, p)
+		e := &env{nw: nw, self: event.ProcID(i)}
+		if nw.wals != nil {
+			e.wal = nw.wals[i]
+		}
+		nw.incs = append(nw.incs, &incarnation{
+			self: event.ProcID(i), inst: p, env: e,
+			gone: make(chan struct{}), hbStop: make(chan struct{}),
+		})
 		nw.classes = append(nw.classes, class)
 		nw.procs = append(nw.procs, newMailbox())
-		p.Init(&env{nw: nw, self: event.ProcID(i)})
+		p.Init(e)
 	}
 	if nw.sink != nil {
 		nw.probe = obs.NewProbe(n, nw.tracer, nw.metrics, proto, nw.sink.Now)
 	}
-	for i := 0; i < n; i++ {
-		go nw.runProcess(event.ProcID(i))
+	for _, inc := range nw.incs {
+		go nw.runProcess(inc)
+		if nw.det != nil {
+			go nw.heartbeat(inc)
+		}
 	}
 	go nw.runAdversary()
 	return nw
@@ -410,14 +545,20 @@ func (nw *Network) Invoke(req Request) error {
 		for _, m := range msgs {
 			nw.probe.Invoke(m)
 		}
-		nw.procs[req.From].push(item{isBroadcast: true, msgs: msgs})
+		if !nw.procs[req.From].push(item{isBroadcast: true, msgs: msgs}) {
+			nw.work.done()
+			return fmt.Errorf("%w: P%d", ErrCrashed, req.From)
+		}
 		return nil
 	}
 	m := nw.rec.NewMessage(req.From, req.To, req.Color)
 	nw.work.add(1)
 	nw.mu.Unlock()
 	nw.probe.Invoke(m)
-	nw.procs[req.From].push(item{isInvoke: true, msg: m})
+	if !nw.procs[req.From].push(item{isInvoke: true, msg: m}) {
+		nw.work.done()
+		return fmt.Errorf("%w: P%d", ErrCrashed, req.From)
+	}
 	return nil
 }
 
@@ -437,6 +578,9 @@ func (nw *Network) Quiesce() error {
 			return nw.runErr()
 		case <-time.After(nw.timeout):
 			nw.stallVerdict("timeout", "work outstanding, no transport to observe")
+			if err := nw.runErr(); err != nil {
+				return err
+			}
 			return fmt.Errorf("%w after %v", ErrTimeout, nw.timeout)
 		}
 	}
@@ -462,6 +606,10 @@ func (nw *Network) Quiesce() error {
 				}
 				last = cur
 				continue
+			}
+			if err := nw.runErr(); err != nil {
+				nw.stallVerdict("failed", err.Error())
+				return err
 			}
 			if cur != last || nw.tr.Pending() > 0 {
 				nw.stallVerdict("retransmitting", fmt.Sprintf("%d unacked envelopes", nw.tr.Pending()))
@@ -509,8 +657,17 @@ func (nw *Network) Stop() (*Result, error) {
 	if nw.tr != nil {
 		nw.statOnce.Do(func() {
 			tc := nw.tr.Counters()
-			fc := nw.inj.Counters()
-			nw.rec.RecordTransport(tc.Retransmits, tc.DupsDropped, fc.Total())
+			faults := 0
+			if nw.inj != nil {
+				faults = nw.inj.Counters().Total()
+			}
+			nw.rec.RecordTransport(tc.Retransmits, tc.DupsDropped, faults)
+			if nw.crashInj != nil {
+				nw.crashMu.RLock()
+				t := nw.tallyCrash
+				nw.crashMu.RUnlock()
+				nw.rec.RecordCrashes(t.crashes, t.recoveries, t.replayed)
+			}
 		})
 	}
 	sys, err := nw.rec.SystemRun()
@@ -529,7 +686,15 @@ func (nw *Network) Stop() (*Result, error) {
 	}
 	if nw.tr != nil {
 		res.Transport = nw.tr.Counters()
-		res.Faults = nw.inj.Counters()
+		if nw.inj != nil {
+			res.Faults = nw.inj.Counters()
+		}
+	}
+	if nw.crashInj != nil {
+		res.Crashes = nw.crashInj.Counters()
+	}
+	if nw.det != nil {
+		res.Detector = nw.det.Counters()
 	}
 	return res, nil
 }
@@ -541,13 +706,24 @@ func (nw *Network) shutdown() {
 	nw.stopOnce.Do(func() {
 		nw.mu.Lock()
 		nw.stopped = true
+		timers := nw.timers
+		nw.timers = nil
 		nw.mu.Unlock()
+		for _, t := range timers {
+			t.Stop()
+		}
 		close(nw.done) // before tr.Close: unblocks the resend path
 		if nw.tr != nil {
 			nw.tr.Close()
 		}
+		if nw.det != nil {
+			nw.det.Close()
+		}
 		for _, m := range nw.procs {
 			m.close()
+		}
+		for _, w := range nw.wals {
+			w.Close()
 		}
 	})
 }
@@ -571,44 +747,58 @@ func (nw *Network) inject(f flight) bool {
 	}
 }
 
-// runProcess is one process goroutine: it drains its mailbox, invoking
-// the protocol handlers.
-func (nw *Network) runProcess(self event.ProcID) {
+// runProcess is one incarnation's goroutine: it drains the process's
+// mailbox, journaling each input before its handler runs (so a crash
+// never loses a half-applied event — the goroutine only exits between
+// handlers, at the next pop).
+func (nw *Network) runProcess(inc *incarnation) {
+	defer close(inc.gone)
 	for {
-		it, ok := nw.procs[self].pop()
+		it, ok := nw.procs[inc.self].pop()
 		if !ok {
 			return
 		}
 		switch {
 		case it.isInvoke:
-			nw.insts[self].OnInvoke(it.msg)
+			inc.journal(crash.Entry{Kind: crash.EntryInvoke, Msg: it.msg})
+			inc.inst.OnInvoke(it.msg)
 			nw.work.done()
+			nw.maybeCheckpoint(inc)
 		case it.isBroadcast:
-			if b, ok := nw.insts[self].(protocol.Broadcaster); ok {
-				b.OnBroadcast(it.msgs)
-			} else {
-				for _, m := range it.msgs {
-					nw.insts[self].OnInvoke(m)
-				}
-			}
+			inc.journal(crash.Entry{Kind: crash.EntryBroadcast, Msgs: it.msgs})
+			deliverBroadcast(inc.inst, it.msgs)
 			nw.work.done()
+			nw.maybeCheckpoint(inc)
 		case it.isEnv:
-			nw.handleEnvelope(self, it.env)
+			nw.handleEnvelope(inc, it.env)
 		default:
 			if it.wire.Kind == protocol.UserWire {
 				nw.rec.RecordReceive(it.wire.Msg)
 			}
 			nw.probe.Receive(it.wire)
-			nw.insts[self].OnReceive(it.wire)
+			inc.inst.OnReceive(it.wire)
 			nw.work.done()
 		}
+	}
+}
+
+// deliverBroadcast hands one logical broadcast to the protocol, falling
+// back to per-copy invokes when it is not a Broadcaster. Replay uses
+// the same dispatch so a recovering instance sees identical calls.
+func deliverBroadcast(p protocol.Process, msgs []event.Message) {
+	if b, ok := p.(protocol.Broadcaster); ok {
+		b.OnBroadcast(msgs)
+		return
+	}
+	for _, m := range msgs {
+		p.OnInvoke(m)
 	}
 }
 
 // handleEnvelope is the receiver side of the transport sublayer: acks
 // are routed to the pending table; data envelopes are acknowledged,
 // deduplicated, and (first copy only) handed to the protocol.
-func (nw *Network) handleEnvelope(self event.ProcID, ev transport.Envelope) {
+func (nw *Network) handleEnvelope(inc *incarnation, ev transport.Envelope) {
 	switch ev.Kind {
 	case transport.Ack:
 		nw.tr.Ack(ev)
@@ -623,9 +813,11 @@ func (nw *Network) handleEnvelope(self event.ProcID, ev transport.Envelope) {
 		if w.Kind == protocol.UserWire {
 			nw.rec.RecordReceive(w.Msg)
 		}
+		inc.journal(crash.Entry{Kind: crash.EntryReceive, Wire: w})
 		nw.probe.Receive(w)
-		nw.insts[self].OnReceive(w)
+		inc.inst.OnReceive(w)
 		nw.work.done()
+		nw.maybeCheckpoint(inc)
 	}
 }
 
@@ -667,6 +859,14 @@ func (nw *Network) runAdversary() {
 			inflight = append(inflight, f) // back into the reorder pool
 			continue
 		}
+		if nw.crashes != nil && f.isEnv && f.env.Kind == transport.Ack && nw.procDown(f.to()) {
+			// A down process cannot run its transport handler, but ack
+			// state is network-global bookkeeping: apply it directly so
+			// a crashed sender's pendings stop retransmitting instead of
+			// looping until the run ends.
+			nw.tr.Ack(f.env)
+			continue
+		}
 		nw.procs[f.to()].push(item{wire: f.wire, env: f.env, isEnv: f.isEnv})
 	}
 }
@@ -679,10 +879,16 @@ func (nw *Network) fail(err error) {
 	}
 }
 
-// env implements protocol.Env for a live process.
+// env implements protocol.Env for one incarnation of a live process.
+// With crashes enabled it journals every Send and Deliver into the
+// process's WAL; in replay mode (recovery) it suppresses all real
+// effects and collects the would-be outputs for divergence checking.
 type env struct {
-	nw   *Network
-	self event.ProcID
+	nw     *Network
+	self   event.ProcID
+	wal    *crash.WAL // nil without WithCrashes
+	replay bool
+	got    []crash.Entry // outputs collected during replay
 }
 
 var _ protocol.Env = (*env)(nil)
@@ -693,6 +899,10 @@ func (e *env) NumProcs() int      { return e.nw.n }
 func (e *env) Send(w protocol.Wire) {
 	nw := e.nw
 	w.From = e.self
+	if e.replay {
+		e.got = append(e.got, crash.Entry{Kind: crash.EntrySend, Wire: w})
+		return
+	}
 	if int(w.To) < 0 || int(w.To) >= nw.n {
 		nw.fail(fmt.Errorf("%w: send to out-of-range process %d", ErrProtocol, w.To))
 		return
@@ -710,7 +920,16 @@ func (e *env) Send(w protocol.Wire) {
 		nw.fail(fmt.Errorf("%w: P%d sent wire with invalid kind", ErrProtocol, e.self))
 		return
 	}
+	if e.wal != nil {
+		if err := e.wal.Append(crash.Entry{Kind: crash.EntrySend, Wire: w}); err != nil {
+			nw.fail(err)
+		}
+	}
 	nw.probe.Send(&w)
+	if nw.crashes != nil {
+		nw.sendCrashAware(e.self, w)
+		return
+	}
 	nw.work.add(1)
 	var f flight
 	if nw.tr != nil {
@@ -724,8 +943,37 @@ func (e *env) Send(w protocol.Wire) {
 	}
 }
 
+// sendCrashAware hands a wire to the transport under the crash fence:
+// wires addressed to a crash-stopped process vanish (their messages
+// stay undelivered, which conformance tolerates for crash-stop plans),
+// and holding the read lock across Wrap guarantees CancelTo sees every
+// envelope a racing crash-stop must uncount.
+func (nw *Network) sendCrashAware(self event.ProcID, w protocol.Wire) {
+	nw.crashMu.RLock()
+	if nw.deadProcs[w.To] {
+		nw.crashMu.RUnlock()
+		return
+	}
+	nw.work.add(1)
+	f := flight{env: nw.tr.Wrap(self, w.To, w), isEnv: true}
+	nw.crashMu.RUnlock()
+	if !nw.inject(f) {
+		nw.work.done()
+		nw.fail(fmt.Errorf("%w: P%d sent after network stop", ErrProtocol, self))
+	}
+}
+
 func (e *env) Deliver(id event.MsgID) {
 	nw := e.nw
+	if e.replay {
+		e.got = append(e.got, crash.Entry{Kind: crash.EntryDeliver, ID: id})
+		return
+	}
+	if e.wal != nil {
+		if err := e.wal.Append(crash.Entry{Kind: crash.EntryDeliver, ID: id}); err != nil {
+			nw.fail(err)
+		}
+	}
 	nw.rec.RecordDeliver(id)
 	nw.probe.Deliver(e.self, id)
 	nw.mu.Lock()
@@ -738,7 +986,8 @@ func (e *env) Deliver(id event.MsgID) {
 	reqs := hook(e.self, id)
 	nw.hookMu.Unlock()
 	for _, req := range reqs {
-		if err := nw.Invoke(req); err != nil && !errors.Is(err, ErrStopped) {
+		err := nw.Invoke(req)
+		if err != nil && !errors.Is(err, ErrStopped) && !errors.Is(err, ErrCrashed) {
 			nw.fail(err)
 		}
 	}

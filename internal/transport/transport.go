@@ -311,6 +311,7 @@ type Reliable struct {
 	next     map[chanKey]uint64
 	pending  map[pendKey]*pendingTx
 	seen     map[chanKey]map[uint64]struct{}
+	down     map[event.ProcID]bool
 	counts   Counters
 	progress uint64
 
@@ -328,6 +329,7 @@ func NewReliable(cfg Config, send func(Envelope)) *Reliable {
 		next:    make(map[chanKey]uint64),
 		pending: make(map[pendKey]*pendingTx),
 		seen:    make(map[chanKey]map[uint64]struct{}),
+		down:    make(map[event.ProcID]bool),
 		stop:    make(chan struct{}),
 	}
 	r.wg.Add(1)
@@ -384,6 +386,61 @@ func (r *Reliable) Accept(e Envelope) bool {
 	return true
 }
 
+// PeerDown pauses retransmission towards p: the harness knows p has
+// crashed, so resending into its dead mailbox only burns backoff.
+// Pending envelopes are kept (with their deadlines frozen, not backed
+// off) so a later PeerUp resumes exactly where the channel left off —
+// sequence numbers and receiver dedup state are untouched, which keeps
+// exactly-once delivery correct across a restart.
+func (r *Reliable) PeerDown(p event.ProcID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.down[p] = true
+	r.cfg.Obs.Count("transport.peer.pauses", 1)
+}
+
+// PeerUp resumes retransmission towards p after a restart. Every
+// pending envelope addressed to p becomes due immediately so recovery
+// is not stalled by deadlines set before the crash.
+func (r *Reliable) PeerUp(p event.ProcID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.down[p] {
+		return
+	}
+	delete(r.down, p)
+	now := time.Now()
+	for k, tx := range r.pending {
+		if k.ch[1] == p {
+			tx.deadline = now
+		}
+	}
+	r.progress++
+	r.cfg.Obs.Count("transport.peer.resumes", 1)
+}
+
+// CancelTo abandons all pending envelopes addressed to p (the harness
+// knows p has crash-stopped and will never ack). It returns the number
+// of cancelled envelopes that p had never accepted — the ones whose
+// payload is now lost for good, as opposed to accepted-but-unacked
+// envelopes whose work already happened.
+func (r *Reliable) CancelTo(p event.ProcID) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lost := 0
+	for k := range r.pending {
+		if k.ch[1] != p {
+			continue
+		}
+		if _, accepted := r.seen[k.ch][k.seq]; !accepted {
+			lost++
+		}
+		delete(r.pending, k)
+	}
+	r.progress++
+	return lost
+}
+
 // Pending returns the number of unacknowledged data envelopes.
 func (r *Reliable) Pending() int {
 	r.mu.Lock()
@@ -429,6 +486,9 @@ func (r *Reliable) loop() {
 			var backoffs []time.Duration
 			r.mu.Lock()
 			for _, p := range r.pending {
+				if r.down[p.env.Dst] {
+					continue
+				}
 				if now.After(p.deadline) {
 					p.attempt++
 					p.env.Attempt = p.attempt

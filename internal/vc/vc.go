@@ -39,6 +39,12 @@ func (l *Lamport) Observe(remote uint64) uint64 {
 	return l.Tick()
 }
 
+// Set overwrites the clock value. It exists for crash recovery: a
+// restored process resumes from its snapshotted timestamp rather than
+// restarting at zero (which would break the total order already agreed
+// with its peers).
+func (l *Lamport) Set(t uint64) { l.t = t }
+
 // Vector is a vector clock over n processes.
 type Vector []uint64
 

@@ -36,6 +36,7 @@ import (
 	"msgorder/internal/check"
 	"msgorder/internal/classify"
 	"msgorder/internal/conformance"
+	"msgorder/internal/crash"
 	"msgorder/internal/dsim"
 	"msgorder/internal/event"
 	"msgorder/internal/lattice"
@@ -207,6 +208,28 @@ type (
 	// FaultCell is one cell of a FaultSweep: plan, runs, violations and
 	// summed statistics.
 	FaultCell = conformance.FaultCell
+	// CrashPlan schedules process crashes for Simulate (set
+	// SimConfig.Crashes): seeded crash-stop / crash-restart specs,
+	// checkpoint cadence, and failure-detector tuning. Restarted
+	// processes recover their ordering state from a write-ahead log.
+	CrashPlan = crash.Plan
+	// CrashSpec schedules one crash of one process within a CrashPlan.
+	CrashSpec = crash.Spec
+	// CrashDetectorConfig tunes the crash failure detector.
+	CrashDetectorConfig = crash.DetectorConfig
+	// CrashCell is one cell of a CrashSweep: plan, runs, violations,
+	// undelivered tally and summed statistics.
+	CrashCell = conformance.CrashCell
+)
+
+// Crash plan constructors.
+var (
+	// CrashRestartStagger crashes each listed process once, staggered
+	// along the adversary's release sequence, each restarting after the
+	// downtime.
+	CrashRestartStagger = crash.RestartStagger
+	// CrashStopOne kills one process forever at the given release.
+	CrashStopOne = crash.StopOne
 )
 
 // Protocols returns the built-in protocol registry: name -> maker.
@@ -236,6 +259,15 @@ func Simulate(cfg SimConfig) (*SimResult, error) { return conformance.Run(cfg) }
 // cell per plan. See conformance.FaultMatrix.
 func FaultSweep(cfg SimConfig, plans []FaultPlan, seeds int, pred *Predicate) ([]FaultCell, error) {
 	return conformance.FaultMatrix(cfg, plans, seeds, pred)
+}
+
+// CrashSweep runs the workload under each crash plan (live harness),
+// checking every run against pred (nil skips checking), and returns one
+// cell per plan. Crash-restart plans must still deliver everything;
+// crash-stop plans tolerate mail lost with the dead process. See
+// conformance.CrashMatrix.
+func CrashSweep(cfg SimConfig, plans []CrashPlan, seeds int, pred *Predicate) ([]CrashCell, error) {
+	return conformance.CrashMatrix(cfg, plans, seeds, pred)
 }
 
 // ExploreConfig drives exhaustive schedule exploration: the workload is

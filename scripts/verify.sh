@@ -52,11 +52,18 @@ echo "== go test -race (concurrency gate) =="
 # observability registry are the concurrent core; run their suites
 # (plus the facade) under the race detector.
 go test -race ./internal/sim/... ./internal/transport/... ./internal/conformance/... \
-    ./internal/dsim/... ./internal/obs/... .
+    ./internal/crash/... ./internal/dsim/... ./internal/obs/... .
 
 echo "== fault-matrix smoke (short mode) =="
 # A quick seeded-loss pass over the fault-injection paths.
 go test -short -run 'Fault|Lossy|Partition' ./internal/sim/... ./internal/conformance/...
+
+echo "== crash smoke (recovery gate) =="
+# One seeded crash-restart run per protocol class — tagless, tagged
+# (causal-rst), general (sync) — under the race detector: each must
+# crash, restore its checkpoint, replay its journal, and still deliver
+# every message exactly once.
+go test -race -run 'TestCrashRestartRecoversEveryProtocol/^(tagless|causal-rst|sync)$' ./internal/sim/
 
 echo "== trace smoke (observability gate) =="
 # Run an instrumented causal-order scenario through mobench and validate
