@@ -11,6 +11,8 @@
 //	mobench faults      # E9: protocols on a lossy network (fault matrix)
 //	mobench trace       # E10: instrumented run -> Chrome trace JSON (Perfetto)
 //	mobench crashes     # E11: crash/recovery matrix (-json writes BENCH_crashes.json)
+//	mobench net         # E12: sim vs loopback-TCP mesh (-json writes BENCH_net.json;
+//	                    #      -smoke -modbin M diffs real mod processes against the sim)
 //	mobench bench       # write BENCH_*.json snapshots (-outdir picks the directory)
 //	mobench all         # every table experiment
 //
@@ -44,8 +46,7 @@ import (
 	"msgorder/internal/protocol"
 	"msgorder/internal/protocols/causal"
 	"msgorder/internal/protocols/fifo"
-	"msgorder/internal/protocols/flush"
-	"msgorder/internal/protocols/kweaker"
+	"msgorder/internal/protocols/registry"
 	syncproto "msgorder/internal/protocols/sync"
 	"msgorder/internal/protocols/tagless"
 	"msgorder/internal/synth"
@@ -54,11 +55,17 @@ import (
 	"msgorder/internal/userview"
 )
 
-func main() {
-	if err := run(os.Args[1:]); err != nil {
+func main() { os.Exit(mainExit(os.Args[1:])) }
+
+// mainExit is main's body with the exit code as a return value, so the
+// process-level contract — any failing subcommand (a violated matrix,
+// a failed trace validation, bad flags) exits non-zero — is testable.
+func mainExit(args []string) int {
+	if err := run(args); err != nil {
 		fmt.Fprintln(os.Stderr, "mobench:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // options are the global flags shared by all subcommands.
@@ -141,6 +148,8 @@ func run(args []string) error {
 		return benchCmd(args[1:])
 	case "crashes":
 		return crashesCmd(args[1:])
+	case "net":
+		return netCmd(args[1:])
 	}
 	fn, ok := cmds[args[0]]
 	if !ok {
@@ -263,24 +272,20 @@ func lemma3() error {
 	return nil
 }
 
-// protocolList is the fixed presentation order.
-func protocolList() []struct {
-	name  string
-	maker protocol.Maker
-} {
-	return []struct {
-		name  string
-		maker protocol.Maker
-	}{
-		{"tagless", tagless.Maker},
-		{"fifo", fifo.Maker},
-		{"kweaker-1", kweaker.Maker(1)},
-		{"flush", flush.Maker},
-		{"causal-rst", causal.RSTMaker},
-		{"causal-ses", causal.SESMaker},
-		{"sync", syncproto.Maker},
-		{"sync-ra", syncproto.RAMaker},
+// protocolList is the fixed presentation order, shared with the mod
+// daemon via the protocol registry.
+func protocolList() []registry.Entry {
+	return registry.Catalog()
+}
+
+// specEntry resolves a catalog specification or fails loudly — a typo
+// in a hardcoded spec name must not silently test a nil predicate.
+func specEntry(name string) (catalog.Entry, error) {
+	e, ok := catalog.ByName(name)
+	if !ok {
+		return catalog.Entry{}, fmt.Errorf("unknown catalog spec %q", name)
 	}
+	return e, nil
 }
 
 // protocols reproduces Theorem 1 empirically: which protocol satisfies
@@ -297,9 +302,9 @@ func protocols() error {
 	}
 	fmt.Println(" class")
 	for _, p := range protocolList() {
-		fmt.Printf("%-12s", p.name)
+		fmt.Printf("%-12s", p.Name)
 		cfg := conformance.Config{
-			Maker:       p.maker,
+			Maker:       p.Maker,
 			Procs:       3,
 			InitialMsgs: 10,
 			ChainBudget: 10,
@@ -307,7 +312,10 @@ func protocols() error {
 			DelayMax:    40,
 		}
 		for _, sn := range specs {
-			e, _ := catalog.ByName(sn)
+			e, err := specEntry(sn)
+			if err != nil {
+				return err
+			}
 			v, found, err := conformance.FindsViolation(cfg, huntSeeds, e.Pred)
 			if err != nil {
 				return err
@@ -327,7 +335,7 @@ func protocols() error {
 			}
 		}
 		class := "general"
-		if d, ok := p.maker().(protocol.Describer); ok {
+		if d, ok := p.Maker().(protocol.Describer); ok {
 			class = d.Describe().Class.String()
 		}
 		fmt.Printf(" %s\n", class)
@@ -354,14 +362,17 @@ type exploreRow struct {
 func exploreData(specs []string) ([]exploreRow, error) {
 	preds := make([]*predicate.Predicate, len(specs))
 	for i, s := range specs {
-		e, _ := catalog.ByName(s)
+		e, err := specEntry(s)
+		if err != nil {
+			return nil, err
+		}
 		preds[i] = e.Pred
 	}
 	var rows []exploreRow
 	for _, p := range protocolList() {
 		cfg := dsim.ExploreConfig{
 			Procs: 3,
-			Maker: p.maker,
+			Maker: p.Maker,
 			Requests: []dsim.Request{
 				{From: 0, To: 2},
 				{From: 0, To: 1},
@@ -381,7 +392,7 @@ func exploreData(specs []string) ([]exploreRow, error) {
 		seq.Workers = 1
 		orders, err := dsim.Explore(seq, func(*dsim.Result) bool { return true })
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.name, err)
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
 		}
 		counts := make([]int, len(specs))
 		st, err := dsim.ExploreWithStats(cfg, func(res *dsim.Result) bool {
@@ -393,10 +404,10 @@ func exploreData(specs []string) ([]exploreRow, error) {
 			return true
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.name, err)
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
 		}
 		row := exploreRow{
-			Protocol:   p.name,
+			Protocol:   p.Name,
 			Orders:     orders,
 			Schedules:  st.Schedules,
 			Replays:    st.Replays,
@@ -472,7 +483,7 @@ func overheadData() ([]overheadRow, error) {
 			const seeds = 10
 			for seed := int64(1); seed <= seeds; seed++ {
 				res, err := conformance.Run(conformance.Config{
-					Maker:       p.maker,
+					Maker:       p.Maker,
 					Procs:       procs,
 					InitialMsgs: 20,
 					ChainBudget: 20,
@@ -480,7 +491,7 @@ func overheadData() ([]overheadRow, error) {
 					Seed:        seed,
 				})
 				if err != nil {
-					return nil, fmt.Errorf("%s procs=%d seed=%d: %w", p.name, procs, seed, err)
+					return nil, fmt.Errorf("%s procs=%d seed=%d: %w", p.Name, procs, seed, err)
 				}
 				tagB += res.Stats.TagBytesPerUser()
 				ctrl += res.Stats.ControlPerUser()
@@ -488,7 +499,7 @@ func overheadData() ([]overheadRow, error) {
 				simTime += float64(res.EndTime)
 			}
 			rows = append(rows, overheadRow{
-				Protocol:       p.name,
+				Protocol:       p.Name,
 				Procs:          procs,
 				TagBytesPerMsg: tagB / seeds,
 				CtrlPerMsg:     ctrl / seeds,
@@ -528,22 +539,22 @@ func overhead(jsonOut bool) error {
 func broadcastBench() error {
 	fmt.Println("== E4: multicast extension — causal algorithms on broadcast workloads ==")
 	fmt.Printf("%-12s %-6s %-14s %-10s\n", "protocol", "procs", "tagB/msg", "violations")
-	e, _ := catalog.ByName("causal-b2")
-	for _, p := range []struct {
-		name  string
-		maker protocol.Maker
-	}{
-		{"causal-rst", causal.RSTMaker},
-		{"causal-ses", causal.SESMaker},
-		{"causal-bss", causal.BSSMaker},
-	} {
+	e, err := specEntry("causal-b2")
+	if err != nil {
+		return err
+	}
+	for _, name := range []string{"causal-rst", "causal-ses", "causal-bss"} {
+		p, ok := registry.ByName(name)
+		if !ok {
+			return fmt.Errorf("protocol %q missing from registry", name)
+		}
 		for _, procs := range []int{4, 8, 16} {
 			var tagB float64
 			viol := 0
 			const seeds = 8
 			for seed := int64(1); seed <= seeds; seed++ {
 				res, err := conformance.Run(conformance.Config{
-					Maker:       p.maker,
+					Maker:       p.Maker,
 					Procs:       procs,
 					InitialMsgs: 6,
 					ChainBudget: 6,
@@ -552,14 +563,14 @@ func broadcastBench() error {
 					Broadcast:   true,
 				})
 				if err != nil {
-					return fmt.Errorf("%s procs=%d seed=%d: %w", p.name, procs, seed, err)
+					return fmt.Errorf("%s procs=%d seed=%d: %w", p.Name, procs, seed, err)
 				}
 				tagB += res.Stats.TagBytesPerUser()
 				if _, bad := check.FindViolation(res.View, e.Pred); bad {
 					viol++
 				}
 			}
-			fmt.Printf("%-12s %-6d %-14.1f %d/%d\n", p.name, procs, tagB/seeds, viol, seeds)
+			fmt.Printf("%-12s %-6d %-14.1f %d/%d\n", p.Name, procs, tagB/seeds, viol, seeds)
 		}
 	}
 	fmt.Println("expected shape: all three stay causally ordered; BSS's single O(n) vector")
@@ -682,7 +693,10 @@ func synthesis() error {
 	for _, name := range []string{
 		"fifo", "local-forward-flush", "causal-b2", "global-forward-flush", "async-a",
 	} {
-		e, _ := catalog.ByName(name)
+		e, err := specEntry(name)
+		if err != nil {
+			return err
+		}
 		maker, plan, err := synth.Generate(e.Pred)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
@@ -725,7 +739,10 @@ func latticeBench() error {
 	fmt.Println("== E7: the specification lattice, empirically ==")
 	specs := map[string]*predicate.Predicate{}
 	for _, name := range []string{"causal-b2", "fifo", "sync-2", "kweaker-1-channel"} {
-		e, _ := catalog.ByName(name)
+		e, err := specEntry(name)
+		if err != nil {
+			return err
+		}
 		specs[name] = e.Pred
 	}
 	for _, procs := range []int{2, 3} {
@@ -797,7 +814,10 @@ func faultsData() ([]faultsRow, error) {
 		var pred *predicate.Predicate
 		specName := "(liveness)"
 		if c.spec != "" {
-			e, _ := catalog.ByName(c.spec)
+			e, err := specEntry(c.spec)
+			if err != nil {
+				return nil, err
+			}
 			pred, specName = e.Pred, c.spec
 		}
 		planList := make([]transport.FaultPlan, len(plans))
@@ -867,7 +887,10 @@ func discussion() error {
 		"fifo", "kweaker-1", "local-forward-flush", "global-forward-flush",
 		"handoff", "second-before-first",
 	} {
-		e, _ := catalog.ByName(name)
+		e, err := specEntry(name)
+		if err != nil {
+			return err
+		}
 		res, err := classify.Classify(e.Pred)
 		if err != nil {
 			return err

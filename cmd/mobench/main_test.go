@@ -3,11 +3,22 @@ package main
 import (
 	"encoding/json"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"testing"
 
 	"msgorder/internal/obs"
 )
+
+// TestMain doubles as the real binary when re-exec'd with
+// MOBENCH_AS_BINARY=1, so the exit-code tests observe the genuine
+// process-level contract rather than run()'s error value.
+func TestMain(m *testing.M) {
+	if os.Getenv("MOBENCH_AS_BINARY") == "1" {
+		os.Exit(mainExit(os.Args[1:]))
+	}
+	os.Exit(m.Run())
+}
 
 // The experiments print to stdout; these smoke tests assert they run to
 // completion without error (their content is asserted by the library
@@ -115,6 +126,43 @@ func TestCrashesCmd(t *testing.T) {
 func TestUnknownExperiment(t *testing.T) {
 	if err := run([]string{"nope"}); err == nil {
 		t.Fatal("unknown experiment must fail")
+	}
+}
+
+// TestExitCodes pins the process-level contract: failing subcommands
+// exit non-zero, succeeding ones exit zero. Each case re-execs the
+// test binary as mobench itself.
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	cases := []struct {
+		name     string
+		args     []string
+		wantFail bool
+	}{
+		{"unknown-experiment", []string{"nope"}, true},
+		{"bad-trace-format", []string{"trace", "-format", "xml"}, true},
+		{"validate-wrong-format", []string{"trace", "-format", "ndjson", "-validate",
+			"-o", filepath.Join(t.TempDir(), "t.ndjson")}, true},
+		{"validate-on-stdout", []string{"trace", "-validate", "-o", "-"}, true},
+		{"bad-flag", []string{"-nonsense"}, true},
+		{"table1-succeeds", []string{"table1"}, false},
+		{"trace-validate-succeeds", []string{"trace", "-proto", "causal-rst", "-validate",
+			"-o", filepath.Join(t.TempDir(), "t.json")}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(os.Args[0], tc.args...)
+			cmd.Env = append(os.Environ(), "MOBENCH_AS_BINARY=1")
+			err := cmd.Run()
+			if tc.wantFail && err == nil {
+				t.Fatalf("mobench %v exited 0, want non-zero", tc.args)
+			}
+			if !tc.wantFail && err != nil {
+				t.Fatalf("mobench %v exited non-zero: %v", tc.args, err)
+			}
+		})
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"msgorder/internal/conformance"
 	"msgorder/internal/obs"
 	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/registry"
 	"msgorder/internal/transport"
 )
 
@@ -28,14 +29,13 @@ func printJSON(w io.Writer, v any) error {
 	return err
 }
 
-// makerByName resolves a protocol from the fixed presentation list.
+// makerByName resolves a protocol from the shared registry.
 func makerByName(name string) (protocol.Maker, error) {
-	for _, p := range protocolList() {
-		if p.name == name {
-			return p.maker, nil
-		}
+	e, ok := registry.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown protocol %q (try one of the 'protocols' rows)", name)
 	}
-	return nil, fmt.Errorf("unknown protocol %q (try one of the 'protocols' rows)", name)
+	return e.Maker, nil
 }
 
 // traceCmd runs one instrumented conformance workload and exports the
@@ -170,8 +170,8 @@ func writeBench(outdir, name, experiment string, rows any) error {
 }
 
 // benchCmd regenerates the machine-readable benchmark snapshots at the
-// repo root (or -outdir): BENCH_explore.json, BENCH_faults.json and
-// BENCH_crashes.json.
+// repo root (or -outdir): BENCH_explore.json, BENCH_faults.json,
+// BENCH_crashes.json and BENCH_net.json.
 func benchCmd(args []string) error {
 	fs := flag.NewFlagSet("mobench bench", flag.ContinueOnError)
 	outdir := fs.String("outdir", ".", "directory to write BENCH_*.json into")
@@ -196,5 +196,12 @@ func benchCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	return writeBench(*outdir, "BENCH_crashes.json", "E11 crash/recovery matrix", crashesRows)
+	if err := writeBench(*outdir, "BENCH_crashes.json", "E11 crash/recovery matrix", crashesRows); err != nil {
+		return err
+	}
+	netRows, err := netData(16, 5)
+	if err != nil {
+		return err
+	}
+	return writeBench(*outdir, "BENCH_net.json", "E12 cross-runtime net matrix", netRows)
 }

@@ -1,0 +1,263 @@
+// Command mod hosts one process of a message-ordering protocol
+// instance over real TCP. Each mod process joins a peer mesh
+// (length-prefixed frames, process-ID + fingerprint handshake), runs
+// one protocol instance with the reliable retransmission sublayer and
+// WAL-backed crash recovery underneath, and serves client invokes over
+// a local NDJSON socket. Given a forbidden-predicate specification it
+// runs the paper's classifier and picks the minimal protocol class
+// witness automatically; -proto forces a specific catalog protocol.
+//
+// Usage (a 2-process mesh on one machine):
+//
+//	mod -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001 -proto causal-rst &
+//	mod -id 1 -peers 127.0.0.1:7000,127.0.0.1:7001 -proto causal-rst &
+//
+// Every peer must be started with the same -peers list and the same
+// -proto/-spec pair: the mesh handshake fingerprints the protocol and
+// specification and refuses mismatched peers. On startup the daemon
+// prints a single machine-readable line —
+//
+//	mod ready id=0 proto=causal-rst mesh=... client=... http=...
+//
+// — which drivers parse to learn the bound client socket. -http serves
+// /metrics (JSON counter/histogram snapshot) and /trace (NDJSON causal
+// trace export).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"msgorder/internal/catalog"
+	"msgorder/internal/classify"
+	"msgorder/internal/event"
+	"msgorder/internal/modrpc"
+	"msgorder/internal/netmesh"
+	"msgorder/internal/obs"
+	"msgorder/internal/predicate"
+	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/registry"
+	"msgorder/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mod:", err)
+		os.Exit(1)
+	}
+}
+
+// resolveSpec turns -spec into a predicate: a catalog entry name, or a
+// forbidden-predicate expression.
+func resolveSpec(s string) (*predicate.Predicate, error) {
+	if e, ok := catalog.ByName(s); ok {
+		return e.Pred, nil
+	}
+	return predicate.Parse(s)
+}
+
+// classRank orders protocol classes by power so a forced -proto can be
+// checked against a specification's required class.
+func classRank(c protocol.Class) int { return int(c) }
+
+// requiredRank maps a classification verdict onto the same scale.
+func requiredRank(c classify.Class) (int, error) {
+	switch c {
+	case classify.Tagless:
+		return classRank(protocol.Tagless), nil
+	case classify.Tagged:
+		return classRank(protocol.Tagged), nil
+	case classify.General:
+		return classRank(protocol.General), nil
+	default:
+		return 0, fmt.Errorf("specification is unimplementable")
+	}
+}
+
+// witnessFor picks the minimal catalog witness for a required class.
+func witnessFor(c classify.Class) (registry.Entry, error) {
+	var name string
+	switch c {
+	case classify.Tagless:
+		name = "tagless"
+	case classify.Tagged:
+		name = "causal-rst"
+	case classify.General:
+		name = "sync"
+	default:
+		return registry.Entry{}, fmt.Errorf("specification is unimplementable: no protocol can realize it")
+	}
+	e, ok := registry.ByName(name)
+	if !ok {
+		return registry.Entry{}, fmt.Errorf("internal: witness %q missing from registry", name)
+	}
+	return e, nil
+}
+
+// selectProtocol resolves the -proto/-spec pair to a maker and the
+// fingerprint labels all peers must agree on.
+func selectProtocol(proto, spec string, out io.Writer) (registry.Entry, error) {
+	var required = -1
+	if spec != "" {
+		pred, err := resolveSpec(spec)
+		if err != nil {
+			return registry.Entry{}, fmt.Errorf("-spec: %w", err)
+		}
+		res, err := classify.Classify(pred)
+		if err != nil {
+			return registry.Entry{}, fmt.Errorf("classify: %w", err)
+		}
+		fmt.Fprintf(out, "mod spec class=%s\n", res.Class)
+		if required, err = requiredRank(res.Class); err != nil {
+			return registry.Entry{}, err
+		}
+		if proto == "" {
+			return witnessFor(res.Class)
+		}
+	}
+	if proto == "" {
+		return registry.Entry{}, fmt.Errorf("one of -proto or -spec is required (protocols: %s)",
+			strings.Join(registry.Names(), ", "))
+	}
+	e, ok := registry.ByName(proto)
+	if !ok {
+		return registry.Entry{}, fmt.Errorf("unknown protocol %q (protocols: %s)",
+			proto, strings.Join(registry.Names(), ", "))
+	}
+	if required >= 0 {
+		d, ok := e.Maker().(protocol.Describer)
+		if ok && classRank(d.Describe().Class) < required {
+			return registry.Entry{}, fmt.Errorf(
+				"-proto %s is class %s, weaker than the specification requires", proto, d.Describe().Class)
+		}
+	}
+	return e, nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mod", flag.ContinueOnError)
+	var (
+		id         = fs.Int("id", -1, "this process's ID (index into -peers)")
+		peers      = fs.String("peers", "", "comma-separated mesh addresses, one per process, indexed by ID")
+		proto      = fs.String("proto", "", "catalog protocol to run (overrides the classifier's witness)")
+		spec       = fs.String("spec", "", "forbidden-predicate specification (catalog name or expression); classified to pick the minimal protocol class")
+		clientAddr = fs.String("client", "127.0.0.1:0", "client NDJSON socket address")
+		httpAddr   = fs.String("http", "", "observability HTTP address serving /metrics and /trace (empty = disabled)")
+		wal        = fs.String("wal", "", "write-ahead log path for crash recovery (empty = in-memory journal)")
+		snapEvery  = fs.Int("snapshot-every", 64, "checkpoint the WAL every N journal entries (0 = never)")
+		seed       = fs.Int64("seed", 1, "seed for reconnect jitter")
+		dropRate   = fs.Float64("drop", 0, "loopback-experiment fault plan: envelope drop probability")
+		dupRate    = fs.Float64("dup", 0, "loopback-experiment fault plan: envelope duplication probability")
+		faultSeed  = fs.Int64("fault-seed", 1, "fault plan seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addrs := strings.Split(*peers, ",")
+	if *peers == "" || len(addrs) < 2 {
+		return fmt.Errorf("-peers needs at least two comma-separated addresses")
+	}
+	if *id < 0 || *id >= len(addrs) {
+		return fmt.Errorf("-id %d out of range for %d peers", *id, len(addrs))
+	}
+	entry, err := selectProtocol(*proto, *spec, out)
+	if err != nil {
+		return err
+	}
+
+	var inj *transport.Injector
+	if *dropRate > 0 || *dupRate > 0 {
+		inj = transport.NewInjector(transport.FaultPlan{
+			DropRate: *dropRate, DupRate: *dupRate, Seed: *faultSeed,
+		})
+	}
+	collector := obs.NewCollector()
+	metrics := obs.NewRegistry()
+	node, err := netmesh.NewNode(netmesh.NodeConfig{
+		Self:  event.ProcID(*id),
+		Procs: len(addrs),
+		Maker: entry.Maker,
+		Mesh: netmesh.MeshConfig{
+			Addrs:       addrs,
+			Fingerprint: netmesh.Fingerprint(entry.Name, *spec, len(addrs)),
+			Seed:        *seed,
+			Injector:    inj,
+		},
+		WALPath:       *wal,
+		SnapshotEvery: *snapEvery,
+		Tracer:        collector,
+		Metrics:       metrics,
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	rpc, err := modrpc.Serve(*clientAddr, node)
+	if err != nil {
+		return err
+	}
+	defer rpc.Close()
+
+	httpBound := ""
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return fmt.Errorf("-http: %w", err)
+		}
+		httpBound = ln.Addr().String()
+		srv := &http.Server{Handler: obsMux(metrics, collector)}
+		go srv.Serve(ln)
+		defer srv.Close()
+	}
+
+	fmt.Fprintf(out, "mod ready id=%d proto=%s mesh=%s client=%s http=%s\n",
+		*id, entry.Name, node.Addr(), rpc.Addr(), httpBound)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	select {
+	case <-sigc:
+	case <-rpc.ShutdownRequested():
+	}
+	// Let in-flight acks drain before the deferred teardown, then
+	// report the run's tallies.
+	time.Sleep(10 * time.Millisecond)
+	if err := node.Err(); err != nil {
+		return err
+	}
+	s := node.Stats()
+	fmt.Fprintf(out, "mod exit id=%d delivered=%d user=%d control=%d retransmits=%d recoveries=%d\n",
+		*id, len(node.Deliveries()), s.UserMessages, s.ControlMessages, s.Retransmits, s.Recoveries)
+	return nil
+}
+
+// obsMux serves the observability endpoints: /metrics is the counter
+// and histogram snapshot as JSON, /trace the causal trace as NDJSON.
+func obsMux(metrics *obs.Registry, collector *obs.Collector) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(metrics.Snapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		obs.WriteNDJSON(w, collector.Records())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}

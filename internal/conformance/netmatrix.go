@@ -1,0 +1,287 @@
+// Cross-runtime conformance: the same seeded workload executed on the
+// in-memory live harness and on a real multi-process loopback TCP mesh
+// must produce identical user views. Delivery order is only comparable
+// across runtimes if it is invocation-determined, so NetMatrix drives
+// a lockstep (linearized) workload — invoke one message, wait for its
+// delivery, invoke the next — on both sides; under lockstep every
+// catalog protocol's view is a pure function of the message list, and
+// a divergence means the socket runtime changed a protocol decision.
+// The lossy and crash-restart cells then assert something stronger:
+// retransmission and WAL recovery are *transparent* — the disturbed
+// mesh still reproduces the clean sim view byte for byte. (Concurrency
+// stress, where views legitimately diverge, lives in the netmesh soak
+// test instead.)
+package conformance
+
+import (
+	"fmt"
+	"net"
+	"path/filepath"
+	"time"
+
+	"msgorder/internal/event"
+	"msgorder/internal/netmesh"
+	"msgorder/internal/protocol"
+	"msgorder/internal/sim"
+	"msgorder/internal/transport"
+	"msgorder/internal/userview"
+)
+
+// NetProtocol names one protocol for the net matrix (the caller
+// supplies makers so this package stays protocol-agnostic).
+type NetProtocol struct {
+	Name  string
+	Maker protocol.Maker
+	// Colors is the workload color mix (nil = colorless).
+	Colors []event.Color
+}
+
+// NetMatrixConfig shapes the cross-runtime sweep.
+type NetMatrixConfig struct {
+	// Procs is the mesh size (default 3).
+	Procs int
+	// Msgs is the lockstep workload length (default 16).
+	Msgs int
+	// Seed drives the workload shape (default 1).
+	Seed int64
+	// PerMsg bounds one lockstep delivery wait on the mesh
+	// (default 10s).
+	PerMsg time.Duration
+	// WALDir, when non-empty, makes crash-restart cells file-backed.
+	WALDir string
+}
+
+func (c NetMatrixConfig) withDefaults() NetMatrixConfig {
+	if c.Procs == 0 {
+		c.Procs = 3
+	}
+	if c.Msgs == 0 {
+		c.Msgs = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.PerMsg <= 0 {
+		c.PerMsg = 10 * time.Second
+	}
+	return c
+}
+
+// NetCell is one (protocol, disturbance) cell of the cross-runtime
+// matrix.
+type NetCell struct {
+	Protocol string
+	// Cell names the mesh-side disturbance: clean, lossy, or
+	// crash-restart. The sim reference is always the clean run.
+	Cell string
+	// Match reports view equality (the acceptance criterion).
+	Match bool
+	// SimKey and MeshKey are the canonical view encodings compared.
+	SimKey, MeshKey string
+	// Stats aggregates the mesh nodes' protocol tallies.
+	Stats protocol.Stats
+	// Transport aggregates the mesh nodes' reliable-sublayer counters.
+	Transport transport.Counters
+	// Mesh aggregates the socket-layer counters.
+	Mesh netmesh.Counters
+	// SimElapsed and MeshElapsed are the wall-clock run times.
+	SimElapsed, MeshElapsed time.Duration
+}
+
+// NetWorkload derives the lockstep message list from the same seeded
+// stream the other conformance matrices use. Exported so external
+// drivers (mobench's net smoke over real OS processes) run the
+// identical workload the in-process matrix runs.
+func NetWorkload(cfg NetMatrixConfig, colors []event.Color) []event.Message {
+	return netWorkload(cfg.withDefaults(), colors)
+}
+
+// SimLockstep runs the message list on the in-memory sim in lockstep
+// and returns the reference user view external drivers diff against.
+func SimLockstep(maker protocol.Maker, procs int, seed int64, msgs []event.Message) (*userview.Run, error) {
+	v, _, err := runSimLockstep(maker, procs, seed, msgs)
+	return v, err
+}
+
+// netWorkload derives the lockstep message list from the same seeded
+// stream the other conformance matrices use.
+func netWorkload(cfg NetMatrixConfig, colors []event.Color) []event.Message {
+	w := newWorkload(Config{Procs: cfg.Procs, InitialMsgs: cfg.Msgs, Seed: cfg.Seed, Colors: colors}.withDefaults())
+	msgs := make([]event.Message, cfg.Msgs)
+	for i := range msgs {
+		from, to, color := w.initial()
+		msgs[i] = event.Message{ID: event.MsgID(i), From: from, To: to, Color: color}
+	}
+	return msgs
+}
+
+// runSimLockstep executes the message list on the in-memory live
+// harness, one quiescent step per message, and returns the user view.
+func runSimLockstep(maker protocol.Maker, procs int, seed int64, msgs []event.Message) (*userview.Run, time.Duration, error) {
+	nw := sim.New(procs, maker, sim.WithSeed(seed))
+	start := time.Now()
+	for _, m := range msgs {
+		if err := nw.Invoke(sim.Request{From: m.From, To: m.To, Color: m.Color}); err != nil {
+			return nil, 0, fmt.Errorf("sim invoke m%d: %w", m.ID, err)
+		}
+		if err := nw.Quiesce(); err != nil {
+			return nil, 0, fmt.Errorf("sim quiesce after m%d: %w", m.ID, err)
+		}
+	}
+	elapsed := time.Since(start)
+	res, err := nw.Stop()
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(res.Undelivered) > 0 {
+		return nil, 0, fmt.Errorf("sim lockstep left %d undelivered", len(res.Undelivered))
+	}
+	return res.View, elapsed, nil
+}
+
+// meshPorts reserves n loopback addresses.
+func meshPorts(n int) ([]string, error) {
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs, nil
+}
+
+// runMeshLockstep executes the message list on an in-process loopback
+// TCP mesh — real sockets, real frames — under the named disturbance.
+func runMeshLockstep(p NetProtocol, cfg NetMatrixConfig, cell string, msgs []event.Message) (*userview.Run, *NetCell, error) {
+	addrs, err := meshPorts(cfg.Procs)
+	if err != nil {
+		return nil, nil, err
+	}
+	var inj *transport.Injector
+	if cell == "lossy" {
+		inj = transport.NewInjector(transport.FaultPlan{
+			DropRate: 0.2, DupRate: 0.1, Seed: cfg.Seed*0x9e3779b9 + 101,
+		})
+	}
+	fp := netmesh.Fingerprint(p.Name, "netmatrix", cfg.Procs)
+	nodes := make([]*netmesh.Node, cfg.Procs)
+	defer func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.Close()
+			}
+		}
+	}()
+	for i := range nodes {
+		ncfg := netmesh.NodeConfig{
+			Self:  event.ProcID(i),
+			Procs: cfg.Procs,
+			Maker: p.Maker,
+			Mesh: netmesh.MeshConfig{
+				Addrs: addrs, Fingerprint: fp,
+				Seed: cfg.Seed + int64(i), Injector: inj,
+			},
+			Transport: transport.Config{RTO: 2 * time.Millisecond, MaxRTO: 30 * time.Millisecond},
+		}
+		if cell == "crash-restart" {
+			ncfg.SnapshotEvery = 8
+			if cfg.WALDir != "" {
+				ncfg.WALPath = filepath.Join(cfg.WALDir, fmt.Sprintf("%s-p%d.wal", p.Name, i))
+			}
+		}
+		n, err := netmesh.NewNode(ncfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s/%s: node %d: %w", p.Name, cell, i, err)
+		}
+		nodes[i] = n
+	}
+
+	start := time.Now()
+	want := make([]int, cfg.Procs)
+	for i, m := range msgs {
+		// The crash cell restarts a worker halfway through: recovery
+		// must be invisible in the final view. P0 is the sync
+		// protocols' coordinator, so the crash targets P1.
+		if cell == "crash-restart" && i == len(msgs)/2 {
+			if err := nodes[1].Crash(10 * time.Millisecond); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := nodes[m.From].Invoke(m); err != nil {
+			return nil, nil, fmt.Errorf("%s/%s: invoke m%d: %w", p.Name, cell, m.ID, err)
+		}
+		want[m.To]++
+		if err := nodes[m.To].WaitDeliveries(want[m.To], cfg.PerMsg); err != nil {
+			return nil, nil, fmt.Errorf("%s/%s: %w", p.Name, cell, err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	out := &NetCell{Protocol: p.Name, Cell: cell, MeshElapsed: elapsed}
+	procEvents := make([][]event.Event, cfg.Procs)
+	for i, n := range nodes {
+		if err := n.Err(); err != nil {
+			return nil, nil, fmt.Errorf("%s/%s: P%d: %w", p.Name, cell, i, err)
+		}
+		procEvents[i] = n.Events()
+		out.Stats.Add(n.Stats())
+		tc := n.TransportCounters()
+		out.Transport.Sent += tc.Sent
+		out.Transport.Retransmits += tc.Retransmits
+		out.Transport.DupsDropped += tc.DupsDropped
+		out.Transport.AcksReceived += tc.AcksReceived
+		out.Transport.IdleSkips += tc.IdleSkips
+		mc := n.MeshCounters()
+		out.Mesh.Accepted += mc.Accepted
+		out.Mesh.Dials += mc.Dials
+		out.Mesh.Redials += mc.Redials
+		out.Mesh.Rejects += mc.Rejects
+		out.Mesh.FramesIn += mc.FramesIn
+		out.Mesh.FramesOut += mc.FramesOut
+		out.Mesh.BytesIn += mc.BytesIn
+		out.Mesh.BytesOut += mc.BytesOut
+		out.Mesh.FaultsInjected += mc.FaultsInjected
+	}
+	v, err := userview.New(msgs, procEvents)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s/%s: mesh run invalid: %w", p.Name, cell, err)
+	}
+	return v, out, nil
+}
+
+// NetMatrixCells lists the mesh-side disturbances every protocol is
+// swept across.
+func NetMatrixCells() []string { return []string{"clean", "lossy", "crash-restart"} }
+
+// NetMatrix runs the cross-runtime conformance sweep: for every
+// protocol, the seeded lockstep workload executes once on the
+// in-memory sim (the reference view) and once per cell on a loopback
+// TCP mesh; each cell reports whether the views matched. Callers
+// assert Match — a false is a real cross-runtime divergence.
+func NetMatrix(cfg NetMatrixConfig, protos []NetProtocol) ([]NetCell, error) {
+	cfg = cfg.withDefaults()
+	var cells []NetCell
+	for _, p := range protos {
+		msgs := netWorkload(cfg, p.Colors)
+		simView, simElapsed, err := runSimLockstep(p.Maker, cfg.Procs, cfg.Seed, msgs)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		simKey := simView.Key()
+		for _, cell := range NetMatrixCells() {
+			meshView, out, err := runMeshLockstep(p, cfg, cell, msgs)
+			if err != nil {
+				return nil, err
+			}
+			out.SimKey = simKey
+			out.MeshKey = meshView.Key()
+			out.Match = out.SimKey == out.MeshKey
+			out.SimElapsed = simElapsed
+			cells = append(cells, *out)
+		}
+	}
+	return cells, nil
+}

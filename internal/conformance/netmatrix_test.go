@@ -1,0 +1,82 @@
+package conformance
+
+import (
+	"testing"
+
+	"msgorder/internal/protocols/registry"
+)
+
+// catalogNetProtocols adapts the CLI protocol catalog to the net
+// matrix input.
+func catalogNetProtocols() []NetProtocol {
+	var out []NetProtocol
+	for _, e := range registry.Catalog() {
+		out = append(out, NetProtocol{Name: e.Name, Maker: e.Maker, Colors: e.Colors})
+	}
+	return out
+}
+
+// TestNetMatrixAllProtocolsAllCells is the cross-runtime acceptance
+// gate: every catalog protocol must produce the identical user view on
+// the in-memory sim and on a 3-process loopback TCP mesh — including
+// the lossy and crash-restart cells, whose disturbances must be
+// invisible in the view.
+func TestNetMatrixAllProtocolsAllCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second socket matrix")
+	}
+	cells, err := NetMatrix(NetMatrixConfig{
+		Procs: 3, Msgs: 16, Seed: 5, WALDir: t.TempDir(),
+	}, catalogNetProtocols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := len(registry.Catalog()) * len(NetMatrixCells())
+	if len(cells) != wantCells {
+		t.Fatalf("matrix has %d cells, want %d", len(cells), wantCells)
+	}
+	for _, c := range cells {
+		if !c.Match {
+			t.Errorf("%s/%s: views diverge across runtimes\n sim: %s\nmesh: %s",
+				c.Protocol, c.Cell, c.SimKey, c.MeshKey)
+			continue
+		}
+		if c.Mesh.FramesIn == 0 || c.Mesh.FramesOut == 0 {
+			t.Errorf("%s/%s: no frames crossed the sockets", c.Protocol, c.Cell)
+		}
+		switch c.Cell {
+		case "lossy":
+			if c.Mesh.FaultsInjected == 0 {
+				t.Errorf("%s/lossy: no faults injected — cell degenerated to clean", c.Protocol)
+			}
+		case "crash-restart":
+			if c.Stats.Crashes != 1 || c.Stats.Recoveries != 1 {
+				t.Errorf("%s/crash-restart: crashes/recoveries = %d/%d, want 1/1",
+					c.Protocol, c.Stats.Crashes, c.Stats.Recoveries)
+			}
+		}
+	}
+}
+
+// TestNetMatrixDefaults exercises the zero-value config path on a
+// single cheap protocol pairing.
+func TestNetMatrixDefaults(t *testing.T) {
+	e := registry.Catalog()[0]
+	cells, err := NetMatrix(NetMatrixConfig{Msgs: 4}, []NetProtocol{
+		{Name: e.Name, Maker: e.Maker, Colors: e.Colors},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(cells))
+	}
+	for _, c := range cells {
+		if !c.Match {
+			t.Fatalf("%s/%s diverged:\n sim: %s\nmesh: %s", c.Protocol, c.Cell, c.SimKey, c.MeshKey)
+		}
+		if c.SimKey == "" || c.MeshKey == "" {
+			t.Fatalf("%s/%s: empty view keys", c.Protocol, c.Cell)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+// Package modrpc is the mod daemon's client protocol: newline-delimited
+// JSON requests and responses over a local TCP socket. One request per
+// line, one response line per request, in order. The protocol is
+// deliberately small — invoke a message, read back the process's user
+// events, wait for a delivery count, trigger a crash, shut down — just
+// enough for a driver (mobench's net smoke, the conformance harness, a
+// shell script with netcat) to run workloads against real mod
+// processes and reassemble the global user view.
+package modrpc
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"msgorder/internal/event"
+	"msgorder/internal/netmesh"
+	"msgorder/internal/protocol"
+	"msgorder/internal/transport"
+)
+
+// Request is one client line. Op selects the action; the remaining
+// fields are op-specific.
+type Request struct {
+	// Op is one of: ping, invoke, events, stats, wait, crash, shutdown.
+	Op string `json:"op"`
+	// ID and To place a user message (invoke). The sender is always
+	// the daemon's own process.
+	ID int `json:"id,omitempty"`
+	To int `json:"to,omitempty"`
+	// Color tags the invoked message (invoke; 0 = colorless).
+	Color int `json:"color,omitempty"`
+	// Delivered is the target local delivery count (wait).
+	Delivered int `json:"delivered,omitempty"`
+	// TimeoutMS bounds a wait (default 10s).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// DowntimeMS is the crash's downtime before auto-restart.
+	DowntimeMS int `json:"downtime_ms,omitempty"`
+}
+
+// EventRec is one user-visible event in an events response.
+type EventRec struct {
+	Msg  int `json:"msg"`
+	Kind int `json:"kind"`
+}
+
+// StatsRec bundles the daemon's protocol, transport, and mesh tallies.
+type StatsRec struct {
+	Protocol  protocol.Stats     `json:"protocol"`
+	Transport transport.Counters `json:"transport"`
+	Mesh      netmesh.Counters   `json:"mesh"`
+}
+
+// Response is one server line. OK=false carries Error; the data fields
+// are filled per-op.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Proc, Procs, and Proto describe the daemon (ping).
+	Proc  int    `json:"proc,omitempty"`
+	Procs int    `json:"procs,omitempty"`
+	Proto string `json:"proto,omitempty"`
+	// Events is the process's user-visible log; Delivered its delivery
+	// sequence (events).
+	Events    []EventRec `json:"events,omitempty"`
+	Delivered []int      `json:"delivered,omitempty"`
+	// Stats is the tally bundle (stats).
+	Stats *StatsRec `json:"stats,omitempty"`
+}
+
+// Server serves the client protocol for one netmesh node.
+type Server struct {
+	node *netmesh.Node
+	ln   net.Listener
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+	shutdown chan struct{}
+	shutOnce sync.Once
+}
+
+// Serve binds addr (":0" picks a port) and starts answering clients
+// against node.
+func Serve(addr string, node *netmesh.Node) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		node:     node,
+		ln:       ln,
+		conns:    make(map[net.Conn]struct{}),
+		shutdown: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound client address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// ShutdownRequested is closed when a client sends the shutdown op; the
+// daemon's main loop selects on it.
+func (s *Server) ShutdownRequested() <-chan struct{} { return s.shutdown }
+
+// Close stops accepting and tears down live client connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req Request) Response {
+	fail := func(err error) Response { return Response{Error: err.Error()} }
+	switch req.Op {
+	case "ping":
+		return Response{OK: true, Proc: int(s.node.Self()), Procs: s.node.Procs(), Proto: s.node.Proto()}
+	case "invoke":
+		m := event.Message{
+			ID:    event.MsgID(req.ID),
+			From:  s.node.Self(),
+			To:    event.ProcID(req.To),
+			Color: event.Color(req.Color),
+		}
+		if err := s.node.Invoke(m); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case "events":
+		var evs []EventRec
+		for _, e := range s.node.Events() {
+			evs = append(evs, EventRec{Msg: int(e.Msg), Kind: int(e.Kind)})
+		}
+		var del []int
+		for _, id := range s.node.Deliveries() {
+			del = append(del, int(id))
+		}
+		return Response{OK: true, Events: evs, Delivered: del}
+	case "stats":
+		return Response{OK: true, Stats: &StatsRec{
+			Protocol:  s.node.Stats(),
+			Transport: s.node.TransportCounters(),
+			Mesh:      s.node.MeshCounters(),
+		}}
+	case "wait":
+		timeout := 10 * time.Second
+		if req.TimeoutMS > 0 {
+			timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		}
+		if err := s.node.WaitDeliveries(req.Delivered, timeout); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case "crash":
+		if err := s.node.Crash(time.Duration(req.DowntimeMS) * time.Millisecond); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case "shutdown":
+		s.shutOnce.Do(func() { close(s.shutdown) })
+		return Response{OK: true}
+	default:
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Client talks the protocol to one daemon. Methods are serialized —
+// the protocol is strictly request/response per connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// Dial connects to a daemon's client socket.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}, nil
+}
+
+// Close drops the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) do(req Request, readTimeout time.Duration) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.conn.SetDeadline(time.Now().Add(readTimeout))
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("%s: %s", req.Op, resp.Error)
+	}
+	return resp, nil
+}
+
+const rpcSlack = 5 * time.Second
+
+// Ping returns the daemon's identity.
+func (c *Client) Ping() (Response, error) {
+	return c.do(Request{Op: "ping"}, rpcSlack)
+}
+
+// Invoke places user message id at the daemon, addressed to proc to.
+func (c *Client) Invoke(id int, to event.ProcID, color event.Color) error {
+	_, err := c.do(Request{Op: "invoke", ID: id, To: int(to), Color: int(color)}, rpcSlack)
+	return err
+}
+
+// Events fetches the daemon's user-visible event log and delivery
+// sequence.
+func (c *Client) Events() ([]event.Event, []event.MsgID, error) {
+	resp, err := c.do(Request{Op: "events"}, rpcSlack)
+	if err != nil {
+		return nil, nil, err
+	}
+	evs := make([]event.Event, 0, len(resp.Events))
+	for _, r := range resp.Events {
+		e := event.Event{Msg: event.MsgID(r.Msg), Kind: event.Kind(r.Kind)}
+		if !e.Kind.Valid() {
+			return nil, nil, fmt.Errorf("events: invalid kind %d", r.Kind)
+		}
+		evs = append(evs, e)
+	}
+	del := make([]event.MsgID, 0, len(resp.Delivered))
+	for _, id := range resp.Delivered {
+		del = append(del, event.MsgID(id))
+	}
+	return evs, del, nil
+}
+
+// Stats fetches the daemon's tally bundle.
+func (c *Client) Stats() (StatsRec, error) {
+	resp, err := c.do(Request{Op: "stats"}, rpcSlack)
+	if err != nil {
+		return StatsRec{}, err
+	}
+	if resp.Stats == nil {
+		return StatsRec{}, fmt.Errorf("stats: empty response")
+	}
+	return *resp.Stats, nil
+}
+
+// Wait blocks until the daemon has delivered at least k messages.
+func (c *Client) Wait(k int, timeout time.Duration) error {
+	_, err := c.do(Request{Op: "wait", Delivered: k, TimeoutMS: int(timeout / time.Millisecond)},
+		timeout+rpcSlack)
+	return err
+}
+
+// Crash tears the daemon's protocol instance down for downtime, after
+// which it auto-restarts from its WAL.
+func (c *Client) Crash(downtime time.Duration) error {
+	_, err := c.do(Request{Op: "crash", DowntimeMS: int(downtime / time.Millisecond)}, rpcSlack)
+	return err
+}
+
+// Shutdown asks the daemon to exit gracefully.
+func (c *Client) Shutdown() error {
+	_, err := c.do(Request{Op: "shutdown"}, rpcSlack)
+	return err
+}

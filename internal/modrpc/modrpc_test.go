@@ -1,0 +1,164 @@
+package modrpc
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"msgorder/internal/event"
+	"msgorder/internal/netmesh"
+	"msgorder/internal/protocols/causal"
+	"msgorder/internal/transport"
+	"msgorder/internal/userview"
+)
+
+// startPair boots a 2-process in-process mesh with an RPC server and
+// client per node.
+func startPair(t *testing.T) ([]*netmesh.Node, []*Client) {
+	t.Helper()
+	addrs := make([]string, 2)
+	for i := range addrs {
+		m, err := netmesh.NewMesh(netmesh.MeshConfig{Self: 0, Addrs: []string{"127.0.0.1:0"}},
+			func(transport.Envelope) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = m.Addr()
+		m.Close()
+	}
+	fp := netmesh.Fingerprint("causal-rst", "causal-b2", 2)
+	nodes := make([]*netmesh.Node, 2)
+	clients := make([]*Client, 2)
+	for i := range nodes {
+		node, err := netmesh.NewNode(netmesh.NodeConfig{
+			Self: event.ProcID(i), Procs: 2, Maker: causal.RSTMaker,
+			Mesh:      netmesh.MeshConfig{Addrs: addrs, Fingerprint: fp, Seed: int64(i + 1)},
+			Transport: transport.Config{RTO: 2 * time.Millisecond, MaxRTO: 30 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		t.Cleanup(func() { node.Close() })
+		srv, err := Serve("127.0.0.1:0", node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		c, err := Dial(srv.Addr(), 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		t.Cleanup(func() { c.Close() })
+	}
+	return nodes, clients
+}
+
+func TestRPCDrivesWorkloadEndToEnd(t *testing.T) {
+	_, clients := startPair(t)
+
+	pong, err := clients[1].Ping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pong.Proc != 1 || pong.Procs != 2 || pong.Proto != "causal-rst" {
+		t.Fatalf("ping = %+v", pong)
+	}
+
+	// A small lockstep workload, driven purely over the wire protocol.
+	msgs := []event.Message{
+		{ID: 0, From: 0, To: 1}, {ID: 1, From: 1, To: 0}, {ID: 2, From: 0, To: 1},
+	}
+	want := make([]int, 2)
+	for _, m := range msgs {
+		if err := clients[m.From].Invoke(int(m.ID), m.To, m.Color); err != nil {
+			t.Fatal(err)
+		}
+		want[m.To]++
+		if err := clients[m.To].Wait(want[m.To], 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	procEvents := make([][]event.Event, 2)
+	for p, c := range clients {
+		evs, del, err := c.Events()
+		if err != nil {
+			t.Fatal(err)
+		}
+		procEvents[p] = evs
+		if len(del) != want[p] {
+			t.Fatalf("P%d delivered %v, want %d messages", p, del, want[p])
+		}
+	}
+	v, err := userview.New(msgs, procEvents)
+	if err != nil {
+		t.Fatalf("RPC-assembled view invalid: %v", err)
+	}
+	if !v.IsComplete() || !v.InCO() {
+		t.Fatal("RPC-driven run incomplete or out of causal order")
+	}
+
+	st, err := clients[0].Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Protocol.UserMessages == 0 || st.Mesh.FramesOut == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+}
+
+func TestRPCCrashAndShutdown(t *testing.T) {
+	nodes, clients := startPair(t)
+	if err := clients[1].Crash(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if nodes[1].Stats().Recoveries == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s := nodes[1].Stats(); s.Crashes != 1 || s.Recoveries != 1 {
+		t.Fatalf("crashes/recoveries = %d/%d, want 1/1", s.Crashes, s.Recoveries)
+	}
+
+	srv, err := Serve("127.0.0.1:0", nodes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-srv.ShutdownRequested():
+	case <-time.After(2 * time.Second):
+		t.Fatal("shutdown op did not trip the server's shutdown channel")
+	}
+}
+
+func TestRPCRejectsUnknownOp(t *testing.T) {
+	nodes, _ := startPair(t)
+	srv, err := Serve("127.0.0.1:0", nodes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.do(Request{Op: "frobnicate"}, time.Second)
+	if err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Fatalf("unknown op error = %v", err)
+	}
+}

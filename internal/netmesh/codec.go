@@ -1,0 +1,191 @@
+// Wire format for the peer mesh: length-prefixed frames over a TCP
+// stream. Every frame is a uvarint byte length followed by a payload
+// whose first byte is the frame kind. Payload fields use the same
+// varint conventions as internal/snapio, so the codec stays dependency-
+// free and deterministic. The envelope encoding carries every field of
+// transport.Envelope including the protocol wire's observability
+// vector-clock stamp (Wire.VC), so causal traces keep working across
+// OS processes.
+package netmesh
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+	"msgorder/internal/snapio"
+	"msgorder/internal/transport"
+)
+
+// Frame kinds.
+const (
+	frameHello    byte = 1 // handshake: who am I, what am I running
+	frameWelcome  byte = 2 // handshake accepted by the listener
+	frameReject   byte = 3 // handshake refused (fingerprint/id mismatch)
+	frameEnvelope byte = 4 // one transport.Envelope
+)
+
+// maxFrame bounds a frame payload; anything larger is treated as a
+// corrupt stream and the connection is dropped.
+const maxFrame = 1 << 20
+
+// helloMagic opens every handshake payload so a stray client speaking
+// the wrong protocol is refused immediately.
+const helloMagic = "momesh1"
+
+// errCorruptFrame reports a malformed frame payload.
+var errCorruptFrame = errors.New("netmesh: corrupt frame")
+
+// hello is the handshake exchanged on every new connection: the dialer
+// sends it, the listener validates and answers with welcome or reject.
+type hello struct {
+	Proc        event.ProcID
+	N           int
+	Fingerprint string
+}
+
+// writeFrame sends one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("netmesh: frame of %d bytes exceeds limit", len(payload))
+	}
+	hdr := binary.AppendUvarint(nil, uint64(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("%w: %d-byte frame", errCorruptFrame, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// encodeHello builds a hello frame payload.
+func encodeHello(h hello) []byte {
+	var w snapio.Writer
+	w.Byte(frameHello)
+	w.Bytes([]byte(helloMagic))
+	w.Int(int(h.Proc))
+	w.Int(h.N)
+	w.Bytes([]byte(h.Fingerprint))
+	return w.Out()
+}
+
+// decodeHello parses a hello frame payload (kind byte included).
+func decodeHello(b []byte) (hello, error) {
+	r := snapio.NewReader(b)
+	if r.Byte() != frameHello {
+		return hello{}, errCorruptFrame
+	}
+	if string(r.Bytes()) != helloMagic {
+		return hello{}, fmt.Errorf("%w: bad magic", errCorruptFrame)
+	}
+	h := hello{
+		Proc: event.ProcID(r.Int()),
+		N:    r.Int(),
+	}
+	h.Fingerprint = string(r.Bytes())
+	if err := r.Close(); err != nil {
+		return hello{}, err
+	}
+	return h, nil
+}
+
+// encodeWelcome builds the listener's handshake acceptance frame.
+func encodeWelcome() []byte { return []byte{frameWelcome} }
+
+// encodeReject builds a reject frame carrying the refusal reason.
+func encodeReject(reason string) []byte {
+	var w snapio.Writer
+	w.Byte(frameReject)
+	w.Bytes([]byte(reason))
+	return w.Out()
+}
+
+// decodeReject extracts the refusal reason from a reject frame,
+// tolerating corruption (the connection is dying anyway).
+func decodeReject(b []byte) string {
+	r := snapio.NewReader(b)
+	if r.Byte() != frameReject {
+		return "unreadable reject"
+	}
+	reason := string(r.Bytes())
+	if r.Err() != nil || reason == "" {
+		return "unreadable reject"
+	}
+	return reason
+}
+
+// encodeEnvelope builds an envelope frame payload.
+func encodeEnvelope(e transport.Envelope) []byte {
+	var w snapio.Writer
+	w.Byte(frameEnvelope)
+	w.Int(int(e.Src))
+	w.Int(int(e.Dst))
+	w.Byte(byte(e.Kind))
+	w.U64(e.Seq)
+	w.Int(e.Attempt)
+	w.Int(int(e.Wire.From))
+	w.Int(int(e.Wire.To))
+	w.Byte(byte(e.Wire.Kind))
+	w.Int(int(e.Wire.Msg))
+	w.Byte(byte(e.Wire.Color))
+	w.Byte(e.Wire.Ctrl)
+	w.Bytes(e.Wire.Tag)
+	w.Int(len(e.Wire.VC))
+	for _, c := range e.Wire.VC {
+		w.U64(c)
+	}
+	return w.Out()
+}
+
+// decodeEnvelope parses an envelope frame payload (kind byte included).
+func decodeEnvelope(b []byte) (transport.Envelope, error) {
+	r := snapio.NewReader(b)
+	if r.Byte() != frameEnvelope {
+		return transport.Envelope{}, errCorruptFrame
+	}
+	var e transport.Envelope
+	e.Src = event.ProcID(r.Int())
+	e.Dst = event.ProcID(r.Int())
+	e.Kind = transport.Kind(r.Byte())
+	e.Seq = r.U64()
+	e.Attempt = r.Int()
+	e.Wire.From = event.ProcID(r.Int())
+	e.Wire.To = event.ProcID(r.Int())
+	e.Wire.Kind = protocol.WireKind(r.Byte())
+	e.Wire.Msg = event.MsgID(r.Int())
+	e.Wire.Color = event.Color(r.Byte())
+	e.Wire.Ctrl = r.Byte()
+	e.Wire.Tag = r.Bytes()
+	if n := r.Int(); n > 0 {
+		if n > maxFrame {
+			return transport.Envelope{}, errCorruptFrame
+		}
+		e.Wire.VC = make([]uint64, n)
+		for i := range e.Wire.VC {
+			e.Wire.VC[i] = r.U64()
+		}
+	}
+	if err := r.Close(); err != nil {
+		return transport.Envelope{}, err
+	}
+	return e, nil
+}

@@ -1,0 +1,506 @@
+// Package netmesh is the real-socket peer mesh: it carries the live
+// harness's transport.Envelope stream over length-prefixed TCP framing,
+// one OS-level connection per ordered peer pair. The paper's protocols
+// and the reliable sublayer above them are network-agnostic — a wire
+// goes in at the source, an envelope comes out at the destination — so
+// the mesh slots in exactly where the in-memory adversary used to sit:
+//
+//	protocol → transport.Reliable → Mesh (TCP) → transport.Reliable → protocol
+//
+// Each Mesh runs one listener plus one supervised dialer per peer.
+// Connections open with a handshake exchanging process IDs and a
+// protocol/spec fingerprint; mismatched peers are refused with a reject
+// frame, which stops the dialer's retry loop (a mesh of mixed protocol
+// builds would corrupt the run, not just slow it). Lost connections are
+// redialed with seeded, jittered exponential backoff. Send is
+// fire-and-forget: an envelope on a broken connection is simply lost,
+// and transport.Reliable retransmits it — the same contract the
+// in-memory fault injector provides, which is also why an optional
+// *transport.Injector can sit on the outbound path and drop, duplicate
+// or delay frames on a real socket. Close drains every peer outbox
+// before tearing the connections down.
+package netmesh
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"msgorder/internal/event"
+	"msgorder/internal/obs"
+	"msgorder/internal/transport"
+)
+
+// MeshConfig configures one process's endpoint of the mesh.
+type MeshConfig struct {
+	// Self is this process's id; Addrs[Self] is its listen address.
+	Self event.ProcID
+	// Addrs lists every process's address, indexed by ProcID. Entry
+	// Self may use port 0; Addr() reports the bound address.
+	Addrs []string
+	// Fingerprint identifies the protocol/spec build this process runs.
+	// Peers presenting a different fingerprint are refused.
+	Fingerprint string
+	// Seed drives the reconnect jitter (default 1).
+	Seed int64
+	// DialBackoff and MaxDialBackoff bound the reconnect backoff
+	// (defaults 2ms and 250ms).
+	DialBackoff, MaxDialBackoff time.Duration
+	// DrainTimeout bounds how long Close waits for outboxes to flush
+	// (default 2s).
+	DrainTimeout time.Duration
+	// Injector, when non-nil, applies seeded drop/duplicate/delay faults
+	// to outbound envelopes — the in-memory adversary's fault interface
+	// on a real socket. transport.Reliable above recovers.
+	Injector *transport.Injector
+	// Obs, when non-nil, receives mesh counters and trace records.
+	Obs *obs.Sink
+}
+
+func (c MeshConfig) withDefaults() MeshConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.DialBackoff <= 0 {
+		c.DialBackoff = 2 * time.Millisecond
+	}
+	if c.MaxDialBackoff <= 0 {
+		c.MaxDialBackoff = 250 * time.Millisecond
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// Counters tallies one mesh endpoint's socket work.
+type Counters struct {
+	// Accepted counts inbound connections that passed the handshake.
+	Accepted int
+	// Dials counts outbound connection attempts (including redials).
+	Dials int
+	// Redials counts dials after the first per peer — connection churn.
+	Redials int
+	// Rejects counts handshakes refused, in either direction.
+	Rejects int
+	// FramesIn / FramesOut count decoded and written envelope frames.
+	FramesIn, FramesOut int
+	// BytesIn / BytesOut count envelope frame payload bytes.
+	BytesIn, BytesOut int
+	// FaultsInjected counts outbound envelopes the injector dropped,
+	// duplicated or delayed.
+	FaultsInjected int
+}
+
+// ErrRejected reports a peer refusing our handshake (or vice versa):
+// the two endpoints disagree on the protocol/spec fingerprint or the
+// mesh shape, and the dialer must not keep retrying.
+var ErrRejected = errors.New("netmesh: handshake rejected")
+
+// outbox is an unbounded FIFO so mesh senders never block the protocol
+// handler that is enqueueing.
+type outbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []transport.Envelope
+	closed bool
+}
+
+func newOutbox() *outbox {
+	b := &outbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *outbox) push(e transport.Envelope) {
+	b.mu.Lock()
+	if !b.closed {
+		b.q = append(b.q, e)
+	}
+	b.mu.Unlock()
+	b.cond.Signal()
+}
+
+// pop blocks until an envelope is available or the outbox closes.
+func (b *outbox) pop() (transport.Envelope, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.q) == 0 && !b.closed {
+		b.cond.Wait()
+	}
+	if len(b.q) == 0 {
+		return transport.Envelope{}, false
+	}
+	e := b.q[0]
+	b.q = b.q[1:]
+	return e, true
+}
+
+func (b *outbox) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// empty reports whether nothing is queued.
+func (b *outbox) empty() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.q) == 0
+}
+
+// Mesh is one process's endpoint of the peer mesh. NewMesh starts the
+// listener and one supervised sender per peer; Close drains and stops
+// them.
+type Mesh struct {
+	cfg MeshConfig
+	ln  net.Listener
+	rcv func(transport.Envelope)
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	counts   Counters
+	rejected error // first fingerprint refusal observed
+	// conns tracks accepted connections so Close can unblock their
+	// readers (the remote end may outlive us).
+	conns map[net.Conn]struct{}
+
+	boxes map[event.ProcID]*outbox
+
+	closing chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup // senders + accept loop
+	connWG  sync.WaitGroup // per-connection readers
+}
+
+// NewMesh binds cfg.Addrs[cfg.Self] and starts the peer senders.
+// Arriving envelopes addressed to Self are handed to rcv, one goroutine
+// per inbound connection; rcv must be concurrency-safe and non-blocking
+// (hand off to a queue).
+func NewMesh(cfg MeshConfig, rcv func(transport.Envelope)) (*Mesh, error) {
+	cfg = cfg.withDefaults()
+	if int(cfg.Self) < 0 || int(cfg.Self) >= len(cfg.Addrs) {
+		return nil, fmt.Errorf("netmesh: self %d outside %d-address mesh", cfg.Self, len(cfg.Addrs))
+	}
+	ln, err := net.Listen("tcp", cfg.Addrs[cfg.Self])
+	if err != nil {
+		return nil, fmt.Errorf("netmesh: listen: %w", err)
+	}
+	m := &Mesh{
+		cfg:     cfg,
+		ln:      ln,
+		rcv:     rcv,
+		rng:     rand.New(rand.NewSource(cfg.Seed*0x9e3779b9 + int64(cfg.Self))),
+		conns:   make(map[net.Conn]struct{}),
+		boxes:   make(map[event.ProcID]*outbox),
+		closing: make(chan struct{}),
+	}
+	for p := range cfg.Addrs {
+		if event.ProcID(p) == cfg.Self {
+			continue
+		}
+		box := newOutbox()
+		m.boxes[event.ProcID(p)] = box
+		m.wg.Add(1)
+		go m.runSender(event.ProcID(p), box)
+	}
+	m.wg.Add(1)
+	go m.runAccept()
+	return m, nil
+}
+
+// Addr returns the listener's bound address (useful with port 0).
+func (m *Mesh) Addr() string { return m.ln.Addr().String() }
+
+// Counters returns a snapshot of the socket tallies.
+func (m *Mesh) Counters() Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counts
+}
+
+// Rejected returns the first handshake refusal observed, if any: a
+// non-nil result means some peer runs a different protocol/spec build
+// and the mesh will never fully form.
+func (m *Mesh) Rejected() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rejected
+}
+
+// Send queues an envelope for its destination. It never blocks; on a
+// dead connection the envelope is lost and the reliable sublayer above
+// retransmits. Envelopes addressed to Self loop back without a socket.
+func (m *Mesh) Send(e transport.Envelope) {
+	if e.Dst == m.cfg.Self {
+		m.rcv(e)
+		return
+	}
+	box, ok := m.boxes[e.Dst]
+	if !ok {
+		return // outside the mesh: drop, as a lossy network would
+	}
+	box.push(e)
+}
+
+// Close drains every outbox (bounded by DrainTimeout), then stops the
+// senders, the listener, and the inbound readers.
+func (m *Mesh) Close() error {
+	m.once.Do(func() {
+		deadline := time.Now().Add(m.cfg.DrainTimeout)
+		for _, box := range m.boxes {
+			for !box.empty() && time.Now().Before(deadline) {
+				time.Sleep(500 * time.Microsecond)
+			}
+		}
+		close(m.closing)
+		for _, box := range m.boxes {
+			box.close()
+		}
+		m.ln.Close()
+		m.wg.Wait()
+		m.mu.Lock()
+		for c := range m.conns {
+			c.Close()
+		}
+		m.mu.Unlock()
+		m.connWG.Wait()
+	})
+	return nil
+}
+
+func (m *Mesh) closed() bool {
+	select {
+	case <-m.closing:
+		return true
+	default:
+		return false
+	}
+}
+
+// count applies f to the counters under the lock.
+func (m *Mesh) count(f func(*Counters)) {
+	m.mu.Lock()
+	f(&m.counts)
+	m.mu.Unlock()
+}
+
+// trace emits one mesh lifecycle note.
+func (m *Mesh) trace(op obs.Op, note string) {
+	if s := m.cfg.Obs; s.Enabled() {
+		s.Trace(obs.Record{
+			Step: s.Step(), Proc: m.cfg.Self, Op: op, Msg: obs.NoMsg, Note: note,
+		})
+	}
+}
+
+// runAccept owns the listener: every inbound connection gets a
+// handshake check and, on success, a reader goroutine.
+func (m *Mesh) runAccept() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		m.connWG.Add(1)
+		go m.serveConn(conn)
+	}
+}
+
+// serveConn validates one inbound connection's handshake and then
+// decodes envelope frames until the stream breaks.
+func (m *Mesh) serveConn(conn net.Conn) {
+	defer m.connWG.Done()
+	defer conn.Close()
+	m.mu.Lock()
+	m.conns[conn] = struct{}{}
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.conns, conn)
+		m.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	payload, err := readFrame(br)
+	if err != nil {
+		return
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		writeFrame(conn, encodeReject("bad hello frame"))
+		m.count(func(c *Counters) { c.Rejects++ })
+		return
+	}
+	if reason := m.vetPeer(h); reason != "" {
+		writeFrame(conn, encodeReject(reason))
+		m.count(func(c *Counters) { c.Rejects++ })
+		m.trace(obs.OpDrop, fmt.Sprintf("refused P%d: %s", h.Proc, reason))
+		return
+	}
+	if err := writeFrame(conn, encodeWelcome()); err != nil {
+		return
+	}
+	m.count(func(c *Counters) { c.Accepted++ })
+	m.cfg.Obs.Count("netmesh.accepted", 1)
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		e, err := decodeEnvelope(payload)
+		if err != nil {
+			m.trace(obs.OpDrop, fmt.Sprintf("corrupt frame from P%d: %v", h.Proc, err))
+			return
+		}
+		if e.Dst != m.cfg.Self {
+			continue // misrouted: drop
+		}
+		m.count(func(c *Counters) { c.FramesIn++; c.BytesIn += len(payload) })
+		m.rcv(e)
+	}
+}
+
+// vetPeer checks a dialer's hello against our own shape; a non-empty
+// result is the refusal reason.
+func (m *Mesh) vetPeer(h hello) string {
+	switch {
+	case h.N != len(m.cfg.Addrs):
+		return fmt.Sprintf("mesh size %d, want %d", h.N, len(m.cfg.Addrs))
+	case int(h.Proc) < 0 || int(h.Proc) >= len(m.cfg.Addrs) || h.Proc == m.cfg.Self:
+		return fmt.Sprintf("bad peer id %d", h.Proc)
+	case h.Fingerprint != m.cfg.Fingerprint:
+		return fmt.Sprintf("fingerprint %q, want %q", h.Fingerprint, m.cfg.Fingerprint)
+	}
+	return ""
+}
+
+// runSender supervises the connection to one peer: dial with seeded
+// jittered backoff, handshake, then write the outbox until the
+// connection breaks, and start over. Envelopes in flight on a broken
+// connection are lost by design — the reliable sublayer retransmits.
+func (m *Mesh) runSender(peer event.ProcID, box *outbox) {
+	defer m.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	dials := 0
+	for {
+		e, ok := box.pop()
+		if !ok {
+			return // mesh closing
+		}
+		if !m.decideFaults(&e, box) {
+			continue
+		}
+		for conn == nil {
+			if m.closed() {
+				return
+			}
+			c, err := m.dial(peer, dials)
+			dials++
+			if err != nil {
+				if errors.Is(err, ErrRejected) {
+					m.mu.Lock()
+					if m.rejected == nil {
+						m.rejected = fmt.Errorf("%w: peer P%d: %v", ErrRejected, peer, err)
+					}
+					m.mu.Unlock()
+					return // incompatible build: retrying cannot help
+				}
+				continue // backoff already applied inside dial
+			}
+			conn = c
+		}
+		payload := encodeEnvelope(e)
+		if err := writeFrame(conn, payload); err != nil {
+			conn.Close()
+			conn = nil
+			continue // envelope lost; Reliable retransmits
+		}
+		m.count(func(c *Counters) { c.FramesOut++; c.BytesOut += len(payload) })
+	}
+}
+
+// decideFaults runs the optional injector on one outbound envelope.
+// It reports whether the envelope should be written now; duplicates
+// and delays are re-queued on the outbox.
+func (m *Mesh) decideFaults(e *transport.Envelope, box *outbox) bool {
+	in := m.cfg.Injector
+	if in == nil {
+		return true
+	}
+	switch in.Decide(e.Src, e.Dst) {
+	case transport.Drop:
+		m.count(func(c *Counters) { c.FaultsInjected++ })
+		return false
+	case transport.Duplicate:
+		m.count(func(c *Counters) { c.FaultsInjected++ })
+		box.push(*e)
+		return true
+	case transport.Delay:
+		m.count(func(c *Counters) { c.FaultsInjected++ })
+		// Requeue behind whatever is waiting; if the outbox is empty the
+		// envelope goes right back out, which is a no-op delay.
+		box.push(*e)
+		return false
+	default:
+		return true
+	}
+}
+
+// dial opens, handshakes and vets one connection to peer, sleeping the
+// current backoff first (attempt 0 dials immediately).
+func (m *Mesh) dial(peer event.ProcID, attempt int) (net.Conn, error) {
+	if attempt > 0 {
+		m.count(func(c *Counters) { c.Redials++ })
+		backoff := m.cfg.DialBackoff << uint(min(attempt-1, 16))
+		if backoff > m.cfg.MaxDialBackoff {
+			backoff = m.cfg.MaxDialBackoff
+		}
+		m.mu.Lock()
+		jitter := time.Duration(m.rng.Int63n(int64(backoff) + 1))
+		m.mu.Unlock()
+		select {
+		case <-m.closing:
+			return nil, errors.New("netmesh: closing")
+		case <-time.After(backoff/2 + jitter/2):
+		}
+	}
+	m.count(func(c *Counters) { c.Dials++ })
+	conn, err := net.DialTimeout("tcp", m.cfg.Addrs[peer], time.Second)
+	if err != nil {
+		return nil, err
+	}
+	h := hello{Proc: m.cfg.Self, N: len(m.cfg.Addrs), Fingerprint: m.cfg.Fingerprint}
+	if err := writeFrame(conn, encodeHello(h)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	payload, err := readFrame(br)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	switch {
+	case len(payload) > 0 && payload[0] == frameWelcome:
+		m.cfg.Obs.Count("netmesh.dialed", 1)
+		return conn, nil
+	case len(payload) > 0 && payload[0] == frameReject:
+		conn.Close()
+		m.count(func(c *Counters) { c.Rejects++ })
+		return nil, fmt.Errorf("%w: %s", ErrRejected, decodeReject(payload))
+	default:
+		conn.Close()
+		return nil, errCorruptFrame
+	}
+}

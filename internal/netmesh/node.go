@@ -1,0 +1,637 @@
+// Node hosts one process of a protocol instance on top of the mesh:
+// the distributed counterpart of one internal/sim incarnation. All
+// protocol handlers run on a single goroutine fed by an unbounded
+// inbox (invokes from the local client, envelopes from the mesh), so
+// the paper's per-process serialization holds without protocol-side
+// locking. The reliable sublayer and WAL semantics are byte-for-byte
+// the harness's: every arriving data envelope is accepted (dedup) and
+// re-acked, inputs are journaled before their handler runs, and a
+// crash tears the instance down and rebuilds it by checkpoint restore
+// plus journal replay with output-divergence verification.
+package netmesh
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"msgorder/internal/crash"
+	"msgorder/internal/event"
+	"msgorder/internal/obs"
+	"msgorder/internal/protocol"
+	"msgorder/internal/transport"
+)
+
+// Node errors.
+var (
+	// ErrProtocol reports a protocol contract violation (capability,
+	// addressing, replay divergence details wrap it).
+	ErrProtocol = errors.New("netmesh: protocol error")
+	// ErrReplayDiverged reports recovery replay emitting different
+	// outputs than the pre-crash incarnation journaled.
+	ErrReplayDiverged = errors.New("netmesh: replay diverged from journal")
+	// ErrClosed reports use of a closed node.
+	ErrClosed = errors.New("netmesh: node closed")
+)
+
+// Fingerprint derives the handshake fingerprint for a mesh of n
+// processes running the named protocol under the given spec: every
+// field that must agree for a cross-process run to make sense.
+func Fingerprint(proto, spec string, n int) string {
+	return fmt.Sprintf("momesh1|n=%d|proto=%s|spec=%s", n, proto, spec)
+}
+
+// NodeConfig configures one protocol-hosting node.
+type NodeConfig struct {
+	// Self is this process's id; Procs the mesh size.
+	Self  event.ProcID
+	Procs int
+	// Maker builds the protocol instance (fresh per incarnation).
+	Maker protocol.Maker
+	// Mesh configures the socket layer. Self is forced to NodeConfig's;
+	// Fingerprint should come from Fingerprint().
+	Mesh MeshConfig
+	// Transport tunes the reliable sublayer (zero value = defaults).
+	Transport transport.Config
+	// WALPath, when non-empty, makes the journal file-backed so it
+	// would survive an OS-process restart; empty keeps it in memory.
+	WALPath string
+	// SnapshotEvery checkpoints a Snapshotter protocol each time this
+	// many WAL entries accumulate (0 = never; recovery replays all).
+	SnapshotEvery int
+	// Tracer and Metrics, when non-nil, instrument the node.
+	Tracer  obs.Tracer
+	Metrics *obs.Registry
+}
+
+// inbox item kinds.
+const (
+	itemInvoke = iota
+	itemEnvelope
+	itemCrash
+	itemRestart
+)
+
+type nodeItem struct {
+	kind     int
+	msg      event.Message
+	env      transport.Envelope
+	downtime time.Duration
+}
+
+// inbox is the node's unbounded input queue; close drains first.
+type inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []nodeItem
+	closed bool
+}
+
+func newInbox() *inbox {
+	q := &inbox{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *inbox) push(it nodeItem) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.items = append(q.items, it)
+	q.mu.Unlock()
+	q.cond.Signal()
+	return true
+}
+
+func (q *inbox) pop() (nodeItem, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nodeItem{}, false
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	return it, true
+}
+
+func (q *inbox) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Node is one live process of a protocol instance on the mesh.
+type Node struct {
+	cfg   NodeConfig
+	class protocol.Class
+	proto string
+
+	mesh  *Mesh
+	tr    *transport.Reliable
+	wal   *crash.WAL
+	sink  *obs.Sink
+	probe *obs.Probe
+	q     *inbox
+
+	// Handler-goroutine state (no locking needed).
+	inst        protocol.Process
+	env         *nodeEnv
+	down        bool
+	incarnation int
+	heldInvokes []event.Message // invokes arriving during downtime
+
+	mu        sync.Mutex
+	events    []event.Event // user-visible events at Self, in local order
+	delivered []event.MsgID
+	stats     protocol.Stats
+	err       error
+	timers    []*time.Timer
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// nodeEnv implements protocol.Env for one incarnation. In replay mode
+// (crash recovery) it suppresses all real effects and collects would-be
+// outputs for divergence checking, exactly like the sim's env.
+type nodeEnv struct {
+	n      *Node
+	replay bool
+	got    []crash.Entry
+}
+
+var _ protocol.Env = (*nodeEnv)(nil)
+
+func (e *nodeEnv) Self() event.ProcID { return e.n.cfg.Self }
+func (e *nodeEnv) NumProcs() int      { return e.n.cfg.Procs }
+
+func (e *nodeEnv) Send(w protocol.Wire) {
+	n := e.n
+	w.From = n.cfg.Self
+	if e.replay {
+		e.got = append(e.got, crash.Entry{Kind: crash.EntrySend, Wire: w})
+		return
+	}
+	if int(w.To) < 0 || int(w.To) >= n.cfg.Procs {
+		n.fail(fmt.Errorf("%w: send to out-of-range process %d", ErrProtocol, w.To))
+		return
+	}
+	if err := protocol.CheckCapability(n.class, w); err != nil {
+		n.fail(fmt.Errorf("%w: P%d: %v", ErrProtocol, n.cfg.Self, err))
+		return
+	}
+	n.mu.Lock()
+	switch w.Kind {
+	case protocol.UserWire:
+		n.stats.UserMessages++
+		n.stats.UserTagBytes += len(w.Tag)
+		n.events = append(n.events, event.E(w.Msg, event.Send))
+	case protocol.ControlWire:
+		n.stats.ControlMessages++
+		n.stats.ControlBytes += len(w.Tag)
+	default:
+		n.mu.Unlock()
+		n.fail(fmt.Errorf("%w: P%d sent wire with invalid kind", ErrProtocol, n.cfg.Self))
+		return
+	}
+	n.mu.Unlock()
+	n.journal(crash.Entry{Kind: crash.EntrySend, Wire: w})
+	n.probe.Send(&w)
+	n.mesh.Send(n.tr.Wrap(n.cfg.Self, w.To, w))
+}
+
+func (e *nodeEnv) Deliver(id event.MsgID) {
+	n := e.n
+	if e.replay {
+		e.got = append(e.got, crash.Entry{Kind: crash.EntryDeliver, ID: id})
+		return
+	}
+	n.journal(crash.Entry{Kind: crash.EntryDeliver, ID: id})
+	n.probe.Deliver(n.cfg.Self, id)
+	n.mu.Lock()
+	n.events = append(n.events, event.E(id, event.Deliver))
+	n.delivered = append(n.delivered, id)
+	n.stats.Deliveries++
+	n.mu.Unlock()
+}
+
+// NewNode starts a node: mesh listener up, protocol instance
+// initialized, handler loop running.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Procs <= 0 || int(cfg.Self) < 0 || int(cfg.Self) >= cfg.Procs {
+		return nil, fmt.Errorf("netmesh: bad node identity %d/%d", cfg.Self, cfg.Procs)
+	}
+	n := &Node{cfg: cfg, q: newInbox()}
+	if cfg.Tracer != nil || cfg.Metrics != nil {
+		start := time.Now()
+		n.sink = &obs.Sink{Tracer: cfg.Tracer, Metrics: cfg.Metrics,
+			Now: func() int64 { return time.Since(start).Microseconds() }}
+	}
+	if cfg.WALPath != "" {
+		w, err := crash.OpenFileWAL(cfg.WALPath)
+		if err != nil {
+			return nil, fmt.Errorf("netmesh: open WAL: %w", err)
+		}
+		n.wal = w
+	} else {
+		n.wal = crash.NewWAL()
+	}
+
+	inst := cfg.Maker()
+	n.class = protocol.General
+	if d, ok := inst.(protocol.Describer); ok {
+		n.class = d.Describe().Class
+		n.proto = d.Describe().Name
+	}
+	if n.sink != nil {
+		n.probe = obs.NewProbe(cfg.Procs, cfg.Tracer, cfg.Metrics, n.proto, n.sink.Now)
+	}
+
+	mcfg := cfg.Mesh
+	mcfg.Self = cfg.Self
+	if mcfg.Obs == nil {
+		mcfg.Obs = n.sink
+	}
+	if inj := mcfg.Injector; inj != nil && n.sink != nil {
+		inj.Observe(n.sink)
+	}
+	tcfg := cfg.Transport
+	if tcfg.Obs == nil {
+		tcfg.Obs = n.sink
+	}
+	mesh, err := NewMesh(mcfg, func(e transport.Envelope) {
+		n.q.push(nodeItem{kind: itemEnvelope, env: e})
+	})
+	if err != nil {
+		n.wal.Close()
+		return nil, err
+	}
+	n.mesh = mesh
+	n.tr = transport.NewReliable(tcfg, mesh.Send)
+
+	n.inst = inst
+	n.env = &nodeEnv{n: n}
+	inst.Init(n.env)
+
+	n.wg.Add(1)
+	go n.run()
+	return n, nil
+}
+
+// Addr returns the mesh listener's bound address.
+func (n *Node) Addr() string { return n.mesh.Addr() }
+
+// Self returns the hosted process's ID.
+func (n *Node) Self() event.ProcID { return n.cfg.Self }
+
+// Procs returns the mesh size.
+func (n *Node) Procs() int { return n.cfg.Procs }
+
+// Proto returns the hosted protocol's descriptor name ("" if the
+// protocol is not a Describer).
+func (n *Node) Proto() string { return n.proto }
+
+// Invoke submits a user message originating here. The caller owns
+// MsgID assignment (the run's global numbering); m.From must be Self.
+// Invokes arriving while the node is crashed queue up and drain in the
+// next incarnation, like a daemon's client requests would.
+func (n *Node) Invoke(m event.Message) error {
+	if m.From != n.cfg.Self {
+		return fmt.Errorf("%w: invoke of m%d at P%d, From = %d", ErrProtocol, m.ID, n.cfg.Self, m.From)
+	}
+	if int(m.To) < 0 || int(m.To) >= n.cfg.Procs || m.To == m.From {
+		return fmt.Errorf("%w: invoke of m%d to %d", ErrProtocol, m.ID, m.To)
+	}
+	if !n.q.push(nodeItem{kind: itemInvoke, msg: m}) {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Crash tears the protocol instance down (protocol-layer crash: the
+// mesh and the transport's network-global ack bookkeeping stay up, as
+// in the sim, whose documented semantics are that seqnums survive a
+// restart). After downtime the node restores the latest checkpoint,
+// replays the journal suffix, verifies the outputs, and goes live.
+func (n *Node) Crash(downtime time.Duration) error {
+	if downtime <= 0 {
+		downtime = 25 * time.Millisecond
+	}
+	if !n.q.push(nodeItem{kind: itemCrash, downtime: downtime}) {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Deliveries returns the local delivery order so far.
+func (n *Node) Deliveries() []event.MsgID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]event.MsgID(nil), n.delivered...)
+}
+
+// Events returns the user-visible events (sends and delivers) recorded
+// at this process, in local order.
+func (n *Node) Events() []event.Event {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]event.Event(nil), n.events...)
+}
+
+// Stats returns the protocol tallies with the transport and injector
+// counters folded in.
+func (n *Node) Stats() protocol.Stats {
+	n.mu.Lock()
+	s := n.stats
+	n.mu.Unlock()
+	tc := n.tr.Counters()
+	s.Retransmits = tc.Retransmits
+	s.DupsDropped = tc.DupsDropped
+	if inj := n.cfg.Mesh.Injector; inj != nil {
+		s.FaultsInjected = inj.Counters().Total()
+	}
+	return s
+}
+
+// TransportCounters returns the reliable sublayer's tallies.
+func (n *Node) TransportCounters() transport.Counters { return n.tr.Counters() }
+
+// MeshCounters returns the socket layer's tallies.
+func (n *Node) MeshCounters() Counters { return n.mesh.Counters() }
+
+// Err returns the first protocol/harness failure, or the mesh's
+// handshake refusal, if any.
+func (n *Node) Err() error {
+	n.mu.Lock()
+	err := n.err
+	n.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return n.mesh.Rejected()
+}
+
+// WaitDeliveries blocks until at least k messages have been delivered
+// here (or the node fails, or the timeout passes).
+func (n *Node) WaitDeliveries(k int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		n.mu.Lock()
+		got, err := len(n.delivered), n.err
+		n.mu.Unlock()
+		switch {
+		case err != nil:
+			return err
+		case got >= k:
+			return nil
+		case time.Now().After(deadline):
+			return fmt.Errorf("netmesh: P%d delivered %d of %d after %v", n.cfg.Self, got, k, timeout)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Pending returns the transport's unacknowledged envelope count.
+func (n *Node) Pending() int { return n.tr.Pending() }
+
+// Close drains and stops the node: inbox first (queued handlers run),
+// then the transport loop and the mesh (outboxes flush).
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	timers := n.timers
+	n.mu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
+	n.q.close()
+	n.wg.Wait()
+	n.tr.Close()
+	n.mesh.Close()
+	n.wal.Close()
+	return nil
+}
+
+func (n *Node) fail(err error) {
+	n.mu.Lock()
+	if n.err == nil {
+		n.err = err
+	}
+	n.mu.Unlock()
+}
+
+// journal appends one WAL entry, surfacing write errors as node
+// failures.
+func (n *Node) journal(e crash.Entry) {
+	if err := n.wal.Append(e); err != nil {
+		n.fail(err)
+	}
+}
+
+// run is the handler loop: one item at a time, per-process serialized.
+func (n *Node) run() {
+	defer n.wg.Done()
+	for {
+		it, ok := n.q.pop()
+		if !ok {
+			return
+		}
+		switch it.kind {
+		case itemInvoke:
+			if n.down {
+				n.heldInvokes = append(n.heldInvokes, it.msg)
+				continue
+			}
+			n.doInvoke(it.msg)
+		case itemEnvelope:
+			n.handleEnvelope(it.env)
+		case itemCrash:
+			n.doCrash(it.downtime)
+		case itemRestart:
+			n.doRestart()
+		}
+	}
+}
+
+func (n *Node) doInvoke(m event.Message) {
+	n.journal(crash.Entry{Kind: crash.EntryInvoke, Msg: m})
+	n.probe.Invoke(m)
+	n.inst.OnInvoke(m)
+	n.maybeCheckpoint()
+}
+
+// handleEnvelope mirrors the sim's receiver side: acks always update
+// the network-global pending table (even while crashed); data
+// envelopes are dropped while down (the sender retransmits until the
+// restart), otherwise deduplicated, re-acked, journaled and handed to
+// the protocol.
+func (n *Node) handleEnvelope(e transport.Envelope) {
+	switch e.Kind {
+	case transport.Ack:
+		n.tr.Ack(e)
+	case transport.Data:
+		if n.down {
+			return
+		}
+		fresh := n.tr.Accept(e)
+		// Always (re-)acknowledge — the previous ack may have been lost.
+		n.mesh.Send(transport.AckFor(e))
+		if !fresh {
+			return
+		}
+		n.journal(crash.Entry{Kind: crash.EntryReceive, Wire: e.Wire})
+		n.probe.Receive(e.Wire)
+		n.inst.OnReceive(e.Wire)
+		n.maybeCheckpoint()
+	}
+}
+
+// maybeCheckpoint snapshots a Snapshotter protocol once enough journal
+// entries accumulated. Runs between handlers only, so a checkpoint
+// never splits one handler's input from its outputs.
+func (n *Node) maybeCheckpoint() {
+	if n.cfg.SnapshotEvery <= 0 || n.wal.SinceCheckpoint() < n.cfg.SnapshotEvery {
+		return
+	}
+	s, ok := n.inst.(protocol.Snapshotter)
+	if !ok {
+		return
+	}
+	if err := n.wal.Checkpoint(s.Snapshot()); err != nil {
+		n.fail(err)
+		return
+	}
+	n.sink.Count("crash.wal.checkpoints", 1)
+}
+
+func (n *Node) doCrash(downtime time.Duration) {
+	if n.down {
+		return
+	}
+	n.down = true
+	n.mu.Lock()
+	n.stats.Crashes++
+	closed := n.closed
+	n.mu.Unlock()
+	if s := n.sink; s.Enabled() {
+		s.Count("sim.crashes", 1)
+		s.Trace(obs.Record{Step: s.Step(), Proc: n.cfg.Self, Op: obs.OpCrash, Msg: obs.NoMsg,
+			Note: fmt.Sprintf("crash-restart, down %v (incarnation %d)", downtime, n.incarnation)})
+	}
+	if closed {
+		return
+	}
+	t := time.AfterFunc(downtime, func() {
+		n.q.push(nodeItem{kind: itemRestart})
+	})
+	n.mu.Lock()
+	n.timers = append(n.timers, t)
+	n.mu.Unlock()
+}
+
+// doRestart rebuilds the protocol instance from durable state: restore
+// the latest checkpoint, replay the journal suffix with effects
+// suppressed, verify the replayed outputs match what the pre-crash
+// incarnation journaled, then go live and drain invokes held during
+// the downtime.
+func (n *Node) doRestart() {
+	if !n.down {
+		return
+	}
+	started := time.Now()
+	inst := n.cfg.Maker()
+	e := &nodeEnv{n: n, replay: true}
+	inst.Init(e)
+
+	snap, entries := n.wal.Replay()
+	if snap != nil {
+		s, ok := inst.(protocol.Snapshotter)
+		if !ok {
+			n.fail(fmt.Errorf("%w: P%d has a checkpoint but no Snapshotter", ErrProtocol, n.cfg.Self))
+			return
+		}
+		if err := s.Restore(snap); err != nil {
+			n.fail(fmt.Errorf("%w: P%d restore: %v", ErrProtocol, n.cfg.Self, err))
+			return
+		}
+	}
+	var outs []crash.Entry
+	for _, en := range entries {
+		if !en.Input() {
+			outs = append(outs, en)
+		}
+	}
+	oi, replayed := 0, 0
+	for _, en := range entries {
+		if !en.Input() {
+			continue
+		}
+		switch en.Kind {
+		case crash.EntryInvoke:
+			inst.OnInvoke(en.Msg)
+		case crash.EntryBroadcast:
+			deliverBroadcast(inst, en.Msgs)
+		case crash.EntryReceive:
+			inst.OnReceive(en.Wire)
+		}
+		replayed++
+		for _, g := range e.got {
+			if oi >= len(outs) || !crash.SameOutput(outs[oi], g) {
+				n.fail(fmt.Errorf("%w: P%d replaying %s entry %d", ErrReplayDiverged, n.cfg.Self, en.Kind, replayed))
+				return
+			}
+			oi++
+		}
+		e.got = e.got[:0]
+	}
+	if oi != len(outs) {
+		n.fail(fmt.Errorf("%w: P%d re-emitted %d of %d journaled outputs", ErrReplayDiverged, n.cfg.Self, oi, len(outs)))
+		return
+	}
+
+	e.replay = false
+	e.got = nil
+	n.inst, n.env = inst, e
+	n.down = false
+	n.incarnation++
+	n.mu.Lock()
+	n.stats.Recoveries++
+	n.stats.ReplayedEvents += replayed
+	n.mu.Unlock()
+	if s := n.sink; s.Enabled() {
+		lat := time.Since(started)
+		s.Count("sim.recoveries", 1)
+		s.Observe("crash.recovery.latency.us", lat.Microseconds())
+		s.Observe("crash.recovery.replayed", int64(replayed))
+		s.Trace(obs.Record{Step: s.Step(), Proc: n.cfg.Self, Op: obs.OpRecover, Msg: obs.NoMsg,
+			Note: fmt.Sprintf("incarnation %d live after %v, replayed %d entries", n.incarnation, lat.Round(time.Microsecond), replayed)})
+	}
+	held := n.heldInvokes
+	n.heldInvokes = nil
+	for _, m := range held {
+		n.doInvoke(m)
+	}
+}
+
+// deliverBroadcast mirrors the sim's replay dispatch for broadcast
+// journal entries.
+func deliverBroadcast(p protocol.Process, msgs []event.Message) {
+	if b, ok := p.(protocol.Broadcaster); ok {
+		b.OnBroadcast(msgs)
+		return
+	}
+	for _, m := range msgs {
+		p.OnInvoke(m)
+	}
+}

@@ -1,0 +1,146 @@
+package netmesh
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"msgorder/internal/check"
+	"msgorder/internal/event"
+	"msgorder/internal/protocols/registry"
+	"msgorder/internal/transport"
+	"msgorder/internal/userview"
+)
+
+// TestSoakAllProtocolsLossyWithCrash is the satellite soak: every
+// catalog protocol runs 3 processes over real loopback TCP, 200
+// pipelined messages under seeded loss, with one crash-restart
+// mid-stream. Afterwards the assembled run must be a valid complete
+// user view (userview.New rejects duplicate events, so this checks
+// exactly-once delivery) that satisfies the protocol's specification.
+func TestSoakAllProtocolsLossyWithCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second socket soak")
+	}
+	const (
+		procs = 3
+		count = 200
+	)
+	for _, entry := range registry.Catalog() {
+		entry := entry
+		t.Run(entry.Name, func(t *testing.T) {
+			t.Parallel()
+			inj := transport.NewInjector(transport.FaultPlan{
+				DropRate: 0.15, DupRate: 0.08, DelayJitter: 0.05, Seed: 31,
+			})
+			nodes := startMeshNodes(t, procs, entry.Maker, func(i int, cfg *NodeConfig) {
+				cfg.Mesh.Injector = inj
+				cfg.SnapshotEvery = 32
+			})
+
+			rng := rand.New(rand.NewSource(97))
+			msgs := make([]event.Message, count)
+			for i := range msgs {
+				from := event.ProcID(rng.Intn(procs))
+				to := event.ProcID(rng.Intn(procs))
+				for to == from {
+					to = event.ProcID(rng.Intn(procs))
+				}
+				var color event.Color
+				if len(entry.Colors) > 0 {
+					color = entry.Colors[rng.Intn(len(entry.Colors))]
+				}
+				msgs[i] = event.Message{ID: event.MsgID(i), From: from, To: to, Color: color}
+			}
+
+			// Pipelined firehose with one crash-restart a third in. P0
+			// is the sync protocols' coordinator, so the crash targets a
+			// worker, matching the E11 convention.
+			for i, m := range msgs {
+				if i == count/3 {
+					if err := nodes[1].Crash(15 * time.Millisecond); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := nodes[m.From].Invoke(m); err != nil {
+					t.Fatalf("invoke m%d: %v", m.ID, err)
+				}
+			}
+
+			want := make([]int, procs)
+			for _, m := range msgs {
+				want[m.To]++
+			}
+			for p, node := range nodes {
+				if err := node.WaitDeliveries(want[p], 60*time.Second); err != nil {
+					t.Fatalf("P%d: %v (stats %+v)", p, err, node.Stats())
+				}
+			}
+			for p, node := range nodes {
+				if err := node.Err(); err != nil {
+					t.Fatalf("P%d failed: %v", p, err)
+				}
+			}
+
+			procEvents := make([][]event.Event, procs)
+			for i, node := range nodes {
+				procEvents[i] = node.Events()
+			}
+			v, err := userview.New(msgs, procEvents)
+			if err != nil {
+				t.Fatalf("run invalid (exactly-once broken?): %v", err)
+			}
+			if !v.IsComplete() {
+				t.Fatal("incomplete view after all waits succeeded")
+			}
+			if pred := entry.Pred(); pred != nil {
+				if m, found := check.FindViolation(v, pred); found {
+					t.Fatalf("spec %s violated: %s", entry.Spec, m.String(pred))
+				}
+			}
+
+			s := nodes[1].Stats()
+			if s.Crashes != 1 || s.Recoveries != 1 {
+				t.Fatalf("crashes/recoveries = %d/%d, want 1/1", s.Crashes, s.Recoveries)
+			}
+			if inj.Counters().Total() == 0 {
+				t.Fatal("no faults injected: the soak exercised nothing")
+			}
+			var retr int
+			for _, node := range nodes {
+				retr += node.TransportCounters().Retransmits
+			}
+			if retr == 0 {
+				t.Fatal("no retransmissions under 15% loss")
+			}
+			t.Logf("%s: %d msgs, faults=%d retransmits=%d replayed=%d",
+				entry.Name, count, inj.Counters().Total(), retr, s.ReplayedEvents)
+		})
+	}
+}
+
+// TestSoakViewsAreValidPrefixes guards the assembled-run plumbing
+// itself: a tiny two-node exchange must produce per-process event logs
+// that line up with the message table.
+func TestSoakViewsAreValidPrefixes(t *testing.T) {
+	nodes := startMeshNodes(t, 2, registry.Catalog()[0].Maker, nil)
+	msgs := []event.Message{
+		{ID: 0, From: 0, To: 1}, {ID: 1, From: 1, To: 0}, {ID: 2, From: 0, To: 1},
+	}
+	lockstep(t, nodes, msgs, 5*time.Second)
+	v := meshView(t, nodes, msgs)
+	for p := 0; p < 2; p++ {
+		seq := v.ProcSeq(event.ProcID(p))
+		if len(seq) == 0 {
+			t.Fatalf("P%d recorded nothing", p)
+		}
+		for _, e := range seq {
+			if !e.Kind.UserVisible() {
+				t.Fatalf("P%d logged non-user event %v", p, e)
+			}
+		}
+	}
+	if !v.IsComplete() {
+		t.Fatal("unexpected incomplete view")
+	}
+}

@@ -1,0 +1,98 @@
+// Package registry is the shared protocol catalog for the command-line
+// tools: one place mapping a protocol's name to its maker, the
+// specification it implements, and the workload colors it needs, so
+// mobench's experiment tables and the mod daemon agree on what
+// "causal-rst" means. The presentation order follows the paper's
+// Theorem 1 hierarchy: tagless first, then tagged, then general.
+package registry
+
+import (
+	"msgorder/internal/catalog"
+	"msgorder/internal/event"
+	"msgorder/internal/predicate"
+	"msgorder/internal/protocol"
+	"msgorder/internal/protocols/causal"
+	"msgorder/internal/protocols/fifo"
+	"msgorder/internal/protocols/flush"
+	"msgorder/internal/protocols/kweaker"
+	syncproto "msgorder/internal/protocols/sync"
+	"msgorder/internal/protocols/tagless"
+)
+
+// Entry describes one runnable protocol.
+type Entry struct {
+	// Name is the canonical CLI name.
+	Name string
+	// Maker builds one process's instance.
+	Maker protocol.Maker
+	// Spec names the catalog specification the protocol implements
+	// ("" = liveness only, nothing forbidden).
+	Spec string
+	// Colors is the workload color mix the protocol's spec is about
+	// (nil = colorless); flush protocols need flush-colored messages
+	// in the stream to exercise anything.
+	Colors []event.Color
+}
+
+// Pred returns the entry's specification predicate (nil when the
+// entry has none). Unknown spec names return nil — Catalog entries
+// are all validated by the registry test.
+func (e Entry) Pred() *predicate.Predicate {
+	if e.Spec == "" {
+		return nil
+	}
+	if e.Name == "kweaker-1" {
+		return catalog.KWeakerChannel(1)
+	}
+	c, ok := catalog.ByName(e.Spec)
+	if !ok {
+		return nil
+	}
+	return c.Pred
+}
+
+// Catalog returns the benchable protocol catalog in presentation order
+// (the 8 unicast protocols every matrix sweeps).
+func Catalog() []Entry {
+	flushColors := []event.Color{
+		event.ColorNone, event.ColorNone, event.ColorNone, event.ColorRed,
+	}
+	return []Entry{
+		{Name: "tagless", Maker: tagless.Maker},
+		{Name: "fifo", Maker: fifo.Maker, Spec: "fifo"},
+		{Name: "kweaker-1", Maker: kweaker.Maker(1), Spec: "kweaker-1-channel"},
+		{Name: "flush", Maker: flush.Maker, Spec: "local-forward-flush", Colors: flushColors},
+		{Name: "causal-rst", Maker: causal.RSTMaker, Spec: "causal-b2"},
+		{Name: "causal-ses", Maker: causal.SESMaker, Spec: "causal-b2"},
+		{Name: "sync", Maker: syncproto.Maker, Spec: "sync-2"},
+		{Name: "sync-ra", Maker: syncproto.RAMaker, Spec: "sync-2"},
+	}
+}
+
+// extras are runnable protocols outside the benchmark catalog.
+func extras() []Entry {
+	return []Entry{
+		{Name: "causal-bss", Maker: causal.BSSMaker, Spec: "causal-b2"},
+		{Name: "kweaker-2", Maker: kweaker.Maker(2)},
+	}
+}
+
+// ByName resolves a protocol by CLI name, searching the catalog and
+// the extras.
+func ByName(name string) (Entry, bool) {
+	for _, e := range append(Catalog(), extras()...) {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Names returns every resolvable protocol name, catalog first.
+func Names() []string {
+	var out []string
+	for _, e := range append(Catalog(), extras()...) {
+		out = append(out, e.Name)
+	}
+	return out
+}

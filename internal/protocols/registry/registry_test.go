@@ -1,0 +1,41 @@
+package registry
+
+import "testing"
+
+// TestCatalogResolves pins the catalog shape: 8 protocols, resolvable
+// by name, every named spec present in the catalog package.
+func TestCatalogResolves(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 8 {
+		t.Fatalf("catalog has %d protocols, want 8", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, e := range cat {
+		if seen[e.Name] {
+			t.Fatalf("duplicate protocol %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Maker == nil {
+			t.Fatalf("%s: nil maker", e.Name)
+		}
+		got, ok := ByName(e.Name)
+		if !ok || got.Name != e.Name {
+			t.Fatalf("ByName(%q) = %+v, %v", e.Name, got, ok)
+		}
+		if e.Spec != "" && e.Pred() == nil {
+			t.Fatalf("%s: spec %q has no predicate", e.Name, e.Spec)
+		}
+		if inst := e.Maker(); inst == nil {
+			t.Fatalf("%s: maker built nil", e.Name)
+		}
+	}
+	if _, ok := ByName("causal-bss"); !ok {
+		t.Fatal("extras not resolvable")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown protocol resolved")
+	}
+	if names := Names(); len(names) != 10 || names[0] != "tagless" {
+		t.Fatalf("Names() = %v", names)
+	}
+}

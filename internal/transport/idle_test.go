@@ -1,0 +1,65 @@
+package transport
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"msgorder/internal/obs"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatal(msg)
+}
+
+// TestIdleLoopParksUntilWrap pins the satellite behaviour: with nothing
+// pending the retransmission loop parks (IdleSkips advances, no scans),
+// a Wrap wakes it and retransmission works, and after the ack the loop
+// parks again instead of ticking forever.
+func TestIdleLoopParksUntilWrap(t *testing.T) {
+	var resent atomic.Int32
+	r := NewReliable(Config{RTO: time.Millisecond, Tick: 500 * time.Microsecond},
+		func(Envelope) { resent.Add(1) })
+	defer r.Close()
+
+	waitFor(t, time.Second, func() bool { return r.Counters().IdleSkips >= 1 },
+		"loop never parked while idle")
+	// Parked means parked: no retransmission scans happen, so IdleSkips
+	// stays at exactly one park and Retransmits stays zero.
+	time.Sleep(5 * time.Millisecond)
+	if c := r.Counters(); c.Retransmits != 0 {
+		t.Fatalf("retransmits while idle = %d, want 0", c.Retransmits)
+	}
+	skipsBefore := r.Counters().IdleSkips
+
+	e := r.Wrap(0, 1, wire(0))
+	waitFor(t, time.Second, func() bool { return resent.Load() > 0 },
+		"Wrap did not wake the parked loop (no retransmission)")
+
+	r.Ack(AckFor(e))
+	waitFor(t, time.Second, func() bool { return r.Counters().IdleSkips > skipsBefore },
+		"loop did not park again after the last ack")
+	if got := r.Pending(); got != 0 {
+		t.Fatalf("pending after ack = %d, want 0", got)
+	}
+}
+
+// TestIdleSkipCounterReachesSink asserts the park is visible as the
+// transport.retransmit.idle_skips metric the E12 run reports.
+func TestIdleSkipCounterReachesSink(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := NewReliable(Config{Obs: &obs.Sink{Metrics: reg}}, noSend)
+	defer r.Close()
+	waitFor(t, time.Second,
+		func() bool { return reg.Counter("transport.retransmit.idle_skips") >= 1 },
+		"idle_skips counter never reached the sink")
+}

@@ -283,6 +283,11 @@ type Counters struct {
 	DupsDropped int
 	// AcksReceived counts acknowledgements processed by senders.
 	AcksReceived int
+	// IdleSkips counts the times the retransmission loop parked because
+	// no envelope was pending: instead of scanning an empty table every
+	// Tick, it sleeps until the next Wrap wakes it. An idle mesh
+	// therefore burns no timer CPU at all.
+	IdleSkips int
 }
 
 type chanKey [2]event.ProcID
@@ -315,6 +320,10 @@ type Reliable struct {
 	counts   Counters
 	progress uint64
 
+	// wake is signalled (buffered, capacity one) when pending goes from
+	// empty to non-empty, so the parked retransmission loop resumes.
+	wake chan struct{}
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -330,6 +339,7 @@ func NewReliable(cfg Config, send func(Envelope)) *Reliable {
 		pending: make(map[pendKey]*pendingTx),
 		seen:    make(map[chanKey]map[uint64]struct{}),
 		down:    make(map[event.ProcID]bool),
+		wake:    make(chan struct{}, 1),
 		stop:    make(chan struct{}),
 	}
 	r.wg.Add(1)
@@ -345,12 +355,19 @@ func (r *Reliable) Wrap(from, to event.ProcID, w protocol.Wire) Envelope {
 	ch := chanKey{from, to}
 	r.next[ch]++
 	env := Envelope{Src: from, Dst: to, Kind: Data, Seq: r.next[ch], Wire: w}
+	wasIdle := len(r.pending) == 0
 	r.pending[pendKey{ch, env.Seq}] = &pendingTx{
 		env:      env,
 		deadline: time.Now().Add(r.cfg.RTO),
 	}
 	r.counts.Sent++
 	r.progress++
+	if wasIdle {
+		select {
+		case r.wake <- struct{}{}:
+		default:
+		}
+	}
 	return env
 }
 
@@ -472,12 +489,35 @@ func (r *Reliable) Close() {
 }
 
 // loop scans pending envelopes and resends overdue ones with
-// exponential backoff.
+// exponential backoff. While nothing is pending it parks on the wake
+// channel with the ticker stopped — zero timer work on an idle mesh —
+// and Wrap's empty→non-empty transition resumes it.
 func (r *Reliable) loop() {
 	defer r.wg.Done()
 	t := time.NewTicker(r.cfg.Tick)
 	defer t.Stop()
 	for {
+		r.mu.Lock()
+		idle := len(r.pending) == 0
+		if idle {
+			r.counts.IdleSkips++
+		}
+		r.mu.Unlock()
+		if idle {
+			r.cfg.Obs.Count("transport.retransmit.idle_skips", 1)
+			t.Stop()
+			select {
+			case <-r.stop:
+				return
+			case <-r.wake:
+			}
+			select { // drop a tick buffered before Stop took effect
+			case <-t.C:
+			default:
+			}
+			t.Reset(r.cfg.Tick)
+			continue
+		}
 		select {
 		case <-r.stop:
 			return

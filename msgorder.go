@@ -22,9 +22,10 @@
 //   - Execute real protocols (tagless, FIFO, three causal-ordering
 //     algorithms including causal broadcast, flush channels, k-weaker
 //     FIFO, and two logically synchronous protocols) over a deterministic
-//     simulator, exhaustive schedule exploration, or a live
-//     goroutine-per-process network, and verify the runs they produce —
-//     or synthesize a protocol directly from a predicate with
+//     simulator, exhaustive schedule exploration, a live
+//     goroutine-per-process network, or a real multi-process TCP mesh
+//     (NewMeshNode and the cmd/mod daemon), and verify the runs they
+//     produce — or synthesize a protocol directly from a predicate with
 //     GenerateProtocol.
 //
 // The subpackages under internal/ carry the implementation; this package
@@ -40,6 +41,7 @@ import (
 	"msgorder/internal/dsim"
 	"msgorder/internal/event"
 	"msgorder/internal/lattice"
+	"msgorder/internal/netmesh"
 	"msgorder/internal/obs"
 	"msgorder/internal/predicate"
 	"msgorder/internal/protocol"
@@ -387,4 +389,48 @@ type LatticeConfig = lattice.Config
 // subset tests, Hasse edges).
 func ComputeLattice(cfg LatticeConfig, specs map[string]*Predicate) (*Lattice, error) {
 	return lattice.Compute(cfg, specs)
+}
+
+// Real-network runtime. A MeshNode hosts one process of a protocol
+// over real TCP sockets: length-prefixed frames, seeded reconnect
+// backoff, a handshake that refuses mismatched fingerprints, and the
+// same reliable-transport and crash/recovery semantics as the
+// in-memory harness. The cmd/mod daemon wraps one node per OS
+// process; NetSweep closes the loop by asserting sim and mesh produce
+// identical user views.
+type (
+	// MeshNode is one process of a protocol mesh over real TCP.
+	MeshNode = netmesh.Node
+	// MeshNodeConfig configures one mesh node (self, maker, mesh,
+	// transport tuning, optional WAL).
+	MeshNodeConfig = netmesh.NodeConfig
+	// MeshConfig is the socket-layer part of a node config: the full
+	// address table, the shared fingerprint, and optional fault
+	// injection.
+	MeshConfig = netmesh.MeshConfig
+	// MeshCounters tallies socket-layer activity (dials, frames,
+	// bytes, injected faults).
+	MeshCounters = netmesh.Counters
+	// NetProtocol names one protocol for NetSweep.
+	NetProtocol = conformance.NetProtocol
+	// NetSweepConfig shapes a cross-runtime sweep.
+	NetSweepConfig = conformance.NetMatrixConfig
+	// NetCell is one (protocol, disturbance) cell of a sweep.
+	NetCell = conformance.NetCell
+)
+
+// MeshFingerprint derives the handshake fingerprint nodes exchange;
+// every node of one mesh must present the same value.
+var MeshFingerprint = netmesh.Fingerprint
+
+// NewMeshNode starts one mesh node: it binds its listener, dials its
+// peers, and begins executing the protocol.
+func NewMeshNode(cfg MeshNodeConfig) (*MeshNode, error) { return netmesh.NewNode(cfg) }
+
+// NetSweep runs the cross-runtime conformance sweep: each protocol's
+// seeded lockstep workload executes on the in-memory sim and on a
+// loopback TCP mesh under clean, lossy, and crash-restart cells; each
+// cell reports whether the user views matched byte for byte.
+func NetSweep(cfg NetSweepConfig, protos []NetProtocol) ([]NetCell, error) {
+	return conformance.NetMatrix(cfg, protos)
 }

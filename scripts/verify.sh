@@ -54,6 +54,12 @@ echo "== go test -race (concurrency gate) =="
 go test -race ./internal/sim/... ./internal/transport/... ./internal/conformance/... \
     ./internal/crash/... ./internal/dsim/... ./internal/obs/... .
 
+echo "== go test -race (socket runtime gate) =="
+# The TCP mesh, its RPC layer and the mod daemon are real-concurrency
+# code (listener/dialer goroutines, reconnect loops, OS-process tests);
+# their suites run under the race detector too.
+go test -race ./internal/netmesh/ ./internal/modrpc/ ./cmd/mod/
+
 echo "== fault-matrix smoke (short mode) =="
 # A quick seeded-loss pass over the fault-injection paths.
 go test -short -run 'Fault|Lossy|Partition' ./internal/sim/... ./internal/conformance/...
@@ -74,6 +80,14 @@ tracetmp=$(mktemp -d)
 trap 'rm -rf "$tracetmp"' EXIT
 go run ./cmd/mobench trace -proto causal-rst -o "$tracetmp/trace.json" -validate 2>/dev/null
 go run ./cmd/mobench trace -proto causal-rst -lossy -o "$tracetmp/lossy.json" -validate 2>/dev/null
+
+echo "== net smoke (real-process gate) =="
+# Build the mod daemon, spawn three of them on loopback, drive the
+# seeded causal workload over their client sockets, and diff the
+# reassembled user view against the in-memory sim's (mobench exits
+# non-zero on any divergence or daemon failure).
+go build -o "$tracetmp/mod" ./cmd/mod
+go run ./cmd/mobench net -smoke -modbin "$tracetmp/mod"
 
 echo "== nil-tracer overhead smoke =="
 # One pass over the explorer benchmarks, uninstrumented and traced: the
