@@ -1,0 +1,182 @@
+// The load subcommand: E13's sustained open-loop throughput runs — the
+// whole seeded workload invoked up front, no lockstep barrier — on the
+// in-memory sim and on a 3-process loopback TCP mesh per protocol. The
+// mesh side exercises the full high-throughput path (batched framing,
+// pooled codec buffers, pipelined acks, optional group-commit WAL) and
+// every run validates its user view before reporting a number. -json
+// writes BENCH_load.json, then re-reads and re-validates the file so a
+// truncated or zero-throughput snapshot is an error, not an artifact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"msgorder/internal/conformance"
+	"msgorder/internal/protocols/registry"
+)
+
+// defaultLoadProtos is the default load set: one protocol per
+// asynchronous class (tagless / tagged-channel / tagged-causal). The
+// sync protocols serialize every message through a coordinator round
+// trip, so open-loop load degenerates to lockstep for them; they can
+// still be requested explicitly via -protos.
+const defaultLoadProtos = "tagless,fifo,causal-rst"
+
+// loadData runs the sim and mesh load rows for each named protocol.
+func loadData(protos []string, cfg conformance.LoadConfig, wal bool) ([]conformance.LoadResult, error) {
+	var rows []conformance.LoadResult
+	for _, name := range protos {
+		e, ok := registry.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown protocol %q (see 'mobench protocols')", name)
+		}
+		p := conformance.NetProtocol{Name: e.Name, Maker: e.Maker, Colors: e.Colors}
+		simRes, err := conformance.RunLoadSim(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, simRes)
+		mcfg := cfg
+		if wal {
+			dir, err := os.MkdirTemp("", "mobench-load-*")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+			mcfg.WALDir = dir
+			mcfg.GroupCommit = true
+		}
+		meshRes, err := conformance.RunLoadMesh(p, mcfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, meshRes)
+	}
+	return rows, nil
+}
+
+// netBaseline reads BENCH_net.json from dir and returns the clean-cell
+// mesh throughput per protocol (the lockstep baseline the load path is
+// measured against), or nil if the snapshot is absent or unreadable.
+func netBaseline(dir string) map[string]float64 {
+	b, err := os.ReadFile(filepath.Join(dir, "BENCH_net.json"))
+	if err != nil {
+		return nil
+	}
+	var f struct {
+		Rows []struct {
+			Protocol string `json:"protocol"`
+			Cells    []struct {
+				Cell       string  `json:"cell"`
+				MsgsPerSec float64 `json:"msgs_per_sec"`
+			} `json:"cells"`
+		} `json:"rows"`
+	}
+	if json.Unmarshal(b, &f) != nil {
+		return nil
+	}
+	out := map[string]float64{}
+	for _, r := range f.Rows {
+		for _, c := range r.Cells {
+			if c.Cell == "clean" && c.MsgsPerSec > 0 {
+				out[r.Protocol] = c.MsgsPerSec
+			}
+		}
+	}
+	return out
+}
+
+// validateBenchLoad re-reads a written BENCH_load.json and fails unless
+// it parses and every row shows nonzero throughput — the load-smoke
+// gate's whole check is this function's exit code.
+func validateBenchLoad(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("re-reading %s: %w", path, err)
+	}
+	var f struct {
+		Experiment string                   `json:"experiment"`
+		Rows       []conformance.LoadResult `json:"rows"`
+	}
+	if err := json.Unmarshal(b, &f); err != nil {
+		return fmt.Errorf("%s is not valid JSON: %w", path, err)
+	}
+	if f.Experiment == "" || len(f.Rows) == 0 {
+		return fmt.Errorf("%s has no rows", path)
+	}
+	for _, r := range f.Rows {
+		if r.MsgsPerSec <= 0 || r.Msgs <= 0 {
+			return fmt.Errorf("%s: %s/%s reports zero throughput", path, r.Runtime, r.Protocol)
+		}
+	}
+	return nil
+}
+
+// loadCmd runs E13:
+//
+//	mobench load                 # print the sustained-throughput table
+//	mobench load -json           # write + re-validate BENCH_load.json
+//	mobench load -wal            # mesh rows journal to file-backed WALs
+//	                             # with group commit
+func loadCmd(args []string) error {
+	fs := flag.NewFlagSet("mobench load", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "write the BENCH_load.json snapshot instead of a table")
+	outdir := fs.String("outdir", ".", "directory to write BENCH_load.json into (and find the BENCH_net.json baseline)")
+	msgs := fs.Int("msgs", 4000, "open-loop workload length per run")
+	seed := fs.Int64("seed", 5, "workload seed")
+	procs := fs.Int("procs", 3, "mesh size")
+	protos := fs.String("protos", defaultLoadProtos, "comma-separated protocol list")
+	wal := fs.Bool("wal", false, "give mesh nodes file-backed WALs with group commit")
+	timeout := fs.Duration("timeout", 60*time.Second, "drain deadline per run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := conformance.LoadConfig{Procs: *procs, Msgs: *msgs, Seed: *seed, Timeout: *timeout}
+	rows, err := loadData(strings.Split(*protos, ","), cfg, *wal)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if r.MsgsPerSec <= 0 {
+			return fmt.Errorf("%s/%s reports zero throughput", r.Runtime, r.Protocol)
+		}
+	}
+	if *jsonOut {
+		if err := writeBench(*outdir, "BENCH_load.json", "E13 sustained open-loop load", rows); err != nil {
+			return err
+		}
+		return validateBenchLoad(filepath.Join(*outdir, "BENCH_load.json"))
+	}
+	base := netBaseline(*outdir)
+	fmt.Println("== E13: sustained open-loop load — sim and 3-process loopback TCP mesh ==")
+	fmt.Printf("%d messages per run, invoked open-loop; latency is invoke→deliver\n", *msgs)
+	fmt.Printf("%-12s %-8s %10s %9s %9s %9s %7s %12s %8s\n",
+		"protocol", "runtime", "msgs/sec", "p50(µs)", "p99(µs)", "max(µs)", "batch", "retransmits", "vs E12")
+	for _, r := range rows {
+		batch, speedup := "-", "-"
+		if r.Runtime == "mesh" {
+			batch = fmt.Sprintf("%.1f", r.BatchFactor)
+			if b := base[r.Protocol]; b > 0 {
+				speedup = fmt.Sprintf("%.1fx", r.MsgsPerSec/b)
+			}
+		}
+		fmt.Printf("%-12s %-8s %10.0f %9d %9d %9d %7s %12d %8s\n",
+			r.Protocol, r.Runtime, r.MsgsPerSec, r.P50us, r.P99us, r.MaxUs,
+			batch, r.Retransmits, speedup)
+		if r.WALAppends > 0 {
+			fmt.Printf("%-12s %-8s WAL: %d appends in %d flushes (%.0f entries/flush)\n",
+				"", "", r.WALAppends, r.WALFlushes,
+				float64(r.WALAppends)/float64(max(r.WALFlushes, 1)))
+		}
+	}
+	fmt.Println("expected shape: mesh throughput within an order of magnitude of the sim and")
+	fmt.Println("≥10x the E12 lockstep baseline (vs E12 column); batch factor > 1 shows frame")
+	fmt.Println("coalescing working; pipelined acks keep retransmits near zero on loopback.")
+	return nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"msgorder/internal/conformance"
+)
+
+// TestWriteBenchCreatesMissingOutdir is the regression test for the
+// -outdir fix: snapshots must land in a directory that does not exist
+// yet instead of failing at os.Create.
+func TestWriteBenchCreatesMissingOutdir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "deeper")
+	if err := writeBench(dir, "BENCH_test.json", "regression", []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_test.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		t.Fatal(err)
+	}
+	if bf.Experiment != "regression" || bf.Rows == nil {
+		t.Fatalf("envelope = %+v", bf)
+	}
+}
+
+// TestLoadCmdJSON drives E13 end to end into a missing -outdir (the
+// same regression path as above, through the subcommand) and checks
+// the written BENCH_load.json parses with sane rows.
+func TestLoadCmdJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket load run")
+	}
+	dir := filepath.Join(t.TempDir(), "not", "yet", "there")
+	if err := loadCmd([]string{"-json", "-outdir", dir, "-msgs", "400", "-protos", "tagless"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_load.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf struct {
+		Experiment string                   `json:"experiment"`
+		Rows       []conformance.LoadResult `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &bf); err != nil {
+		t.Fatal(err)
+	}
+	if len(bf.Rows) != 2 {
+		t.Fatalf("rows = %d, want sim + mesh", len(bf.Rows))
+	}
+	for _, r := range bf.Rows {
+		if r.MsgsPerSec <= 0 || r.Msgs != 400 {
+			t.Fatalf("row %+v", r)
+		}
+	}
+	mesh := bf.Rows[1]
+	if mesh.Runtime != "mesh" || mesh.BatchFactor < 1 {
+		t.Fatalf("mesh row %+v: batching path not engaged", mesh)
+	}
+}
+
+func TestLoadCmdTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket load run")
+	}
+	if err := loadCmd([]string{"-msgs", "300", "-protos", "tagless"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadCmdRejectsUnknownProtocol(t *testing.T) {
+	if err := loadCmd([]string{"-msgs", "10", "-protos", "nope"}); err == nil {
+		t.Fatal("unknown protocol must fail")
+	}
+}
+
+// TestValidateBenchLoad pins the load-smoke gate: truncated JSON and
+// zero-throughput rows must both be rejected.
+func TestValidateBenchLoad(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "truncated.json")
+	if err := os.WriteFile(bad, []byte(`{"experiment":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateBenchLoad(bad); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	zero := filepath.Join(dir, "zero.json")
+	if err := os.WriteFile(zero, []byte(`{"experiment":"E13","rows":[{"runtime":"sim","protocol":"tagless","msgs":10,"msgs_per_sec":0}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateBenchLoad(zero); err == nil {
+		t.Fatal("zero-throughput snapshot accepted")
+	}
+	if err := validateBenchLoad(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing snapshot accepted")
+	}
+	ok := filepath.Join(dir, "ok.json")
+	if err := os.WriteFile(ok, []byte(`{"experiment":"E13","rows":[{"runtime":"sim","protocol":"tagless","msgs":10,"msgs_per_sec":123.4}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateBenchLoad(ok); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+}

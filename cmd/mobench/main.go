@@ -13,6 +13,8 @@
 //	mobench crashes     # E11: crash/recovery matrix (-json writes BENCH_crashes.json)
 //	mobench net         # E12: sim vs loopback-TCP mesh (-json writes BENCH_net.json;
 //	                    #      -smoke -modbin M diffs real mod processes against the sim)
+//	mobench load        # E13: sustained open-loop load, sim + mesh (-json writes
+//	                    #      BENCH_load.json; -wal adds group-commit file WALs)
 //	mobench bench       # write BENCH_*.json snapshots (-outdir picks the directory)
 //	mobench all         # every table experiment
 //
@@ -150,6 +152,8 @@ func run(args []string) error {
 		return crashesCmd(args[1:])
 	case "net":
 		return netCmd(args[1:])
+	case "load":
+		return loadCmd(args[1:])
 	}
 	fn, ok := cmds[args[0]]
 	if !ok {

@@ -150,8 +150,12 @@ type benchFile struct {
 	Rows        any    `json:"rows"`
 }
 
-// writeBench writes one BENCH_*.json snapshot into outdir.
+// writeBench writes one BENCH_*.json snapshot into outdir, creating
+// the directory if missing.
 func writeBench(outdir, name, experiment string, rows any) error {
+	if err := os.MkdirAll(outdir, 0o755); err != nil {
+		return err
+	}
 	path := filepath.Join(outdir, name)
 	f, err := os.Create(path)
 	if err != nil {

@@ -1,0 +1,79 @@
+package conformance
+
+import (
+	"testing"
+	"time"
+
+	"msgorder/internal/protocols/registry"
+)
+
+// loadProto resolves the protocol the smoke tests drive.
+func loadProto(t *testing.T, name string) NetProtocol {
+	t.Helper()
+	e, ok := registry.ByName(name)
+	if !ok {
+		t.Fatalf("protocol %q missing from the registry", name)
+	}
+	return NetProtocol{Name: e.Name, Maker: e.Maker, Colors: e.Colors}
+}
+
+func TestRunLoadSimSmoke(t *testing.T) {
+	res, err := RunLoadSim(loadProto(t, "tagless"), LoadConfig{Msgs: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runtime != "sim" || res.Protocol != "tagless" || res.Msgs != 300 {
+		t.Fatalf("row identity = %+v", res)
+	}
+	if res.MsgsPerSec <= 0 || res.ElapsedMs <= 0 {
+		t.Fatalf("no throughput measured: %+v", res)
+	}
+	if res.P50us > res.P99us || res.P99us > res.MaxUs {
+		t.Fatalf("latency quantiles out of order: p50=%d p99=%d max=%d", res.P50us, res.P99us, res.MaxUs)
+	}
+}
+
+func TestRunLoadMeshSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket load run")
+	}
+	res, err := RunLoadMesh(loadProto(t, "tagless"), LoadConfig{Msgs: 300, Seed: 3, Timeout: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runtime != "mesh" || res.Msgs != 300 || res.MsgsPerSec <= 0 {
+		t.Fatalf("row = %+v", res)
+	}
+	if res.FramesOut == 0 || res.EnvelopesOut < res.Msgs {
+		t.Fatalf("mesh counters empty: %+v", res)
+	}
+	if res.BatchFactor < 1 {
+		t.Fatalf("batch factor %v < 1 — batching path not engaged", res.BatchFactor)
+	}
+	if res.PoolGets == 0 {
+		t.Fatalf("codec pool never used: %+v", res)
+	}
+	if res.P50us > res.P99us || res.P99us > res.MaxUs {
+		t.Fatalf("latency quantiles out of order: %+v", res)
+	}
+}
+
+// TestRunLoadMeshGroupCommitWAL: the -wal variant must journal through
+// file-backed WALs with group commit amortizing the writes.
+func TestRunLoadMeshGroupCommitWAL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket load run with file WALs")
+	}
+	res, err := RunLoadMesh(loadProto(t, "fifo"), LoadConfig{
+		Msgs: 300, Seed: 3, WALDir: t.TempDir(), GroupCommit: true, Timeout: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WALAppends == 0 {
+		t.Fatalf("file WALs journaled nothing: %+v", res)
+	}
+	if res.WALFlushes == 0 || res.WALFlushes >= res.WALAppends {
+		t.Fatalf("group commit not amortizing: %d appends in %d flushes", res.WALAppends, res.WALFlushes)
+	}
+}

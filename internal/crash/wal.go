@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"msgorder/internal/event"
 	"msgorder/internal/protocol"
@@ -71,16 +72,70 @@ func (e Entry) Input() bool {
 // ErrWALCorrupt reports a malformed WAL file.
 var ErrWALCorrupt = errors.New("crash: corrupt WAL encoding")
 
+// GroupCommit batches the WAL's file mirroring: instead of one write
+// (and optional fsync) per journaled event, encoded entries accumulate
+// in a commit buffer that flushes as one write when MaxPending entries
+// have gathered, when Window expires, or on Flush/Checkpoint/Close.
+// Only the durable mirror is batched — the in-memory journal that
+// recovery replays and verifies against is always appended
+// synchronously, so replay/verify semantics are byte-identical to the
+// unbatched path. The trade is the classic group-commit one: an
+// OS-process crash can lose at most Window (or MaxPending entries) of
+// the journal tail, in exchange for amortizing the write/fsync cost
+// across the whole batch.
+type GroupCommit struct {
+	// MaxPending forces a flush once this many entries are buffered
+	// (default 64).
+	MaxPending int
+	// Window bounds how long an entry may sit unflushed before a
+	// background flush fires (default 1ms).
+	Window time.Duration
+	// Sync fsyncs the file on every flush — one fsync per batch rather
+	// than per entry (the group-commit fsync amortization). Off, the OS
+	// page cache decides, as the unbatched path always did.
+	Sync bool
+}
+
+func (gc GroupCommit) withDefaults() GroupCommit {
+	if gc.MaxPending <= 0 {
+		gc.MaxPending = 64
+	}
+	if gc.Window <= 0 {
+		gc.Window = time.Millisecond
+	}
+	return gc
+}
+
+// WALStats tallies the journal's append and group-commit work.
+type WALStats struct {
+	// Appends counts entries journaled.
+	Appends int
+	// Flushes counts file writes (one per commit batch; on the
+	// unbatched path, one per entry).
+	Flushes int
+	// FlushedEntries counts entries carried by those writes.
+	FlushedEntries int
+	// Syncs counts fsyncs issued (GroupCommit.Sync only).
+	Syncs int
+}
+
 // WAL is one process's append-only write-ahead log. It holds the
 // latest snapshot checkpoint plus every entry journaled since, and
-// optionally mirrors both into a file. Safe for concurrent use (the
-// process goroutine appends while the restart goroutine replays).
+// optionally mirrors both into a file — per entry, or in group-commit
+// batches (EnableGroupCommit). Safe for concurrent use (the process
+// goroutine appends while the restart goroutine replays).
 type WAL struct {
 	mu      sync.Mutex
 	snap    []byte // latest checkpoint (nil: none)
 	entries []Entry
 	total   int // entries ever journaled, across checkpoints
 	f       *os.File
+
+	gc        *GroupCommit
+	pendBuf   []byte // encoded entries awaiting one grouped write
+	pendCount int
+	timer     *time.Timer // armed while pendBuf is non-empty
+	stats     WALStats
 }
 
 // NewWAL returns an empty in-memory WAL.
@@ -130,19 +185,94 @@ func (w *WAL) load(b []byte) error {
 	return nil
 }
 
-// Append journals one entry.
+// EnableGroupCommit switches the file mirror to batched group-commit
+// writes (see GroupCommit). Zero-value fields take defaults. The
+// in-memory journal is unaffected — replay and output verification see
+// exactly the same entries, in the same order, as the per-entry path.
+func (w *WAL) EnableGroupCommit(cfg GroupCommit) {
+	gc := cfg.withDefaults()
+	w.mu.Lock()
+	w.gc = &gc
+	w.mu.Unlock()
+}
+
+// Append journals one entry. The in-memory mirror is updated
+// immediately; with group commit enabled, the file write may be
+// deferred into the current commit batch.
 func (w *WAL) Append(e Entry) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.entries = append(w.entries, e)
 	w.total++
+	w.stats.Appends++
 	if w.f == nil {
 		return nil
 	}
-	if _, err := w.f.Write(encodeEntry(nil, e)); err != nil {
-		return fmt.Errorf("crash: WAL append: %w", err)
+	if w.gc == nil {
+		w.stats.Flushes++
+		w.stats.FlushedEntries++
+		if _, err := w.f.Write(encodeEntry(nil, e)); err != nil {
+			return fmt.Errorf("crash: WAL append: %w", err)
+		}
+		return nil
+	}
+	w.pendBuf = encodeEntry(w.pendBuf, e)
+	w.pendCount++
+	if w.pendCount >= w.gc.MaxPending {
+		return w.flushLocked()
+	}
+	if w.timer == nil {
+		w.timer = time.AfterFunc(w.gc.Window, func() {
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			w.timer = nil
+			_ = w.flushLocked()
+		})
 	}
 	return nil
+}
+
+// Flush writes any batched entries to the file immediately.
+func (w *WAL) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushLocked()
+}
+
+// flushLocked writes the pending commit batch, if any. Caller holds mu.
+func (w *WAL) flushLocked() error {
+	if w.timer != nil {
+		w.timer.Stop()
+		w.timer = nil
+	}
+	if w.pendCount == 0 || w.f == nil {
+		w.pendBuf = w.pendBuf[:0]
+		w.pendCount = 0
+		return nil
+	}
+	n := w.pendCount
+	buf := w.pendBuf
+	w.pendBuf = buf[:0] // mu is held across the write, so reuse is safe
+	w.pendCount = 0
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("crash: WAL flush: %w", err)
+	}
+	w.stats.Flushes++
+	w.stats.FlushedEntries += n
+	if w.gc != nil && w.gc.Sync {
+		w.stats.Syncs++
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("crash: WAL sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Stats returns the journal's append/flush tallies so far.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
 }
 
 // Checkpoint replaces everything journaled so far with a snapshot:
@@ -153,6 +283,14 @@ func (w *WAL) Checkpoint(snap []byte) error {
 	defer w.mu.Unlock()
 	w.snap = append([]byte(nil), snap...)
 	w.entries = nil
+	// Pending batched entries are superseded by the snapshot: discard
+	// them rather than write bytes the truncate would erase anyway.
+	if w.timer != nil {
+		w.timer.Stop()
+		w.timer = nil
+	}
+	w.pendBuf = w.pendBuf[:0]
+	w.pendCount = 0
 	if w.f == nil {
 		return nil
 	}
@@ -197,15 +335,20 @@ func (w *WAL) Total() int {
 	return w.total
 }
 
-// Close releases the backing file, if any.
+// Close flushes any batched entries and releases the backing file, if
+// any.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
 		return nil
 	}
+	ferr := w.flushLocked()
 	err := w.f.Close()
 	w.f = nil
+	if err == nil {
+		err = ferr
+	}
 	return err
 }
 

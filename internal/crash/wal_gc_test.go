@@ -1,0 +1,250 @@
+package crash
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+)
+
+// gcEntries builds n distinct journal entries.
+func gcEntries(n int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		switch i % 3 {
+		case 0:
+			out[i] = Entry{Kind: EntryInvoke, Msg: event.Message{ID: event.MsgID(i), From: 0, To: 1}}
+		case 1:
+			out[i] = Entry{Kind: EntryReceive, Wire: protocol.Wire{From: 1, To: 0,
+				Kind: protocol.UserWire, Msg: event.MsgID(i), Tag: []byte{byte(i)}}}
+		default:
+			out[i] = Entry{Kind: EntryDeliver, ID: event.MsgID(i)}
+		}
+	}
+	return out
+}
+
+// fileEntries reopens path as a second WAL and returns what the file
+// actually holds — the durable view, independent of the in-memory
+// mirror of the WAL under test.
+func fileEntries(t *testing.T, path string) ([]byte, []Entry) {
+	t.Helper()
+	r, err := OpenFileWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	return r.Replay()
+}
+
+func TestGroupCommitBatchesFileWrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gc.wal")
+	w, err := OpenFileWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.EnableGroupCommit(GroupCommit{MaxPending: 8, Window: time.Hour})
+	entries := gcEntries(20)
+	for _, e := range entries {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Stats()
+	if st.Appends != 20 || st.Flushes != 2 || st.FlushedEntries != 16 {
+		t.Fatalf("stats = %+v, want 20 appends in 2 flushes of 16 entries", st)
+	}
+	// The in-memory mirror is always complete — replay/verify semantics
+	// do not see the batching.
+	if _, mem := w.Replay(); !reflect.DeepEqual(mem, entries) {
+		t.Fatal("in-memory mirror diverged from the appended entries")
+	}
+	// The file holds only the flushed batches until Flush.
+	if _, onDisk := fileEntries(t, path); len(onDisk) != 16 {
+		t.Fatalf("file holds %d entries before Flush, want 16", len(onDisk))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st = w.Stats()
+	if st.Flushes != 3 || st.FlushedEntries != 20 {
+		t.Fatalf("stats after Flush = %+v", st)
+	}
+	if _, onDisk := fileEntries(t, path); !reflect.DeepEqual(onDisk, entries) {
+		t.Fatal("file after Flush diverged from the appended entries")
+	}
+	// An empty Flush is a no-op, not a counted write.
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st2 := w.Stats(); st2.Flushes != 3 {
+		t.Fatalf("empty Flush counted: %+v", st2)
+	}
+}
+
+func TestGroupCommitWindowFlushesInBackground(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gc.wal")
+	w, err := OpenFileWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.EnableGroupCommit(GroupCommit{MaxPending: 1 << 20, Window: 5 * time.Millisecond})
+	for _, e := range gcEntries(3) {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Stats().Flushes == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("window flush never fired: %+v", w.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := w.Stats(); st.FlushedEntries != 3 {
+		t.Fatalf("stats = %+v, want the 3 pending entries in one window flush", st)
+	}
+	if _, onDisk := fileEntries(t, path); len(onDisk) != 3 {
+		t.Fatalf("file holds %d entries after the window flush", len(onDisk))
+	}
+}
+
+func TestGroupCommitCloseFlushesTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gc.wal")
+	w, err := OpenFileWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.EnableGroupCommit(GroupCommit{MaxPending: 1 << 20, Window: time.Hour})
+	entries := gcEntries(5)
+	for _, e := range entries {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, onDisk := fileEntries(t, path); !reflect.DeepEqual(onDisk, entries) {
+		t.Fatal("Close lost the pending commit batch")
+	}
+}
+
+func TestGroupCommitCheckpointDiscardsPending(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gc.wal")
+	w, err := OpenFileWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.EnableGroupCommit(GroupCommit{MaxPending: 1 << 20, Window: time.Hour})
+	for _, e := range gcEntries(5) {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := []byte("state-after-5")
+	if err := w.Checkpoint(snap); err != nil {
+		t.Fatal(err)
+	}
+	// The pending batch was superseded by the snapshot: nothing of it
+	// may be written afterwards, neither by a later flush...
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.Flushes != 0 {
+		t.Fatalf("discarded batch was flushed anyway: %+v", st)
+	}
+	// ...nor into the checkpointed file.
+	gotSnap, onDisk := fileEntries(t, path)
+	if string(gotSnap) != string(snap) || len(onDisk) != 0 {
+		t.Fatalf("file = snap %q + %d entries, want the checkpoint alone", gotSnap, len(onDisk))
+	}
+	// Entries appended after the checkpoint batch and persist as usual.
+	tail := gcEntries(2)
+	for _, e := range tail {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	gotSnap, onDisk = fileEntries(t, path)
+	if string(gotSnap) != string(snap) || !reflect.DeepEqual(onDisk, tail) {
+		t.Fatal("post-checkpoint appends not journaled after the snapshot")
+	}
+}
+
+func TestGroupCommitSyncCountsPerFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gc.wal")
+	w, err := OpenFileWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.EnableGroupCommit(GroupCommit{MaxPending: 2, Window: time.Hour, Sync: true})
+	for _, e := range gcEntries(4) {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := w.Stats(); st.Flushes != 2 || st.Syncs != 2 {
+		t.Fatalf("stats = %+v, want one fsync per flush", st)
+	}
+}
+
+// TestGroupCommitReplayIdenticalToUnbatched is the semantic guarantee
+// the performance work rides on: the same appends through a batched and
+// an unbatched file WAL must leave byte-identical durable state once
+// flushed, and identical replay views throughout.
+func TestGroupCommitReplayIdenticalToUnbatched(t *testing.T) {
+	dir := t.TempDir()
+	plainPath := filepath.Join(dir, "plain.wal")
+	gcPath := filepath.Join(dir, "gc.wal")
+	plain, err := OpenFileWAL(plainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, err := OpenFileWAL(gcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc.EnableGroupCommit(GroupCommit{MaxPending: 7, Window: time.Hour})
+	entries := gcEntries(23)
+	for _, e := range entries {
+		if err := plain.Append(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := gc.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snapA, memA := plain.Replay()
+	snapB, memB := gc.Replay()
+	if !reflect.DeepEqual(memA, memB) || !reflect.DeepEqual(snapA, snapB) {
+		t.Fatal("replay views diverge before flush")
+	}
+	if err := plain.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, diskA := fileEntries(t, plainPath)
+	_, diskB := fileEntries(t, gcPath)
+	if !reflect.DeepEqual(diskA, diskB) || !reflect.DeepEqual(diskA, entries) {
+		t.Fatal("durable state diverges between batched and unbatched WALs")
+	}
+	if st := plain.Stats(); st.Flushes != 23 {
+		t.Fatalf("unbatched WAL stats = %+v, want one flush per append", st)
+	}
+	if st := gc.Stats(); st.Flushes >= 23 || st.FlushedEntries != 23 {
+		t.Fatalf("batched WAL stats = %+v, want fewer flushes than appends", st)
+	}
+}

@@ -19,7 +19,7 @@ func startPair(t *testing.T) ([]*netmesh.Node, []*Client) {
 	addrs := make([]string, 2)
 	for i := range addrs {
 		m, err := netmesh.NewMesh(netmesh.MeshConfig{Self: 0, Addrs: []string{"127.0.0.1:0"}},
-			func(transport.Envelope) {})
+			func([]transport.Envelope) {})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,80 @@
+//go:build !race
+
+package netmesh
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+	"time"
+
+	"msgorder/internal/transport"
+)
+
+// TestSteadySendPathAllocationBudget is the allocation gate for the
+// high-throughput path: once buffers are warm, encoding a batch with a
+// pooled encoder, popping a batch from the outbox, and reading a frame
+// off the wire must all be allocation-free. The test is excluded under
+// -race because the detector's instrumentation allocates.
+func TestSteadySendPathAllocationBudget(t *testing.T) {
+	envs := batchEnvs(0, 32)
+
+	enc := getEncoder()
+	defer putEncoder(enc)
+	var payload []byte
+	if avg := testing.AllocsPerRun(200, func() {
+		payload = encodeBatch(enc, envs)
+	}); avg != 0 {
+		t.Errorf("encodeBatch allocates %.1f per batch on the steady path, want 0", avg)
+	}
+
+	box := newOutbox()
+	buf := make([]transport.Envelope, 0, len(envs))
+	if avg := testing.AllocsPerRun(200, func() {
+		for _, e := range envs {
+			box.push(e)
+		}
+		buf, _ = box.popBatch(buf, len(envs), -1)
+	}); avg != 0 {
+		t.Errorf("outbox push/popBatch allocates %.1f per batch on the steady path, want 0", avg)
+	}
+
+	var frame bytes.Buffer
+	if err := writeFrame(&frame, payload); err != nil {
+		t.Fatal(err)
+	}
+	data := frame.Bytes()
+	r := bytes.NewReader(data)
+	br := bufio.NewReader(r)
+	rbuf := make([]byte, 0, len(data))
+	if avg := testing.AllocsPerRun(200, func() {
+		r.Reset(data)
+		br.Reset(r)
+		p, err := readFrameInto(br, rbuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rbuf = p
+	}); avg != 0 {
+		t.Errorf("readFrameInto allocates %.1f per frame on the steady path, want 0", avg)
+	}
+}
+
+// TestWALGroupCommitAmortizesWrites is exercised in internal/crash; the
+// netmesh-side budget here is the timer path of popBatch: arming and
+// stopping the flush-window timer every batch costs a couple of
+// allocations, so the window is only armed when a batch is actually
+// short. A full batch must stay on the zero-alloc fast path.
+func TestFullBatchAvoidsWindowTimer(t *testing.T) {
+	box := newOutbox()
+	envs := batchEnvs(0, 16)
+	buf := make([]transport.Envelope, 0, len(envs))
+	if avg := testing.AllocsPerRun(200, func() {
+		for _, e := range envs {
+			box.push(e)
+		}
+		buf, _ = box.popBatch(buf, len(envs), time.Hour)
+	}); avg != 0 {
+		t.Errorf("full-batch popBatch with a window armed allocates %.1f, want 0", avg)
+	}
+}

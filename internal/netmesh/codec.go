@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"msgorder/internal/event"
 	"msgorder/internal/protocol"
@@ -27,6 +29,7 @@ const (
 	frameWelcome  byte = 2 // handshake accepted by the listener
 	frameReject   byte = 3 // handshake refused (fingerprint/id mismatch)
 	frameEnvelope byte = 4 // one transport.Envelope
+	frameBatch    byte = 5 // a count-prefixed run of transport.Envelopes
 )
 
 // maxFrame bounds a frame payload; anything larger is treated as a
@@ -39,6 +42,48 @@ const helloMagic = "momesh1"
 
 // errCorruptFrame reports a malformed frame payload.
 var errCorruptFrame = errors.New("netmesh: corrupt frame")
+
+// maxBatch bounds the envelopes one batch frame may carry, so a
+// corrupt count can't provoke a huge allocation.
+const maxBatch = 1 << 12
+
+// PoolStats counts codec buffer-pool traffic: Gets is every encoder
+// checkout on the hot send path, Misses is the subset that had to
+// allocate because the pool was empty. A high hit rate means the
+// steady-state encode path is allocation-free.
+type PoolStats struct {
+	// Gets counts encoder checkouts.
+	Gets uint64
+	// Misses counts checkouts that allocated a fresh encoder.
+	Misses uint64
+}
+
+var (
+	poolGets   atomic.Uint64
+	poolMisses atomic.Uint64
+	encPool    = sync.Pool{New: func() any {
+		poolMisses.Add(1)
+		return new(snapio.Writer)
+	}}
+)
+
+// CodecPoolStats returns process-wide codec buffer-pool tallies
+// (the pool is shared by every Mesh in the process).
+func CodecPoolStats() PoolStats {
+	return PoolStats{Gets: poolGets.Load(), Misses: poolMisses.Load()}
+}
+
+// getEncoder checks a reusable frame encoder out of the pool.
+func getEncoder() *snapio.Writer {
+	poolGets.Add(1)
+	w := encPool.Get().(*snapio.Writer)
+	w.Reset()
+	return w
+}
+
+// putEncoder returns an encoder to the pool. The caller must be done
+// with every slice obtained from w.Out().
+func putEncoder(w *snapio.Writer) { encPool.Put(w) }
 
 // hello is the handshake exchanged on every new connection: the dialer
 // sends it, the listener validates and answers with welcome or reject.
@@ -63,6 +108,14 @@ func writeFrame(w io.Writer, payload []byte) error {
 
 // readFrame reads one length-prefixed frame.
 func readFrame(r *bufio.Reader) ([]byte, error) {
+	return readFrameInto(r, nil)
+}
+
+// readFrameInto reads one length-prefixed frame into buf (grown as
+// needed) and returns the payload, which aliases buf. Reusing buf
+// across frames keeps the steady-state read path allocation-free; it is
+// safe because the decoders copy every variable-length field out.
+func readFrameInto(r *bufio.Reader, buf []byte) ([]byte, error) {
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
 		return nil, err
@@ -70,7 +123,10 @@ func readFrame(r *bufio.Reader) ([]byte, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("%w: %d-byte frame", errCorruptFrame, n)
 	}
-	buf := make([]byte, n)
+	if uint64(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
@@ -133,14 +189,14 @@ func decodeReject(b []byte) string {
 	return reason
 }
 
-// encodeEnvelope builds an envelope frame payload.
-func encodeEnvelope(e transport.Envelope) []byte {
-	var w snapio.Writer
-	w.Byte(frameEnvelope)
+// encodeEnvelopeBody appends one envelope's field encoding (no frame
+// kind byte) to w.
+func encodeEnvelopeBody(w *snapio.Writer, e transport.Envelope) {
 	w.Int(int(e.Src))
 	w.Int(int(e.Dst))
 	w.Byte(byte(e.Kind))
 	w.U64(e.Seq)
+	w.U64(e.Cum)
 	w.Int(e.Attempt)
 	w.Int(int(e.Wire.From))
 	w.Int(int(e.Wire.To))
@@ -153,20 +209,18 @@ func encodeEnvelope(e transport.Envelope) []byte {
 	for _, c := range e.Wire.VC {
 		w.U64(c)
 	}
-	return w.Out()
 }
 
-// decodeEnvelope parses an envelope frame payload (kind byte included).
-func decodeEnvelope(b []byte) (transport.Envelope, error) {
-	r := snapio.NewReader(b)
-	if r.Byte() != frameEnvelope {
-		return transport.Envelope{}, errCorruptFrame
-	}
+// decodeEnvelopeBody parses one envelope's fields off r. The result
+// never aliases the input buffer (Tag and VC are copied), so frame
+// read buffers can be reused.
+func decodeEnvelopeBody(r *snapio.Reader) (transport.Envelope, error) {
 	var e transport.Envelope
 	e.Src = event.ProcID(r.Int())
 	e.Dst = event.ProcID(r.Int())
 	e.Kind = transport.Kind(r.Byte())
 	e.Seq = r.U64()
+	e.Cum = r.U64()
 	e.Attempt = r.Int()
 	e.Wire.From = event.ProcID(r.Int())
 	e.Wire.To = event.ProcID(r.Int())
@@ -184,8 +238,75 @@ func decodeEnvelope(b []byte) (transport.Envelope, error) {
 			e.Wire.VC[i] = r.U64()
 		}
 	}
+	if err := r.Err(); err != nil {
+		return transport.Envelope{}, err
+	}
+	return e, nil
+}
+
+// encodeEnvelope builds a single-envelope frame payload.
+func encodeEnvelope(e transport.Envelope) []byte {
+	var w snapio.Writer
+	w.Byte(frameEnvelope)
+	encodeEnvelopeBody(&w, e)
+	return w.Out()
+}
+
+// decodeEnvelope parses an envelope frame payload (kind byte included).
+func decodeEnvelope(b []byte) (transport.Envelope, error) {
+	r := snapio.NewReader(b)
+	if r.Byte() != frameEnvelope {
+		return transport.Envelope{}, errCorruptFrame
+	}
+	e, err := decodeEnvelopeBody(r)
+	if err != nil {
+		return transport.Envelope{}, err
+	}
 	if err := r.Close(); err != nil {
 		return transport.Envelope{}, err
 	}
 	return e, nil
+}
+
+// encodeBatch appends a batch frame payload (count-prefixed envelope
+// run) into w, which the caller typically checked out of the encoder
+// pool. The returned slice aliases w's buffer — consume it before
+// putEncoder.
+func encodeBatch(w *snapio.Writer, envs []transport.Envelope) []byte {
+	w.Reset()
+	w.Byte(frameBatch)
+	w.Int(len(envs))
+	for _, e := range envs {
+		encodeEnvelopeBody(w, e)
+	}
+	return w.Out()
+}
+
+// decodeBatch parses a batch frame payload (kind byte included) into a
+// freshly allocated slice — the receiver's inbox retains it, so it must
+// not alias any reusable buffer.
+func decodeBatch(b []byte) ([]transport.Envelope, error) {
+	r := snapio.NewReader(b)
+	if r.Byte() != frameBatch {
+		return nil, errCorruptFrame
+	}
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n <= 0 || n > maxBatch {
+		return nil, fmt.Errorf("%w: %d-envelope batch", errCorruptFrame, n)
+	}
+	envs := make([]transport.Envelope, 0, n)
+	for i := 0; i < n; i++ {
+		e, err := decodeEnvelopeBody(r)
+		if err != nil {
+			return nil, err
+		}
+		envs = append(envs, e)
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return envs, nil
 }

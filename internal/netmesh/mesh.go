@@ -53,6 +53,14 @@ type MeshConfig struct {
 	// DrainTimeout bounds how long Close waits for outboxes to flush
 	// (default 2s).
 	DrainTimeout time.Duration
+	// MaxBatch bounds the envelopes coalesced into one batch frame
+	// (default 64, capped at the codec's frame limit).
+	MaxBatch int
+	// FlushWindow is how long a sender lingers after the first queued
+	// envelope to coalesce more into the same batch frame. Zero means
+	// the default 100µs; negative disables the wait entirely (every
+	// batch is whatever is already queued).
+	FlushWindow time.Duration
 	// Injector, when non-nil, applies seeded drop/duplicate/delay faults
 	// to outbound envelopes — the in-memory adversary's fault interface
 	// on a real socket. transport.Reliable above recovers.
@@ -74,6 +82,15 @@ func (c MeshConfig) withDefaults() MeshConfig {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 2 * time.Second
 	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxBatch > maxBatch {
+		c.MaxBatch = maxBatch
+	}
+	if c.FlushWindow == 0 {
+		c.FlushWindow = 100 * time.Microsecond
+	}
 	return c
 }
 
@@ -87,8 +104,14 @@ type Counters struct {
 	Redials int
 	// Rejects counts handshakes refused, in either direction.
 	Rejects int
-	// FramesIn / FramesOut count decoded and written envelope frames.
+	// FramesIn / FramesOut count decoded and written envelope frames
+	// (a batch frame counts once).
 	FramesIn, FramesOut int
+	// EnvelopesIn / EnvelopesOut count envelopes carried by those
+	// frames; EnvelopesOut/FramesOut is the achieved batching factor.
+	EnvelopesIn, EnvelopesOut int
+	// Batches counts outbound frames that coalesced ≥ 2 envelopes.
+	Batches int
 	// BytesIn / BytesOut count envelope frame payload bytes.
 	BytesIn, BytesOut int
 	// FaultsInjected counts outbound envelopes the injector dropped,
@@ -125,19 +148,42 @@ func (b *outbox) push(e transport.Envelope) {
 	b.cond.Signal()
 }
 
-// pop blocks until an envelope is available or the outbox closes.
-func (b *outbox) pop() (transport.Envelope, bool) {
+// popBatch blocks until at least one envelope is queued (or the outbox
+// closes), then lingers up to window for more to coalesce, and moves up
+// to max envelopes into buf (reusing its capacity). The second result
+// is false only when the outbox is closed and drained.
+func (b *outbox) popBatch(buf []transport.Envelope, max int, window time.Duration) ([]transport.Envelope, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for len(b.q) == 0 && !b.closed {
 		b.cond.Wait()
 	}
 	if len(b.q) == 0 {
-		return transport.Envelope{}, false
+		return buf[:0], false
 	}
-	e := b.q[0]
-	b.q = b.q[1:]
-	return e, true
+	if window > 0 && len(b.q) < max && !b.closed {
+		expired := false
+		t := time.AfterFunc(window, func() {
+			b.mu.Lock()
+			expired = true
+			b.mu.Unlock()
+			b.cond.Broadcast()
+		})
+		for len(b.q) < max && !b.closed && !expired {
+			b.cond.Wait()
+		}
+		t.Stop()
+	}
+	n := len(b.q)
+	if n > max {
+		n = max
+	}
+	buf = append(buf[:0], b.q[:n]...)
+	// Compact in place so the backing array keeps being reused instead
+	// of creeping forward and re-allocating.
+	m := copy(b.q, b.q[n:])
+	b.q = b.q[:m]
+	return buf, true
 }
 
 func (b *outbox) close() {
@@ -160,7 +206,7 @@ func (b *outbox) empty() bool {
 type Mesh struct {
 	cfg MeshConfig
 	ln  net.Listener
-	rcv func(transport.Envelope)
+	rcv func([]transport.Envelope)
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -179,10 +225,11 @@ type Mesh struct {
 }
 
 // NewMesh binds cfg.Addrs[cfg.Self] and starts the peer senders.
-// Arriving envelopes addressed to Self are handed to rcv, one goroutine
-// per inbound connection; rcv must be concurrency-safe and non-blocking
-// (hand off to a queue).
-func NewMesh(cfg MeshConfig, rcv func(transport.Envelope)) (*Mesh, error) {
+// Arriving envelopes addressed to Self are handed to rcv in arrival
+// batches (one batch per decoded frame), one goroutine per inbound
+// connection; rcv must be concurrency-safe and non-blocking (hand off
+// to a queue), and it owns the slice it is given.
+func NewMesh(cfg MeshConfig, rcv func([]transport.Envelope)) (*Mesh, error) {
 	cfg = cfg.withDefaults()
 	if int(cfg.Self) < 0 || int(cfg.Self) >= len(cfg.Addrs) {
 		return nil, fmt.Errorf("netmesh: self %d outside %d-address mesh", cfg.Self, len(cfg.Addrs))
@@ -238,7 +285,7 @@ func (m *Mesh) Rejected() error {
 // retransmits. Envelopes addressed to Self loop back without a socket.
 func (m *Mesh) Send(e transport.Envelope) {
 	if e.Dst == m.cfg.Self {
-		m.rcv(e)
+		m.rcv([]transport.Envelope{e})
 		return
 	}
 	box, ok := m.boxes[e.Dst]
@@ -348,21 +395,42 @@ func (m *Mesh) serveConn(conn net.Conn) {
 	}
 	m.count(func(c *Counters) { c.Accepted++ })
 	m.cfg.Obs.Count("netmesh.accepted", 1)
+	var rbuf []byte // reused across frames; decoders copy out of it
 	for {
-		payload, err := readFrame(br)
+		payload, err := readFrameInto(br, rbuf)
 		if err != nil {
 			return
 		}
-		e, err := decodeEnvelope(payload)
+		rbuf = payload
+		var envs []transport.Envelope
+		switch {
+		case len(payload) > 0 && payload[0] == frameBatch:
+			envs, err = decodeBatch(payload)
+		default:
+			var e transport.Envelope
+			if e, err = decodeEnvelope(payload); err == nil {
+				envs = []transport.Envelope{e}
+			}
+		}
 		if err != nil {
 			m.trace(obs.OpDrop, fmt.Sprintf("corrupt frame from P%d: %v", h.Proc, err))
 			return
 		}
-		if e.Dst != m.cfg.Self {
-			continue // misrouted: drop
+		// Misrouted envelopes are dropped, as the unbatched path did.
+		kept := envs[:0]
+		for _, e := range envs {
+			if e.Dst == m.cfg.Self {
+				kept = append(kept, e)
+			}
 		}
-		m.count(func(c *Counters) { c.FramesIn++; c.BytesIn += len(payload) })
-		m.rcv(e)
+		m.count(func(c *Counters) {
+			c.FramesIn++
+			c.EnvelopesIn += len(kept)
+			c.BytesIn += len(payload)
+		})
+		if len(kept) > 0 {
+			m.rcv(kept)
+		}
 	}
 }
 
@@ -381,24 +449,38 @@ func (m *Mesh) vetPeer(h hello) string {
 }
 
 // runSender supervises the connection to one peer: dial with seeded
-// jittered backoff, handshake, then write the outbox until the
-// connection breaks, and start over. Envelopes in flight on a broken
-// connection are lost by design — the reliable sublayer retransmits.
+// jittered backoff, handshake, then coalesce the outbox into batch
+// frames until the connection breaks, and start over. Envelopes in
+// flight on a broken connection are lost by design — the reliable
+// sublayer retransmits.
 func (m *Mesh) runSender(peer event.ProcID, box *outbox) {
 	defer m.wg.Done()
 	var conn net.Conn
+	var bw *bufio.Writer
 	defer func() {
 		if conn != nil {
 			conn.Close()
 		}
 	}()
 	dials := 0
+	var batch []transport.Envelope // reused pop buffer
+	enc := getEncoder()
+	defer putEncoder(enc)
 	for {
-		e, ok := box.pop()
+		var ok bool
+		batch, ok = box.popBatch(batch, m.cfg.MaxBatch, m.cfg.FlushWindow)
 		if !ok {
 			return // mesh closing
 		}
-		if !m.decideFaults(&e, box) {
+		// Apply injector faults per envelope, compacting in place;
+		// duplicates and delays re-enter via the outbox.
+		kept := batch[:0]
+		for i := range batch {
+			if m.decideFaults(&batch[i], box) {
+				kept = append(kept, batch[i])
+			}
+		}
+		if len(kept) == 0 {
 			continue
 		}
 		for conn == nil {
@@ -419,14 +501,26 @@ func (m *Mesh) runSender(peer event.ProcID, box *outbox) {
 				continue // backoff already applied inside dial
 			}
 			conn = c
+			bw = bufio.NewWriter(conn)
 		}
-		payload := encodeEnvelope(e)
-		if err := writeFrame(conn, payload); err != nil {
+		payload := encodeBatch(enc, kept)
+		err := writeFrame(bw, payload)
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err != nil {
 			conn.Close()
-			conn = nil
-			continue // envelope lost; Reliable retransmits
+			conn, bw = nil, nil
+			continue // batch lost; Reliable retransmits
 		}
-		m.count(func(c *Counters) { c.FramesOut++; c.BytesOut += len(payload) })
+		m.count(func(c *Counters) {
+			c.FramesOut++
+			c.EnvelopesOut += len(kept)
+			if len(kept) > 1 {
+				c.Batches++
+			}
+			c.BytesOut += len(payload)
+		})
 	}
 }
 

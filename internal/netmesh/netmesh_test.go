@@ -21,7 +21,7 @@ func TestEnvelopeCodecRoundTrip(t *testing.T) {
 	cases := []transport.Envelope{
 		{Src: 0, Dst: 1, Kind: transport.Data, Seq: 1,
 			Wire: protocol.Wire{From: 0, To: 1, Kind: protocol.UserWire, Msg: 0}},
-		{Src: 2, Dst: 0, Kind: transport.Ack, Seq: 129},
+		{Src: 2, Dst: 0, Kind: transport.Ack, Seq: 129, Cum: 127},
 		{Src: 1, Dst: 2, Kind: transport.Data, Seq: 1 << 40, Attempt: 7,
 			Wire: protocol.Wire{From: 1, To: 2, Kind: protocol.ControlWire, Ctrl: 3,
 				Tag: []byte{0, 255, 1, 2}, VC: []uint64{9, 0, 1 << 50}}},
@@ -63,7 +63,7 @@ func freePorts(t *testing.T, n int) []string {
 	t.Helper()
 	addrs := make([]string, n)
 	for i := range addrs {
-		m, err := NewMesh(MeshConfig{Self: 0, Addrs: []string{"127.0.0.1:0"}}, func(transport.Envelope) {})
+		m, err := NewMesh(MeshConfig{Self: 0, Addrs: []string{"127.0.0.1:0"}}, func([]transport.Envelope) {})
 		if err != nil {
 			t.Fatal(err)
 		}

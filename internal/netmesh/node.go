@@ -60,6 +60,14 @@ type NodeConfig struct {
 	// SnapshotEvery checkpoints a Snapshotter protocol each time this
 	// many WAL entries accumulate (0 = never; recovery replays all).
 	SnapshotEvery int
+	// WALGroupCommit, when non-nil, batches the journal's file writes
+	// (crash.GroupCommit); the in-memory replay mirror stays immediate.
+	WALGroupCommit *crash.GroupCommit
+	// OnDeliver, when non-nil, is called from the handler goroutine on
+	// every live delivery (not during replay) — the load runner's
+	// latency probe. It must be fast and must not call back into the
+	// node.
+	OnDeliver func(event.MsgID)
 	// Tracer and Metrics, when non-nil, instrument the node.
 	Tracer  obs.Tracer
 	Metrics *obs.Registry
@@ -68,7 +76,7 @@ type NodeConfig struct {
 // inbox item kinds.
 const (
 	itemInvoke = iota
-	itemEnvelope
+	itemBatch
 	itemCrash
 	itemRestart
 )
@@ -76,7 +84,7 @@ const (
 type nodeItem struct {
 	kind     int
 	msg      event.Message
-	env      transport.Envelope
+	envs     []transport.Envelope
 	downtime time.Duration
 }
 
@@ -220,6 +228,9 @@ func (e *nodeEnv) Deliver(id event.MsgID) {
 	n.delivered = append(n.delivered, id)
 	n.stats.Deliveries++
 	n.mu.Unlock()
+	if n.cfg.OnDeliver != nil {
+		n.cfg.OnDeliver(id)
+	}
 }
 
 // NewNode starts a node: mesh listener up, protocol instance
@@ -266,8 +277,11 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if tcfg.Obs == nil {
 		tcfg.Obs = n.sink
 	}
-	mesh, err := NewMesh(mcfg, func(e transport.Envelope) {
-		n.q.push(nodeItem{kind: itemEnvelope, env: e})
+	if cfg.WALGroupCommit != nil {
+		n.wal.EnableGroupCommit(*cfg.WALGroupCommit)
+	}
+	mesh, err := NewMesh(mcfg, func(envs []transport.Envelope) {
+		n.q.push(nodeItem{kind: itemBatch, envs: envs})
 	})
 	if err != nil {
 		n.wal.Close()
@@ -363,6 +377,10 @@ func (n *Node) Stats() protocol.Stats {
 // TransportCounters returns the reliable sublayer's tallies.
 func (n *Node) TransportCounters() transport.Counters { return n.tr.Counters() }
 
+// WALStats returns the journal's append/flush tallies (group-commit
+// batching shows up as Flushes ≪ Appends).
+func (n *Node) WALStats() crash.WALStats { return n.wal.Stats() }
+
 // MeshCounters returns the socket layer's tallies.
 func (n *Node) MeshCounters() Counters { return n.mesh.Counters() }
 
@@ -454,8 +472,8 @@ func (n *Node) run() {
 				continue
 			}
 			n.doInvoke(it.msg)
-		case itemEnvelope:
-			n.handleEnvelope(it.env)
+		case itemBatch:
+			n.handleBatch(it.envs)
 		case itemCrash:
 			n.doCrash(it.downtime)
 		case itemRestart:
@@ -471,29 +489,59 @@ func (n *Node) doInvoke(m event.Message) {
 	n.maybeCheckpoint()
 }
 
-// handleEnvelope mirrors the sim's receiver side: acks always update
-// the network-global pending table (even while crashed); data
-// envelopes are dropped while down (the sender retransmits until the
-// restart), otherwise deduplicated, re-acked, journaled and handed to
-// the protocol.
-func (n *Node) handleEnvelope(e transport.Envelope) {
-	switch e.Kind {
-	case transport.Ack:
-		n.tr.Ack(e)
-	case transport.Data:
-		if n.down {
-			return
+// handleBatch mirrors the sim's receiver side over one arrival batch:
+// acks always update the network-global pending table (even while
+// crashed); data envelopes are dropped while down (the sender
+// retransmits until the restart), otherwise deduplicated, journaled
+// and handed to the protocol. Acks are pipelined: per source, one
+// cumulative ack (transport.Envelope.Cum) acknowledges the batch's
+// highest sequence number plus the whole contiguous prefix, and only
+// sequence numbers the cumulative ack does not cover get an exact ack
+// of their own — so an N-envelope batch usually costs one ack frame,
+// not N.
+func (n *Node) handleBatch(envs []transport.Envelope) {
+	// hi tracks, per source, the batch's data envelope with the highest
+	// sequence number: the one the cumulative ack is minted from.
+	var hi map[event.ProcID]transport.Envelope
+	var rest []transport.Envelope
+	for _, e := range envs {
+		switch e.Kind {
+		case transport.Ack:
+			n.tr.Ack(e)
+		case transport.Data:
+			if n.down {
+				continue
+			}
+			fresh := n.tr.Accept(e)
+			if hi == nil {
+				hi = make(map[event.ProcID]transport.Envelope, 2)
+			}
+			if cur, ok := hi[e.Src]; !ok || e.Seq > cur.Seq {
+				if ok {
+					rest = append(rest, cur)
+				}
+				hi[e.Src] = e
+			} else {
+				rest = append(rest, e)
+			}
+			if !fresh {
+				continue
+			}
+			n.journal(crash.Entry{Kind: crash.EntryReceive, Wire: e.Wire})
+			n.probe.Receive(e.Wire)
+			n.inst.OnReceive(e.Wire)
+			n.maybeCheckpoint()
 		}
-		fresh := n.tr.Accept(e)
-		// Always (re-)acknowledge — the previous ack may have been lost.
-		n.mesh.Send(transport.AckFor(e))
-		if !fresh {
-			return
+	}
+	// Always (re-)acknowledge — the previous ack may have been lost.
+	for _, e := range hi {
+		n.mesh.Send(n.tr.CumAckFor(e))
+	}
+	for _, e := range rest {
+		if e.Seq > n.tr.CumFor(e) {
+			// A gap the cumulative ack can't cover yet: ack it exactly.
+			n.mesh.Send(transport.AckFor(e))
 		}
-		n.journal(crash.Entry{Kind: crash.EntryReceive, Wire: e.Wire})
-		n.probe.Receive(e.Wire)
-		n.inst.OnReceive(e.Wire)
-		n.maybeCheckpoint()
 	}
 }
 

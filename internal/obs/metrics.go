@@ -187,6 +187,43 @@ func (h Histogram) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) from the
+// power-of-two buckets: it returns the upper bound of the bucket
+// holding the rank-q sample, clamped to the observed [Min, Max], so
+// the estimate is never tighter than a bucket width but never outside
+// the data. Quantile(0) is Min, Quantile(1) is Max; an empty histogram
+// reports 0.
+func (h Histogram) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.N
+		if cum >= rank {
+			v := b.Le
+			if v < h.Min {
+				v = h.Min
+			}
+			if v > h.Max {
+				v = h.Max
+			}
+			return v
+		}
+	}
+	return h.Max
+}
+
 // Snapshot is a point-in-time copy of a registry, JSON-marshalable.
 type Snapshot struct {
 	Counters   map[string]int64     `json:"counters,omitempty"`

@@ -1,0 +1,49 @@
+package obs
+
+import "testing"
+
+// TestHistogramQuantile pins the bucket-walk estimator the load runner
+// reports latency percentiles from: bucket-granular upper bounds,
+// clamped to the observed [Min, Max].
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	for v := int64(1); v <= 100; v++ {
+		reg.Observe("lat", v)
+	}
+	h := reg.Snapshot().Histograms["lat"]
+	if h.Count != 100 || h.Min != 1 || h.Max != 100 {
+		t.Fatalf("histogram = %+v", h)
+	}
+	// Rank 50 lands in the [32, 63] bucket; the estimate is its upper
+	// bound.
+	if got := h.Quantile(0.50); got != 63 {
+		t.Fatalf("p50 = %d, want 63", got)
+	}
+	// Rank 99 lands in the [64, 127] bucket, clamped to Max.
+	if got := h.Quantile(0.99); got != 100 {
+		t.Fatalf("p99 = %d, want 100 (bucket bound clamped to max)", got)
+	}
+	if h.Quantile(0) != h.Min || h.Quantile(-1) != h.Min {
+		t.Fatal("Quantile(≤0) must be Min")
+	}
+	if h.Quantile(1) != h.Max || h.Quantile(2) != h.Max {
+		t.Fatal("Quantile(≥1) must be Max")
+	}
+	if got := h.Quantile(0.5); got < h.Min || got > h.Max {
+		t.Fatalf("quantile %d outside [%d, %d]", got, h.Min, h.Max)
+	}
+
+	// A single repeated value: every quantile is that value.
+	reg.Observe("one", 42)
+	one := reg.Snapshot().Histograms["one"]
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := one.Quantile(q); got != 42 {
+			t.Fatalf("single-value Quantile(%v) = %d, want 42", q, got)
+		}
+	}
+
+	// The empty histogram reports zero, not a panic.
+	if got := (Histogram{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %d, want 0", got)
+	}
+}

@@ -58,6 +58,10 @@ func (w *Writer) Bytes(b []byte) {
 // Out returns the accumulated encoding.
 func (w *Writer) Out() []byte { return w.buf }
 
+// Reset truncates the writer for reuse, keeping the backing buffer —
+// the pooling hook for hot encode paths (the mesh's frame codec).
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
 // Reader decodes a snapshot encoding. Methods keep returning zero
 // values after the first error; check Err (or Close) once at the end.
 type Reader struct {

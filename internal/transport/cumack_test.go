@@ -1,0 +1,124 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+)
+
+// quietReliable builds a Reliable whose retransmission loop never fires
+// during the test.
+func quietReliable(t *testing.T) *Reliable {
+	t.Helper()
+	r := NewReliable(Config{RTO: time.Hour, MaxRTO: time.Hour, Tick: time.Hour}, func(Envelope) {})
+	t.Cleanup(r.Close)
+	return r
+}
+
+func dataEnv(seq uint64) Envelope {
+	return Envelope{Src: 0, Dst: 1, Kind: Data, Seq: seq,
+		Wire: protocol.Wire{From: 0, To: 1, Kind: protocol.UserWire, Msg: event.MsgID(seq)}}
+}
+
+// TestCumulativeAckRetiresBatch: a single pipelined ack clears the
+// exact sequence number plus everything at or below Cum on the channel.
+func TestCumulativeAckRetiresBatch(t *testing.T) {
+	r := quietReliable(t)
+	for i := 0; i < 5; i++ {
+		r.Wrap(0, 1, protocol.Wire{From: 0, To: 1, Kind: protocol.UserWire, Msg: event.MsgID(i)})
+	}
+	if r.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", r.Pending())
+	}
+	r.Ack(Envelope{Src: 1, Dst: 0, Kind: Ack, Seq: 5, Cum: 3})
+	if r.Pending() != 1 {
+		t.Fatalf("pending = %d after cum ack, want 1 (seq 4)", r.Pending())
+	}
+	c := r.Counters()
+	if c.CumAcked != 3 {
+		t.Fatalf("CumAcked = %d, want 3 (seqs 1-3 cleared by the cumulative part)", c.CumAcked)
+	}
+	if c.AcksReceived != 1 {
+		t.Fatalf("AcksReceived = %d, want 1", c.AcksReceived)
+	}
+	// Idempotent: replaying the same ack changes nothing but the tally.
+	r.Ack(Envelope{Src: 1, Dst: 0, Kind: Ack, Seq: 5, Cum: 3})
+	if r.Pending() != 1 || r.Counters().CumAcked != 3 {
+		t.Fatalf("replayed ack disturbed state: pending=%d counters=%+v", r.Pending(), r.Counters())
+	}
+}
+
+// TestCumAckScopedToChannel: the cumulative clear must not leak onto
+// other channels sharing the sublayer.
+func TestCumAckScopedToChannel(t *testing.T) {
+	r := quietReliable(t)
+	r.Wrap(0, 1, protocol.Wire{From: 0, To: 1, Kind: protocol.UserWire})
+	r.Wrap(0, 2, protocol.Wire{From: 0, To: 2, Kind: protocol.UserWire})
+	r.Ack(Envelope{Src: 1, Dst: 0, Kind: Ack, Seq: 1, Cum: 100})
+	if r.Pending() != 1 {
+		t.Fatalf("pending = %d: ack on 0->1 disturbed channel 0->2", r.Pending())
+	}
+}
+
+// TestAcceptAdvancesCumOverContiguousRuns: the receiver-side high-water
+// mark moves only over contiguous prefixes, gaps hold it back, and
+// filling the gap jumps it over the whole run.
+func TestAcceptAdvancesCumOverContiguousRuns(t *testing.T) {
+	r := quietReliable(t)
+	for _, seq := range []uint64{1, 2} {
+		if !r.Accept(dataEnv(seq)) {
+			t.Fatalf("seq %d rejected", seq)
+		}
+	}
+	if cum := r.CumFor(dataEnv(1)); cum != 2 {
+		t.Fatalf("cum = %d, want 2", cum)
+	}
+	if !r.Accept(dataEnv(4)) {
+		t.Fatal("seq 4 rejected")
+	}
+	if cum := r.CumFor(dataEnv(4)); cum != 2 {
+		t.Fatalf("cum = %d over a gap, want 2", cum)
+	}
+	a := r.CumAckFor(dataEnv(4))
+	if a.Kind != Ack || a.Src != 1 || a.Dst != 0 || a.Seq != 4 || a.Cum != 2 {
+		t.Fatalf("CumAckFor = %+v", a)
+	}
+	if !r.Accept(dataEnv(3)) {
+		t.Fatal("seq 3 rejected")
+	}
+	if cum := r.CumFor(dataEnv(3)); cum != 4 {
+		t.Fatalf("cum = %d after gap filled, want 4", cum)
+	}
+	// AckFor stays the legacy exact-seq ack.
+	if plain := AckFor(dataEnv(4)); plain.Cum != 0 {
+		t.Fatalf("AckFor gained a Cum: %+v", plain)
+	}
+}
+
+// TestAcceptPrunesSeenBehindCum: duplicates below the high-water mark
+// are rejected from the mark alone — the per-seq seen set is pruned, so
+// steady in-order traffic holds O(gaps) dedup state, not O(history).
+func TestAcceptPrunesSeenBehindCum(t *testing.T) {
+	r := quietReliable(t)
+	for seq := uint64(1); seq <= 100; seq++ {
+		if !r.Accept(dataEnv(seq)) {
+			t.Fatalf("seq %d rejected", seq)
+		}
+	}
+	r.mu.Lock()
+	pruned := len(r.seen[chanKey{0, 1}])
+	r.mu.Unlock()
+	if pruned != 0 {
+		t.Fatalf("seen set holds %d entries after a contiguous run, want 0", pruned)
+	}
+	for _, seq := range []uint64{1, 50, 100} {
+		if r.Accept(dataEnv(seq)) {
+			t.Fatalf("duplicate seq %d accepted after pruning", seq)
+		}
+	}
+	if c := r.Counters(); c.DupsDropped != 3 {
+		t.Fatalf("DupsDropped = %d, want 3", c.DupsDropped)
+	}
+}

@@ -235,13 +235,21 @@ type Envelope struct {
 	// and dedup; it does NOT impose FIFO delivery — the network above
 	// still reorders freely, as the paper's model allows.
 	Seq uint64
+	// Cum is the pipelined-acknowledgement mark (Ack only): every data
+	// envelope on the acked channel with sequence number ≤ Cum is
+	// acknowledged by this one envelope, in addition to the exact Seq.
+	// Zero means exact-seq acknowledgement only (the legacy contract),
+	// so plain AckFor acks keep working unchanged.
+	Cum uint64
 	// Attempt counts retransmissions of this envelope (0 = original).
 	Attempt int
 	// Wire is the wrapped protocol payload (Data only).
 	Wire protocol.Wire
 }
 
-// AckFor builds the acknowledgement for a data envelope.
+// AckFor builds the exact-seq acknowledgement for a data envelope.
+// The batched mesh path uses Reliable.CumAckFor instead, which lets a
+// single ack cover a whole contiguous batch.
 func AckFor(e Envelope) Envelope {
 	return Envelope{Src: e.Dst, Dst: e.Src, Kind: Ack, Seq: e.Seq}
 }
@@ -283,6 +291,10 @@ type Counters struct {
 	DupsDropped int
 	// AcksReceived counts acknowledgements processed by senders.
 	AcksReceived int
+	// CumAcked counts pending envelopes cleared by the cumulative part
+	// of a pipelined ack — retransmissions a batch ack made unnecessary
+	// beyond its exact Seq match.
+	CumAcked int
 	// IdleSkips counts the times the retransmission loop parked because
 	// no envelope was pending: instead of scanning an empty table every
 	// Tick, it sleeps until the next Wrap wakes it. An idle mesh
@@ -312,10 +324,15 @@ type Reliable struct {
 	cfg  Config
 	send func(Envelope)
 
-	mu       sync.Mutex
-	next     map[chanKey]uint64
-	pending  map[pendKey]*pendingTx
-	seen     map[chanKey]map[uint64]struct{}
+	mu      sync.Mutex
+	next    map[chanKey]uint64
+	pending map[pendKey]*pendingTx
+	seen    map[chanKey]map[uint64]struct{}
+	// cum is the receiver-side high-water mark per channel: every seq
+	// ≤ cum[ch] has been accepted. Accept advances it over contiguous
+	// runs and prunes the seen set behind it, which both bounds dedup
+	// memory on the steady path and is what CumAckFor advertises.
+	cum      map[chanKey]uint64
 	down     map[event.ProcID]bool
 	counts   Counters
 	progress uint64
@@ -338,6 +355,7 @@ func NewReliable(cfg Config, send func(Envelope)) *Reliable {
 		next:    make(map[chanKey]uint64),
 		pending: make(map[pendKey]*pendingTx),
 		seen:    make(map[chanKey]map[uint64]struct{}),
+		cum:     make(map[chanKey]uint64),
 		down:    make(map[event.ProcID]bool),
 		wake:    make(chan struct{}, 1),
 		stop:    make(chan struct{}),
@@ -372,22 +390,41 @@ func (r *Reliable) Wrap(from, to event.ProcID, w protocol.Wire) Envelope {
 }
 
 // Ack processes an acknowledgement arriving back at the data sender,
-// cancelling its retransmission. Idempotent.
+// cancelling its retransmission. A pipelined ack (Cum > 0) also clears
+// every pending envelope on the channel with seq ≤ Cum, so one ack can
+// retire a whole batch. Idempotent.
 func (r *Reliable) Ack(a Envelope) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	delete(r.pending, pendKey{chanKey{a.Dst, a.Src}, a.Seq})
+	ch := chanKey{a.Dst, a.Src}
+	delete(r.pending, pendKey{ch, a.Seq})
+	if a.Cum > 0 {
+		for k := range r.pending {
+			if k.ch == ch && k.seq <= a.Cum {
+				delete(r.pending, k)
+				r.counts.CumAcked++
+			}
+		}
+	}
 	r.counts.AcksReceived++
 	r.progress++
 }
 
 // Accept runs receiver-side dedup on an arriving data envelope and
 // reports whether this is its first copy (deliver to the protocol) or
-// a duplicate (absorb). The caller acknowledges in both cases.
+// a duplicate (absorb). The caller acknowledges in both cases. On the
+// steady (in-order) path Accept advances the channel's contiguous
+// high-water mark and prunes the seen set behind it, so dedup state
+// stays O(gaps) rather than O(messages ever received).
 func (r *Reliable) Accept(e Envelope) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	ch := chanKey{e.Src, e.Dst}
+	if e.Seq <= r.cum[ch] {
+		r.counts.DupsDropped++
+		r.progress++
+		return false
+	}
 	s := r.seen[ch]
 	if s == nil {
 		s = make(map[uint64]struct{})
@@ -399,8 +436,37 @@ func (r *Reliable) Accept(e Envelope) bool {
 		return false
 	}
 	s[e.Seq] = struct{}{}
+	for {
+		next := r.cum[ch] + 1
+		if _, ok := s[next]; !ok {
+			break
+		}
+		delete(s, next)
+		r.cum[ch] = next
+	}
 	r.progress++
 	return true
+}
+
+// CumAckFor builds the pipelined acknowledgement for a data envelope
+// arriving at this (receiver-side) Reliable: exact Seq plus the
+// channel's contiguous high-water mark in Cum, so the single ack
+// retires every in-order envelope of the batch it closes.
+func (r *Reliable) CumAckFor(e Envelope) Envelope {
+	r.mu.Lock()
+	cum := r.cum[chanKey{e.Src, e.Dst}]
+	r.mu.Unlock()
+	return Envelope{Src: e.Dst, Dst: e.Src, Kind: Ack, Seq: e.Seq, Cum: cum}
+}
+
+// CumFor returns the receiver-side contiguous high-water mark of the
+// channel a data envelope arrived on: every sequence number ≤ CumFor(e)
+// has been accepted here. The batched receiver uses it to skip exact
+// acks the cumulative ack already covers.
+func (r *Reliable) CumFor(e Envelope) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cum[chanKey{e.Src, e.Dst}]
 }
 
 // PeerDown pauses retransmission towards p: the harness knows p has
@@ -449,7 +515,8 @@ func (r *Reliable) CancelTo(p event.ProcID) int {
 		if k.ch[1] != p {
 			continue
 		}
-		if _, accepted := r.seen[k.ch][k.seq]; !accepted {
+		_, inSeen := r.seen[k.ch][k.seq]
+		if !inSeen && k.seq > r.cum[k.ch] {
 			lost++
 		}
 		delete(r.pending, k)

@@ -434,3 +434,37 @@ func NewMeshNode(cfg MeshNodeConfig) (*MeshNode, error) { return netmesh.NewNode
 func NetSweep(cfg NetSweepConfig, protos []NetProtocol) ([]NetCell, error) {
 	return conformance.NetMatrix(cfg, protos)
 }
+
+// Sustained load. Where NetSweep drives lockstep workloads to compare
+// user views, the load runners invoke the whole seeded workload
+// open-loop and let the high-throughput path — per-peer frame
+// batching, pooled codec buffers, pipelined cumulative acks, and an
+// optionally group-committed WAL — drain it at full speed. Every run
+// still validates its user view before reporting a number.
+type (
+	// LoadConfig shapes one open-loop load run (size, seed, optional
+	// file-backed group-commit WALs).
+	LoadConfig = conformance.LoadConfig
+	// LoadResult is one (runtime, protocol) row: throughput,
+	// invoke→deliver latency quantiles, and the batching counters that
+	// explain them.
+	LoadResult = conformance.LoadResult
+	// WALGroupCommit tunes group-commit batching of a file-backed
+	// journal (max pending entries, flush window, per-flush fsync).
+	WALGroupCommit = crash.GroupCommit
+	// WALStats tallies a journal's appends against its file flushes;
+	// Appends ≫ Flushes is group commit working.
+	WALStats = crash.WALStats
+)
+
+// RunLoadSim measures sustained open-loop throughput on the in-memory
+// live harness.
+func RunLoadSim(p NetProtocol, cfg LoadConfig) (LoadResult, error) {
+	return conformance.RunLoadSim(p, cfg)
+}
+
+// RunLoadMesh measures sustained open-loop throughput on a loopback
+// TCP mesh — the batched, pooled, pipelined-ack hot path.
+func RunLoadMesh(p NetProtocol, cfg LoadConfig) (LoadResult, error) {
+	return conformance.RunLoadMesh(p, cfg)
+}

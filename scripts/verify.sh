@@ -44,6 +44,29 @@ for dir in $(go list -f '{{.Dir}}' ./...); do
 done
 [ "$missing" = 0 ]
 
+echo "== doc lint (exported identifiers) =="
+# The hot-path packages are API surface for the load tooling: every
+# exported top-level identifier in internal/transport and
+# internal/netmesh must carry a doc comment.
+undocumented=0
+for dir in internal/transport internal/netmesh; do
+    for f in "$dir"/*.go; do
+        case "$f" in *_test.go) continue ;; esac
+        found=$(awk '
+            /^(func|type|var|const) [A-Z]/ || /^func \([a-zA-Z]+ ?\*?[A-Z][A-Za-z0-9]*\) [A-Z]/ {
+                if (prev !~ /^\/\//) print FILENAME ":" FNR ": " $0
+            }
+            { prev = $0 }
+        ' "$f")
+        if [ -n "$found" ]; then
+            echo "undocumented exports:" >&2
+            echo "$found" >&2
+            undocumented=1
+        fi
+    done
+done
+[ "$undocumented" = 0 ]
+
 echo "== go test =="
 go test ./...
 
@@ -88,6 +111,19 @@ echo "== net smoke (real-process gate) =="
 # non-zero on any divergence or daemon failure).
 go build -o "$tracetmp/mod" ./cmd/mod
 go run ./cmd/mobench net -smoke -modbin "$tracetmp/mod"
+
+echo "== load smoke (throughput gate) =="
+# A short open-loop load run over the batched mesh path: the subcommand
+# itself re-reads BENCH_load.json and exits non-zero if it is truncated
+# or any row reports zero throughput.
+go run ./cmd/mobench load -json -outdir "$tracetmp/load" -msgs 500 -protos tagless >/dev/null
+[ -s "$tracetmp/load/BENCH_load.json" ]
+
+echo "== allocation budget (steady-path gate) =="
+# The pooled encode, outbox pop and frame read paths must be
+# allocation-free once warm. Run without -race (the detector's
+# instrumentation allocates; the tests are build-tagged !race).
+go test -run 'AllocationBudget|AvoidsWindowTimer' ./internal/netmesh/
 
 echo "== nil-tracer overhead smoke =="
 # One pass over the explorer benchmarks, uninstrumented and traced: the
