@@ -15,6 +15,8 @@
 //	                    #      -smoke -modbin M diffs real mod processes against the sim)
 //	mobench load        # E13: sustained open-loop load, sim + mesh (-json writes
 //	                    #      BENCH_load.json; -wal adds group-commit file WALs)
+//	mobench shard       # E14: ordering-key sharded load across independent
+//	                    #      domains (-json writes BENCH_shard.json)
 //	mobench bench       # write BENCH_*.json snapshots (-outdir picks the directory)
 //	mobench all         # every table experiment
 //
@@ -154,6 +156,8 @@ func run(args []string) error {
 		return netCmd(args[1:])
 	case "load":
 		return loadCmd(args[1:])
+	case "shard":
+		return shardCmd(args[1:])
 	}
 	fn, ok := cmds[args[0]]
 	if !ok {

@@ -225,7 +225,10 @@ func TestBenchCmd(t *testing.T) {
 	if err := benchCmd([]string{"-outdir", dir}); err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"BENCH_explore.json", "BENCH_faults.json", "BENCH_crashes.json"} {
+	for _, name := range []string{
+		"BENCH_explore.json", "BENCH_faults.json", "BENCH_crashes.json",
+		"BENCH_net.json", "BENCH_shard.json",
+	} {
 		data, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
 			t.Fatal(err)

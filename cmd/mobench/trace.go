@@ -175,7 +175,7 @@ func writeBench(outdir, name, experiment string, rows any) error {
 
 // benchCmd regenerates the machine-readable benchmark snapshots at the
 // repo root (or -outdir): BENCH_explore.json, BENCH_faults.json,
-// BENCH_crashes.json and BENCH_net.json.
+// BENCH_crashes.json, BENCH_net.json and BENCH_shard.json.
 func benchCmd(args []string) error {
 	fs := flag.NewFlagSet("mobench bench", flag.ContinueOnError)
 	outdir := fs.String("outdir", ".", "directory to write BENCH_*.json into")
@@ -207,5 +207,8 @@ func benchCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	return writeBench(*outdir, "BENCH_net.json", "E12 cross-runtime net matrix", netRows)
+	if err := writeBench(*outdir, "BENCH_net.json", "E12 cross-runtime net matrix", netRows); err != nil {
+		return err
+	}
+	return benchShard(*outdir)
 }

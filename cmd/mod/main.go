@@ -6,6 +6,10 @@
 // a local NDJSON socket. Given a forbidden-predicate specification it
 // runs the paper's classifier and picks the minimal protocol class
 // witness automatically; -proto forces a specific catalog protocol.
+// -sharded wraps the chosen protocol so each ordering key gets its own
+// lazily created instance — millions of independent ordering domains
+// per daemon, with the handshake fingerprint marking the mesh sharded
+// so mixed sharded/unsharded fleets refuse to form.
 //
 // Usage (a 2-process mesh on one machine):
 //
@@ -46,6 +50,7 @@ import (
 	"msgorder/internal/predicate"
 	"msgorder/internal/protocol"
 	"msgorder/internal/protocols/registry"
+	"msgorder/internal/shard"
 	"msgorder/internal/transport"
 )
 
@@ -155,6 +160,7 @@ func run(args []string, out io.Writer) error {
 		wal        = fs.String("wal", "", "write-ahead log path for crash recovery (empty = in-memory journal)")
 		snapEvery  = fs.Int("snapshot-every", 64, "checkpoint the WAL every N journal entries (0 = never)")
 		seed       = fs.Int64("seed", 1, "seed for reconnect jitter")
+		sharded    = fs.Bool("sharded", false, "run one independent protocol instance per ordering key (lazy, demand-created); all peers must agree")
 		dropRate   = fs.Float64("drop", 0, "loopback-experiment fault plan: envelope drop probability")
 		dupRate    = fs.Float64("dup", 0, "loopback-experiment fault plan: envelope duplication probability")
 		faultSeed  = fs.Int64("fault-seed", 1, "fault plan seed")
@@ -173,6 +179,13 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	maker, protoName := entry.Maker, entry.Name
+	if *sharded {
+		// The fingerprint marker makes a sharded daemon refuse an
+		// unsharded peer at handshake: their wire formats agree but
+		// their ordering semantics (per-key vs global domain) do not.
+		maker, protoName = shard.New(entry.Maker), "sharded-"+entry.Name
+	}
 
 	var inj *transport.Injector
 	if *dropRate > 0 || *dupRate > 0 {
@@ -185,10 +198,10 @@ func run(args []string, out io.Writer) error {
 	node, err := netmesh.NewNode(netmesh.NodeConfig{
 		Self:  event.ProcID(*id),
 		Procs: len(addrs),
-		Maker: entry.Maker,
+		Maker: maker,
 		Mesh: netmesh.MeshConfig{
 			Addrs:       addrs,
-			Fingerprint: netmesh.Fingerprint(entry.Name, *spec, len(addrs)),
+			Fingerprint: netmesh.Fingerprint(protoName, *spec, len(addrs)),
 			Seed:        *seed,
 			Injector:    inj,
 		},
@@ -221,7 +234,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	fmt.Fprintf(out, "mod ready id=%d proto=%s mesh=%s client=%s http=%s\n",
-		*id, entry.Name, node.Addr(), rpc.Addr(), httpBound)
+		*id, protoName, node.Addr(), rpc.Addr(), httpBound)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -205,6 +205,73 @@ func TestThreeProcessCausalWorkload(t *testing.T) {
 	}
 }
 
+// TestShardedClusterKeyedWorkload boots a real 2-process mesh with
+// -sharded and drives a keyed workload over the client sockets: the
+// ready line and ping must advertise the sharded runtime, and every
+// per-key projection of the reassembled view must be complete and
+// causal.
+func TestShardedClusterKeyedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	ds := startCluster(t, 2, func(i int) []string {
+		return []string{"-proto", "fifo", "-sharded"}
+	})
+	if got := ds[0].ready["proto"]; got != "sharded-fifo" {
+		t.Fatalf("ready line proto = %q, want sharded-fifo", got)
+	}
+	pong, err := ds[0].client.Ping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pong.Proto != "sharded(fifo)" {
+		t.Fatalf("ping proto = %q, want sharded(fifo)", pong.Proto)
+	}
+
+	kA, kB := event.KeyOf("orders"), event.KeyOf("payments")
+	msgs := []event.Message{
+		{ID: 0, From: 0, To: 1, Key: kA},
+		{ID: 1, From: 1, To: 0, Key: kB},
+		{ID: 2, From: 0, To: 1, Key: kB},
+		{ID: 3, From: 1, To: 0, Key: kA},
+	}
+	want := make([]int, 2)
+	for _, m := range msgs {
+		if err := ds[m.From].client.InvokeKeyed(int(m.ID), m.To, m.Color, m.Key); err != nil {
+			t.Fatalf("invoke m%d: %v", m.ID, err)
+		}
+		want[m.To]++
+		if err := ds[m.To].client.Wait(want[m.To], 10*time.Second); err != nil {
+			t.Fatalf("waiting for m%d: %v", m.ID, err)
+		}
+	}
+
+	procEvents := make([][]event.Event, 2)
+	for p, d := range ds {
+		evs, _, err := d.client.Events()
+		if err != nil {
+			t.Fatal(err)
+		}
+		procEvents[p] = evs
+	}
+	v, err := userview.New(msgs, procEvents)
+	if err != nil {
+		t.Fatalf("sharded cross-process view invalid: %v", err)
+	}
+	if !v.IsComplete() {
+		t.Fatal("sharded keyed run incomplete")
+	}
+	for _, k := range v.Keys() {
+		proj, err := v.ProjectKey(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !proj.IsComplete() || !proj.InCO() {
+			t.Fatalf("key %#x projection incomplete or out of causal order", uint64(k))
+		}
+	}
+}
+
 // TestSpecAutoSelectsWitness checks the classifier path: -spec alone
 // must classify the predicate and pick the minimal class witness.
 func TestSpecAutoSelectsWitness(t *testing.T) {

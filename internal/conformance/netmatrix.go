@@ -121,7 +121,7 @@ func runSimLockstep(maker protocol.Maker, procs int, seed int64, msgs []event.Me
 	nw := sim.New(procs, maker, sim.WithSeed(seed))
 	start := time.Now()
 	for _, m := range msgs {
-		if err := nw.Invoke(sim.Request{From: m.From, To: m.To, Color: m.Color}); err != nil {
+		if err := nw.Invoke(sim.Request{From: m.From, To: m.To, Color: m.Color, Key: m.Key}); err != nil {
 			return nil, 0, fmt.Errorf("sim invoke m%d: %w", m.ID, err)
 		}
 		if err := nw.Quiesce(); err != nil {

@@ -61,6 +61,12 @@ type Entry struct {
 	Wire protocol.Wire
 	// ID is the delivered message (EntryDeliver).
 	ID event.MsgID
+	// Seq is the transport sequence number the received wire arrived
+	// under (EntryReceive on the socket runtime; zero elsewhere). A
+	// durable restart replays it into the transport's dedup state so a
+	// retransmission of an already-handled envelope is absorbed instead
+	// of re-delivered.
+	Seq uint64
 }
 
 // Input reports whether the entry is a handler input (replayed) rather
@@ -366,6 +372,7 @@ func SameOutput(a, b Entry) bool {
 		return a.Wire.From == b.Wire.From && a.Wire.To == b.Wire.To &&
 			a.Wire.Kind == b.Wire.Kind && a.Wire.Msg == b.Wire.Msg &&
 			a.Wire.Color == b.Wire.Color && a.Wire.Ctrl == b.Wire.Ctrl &&
+			a.Wire.Key == b.Wire.Key &&
 			bytes.Equal(a.Wire.Tag, b.Wire.Tag)
 	default:
 		return false
@@ -384,6 +391,7 @@ func encodeEntry(buf []byte, e Entry) []byte {
 			buf = appendMessage(buf, m)
 		}
 	case EntryReceive, EntrySend:
+		buf = binary.AppendUvarint(buf, e.Seq)
 		buf = appendWire(buf, e.Wire)
 	case EntryDeliver:
 		buf = binary.AppendUvarint(buf, uint64(e.ID))
@@ -414,7 +422,9 @@ func decodeEntry(b []byte) ([]byte, Entry, error) {
 			e.Msgs = append(e.Msgs, m)
 		}
 	case EntryReceive, EntrySend:
-		b, e.Wire, err = readWire(b)
+		if b, e.Seq, err = readUvarint(b); err == nil {
+			b, e.Wire, err = readWire(b)
+		}
 	case EntryDeliver:
 		var id uint64
 		b, id, err = readUvarint(b)
@@ -433,12 +443,13 @@ func appendMessage(buf []byte, m event.Message) []byte {
 	buf = binary.AppendUvarint(buf, uint64(m.From))
 	buf = binary.AppendUvarint(buf, uint64(m.To))
 	buf = binary.AppendUvarint(buf, uint64(m.Color))
+	buf = binary.AppendUvarint(buf, uint64(m.Key))
 	return buf
 }
 
 func readMessage(b []byte) ([]byte, event.Message, error) {
 	var m event.Message
-	vals := make([]uint64, 4)
+	vals := make([]uint64, 5)
 	var err error
 	for i := range vals {
 		if b, vals[i], err = readUvarint(b); err != nil {
@@ -450,6 +461,7 @@ func readMessage(b []byte) ([]byte, event.Message, error) {
 		From:  event.ProcID(vals[1]),
 		To:    event.ProcID(vals[2]),
 		Color: event.Color(vals[3]),
+		Key:   event.Key(vals[4]),
 	}
 	return b, m, nil
 }
@@ -460,6 +472,7 @@ func appendWire(buf []byte, w protocol.Wire) []byte {
 	buf = append(buf, byte(w.Kind), w.Ctrl)
 	buf = binary.AppendUvarint(buf, uint64(w.Msg))
 	buf = binary.AppendUvarint(buf, uint64(w.Color))
+	buf = binary.AppendUvarint(buf, uint64(w.Key))
 	buf = binary.AppendUvarint(buf, uint64(len(w.Tag)))
 	buf = append(buf, w.Tag...)
 	return buf
@@ -481,14 +494,17 @@ func readWire(b []byte) ([]byte, protocol.Wire, error) {
 	w.From, w.To = event.ProcID(from), event.ProcID(to)
 	w.Kind, w.Ctrl = protocol.WireKind(b[0]), b[1]
 	b = b[2:]
-	var msg, color uint64
+	var msg, color, key uint64
 	if b, msg, err = readUvarint(b); err != nil {
 		return nil, w, err
 	}
 	if b, color, err = readUvarint(b); err != nil {
 		return nil, w, err
 	}
-	w.Msg, w.Color = event.MsgID(msg), event.Color(color)
+	if b, key, err = readUvarint(b); err != nil {
+		return nil, w, err
+	}
+	w.Msg, w.Color, w.Key = event.MsgID(msg), event.Color(color), event.Key(key)
 	var tag []byte
 	if b, tag, err = readBytes(b); err != nil {
 		return nil, w, err

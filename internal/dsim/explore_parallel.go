@@ -389,6 +389,11 @@ func appendWireEnc(b []byte, w protocol.Wire) []byte {
 	b = appendUint32(b, uint32(w.From))
 	b = append(b, byte(w.Kind), w.Ctrl, byte(w.Color))
 	b = appendUint32(b, uint32(w.Msg))
+	// The ordering key is semantic state (it selects the per-key
+	// instance at the receiver), so unlike the VC stamp it must be part
+	// of the canonical encoding.
+	b = appendUint32(b, uint32(w.Key>>32))
+	b = appendUint32(b, uint32(w.Key))
 	b = appendUint32(b, uint32(len(w.Tag)))
 	return append(b, w.Tag...)
 }

@@ -59,6 +59,32 @@ func ParseColor(s string) (Color, bool) {
 	}
 }
 
+// Key is an optional ordering key. Messages with different keys belong
+// to independent ordering domains: a specification marked per-key only
+// constrains same-key messages, so a sharded runtime may run one
+// lightweight protocol instance per key with no cross-key blocking.
+// The zero value NoKey means "unkeyed" — the single global ordering
+// domain every pre-sharding run lives in.
+type Key uint64
+
+// NoKey is the unkeyed (global ordering domain) sentinel.
+const NoKey Key = 0
+
+// KeyOf hashes an application key string onto a Key. The hash is FNV-1a
+// folded so it never collides with NoKey: every named key lands in a
+// real ordering domain.
+func KeyOf(s string) Key {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	if Key(h) == NoKey {
+		return Key(1)
+	}
+	return Key(h)
+}
+
 // Kind distinguishes the four system events of a message.
 type Kind uint8
 
@@ -102,6 +128,8 @@ type Message struct {
 	From  ProcID // sending process
 	To    ProcID // destination process
 	Color Color
+	// Key is the message's ordering domain (NoKey = the global domain).
+	Key Key
 }
 
 // String renders the message as "m3(P0->P1)".
@@ -109,6 +137,9 @@ func (m Message) String() string {
 	s := fmt.Sprintf("m%d(P%d->P%d)", m.ID, m.From, m.To)
 	if m.Color != ColorNone {
 		s += ":" + m.Color.String()
+	}
+	if m.Key != NoKey {
+		s += fmt.Sprintf("#%x", uint64(m.Key))
 	}
 	return s
 }

@@ -19,6 +19,7 @@ import (
 	"msgorder/internal/event"
 	"msgorder/internal/netmesh"
 	"msgorder/internal/protocol"
+	"msgorder/internal/shard"
 	"msgorder/internal/transport"
 )
 
@@ -33,6 +34,10 @@ type Request struct {
 	To int `json:"to,omitempty"`
 	// Color tags the invoked message (invoke; 0 = colorless).
 	Color int `json:"color,omitempty"`
+	// Key is the message's ordering domain (invoke; 0 = the global
+	// unkeyed domain). Only meaningful against a sharded daemon, but
+	// always carried faithfully.
+	Key uint64 `json:"key,omitempty"`
 	// Delivered is the target local delivery count (wait).
 	Delivered int `json:"delivered,omitempty"`
 	// TimeoutMS bounds a wait (default 10s).
@@ -179,6 +184,7 @@ func (s *Server) handle(req Request) Response {
 			From:  s.node.Self(),
 			To:    event.ProcID(req.To),
 			Color: event.Color(req.Color),
+			Key:   event.Key(req.Key),
 		}
 		if err := s.node.Invoke(m); err != nil {
 			return fail(err)
@@ -273,7 +279,13 @@ func (c *Client) Ping() (Response, error) {
 
 // Invoke places user message id at the daemon, addressed to proc to.
 func (c *Client) Invoke(id int, to event.ProcID, color event.Color) error {
-	_, err := c.do(Request{Op: "invoke", ID: id, To: int(to), Color: int(color)}, rpcSlack)
+	return c.InvokeKeyed(id, to, color, event.NoKey)
+}
+
+// InvokeKeyed places user message id in ordering domain key at the
+// daemon, addressed to proc to.
+func (c *Client) InvokeKeyed(id int, to event.ProcID, color event.Color, key event.Key) error {
+	_, err := c.do(Request{Op: "invoke", ID: id, To: int(to), Color: int(color), Key: uint64(key)}, rpcSlack)
 	return err
 }
 
@@ -330,3 +342,25 @@ func (c *Client) Shutdown() error {
 	_, err := c.do(Request{Op: "shutdown"}, rpcSlack)
 	return err
 }
+
+// Router maps ordering keys onto a fleet of daemon meshes with the
+// same consistent-hash ring the sharded runtime uses internally, so
+// every driver routes a given key to the same mesh regardless of
+// which driver computed the route. Clients are indexed by their ring
+// position; growing the fleet re-homes only ~1/n of the keyspace.
+type Router struct {
+	ring    *shard.Ring
+	clients []*Client
+}
+
+// NewRouter builds a router over the daemon fleet. The client order
+// is the ring order: every driver must list the fleet identically.
+func NewRouter(clients []*Client) *Router {
+	return &Router{ring: shard.NewRing(len(clients), 0), clients: clients}
+}
+
+// Index returns the fleet index that owns key k.
+func (r *Router) Index(k event.Key) int { return r.ring.Daemon(k) }
+
+// For returns the client for the daemon mesh that owns key k.
+func (r *Router) For(k event.Key) *Client { return r.clients[r.Index(k)] }

@@ -1,0 +1,180 @@
+package modrpc
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"msgorder/internal/event"
+	"msgorder/internal/netmesh"
+	"msgorder/internal/protocols/fifo"
+	"msgorder/internal/shard"
+	"msgorder/internal/transport"
+	"msgorder/internal/userview"
+)
+
+// startShardedPair boots a 2-process mesh whose nodes run the sharded
+// fifo runtime, with an RPC server and client per node.
+func startShardedPair(t *testing.T) ([]*netmesh.Node, []*Client) {
+	t.Helper()
+	addrs := make([]string, 2)
+	for i := range addrs {
+		m, err := netmesh.NewMesh(netmesh.MeshConfig{Self: 0, Addrs: []string{"127.0.0.1:0"}},
+			func([]transport.Envelope) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = m.Addr()
+		m.Close()
+	}
+	fp := netmesh.Fingerprint("sharded-fifo", "", 2)
+	nodes := make([]*netmesh.Node, 2)
+	clients := make([]*Client, 2)
+	for i := range nodes {
+		node, err := netmesh.NewNode(netmesh.NodeConfig{
+			Self: event.ProcID(i), Procs: 2, Maker: shard.New(fifo.Maker),
+			Mesh:      netmesh.MeshConfig{Addrs: addrs, Fingerprint: fp, Seed: int64(i + 1)},
+			Transport: transport.Config{RTO: 2 * time.Millisecond, MaxRTO: 30 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		t.Cleanup(func() { node.Close() })
+		srv, err := Serve("127.0.0.1:0", node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		c, err := Dial(srv.Addr(), 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		t.Cleanup(func() { c.Close() })
+	}
+	return nodes, clients
+}
+
+// TestRPCKeyedInvokeSharded drives a keyed workload over the wire
+// protocol against sharded daemons: the key field must survive the
+// NDJSON round-trip, fan into per-key protocol instances, and yield a
+// user view whose per-key projections are each complete and causal.
+func TestRPCKeyedInvokeSharded(t *testing.T) {
+	_, clients := startShardedPair(t)
+
+	pong, err := clients[0].Ping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pong.Proto != "sharded(fifo)" {
+		t.Fatalf("ping proto = %q, want sharded(fifo)", pong.Proto)
+	}
+
+	kA, kB := event.KeyOf("alpha"), event.KeyOf("beta")
+	msgs := []event.Message{
+		{ID: 0, From: 0, To: 1, Key: kA},
+		{ID: 1, From: 0, To: 1, Key: kB},
+		{ID: 2, From: 1, To: 0, Key: kA},
+		{ID: 3, From: 0, To: 1, Key: kA},
+	}
+	want := make([]int, 2)
+	for _, m := range msgs {
+		if err := clients[m.From].InvokeKeyed(int(m.ID), m.To, m.Color, m.Key); err != nil {
+			t.Fatal(err)
+		}
+		want[m.To]++
+		if err := clients[m.To].Wait(want[m.To], 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	procEvents := make([][]event.Event, 2)
+	for p, c := range clients {
+		evs, _, err := c.Events()
+		if err != nil {
+			t.Fatal(err)
+		}
+		procEvents[p] = evs
+	}
+	v, err := userview.New(msgs, procEvents)
+	if err != nil {
+		t.Fatalf("RPC-assembled sharded view invalid: %v", err)
+	}
+	if !v.IsComplete() {
+		t.Fatal("keyed RPC run incomplete")
+	}
+	keys := v.Keys()
+	if len(keys) != 2 {
+		t.Fatalf("view has %d keys, want 2", len(keys))
+	}
+	for _, k := range keys {
+		proj, err := v.ProjectKey(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !proj.IsComplete() || !proj.InCO() {
+			t.Fatalf("key %#x projection incomplete or out of causal order", uint64(k))
+		}
+	}
+}
+
+// TestRequestKeyWireFormat pins the key's JSON encoding: present and
+// named "key" when set, omitted entirely for the global domain so old
+// drivers and old daemons interoperate byte-for-byte.
+func TestRequestKeyWireFormat(t *testing.T) {
+	b, err := json.Marshal(Request{Op: "invoke", ID: 7, To: 1, Key: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"key":42`) {
+		t.Fatalf("keyed request lost its key: %s", b)
+	}
+	var back Request
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if event.Key(back.Key) != event.Key(42) {
+		t.Fatalf("key round-trip = %d, want 42", back.Key)
+	}
+	b, err = json.Marshal(Request{Op: "invoke", ID: 7, To: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "key") {
+		t.Fatalf("unkeyed request must omit the key field: %s", b)
+	}
+}
+
+// TestRouterDeterministicCoverage checks the key->daemon router: every
+// key routes in range, two independently built routers agree on every
+// key (drivers share no state, only the fleet list), each daemon owns
+// a reasonable slice of the keyspace, and For returns the client at
+// the routed index.
+func TestRouterDeterministicCoverage(t *testing.T) {
+	fleet := []*Client{{}, {}, {}, {}}
+	r := NewRouter(fleet)
+	again := NewRouter(fleet)
+	counts := make([]int, len(fleet))
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		k := event.Key(i)
+		idx := r.Index(k)
+		if idx < 0 || idx >= len(fleet) {
+			t.Fatalf("key %d routed to %d", i, idx)
+		}
+		if again.Index(k) != idx {
+			t.Fatalf("two routers over the same fleet disagree on key %d", i)
+		}
+		if r.For(k) != fleet[idx] {
+			t.Fatalf("For(key %d) is not the client at index %d", i, idx)
+		}
+		counts[idx]++
+	}
+	for d, c := range counts {
+		if c < keys/20 {
+			t.Fatalf("daemon %d owns only %d of %d keys", d, c, keys)
+		}
+	}
+}

@@ -37,8 +37,10 @@ const (
 const maxFrame = 1 << 20
 
 // helloMagic opens every handshake payload so a stray client speaking
-// the wrong protocol is refused immediately.
-const helloMagic = "momesh1"
+// the wrong protocol is refused immediately. Bumped to momesh2 when the
+// envelope encoding grew the ordering-key field, so an old peer is
+// refused at the handshake instead of misparsing frames.
+const helloMagic = "momesh2"
 
 // errCorruptFrame reports a malformed frame payload.
 var errCorruptFrame = errors.New("netmesh: corrupt frame")
@@ -204,6 +206,7 @@ func encodeEnvelopeBody(w *snapio.Writer, e transport.Envelope) {
 	w.Int(int(e.Wire.Msg))
 	w.Byte(byte(e.Wire.Color))
 	w.Byte(e.Wire.Ctrl)
+	w.U64(uint64(e.Wire.Key))
 	w.Bytes(e.Wire.Tag)
 	w.Int(len(e.Wire.VC))
 	for _, c := range e.Wire.VC {
@@ -228,6 +231,7 @@ func decodeEnvelopeBody(r *snapio.Reader) (transport.Envelope, error) {
 	e.Wire.Msg = event.MsgID(r.Int())
 	e.Wire.Color = event.Color(r.Byte())
 	e.Wire.Ctrl = r.Byte()
+	e.Wire.Key = event.Key(r.U64())
 	e.Wire.Tag = r.Bytes()
 	if n := r.Int(); n > 0 {
 		if n > maxFrame {

@@ -131,6 +131,15 @@ type outbox struct {
 	cond   *sync.Cond
 	q      []transport.Envelope
 	closed bool
+	// Flush-window timer lifecycle. timer is the currently armed window
+	// timer (nil when none); timerGen invalidates in-flight AfterFunc
+	// callbacks that lost the race with Stop — a stale callback from a
+	// previous window must not mark the next window expired, or that
+	// window would flush immediately instead of lingering. close() stops
+	// the armed timer so a closed outbox never keeps one scheduled.
+	timer    *time.Timer
+	timerGen uint64
+	expired  bool
 }
 
 func newOutbox() *outbox {
@@ -162,17 +171,28 @@ func (b *outbox) popBatch(buf []transport.Envelope, max int, window time.Duratio
 		return buf[:0], false
 	}
 	if window > 0 && len(b.q) < max && !b.closed {
-		expired := false
-		t := time.AfterFunc(window, func() {
+		gen := b.timerGen
+		b.expired = false
+		b.timer = time.AfterFunc(window, func() {
 			b.mu.Lock()
-			expired = true
+			if b.timerGen == gen {
+				b.expired = true
+			}
 			b.mu.Unlock()
 			b.cond.Broadcast()
 		})
-		for len(b.q) < max && !b.closed && !expired {
+		for len(b.q) < max && !b.closed && !b.expired {
 			b.cond.Wait()
 		}
-		t.Stop()
+		// Retire this window: bump the generation so a callback that
+		// already fired but hasn't run can't expire a future window, and
+		// disarm the timer (close() may have done both already).
+		b.timerGen++
+		b.expired = false
+		if b.timer != nil {
+			b.timer.Stop()
+			b.timer = nil
+		}
 	}
 	n := len(b.q)
 	if n > max {
@@ -189,7 +209,13 @@ func (b *outbox) popBatch(buf []transport.Envelope, max int, window time.Duratio
 func (b *outbox) close() {
 	b.mu.Lock()
 	b.closed = true
+	b.timerGen++
+	t := b.timer
+	b.timer = nil
 	b.mu.Unlock()
+	if t != nil {
+		t.Stop()
+	}
 	b.cond.Broadcast()
 }
 

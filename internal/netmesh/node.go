@@ -20,6 +20,7 @@ import (
 	"msgorder/internal/event"
 	"msgorder/internal/obs"
 	"msgorder/internal/protocol"
+	"msgorder/internal/snapio"
 	"msgorder/internal/transport"
 )
 
@@ -39,7 +40,7 @@ var (
 // processes running the named protocol under the given spec: every
 // field that must agree for a cross-process run to make sense.
 func Fingerprint(proto, spec string, n int) string {
-	return fmt.Sprintf("momesh1|n=%d|proto=%s|spec=%s", n, proto, spec)
+	return fmt.Sprintf("momesh2|n=%d|proto=%s|spec=%s", n, proto, spec)
 }
 
 // NodeConfig configures one protocol-hosting node.
@@ -290,13 +291,82 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	n.mesh = mesh
 	n.tr = transport.NewReliable(tcfg, mesh.Send)
 
-	n.inst = inst
-	n.env = &nodeEnv{n: n}
-	inst.Init(n.env)
+	if err := n.boot(inst); err != nil {
+		n.tr.Close()
+		n.mesh.Close()
+		n.wal.Close()
+		return nil, err
+	}
 
 	n.wg.Add(1)
 	go n.run()
 	return n, nil
+}
+
+// boot brings the first incarnation live. With a fresh journal that is
+// just Init. When the configured WALPath already holds a previous
+// OS-process incarnation's journal, boot instead performs a durable
+// restart: restore the composite checkpoint (protocol state AND the
+// reliable sublayer's sequence/dedup state), replay the journal suffix
+// with output verification, then re-apply the suffix's transport
+// effects — journaled receives re-enter the dedup tables so peer
+// retransmits of already-accepted wires are dropped, and journaled
+// sends are re-wrapped (the restored sequence counters reproduce the
+// original seqnums) and retransmitted, which the peer's own dedup
+// absorbs if it had already accepted them. Without this, a restarted
+// daemon's sender counters reset to zero (the peer drops all new sends
+// as duplicates) and its receiver high-water marks regress (old wires
+// get delivered twice).
+func (n *Node) boot(inst protocol.Process) error {
+	snap, entries := n.wal.Replay()
+	if snap == nil && len(entries) == 0 {
+		n.inst = inst
+		n.env = &nodeEnv{n: n}
+		inst.Init(n.env)
+		return nil
+	}
+	started := time.Now()
+	e := &nodeEnv{n: n, replay: true}
+	inst.Init(e)
+	if snap != nil {
+		trSnap, err := n.restoreSnapshot(inst, snap)
+		if err != nil {
+			return err
+		}
+		if err := n.tr.RestoreState(trSnap); err != nil {
+			return fmt.Errorf("%w: P%d transport restore: %v", ErrProtocol, n.cfg.Self, err)
+		}
+	}
+	replayed, err := replayEntries(inst, e, entries)
+	if err != nil {
+		return err
+	}
+	// Re-apply the journal suffix's transport effects in journal order,
+	// so sequence assignment matches the pre-crash incarnation exactly.
+	for _, en := range entries {
+		switch en.Kind {
+		case crash.EntryReceive:
+			n.tr.MarkAccepted(en.Wire.From, n.cfg.Self, en.Seq)
+		case crash.EntrySend:
+			n.mesh.Send(n.tr.Wrap(n.cfg.Self, en.Wire.To, en.Wire))
+		}
+	}
+	e.replay = false
+	e.got = nil
+	n.inst, n.env = inst, e
+	n.mu.Lock()
+	n.stats.Recoveries++
+	n.stats.ReplayedEvents += replayed
+	n.mu.Unlock()
+	if s := n.sink; s.Enabled() {
+		lat := time.Since(started)
+		s.Count("sim.recoveries", 1)
+		s.Observe("crash.recovery.latency.us", lat.Microseconds())
+		s.Observe("crash.recovery.replayed", int64(replayed))
+		s.Trace(obs.Record{Step: s.Step(), Proc: n.cfg.Self, Op: obs.OpRecover, Msg: obs.NoMsg,
+			Note: fmt.Sprintf("durable boot restore live after %v, replayed %d entries", lat.Round(time.Microsecond), replayed)})
+	}
+	return nil
 }
 
 // Addr returns the mesh listener's bound address.
@@ -527,7 +597,7 @@ func (n *Node) handleBatch(envs []transport.Envelope) {
 			if !fresh {
 				continue
 			}
-			n.journal(crash.Entry{Kind: crash.EntryReceive, Wire: e.Wire})
+			n.journal(crash.Entry{Kind: crash.EntryReceive, Wire: e.Wire, Seq: e.Seq})
 			n.probe.Receive(e.Wire)
 			n.inst.OnReceive(e.Wire)
 			n.maybeCheckpoint()
@@ -547,7 +617,13 @@ func (n *Node) handleBatch(envs []transport.Envelope) {
 
 // maybeCheckpoint snapshots a Snapshotter protocol once enough journal
 // entries accumulated. Runs between handlers only, so a checkpoint
-// never splits one handler's input from its outputs.
+// never splits one handler's input from its outputs. The checkpoint is
+// a composite of the protocol snapshot and the reliable sublayer's
+// state, so an OS-process restart (boot restore) resumes with the same
+// sequence counters and dedup high-water marks instead of resetting
+// them — resetting would make the peer drop every new send as a
+// duplicate and would re-deliver wires the pre-crash incarnation
+// already accepted.
 func (n *Node) maybeCheckpoint() {
 	if n.cfg.SnapshotEvery <= 0 || n.wal.SinceCheckpoint() < n.cfg.SnapshotEvery {
 		return
@@ -556,11 +632,32 @@ func (n *Node) maybeCheckpoint() {
 	if !ok {
 		return
 	}
-	if err := n.wal.Checkpoint(s.Snapshot()); err != nil {
+	if err := n.wal.Checkpoint(encodeCheckpoint(s.Snapshot(), n.tr.SnapshotState())); err != nil {
 		n.fail(err)
 		return
 	}
 	n.sink.Count("crash.wal.checkpoints", 1)
+}
+
+// encodeCheckpoint packs the protocol snapshot and the transport state
+// snapshot into one WAL checkpoint blob.
+func encodeCheckpoint(protoSnap, trSnap []byte) []byte {
+	var w snapio.Writer
+	w.Bytes(protoSnap)
+	w.Bytes(trSnap)
+	return w.Out()
+}
+
+// decodeCheckpoint splits a composite WAL checkpoint blob back into its
+// protocol and transport parts.
+func decodeCheckpoint(b []byte) (protoSnap, trSnap []byte, err error) {
+	r := snapio.NewReader(b)
+	protoSnap = r.Bytes()
+	trSnap = r.Bytes()
+	if err := r.Close(); err != nil {
+		return nil, nil, err
+	}
+	return protoSnap, trSnap, nil
 }
 
 func (n *Node) doCrash(downtime time.Duration) {
@@ -588,32 +685,31 @@ func (n *Node) doCrash(downtime time.Duration) {
 	n.mu.Unlock()
 }
 
-// doRestart rebuilds the protocol instance from durable state: restore
-// the latest checkpoint, replay the journal suffix with effects
-// suppressed, verify the replayed outputs match what the pre-crash
-// incarnation journaled, then go live and drain invokes held during
-// the downtime.
-func (n *Node) doRestart() {
-	if !n.down {
-		return
+// restoreSnapshot decodes a composite checkpoint and restores its
+// protocol part into inst; the transport part is returned for callers
+// that want it (boot restore applies it, in-process restart must not —
+// the live transport's state is ahead of the checkpoint, and regressing
+// it would re-deliver wires the dedup tables already absorbed).
+func (n *Node) restoreSnapshot(inst protocol.Process, snap []byte) ([]byte, error) {
+	protoSnap, trSnap, err := decodeCheckpoint(snap)
+	if err != nil {
+		return nil, fmt.Errorf("%w: P%d checkpoint decode: %v", ErrProtocol, n.cfg.Self, err)
 	}
-	started := time.Now()
-	inst := n.cfg.Maker()
-	e := &nodeEnv{n: n, replay: true}
-	inst.Init(e)
+	s, ok := inst.(protocol.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("%w: P%d has a checkpoint but no Snapshotter", ErrProtocol, n.cfg.Self)
+	}
+	if err := s.Restore(protoSnap); err != nil {
+		return nil, fmt.Errorf("%w: P%d restore: %v", ErrProtocol, n.cfg.Self, err)
+	}
+	return trSnap, nil
+}
 
-	snap, entries := n.wal.Replay()
-	if snap != nil {
-		s, ok := inst.(protocol.Snapshotter)
-		if !ok {
-			n.fail(fmt.Errorf("%w: P%d has a checkpoint but no Snapshotter", ErrProtocol, n.cfg.Self))
-			return
-		}
-		if err := s.Restore(snap); err != nil {
-			n.fail(fmt.Errorf("%w: P%d restore: %v", ErrProtocol, n.cfg.Self, err))
-			return
-		}
-	}
+// replayEntries re-runs the journal suffix's inputs through inst with
+// effects suppressed (e must be in replay mode), verifying each input's
+// outputs against the journaled ones. Returns the replayed input count.
+func replayEntries(inst protocol.Process, e *nodeEnv, entries []crash.Entry) (int, error) {
+	self := e.n.cfg.Self
 	var outs []crash.Entry
 	for _, en := range entries {
 		if !en.Input() {
@@ -636,15 +732,42 @@ func (n *Node) doRestart() {
 		replayed++
 		for _, g := range e.got {
 			if oi >= len(outs) || !crash.SameOutput(outs[oi], g) {
-				n.fail(fmt.Errorf("%w: P%d replaying %s entry %d", ErrReplayDiverged, n.cfg.Self, en.Kind, replayed))
-				return
+				return 0, fmt.Errorf("%w: P%d replaying %s entry %d", ErrReplayDiverged, self, en.Kind, replayed)
 			}
 			oi++
 		}
 		e.got = e.got[:0]
 	}
 	if oi != len(outs) {
-		n.fail(fmt.Errorf("%w: P%d re-emitted %d of %d journaled outputs", ErrReplayDiverged, n.cfg.Self, oi, len(outs)))
+		return 0, fmt.Errorf("%w: P%d re-emitted %d of %d journaled outputs", ErrReplayDiverged, self, oi, len(outs))
+	}
+	return replayed, nil
+}
+
+// doRestart rebuilds the protocol instance from durable state: restore
+// the latest checkpoint, replay the journal suffix with effects
+// suppressed, verify the replayed outputs match what the pre-crash
+// incarnation journaled, then go live and drain invokes held during
+// the downtime.
+func (n *Node) doRestart() {
+	if !n.down {
+		return
+	}
+	started := time.Now()
+	inst := n.cfg.Maker()
+	e := &nodeEnv{n: n, replay: true}
+	inst.Init(e)
+
+	snap, entries := n.wal.Replay()
+	if snap != nil {
+		if _, err := n.restoreSnapshot(inst, snap); err != nil {
+			n.fail(err)
+			return
+		}
+	}
+	replayed, err := replayEntries(inst, e, entries)
+	if err != nil {
+		n.fail(err)
 		return
 	}
 

@@ -1,0 +1,103 @@
+package netmesh
+
+import (
+	"testing"
+	"time"
+
+	"msgorder/internal/transport"
+)
+
+func timerEnv(seq uint64) transport.Envelope {
+	return transport.Envelope{Src: 0, Dst: 1, Kind: transport.Data, Seq: seq}
+}
+
+// TestCloseDuringArmedWindowStopsTimer is the regression test for the
+// flush-window timer lifecycle: close() arriving while popBatch lingers
+// in an armed window must return the partial batch promptly AND leave
+// no timer scheduled on the closed outbox.
+func TestCloseDuringArmedWindowStopsTimer(t *testing.T) {
+	b := newOutbox()
+	b.push(timerEnv(1))
+	done := make(chan int, 1)
+	go func() {
+		batch, ok := b.popBatch(nil, 64, time.Hour)
+		if !ok {
+			done <- -1
+			return
+		}
+		done <- len(batch)
+	}()
+	// Let popBatch take the single envelope and arm the hour-long window.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		b.mu.Lock()
+		armed := b.timer != nil
+		b.mu.Unlock()
+		if armed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("window timer never armed")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.close()
+	select {
+	case n := <-done:
+		if n != 1 {
+			t.Fatalf("popBatch returned %d envelopes, want the partial batch of 1", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("popBatch did not return after close during an armed window")
+	}
+	b.mu.Lock()
+	leftover := b.timer
+	b.mu.Unlock()
+	if leftover != nil {
+		t.Fatal("closed outbox still holds an armed window timer")
+	}
+	if _, ok := b.popBatch(nil, 64, time.Hour); ok {
+		t.Fatal("drained closed outbox reported live")
+	}
+}
+
+// TestRetiredWindowTimerCannotExpireNextWindow hammers the Stop/fire
+// race: timers from retired windows may still fire after their window
+// ended, and the generation check must keep them from expiring a later
+// window early.
+func TestRetiredWindowTimerCannotExpireNextWindow(t *testing.T) {
+	b := newOutbox()
+	// Retire many short windows; some of their timers fire concurrently
+	// with the Stop on the wait-loop exit path.
+	for i := 0; i < 200; i++ {
+		b.push(timerEnv(uint64(i)))
+		if _, ok := b.popBatch(nil, 4, 20*time.Microsecond); !ok {
+			t.Fatal("outbox reported dead during warmup")
+		}
+	}
+	// A long window now: any stale fire landing here must be ignored, so
+	// popBatch keeps lingering until the batch actually fills.
+	b.push(timerEnv(1000))
+	done := make(chan int, 1)
+	go func() {
+		batch, _ := b.popBatch(nil, 2, time.Hour)
+		done <- len(batch)
+	}()
+	// Give every stale timer ample time to fire into the armed window.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case n := <-done:
+		t.Fatalf("window flushed %d envelope(s) early — a retired timer expired it", n)
+	default:
+	}
+	b.push(timerEnv(1001))
+	select {
+	case n := <-done:
+		if n != 2 {
+			t.Fatalf("window flushed %d envelopes, want the full batch of 2", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("popBatch never returned after the batch filled")
+	}
+	b.close()
+}

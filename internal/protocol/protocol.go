@@ -77,6 +77,13 @@ type Wire struct {
 	Ctrl uint8
 	// Tag is the piggybacked data (user wires) or control payload.
 	Tag []byte
+	// Key is the wire's ordering domain, stamped by the sharded runtime
+	// (internal/shard) so the receiving side can demultiplex onto the
+	// right per-key instance. Like VC it is harness-owned — protocols
+	// must neither read nor write it — but unlike VC it is semantic
+	// state: it is carried on the real wire, journaled, and included in
+	// the explorer's state fingerprints. NoKey on unsharded runs.
+	Key event.Key
 	// VC is the observability layer's send-time vector-clock stamp.
 	// It is set by the harness when tracing is enabled and is not part
 	// of the protocol contract: protocols must neither read nor write
@@ -219,6 +226,12 @@ func NewRecorder(n int) *Recorder {
 // NewMessage allocates the next user message id and records its invoke
 // event.
 func (r *Recorder) NewMessage(from, to event.ProcID, color event.Color) event.Message {
+	return r.NewKeyedMessage(from, to, color, event.NoKey)
+}
+
+// NewKeyedMessage is NewMessage with an ordering key: the message joins
+// key's independent ordering domain (event.NoKey = the global domain).
+func (r *Recorder) NewKeyedMessage(from, to event.ProcID, color event.Color, key event.Key) event.Message {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	m := event.Message{
@@ -226,6 +239,7 @@ func (r *Recorder) NewMessage(from, to event.ProcID, color event.Color) event.Me
 		From:  from,
 		To:    to,
 		Color: color,
+		Key:   key,
 	}
 	r.msgs = append(r.msgs, m)
 	r.procs[from] = append(r.procs[from], event.E(m.ID, event.Invoke))

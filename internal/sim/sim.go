@@ -67,6 +67,10 @@ type Request struct {
 	From, To  event.ProcID
 	Color     event.Color
 	Broadcast bool
+	// Key places the message in an independent ordering domain
+	// (event.NoKey = the global domain). Only sharded protocol runtimes
+	// (internal/shard) act on it; plain protocols ignore it.
+	Key event.Key
 }
 
 // Result is the outcome of a stopped network.
@@ -534,7 +538,7 @@ func (nw *Network) Invoke(req Request) error {
 			if event.ProcID(to) == req.From {
 				continue
 			}
-			msgs = append(msgs, nw.rec.NewMessage(req.From, event.ProcID(to), req.Color))
+			msgs = append(msgs, nw.rec.NewKeyedMessage(req.From, event.ProcID(to), req.Color, req.Key))
 		}
 		if len(msgs) == 0 {
 			nw.mu.Unlock()
@@ -551,7 +555,7 @@ func (nw *Network) Invoke(req Request) error {
 		}
 		return nil
 	}
-	m := nw.rec.NewMessage(req.From, req.To, req.Color)
+	m := nw.rec.NewKeyedMessage(req.From, req.To, req.Color, req.Key)
 	nw.work.add(1)
 	nw.mu.Unlock()
 	nw.probe.Invoke(m)

@@ -15,6 +15,7 @@ import (
 
 	"msgorder/internal/check"
 	"msgorder/internal/classify"
+	"msgorder/internal/event"
 	"msgorder/internal/predicate"
 	"msgorder/internal/userview"
 )
@@ -116,6 +117,43 @@ func (s *Spec) Satisfied(r *userview.Run) bool {
 		return false
 	}
 	_, bad := s.Check(r)
+	return !bad
+}
+
+// KeyViolation is a Violation located in one ordering domain.
+type KeyViolation struct {
+	Key event.Key
+	Violation
+}
+
+// CheckPerKey tests the run's ordering domains independently: each
+// per-key projection is checked against every component, and the first
+// violating domain is reported. This is the keyed reading of a
+// specification — the forbidden predicate ranges only over message
+// pairs that share an ordering key, so cross-key pairs can never
+// violate it.
+func (s *Spec) CheckPerKey(r *userview.Run) (KeyViolation, bool) {
+	for _, k := range r.Keys() {
+		proj, err := r.ProjectKey(k)
+		if err != nil {
+			// A run that validated as a whole projects cleanly; treat a
+			// failure as a violation of the domain rather than panicking.
+			return KeyViolation{Key: k}, true
+		}
+		if v, bad := s.Check(proj); bad {
+			return KeyViolation{Key: k, Violation: v}, true
+		}
+	}
+	return KeyViolation{}, false
+}
+
+// SatisfiedPerKey reports whether the complete run satisfies every
+// component within every ordering domain.
+func (s *Spec) SatisfiedPerKey(r *userview.Run) bool {
+	if !r.IsComplete() {
+		return false
+	}
+	_, bad := s.CheckPerKey(r)
 	return !bad
 }
 

@@ -22,12 +22,14 @@ package transport
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
 	"msgorder/internal/event"
 	"msgorder/internal/obs"
 	"msgorder/internal/protocol"
+	"msgorder/internal/snapio"
 )
 
 // FaultPlan configures the fault injector. Rates are probabilities in
@@ -523,6 +525,235 @@ func (r *Reliable) CancelTo(p event.ProcID) int {
 	}
 	r.progress++
 	return lost
+}
+
+// MarkAccepted replays receiver-side acceptance of sequence number seq
+// on the channel src->dst without delivering anything: the journal says
+// the wire was already accepted and handled in a previous incarnation,
+// so dedup state must reflect it or a retransmission would be re-
+// admitted as fresh (duplicate delivery) after a durable restart. The
+// contiguous high-water mark advances and the seen set is pruned
+// exactly as a live Accept would.
+func (r *Reliable) MarkAccepted(src, dst event.ProcID, seq uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ch := chanKey{src, dst}
+	if seq <= r.cum[ch] {
+		return
+	}
+	s := r.seen[ch]
+	if s == nil {
+		s = make(map[uint64]struct{})
+		r.seen[ch] = s
+	}
+	if _, dup := s[seq]; dup {
+		return
+	}
+	s[seq] = struct{}{}
+	for {
+		next := r.cum[ch] + 1
+		if _, ok := s[next]; !ok {
+			break
+		}
+		delete(s, next)
+		r.cum[ch] = next
+	}
+}
+
+// SnapshotState returns a deterministic encoding of the sublayer's
+// durable state: per-channel sender sequence counters, receiver
+// high-water marks and seen-set gaps, and the pending (unacknowledged)
+// envelopes with their full wire payloads. Equal states always encode
+// to equal bytes (all traversals are sorted), so checkpoints can be
+// compared byte-for-byte. Counters, deadlines and peer-down marks are
+// transient and excluded.
+func (r *Reliable) SnapshotState() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := &snapio.Writer{}
+	w.Byte(stateVersion)
+	chans := func(m map[chanKey]uint64) []chanKey {
+		ks := make([]chanKey, 0, len(m))
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sortChans(ks)
+		return ks
+	}
+	nextChans := chans(r.next)
+	w.Int(len(nextChans))
+	for _, ch := range nextChans {
+		w.Int(int(ch[0]))
+		w.Int(int(ch[1]))
+		w.U64(r.next[ch])
+	}
+	cumChans := chans(r.cum)
+	w.Int(len(cumChans))
+	for _, ch := range cumChans {
+		w.Int(int(ch[0]))
+		w.Int(int(ch[1]))
+		w.U64(r.cum[ch])
+	}
+	var seenChans []chanKey
+	for ch, s := range r.seen {
+		if len(s) > 0 {
+			seenChans = append(seenChans, ch)
+		}
+	}
+	sortChans(seenChans)
+	w.Int(len(seenChans))
+	for _, ch := range seenChans {
+		seqs := make([]uint64, 0, len(r.seen[ch]))
+		for seq := range r.seen[ch] {
+			seqs = append(seqs, seq)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		w.Int(int(ch[0]))
+		w.Int(int(ch[1]))
+		w.Int(len(seqs))
+		for _, seq := range seqs {
+			w.U64(seq)
+		}
+	}
+	pks := make([]pendKey, 0, len(r.pending))
+	for k := range r.pending {
+		pks = append(pks, k)
+	}
+	sort.Slice(pks, func(i, j int) bool {
+		a, b := pks[i], pks[j]
+		if a.ch != b.ch {
+			return lessChan(a.ch, b.ch)
+		}
+		return a.seq < b.seq
+	})
+	w.Int(len(pks))
+	for _, k := range pks {
+		tx := r.pending[k]
+		w.Int(int(tx.env.Src))
+		w.Int(int(tx.env.Dst))
+		w.U64(tx.env.Seq)
+		w.Int(tx.attempt)
+		appendWireState(w, tx.env.Wire)
+	}
+	return w.Out()
+}
+
+// RestoreState rebuilds the durable state captured by SnapshotState
+// onto this Reliable, replacing whatever it held. Restored pending
+// envelopes become due immediately, so the retransmission loop re-sends
+// them right away — a crash between Wrap and the first transmission
+// can no longer strand a wire forever.
+func (r *Reliable) RestoreState(b []byte) error {
+	rd := snapio.NewReader(b)
+	if v := rd.Byte(); v != stateVersion && rd.Err() == nil {
+		return fmt.Errorf("transport: unknown state version %d", v)
+	}
+	next := make(map[chanKey]uint64)
+	for n := rd.Int(); n > 0 && rd.Err() == nil; n-- {
+		ch := chanKey{event.ProcID(rd.Int()), event.ProcID(rd.Int())}
+		next[ch] = rd.U64()
+	}
+	cum := make(map[chanKey]uint64)
+	for n := rd.Int(); n > 0 && rd.Err() == nil; n-- {
+		ch := chanKey{event.ProcID(rd.Int()), event.ProcID(rd.Int())}
+		cum[ch] = rd.U64()
+	}
+	seen := make(map[chanKey]map[uint64]struct{})
+	for n := rd.Int(); n > 0 && rd.Err() == nil; n-- {
+		ch := chanKey{event.ProcID(rd.Int()), event.ProcID(rd.Int())}
+		s := make(map[uint64]struct{})
+		for k := rd.Int(); k > 0 && rd.Err() == nil; k-- {
+			s[rd.U64()] = struct{}{}
+		}
+		seen[ch] = s
+	}
+	now := time.Now()
+	pending := make(map[pendKey]*pendingTx)
+	for n := rd.Int(); n > 0 && rd.Err() == nil; n-- {
+		env := Envelope{
+			Src:  event.ProcID(rd.Int()),
+			Dst:  event.ProcID(rd.Int()),
+			Kind: Data,
+			Seq:  rd.U64(),
+		}
+		attempt := rd.Int()
+		env.Wire = readWireState(rd)
+		env.Attempt = attempt
+		pending[pendKey{chanKey{env.Src, env.Dst}, env.Seq}] = &pendingTx{
+			env: env, deadline: now, attempt: attempt,
+		}
+	}
+	if err := rd.Close(); err != nil {
+		return fmt.Errorf("transport: corrupt state snapshot: %w", err)
+	}
+	r.mu.Lock()
+	r.next = next
+	r.cum = cum
+	r.seen = seen
+	wasIdle := len(r.pending) == 0
+	r.pending = pending
+	r.progress++
+	if wasIdle && len(pending) > 0 {
+		select {
+		case r.wake <- struct{}{}:
+		default:
+		}
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// stateVersion tags the SnapshotState encoding.
+const stateVersion = 1
+
+// sortChans orders channel keys lexicographically by (src, dst).
+func sortChans(ks []chanKey) {
+	sort.Slice(ks, func(i, j int) bool { return lessChan(ks[i], ks[j]) })
+}
+
+// lessChan is the (src, dst) order on channel keys.
+func lessChan(a, b chanKey) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// appendWireState encodes a protocol wire for the state snapshot.
+func appendWireState(w *snapio.Writer, wire protocol.Wire) {
+	w.Int(int(wire.From))
+	w.Int(int(wire.To))
+	w.Byte(byte(wire.Kind))
+	w.Byte(wire.Ctrl)
+	w.Int(int(wire.Msg))
+	w.Int(int(wire.Color))
+	w.U64(uint64(wire.Key))
+	w.Bytes(wire.Tag)
+	w.Int(len(wire.VC))
+	for _, v := range wire.VC {
+		w.U64(v)
+	}
+}
+
+// readWireState decodes a protocol wire from the state snapshot.
+func readWireState(rd *snapio.Reader) protocol.Wire {
+	wire := protocol.Wire{
+		From: event.ProcID(rd.Int()),
+		To:   event.ProcID(rd.Int()),
+		Kind: protocol.WireKind(rd.Byte()),
+		Ctrl: rd.Byte(),
+		Msg:  event.MsgID(rd.Int()),
+	}
+	wire.Color = event.Color(rd.Int())
+	wire.Key = event.Key(rd.U64())
+	wire.Tag = rd.Bytes()
+	if n := rd.Int(); n > 0 && rd.Err() == nil {
+		wire.VC = make([]uint64, n)
+		for i := range wire.VC {
+			wire.VC[i] = rd.U64()
+		}
+	}
+	return wire
 }
 
 // Pending returns the number of unacknowledged data envelopes.

@@ -75,7 +75,7 @@ echo "== go test -race (concurrency gate) =="
 # observability registry are the concurrent core; run their suites
 # (plus the facade) under the race detector.
 go test -race ./internal/sim/... ./internal/transport/... ./internal/conformance/... \
-    ./internal/crash/... ./internal/dsim/... ./internal/obs/... .
+    ./internal/crash/... ./internal/dsim/... ./internal/obs/... ./internal/shard/... .
 
 echo "== go test -race (socket runtime gate) =="
 # The TCP mesh, its RPC layer and the mod daemon are real-concurrency
@@ -118,6 +118,14 @@ echo "== load smoke (throughput gate) =="
 # or any row reports zero throughput.
 go run ./cmd/mobench load -json -outdir "$tracetmp/load" -msgs 500 -protos tagless >/dev/null
 [ -s "$tracetmp/load/BENCH_load.json" ]
+
+echo "== shard smoke (ordering-key gate) =="
+# A short keyed open-loop run over the sharded runtime, sim and mesh:
+# the subcommand re-reads BENCH_shard.json and exits non-zero if it is
+# truncated, any row reports zero throughput, or a row ran with fewer
+# than 2 keys or 2 shards.
+go run ./cmd/mobench shard -json -outdir "$tracetmp/shard" -msgs 600 -keys 24 -shards 4 -protos fifo >/dev/null
+[ -s "$tracetmp/shard/BENCH_shard.json" ]
 
 echo "== allocation budget (steady-path gate) =="
 # The pooled encode, outbox pop and frame read paths must be
