@@ -17,15 +17,20 @@
 //	                    #      BENCH_load.json; -wal adds group-commit file WALs)
 //	mobench shard       # E14: ordering-key sharded load across independent
 //	                    #      domains (-json writes BENCH_shard.json)
+//	mobench obs         # E15: observability-plane overhead — traced vs untraced
+//	                    #      load, scraped fleet timelines, contended locks
+//	                    #      (-json writes BENCH_obs.json)
 //	mobench bench       # write BENCH_*.json snapshots (-outdir picks the directory)
 //	mobench all         # every table experiment
 //
 // Global flags (before the subcommand):
 //
-//	-json          emit machine-readable JSON instead of tables
-//	               (explore, overhead, scaling, faults)
-//	-cpuprofile f  write a CPU profile to f
-//	-memprofile f  write a heap profile to f on exit
+//	-json             emit machine-readable JSON instead of tables
+//	                  (explore, overhead, scaling, faults)
+//	-cpuprofile f     write a CPU profile to f
+//	-memprofile f     write a heap profile to f on exit
+//	-mutex-fraction n sample 1/n mutex contention events into the mutex profile
+//	-block-rate n     sample goroutine blocking events of ≥ n ns
 package main
 
 import (
@@ -77,6 +82,8 @@ type options struct {
 	json       bool
 	cpuprofile string
 	memprofile string
+	mutexFrac  int
+	blockRate  int
 }
 
 func run(args []string) error {
@@ -85,8 +92,16 @@ func run(args []string) error {
 	fs.BoolVar(&opt.json, "json", false, "emit JSON instead of tables (explore, overhead, scaling, faults)")
 	fs.StringVar(&opt.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&opt.memprofile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.IntVar(&opt.mutexFrac, "mutex-fraction", 0, "sample 1/n mutex contention events (0 leaves profiling off)")
+	fs.IntVar(&opt.blockRate, "block-rate", 0, "sample blocking events ≥ n ns (0 leaves profiling off)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if opt.mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(opt.mutexFrac)
+	}
+	if opt.blockRate > 0 {
+		runtime.SetBlockProfileRate(opt.blockRate)
 	}
 	args = fs.Args()
 	if len(args) == 0 {
@@ -158,6 +173,8 @@ func run(args []string) error {
 		return loadCmd(args[1:])
 	case "shard":
 		return shardCmd(args[1:])
+	case "obs":
+		return obsCmd(args[1:])
 	}
 	fn, ok := cmds[args[0]]
 	if !ok {

@@ -175,7 +175,8 @@ func writeBench(outdir, name, experiment string, rows any) error {
 
 // benchCmd regenerates the machine-readable benchmark snapshots at the
 // repo root (or -outdir): BENCH_explore.json, BENCH_faults.json,
-// BENCH_crashes.json, BENCH_net.json and BENCH_shard.json.
+// BENCH_crashes.json, BENCH_net.json, BENCH_shard.json and
+// BENCH_obs.json.
 func benchCmd(args []string) error {
 	fs := flag.NewFlagSet("mobench bench", flag.ContinueOnError)
 	outdir := fs.String("outdir", ".", "directory to write BENCH_*.json into")
@@ -210,5 +211,8 @@ func benchCmd(args []string) error {
 	if err := writeBench(*outdir, "BENCH_net.json", "E12 cross-runtime net matrix", netRows); err != nil {
 		return err
 	}
-	return benchShard(*outdir)
+	if err := benchShard(*outdir); err != nil {
+		return err
+	}
+	return benchObs(*outdir)
 }

@@ -24,12 +24,15 @@
 //	mod ready id=0 proto=causal-rst mesh=... client=... http=...
 //
 // — which drivers parse to learn the bound client socket. -http serves
-// /metrics (JSON counter/histogram snapshot) and /trace (NDJSON causal
-// trace export).
+// the fleetobs observability surface: /metrics (JSON counter/histogram
+// snapshot; Prometheus text with ?format=prom), /trace (NDJSON causal
+// trace export with ?since= incremental cursor), /healthz, and
+// /debug/pprof. With -mutex-fraction/-block-rate set, /metrics also
+// carries a contention summary — the top contended locks by cumulative
+// delay — refreshed on every scrape.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -37,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -44,6 +48,7 @@ import (
 	"msgorder/internal/catalog"
 	"msgorder/internal/classify"
 	"msgorder/internal/event"
+	"msgorder/internal/fleetobs"
 	"msgorder/internal/modrpc"
 	"msgorder/internal/netmesh"
 	"msgorder/internal/obs"
@@ -164,9 +169,17 @@ func run(args []string, out io.Writer) error {
 		dropRate   = fs.Float64("drop", 0, "loopback-experiment fault plan: envelope drop probability")
 		dupRate    = fs.Float64("dup", 0, "loopback-experiment fault plan: envelope duplication probability")
 		faultSeed  = fs.Int64("fault-seed", 1, "fault plan seed")
+		mutexFrac  = fs.Int("mutex-fraction", 0, "runtime mutex profile fraction (SetMutexProfileFraction; 0 = off); enables the contention summary in /metrics")
+		blockRate  = fs.Int("block-rate", 0, "runtime block profile rate in ns (SetBlockProfileRate; 0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
 	}
 	addrs := strings.Split(*peers, ",")
 	if *peers == "" || len(addrs) < 2 {
@@ -228,7 +241,7 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-http: %w", err)
 		}
 		httpBound = ln.Addr().String()
-		srv := &http.Server{Handler: obsMux(metrics, collector)}
+		srv := &http.Server{Handler: fleetobs.Mux(metrics, collector)}
 		go srv.Serve(ln)
 		defer srv.Close()
 	}
@@ -253,24 +266,4 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "mod exit id=%d delivered=%d user=%d control=%d retransmits=%d recoveries=%d\n",
 		*id, len(node.Deliveries()), s.UserMessages, s.ControlMessages, s.Retransmits, s.Recoveries)
 	return nil
-}
-
-// obsMux serves the observability endpoints: /metrics is the counter
-// and histogram snapshot as JSON, /trace the causal trace as NDJSON.
-func obsMux(metrics *obs.Registry, collector *obs.Collector) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(metrics.Snapshot())
-	})
-	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		obs.WriteNDJSON(w, collector.Records())
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	return mux
 }

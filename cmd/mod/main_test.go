@@ -325,14 +325,37 @@ func TestHTTPObservability(t *testing.T) {
 	if resp.StatusCode != 200 || !strings.Contains(string(body[:n]), "counters") {
 		t.Fatalf("/metrics status %d body %q", resp.StatusCode, body[:n])
 	}
-	resp, err = http.Get(base + "/trace")
+	resp, err = http.Get(base + "/metrics?format=prom")
 	if err != nil {
 		t.Fatal(err)
 	}
 	n, _ = resp.Body.Read(body)
 	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body[:n]), "# TYPE") {
+		t.Fatalf("/metrics?format=prom status %d body %q", resp.StatusCode, body[:n])
+	}
+	resp, err = http.Get(base + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ = resp.Body.Read(body)
+	next := resp.Header.Get("X-Trace-Next")
+	resp.Body.Close()
 	if resp.StatusCode != 200 || !strings.Contains(string(body[:n]), "\"op\"") {
 		t.Fatalf("/trace status %d body %q", resp.StatusCode, body[:n])
+	}
+	if next == "" || next == "0" {
+		t.Fatalf("/trace cursor header = %q, want a positive cursor", next)
+	}
+	// An up-to-date cursor yields an empty incremental scrape.
+	resp, err = http.Get(base + "/trace?since=" + next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ = resp.Body.Read(body)
+	resp.Body.Close()
+	if strings.TrimSpace(string(body[:n])) != "" {
+		t.Fatalf("caught-up /trace?since=%s returned %q", next, body[:n])
 	}
 }
 

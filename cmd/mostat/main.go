@@ -1,0 +1,172 @@
+// Command mostat is the fleet observability top: point it at a set of
+// mod daemons' -http endpoints and it polls their /metrics and /trace
+// surfaces, merges the per-process causal traces into one fleet
+// timeline, and renders a live dashboard — fleet-wide msgs/sec,
+// per-protocol inhibition p50/p99, end-to-end latency attribution
+// (inhibition vs transport vs queue), per-key skew for sharded fleets,
+// and the top contended locks when the daemons run with
+// -mutex-fraction/-block-rate.
+//
+// Usage:
+//
+//	mostat -targets http://127.0.0.1:9100,http://127.0.0.1:9101
+//	mostat -targets ... -snapshot -json   # one sample as JSON (for mobench)
+//
+// Interactive mode redraws every -interval; -count bounds the number
+// of samples (0 = until interrupted). The -snapshot mode polls once
+// and exits, with -json emitting the fleetobs.Status struct verbatim —
+// the shape mobench's E15 rows embed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"msgorder/internal/fleetobs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mostat:", err)
+		os.Exit(1)
+	}
+}
+
+// normalizeTargets turns "-targets host:port,..." into base URLs.
+func normalizeTargets(s string) ([]string, error) {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		if !strings.HasPrefix(t, "http://") && !strings.HasPrefix(t, "https://") {
+			t = "http://" + t
+		}
+		out = append(out, strings.TrimRight(t, "/"))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-targets needs at least one daemon base URL")
+	}
+	return out, nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mostat", flag.ContinueOnError)
+	var (
+		targets  = fs.String("targets", "", "comma-separated mod -http endpoints (host:port or full URLs)")
+		interval = fs.Duration("interval", 2*time.Second, "poll interval in interactive mode")
+		count    = fs.Int("count", 0, "number of samples to take (0 = until interrupted)")
+		snapshot = fs.Bool("snapshot", false, "poll once, print, and exit")
+		jsonOut  = fs.Bool("json", false, "with -snapshot: emit the sample as JSON")
+		topK     = fs.Int("topk", 5, "entries to keep in the skew and contention tables")
+		noClear  = fs.Bool("no-clear", false, "do not clear the screen between samples")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	bases, err := normalizeTargets(*targets)
+	if err != nil {
+		return err
+	}
+	fleet := fleetobs.NewFleet(bases)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		<-sigc
+		cancel()
+	}()
+
+	if *snapshot {
+		st, err := fleet.Status(ctx, *topK, nil, 0)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(st)
+		}
+		render(out, st, false)
+		return nil
+	}
+
+	var prev *fleetobs.Status
+	last := time.Now()
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for i := 0; *count == 0 || i < *count; i++ {
+		now := time.Now()
+		st, err := fleet.Status(ctx, *topK, prev, now.Sub(last))
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		last = now
+		render(out, st, !*noClear)
+		prev = &st
+		if *count != 0 && i == *count-1 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+		}
+	}
+	return nil
+}
+
+// render draws one sample as the top-like dashboard.
+func render(out io.Writer, st fleetobs.Status, clear bool) {
+	if clear {
+		fmt.Fprint(out, "\033[2J\033[H")
+	}
+	fmt.Fprintf(out, "mostat — %d daemons · %d delivered · %.0f msgs/s\n",
+		st.Targets, st.Deliveries, st.MsgsPerSec)
+	if err := st.Check.Err(); err != nil {
+		fmt.Fprintf(out, "TIMELINE INVALID: %v\n", err)
+	} else {
+		fmt.Fprintf(out, "timeline: %d events, %d msgs, causally valid\n", st.Check.Events, st.Check.Msgs)
+	}
+	if len(st.Inhibition) > 0 {
+		fmt.Fprintf(out, "\n%-16s %12s %12s %12s %12s\n", "protocol", "inh.send p50", "p99", "inh.dlv p50", "p99")
+		for _, pi := range st.Inhibition {
+			fmt.Fprintf(out, "%-16s %12d %12d %12d %12d\n",
+				pi.Proto, pi.SendP50, pi.SendP99, pi.DeliverP50, pi.DeliverP99)
+		}
+	}
+	if st.Attribution.Msgs > 0 {
+		a := st.Attribution
+		fmt.Fprintf(out, "\nlatency attribution over %d msgs (p50/p99 µs · share)\n", a.Msgs)
+		fmt.Fprintf(out, "  total     %8d %8d\n", a.Total.P50, a.Total.P99)
+		fmt.Fprintf(out, "  inhibit   %8d %8d   %5.1f%%\n", a.Inhibit.P50, a.Inhibit.P99, a.Inhibit.Share*100)
+		fmt.Fprintf(out, "  transport %8d %8d   %5.1f%%\n", a.Transport.P50, a.Transport.P99, a.Transport.Share*100)
+		fmt.Fprintf(out, "  queue     %8d %8d   %5.1f%%\n", a.Queue.P50, a.Queue.P99, a.Queue.Share*100)
+	}
+	if st.Skew.Deliveries > 0 {
+		fmt.Fprintf(out, "\nkey skew: %d domains, max share %.1f%%\n", st.Skew.Keys, st.Skew.MaxShare*100)
+		for _, kl := range st.Skew.Top {
+			fmt.Fprintf(out, "  k%-16x %8d (%.1f%%)\n", uint64(kl.Key), kl.Deliveries, kl.Share*100)
+		}
+	}
+	if len(st.Contention) > 0 {
+		fmt.Fprintf(out, "\ncontention leaders (cumulative delay µs)\n")
+		for _, cl := range st.Contention {
+			fmt.Fprintf(out, "  %-48s %12d\n", cl.Name, cl.DelayUS)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"msgorder/internal/event"
+	"msgorder/internal/fleetobs"
+	"msgorder/internal/obs"
+	"msgorder/internal/protocol"
+)
+
+// fakeDaemon serves a fleetobs mux over a registry/collector carrying
+// one delivered message's worth of real probe records.
+func fakeDaemon(t *testing.T, timebase int64) *httptest.Server {
+	t.Helper()
+	reg := obs.NewRegistry()
+	col := obs.NewCollector()
+	reg.Gauge(obs.TimebaseGauge, timebase)
+	step := int64(0)
+	p := obs.NewProbe(2, col, reg, "fifo", func() int64 { return step })
+	m := event.Message{ID: 0, From: 0, To: 1, Key: event.KeyOf("orders")}
+	p.Invoke(m)
+	w := protocol.Wire{From: 0, To: 1, Kind: protocol.UserWire, Msg: 0, Key: m.Key}
+	step = 4
+	p.Send(&w)
+	step = 9
+	p.Receive(w)
+	step = 11
+	p.Deliver(1, 0)
+	srv := httptest.NewServer(fleetobs.Mux(reg, col))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	srv := fakeDaemon(t, 5000)
+	var buf bytes.Buffer
+	if err := run([]string{"-targets", srv.URL, "-snapshot", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var st fleetobs.Status
+	if err := json.Unmarshal(buf.Bytes(), &st); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v\n%s", err, buf.String())
+	}
+	if st.Targets != 1 || st.Deliveries != 1 {
+		t.Fatalf("status = %+v, want 1 target / 1 delivery", st)
+	}
+	if st.Attribution.Msgs != 1 || st.Attribution.Total.P50 != 11 {
+		t.Fatalf("attribution = %+v, want 1 msg total 11", st.Attribution)
+	}
+	if len(st.Inhibition) != 1 || st.Inhibition[0].Proto != "fifo" {
+		t.Fatalf("inhibition table = %+v", st.Inhibition)
+	}
+	if st.Skew.Keys != 1 {
+		t.Fatalf("skew = %+v, want the one keyed domain", st.Skew)
+	}
+	if err := st.Check.Err(); err != nil {
+		t.Fatalf("single-daemon timeline invalid: %v", err)
+	}
+}
+
+func TestInteractiveCount(t *testing.T) {
+	srv := fakeDaemon(t, 0)
+	var buf bytes.Buffer
+	err := run([]string{"-targets", srv.URL, "-count", "2", "-interval", "10ms", "-no-clear"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "mostat —") != 2 {
+		t.Fatalf("want 2 rendered samples, got:\n%s", out)
+	}
+	if !strings.Contains(out, "causally valid") {
+		t.Fatalf("render missing validation line:\n%s", out)
+	}
+	if !strings.Contains(out, "latency attribution") || !strings.Contains(out, "key skew") {
+		t.Fatalf("render missing sections:\n%s", out)
+	}
+}
+
+func TestTargetNormalization(t *testing.T) {
+	got, err := normalizeTargets(" 127.0.0.1:9100 ,http://h:1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "http://127.0.0.1:9100" || got[1] != "http://h:1" {
+		t.Fatalf("normalized = %v", got)
+	}
+	if _, err := normalizeTargets(" , "); err == nil {
+		t.Fatal("empty targets accepted")
+	}
+}

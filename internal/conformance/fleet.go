@@ -1,0 +1,215 @@
+// Fleet-traced runs: the observability-plane conformance half. A
+// loopback TCP mesh runs with per-node tracing on and each node's
+// observability surface served over real HTTP; a fleet scraper polls
+// the daemons while the workload drains, and the scraped per-node
+// traces are merged into one causal fleet timeline. The gate is that
+// the merged timeline is a run at all — every receive causally follows
+// a send scraped from a *different* node's endpoint, with zero orphans
+// — plus complete: every invoked message carries a delivery record.
+// Latency attribution and hot-key skew come from the same merged
+// timeline, so the numbers the tooling reports are backed by a
+// validated reconstruction, not trusted counters.
+package conformance
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"msgorder/internal/event"
+	"msgorder/internal/fleetobs"
+	"msgorder/internal/netmesh"
+	"msgorder/internal/obs"
+	"msgorder/internal/shard"
+	"msgorder/internal/transport"
+	"msgorder/internal/userview"
+)
+
+// FleetTraceConfig shapes one fleet-traced mesh run.
+type FleetTraceConfig struct {
+	// Procs is the mesh size (default 3).
+	Procs int
+	// Msgs is the workload length (default 200).
+	Msgs int
+	// Seed drives the workload shape (default 1).
+	Seed int64
+	// Timeout bounds the drain after the last invoke (default 60s).
+	Timeout time.Duration
+	// Keys, when nonzero, stamps the workload with that many ordering
+	// domains and runs the sharded runtime — the hot-key skew input.
+	Keys int
+	// TopK is how many heavy-hitter domains the skew report keeps
+	// (default 5).
+	TopK int
+}
+
+func (c FleetTraceConfig) withDefaults() FleetTraceConfig {
+	if c.Procs == 0 {
+		c.Procs = 3
+	}
+	if c.Msgs == 0 {
+		c.Msgs = 200
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.TopK == 0 {
+		c.TopK = 5
+	}
+	return c
+}
+
+// FleetTraceResult is one fleet-traced run: the merged-timeline
+// validation verdict plus the analyses computed from it.
+type FleetTraceResult struct {
+	// Protocol is the catalog protocol driven.
+	Protocol string `json:"protocol"`
+	// Msgs is the workload length; Procs the mesh size.
+	Msgs  int `json:"msgs"`
+	Procs int `json:"procs"`
+	// Events is the merged fleet timeline's record count.
+	Events int `json:"events"`
+	// Check is the causal validation outcome (Check.Err() == nil is
+	// the gate).
+	Check fleetobs.Check `json:"check"`
+	// Attribution decomposes end-to-end latency across the fleet.
+	Attribution fleetobs.Attribution `json:"attribution"`
+	// Skew reports per-domain delivery counts for keyed runs.
+	Skew fleetobs.SkewReport `json:"skew"`
+	// Polls is how many scrape rounds the fleet poller made.
+	Polls int `json:"polls"`
+	// ElapsedMs is first-invoke→last-delivery wall time.
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// RunFleetTraced drives a workload through an instrumented loopback
+// mesh, scrapes every node's live observability endpoints (including
+// incremental /trace cursors mid-run), merges the scraped traces into
+// one causal fleet timeline and validates it. The returned result's
+// Check.Err() is nil iff the merged timeline is causally valid with
+// zero orphaned receives and every invoked message was delivered.
+func RunFleetTraced(p NetProtocol, cfg FleetTraceConfig) (FleetTraceResult, error) {
+	cfg = cfg.withDefaults()
+	maker := p.Maker
+	var msgs []event.Message
+	if cfg.Keys > 0 {
+		maker = shard.New(p.Maker)
+		msgs = ShardWorkload(NetMatrixConfig{Procs: cfg.Procs, Msgs: cfg.Msgs, Seed: cfg.Seed}, p.Colors, cfg.Keys)
+	} else {
+		msgs = LoadWorkload(LoadConfig{Procs: cfg.Procs, Msgs: cfg.Msgs, Seed: cfg.Seed}, p.Colors)
+	}
+	addrs, err := meshPorts(cfg.Procs)
+	if err != nil {
+		return FleetTraceResult{}, err
+	}
+	fpName := p.Name
+	if cfg.Keys > 0 {
+		fpName = "sharded-" + p.Name
+	}
+	fp := netmesh.Fingerprint(fpName, "fleettrace", cfg.Procs)
+
+	nodes := make([]*netmesh.Node, cfg.Procs)
+	servers := make([]*http.Server, cfg.Procs)
+	urls := make([]string, cfg.Procs)
+	defer func() {
+		for _, s := range servers {
+			if s != nil {
+				s.Close()
+			}
+		}
+		for _, n := range nodes {
+			if n != nil {
+				n.Close()
+			}
+		}
+	}()
+	for i := range nodes {
+		collector := obs.NewCollector()
+		metrics := obs.NewRegistry()
+		n, err := netmesh.NewNode(netmesh.NodeConfig{
+			Self:  event.ProcID(i),
+			Procs: cfg.Procs,
+			Maker: maker,
+			Mesh: netmesh.MeshConfig{
+				Addrs: addrs, Fingerprint: fp, Seed: cfg.Seed + int64(i),
+			},
+			Transport: transport.Config{RTO: 250 * time.Millisecond, MaxRTO: 2 * time.Second},
+			Tracer:    collector,
+			Metrics:   metrics,
+		})
+		if err != nil {
+			return FleetTraceResult{}, fmt.Errorf("fleettrace %s: node %d: %w", p.Name, i, err)
+		}
+		nodes[i] = n
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return FleetTraceResult{}, fmt.Errorf("fleettrace %s: obs listener: %w", p.Name, err)
+		}
+		srv := &http.Server{Handler: fleetobs.Mux(metrics, collector)}
+		go srv.Serve(ln)
+		servers[i] = srv
+		urls[i] = "http://" + ln.Addr().String()
+	}
+
+	fleet := fleetobs.NewFleet(urls)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+	defer cancel()
+
+	start := time.Now()
+	want := make([]int, cfg.Procs)
+	polls := 0
+	for i, m := range msgs {
+		if err := nodes[m.From].Invoke(m); err != nil {
+			return FleetTraceResult{}, fmt.Errorf("fleettrace %s: invoke m%d: %w", p.Name, m.ID, err)
+		}
+		want[m.To]++
+		// Scrape mid-run a few times so the incremental cursors are
+		// exercised against live daemons, not just the quiesced state.
+		if i%(len(msgs)/3+1) == len(msgs)/3 {
+			if _, _, err := fleet.Poll(ctx); err != nil {
+				return FleetTraceResult{}, fmt.Errorf("fleettrace %s: live scrape: %w", p.Name, err)
+			}
+			polls++
+		}
+	}
+	for i, n := range nodes {
+		if err := n.WaitDeliveries(want[i], cfg.Timeout); err != nil {
+			return FleetTraceResult{}, fmt.Errorf("fleettrace %s: %w", p.Name, err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	procEvents := make([][]event.Event, cfg.Procs)
+	for i, n := range nodes {
+		if err := n.Err(); err != nil {
+			return FleetTraceResult{}, fmt.Errorf("fleettrace %s: P%d: %w", p.Name, i, err)
+		}
+		procEvents[i] = n.Events()
+	}
+	if _, err := userview.New(msgs, procEvents); err != nil {
+		return FleetTraceResult{}, fmt.Errorf("fleettrace %s: run invalid: %w", p.Name, err)
+	}
+
+	// Final scrape picks up everything after the last mid-run cursor.
+	if _, _, err := fleet.Poll(ctx); err != nil {
+		return FleetTraceResult{}, fmt.Errorf("fleettrace %s: final scrape: %w", p.Name, err)
+	}
+	polls++
+
+	tl := fleet.Timeline()
+	out := FleetTraceResult{
+		Protocol: p.Name, Msgs: len(msgs), Procs: cfg.Procs,
+		Events:    len(tl.Events),
+		Check:     tl.Validate(true),
+		Polls:     polls,
+		ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+	}
+	out.Attribution = fleetobs.Summarize(fleetobs.Attribute(tl))
+	out.Skew = fleetobs.Skew(tl, cfg.TopK)
+	return out, nil
+}

@@ -10,6 +10,7 @@ package conformance
 import (
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -43,6 +44,11 @@ type LoadConfig struct {
 	// GroupCommit enables group-commit batching on file-backed
 	// journals (no effect without WALDir).
 	GroupCommit bool
+	// Traced gives every mesh node its own obs collector and metrics
+	// registry — the full tracing pipeline the fleet observability
+	// plane scrapes — so traced and untraced runs of the same workload
+	// measure the instrumentation overhead (sim runtime ignores it).
+	Traced bool
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -67,6 +73,8 @@ func (c LoadConfig) withDefaults() LoadConfig {
 type LoadResult struct {
 	// Runtime is "sim" or "mesh".
 	Runtime string `json:"runtime"`
+	// Traced records whether the run carried per-node obs tracing.
+	Traced bool `json:"traced,omitempty"`
 	// Protocol is the catalog protocol driven.
 	Protocol string `json:"protocol"`
 	// Msgs is the workload length.
@@ -224,12 +232,24 @@ func RunLoadMesh(p NetProtocol, cfg LoadConfig) (LoadResult, error) {
 				ncfg.WALGroupCommit = &crash.GroupCommit{}
 			}
 		}
+		if cfg.Traced {
+			// Capped like a long-running daemon's collector: tracing cost
+			// is the steady-state ring write, not unbounded buffering.
+			ncfg.Tracer = obs.NewCollectorCap(1 << 10)
+			ncfg.Metrics = obs.NewRegistry()
+		}
 		n, err := netmesh.NewNode(ncfg)
 		if err != nil {
 			return LoadResult{}, fmt.Errorf("load %s: node %d: %w", p.Name, i, err)
 		}
 		nodes[i] = n
 	}
+
+	// Quiesce the heap before timing: the previous run's validation
+	// garbage (userview builds a full reachability matrix) otherwise
+	// leaks GC assist debt into this run's timed region, and the noise
+	// lands on whichever arm of an overhead comparison runs second.
+	runtime.GC()
 
 	start := time.Now()
 	want := make([]int, cfg.Procs)
@@ -247,7 +267,7 @@ func RunLoadMesh(p NetProtocol, cfg LoadConfig) (LoadResult, error) {
 	}
 	elapsed := time.Since(start)
 
-	out := LoadResult{Runtime: "mesh", Protocol: p.Name, Msgs: len(msgs)}
+	out := LoadResult{Runtime: "mesh", Protocol: p.Name, Msgs: len(msgs), Traced: cfg.Traced}
 	procEvents := make([][]event.Event, cfg.Procs)
 	for i, n := range nodes {
 		if err := n.Err(); err != nil {

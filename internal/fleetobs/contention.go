@@ -1,0 +1,201 @@
+package fleetobs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
+
+	"msgorder/internal/obs"
+)
+
+// LockSite is one contended synchronization site aggregated from a
+// runtime mutex or block profile: the code location that waited and
+// how long it waited in total.
+type LockSite struct {
+	// Frame is the most informative stack frame of the site — the
+	// first non-runtime, non-sync frame, i.e. the code that was
+	// actually contending.
+	Frame string
+	// DelayUS is the cumulative delay attributed to the site in
+	// microseconds.
+	DelayUS int64
+	// Count is the number of sampled contention events.
+	Count int64
+}
+
+// frameSymbol extracts the function symbol from a pprof debug=1 frame
+// line ("#\t0xADDR\tpkg.Func+0xOFF\tfile:line").
+func frameSymbol(line string) string {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return ""
+	}
+	sym := fields[2]
+	if i := strings.LastIndex(sym, "+0x"); i > 0 {
+		sym = sym[:i]
+	}
+	return sym
+}
+
+// interestingFrame reports whether a symbol names contending user
+// code rather than the synchronization machinery itself.
+func interestingFrame(sym string) bool {
+	return sym != "" &&
+		!strings.HasPrefix(sym, "sync.") &&
+		!strings.HasPrefix(sym, "runtime.") &&
+		!strings.HasPrefix(sym, "internal/")
+}
+
+// ParseContention parses a runtime mutex or block profile in pprof's
+// debug=1 text form into lock sites sorted by cumulative delay,
+// heaviest first. Sites resolving to the same display frame are
+// merged.
+func ParseContention(r io.Reader) ([]LockSite, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var cyclesPerSecond float64
+	byFrame := make(map[string]*LockSite)
+	var cur *LockSite // site awaiting its display frame
+	var curCycles float64
+	flush := func(frame string) {
+		if cur == nil {
+			return
+		}
+		if frame == "" {
+			frame = "(unresolved)"
+		}
+		delayUS := int64(0)
+		if cyclesPerSecond > 0 {
+			delayUS = int64(curCycles / cyclesPerSecond * 1e6)
+		}
+		s := byFrame[frame]
+		if s == nil {
+			s = &LockSite{Frame: frame}
+			byFrame[frame] = s
+		}
+		s.DelayUS += delayUS
+		s.Count += cur.Count
+		cur = nil
+	}
+	var pendingFrame string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "---"):
+			continue
+		case strings.Contains(line, "cycles/second="):
+			v := line[strings.Index(line, "cycles/second=")+len("cycles/second="):]
+			if f, err := strconv.ParseFloat(strings.Fields(v)[0], 64); err == nil {
+				cyclesPerSecond = f
+			}
+		case strings.HasPrefix(strings.TrimSpace(line), "#"):
+			if cur == nil {
+				continue
+			}
+			sym := frameSymbol(line)
+			if pendingFrame == "" && sym != "" {
+				pendingFrame = sym // fallback: first symbolized frame
+			}
+			if interestingFrame(sym) {
+				flush(sym)
+				pendingFrame = ""
+			}
+		default:
+			// A new sample line ends the previous site's frame search.
+			flush(pendingFrame)
+			pendingFrame = ""
+			fields := strings.Fields(line)
+			if len(fields) < 3 || fields[2] != "@" {
+				continue
+			}
+			cycles, err1 := strconv.ParseFloat(fields[0], 64)
+			count, err2 := strconv.ParseInt(fields[1], 10, 64)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			cur = &LockSite{Count: count}
+			curCycles = cycles
+		}
+	}
+	flush(pendingFrame)
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sites := make([]LockSite, 0, len(byFrame))
+	for _, s := range byFrame {
+		sites = append(sites, *s)
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].DelayUS != sites[j].DelayUS {
+			return sites[i].DelayUS > sites[j].DelayUS
+		}
+		return sites[i].Frame < sites[j].Frame
+	})
+	return sites, nil
+}
+
+// TopContended returns the n heaviest sites (the input is already
+// sorted by ParseContention).
+func TopContended(sites []LockSite, n int) []LockSite {
+	if n > len(sites) {
+		n = len(sites)
+	}
+	return sites[:n]
+}
+
+// contentionTopN is how many lock sites PublishContention surfaces as
+// gauges per profile.
+const contentionTopN = 5
+
+// gaugeFrame flattens a frame symbol into a metric-name segment.
+func gaugeFrame(sym string) string {
+	return strings.NewReplacer("/", "_", "(", "", ")", "", "*", "").Replace(sym)
+}
+
+// PublishContention refreshes the contention-summary gauges in a
+// registry from the process's own runtime profiles: for each of the
+// mutex and block profiles (when profiling is active and has samples)
+// it publishes the top contended sites as
+// "contention.<profile>.<frame>.delay_us" gauges plus
+// "contention.<profile>.total_delay_us" and ".sites" rollups. A nil
+// registry, or profiling left at its default-off rates, publishes
+// nothing — the daemon opts in with -mutex-fraction / -block-rate.
+func PublishContention(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	if runtime.SetMutexProfileFraction(-1) > 0 {
+		publishProfile(reg, "mutex")
+	}
+	publishProfile(reg, "block")
+}
+
+func publishProfile(reg *obs.Registry, name string) {
+	p := pprof.Lookup(name)
+	if p == nil || p.Count() == 0 {
+		return
+	}
+	var buf bytes.Buffer
+	if err := p.WriteTo(&buf, 1); err != nil {
+		return
+	}
+	sites, err := ParseContention(&buf)
+	if err != nil {
+		return
+	}
+	var total int64
+	for _, s := range sites {
+		total += s.DelayUS
+	}
+	reg.Gauge(fmt.Sprintf("contention.%s.total_delay_us", name), total)
+	reg.Gauge(fmt.Sprintf("contention.%s.sites", name), int64(len(sites)))
+	for _, s := range TopContended(sites, contentionTopN) {
+		reg.Gauge(fmt.Sprintf("contention.%s.%s.delay_us", name, gaugeFrame(s.Frame)), s.DelayUS)
+	}
+}

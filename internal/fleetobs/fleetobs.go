@@ -1,0 +1,242 @@
+// Package fleetobs is the fleet-wide observability plane: it scrapes
+// the per-daemon observability endpoints (metrics snapshots and causal
+// trace records), rebases every process's local timebase onto one
+// shared wall-clock axis, and merges the per-process traces into a
+// single causal fleet timeline that can be validated (every receive
+// causally follows its send), attributed (where each message's
+// end-to-end latency went), and profiled (which ordering domains and
+// which locks are hot).
+//
+// The merge is the fleet-scale version of what internal/obs does for a
+// single harness: obs records each process's view of a run; fleetobs
+// reconstructs the run itself — the partial order the paper studies —
+// from those per-process fragments. Vector clocks make the
+// reconstruction checkable: the component sum of a record's clock is
+// strictly monotone along happens-before, so sorting by it yields a
+// valid linear extension, and any receive whose clock does not
+// dominate its send's clock is evidence of a broken trace, not a
+// plausible reordering.
+package fleetobs
+
+import (
+	"fmt"
+	"sort"
+
+	"msgorder/internal/event"
+	"msgorder/internal/obs"
+)
+
+// NodeTrace is one daemon's contribution to a fleet timeline: the
+// records scraped from its collector plus the wall-clock origin of its
+// Step timebase (the obs.TimebaseGauge gauge, microseconds). Records
+// keep the Proc they were emitted with — a daemon only emits records
+// for events it locally observed, so Proc identifies the process even
+// after merging.
+type NodeTrace struct {
+	// TimebaseUS is the node's Step origin as Unix microseconds; 0
+	// means the records are already on a shared axis (deterministic
+	// simulators, single-process runs).
+	TimebaseUS int64
+	// Records are the node's trace records in emission order.
+	Records []obs.Record
+}
+
+// Event is one record of a merged fleet timeline, rebased onto the
+// shared wall-clock axis.
+type Event struct {
+	// GlobalUS is the record's timestamp rebased to Unix microseconds
+	// (TimebaseUS + Step); for simulator traces it is the raw step.
+	GlobalUS int64
+	// Node is the index of the NodeTrace the record came from.
+	Node int
+	// Seq is the record's emission index within its node, the
+	// tie-breaker that keeps merges deterministic.
+	Seq int
+	// Record is the original trace record.
+	Record obs.Record
+}
+
+// Timeline is a merged fleet timeline: the union of several nodes'
+// records ordered by a valid linear extension of happens-before.
+type Timeline struct {
+	// Events is the merged record sequence. Records carrying vector
+	// clocks are ordered by clock-component sum (monotone along
+	// happens-before); ties and clockless records order by rebased
+	// global time, then node, then emission index.
+	Events []Event
+}
+
+// vcSum returns the happens-before-monotone sort key of a record: the
+// component sum of its vector clock, or -1 for clockless records
+// (spans, transport faults) so they sort by time alone within their
+// neighborhood.
+func vcSum(r obs.Record) int64 {
+	if r.VC == nil {
+		return -1
+	}
+	var s int64
+	for _, x := range r.VC {
+		s += int64(x)
+	}
+	return s
+}
+
+// Merge combines per-node traces into one fleet timeline. Each node's
+// records are rebased by its timebase and the union is sorted into a
+// linear extension of the causal order: primary key clock sum (for
+// stamped records), secondary rebased time, then node and emission
+// index for determinism. Merge never fails — Validate reports whether
+// the merged timeline is causally consistent.
+func Merge(nodes []NodeTrace) *Timeline {
+	var evs []Event
+	for ni, n := range nodes {
+		for si, r := range n.Records {
+			evs = append(evs, Event{
+				GlobalUS: n.TimebaseUS + r.Step,
+				Node:     ni,
+				Seq:      si,
+				Record:   r,
+			})
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		si, sj := vcSum(evs[i].Record), vcSum(evs[j].Record)
+		switch {
+		case si >= 0 && sj >= 0 && si != sj:
+			return si < sj
+		case evs[i].GlobalUS != evs[j].GlobalUS:
+			return evs[i].GlobalUS < evs[j].GlobalUS
+		case evs[i].Node != evs[j].Node:
+			return evs[i].Node < evs[j].Node
+		default:
+			return evs[i].Seq < evs[j].Seq
+		}
+	})
+	return &Timeline{Events: evs}
+}
+
+// Check is the outcome of validating a merged timeline.
+type Check struct {
+	// Events is the merged record count; Msgs the distinct user
+	// messages seen.
+	Events, Msgs int
+	// Sends, Receives, Delivers count the user-message lifecycle
+	// records in the timeline.
+	Sends, Receives, Delivers int
+	// OrphanReceives counts receives of messages no node ever sent —
+	// each one is a hole in the scraped trace.
+	OrphanReceives int
+	// CausalViolations counts receives whose vector clock fails to
+	// dominate every matching send's clock — evidence the merged
+	// timeline is not a run at all.
+	CausalViolations int
+	// Undelivered counts invoked messages with no delivery record
+	// (only meaningful for quiesced runs scraped to completion).
+	Undelivered int
+	// Problems holds human-readable detail for the first few failures.
+	Problems []string
+}
+
+const maxProblems = 8
+
+func (c *Check) problem(format string, args ...any) {
+	if len(c.Problems) < maxProblems {
+		c.Problems = append(c.Problems, fmt.Sprintf(format, args...))
+	}
+}
+
+// Err returns nil for a causally valid (and, when requireDelivery was
+// set, complete) timeline, or an error summarizing what failed.
+func (c Check) Err() error {
+	if c.OrphanReceives == 0 && c.CausalViolations == 0 && c.Undelivered == 0 {
+		return nil
+	}
+	return fmt.Errorf("fleetobs: invalid timeline: %d orphan receives, %d causal violations, %d undelivered (first problems: %v)",
+		c.OrphanReceives, c.CausalViolations, c.Undelivered, c.Problems)
+}
+
+// Validate checks the merged timeline's cross-process causal
+// consistency: every user-message receive must be preceded by a send
+// of the same message whose vector clock the receive dominates (the
+// receive merged the send's stamp, so send.VC ≤ receive.VC must hold
+// across processes). With requireDelivery set it additionally demands
+// every invoked message carry a delivery record — the completeness
+// check for quiesced runs.
+func (tl *Timeline) Validate(requireDelivery bool) Check {
+	c := Check{Events: len(tl.Events)}
+	type msgState struct {
+		sends     []obs.Record
+		invoked   bool
+		delivered bool
+	}
+	msgs := make(map[event.MsgID]*msgState)
+	state := func(m event.MsgID) *msgState {
+		s := msgs[m]
+		if s == nil {
+			s = &msgState{}
+			msgs[m] = s
+		}
+		return s
+	}
+	// First pass: collect every send so receives are checked against
+	// the whole fleet's sends, not just those sorted earlier — a
+	// mis-stamped receive must surface as a causal violation, not hide
+	// as an orphan.
+	for _, ev := range tl.Events {
+		if r := ev.Record; r.Op == obs.OpSend && r.Msg != obs.NoMsg {
+			c.Sends++
+			s := state(r.Msg)
+			s.sends = append(s.sends, r)
+		}
+	}
+	for _, ev := range tl.Events {
+		r := ev.Record
+		if r.Msg == obs.NoMsg {
+			continue
+		}
+		switch r.Op {
+		case obs.OpInvoke:
+			state(r.Msg).invoked = true
+		case obs.OpReceive:
+			c.Receives++
+			s := state(r.Msg)
+			if len(s.sends) == 0 {
+				c.OrphanReceives++
+				c.problem("receive of m%d at P%d with no send in any node's trace", r.Msg, r.Proc)
+				continue
+			}
+			// A receive is causally placed if at least one send of the
+			// message happens-before it. (Broadcast protocols emit one
+			// send per destination; retransmit dups re-receive the same
+			// stamp.)
+			ok := false
+			for _, snd := range s.sends {
+				if snd.VC == nil || r.VC == nil {
+					ok = true // clockless emitter: nothing to check
+					break
+				}
+				if snd.VC.LessEq(r.VC) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				c.CausalViolations++
+				c.problem("receive of m%d at P%d (vc %v) does not dominate any send stamp", r.Msg, r.Proc, r.VC)
+			}
+		case obs.OpDeliver:
+			c.Delivers++
+			state(r.Msg).delivered = true
+		}
+	}
+	c.Msgs = len(msgs)
+	if requireDelivery {
+		for m, s := range msgs {
+			if s.invoked && !s.delivered {
+				c.Undelivered++
+				c.problem("m%d invoked but never delivered", m)
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,252 @@
+package fleetobs
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"msgorder/internal/event"
+	"msgorder/internal/obs"
+	"msgorder/internal/protocol"
+	"msgorder/internal/vc"
+)
+
+// twoNodeTraces fabricates the per-node traces of one message sent
+// from P0 to P1 across two daemons with different timebases, the
+// minimal cross-process causal exchange.
+func twoNodeTraces() []NodeTrace {
+	send := vc.Vector{2, 0}
+	recv := vc.Vector{2, 1}
+	deliver := vc.Vector{2, 2}
+	n0 := NodeTrace{TimebaseUS: 1000, Records: []obs.Record{
+		{Step: 0, Proc: 0, Op: obs.OpInvoke, Msg: 0, VC: vc.Vector{1, 0}},
+		{Step: 5, Proc: 0, Op: obs.OpSend, Msg: 0, VC: send},
+		{Step: 0, Dur: 5, Proc: 0, Op: obs.OpInhibitSend, Msg: 0},
+	}}
+	n1 := NodeTrace{TimebaseUS: 900, Records: []obs.Record{
+		{Step: 140, Proc: 1, Op: obs.OpReceive, Msg: 0, VC: recv},
+		{Step: 160, Proc: 1, Op: obs.OpDeliver, Msg: 0, VC: deliver},
+		{Step: 140, Dur: 20, Proc: 1, Op: obs.OpInhibitDeliver, Msg: 0},
+	}}
+	return []NodeTrace{n0, n1}
+}
+
+func TestMergeOrdersCausally(t *testing.T) {
+	tl := Merge(twoNodeTraces())
+	if len(tl.Events) != 6 {
+		t.Fatalf("merged %d events, want 6", len(tl.Events))
+	}
+	// The stamped lifecycle must come out invoke < send < receive <
+	// deliver even though node 1's rebased receive (1040) is later than
+	// node 0's send (1005) only thanks to the timebase rebasing.
+	order := make(map[obs.Op]int)
+	for i, ev := range tl.Events {
+		if ev.Record.VC != nil {
+			order[ev.Record.Op] = i
+		}
+	}
+	if !(order[obs.OpInvoke] < order[obs.OpSend] &&
+		order[obs.OpSend] < order[obs.OpReceive] &&
+		order[obs.OpReceive] < order[obs.OpDeliver]) {
+		t.Fatalf("merged order not a linear extension: %v", order)
+	}
+	if c := tl.Validate(true); c.Err() != nil {
+		t.Fatalf("valid timeline rejected: %v", c.Err())
+	}
+}
+
+func TestValidateCatchesOrphansAndViolations(t *testing.T) {
+	nodes := twoNodeTraces()
+	// Drop node 0 entirely: node 1's receive becomes an orphan.
+	c := Merge(nodes[1:]).Validate(false)
+	if c.OrphanReceives != 1 {
+		t.Fatalf("orphan receives = %d, want 1 (check: %+v)", c.OrphanReceives, c)
+	}
+	if c.Err() == nil {
+		t.Fatal("orphaned timeline passed validation")
+	}
+
+	// Corrupt the receive stamp so it no longer dominates the send.
+	nodes = twoNodeTraces()
+	nodes[1].Records[0].VC = vc.Vector{0, 1}
+	c = Merge(nodes).Validate(false)
+	if c.CausalViolations != 1 {
+		t.Fatalf("causal violations = %d, want 1 (check: %+v)", c.CausalViolations, c)
+	}
+
+	// Drop the deliver: completeness check must flag it.
+	nodes = twoNodeTraces()
+	nodes[1].Records = nodes[1].Records[:1]
+	c = Merge(nodes).Validate(true)
+	if c.Undelivered != 1 {
+		t.Fatalf("undelivered = %d, want 1 (check: %+v)", c.Undelivered, c)
+	}
+}
+
+func TestAttribute(t *testing.T) {
+	tl := Merge(twoNodeTraces())
+	lats := Attribute(tl)
+	if len(lats) != 1 {
+		t.Fatalf("attributed %d messages, want 1", len(lats))
+	}
+	l := lats[0]
+	// Global times: invoke 1000, send 1005, receive 1040, deliver 1060.
+	if l.TotalUS != 60 {
+		t.Fatalf("total = %d, want 60", l.TotalUS)
+	}
+	if l.InhibitUS != 25 { // 5 send-side + 20 deliver-side
+		t.Fatalf("inhibit = %d, want 25", l.InhibitUS)
+	}
+	if l.TransportUS != 35 { // 1040 - 1005
+		t.Fatalf("transport = %d, want 35", l.TransportUS)
+	}
+	if l.QueueUS != 0 {
+		t.Fatalf("queue = %d, want 0", l.QueueUS)
+	}
+	a := Summarize(lats)
+	if a.Msgs != 1 || a.Total.P50 != 60 || a.Total.Max != 60 {
+		t.Fatalf("summary wrong: %+v", a)
+	}
+	if a.Inhibit.Share < 0.4 || a.Inhibit.Share > 0.42 {
+		t.Fatalf("inhibit share = %v, want 25/60", a.Inhibit.Share)
+	}
+}
+
+func TestSkew(t *testing.T) {
+	hot, cold := event.KeyOf("hot"), event.KeyOf("cold")
+	var recs []obs.Record
+	for i := 0; i < 9; i++ {
+		recs = append(recs, obs.Record{Op: obs.OpDeliver, Msg: event.MsgID(i), Key: hot})
+	}
+	recs = append(recs, obs.Record{Op: obs.OpDeliver, Msg: 9, Key: cold})
+	recs = append(recs, obs.Record{Op: obs.OpDeliver, Msg: 10}) // unkeyed: ignored
+	rep := Skew(Merge([]NodeTrace{{Records: recs}}), 1)
+	if rep.Keys != 2 || rep.Deliveries != 10 {
+		t.Fatalf("skew counted %d keys / %d deliveries, want 2/10", rep.Keys, rep.Deliveries)
+	}
+	if len(rep.Top) != 1 || rep.Top[0].Key != hot || rep.Top[0].Deliveries != 9 {
+		t.Fatalf("top-1 = %+v, want hot key with 9", rep.Top)
+	}
+	if rep.MaxShare != 0.9 {
+		t.Fatalf("max share = %v, want 0.9", rep.MaxShare)
+	}
+	if empty := Skew(&Timeline{}, 3); empty.Keys != 0 || len(empty.Top) != 0 {
+		t.Fatalf("empty skew report not empty: %+v", empty)
+	}
+}
+
+const mutexProfileFixture = `--- mutex:
+cycles/second=1000000000
+sampling period=1
+2000000000 4 @ 0x4851ac 0x52f98d 0x46d301
+#	0x4851ab	sync.(*Mutex).Unlock+0x6b	/go/src/sync/mutex.go:223
+#	0x52f98c	msgorder/internal/netmesh.(*Node).handle+0x12c	/root/repo/internal/netmesh/node.go:500
+#	0x46d300	runtime.goexit+0x0	/go/src/runtime/asm.s:1650
+500000000 2 @ 0x4851ac 0x51aa01 0x46d301
+#	0x4851ab	sync.(*Mutex).Unlock+0x6b	/go/src/sync/mutex.go:223
+#	0x51aa00	msgorder/internal/transport.(*Endpoint).pump+0x80	/root/repo/internal/transport/transport.go:300
+#	0x46d300	runtime.goexit+0x0	/go/src/runtime/asm.s:1650
+`
+
+func TestParseContention(t *testing.T) {
+	sites, err := ParseContention(strings.NewReader(mutexProfileFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 2 {
+		t.Fatalf("parsed %d sites, want 2: %+v", len(sites), sites)
+	}
+	top := sites[0]
+	if !strings.Contains(top.Frame, "netmesh.(*Node).handle") {
+		t.Fatalf("top frame = %q, want the netmesh handler (sync/runtime frames skipped)", top.Frame)
+	}
+	if top.DelayUS != 2000000 || top.Count != 4 {
+		t.Fatalf("top site = %+v, want 2s delay / 4 events", top)
+	}
+	if sites[1].DelayUS != 500000 {
+		t.Fatalf("second site delay = %d, want 500000", sites[1].DelayUS)
+	}
+	if got := TopContended(sites, 1); len(got) != 1 || got[0].Frame != top.Frame {
+		t.Fatalf("TopContended(1) = %+v", got)
+	}
+}
+
+// TestMuxAndClient drives the daemon-side handler end to end through
+// the scrape client: JSON and Prometheus metrics, trace cursors, and
+// the fleet poller's merged timeline.
+func TestMuxAndClient(t *testing.T) {
+	reg := obs.NewRegistry()
+	col := obs.NewCollector()
+	reg.Gauge(obs.TimebaseGauge, 1000)
+	step := int64(0)
+	p := obs.NewProbe(2, col, reg, "fifo", func() int64 { return step })
+	m := event.Message{ID: 0, From: 0, To: 1}
+	p.Invoke(m)
+	w := protocol.Wire{From: 0, To: 1, Kind: protocol.UserWire, Msg: 0}
+	step = 5
+	p.Send(&w)
+	step = 10
+	p.Receive(w)
+	step = 12
+	p.Deliver(1, 0)
+
+	srv := httptest.NewServer(Mux(reg, col))
+	defer srv.Close()
+	ctx := context.Background()
+	c := &Client{Base: srv.URL}
+
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Gauges[obs.TimebaseGauge] != 1000 {
+		t.Fatalf("scraped timebase = %d, want 1000", snap.Gauges[obs.TimebaseGauge])
+	}
+	if _, ok := snap.Histograms["deliver.latency.steps.fifo"]; !ok {
+		t.Fatalf("scraped snapshot missing latency histogram: %v", snap.Names())
+	}
+
+	recs, next, err := c.TraceSince(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || next != col.Seq() {
+		t.Fatalf("trace scrape = %d recs next %d (collector seq %d)", len(recs), next, col.Seq())
+	}
+	if recs2, next2, err := c.TraceSince(ctx, next); err != nil || len(recs2) != 0 || next2 != next {
+		t.Fatalf("caught-up scrape = %d recs next %d err %v", len(recs2), next2, err)
+	}
+
+	// Prometheus negotiation.
+	resp, err := c.get(ctx, "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if !strings.Contains(string(body[:n]), "# TYPE") {
+		t.Fatalf("prom exposition missing TYPE lines: %q", body[:100])
+	}
+
+	// Fleet poll: one-node fleet, merged timeline must validate.
+	f := NewFleet([]string{srv.URL})
+	merged, nodes, err := f.Poll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].Trace.TimebaseUS != 1000 {
+		t.Fatalf("fleet poll nodes = %+v", nodes)
+	}
+	if merged.Gauges[obs.TimebaseGauge] != 1000 {
+		t.Fatal("merged snapshot lost timebase gauge")
+	}
+	if chk := f.Timeline().Validate(true); chk.Err() != nil {
+		t.Fatalf("fleet timeline invalid: %v", chk.Err())
+	}
+	// A second poll pulls nothing new (cursor advanced).
+	if _, nodes, err = f.Poll(ctx); err != nil || len(nodes[0].Trace.Records) != 0 {
+		t.Fatalf("incremental poll re-fetched %d records (err %v)", len(nodes[0].Trace.Records), err)
+	}
+}

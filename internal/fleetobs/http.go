@@ -1,0 +1,262 @@
+package fleetobs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+
+	"msgorder/internal/obs"
+)
+
+// TraceCursorHeader is the response header on /trace carrying the next
+// scrape cursor: pass its value back as ?since= to receive only
+// records emitted after this response.
+const TraceCursorHeader = "X-Trace-Next"
+
+// wantsProm reports whether a /metrics request asked for the
+// Prometheus text exposition instead of the JSON default — either
+// explicitly (?format=prom) or via Accept content negotiation.
+func wantsProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "openmetrics")
+}
+
+// Mux builds the daemon-side observability HTTP handler shared by
+// cmd/mod and the in-process conformance meshes:
+//
+//   - /metrics — registry snapshot; JSON by default, Prometheus text
+//     exposition with ?format=prom or an Accept header asking for
+//     text/plain. When contention profiling is active (see
+//     EnableContention) the snapshot includes the refreshed
+//     top-contended-lock gauges.
+//   - /trace — the causal trace as NDJSON. ?since=<cursor> returns
+//     only records numbered at or after the cursor; the response's
+//     X-Trace-Next header carries the cursor to resume from.
+//   - /healthz — liveness.
+//   - /debug/pprof/... — the runtime profiles, notably /debug/pprof/mutex
+//     and /debug/pprof/block for remote contention profiling.
+func Mux(metrics *obs.Registry, collector *obs.Collector) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		PublishContention(metrics)
+		snap := metrics.Snapshot()
+		if wantsProm(r) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			obs.WritePrometheus(w, snap)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		recs := collector.Records()
+		next := collector.Seq()
+		if q := r.URL.Query().Get("since"); q != "" {
+			since, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since cursor: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			recs, next = collector.RecordsSince(since)
+		}
+		w.Header().Set(TraceCursorHeader, strconv.FormatUint(next, 10))
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		obs.WriteNDJSON(w, recs)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Client scrapes one daemon's observability endpoints.
+type Client struct {
+	// Base is the daemon's HTTP base URL, e.g. "http://127.0.0.1:9001".
+	Base string
+	// HTTP is the client to use (nil: http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) cli() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.cli().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		return nil, fmt.Errorf("fleetobs: GET %s%s: %s: %s", c.Base, path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return resp, nil
+}
+
+// Metrics fetches the daemon's metrics snapshot (JSON form).
+func (c *Client) Metrics(ctx context.Context) (obs.Snapshot, error) {
+	resp, err := c.get(ctx, "/metrics")
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	var s obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return obs.Snapshot{}, fmt.Errorf("fleetobs: decoding %s/metrics: %w", c.Base, err)
+	}
+	return s, nil
+}
+
+// TraceSince fetches the daemon's trace records numbered since and
+// later, returning the records and the cursor to resume from. Pass 0
+// to fetch everything buffered.
+func (c *Client) TraceSince(ctx context.Context, since uint64) ([]obs.Record, uint64, error) {
+	resp, err := c.get(ctx, fmt.Sprintf("/trace?since=%d", since))
+	if err != nil {
+		return nil, since, err
+	}
+	defer resp.Body.Close()
+	next := since
+	if h := resp.Header.Get(TraceCursorHeader); h != "" {
+		if v, err := strconv.ParseUint(h, 10, 64); err == nil {
+			next = v
+		}
+	}
+	var recs []obs.Record
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var r obs.Record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return nil, since, fmt.Errorf("fleetobs: decoding %s/trace line: %w", c.Base, err)
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, since, err
+	}
+	return recs, next, nil
+}
+
+// Contention fetches and parses one of the daemon's contention
+// profiles ("mutex" or "block") via /debug/pprof.
+func (c *Client) Contention(ctx context.Context, profile string) ([]LockSite, error) {
+	resp, err := c.get(ctx, "/debug/pprof/"+profile+"?debug=1")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return ParseContention(resp.Body)
+}
+
+// Scrape is one node's full observability pull: metrics snapshot plus
+// the trace records since the caller's cursor, already wrapped as a
+// NodeTrace with the timebase read from the snapshot.
+type Scrape struct {
+	// Snapshot is the node's metrics at scrape time.
+	Snapshot obs.Snapshot
+	// Trace is the node's records since the request cursor, with
+	// TimebaseUS filled from the obs.TimebaseGauge gauge.
+	Trace NodeTrace
+	// Next is the trace cursor to pass to the following Scrape.
+	Next uint64
+}
+
+// ScrapeNode pulls metrics and trace from one daemon in a single
+// logical operation.
+func (c *Client) ScrapeNode(ctx context.Context, since uint64) (Scrape, error) {
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		return Scrape{}, err
+	}
+	recs, next, err := c.TraceSince(ctx, since)
+	if err != nil {
+		return Scrape{}, err
+	}
+	return Scrape{
+		Snapshot: snap,
+		Trace:    NodeTrace{TimebaseUS: snap.Gauges[obs.TimebaseGauge], Records: recs},
+		Next:     next,
+	}, nil
+}
+
+// Fleet scrapes a set of daemons and maintains per-node trace cursors
+// so repeated polls pull only new records.
+type Fleet struct {
+	// Clients are the per-daemon scrapers, one per fleet member.
+	Clients []*Client
+	cursors []uint64
+	// accumulated per-node records across polls, so Merged timelines
+	// stay complete even though each poll is incremental.
+	traces []NodeTrace
+}
+
+// NewFleet builds a fleet scraper over the given base URLs.
+func NewFleet(bases []string) *Fleet {
+	f := &Fleet{
+		cursors: make([]uint64, len(bases)),
+		traces:  make([]NodeTrace, len(bases)),
+	}
+	for _, b := range bases {
+		f.Clients = append(f.Clients, &Client{Base: b})
+	}
+	return f
+}
+
+// Poll scrapes every fleet member once, advancing trace cursors, and
+// returns the merged metrics snapshot for this round alongside the
+// per-node snapshots. Trace records accumulate inside the Fleet; call
+// Timeline for the merged view.
+func (f *Fleet) Poll(ctx context.Context) (merged obs.Snapshot, nodes []Scrape, err error) {
+	reg := obs.NewRegistry()
+	for i, c := range f.Clients {
+		s, serr := c.ScrapeNode(ctx, f.cursors[i])
+		if serr != nil {
+			return obs.Snapshot{}, nodes, serr
+		}
+		f.cursors[i] = s.Next
+		f.traces[i].TimebaseUS = s.Trace.TimebaseUS
+		f.traces[i].Records = append(f.traces[i].Records, s.Trace.Records...)
+		reg.MergeSnapshot(s.Snapshot)
+		nodes = append(nodes, s)
+	}
+	return reg.Snapshot(), nodes, nil
+}
+
+// Timeline merges every record accumulated so far into one fleet
+// timeline.
+func (f *Fleet) Timeline() *Timeline {
+	return Merge(f.traces)
+}

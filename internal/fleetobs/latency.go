@@ -1,0 +1,216 @@
+package fleetobs
+
+import (
+	"sort"
+
+	"msgorder/internal/event"
+	"msgorder/internal/obs"
+)
+
+// MsgLatency decomposes one delivered message's end-to-end latency
+// (invoke at the source to deliver at the destination, on the rebased
+// global axis) into where the time actually went:
+//
+//   - Inhibit: protocol-imposed waiting — the send-side inhibition span
+//     (held between invoke and send) plus the delivery-side span (held
+//     between receive and deliver). This is the cost the paper's
+//     inhibition hierarchy is about.
+//   - Transport: time on the wire and in the reliable sublayer,
+//     send execution to receive arrival (includes retransmit delays).
+//   - Queue: the remainder — inbox queueing, handler scheduling, and
+//     clock skew the rebasing could not remove. Clamped at zero.
+type MsgLatency struct {
+	// Msg is the message; Key its ordering domain (event.NoKey when
+	// unkeyed).
+	Msg event.MsgID
+	Key event.Key
+	// From and To are the source and destination processes.
+	From, To event.ProcID
+	// TotalUS is deliver minus invoke on the global axis.
+	TotalUS int64
+	// InhibitUS, TransportUS and QueueUS are the attribution segments;
+	// they sum to TotalUS up to clamping.
+	InhibitUS, TransportUS, QueueUS int64
+}
+
+func clampPos(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Attribute decomposes every delivered message in the timeline. A
+// message must carry invoke, send, receive and deliver records to be
+// attributable; partially scraped messages are skipped. For broadcast
+// protocols each (message, destination) pair attributes separately.
+func Attribute(tl *Timeline) []MsgLatency {
+	type side struct {
+		invoke, send       int64
+		hasInvoke, hasSend bool
+		from               event.ProcID
+		key                event.Key
+		inhibitSend        int64
+		recv, deliver      map[event.ProcID]int64
+		inhibitDeliver     map[event.ProcID]int64
+	}
+	msgs := make(map[event.MsgID]*side)
+	state := func(m event.MsgID) *side {
+		s := msgs[m]
+		if s == nil {
+			s = &side{
+				recv:           make(map[event.ProcID]int64),
+				deliver:        make(map[event.ProcID]int64),
+				inhibitDeliver: make(map[event.ProcID]int64),
+			}
+			msgs[m] = s
+		}
+		return s
+	}
+	for _, ev := range tl.Events {
+		r := ev.Record
+		if r.Msg == obs.NoMsg {
+			continue
+		}
+		s := state(r.Msg)
+		if r.Key != event.NoKey {
+			s.key = r.Key
+		}
+		switch r.Op {
+		case obs.OpInvoke:
+			if !s.hasInvoke {
+				s.invoke, s.hasInvoke, s.from = ev.GlobalUS, true, r.Proc
+			}
+		case obs.OpSend:
+			if !s.hasSend {
+				s.send, s.hasSend = ev.GlobalUS, true
+			}
+		case obs.OpReceive:
+			if _, ok := s.recv[r.Proc]; !ok {
+				s.recv[r.Proc] = ev.GlobalUS
+			}
+		case obs.OpDeliver:
+			if _, ok := s.deliver[r.Proc]; !ok {
+				s.deliver[r.Proc] = ev.GlobalUS
+			}
+		case obs.OpInhibitSend:
+			s.inhibitSend += r.Dur
+		case obs.OpInhibitDeliver:
+			s.inhibitDeliver[r.Proc] += r.Dur
+		}
+	}
+	var out []MsgLatency
+	for m, s := range msgs {
+		if !s.hasInvoke || !s.hasSend {
+			continue
+		}
+		for proc, dg := range s.deliver {
+			rg, ok := s.recv[proc]
+			if !ok {
+				continue
+			}
+			total := dg - s.invoke
+			inhibit := s.inhibitSend + s.inhibitDeliver[proc]
+			transport := clampPos(rg - s.send)
+			out = append(out, MsgLatency{
+				Msg: m, Key: s.key, From: s.from, To: proc,
+				TotalUS:     total,
+				InhibitUS:   inhibit,
+				TransportUS: transport,
+				QueueUS:     clampPos(total - inhibit - transport),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Msg != out[j].Msg {
+			return out[i].Msg < out[j].Msg
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// SegmentSummary is the distribution of one attribution segment across
+// a set of delivered messages, in microseconds.
+type SegmentSummary struct {
+	// P50, P99 and Max are quantiles of the segment; Mean its average.
+	P50, P99, Max int64
+	Mean          float64
+	// Share is the segment's fraction of total end-to-end time summed
+	// across all messages (0..1).
+	Share float64
+}
+
+// Attribution aggregates per-message latency decompositions.
+type Attribution struct {
+	// Msgs is the number of attributed (message, destination) pairs.
+	Msgs int
+	// Total, Inhibit, Transport and Queue summarize each segment.
+	Total, Inhibit, Transport, Queue SegmentSummary
+}
+
+// quantile returns the q-quantile of vals (nearest-rank); vals may be
+// unsorted and is not modified.
+func quantile(vals []int64, q float64) int64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), vals...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	idx := int(q*float64(len(s))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+func summarize(vals []int64, totalSum int64) SegmentSummary {
+	var sum, max int64
+	for _, v := range vals {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	ss := SegmentSummary{
+		P50: quantile(vals, 0.50),
+		P99: quantile(vals, 0.99),
+		Max: max,
+	}
+	if len(vals) > 0 {
+		ss.Mean = float64(sum) / float64(len(vals))
+	}
+	if totalSum > 0 {
+		ss.Share = float64(sum) / float64(totalSum)
+	}
+	return ss
+}
+
+// Summarize aggregates a set of per-message decompositions into
+// segment distributions and shares.
+func Summarize(lats []MsgLatency) Attribution {
+	a := Attribution{Msgs: len(lats)}
+	var total, inhibit, transport, queue []int64
+	var totalSum int64
+	for _, l := range lats {
+		total = append(total, l.TotalUS)
+		inhibit = append(inhibit, l.InhibitUS)
+		transport = append(transport, l.TransportUS)
+		queue = append(queue, l.QueueUS)
+		totalSum += l.TotalUS
+	}
+	a.Total = summarize(total, totalSum)
+	a.Inhibit = summarize(inhibit, totalSum)
+	a.Transport = summarize(transport, totalSum)
+	a.Queue = summarize(queue, totalSum)
+	return a
+}

@@ -1,0 +1,67 @@
+package fleetobs
+
+import (
+	"sort"
+
+	"msgorder/internal/event"
+	"msgorder/internal/obs"
+)
+
+// KeyLoad is one ordering domain's delivery volume in a timeline.
+type KeyLoad struct {
+	// Key is the ordering domain.
+	Key event.Key
+	// Deliveries is the number of deliver records carrying the key.
+	Deliveries int
+	// Share is Deliveries over all keyed deliveries (0..1).
+	Share float64
+}
+
+// SkewReport describes hot-key skew in a sharded run: how unevenly the
+// delivered traffic spread over ordering domains.
+type SkewReport struct {
+	// Keys is the number of distinct ordering domains seen; Deliveries
+	// the keyed deliver records counted.
+	Keys, Deliveries int
+	// Top holds the K heaviest domains, heaviest first.
+	Top []KeyLoad
+	// MaxShare is Top[0].Share (0 with no keyed traffic) — 1/Keys for
+	// a perfectly uniform load, approaching 1 as one domain dominates.
+	MaxShare float64
+}
+
+// Skew counts deliver records per ordering domain across the merged
+// timeline and reports the top-k heavy hitters. Unkeyed deliveries are
+// ignored — an unsharded run produces an empty report.
+func Skew(tl *Timeline, k int) SkewReport {
+	counts := make(map[event.Key]int)
+	total := 0
+	for _, ev := range tl.Events {
+		r := ev.Record
+		if r.Op != obs.OpDeliver || r.Key == event.NoKey {
+			continue
+		}
+		counts[r.Key]++
+		total++
+	}
+	rep := SkewReport{Keys: len(counts), Deliveries: total}
+	if total == 0 {
+		return rep
+	}
+	loads := make([]KeyLoad, 0, len(counts))
+	for key, n := range counts {
+		loads = append(loads, KeyLoad{Key: key, Deliveries: n, Share: float64(n) / float64(total)})
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].Deliveries != loads[j].Deliveries {
+			return loads[i].Deliveries > loads[j].Deliveries
+		}
+		return loads[i].Key < loads[j].Key
+	})
+	if k > len(loads) {
+		k = len(loads)
+	}
+	rep.Top = loads[:k]
+	rep.MaxShare = loads[0].Share
+	return rep
+}

@@ -1,0 +1,152 @@
+package fleetobs
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"time"
+
+	"msgorder/internal/obs"
+)
+
+// perKeySuffix reports whether a metric name carries the ".k<hex>"
+// per-domain suffix obs.Probe appends for keyed messages — those are
+// excluded from fleet aggregates to avoid double counting.
+func perKeySuffix(name string) bool {
+	i := strings.LastIndex(name, ".k")
+	if i < 0 || i+2 >= len(name) {
+		return false
+	}
+	for _, c := range name[i+2:] {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ProtoInhibition is one protocol's inhibition-span quantiles across
+// the fleet, in the emitting harness's step unit (microseconds for
+// live meshes).
+type ProtoInhibition struct {
+	// Proto is the protocol label from the histogram name.
+	Proto string `json:"proto"`
+	// SendP50/SendP99 summarize send-side inhibition (invoke→send
+	// holds); DeliverP50/DeliverP99 the delivery side (receive→deliver
+	// holds).
+	SendP50    int64 `json:"send_p50,omitempty"`
+	SendP99    int64 `json:"send_p99,omitempty"`
+	DeliverP50 int64 `json:"deliver_p50,omitempty"`
+	DeliverP99 int64 `json:"deliver_p99,omitempty"`
+}
+
+// ContentionLeader is one entry of the fleet's top-contended-lock
+// table, read back from the contention gauges the daemons publish.
+type ContentionLeader struct {
+	// Name is the gauge-flattened lock site, prefixed by its profile
+	// ("mutex." or "block.").
+	Name string `json:"name"`
+	// DelayUS is the site's cumulative contention delay.
+	DelayUS int64 `json:"delay_us"`
+}
+
+// Status is one fleet-wide observability sample: what mostat renders
+// per tick and what its -snapshot -json mode emits for mobench.
+type Status struct {
+	// Targets is the fleet size polled.
+	Targets int `json:"targets"`
+	// Deliveries is the cumulative fleet-wide delivered-message count
+	// (per-protocol latency histogram counts, per-key variants
+	// excluded).
+	Deliveries int64 `json:"deliveries"`
+	// MsgsPerSec is the delivery rate since the previous sample (0 on
+	// the first).
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+	// Inhibition is the per-protocol inhibition quantile table.
+	Inhibition []ProtoInhibition `json:"inhibition,omitempty"`
+	// Attribution decomposes end-to-end latency over the merged
+	// timeline accumulated so far.
+	Attribution Attribution `json:"attribution"`
+	// Skew is the per-domain delivery skew over the merged timeline.
+	Skew SkewReport `json:"skew"`
+	// Contention is the fleet's top contended locks by cumulative
+	// delay.
+	Contention []ContentionLeader `json:"contention,omitempty"`
+	// Check is the merged timeline's causal validation outcome.
+	Check Check `json:"check"`
+}
+
+// statusFromSnapshot derives the snapshot-scoped parts of a Status.
+func statusFromSnapshot(s obs.Snapshot, topK int) Status {
+	st := Status{}
+	protos := make(map[string]*ProtoInhibition)
+	proto := func(name, prefix string) *ProtoInhibition {
+		p := strings.TrimPrefix(name, prefix)
+		pi := protos[p]
+		if pi == nil {
+			pi = &ProtoInhibition{Proto: p}
+			protos[p] = pi
+		}
+		return pi
+	}
+	for name, h := range s.Histograms {
+		if perKeySuffix(name) {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(name, "deliver.latency.steps."):
+			st.Deliveries += h.Count
+		case strings.HasPrefix(name, "inhibit.send.steps."):
+			pi := proto(name, "inhibit.send.steps.")
+			pi.SendP50, pi.SendP99 = h.Quantile(0.50), h.Quantile(0.99)
+		case strings.HasPrefix(name, "inhibit.deliver.steps."):
+			pi := proto(name, "inhibit.deliver.steps.")
+			pi.DeliverP50, pi.DeliverP99 = h.Quantile(0.50), h.Quantile(0.99)
+		}
+	}
+	for _, pi := range protos {
+		st.Inhibition = append(st.Inhibition, *pi)
+	}
+	sort.Slice(st.Inhibition, func(i, j int) bool { return st.Inhibition[i].Proto < st.Inhibition[j].Proto })
+	for name, v := range s.Gauges {
+		if !strings.HasPrefix(name, "contention.") || !strings.HasSuffix(name, ".delay_us") {
+			continue
+		}
+		site := strings.TrimSuffix(strings.TrimPrefix(name, "contention."), ".delay_us")
+		if strings.HasSuffix(site, ".total") || !strings.Contains(site, ".") {
+			continue // rollup gauges are not lock sites
+		}
+		st.Contention = append(st.Contention, ContentionLeader{Name: site, DelayUS: v})
+	}
+	sort.Slice(st.Contention, func(i, j int) bool {
+		if st.Contention[i].DelayUS != st.Contention[j].DelayUS {
+			return st.Contention[i].DelayUS > st.Contention[j].DelayUS
+		}
+		return st.Contention[i].Name < st.Contention[j].Name
+	})
+	if topK > 0 && len(st.Contention) > topK {
+		st.Contention = st.Contention[:topK]
+	}
+	return st
+}
+
+// Status polls the fleet once and derives a fleet-wide sample: merged
+// metrics quantiles, timeline attribution, skew and contention
+// leaders. prev and dt, when given, turn the cumulative delivery count
+// into a rate.
+func (f *Fleet) Status(ctx context.Context, topK int, prev *Status, dt time.Duration) (Status, error) {
+	merged, _, err := f.Poll(ctx)
+	if err != nil {
+		return Status{}, err
+	}
+	st := statusFromSnapshot(merged, topK)
+	st.Targets = len(f.Clients)
+	tl := f.Timeline()
+	st.Attribution = Summarize(Attribute(tl))
+	st.Skew = Skew(tl, topK)
+	st.Check = tl.Validate(false)
+	if prev != nil && dt > 0 && st.Deliveries >= prev.Deliveries {
+		st.MsgsPerSec = float64(st.Deliveries-prev.Deliveries) / dt.Seconds()
+	}
+	return st, nil
+}

@@ -216,8 +216,11 @@ func encodeEnvelopeBody(w *snapio.Writer, e transport.Envelope) {
 
 // decodeEnvelopeBody parses one envelope's fields off r. The result
 // never aliases the input buffer (Tag and VC are copied), so frame
-// read buffers can be reused.
-func decodeEnvelopeBody(r *snapio.Reader) (transport.Envelope, error) {
+// read buffers can be reused. VC stamps are carved from *arena — one
+// allocation amortized over many envelopes instead of one per stamped
+// envelope — and carved sub-slices are never recycled, so they stay
+// valid after the arena moves on.
+func decodeEnvelopeBody(r *snapio.Reader, arena *[]uint64) (transport.Envelope, error) {
 	var e transport.Envelope
 	e.Src = event.ProcID(r.Int())
 	e.Dst = event.ProcID(r.Int())
@@ -237,7 +240,11 @@ func decodeEnvelopeBody(r *snapio.Reader) (transport.Envelope, error) {
 		if n > maxFrame {
 			return transport.Envelope{}, errCorruptFrame
 		}
-		e.Wire.VC = make([]uint64, n)
+		if len(*arena) < n {
+			*arena = make([]uint64, 256*n)
+		}
+		e.Wire.VC = (*arena)[:n:n]
+		*arena = (*arena)[n:]
 		for i := range e.Wire.VC {
 			e.Wire.VC[i] = r.U64()
 		}
@@ -262,7 +269,8 @@ func decodeEnvelope(b []byte) (transport.Envelope, error) {
 	if r.Byte() != frameEnvelope {
 		return transport.Envelope{}, errCorruptFrame
 	}
-	e, err := decodeEnvelopeBody(r)
+	var arena []uint64
+	e, err := decodeEnvelopeBody(r, &arena)
 	if err != nil {
 		return transport.Envelope{}, err
 	}
@@ -302,8 +310,9 @@ func decodeBatch(b []byte) ([]transport.Envelope, error) {
 		return nil, fmt.Errorf("%w: %d-envelope batch", errCorruptFrame, n)
 	}
 	envs := make([]transport.Envelope, 0, n)
+	var arena []uint64
 	for i := 0; i < n; i++ {
-		e, err := decodeEnvelopeBody(r)
+		e, err := decodeEnvelopeBody(r, &arena)
 		if err != nil {
 			return nil, err
 		}

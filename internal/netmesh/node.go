@@ -245,6 +245,10 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		start := time.Now()
 		n.sink = &obs.Sink{Tracer: cfg.Tracer, Metrics: cfg.Metrics,
 			Now: func() int64 { return time.Since(start).Microseconds() }}
+		// The fleet observability plane rebases each process's Step
+		// timebase (µs since node start) onto a shared wall-clock axis
+		// using this gauge, so cross-process latency segments compare.
+		cfg.Metrics.Gauge(obs.TimebaseGauge, start.UnixMicro())
 	}
 	if cfg.WALPath != "" {
 		w, err := crash.OpenFileWAL(cfg.WALPath)
@@ -597,7 +601,13 @@ func (n *Node) handleBatch(envs []transport.Envelope) {
 			if !fresh {
 				continue
 			}
-			n.journal(crash.Entry{Kind: crash.EntryReceive, Wire: e.Wire, Seq: e.Seq})
+			// The journal keeps protocol state, not observability
+			// annotations: dropping the trace stamp here releases the
+			// decoder's VC arenas instead of pinning every arriving
+			// stamp in memory for the life of the run.
+			jw := e.Wire
+			jw.VC = nil
+			n.journal(crash.Entry{Kind: crash.EntryReceive, Wire: jw, Seq: e.Seq})
 			n.probe.Receive(e.Wire)
 			n.inst.OnReceive(e.Wire)
 			n.maybeCheckpoint()

@@ -88,6 +88,9 @@ func WriteChromeTrace(w io.Writer, recs []Record) error {
 			ev.Name = fmt.Sprintf("%s m%d", r.Op, r.Msg)
 			ev.Args["msg"] = int(r.Msg)
 		}
+		if r.Key != event.NoKey {
+			ev.Args["key"] = fmt.Sprintf("%x", uint64(r.Key))
+		}
 		if r.Dur > 0 {
 			d := r.Dur
 			ev.Ph, ev.S, ev.Dur = "X", "", &d

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+)
+
+// TestMergeDisjointHistogramKeys folds two registries whose histogram
+// sets do not overlap: the merge must carry each distribution across
+// untouched, not cross-contaminate min/max or counts.
+func TestMergeDisjointHistogramKeys(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Observe("ha", 4)
+	a.Observe("ha", 16)
+	b.Observe("hb", 1)
+	b.Observe("hb", 1000)
+	a.Merge(b)
+	s := a.Snapshot()
+	if len(s.Histograms) != 2 {
+		t.Fatalf("merged histogram count = %d, want 2", len(s.Histograms))
+	}
+	ha, hb := s.Histograms["ha"], s.Histograms["hb"]
+	if ha.Count != 2 || ha.Min != 4 || ha.Max != 16 || ha.Sum != 20 {
+		t.Fatalf("ha corrupted by disjoint merge: %+v", ha)
+	}
+	if hb.Count != 2 || hb.Min != 1 || hb.Max != 1000 || hb.Sum != 1001 {
+		t.Fatalf("hb not carried across: %+v", hb)
+	}
+	// Merging into an empty registry must reproduce both exactly.
+	c := NewRegistry()
+	c.MergeSnapshot(s)
+	if got := c.Snapshot().Histograms["hb"]; got.Min != 1 || got.Max != 1000 {
+		t.Fatalf("empty-target merge lost min/max: %+v", got)
+	}
+}
+
+// TestQuantileEdges pins the Quantile contract at the boundaries: an
+// empty histogram reports 0 everywhere, q≤0 is Min, q≥1 is Max, and
+// estimates never leave [Min, Max] even though buckets are coarse.
+func TestQuantileEdges(t *testing.T) {
+	var empty Histogram
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty.Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if empty.Mean() != 0 {
+		t.Fatalf("empty.Mean() = %v, want 0", empty.Mean())
+	}
+
+	r := NewRegistry()
+	for _, v := range []int64{3, 5, 6, 7, 900} {
+		r.Observe("h", v)
+	}
+	h := r.Snapshot().Histograms["h"]
+	if got := h.Quantile(0); got != 3 {
+		t.Fatalf("Quantile(0) = %d, want Min 3", got)
+	}
+	if got := h.Quantile(1); got != 900 {
+		t.Fatalf("Quantile(1) = %d, want Max 900", got)
+	}
+	if got := h.Quantile(-0.5); got != 3 {
+		t.Fatalf("Quantile(<0) = %d, want Min", got)
+	}
+	if got := h.Quantile(1.5); got != 900 {
+		t.Fatalf("Quantile(>1) = %d, want Max", got)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		if got < h.Min || got > h.Max {
+			t.Fatalf("Quantile(%v) = %d outside [%d, %d]", q, got, h.Min, h.Max)
+		}
+	}
+}
+
+// TestMergeMinMaxPreserved chains three merges and checks min/max are
+// the global extrema, including the case where the merged-in snapshot
+// holds the new extremes.
+func TestMergeMinMaxPreserved(t *testing.T) {
+	a, b, c := NewRegistry(), NewRegistry(), NewRegistry()
+	a.Observe("h", 50)
+	b.Observe("h", 2)     // new min arrives via merge
+	c.Observe("h", 70000) // new max arrives via a second merge
+	a.Merge(b)
+	a.Merge(c)
+	h := a.Snapshot().Histograms["h"]
+	if h.Min != 2 || h.Max != 70000 || h.Count != 3 {
+		t.Fatalf("chained merge extrema = %+v, want min 2 max 70000 count 3", h)
+	}
+	if got := h.Quantile(0.5); got < h.Min || got > h.Max {
+		t.Fatalf("post-merge quantile %d outside [%d, %d]", got, h.Min, h.Max)
+	}
+}
+
+// TestCollectorRecordsSince covers the incremental scrape cursor,
+// including a Reset underneath an existing cursor.
+func TestCollectorRecordsSince(t *testing.T) {
+	c := NewCollector()
+	c.Emit(Record{Op: OpInvoke, Msg: 0})
+	c.Emit(Record{Op: OpSend, Msg: 0})
+	recs, next := c.RecordsSince(0)
+	if len(recs) != 2 || next != 2 {
+		t.Fatalf("RecordsSince(0) = %d recs next %d, want 2/2", len(recs), next)
+	}
+	if recs, next = c.RecordsSince(next); len(recs) != 0 || next != 2 {
+		t.Fatalf("caught-up cursor returned %d recs next %d", len(recs), next)
+	}
+	c.Emit(Record{Op: OpDeliver, Msg: 0})
+	recs, next = c.RecordsSince(next)
+	if len(recs) != 1 || recs[0].Op != OpDeliver || next != 3 {
+		t.Fatalf("incremental scrape = %d recs next %d", len(recs), next)
+	}
+	if c.Seq() != 3 {
+		t.Fatalf("Seq() = %d, want 3", c.Seq())
+	}
+	// Reset keeps numbering monotone: an old cursor yields only what is
+	// still buffered, never duplicates.
+	c.Reset()
+	c.Emit(Record{Op: OpCrash})
+	recs, next = c.RecordsSince(1)
+	if len(recs) != 1 || recs[0].Op != OpCrash || next != 4 {
+		t.Fatalf("post-reset scrape = %d recs next %d", len(recs), next)
+	}
+	if recs, _ = c.RecordsSince(100); len(recs) != 0 {
+		t.Fatalf("future cursor returned %d recs", len(recs))
+	}
+}
+
+// TestRecordKeyExport checks that ordering keys survive both exporters
+// and the per-key histogram suffix appears alongside the aggregate.
+func TestRecordKeyExport(t *testing.T) {
+	col := NewCollector()
+	reg := NewRegistry()
+	step := int64(0)
+	p := NewProbe(2, col, reg, "fifo", func() int64 { return step })
+	k := event.KeyOf("orders")
+	m := event.Message{ID: 0, From: 0, To: 1, Key: k}
+	p.Invoke(m)
+	w := protocol.Wire{From: 0, To: 1, Kind: protocol.UserWire, Msg: 0, Key: k}
+	step = 2
+	p.Send(&w)
+	step = 3
+	p.Receive(w)
+	step = 7
+	p.Deliver(1, 0)
+
+	var deliverKey event.Key
+	for _, r := range col.Records() {
+		if r.Op == OpDeliver {
+			deliverKey = r.Key
+		}
+	}
+	if deliverKey != k {
+		t.Fatalf("deliver record key = %x, want %x (keyOf tracking lost it)", deliverKey, k)
+	}
+
+	var nd bytes.Buffer
+	if err := WriteNDJSON(&nd, col.Records()); err != nil {
+		t.Fatal(err)
+	}
+	var line map[string]any
+	if err := json.Unmarshal([]byte(strings.SplitN(nd.String(), "\n", 2)[0]), &line); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := line["key"]; !ok {
+		t.Fatalf("NDJSON line missing key field: %v", line)
+	}
+
+	var ch bytes.Buffer
+	if err := WriteChromeTrace(&ch, col.Records()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ch.String(), `"key"`) {
+		t.Fatal("chrome export carries no key arg")
+	}
+
+	snap := reg.Snapshot()
+	agg, perKey := false, false
+	for name := range snap.Histograms {
+		if name == "deliver.latency.steps.fifo" {
+			agg = true
+		}
+		if strings.HasPrefix(name, "deliver.latency.steps.fifo.k") {
+			perKey = true
+		}
+	}
+	if !agg || !perKey {
+		t.Fatalf("histograms missing aggregate (%v) or per-key (%v) variant: %v",
+			agg, perKey, snap.Names())
+	}
+}
+
+// TestWritePrometheus checks the text exposition: sanitized names,
+// cumulative buckets, sum/count lines, and the JSON default untouched.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Count("transport.retransmits", 7)
+	r.Gauge("obs.timebase.unix_us", 123)
+	r.Observe("load.latency.us", 3)
+	r.Observe("load.latency.us", 100)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE transport_retransmits counter",
+		"transport_retransmits 7",
+		"# TYPE obs_timebase_unix_us gauge",
+		"# TYPE load_latency_us histogram",
+		`load_latency_us_bucket{le="+Inf"} 2`,
+		"load_latency_us_sum 103",
+		"load_latency_us_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: the le=3 bucket holds 1, +Inf holds 2,
+	// and counts never decrease down the list.
+	var last int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "load_latency_us_bucket") {
+			continue
+		}
+		n, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("unparsable bucket line %q: %v", line, err)
+		}
+		if n < last {
+			t.Fatalf("buckets not cumulative at %q", line)
+		}
+		last = n
+	}
+	if promName("9lives.x-y") != "_9lives_x_y" {
+		t.Fatalf("promName sanitization = %q", promName("9lives.x-y"))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Registry is a concurrency-safe metrics registry of counters, gauges
@@ -33,12 +34,42 @@ func NewRegistry() *Registry {
 
 // hist is a power-of-two-bucket histogram: bucket i counts values v
 // with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i). Bucket 0 counts
-// values ≤ 0.
+// values ≤ 0. Fields are updated with atomics — hot observers hold a
+// direct handle (histFor) and pay a few uncontended atomic adds per
+// sample, no lock. A snapshot taken concurrently with observes is
+// accurate per field but not a single instant (count may run a sample
+// ahead of a bucket); callers of the scrape path tolerate that.
 type hist struct {
-	count    int64
-	sum      int64
-	min, max int64
-	buckets  [65]int64
+	count    atomic.Int64
+	sum      atomic.Int64
+	min, max atomic.Int64
+	buckets  [65]atomic.Int64
+}
+
+func newHist() *hist {
+	h := &hist{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// observe records one sample.
+func (h *hist) observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketIdx(v)].Add(1)
 }
 
 func bucketIdx(v int64) int {
@@ -81,27 +112,29 @@ func (r *Registry) GaugeMax(name string, v int64) {
 	r.mu.Unlock()
 }
 
+// histFor returns the named histogram, creating it if missing, so hot
+// paths can observe through a direct handle instead of a map lookup
+// per sample. Returns nil on a nil registry.
+func (r *Registry) histFor(name string) *hist {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHist()
+		r.hists[name] = h
+	}
+	r.mu.Unlock()
+	return h
+}
+
 // Observe records a sample in the named histogram.
 func (r *Registry) Observe(name string, v int64) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	h := r.hists[name]
-	if h == nil {
-		h = &hist{min: math.MaxInt64, max: math.MinInt64}
-		r.hists[name] = h
-	}
-	h.count++
-	h.sum += v
-	if v < h.min {
-		h.min = v
-	}
-	if v > h.max {
-		h.max = v
-	}
-	h.buckets[bucketIdx(v)]++
-	r.mu.Unlock()
+	r.histFor(name).observe(v)
 }
 
 // Merge folds o into r: counters add, gauges take the maximum,
@@ -122,7 +155,6 @@ func (r *Registry) MergeSnapshot(s Snapshot) {
 		return
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	for k, v := range s.Counters {
 		r.counters[k] += v
 	}
@@ -131,24 +163,27 @@ func (r *Registry) MergeSnapshot(s Snapshot) {
 			r.gauges[k] = v
 		}
 	}
+	r.mu.Unlock()
 	for k, oh := range s.Histograms {
-		h := r.hists[k]
-		if h == nil {
-			h = &hist{min: math.MaxInt64, max: math.MinInt64}
-			r.hists[k] = h
+		h := r.histFor(k)
+		h.count.Add(oh.Count)
+		h.sum.Add(oh.Sum)
+		for {
+			cur := h.min.Load()
+			if oh.Min >= cur || h.min.CompareAndSwap(cur, oh.Min) {
+				break
+			}
 		}
-		h.count += oh.Count
-		h.sum += oh.Sum
-		if oh.Min < h.min {
-			h.min = oh.Min
-		}
-		if oh.Max > h.max {
-			h.max = oh.Max
+		for {
+			cur := h.max.Load()
+			if oh.Max <= cur || h.max.CompareAndSwap(cur, oh.Max) {
+				break
+			}
 		}
 		// Bucket upper bounds are 2^i - 1, so bits.Len64 recovers the
 		// bucket index exactly.
 		for _, b := range oh.Buckets {
-			h.buckets[bucketIdx(b.Le)] += b.N
+			h.buckets[bucketIdx(b.Le)].Add(b.N)
 		}
 	}
 }
@@ -255,8 +290,12 @@ func (r *Registry) Snapshot() Snapshot {
 	if len(r.hists) > 0 {
 		s.Histograms = make(map[string]Histogram, len(r.hists))
 		for k, h := range r.hists {
-			hs := Histogram{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
-			for i, n := range h.buckets {
+			hs := Histogram{
+				Count: h.count.Load(), Sum: h.sum.Load(),
+				Min: h.min.Load(), Max: h.max.Load(),
+			}
+			for i := range h.buckets {
+				n := h.buckets[i].Load()
 				if n == 0 {
 					continue
 				}

@@ -19,7 +19,9 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"msgorder/internal/event"
@@ -115,9 +117,44 @@ func (o Op) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + o.String() + `"`), nil
 }
 
+// opValues is the reverse of opNames, for decoding scraped records.
+var opValues = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}()
+
+// UnmarshalJSON parses an operation from its name (the MarshalJSON
+// form) or, for forward compatibility, a bare number.
+func (o *Op) UnmarshalJSON(b []byte) error {
+	if len(b) >= 2 && b[0] == '"' {
+		name := string(b[1 : len(b)-1])
+		if op, ok := opValues[name]; ok {
+			*o = op
+			return nil
+		}
+		return fmt.Errorf("obs: unknown op %q", name)
+	}
+	var n uint8
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*o = Op(n)
+	return nil
+}
+
 // HarnessProc is the Proc value for records owned by the harness
 // itself (stall detector, explorer) rather than any process.
 const HarnessProc = event.ProcID(-1)
+
+// TimebaseGauge is the metric name under which live harnesses publish
+// their Step timebase origin as wall-clock microseconds (UnixMicro at
+// harness start). Fleet tooling uses it to rebase per-process Step
+// values onto one shared axis; deterministic simulators, whose Steps
+// are logical ticks, never set it.
+const TimebaseGauge = "obs.timebase.unix_us"
 
 // NoMsg is the Msg value for records not scoped to a user message.
 const NoMsg = event.MsgID(-1)
@@ -136,6 +173,10 @@ type Record struct {
 	Op Op `json:"op"`
 	// Msg is the user message involved (NoMsg when not message-scoped).
 	Msg event.MsgID `json:"msg"`
+	// Key is the message's ordering domain (event.NoKey for unkeyed
+	// runs and non-message records), so sharded traces can tell their
+	// domains apart.
+	Key event.Key `json:"key,omitempty"`
 	// VC is the observability layer's vector clock at the event (nil
 	// when the emitter keeps no clocks, e.g. the transport).
 	VC vc.Vector `json:"vc,omitempty"`
@@ -152,20 +193,78 @@ type Tracer interface {
 }
 
 // Collector is an in-memory Tracer: it buffers records for later
-// export or merging. Safe for concurrent use.
+// export or merging, and numbers them with a monotone sequence so
+// remote pollers can scrape incrementally (RecordsSince) instead of
+// re-downloading the whole buffer. An unbounded collector keeps
+// everything until Reset; a capped one (NewCollectorCap) is a ring that
+// overwrites its oldest records, so a long-running daemon traces at
+// bounded memory and a scraper that keeps up loses nothing. Safe for
+// concurrent use.
 type Collector struct {
-	mu   sync.Mutex
+	mu sync.Mutex
+	// limit is the ring capacity (0 = unbounded).
+	limit int
+	// recs holds the buffered records. While unbounded (or a capped
+	// collector still filling), it is a plain append slice and head is
+	// 0. Once a capped collector wraps (len == limit), it is a ring:
+	// the oldest record is recs[head] and emission order wraps around.
 	recs []Record
+	head int
+	// base is the sequence number of the oldest buffered record: Reset
+	// and ring overwrites drop records but keep the numbering monotone,
+	// so a poller's cursor stays valid.
+	base uint64
+	// dropped counts records overwritten before any poller could have
+	// read them (a scraper that keeps up sees zero).
+	dropped uint64
 }
 
-// NewCollector returns an empty collector.
+// NewCollector returns an empty unbounded collector.
 func NewCollector() *Collector { return &Collector{} }
 
-// Emit appends a record.
+// NewCollectorCap returns an empty collector that keeps at most limit
+// records, overwriting the oldest beyond that (limit <= 0 means
+// unbounded).
+func NewCollectorCap(limit int) *Collector {
+	if limit < 0 {
+		limit = 0
+	}
+	// The backing array is reserved up front: a capped collector exists
+	// for hot paths, where growth reallocations (and the GC copies they
+	// imply) would show up as tracing overhead.
+	return &Collector{limit: limit, recs: make([]Record, 0, limit)}
+}
+
+// Emit appends a record, overwriting the oldest one when a capped
+// collector is full.
 func (c *Collector) Emit(r Record) {
 	c.mu.Lock()
-	c.recs = append(c.recs, r)
+	c.emitLocked(r)
 	c.mu.Unlock()
+}
+
+// EmitPair appends two records under a single lock acquisition — the
+// probe's span+event pairs use it so the hot path pays one lock, not
+// two.
+func (c *Collector) EmitPair(a, b Record) {
+	c.mu.Lock()
+	c.emitLocked(a)
+	c.emitLocked(b)
+	c.mu.Unlock()
+}
+
+func (c *Collector) emitLocked(r Record) {
+	if c.limit > 0 && len(c.recs) == c.limit {
+		c.recs[c.head] = r
+		c.head++
+		if c.head == c.limit {
+			c.head = 0
+		}
+		c.base++
+		c.dropped++
+	} else {
+		c.recs = append(c.recs, r)
+	}
 }
 
 // Len returns the number of buffered records.
@@ -175,17 +274,73 @@ func (c *Collector) Len() int {
 	return len(c.recs)
 }
 
+// Dropped returns how many records a capped collector has overwritten
+// since creation.
+func (c *Collector) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Seq returns the next sequence number — the cursor a poller that has
+// seen everything so far would resume from.
+func (c *Collector) Seq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.base + uint64(len(c.recs))
+}
+
+// copyFrom returns a copy of the buffered records starting at logical
+// index i (0 = oldest), in emission order. Callers hold c.mu.
+func (c *Collector) copyFrom(i int) []Record {
+	n := len(c.recs) - i
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Record, 0, n)
+	p := c.head + i
+	if p >= len(c.recs) {
+		p -= len(c.recs)
+	}
+	out = append(out, c.recs[p:min(p+n, len(c.recs))]...)
+	if rem := n - (len(c.recs) - p); rem > 0 {
+		out = append(out, c.recs[:rem]...)
+	}
+	return out
+}
+
 // Records returns a copy of the buffered records in emission order.
 func (c *Collector) Records() []Record {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]Record(nil), c.recs...)
+	return c.copyFrom(0)
 }
 
-// Reset drops all buffered records.
+// RecordsSince returns the buffered records numbered since and later,
+// plus the next cursor (pass it back as since on the next call). A
+// cursor older than the buffer (the collector was Reset underneath the
+// poller, or a capped ring lapped it) yields everything still
+// buffered.
+func (c *Collector) RecordsSince(since uint64) ([]Record, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next := c.base + uint64(len(c.recs))
+	if since < c.base {
+		since = c.base
+	}
+	if since >= next {
+		return nil, next
+	}
+	return c.copyFrom(int(since - c.base)), next
+}
+
+// Reset drops all buffered records (sequence numbering continues from
+// where it was).
 func (c *Collector) Reset() {
 	c.mu.Lock()
+	c.base += uint64(len(c.recs))
 	c.recs = c.recs[:0]
+	c.head = 0
 	c.mu.Unlock()
 }
 
@@ -196,8 +351,10 @@ func (c *Collector) FlushTo(t Tracer) {
 		return
 	}
 	c.mu.Lock()
-	recs := c.recs
+	recs := c.copyFrom(0)
+	c.base += uint64(len(c.recs))
 	c.recs = nil
+	c.head = 0
 	c.mu.Unlock()
 	for _, r := range recs {
 		t.Emit(r)
@@ -264,18 +421,105 @@ func (s *Sink) Observe(name string, v int64) {
 // hot paths. All methods are safe for concurrent use (the live harness
 // emits from many goroutines).
 type Probe struct {
-	mu      sync.Mutex
-	tracer  Tracer
+	mu     sync.Mutex
+	tracer Tracer
+	// col is tracer when it is the in-memory collector, letting the
+	// hot path batch span+event pairs under one lock (emit2).
+	col     *Collector
 	metrics *Registry
 	now     func() int64
 	proto   string
 
-	vcs      []vc.Vector
-	invokeAt map[event.MsgID]int64
-	recvAt   map[event.MsgID]int64
+	vcs []vc.Vector
+	// arena backs stamp snapshots: slices are carved off and never
+	// reused, amortizing one allocation over a chunk of stamps.
+	arena []uint64
+	// invokeAt and recvAt store step+1 per message id (0 = unseen).
+	// Message ids are dense workload indices, so slices beat maps on
+	// the per-event path; they grow on demand.
+	invokeAt []int64
+	recvAt   []int64
+	// keyOf remembers each message's ordering domain (learned at invoke
+	// or receive) so delivery-side records and histograms can carry it
+	// (NoKey is the zero value, so unkeyed slots need no sentinel).
+	keyOf []event.Key
+	// ctrlNotes caches rendered control-wire annotations (guarded by
+	// mu like the rest of the probe state).
+	ctrlNotes map[uint32]string
+	// scratch is the reusable note-building buffer (guarded by mu), so
+	// a span note costs one string allocation, not a buffer + a string.
+	scratch []byte
 	// ctx describes the handler currently running at each process, so
-	// inhibition-release notes can name the unblocking event.
-	ctx map[event.ProcID]string
+	// inhibition-release notes can name the unblocking event. The
+	// description is kept as a compact value and only formatted when a
+	// note actually embeds it.
+	ctx []ctxNote
+
+	// latency, inhSend and inhDeliver are the lifecycle histograms with
+	// their names precomputed (and per-key variants cached), keeping
+	// string building off the per-event path.
+	latency    keyedMetric
+	inhSend    keyedMetric
+	inhDeliver keyedMetric
+}
+
+// ctxNote is a deferred-format handler description.
+type ctxNote struct {
+	kind uint8 // 0 none, ctxInvoke, ctxArrival, ctxCtrl
+	msg  event.MsgID
+	ctrl int
+	from event.ProcID
+}
+
+const (
+	ctxInvoke = uint8(iota + 1)
+	ctxArrival
+	ctxCtrl
+)
+
+// appendTo renders the description ("invoke of m3", "arrival of m7",
+// "ctrl 2 from P1").
+func (c ctxNote) appendTo(b []byte) []byte {
+	switch c.kind {
+	case ctxInvoke:
+		b = append(b, "invoke of m"...)
+		b = strconv.AppendInt(b, int64(c.msg), 10)
+	case ctxArrival:
+		b = append(b, "arrival of m"...)
+		b = strconv.AppendInt(b, int64(c.msg), 10)
+	case ctxCtrl:
+		b = append(b, "ctrl "...)
+		b = strconv.AppendInt(b, int64(c.ctrl), 10)
+		b = append(b, " from P"...)
+		b = strconv.AppendInt(b, int64(c.from), 10)
+	}
+	return b
+}
+
+// keyedMetric is a histogram name with direct histogram handles cached
+// — the aggregate and its per-ordering-domain variants — so the
+// per-event path skips the registry map (guarded by the probe mutex).
+type keyedMetric struct {
+	agg    string
+	aggH   *hist
+	perKey map[event.Key]*hist
+}
+
+func newKeyedMetric(name, proto string) keyedMetric {
+	if proto != "" {
+		name += "." + proto
+	}
+	return keyedMetric{agg: name, perKey: make(map[event.Key]*hist)}
+}
+
+// keyName builds the per-domain variant name
+// ("inhibit.deliver.steps.fifo.k1c9a").
+func (m *keyedMetric) keyName(k event.Key) string {
+	b := make([]byte, 0, len(m.agg)+18)
+	b = append(b, m.agg...)
+	b = append(b, ".k"...)
+	b = strconv.AppendUint(b, uint64(k), 16)
+	return string(b)
 }
 
 // NewProbe builds a probe over n processes emitting into tracer and
@@ -290,27 +534,154 @@ func NewProbe(n int, tracer Tracer, metrics *Registry, proto string, now func() 
 		now = func() int64 { return 0 }
 	}
 	p := &Probe{
-		tracer:   tracer,
-		metrics:  metrics,
-		now:      now,
-		proto:    proto,
-		vcs:      make([]vc.Vector, n),
-		invokeAt: make(map[event.MsgID]int64),
-		recvAt:   make(map[event.MsgID]int64),
-		ctx:      make(map[event.ProcID]string),
+		tracer:     tracer,
+		metrics:    metrics,
+		now:        now,
+		proto:      proto,
+		vcs:        make([]vc.Vector, n),
+		ctx:        make([]ctxNote, n),
+		latency:    newKeyedMetric("deliver.latency.steps", proto),
+		inhSend:    newKeyedMetric("inhibit.send.steps", proto),
+		inhDeliver: newKeyedMetric("inhibit.deliver.steps", proto),
 	}
+	p.col, _ = tracer.(*Collector)
 	for i := range p.vcs {
 		p.vcs[i] = vc.NewVector(n)
 	}
 	return p
 }
 
-// metric labels a metric name with the probe's protocol.
-func (p *Probe) metric(name string) string {
-	if p.proto == "" {
-		return name
+// observeKeyed records a sample under the aggregate histogram and,
+// when the message is keyed, under its per-domain variant too —
+// "inhibit.deliver.steps.fifo.k1c9a" — so sharded runs get one
+// histogram per domain alongside the aggregate. Histogram handles are
+// resolved once and cached (lazily, so unobserved histograms never
+// appear in snapshots).
+func (p *Probe) observeKeyed(m *keyedMetric, k event.Key, v int64) {
+	if p.metrics == nil {
+		return
 	}
-	return name + "." + p.proto
+	if m.aggH == nil {
+		m.aggH = p.metrics.histFor(m.agg)
+	}
+	m.aggH.observe(v)
+	if k != event.NoKey {
+		h, ok := m.perKey[k]
+		if !ok {
+			h = p.metrics.histFor(m.keyName(k))
+			m.perKey[k] = h
+		}
+		h.observe(v)
+	}
+}
+
+// at reads the step+1 slot for id from a per-message table (0 when the
+// id was never recorded).
+func at(tbl []int64, id event.MsgID) int64 {
+	if id < 0 || int(id) >= len(tbl) {
+		return 0
+	}
+	return tbl[id]
+}
+
+// setAt grows tbl to cover id and stores step+1 there. Growth is
+// geometric: message ids arrive roughly in order, so gap-sized growth
+// would reallocate on nearly every new id.
+func setAt(tbl []int64, id event.MsgID, step int64) []int64 {
+	if id < 0 {
+		return tbl
+	}
+	if int(id) >= len(tbl) {
+		tbl = append(tbl, make([]int64, grownBy(len(tbl), int(id)))...)
+	}
+	tbl[id] = step + 1
+	return tbl
+}
+
+// grownBy sizes a table extension: enough to cover id, at least a
+// doubling, never tiny.
+func grownBy(n, id int) int {
+	g := id + 1 - n
+	if g < n {
+		g = n
+	}
+	if g < 1024 {
+		g = 1024
+	}
+	return g
+}
+
+// key reads the ordering domain recorded for id (NoKey if none).
+func (p *Probe) key(id event.MsgID) event.Key {
+	if id < 0 || int(id) >= len(p.keyOf) {
+		return event.NoKey
+	}
+	return p.keyOf[id]
+}
+
+// setKey grows keyOf to cover id and stores the domain.
+func (p *Probe) setKey(id event.MsgID, k event.Key) {
+	if id < 0 {
+		return
+	}
+	if int(id) >= len(p.keyOf) {
+		p.keyOf = append(p.keyOf, make([]event.Key, grownBy(len(p.keyOf), int(id)))...)
+	}
+	p.keyOf[id] = k
+}
+
+// setCtx records the handler description for proc (ignoring the
+// harness pseudo-process).
+func (p *Probe) setCtx(proc event.ProcID, c ctxNote) {
+	if proc >= 0 && int(proc) < len(p.ctx) {
+		p.ctx[proc] = c
+	}
+}
+
+// heldNote appends "m<id> held <d> steps after <what>" to b.
+func heldNote(b []byte, id event.MsgID, d int64, what string) []byte {
+	b = append(b, 'm')
+	b = strconv.AppendInt(b, int64(id), 10)
+	b = append(b, " held "...)
+	b = strconv.AppendInt(b, d, 10)
+	b = append(b, " steps after "...)
+	b = append(b, what...)
+	return b
+}
+
+// Control-note directions, for the probe's note cache.
+const (
+	ctrlTo = iota
+	ctrlFrom
+)
+
+var ctrlDirs = [...]string{ctrlTo: " to P", ctrlFrom: " from P"}
+
+// ctrlNote renders "ctrl <c> <dir> P<p>", caching the rendered string:
+// control codes and peers are tiny enumerations, so after warmup a
+// chatty protocol's control traffic annotates for a map hit instead of
+// an allocation per wire.
+func (p *Probe) ctrlNote(c uint8, dir int, q event.ProcID) string {
+	cacheable := q >= 0 && q <= 255
+	k := uint32(c)<<9 | uint32(dir)<<8 | uint32(uint8(q))
+	if cacheable {
+		if s, ok := p.ctrlNotes[k]; ok {
+			return s
+		}
+	}
+	b := make([]byte, 0, 24)
+	b = append(b, "ctrl "...)
+	b = strconv.AppendInt(b, int64(c), 10)
+	b = append(b, ctrlDirs[dir]...)
+	b = strconv.AppendInt(b, int64(q), 10)
+	s := string(b)
+	if cacheable {
+		if p.ctrlNotes == nil {
+			p.ctrlNotes = make(map[uint32]string, 8)
+		}
+		p.ctrlNotes[k] = s
+	}
+	return s
 }
 
 func (p *Probe) emit(r Record) {
@@ -319,10 +690,30 @@ func (p *Probe) emit(r Record) {
 	}
 }
 
-// stamp ticks process q's clock and returns a snapshot.
+// emit2 emits a span+event pair, paying a single collector lock when
+// the tracer is the in-memory collector.
+func (p *Probe) emit2(a, b Record) {
+	if p.col != nil {
+		p.col.EmitPair(a, b)
+	} else if p.tracer != nil {
+		p.tracer.Emit(a)
+		p.tracer.Emit(b)
+	}
+}
+
+// stamp ticks process q's clock and returns a snapshot. Snapshots are
+// carved out of an arena chunk — each is an independent, never-reused
+// slice, but allocation happens once per chunk instead of per event.
 func (p *Probe) stamp(q event.ProcID) vc.Vector {
 	p.vcs[q].Tick(int(q))
-	return p.vcs[q].Clone()
+	n := len(p.vcs[q])
+	if len(p.arena) < n {
+		p.arena = make([]uint64, 1024*n)
+	}
+	v := vc.Vector(p.arena[:n:n])
+	p.arena = p.arena[n:]
+	copy(v, p.vcs[q])
+	return v
 }
 
 // Invoke records the user's send request of m at its source.
@@ -333,9 +724,12 @@ func (p *Probe) Invoke(m event.Message) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	now := p.now()
-	p.invokeAt[m.ID] = now
-	p.ctx[m.From] = fmt.Sprintf("invoke of m%d", m.ID)
-	p.emit(Record{Step: now, Proc: m.From, Op: OpInvoke, Msg: m.ID, VC: p.stamp(m.From)})
+	p.invokeAt = setAt(p.invokeAt, m.ID, now)
+	if m.Key != event.NoKey {
+		p.setKey(m.ID, m.Key)
+	}
+	p.setCtx(m.From, ctxNote{kind: ctxInvoke, msg: m.ID})
+	p.emit(Record{Step: now, Proc: m.From, Op: OpInvoke, Msg: m.ID, Key: m.Key, VC: p.stamp(m.From)})
 }
 
 // Send records the protocol's send execution and stamps the wire with
@@ -352,16 +746,19 @@ func (p *Probe) Send(w *protocol.Wire) {
 	w.VC = stamp
 	rec := Record{Step: now, Proc: w.From, Op: OpSend, VC: stamp, Msg: NoMsg}
 	if w.Kind == protocol.UserWire {
-		rec.Msg = w.Msg
-		if at, ok := p.invokeAt[w.Msg]; ok && now > at {
-			p.emit(Record{
-				Step: at, Dur: now - at, Proc: w.From, Op: OpInhibitSend, Msg: w.Msg,
-				Note: fmt.Sprintf("m%d held %d steps after invoke", w.Msg, now-at),
-			})
-			p.metrics.Observe(p.metric("inhibit.send.steps"), now-at)
+		rec.Msg, rec.Key = w.Msg, w.Key
+		if iat := at(p.invokeAt, w.Msg); iat > 0 && now > iat-1 {
+			held := now - (iat - 1)
+			p.observeKeyed(&p.inhSend, w.Key, held)
+			p.scratch = heldNote(p.scratch[:0], w.Msg, held, "invoke")
+			p.emit2(Record{
+				Step: iat - 1, Dur: held, Proc: w.From, Op: OpInhibitSend, Msg: w.Msg, Key: w.Key,
+				Note: string(p.scratch),
+			}, rec)
+			return
 		}
 	} else {
-		rec.Note = fmt.Sprintf("ctrl %d to P%d", w.Ctrl, w.To)
+		rec.Note = p.ctrlNote(w.Ctrl, ctrlTo, w.To)
 	}
 	p.emit(rec)
 }
@@ -380,12 +777,15 @@ func (p *Probe) Receive(w protocol.Wire) {
 	}
 	rec := Record{Step: now, Proc: w.To, Op: OpReceive, VC: p.stamp(w.To), Msg: NoMsg}
 	if w.Kind == protocol.UserWire {
-		rec.Msg = w.Msg
-		p.recvAt[w.Msg] = now
-		p.ctx[w.To] = fmt.Sprintf("arrival of m%d", w.Msg)
+		rec.Msg, rec.Key = w.Msg, w.Key
+		p.recvAt = setAt(p.recvAt, w.Msg, now)
+		if w.Key != event.NoKey {
+			p.setKey(w.Msg, w.Key)
+		}
+		p.setCtx(w.To, ctxNote{kind: ctxArrival, msg: w.Msg})
 	} else {
-		rec.Note = fmt.Sprintf("ctrl %d from P%d", w.Ctrl, w.From)
-		p.ctx[w.To] = fmt.Sprintf("ctrl %d from P%d", w.Ctrl, w.From)
+		rec.Note = p.ctrlNote(w.Ctrl, ctrlFrom, w.From)
+		p.setCtx(w.To, ctxNote{kind: ctxCtrl, ctrl: int(w.Ctrl), from: w.From})
 	}
 	p.emit(rec)
 }
@@ -400,18 +800,24 @@ func (p *Probe) Deliver(proc event.ProcID, m event.MsgID) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	now := p.now()
-	p.emit(Record{Step: now, Proc: proc, Op: OpDeliver, Msg: m, VC: p.stamp(proc)})
-	if at, ok := p.invokeAt[m]; ok {
-		p.metrics.Observe(p.metric("deliver.latency.steps"), now-at)
+	key := p.key(m)
+	rec := Record{Step: now, Proc: proc, Op: OpDeliver, Msg: m, Key: key, VC: p.stamp(proc)}
+	if iat := at(p.invokeAt, m); iat > 0 {
+		p.observeKeyed(&p.latency, key, now-(iat-1))
 	}
-	if at, ok := p.recvAt[m]; ok && now > at {
-		note := fmt.Sprintf("m%d held %d steps after receive", m, now-at)
-		if cause, ok := p.ctx[proc]; ok {
-			note += "; released by " + cause
+	if rat := at(p.recvAt, m); rat > 0 && now > rat-1 {
+		held := now - (rat - 1)
+		b := heldNote(p.scratch[:0], m, held, "receive")
+		if proc >= 0 && int(proc) < len(p.ctx) && p.ctx[proc].kind != 0 {
+			b = append(b, "; released by "...)
+			b = p.ctx[proc].appendTo(b)
 		}
-		p.emit(Record{Step: at, Dur: now - at, Proc: proc, Op: OpInhibitDeliver, Msg: m, Note: note})
-		p.metrics.Observe(p.metric("inhibit.deliver.steps"), now-at)
+		p.scratch = b
+		p.observeKeyed(&p.inhDeliver, key, held)
+		p.emit2(Record{Step: rat - 1, Dur: held, Proc: proc, Op: OpInhibitDeliver, Msg: m, Key: key, Note: string(b)}, rec)
+		return
 	}
+	p.emit(rec)
 }
 
 // Clock returns a copy of process q's current vector clock.

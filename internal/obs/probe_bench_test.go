@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"testing"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+)
+
+func BenchmarkProbeLifecycle(b *testing.B) {
+	col := NewCollectorCap(1 << 16)
+	reg := NewRegistry()
+	step := int64(0)
+	p := NewProbe(3, col, reg, "fifo", func() int64 { step++; return step })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := event.MsgID(i % 4096)
+		m := event.Message{ID: id, From: 0, To: 1}
+		p.Invoke(m)
+		w := protocol.Wire{From: 0, To: 1, Kind: protocol.UserWire, Msg: id}
+		p.Send(&w)
+		p.Receive(w)
+		p.Deliver(1, id)
+	}
+}
+
+func BenchmarkCollectorEmit(b *testing.B) {
+	col := NewCollectorCap(1 << 16)
+	r := Record{Step: 1, Proc: 0, Op: OpSend, Msg: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col.Emit(r)
+	}
+}

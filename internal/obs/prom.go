@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// promName sanitizes a registry metric name into the Prometheus
+// exposition charset: dots and dashes become underscores, anything
+// else outside [a-zA-Z0-9_:] is dropped, and a leading digit gets an
+// underscore prefix.
+func promName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if b.Len() == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		case c == '.' || c == '-':
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative le-labelled buckets plus _sum and _count.
+// Names are rendered deterministically (sorted), so scrapes diff
+// cleanly.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	for _, name := range s.Names() {
+		pn := promName(name)
+		if v, ok := s.Counters[name]; ok {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, v); err != nil {
+				return err
+			}
+		}
+		if v, ok := s.Gauges[name]; ok {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, v); err != nil {
+				return err
+			}
+		}
+		h, ok := s.Histograms[name]
+		if !ok {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		// Registry buckets are non-cumulative per-bucket counts with
+		// upper bounds 2^i - 1; the exposition format wants cumulative
+		// counts and a trailing +Inf bucket equal to the total count.
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.N
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, b.Le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			pn, h.Count, pn, h.Sum, pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

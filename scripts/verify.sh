@@ -75,13 +75,14 @@ echo "== go test -race (concurrency gate) =="
 # observability registry are the concurrent core; run their suites
 # (plus the facade) under the race detector.
 go test -race ./internal/sim/... ./internal/transport/... ./internal/conformance/... \
-    ./internal/crash/... ./internal/dsim/... ./internal/obs/... ./internal/shard/... .
+    ./internal/crash/... ./internal/dsim/... ./internal/obs/... ./internal/shard/... \
+    ./internal/fleetobs/... .
 
 echo "== go test -race (socket runtime gate) =="
 # The TCP mesh, its RPC layer and the mod daemon are real-concurrency
 # code (listener/dialer goroutines, reconnect loops, OS-process tests);
 # their suites run under the race detector too.
-go test -race ./internal/netmesh/ ./internal/modrpc/ ./cmd/mod/
+go test -race ./internal/netmesh/ ./internal/modrpc/ ./cmd/mod/ ./cmd/mostat/
 
 echo "== fault-matrix smoke (short mode) =="
 # A quick seeded-loss pass over the fault-injection paths.
@@ -126,6 +127,14 @@ echo "== shard smoke (ordering-key gate) =="
 # than 2 keys or 2 shards.
 go run ./cmd/mobench shard -json -outdir "$tracetmp/shard" -msgs 600 -keys 24 -shards 4 -protos fifo >/dev/null
 [ -s "$tracetmp/shard/BENCH_shard.json" ]
+
+echo "== obs-fleet smoke (observability-plane gate) =="
+# A short E15 pass: traced-vs-untraced overhead rows, a live scraped
+# 3-daemon fleet whose merged timeline must validate causally with zero
+# orphaned receives, and a named contention table. The subcommand
+# re-reads BENCH_obs.json and exits non-zero on any violation.
+go run ./cmd/mobench obs -json -outdir "$tracetmp/obs" -msgs 800 -runs 1 -fleet-msgs 120 >/dev/null
+[ -s "$tracetmp/obs/BENCH_obs.json" ]
 
 echo "== allocation budget (steady-path gate) =="
 # The pooled encode, outbox pop and frame read paths must be
