@@ -20,6 +20,9 @@
 //	mobench obs         # E15: observability-plane overhead — traced vs untraced
 //	                    #      load, scraped fleet timelines, contended locks
 //	                    #      (-json writes BENCH_obs.json)
+//	mobench churn       # E16: membership churn matrix — {join,leave,evict,handoff}
+//	                    #      x topology-shaped environments (-json writes
+//	                    #      BENCH_churn.json; -smoke is the CI gate)
 //	mobench bench       # write BENCH_*.json snapshots (-outdir picks the directory)
 //	mobench all         # every table experiment
 //
@@ -175,6 +178,8 @@ func run(args []string) error {
 		return shardCmd(args[1:])
 	case "obs":
 		return obsCmd(args[1:])
+	case "churn":
+		return churnCmd(args[1:])
 	}
 	fn, ok := cmds[args[0]]
 	if !ok {

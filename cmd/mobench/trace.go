@@ -214,5 +214,8 @@ func benchCmd(args []string) error {
 	if err := benchShard(*outdir); err != nil {
 		return err
 	}
-	return benchObs(*outdir)
+	if err := benchObs(*outdir); err != nil {
+		return err
+	}
+	return benchChurn(*outdir)
 }

@@ -47,6 +47,7 @@ import (
 
 	"msgorder/internal/catalog"
 	"msgorder/internal/classify"
+	"msgorder/internal/crash"
 	"msgorder/internal/event"
 	"msgorder/internal/fleetobs"
 	"msgorder/internal/modrpc"
@@ -171,6 +172,7 @@ func run(args []string, out io.Writer) error {
 		faultSeed  = fs.Int64("fault-seed", 1, "fault plan seed")
 		mutexFrac  = fs.Int("mutex-fraction", 0, "runtime mutex profile fraction (SetMutexProfileFraction; 0 = off); enables the contention summary in /metrics")
 		blockRate  = fs.Int("block-rate", 0, "runtime block profile rate in ns (SetBlockProfileRate; 0 = off)")
+		heartbeat  = fs.Duration("heartbeat", 0, "heartbeat period: send liveness beats through the mesh and run a local failure detector over peers' beats (0 = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -208,6 +210,11 @@ func run(args []string, out io.Writer) error {
 	}
 	collector := obs.NewCollector()
 	metrics := obs.NewRegistry()
+	var det *crash.Detector
+	if *heartbeat > 0 {
+		det = crash.NewDetector(len(addrs), crash.DetectorConfig{Interval: *heartbeat}, nil)
+		defer det.Close()
+	}
 	node, err := netmesh.NewNode(netmesh.NodeConfig{
 		Self:  event.ProcID(*id),
 		Procs: len(addrs),
@@ -222,6 +229,7 @@ func run(args []string, out io.Writer) error {
 		SnapshotEvery: *snapEvery,
 		Tracer:        collector,
 		Metrics:       metrics,
+		Heartbeat:     netmesh.HeartbeatConfig{Interval: *heartbeat, Detector: det},
 	})
 	if err != nil {
 		return err
@@ -265,5 +273,10 @@ func run(args []string, out io.Writer) error {
 	s := node.Stats()
 	fmt.Fprintf(out, "mod exit id=%d delivered=%d user=%d control=%d retransmits=%d recoveries=%d\n",
 		*id, len(node.Deliveries()), s.UserMessages, s.ControlMessages, s.Retransmits, s.Recoveries)
+	if det != nil {
+		c := det.Counters()
+		fmt.Fprintf(out, "mod detector id=%d suspects=%v suspicions=%d alives=%d\n",
+			*id, det.Suspects(), c.Suspicions, c.Alives)
+	}
 	return nil
 }

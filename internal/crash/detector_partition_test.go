@@ -1,0 +1,69 @@
+package crash
+
+import (
+	"testing"
+	"time"
+
+	"msgorder/internal/event"
+	"msgorder/internal/transport"
+)
+
+// TestDetectorUnderOneWayPartition routes heartbeats through the
+// fault injector's asymmetric one-way cut and checks the detector's
+// suspicion set is exactly the unreachable side — the side whose
+// beats the cut swallows — and that it empties once the cut heals.
+// The reverse direction keeps beating throughout, so a symmetric
+// treatment of the cut would be visible as an extra suspicion.
+func TestDetectorUnderOneWayPartition(t *testing.T) {
+	const n = 4
+	inj := transport.NewInjector(transport.FaultPlan{
+		OneWay: []transport.OneWayPartition{{
+			From: []event.ProcID{2, 3},
+			To:   []event.ProcID{0},
+			Heal: -1, // heal explicitly below, not by budget
+		}},
+	})
+	det := NewDetector(n, DetectorConfig{Interval: time.Millisecond}, nil)
+	defer det.Close()
+
+	// beatAll models every process's heartbeat toward the observer at
+	// P0, each subject to the injector like any other envelope.
+	beatAll := func() {
+		det.Beat(0)
+		for p := event.ProcID(1); p < n; p++ {
+			if inj.Decide(p, 0) != transport.Drop {
+				det.Beat(p)
+			}
+		}
+	}
+
+	deadline := time.Now().Add(time.Second)
+	var cut []event.ProcID
+	for time.Now().Before(deadline) {
+		beatAll()
+		cut = det.Suspects()
+		if len(cut) == 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if len(cut) != 2 || cut[0] != 2 || cut[1] != 3 {
+		t.Fatalf("suspects under one-way cut = %v, want exactly [2 3]", cut)
+	}
+
+	inj.HealOneWay()
+	deadline = time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		beatAll()
+		if len(det.Suspects()) == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s := det.Suspects(); len(s) != 0 {
+		t.Fatalf("suspicion did not clear after heal: %v", s)
+	}
+	if c := det.Counters(); c.Suspicions < 2 || c.Alives < 2 {
+		t.Fatalf("counters = %+v, want ≥2 suspicions and ≥2 alives", c)
+	}
+}

@@ -1,0 +1,146 @@
+package member
+
+import (
+	"sync"
+	"time"
+
+	"msgorder/internal/crash"
+	"msgorder/internal/event"
+)
+
+// EvictorConfig tunes the suspicion-to-eviction policy.
+type EvictorConfig struct {
+	// Interval is how often the evictor polls the detector's suspect
+	// set (default: the detector's heartbeat interval).
+	Interval time.Duration
+	// Grace is how long a suspicion must persist uninterrupted before
+	// the process is evicted (default 4×Interval). The grace period
+	// absorbs the detector's false suspicions — a scheduler-starved
+	// process whose heartbeat resumes within Grace is never evicted.
+	Grace time.Duration
+}
+
+func (c EvictorConfig) withDefaults(d crash.DetectorConfig) EvictorConfig {
+	if c.Interval <= 0 {
+		c.Interval = d.Interval
+	}
+	if c.Grace <= 0 {
+		c.Grace = 4 * c.Interval
+	}
+	return c
+}
+
+// EvictorCounters tallies the evictor's decisions.
+type EvictorCounters struct {
+	// Evictions counts processes removed from the view.
+	Evictions int
+	// Reprieves counts suspicions that cleared within the grace period.
+	Reprieves int
+}
+
+// Evictor closes the loop the observational Detector deliberately
+// leaves open: it watches a heartbeat detector's suspect set and,
+// when a suspicion persists past a grace period, administratively
+// evicts the process from the membership view (Tracker.Evict). Safe
+// for concurrent use; Close must be called to stop its poll loop.
+type Evictor struct {
+	tracker  *Tracker
+	detector *crash.Detector
+	cfg      EvictorConfig
+
+	mu      sync.Mutex
+	since   map[event.ProcID]time.Time
+	evicted []event.ProcID
+	counts  EvictorCounters
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewEvictor starts an evictor bridging the detector's suspicions into
+// the tracker's view. Close must be called to stop it.
+func NewEvictor(t *Tracker, d *crash.Detector, cfg EvictorConfig) *Evictor {
+	e := &Evictor{
+		tracker:  t,
+		detector: d,
+		cfg:      cfg.withDefaults(d.Config()),
+		since:    make(map[event.ProcID]time.Time),
+		stop:     make(chan struct{}),
+	}
+	e.wg.Add(1)
+	go e.loop()
+	return e
+}
+
+// Evicted returns the processes this evictor removed, in eviction
+// order.
+func (e *Evictor) Evicted() []event.ProcID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]event.ProcID, len(e.evicted))
+	copy(out, e.evicted)
+	return out
+}
+
+// Counters returns a snapshot of the decision tallies.
+func (e *Evictor) Counters() EvictorCounters {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.counts
+}
+
+// Close stops the poll loop and waits for it to exit.
+func (e *Evictor) Close() {
+	e.stopOnce.Do(func() { close(e.stop) })
+	e.wg.Wait()
+}
+
+// loop polls the suspect set and applies the grace policy.
+func (e *Evictor) loop() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case now := <-t.C:
+			e.scan(now)
+		}
+	}
+}
+
+// scan advances the grace clocks and evicts overdue suspects.
+func (e *Evictor) scan(now time.Time) {
+	suspects := e.detector.Suspects()
+	cur := make(map[event.ProcID]bool, len(suspects))
+	for _, p := range suspects {
+		cur[p] = true
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for p := range e.since {
+		if !cur[p] {
+			delete(e.since, p)
+			e.counts.Reprieves++
+		}
+	}
+	for _, p := range suspects {
+		if !e.tracker.View().Contains(p) {
+			continue
+		}
+		first, ok := e.since[p]
+		if !ok {
+			e.since[p] = now
+			continue
+		}
+		if now.Sub(first) >= e.cfg.Grace {
+			if _, err := e.tracker.Evict(p); err == nil {
+				e.evicted = append(e.evicted, p)
+				e.counts.Evictions++
+			}
+			delete(e.since, p)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package member
+
+import (
+	"errors"
+	"fmt"
+
+	"msgorder/internal/crash"
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+)
+
+// Transfer errors.
+var (
+	// ErrReplayDiverged reports a rebuilt instance emitting different
+	// outputs than the journaled incarnation — the state transfer is
+	// not byte-identical and must not go live.
+	ErrReplayDiverged = errors.New("member: transfer replay diverged from journal")
+	// ErrNoSnapshotter reports a checkpointed transfer for a protocol
+	// that cannot restore snapshots.
+	ErrNoSnapshotter = errors.New("member: checkpoint present but protocol has no Snapshotter")
+)
+
+// Checkpoint is one process's transferable ordering state at an epoch
+// boundary: the latest WAL checkpoint blob (opaque — the runtime that
+// wrote it decodes it) plus the journal suffix since. A joiner
+// materializes it into a fresh WAL and durable-boots from that, which
+// restores the snapshot, replays the suffix with output verification,
+// and continues the departed incarnation exactly.
+type Checkpoint struct {
+	// Epoch is the membership epoch the state was captured at.
+	Epoch uint64
+	// Proc is the process slot the state belongs to.
+	Proc event.ProcID
+	// Snapshot is the WAL checkpoint blob (nil if never checkpointed).
+	Snapshot []byte
+	// Suffix is the journal since the checkpoint, in order.
+	Suffix []crash.Entry
+}
+
+// Capture reads a process's transferable state out of its WAL at the
+// given epoch boundary. The WAL must be quiesced (no concurrent
+// appends): capture happens after the departing incarnation stopped.
+func Capture(epoch uint64, proc event.ProcID, w *crash.WAL) Checkpoint {
+	snap, entries := w.Replay()
+	suffix := make([]crash.Entry, len(entries))
+	copy(suffix, entries)
+	return Checkpoint{Epoch: epoch, Proc: proc, Snapshot: snap, Suffix: suffix}
+}
+
+// Materialize writes the checkpoint into a fresh file WAL at path, in
+// the exact shape a durable boot expects: the snapshot as the WAL's
+// checkpoint record, then the suffix entries. The path must not name
+// an existing WAL with state of its own.
+func (c Checkpoint) Materialize(path string) error {
+	w, err := crash.OpenFileWAL(path)
+	if err != nil {
+		return fmt.Errorf("member: materialize: %w", err)
+	}
+	if c.Snapshot != nil {
+		if err := w.Checkpoint(c.Snapshot); err != nil {
+			w.Close()
+			return fmt.Errorf("member: materialize checkpoint: %w", err)
+		}
+	}
+	for _, e := range c.Suffix {
+		if err := w.Append(e); err != nil {
+			w.Close()
+			return fmt.Errorf("member: materialize append: %w", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		return fmt.Errorf("member: materialize close: %w", err)
+	}
+	return nil
+}
+
+// replayEnv is the effect-suppressing protocol environment used while
+// rebuilding a transferred instance: outputs are collected for
+// divergence verification instead of being executed.
+type replayEnv struct {
+	self  event.ProcID
+	procs int
+	got   []crash.Entry
+}
+
+func (e *replayEnv) Self() event.ProcID { return e.self }
+func (e *replayEnv) NumProcs() int      { return e.procs }
+func (e *replayEnv) Send(w protocol.Wire) {
+	w.From = e.self
+	e.got = append(e.got, crash.Entry{Kind: crash.EntrySend, Wire: w})
+}
+func (e *replayEnv) Deliver(id event.MsgID) {
+	e.got = append(e.got, crash.Entry{Kind: crash.EntryDeliver, ID: id})
+}
+
+// Rebuild reconstructs a live protocol instance from the checkpoint:
+// restore the snapshot (which must be a raw protocol snapshot — the
+// sim-runtime WAL shape; the socket runtime's composite checkpoints
+// are rebuilt by netmesh's own durable boot via Materialize), then
+// replay the suffix inputs with effects suppressed, verifying each
+// input's outputs against the journaled ones. Returns the instance and
+// the number of replayed inputs; the instance's state is byte-identical
+// to the departed incarnation's (guaranteed by Snapshotter determinism
+// plus the output verification).
+func (c Checkpoint) Rebuild(maker protocol.Maker, procs int) (protocol.Process, int, error) {
+	inst := maker()
+	env := &replayEnv{self: c.Proc, procs: procs}
+	inst.Init(env)
+	if c.Snapshot != nil {
+		s, ok := inst.(protocol.Snapshotter)
+		if !ok {
+			return nil, 0, ErrNoSnapshotter
+		}
+		if err := s.Restore(c.Snapshot); err != nil {
+			return nil, 0, fmt.Errorf("member: rebuild restore: %w", err)
+		}
+	}
+	var outs []crash.Entry
+	for _, en := range c.Suffix {
+		if !en.Input() {
+			outs = append(outs, en)
+		}
+	}
+	oi, replayed := 0, 0
+	for _, en := range c.Suffix {
+		if !en.Input() {
+			continue
+		}
+		switch en.Kind {
+		case crash.EntryInvoke:
+			inst.OnInvoke(en.Msg)
+		case crash.EntryBroadcast:
+			if b, ok := inst.(protocol.Broadcaster); ok {
+				b.OnBroadcast(en.Msgs)
+			} else {
+				for _, m := range en.Msgs {
+					inst.OnInvoke(m)
+				}
+			}
+		case crash.EntryReceive:
+			inst.OnReceive(en.Wire)
+		}
+		replayed++
+		for _, g := range env.got {
+			if oi >= len(outs) || !crash.SameOutput(outs[oi], g) {
+				return nil, 0, fmt.Errorf("%w: P%d at input %d (%s)", ErrReplayDiverged, c.Proc, replayed, en.Kind)
+			}
+			oi++
+		}
+		env.got = env.got[:0]
+	}
+	if oi != len(outs) {
+		return nil, 0, fmt.Errorf("%w: P%d re-emitted %d of %d journaled outputs", ErrReplayDiverged, c.Proc, oi, len(outs))
+	}
+	return inst, replayed, nil
+}
+
+// UserEvents projects a journal suffix onto the paper's user view:
+// EntrySend of a user wire becomes the send event x.s, EntryDeliver
+// becomes the delivery event x.r, in journal order. Control wires and
+// handler inputs are invisible to the user, exactly as in the paper's
+// h|s,r projection.
+func UserEvents(entries []crash.Entry) []event.Event {
+	var out []event.Event
+	for _, e := range entries {
+		switch e.Kind {
+		case crash.EntrySend:
+			if e.Wire.Kind == protocol.UserWire {
+				out = append(out, event.E(e.Wire.Msg, event.Send))
+			}
+		case crash.EntryDeliver:
+			out = append(out, event.E(e.ID, event.Deliver))
+		}
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+// Package member adds dynamic membership to the harness: an
+// epoch-numbered view of which processes are present, protocol-correct
+// state transfer so a joiner can continue another incarnation's
+// ordering state byte-for-byte (built on protocol.Snapshotter plus the
+// internal/crash WAL), and an Evictor that turns a heartbeat
+// detector's persistent suspicions into administrative evictions.
+//
+// The paper's run model fixes the process set; membership churn is the
+// production reality layered above it. The design keeps the paper's
+// model intact per epoch: every view change bumps the epoch number,
+// and within one epoch the process set is fixed, so each epoch is a
+// well-formed run fragment. A joiner installs a snapshot at an epoch
+// boundary and replays the journaled suffix, which the transfer
+// machinery verifies reproduces the journaled outputs exactly.
+package member
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"msgorder/internal/event"
+	"msgorder/internal/snapio"
+)
+
+// Membership errors.
+var (
+	// ErrNotMember reports an operation on a process absent from the
+	// current view.
+	ErrNotMember = errors.New("member: process not in view")
+	// ErrAlreadyMember reports a join for a process already present.
+	ErrAlreadyMember = errors.New("member: process already in view")
+)
+
+// StaleEpochError reports an operation tagged with an epoch older than
+// the view's current one — the caller acted on a membership view that
+// has since changed.
+type StaleEpochError struct {
+	// Have is the epoch the caller presented.
+	Have uint64
+	// Want is the view's current epoch.
+	Want uint64
+}
+
+// Error formats the stale-epoch report.
+func (e *StaleEpochError) Error() string {
+	return fmt.Sprintf("member: stale epoch %d (current %d)", e.Have, e.Want)
+}
+
+// Op is a membership transition kind.
+type Op uint8
+
+// Membership transition kinds.
+const (
+	// OpJoin adds a process to the view.
+	OpJoin Op = iota + 1
+	// OpLeave removes a process voluntarily (clean departure).
+	OpLeave
+	// OpEvict removes a process administratively (suspected dead).
+	OpEvict
+)
+
+// String returns the op name.
+func (o Op) String() string {
+	switch o {
+	case OpJoin:
+		return "join"
+	case OpLeave:
+		return "leave"
+	case OpEvict:
+		return "evict"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// View is one epoch's membership: Present[p] reports whether process p
+// is in the group. The slice is sized to the fixed capacity (the
+// maximum process set the harness was built for); epochs number view
+// changes starting from 0 for the initial view.
+type View struct {
+	// Epoch numbers this view; every transition increments it.
+	Epoch uint64
+	// Present flags each process slot's membership.
+	Present []bool
+}
+
+// Members returns the present processes in ascending order.
+func (v View) Members() []event.ProcID {
+	out := make([]event.ProcID, 0, len(v.Present))
+	for p, in := range v.Present {
+		if in {
+			out = append(out, event.ProcID(p))
+		}
+	}
+	return out
+}
+
+// Contains reports whether p is in the view.
+func (v View) Contains(p event.ProcID) bool {
+	return int(p) >= 0 && int(p) < len(v.Present) && v.Present[p]
+}
+
+// Count returns the number of present processes.
+func (v View) Count() int {
+	n := 0
+	for _, in := range v.Present {
+		if in {
+			n++
+		}
+	}
+	return n
+}
+
+// clone deep-copies the view.
+func (v View) clone() View {
+	p := make([]bool, len(v.Present))
+	copy(p, v.Present)
+	return View{Epoch: v.Epoch, Present: p}
+}
+
+// Encode returns a deterministic encoding of the view (equal views
+// always encode to equal bytes).
+func (v View) Encode() []byte {
+	var w snapio.Writer
+	w.U64(v.Epoch)
+	w.Int(len(v.Present))
+	for _, in := range v.Present {
+		w.Bool(in)
+	}
+	return w.Out()
+}
+
+// DecodeView rebuilds a view from Encode's bytes.
+func DecodeView(b []byte) (View, error) {
+	r := snapio.NewReader(b)
+	v := View{Epoch: r.U64()}
+	n := r.Int()
+	if n > 0 && r.Err() == nil {
+		v.Present = make([]bool, n)
+		for i := range v.Present {
+			v.Present[i] = r.Bool()
+		}
+	}
+	if err := r.Close(); err != nil {
+		return View{}, fmt.Errorf("member: corrupt view encoding: %w", err)
+	}
+	return v, nil
+}
+
+// Transition is one recorded view change.
+type Transition struct {
+	// Epoch is the epoch the transition created.
+	Epoch uint64
+	// Op is the transition kind.
+	Op Op
+	// Proc is the process that joined or departed.
+	Proc event.ProcID
+}
+
+// Tracker is the authoritative membership state for one group: the
+// current view plus the full transition log. Safe for concurrent use.
+type Tracker struct {
+	mu   sync.Mutex
+	view View
+	log  []Transition
+}
+
+// NewTracker builds a tracker over capacity process slots with the
+// given initial members at epoch 0.
+func NewTracker(capacity int, initial []event.ProcID) *Tracker {
+	v := View{Present: make([]bool, capacity)}
+	for _, p := range initial {
+		v.Present[p] = true
+	}
+	return &Tracker{view: v}
+}
+
+// View returns a copy of the current view.
+func (t *Tracker) View() View {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.view.clone()
+}
+
+// Epoch returns the current epoch number.
+func (t *Tracker) Epoch() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.view.Epoch
+}
+
+// Log returns a copy of the transition log.
+func (t *Tracker) Log() []Transition {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Transition, len(t.log))
+	copy(out, t.log)
+	return out
+}
+
+// CheckEpoch validates a caller-presented epoch against the current
+// one, returning a *StaleEpochError on mismatch.
+func (t *Tracker) CheckEpoch(epoch uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if epoch != t.view.Epoch {
+		return &StaleEpochError{Have: epoch, Want: t.view.Epoch}
+	}
+	return nil
+}
+
+// Join adds p to the view, bumping the epoch. Returns the new view.
+func (t *Tracker) Join(p event.ProcID) (View, error) {
+	return t.apply(OpJoin, p)
+}
+
+// Leave removes p from the view voluntarily, bumping the epoch.
+// Returns the new view.
+func (t *Tracker) Leave(p event.ProcID) (View, error) {
+	return t.apply(OpLeave, p)
+}
+
+// Evict removes p from the view administratively (the failure-detector
+// path), bumping the epoch. Returns the new view.
+func (t *Tracker) Evict(p event.ProcID) (View, error) {
+	return t.apply(OpEvict, p)
+}
+
+// apply performs one transition under the lock.
+func (t *Tracker) apply(op Op, p event.ProcID) (View, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(p) < 0 || int(p) >= len(t.view.Present) {
+		return View{}, fmt.Errorf("%w: process %d out of range", ErrNotMember, p)
+	}
+	switch op {
+	case OpJoin:
+		if t.view.Present[p] {
+			return View{}, fmt.Errorf("%w: process %d", ErrAlreadyMember, p)
+		}
+		t.view.Present[p] = true
+	case OpLeave, OpEvict:
+		if !t.view.Present[p] {
+			return View{}, fmt.Errorf("%w: process %d", ErrNotMember, p)
+		}
+		t.view.Present[p] = false
+	}
+	t.view.Epoch++
+	t.log = append(t.log, Transition{Epoch: t.view.Epoch, Op: op, Proc: p})
+	return t.view.clone(), nil
+}

@@ -1,0 +1,71 @@
+package modrpc
+
+import (
+	"errors"
+	"testing"
+
+	"msgorder/internal/event"
+)
+
+// TestRouterEpochTransitions checks Join and Evict each bump the
+// epoch and that ForEpoch refuses routes computed under older views
+// with the typed stale-epoch error.
+func TestRouterEpochTransitions(t *testing.T) {
+	clients := []*Client{{}, {}, {}}
+	r := NewRouter(clients)
+	if r.Epoch() != 0 {
+		t.Fatalf("fresh router epoch = %d, want 0", r.Epoch())
+	}
+	if c, err := r.ForEpoch(7, 0); err != nil || c == nil {
+		t.Fatalf("ForEpoch at current view failed: %v", err)
+	}
+
+	stale := r.Epoch()
+	if e := r.Join(&Client{}); e != 1 {
+		t.Fatalf("Join epoch = %d, want 1", e)
+	}
+	_, err := r.ForEpoch(7, stale)
+	if !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale route error = %v, want ErrStaleEpoch", err)
+	}
+	var se *StaleEpochError
+	if !errors.As(err, &se) || se.Have != 0 || se.Want != 1 {
+		t.Fatalf("stale detail = %+v", se)
+	}
+	if c, err := r.ForEpoch(7, 1); err != nil || c == nil {
+		t.Fatalf("refreshed route failed: %v", err)
+	}
+}
+
+// TestRouterEvictedOwnerRejected checks keys hashing to an evicted
+// member get ErrDeparted rather than a silently re-homed route, and
+// that keys owned by survivors still resolve.
+func TestRouterEvictedOwnerRejected(t *testing.T) {
+	clients := []*Client{{}, {}, {}}
+	r := NewRouter(clients)
+	// Find one key per owner so the test is ring-layout independent.
+	keyFor := make(map[int]event.Key)
+	for k := event.Key(1); len(keyFor) < 3 && k < 10_000; k++ {
+		i := r.Index(k)
+		if _, ok := keyFor[i]; !ok {
+			keyFor[i] = k
+		}
+	}
+	if len(keyFor) != 3 {
+		t.Fatalf("ring never routed to all 3 daemons: %v", keyFor)
+	}
+
+	if e := r.Evict(1); e != 1 {
+		t.Fatalf("Evict epoch = %d, want 1", e)
+	}
+	if _, err := r.ForEpoch(keyFor[1], 1); !errors.Is(err, ErrDeparted) {
+		t.Fatalf("evicted owner route error = %v, want ErrDeparted", err)
+	}
+	if c, err := r.ForEpoch(keyFor[0], 1); err != nil || c != clients[0] {
+		t.Fatalf("survivor route = %v, %v", c, err)
+	}
+	// The legacy epoch-unaware route is unchanged: same owner index.
+	if got := r.For(keyFor[1]); got != clients[1] {
+		t.Fatal("legacy For() re-homed an evicted owner's key")
+	}
+}

@@ -11,6 +11,7 @@ package modrpc
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -348,19 +349,113 @@ func (c *Client) Shutdown() error {
 // every driver routes a given key to the same mesh regardless of
 // which driver computed the route. Clients are indexed by their ring
 // position; growing the fleet re-homes only ~1/n of the keyspace.
+//
+// The router also carries a membership epoch: every fleet transition
+// (join, administrative eviction) bumps it, and drivers holding a
+// route computed under an older view can detect the staleness with
+// ForEpoch instead of silently invoking through a departed daemon.
 type Router struct {
-	ring    *shard.Ring
-	clients []*Client
+	mu       sync.RWMutex
+	epoch    uint64
+	ring     *shard.Ring
+	clients  []*Client
+	departed []bool
 }
 
-// NewRouter builds a router over the daemon fleet. The client order
-// is the ring order: every driver must list the fleet identically.
+// ErrStaleEpoch reports a keyed route computed against an older fleet
+// view than the router's current one. Check with errors.Is; the
+// wrapped *StaleEpochError carries both epochs.
+var ErrStaleEpoch = errors.New("modrpc: stale membership epoch")
+
+// ErrDeparted reports a route landing on a fleet member that has been
+// evicted from the current view.
+var ErrDeparted = errors.New("modrpc: daemon departed the fleet")
+
+// StaleEpochError details an epoch mismatch on a keyed invoke.
+type StaleEpochError struct {
+	// Have is the epoch the caller routed under; Want the router's.
+	Have, Want uint64
+}
+
+// Error formats the mismatch.
+func (e *StaleEpochError) Error() string {
+	return fmt.Sprintf("modrpc: stale membership epoch %d, fleet is at %d", e.Have, e.Want)
+}
+
+// Is makes errors.Is(err, ErrStaleEpoch) match.
+func (e *StaleEpochError) Is(target error) bool { return target == ErrStaleEpoch }
+
+// NewRouter builds a router over the daemon fleet at epoch 0. The
+// client order is the ring order: every driver must list the fleet
+// identically.
 func NewRouter(clients []*Client) *Router {
-	return &Router{ring: shard.NewRing(len(clients), 0), clients: clients}
+	return &Router{ring: shard.NewRing(len(clients), 0), clients: clients,
+		departed: make([]bool, len(clients))}
 }
 
 // Index returns the fleet index that owns key k.
-func (r *Router) Index(k event.Key) int { return r.ring.Daemon(k) }
+func (r *Router) Index(k event.Key) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ring.Daemon(k)
+}
 
-// For returns the client for the daemon mesh that owns key k.
-func (r *Router) For(k event.Key) *Client { return r.clients[r.Index(k)] }
+// For returns the client for the daemon mesh that owns key k. It is
+// the epoch-unaware legacy route: a departed owner is returned as-is,
+// matching the static-fleet contract. Epoch-aware drivers use
+// ForEpoch.
+func (r *Router) For(k event.Key) *Client {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.clients[r.ring.Daemon(k)]
+}
+
+// Epoch returns the router's current membership epoch.
+func (r *Router) Epoch() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.epoch
+}
+
+// Join appends a daemon to the ring (re-homing ~1/n of the keyspace)
+// and bumps the epoch.
+func (r *Router) Join(c *Client) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clients = append(r.clients, c)
+	r.departed = append(r.departed, false)
+	r.ring = shard.NewRing(len(r.clients), 0)
+	r.epoch++
+	return r.epoch
+}
+
+// Evict marks fleet index i departed and bumps the epoch. The ring
+// keeps its shape — keys still hash to the departed slot so that
+// surviving drivers get ErrDeparted instead of a silently re-homed
+// route the rest of the fleet doesn't agree on.
+func (r *Router) Evict(i int) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i >= 0 && i < len(r.departed) {
+		r.departed[i] = true
+	}
+	r.epoch++
+	return r.epoch
+}
+
+// ForEpoch returns the client owning key k iff the caller's epoch
+// matches the router's current view. A stale epoch yields a typed
+// *StaleEpochError (errors.Is ErrStaleEpoch); a route landing on an
+// evicted member yields ErrDeparted.
+func (r *Router) ForEpoch(k event.Key, epoch uint64) (*Client, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if epoch != r.epoch {
+		return nil, &StaleEpochError{Have: epoch, Want: r.epoch}
+	}
+	i := r.ring.Daemon(k)
+	if r.departed[i] {
+		return nil, fmt.Errorf("%w: index %d owns key %d", ErrDeparted, i, k)
+	}
+	return r.clients[i], nil
+}

@@ -140,6 +140,11 @@ type outbox struct {
 	timer    *time.Timer
 	timerGen uint64
 	expired  bool
+	// beats counts queued heartbeat envelopes. Beats coalesce: a beat
+	// pushed while one is already queued is dropped, so a partitioned
+	// peer's outbox holds at most one stale beat instead of growing
+	// without bound for the life of the cut.
+	beats int
 }
 
 func newOutbox() *outbox {
@@ -151,6 +156,13 @@ func newOutbox() *outbox {
 func (b *outbox) push(e transport.Envelope) {
 	b.mu.Lock()
 	if !b.closed {
+		if e.Kind == transport.Beat {
+			if b.beats > 0 {
+				b.mu.Unlock()
+				return // coalesce: one pending beat per peer is enough
+			}
+			b.beats++
+		}
 		b.q = append(b.q, e)
 	}
 	b.mu.Unlock()
@@ -199,6 +211,11 @@ func (b *outbox) popBatch(buf []transport.Envelope, max int, window time.Duratio
 		n = max
 	}
 	buf = append(buf[:0], b.q[:n]...)
+	for _, e := range buf {
+		if e.Kind == transport.Beat {
+			b.beats--
+		}
+	}
 	// Compact in place so the backing array keeps being reused instead
 	// of creeping forward and re-allocating.
 	m := copy(b.q, b.q[n:])
@@ -224,6 +241,17 @@ func (b *outbox) empty() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.q) == 0
+}
+
+// flushable reports whether the outbox holds envelopes worth waiting
+// for at Close. Queued heartbeats don't count: a beat that hasn't
+// reached its peer is stale the moment the mesh starts closing, so an
+// unreachable peer's beat residue must not stall shutdown for the
+// full drain timeout.
+func (b *outbox) flushable() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.q) > b.beats
 }
 
 // Mesh is one process's endpoint of the peer mesh. NewMesh starts the
@@ -327,7 +355,7 @@ func (m *Mesh) Close() error {
 	m.once.Do(func() {
 		deadline := time.Now().Add(m.cfg.DrainTimeout)
 		for _, box := range m.boxes {
-			for !box.empty() && time.Now().Before(deadline) {
+			for box.flushable() && time.Now().Before(deadline) {
 				time.Sleep(500 * time.Microsecond)
 			}
 		}
@@ -488,7 +516,8 @@ func (m *Mesh) runSender(peer event.ProcID, box *outbox) {
 			conn.Close()
 		}
 	}()
-	dials := 0
+	rd := redialer{base: m.cfg.DialBackoff, max: m.cfg.MaxDialBackoff}
+	totalDials := 0
 	var batch []transport.Envelope // reused pop buffer
 	enc := getEncoder()
 	defer putEncoder(enc)
@@ -513,8 +542,11 @@ func (m *Mesh) runSender(peer event.ProcID, box *outbox) {
 			if m.closed() {
 				return
 			}
-			c, err := m.dial(peer, dials)
-			dials++
+			if totalDials > 0 {
+				m.count(func(c *Counters) { c.Redials++ })
+			}
+			c, err := m.dial(peer, rd.next(m.jitter))
+			totalDials++
 			if err != nil {
 				if errors.Is(err, ErrRejected) {
 					m.mu.Lock()
@@ -528,6 +560,7 @@ func (m *Mesh) runSender(peer event.ProcID, box *outbox) {
 			}
 			conn = c
 			bw = bufio.NewWriter(conn)
+			rd.success()
 		}
 		payload := encodeBatch(enc, kept)
 		err := writeFrame(bw, payload)
@@ -577,22 +610,53 @@ func (m *Mesh) decideFaults(e *transport.Envelope, box *outbox) bool {
 	}
 }
 
-// dial opens, handshakes and vets one connection to peer, sleeping the
-// current backoff first (attempt 0 dials immediately).
-func (m *Mesh) dial(peer event.ProcID, attempt int) (net.Conn, error) {
-	if attempt > 0 {
-		m.count(func(c *Counters) { c.Redials++ })
-		backoff := m.cfg.DialBackoff << uint(min(attempt-1, 16))
-		if backoff > m.cfg.MaxDialBackoff {
-			backoff = m.cfg.MaxDialBackoff
-		}
-		m.mu.Lock()
-		jitter := time.Duration(m.rng.Int63n(int64(backoff) + 1))
-		m.mu.Unlock()
+// redialer computes the per-peer reconnect schedule: exponential
+// growth from base, capped at max, reset to zero after a successful
+// handshake. Keeping the attempt counter here (instead of a running
+// dial tally in runSender) is what makes a reconnect after a
+// long-lived connection breaks start back at the base backoff rather
+// than the cap — the old tally never reset, so every peer that had
+// ever redialed piled up at max backoff and reconnected in lockstep.
+type redialer struct {
+	base, max time.Duration
+	attempt   int
+}
+
+// next returns how long to sleep before the upcoming dial attempt:
+// zero for the first attempt of a (re)connect cycle, then a jittered
+// exponential backoff. rng draws a uniform value in [0, n).
+func (d *redialer) next(rng func(n int64) int64) time.Duration {
+	d.attempt++
+	if d.attempt == 1 {
+		return 0
+	}
+	backoff := d.base << uint(min(d.attempt-2, 16))
+	if backoff > d.max {
+		backoff = d.max
+	}
+	jitter := time.Duration(rng(int64(backoff) + 1))
+	return backoff/2 + jitter/2
+}
+
+// success resets the schedule after a completed handshake so the next
+// disconnect starts a fresh cycle at the base backoff.
+func (d *redialer) success() { d.attempt = 0 }
+
+// jitter draws a uniform value in [0, n) from the mesh's seeded rng.
+func (m *Mesh) jitter(n int64) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rng.Int63n(n)
+}
+
+// dial opens, handshakes and vets one connection to peer, sleeping
+// delay first (the redialer hands attempt 0 a zero delay).
+func (m *Mesh) dial(peer event.ProcID, delay time.Duration) (net.Conn, error) {
+	if delay > 0 {
 		select {
 		case <-m.closing:
 			return nil, errors.New("netmesh: closing")
-		case <-time.After(backoff/2 + jitter/2):
+		case <-time.After(delay):
 		}
 	}
 	m.count(func(c *Counters) { c.Dials++ })

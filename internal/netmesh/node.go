@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"msgorder/internal/crash"
@@ -69,9 +70,29 @@ type NodeConfig struct {
 	// latency probe. It must be fast and must not call back into the
 	// node.
 	OnDeliver func(event.MsgID)
+	// Heartbeat, when enabled, wires a failure detector into the node.
+	Heartbeat HeartbeatConfig
 	// Tracer and Metrics, when non-nil, instrument the node.
 	Tracer  obs.Tracer
 	Metrics *obs.Registry
+}
+
+// HeartbeatConfig runs a liveness beat loop on the node: every
+// Interval the node sends one transport.Beat envelope to each peer —
+// through the mesh, so the fault injector's partitions and one-way
+// cuts starve them exactly like data traffic — and records its own
+// liveness on Detector; arriving beats feed Detector.Beat with their
+// sender. Beats are unsequenced, unacked and never journaled: losing
+// one is the failure signal, not a fault to mask. Zero Interval or
+// nil Detector disables the loop.
+type HeartbeatConfig struct {
+	// Interval is the beat period.
+	Interval time.Duration
+	// Detector, when non-nil, accumulates beats at this node's vantage
+	// and publishes suspicions — set it on the observer node driving
+	// administrative eviction. Nodes with a nil Detector still send
+	// beats (so observers can watch them) but ignore arriving ones.
+	Detector *crash.Detector
 }
 
 // inbox item kinds.
@@ -155,6 +176,11 @@ type Node struct {
 	down        bool
 	incarnation int
 	heldInvokes []event.Message // invokes arriving during downtime
+
+	// downPub mirrors the handler goroutine's down flag for the beat
+	// goroutine: a crashed incarnation must fall silent.
+	downPub  atomic.Bool
+	beatStop chan struct{}
 
 	mu        sync.Mutex
 	events    []event.Event // user-visible events at Self, in local order
@@ -304,7 +330,40 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 
 	n.wg.Add(1)
 	go n.run()
+	if hb := cfg.Heartbeat; hb.Interval > 0 {
+		n.beatStop = make(chan struct{})
+		n.wg.Add(1)
+		go n.runBeats(hb)
+	}
 	return n, nil
+}
+
+// runBeats is the heartbeat loop: every interval, record own liveness
+// and fan one Beat envelope out to every peer. A crashed incarnation
+// falls silent until its restart.
+func (n *Node) runBeats(hb HeartbeatConfig) {
+	defer n.wg.Done()
+	t := time.NewTicker(hb.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.beatStop:
+			return
+		case <-t.C:
+		}
+		if n.downPub.Load() {
+			continue
+		}
+		if hb.Detector != nil {
+			hb.Detector.Beat(n.cfg.Self)
+		}
+		for p := 0; p < n.cfg.Procs; p++ {
+			if event.ProcID(p) == n.cfg.Self {
+				continue
+			}
+			n.mesh.Send(transport.Envelope{Src: n.cfg.Self, Dst: event.ProcID(p), Kind: transport.Beat})
+		}
+	}
 }
 
 // boot brings the first incarnation live. With a fresh journal that is
@@ -507,6 +566,9 @@ func (n *Node) Close() error {
 	for _, t := range timers {
 		t.Stop()
 	}
+	if n.beatStop != nil {
+		close(n.beatStop)
+	}
 	n.q.close()
 	n.wg.Wait()
 	n.tr.Close()
@@ -582,6 +644,15 @@ func (n *Node) handleBatch(envs []transport.Envelope) {
 		switch e.Kind {
 		case transport.Ack:
 			n.tr.Ack(e)
+		case transport.Beat:
+			// Liveness signal only: no ack, no journal, no dedup — a
+			// crashed incarnation is deaf to beats too.
+			if n.down {
+				continue
+			}
+			if det := n.cfg.Heartbeat.Detector; det != nil {
+				det.Beat(e.Src)
+			}
 		case transport.Data:
 			if n.down {
 				continue
@@ -675,6 +746,7 @@ func (n *Node) doCrash(downtime time.Duration) {
 		return
 	}
 	n.down = true
+	n.downPub.Store(true)
 	n.mu.Lock()
 	n.stats.Crashes++
 	closed := n.closed
@@ -785,6 +857,7 @@ func (n *Node) doRestart() {
 	e.got = nil
 	n.inst, n.env = inst, e
 	n.down = false
+	n.downPub.Store(false)
 	n.incarnation++
 	n.mu.Lock()
 	n.stats.Recoveries++

@@ -1,0 +1,102 @@
+package netmesh
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// midpoint is the zero-jitter draw: next() returns backoff/2 + 0/2,
+// so feeding rng ≡ 0 exposes the raw exponential schedule.
+func zeroRNG(int64) int64 { return 0 }
+
+// TestRedialerFirstAttemptImmediate checks a fresh cycle dials with no
+// sleep at all.
+func TestRedialerFirstAttemptImmediate(t *testing.T) {
+	rd := redialer{base: time.Millisecond, max: 250 * time.Millisecond}
+	if d := rd.next(zeroRNG); d != 0 {
+		t.Fatalf("first attempt slept %v, want 0", d)
+	}
+	if d := rd.next(zeroRNG); d != time.Millisecond/2 {
+		t.Fatalf("second attempt slept %v, want base/2", d)
+	}
+}
+
+// TestRedialerGrowthCappedAtMax checks the exponential schedule stops
+// at max/2 (zero jitter) and never overflows past the cap.
+func TestRedialerGrowthCappedAtMax(t *testing.T) {
+	rd := redialer{base: time.Millisecond, max: 8 * time.Millisecond}
+	rd.next(zeroRNG) // attempt 1: immediate
+	want := []time.Duration{
+		time.Millisecond / 2, time.Millisecond, 2 * time.Millisecond,
+		4 * time.Millisecond, 4 * time.Millisecond, 4 * time.Millisecond,
+	}
+	for i, w := range want {
+		if d := rd.next(zeroRNG); d != w {
+			t.Fatalf("attempt %d slept %v, want %v", i+2, d, w)
+		}
+	}
+}
+
+// TestRedialerResetsAfterSuccess is the thundering-herd regression
+// test: after a successful handshake the next disconnect must restart
+// the schedule at zero/base, not resume at the cap. The old code kept
+// a per-sender dial tally that never reset, so a peer whose connection
+// broke after a long session jumped straight to max backoff — and
+// every such peer woke at the same capped interval.
+func TestRedialerResetsAfterSuccess(t *testing.T) {
+	rd := redialer{base: time.Millisecond, max: 250 * time.Millisecond}
+	for i := 0; i < 20; i++ { // long flaky stretch: driven to the cap
+		rd.next(zeroRNG)
+	}
+	if d := rd.next(zeroRNG); d != 125*time.Millisecond {
+		t.Fatalf("pre-success backoff %v, want max/2", d)
+	}
+	rd.success()
+	if d := rd.next(zeroRNG); d != 0 {
+		t.Fatalf("first dial after success slept %v, want immediate", d)
+	}
+	if d := rd.next(zeroRNG); d != time.Millisecond/2 {
+		t.Fatalf("second dial after success slept %v, want base/2 not max/2", d)
+	}
+}
+
+// TestRedialerJitterDecorrelates checks distinct rng streams give
+// distinct schedules, so a cohort of peers cut by the same fault does
+// not redial in lockstep.
+func TestRedialerJitterDecorrelates(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		rng := rand.New(rand.NewSource(seed))
+		rd := redialer{base: 4 * time.Millisecond, max: 256 * time.Millisecond}
+		var out []time.Duration
+		for i := 0; i < 8; i++ {
+			out = append(out, rd.next(rng.Int63n))
+		}
+		return out
+	}
+	a, b := schedule(1), schedule(2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("two seeds produced identical jitter schedules")
+	}
+	// Jitter keeps every sleep within [backoff/2, backoff]: bounded
+	// above, never below half — progress is still guaranteed.
+	rng := rand.New(rand.NewSource(7))
+	rd := redialer{base: 4 * time.Millisecond, max: 256 * time.Millisecond}
+	rd.next(rng.Int63n)
+	for i := 0; i < 16; i++ {
+		backoff := 4 * time.Millisecond << uint(min(i, 6))
+		if backoff > 256*time.Millisecond {
+			backoff = 256 * time.Millisecond
+		}
+		d := rd.next(rng.Int63n)
+		if d < backoff/2 || d > backoff {
+			t.Fatalf("attempt %d slept %v, want within [%v, %v]", i+2, d, backoff/2, backoff)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"msgorder/internal/protocols/causal"
 	"msgorder/internal/protocols/fifo"
 	"msgorder/internal/protocols/flush"
+	"msgorder/internal/protocols/handoff"
 	"msgorder/internal/protocols/kweaker"
 	syncproto "msgorder/internal/protocols/sync"
 	"msgorder/internal/protocols/tagless"
@@ -71,9 +72,13 @@ func Catalog() []Entry {
 
 // extras are runnable protocols outside the benchmark catalog.
 func extras() []Entry {
+	handoffColors := []event.Color{
+		event.ColorNone, event.ColorNone, event.ColorNone, event.ColorRed,
+	}
 	return []Entry{
 		{Name: "causal-bss", Maker: causal.BSSMaker, Spec: "causal-b2"},
 		{Name: "kweaker-2", Maker: kweaker.Maker(2)},
+		{Name: "handoff", Maker: handoff.Maker, Spec: "handoff", Colors: handoffColors},
 	}
 }
 

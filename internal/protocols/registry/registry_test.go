@@ -32,10 +32,17 @@ func TestCatalogResolves(t *testing.T) {
 	if _, ok := ByName("causal-bss"); !ok {
 		t.Fatal("extras not resolvable")
 	}
+	ho, ok := ByName("handoff")
+	if !ok {
+		t.Fatal("handoff not resolvable")
+	}
+	if ho.Pred() == nil {
+		t.Fatal("handoff entry has no predicate")
+	}
 	if _, ok := ByName("nope"); ok {
 		t.Fatal("unknown protocol resolved")
 	}
-	if names := Names(); len(names) != 10 || names[0] != "tagless" {
+	if names := Names(); len(names) != 11 || names[0] != "tagless" {
 		t.Fatalf("Names() = %v", names)
 	}
 }

@@ -1,0 +1,161 @@
+package transport
+
+import (
+	"testing"
+
+	"msgorder/internal/event"
+)
+
+// TestOneWayPartitionDirectional checks that an asymmetric cut mutes
+// exactly the From→To direction and leaves the reverse path untouched.
+func TestOneWayPartitionDirectional(t *testing.T) {
+	in := NewInjector(FaultPlan{
+		OneWay: []OneWayPartition{{From: []event.ProcID{2}, To: []event.ProcID{0, 1}, Heal: -1}},
+		Seed:   7,
+	})
+	for i := 0; i < 50; i++ {
+		if got := in.Decide(2, 0); got != Drop {
+			t.Fatalf("muted direction 2->0: decide=%v, want Drop", got)
+		}
+		if got := in.Decide(2, 1); got != Drop {
+			t.Fatalf("muted direction 2->1: decide=%v, want Drop", got)
+		}
+		if got := in.Decide(0, 2); got != Deliver {
+			t.Fatalf("reverse direction 0->2: decide=%v, want Deliver", got)
+		}
+		if got := in.Decide(1, 0); got != Deliver {
+			t.Fatalf("unrelated pair 1->0: decide=%v, want Deliver", got)
+		}
+	}
+	c := in.Counters()
+	if c.OneWayDrops != 100 {
+		t.Fatalf("OneWayDrops = %d, want 100", c.OneWayDrops)
+	}
+	if c.Total() != 100 {
+		t.Fatalf("Total = %d, want 100", c.Total())
+	}
+}
+
+// TestOneWayPartitionHealBudget checks finite budgets heal and a
+// negative budget never does.
+func TestOneWayPartitionHealBudget(t *testing.T) {
+	in := NewInjector(FaultPlan{
+		OneWay: []OneWayPartition{{From: []event.ProcID{0}, To: []event.ProcID{1}, Heal: 3}},
+		Seed:   7,
+	})
+	for i := 0; i < 3; i++ {
+		if got := in.Decide(0, 1); got != Drop {
+			t.Fatalf("drop %d: decide=%v, want Drop", i, got)
+		}
+	}
+	if got := in.Decide(0, 1); got != Deliver {
+		t.Fatalf("after budget exhausted: decide=%v, want Deliver", got)
+	}
+
+	perm := NewInjector(FaultPlan{
+		OneWay: []OneWayPartition{{From: []event.ProcID{0}, To: []event.ProcID{1}, Heal: -1}},
+		Seed:   7,
+	})
+	for i := 0; i < 1000; i++ {
+		if got := perm.Decide(0, 1); got != Drop {
+			t.Fatalf("permanent cut healed at drop %d", i)
+		}
+	}
+}
+
+// TestCutOneWayDynamic arms a cut mid-run and heals it again.
+func TestCutOneWayDynamic(t *testing.T) {
+	in := NewInjector(FaultPlan{Seed: 7})
+	if got := in.Decide(2, 0); got != Deliver {
+		t.Fatalf("before cut: decide=%v, want Deliver", got)
+	}
+	in.CutOneWay([]event.ProcID{2}, []event.ProcID{0, 1}, -1)
+	if got := in.Decide(2, 0); got != Drop {
+		t.Fatalf("after cut 2->0: decide=%v, want Drop", got)
+	}
+	if got := in.Decide(0, 2); got != Deliver {
+		t.Fatalf("after cut 0->2: decide=%v, want Deliver", got)
+	}
+	in.HealOneWay()
+	if got := in.Decide(2, 0); got != Deliver {
+		t.Fatalf("after heal: decide=%v, want Deliver", got)
+	}
+}
+
+// TestZonesCrossZonePenalty checks the geo tiers: cross-zone
+// transmissions suffer the extra drop/delay probabilities,
+// intra-zone ones never do.
+func TestZonesCrossZonePenalty(t *testing.T) {
+	in := NewInjector(FaultPlan{
+		Zones:          [][]event.ProcID{{0}, {1, 2}},
+		CrossZoneDelay: 0.5,
+		CrossZoneDrop:  0.2,
+		Seed:           11,
+	})
+	cross, intra := 0, 0
+	for i := 0; i < 400; i++ {
+		if in.Decide(0, 1) != Deliver {
+			cross++
+		}
+		if in.Decide(1, 2) != Deliver {
+			intra++
+		}
+	}
+	if intra != 0 {
+		t.Fatalf("intra-zone faults = %d, want 0", intra)
+	}
+	// 400 draws at 0.7 total penalty: expect ~280 faults.
+	if cross < 200 || cross > 360 {
+		t.Fatalf("cross-zone faults = %d, want roughly 280", cross)
+	}
+	if c := in.Counters(); c.ZoneFaults != cross {
+		t.Fatalf("ZoneFaults = %d, want %d", c.ZoneFaults, cross)
+	}
+}
+
+// TestSlowLinkBidirectional checks a named slow link degrades both
+// directions of its pair and no other.
+func TestSlowLinkBidirectional(t *testing.T) {
+	in := NewInjector(FaultPlan{
+		SlowLinks: []SlowLink{{A: 0, B: 2, DelayProb: 0.6, DropProb: 0.2}},
+		Seed:      13,
+	})
+	ab, ba, other := 0, 0, 0
+	for i := 0; i < 400; i++ {
+		if in.Decide(0, 2) != Deliver {
+			ab++
+		}
+		if in.Decide(2, 0) != Deliver {
+			ba++
+		}
+		if in.Decide(0, 1) != Deliver {
+			other++
+		}
+	}
+	if other != 0 {
+		t.Fatalf("off-link faults = %d, want 0", other)
+	}
+	if ab < 240 || ba < 240 {
+		t.Fatalf("slow-link faults ab=%d ba=%d, want roughly 320 each", ab, ba)
+	}
+	if c := in.Counters(); c.LinkFaults != ab+ba {
+		t.Fatalf("LinkFaults = %d, want %d", c.LinkFaults, ab+ba)
+	}
+}
+
+// TestTopologyPlanEnabled checks Enabled() sees the new plan shapes.
+func TestTopologyPlanEnabled(t *testing.T) {
+	if (FaultPlan{}).Enabled() {
+		t.Fatal("zero plan reported enabled")
+	}
+	cases := []FaultPlan{
+		{OneWay: []OneWayPartition{{From: []event.ProcID{0}, To: []event.ProcID{1}}}},
+		{SlowLinks: []SlowLink{{A: 0, B: 1, DropProb: 0.1}}},
+		{Zones: [][]event.ProcID{{0}, {1}}, CrossZoneDelay: 0.1},
+	}
+	for i, p := range cases {
+		if !p.Enabled() {
+			t.Fatalf("case %d: plan not reported enabled", i)
+		}
+	}
+}

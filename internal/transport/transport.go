@@ -49,13 +49,35 @@ type FaultPlan struct {
 	// Partitions are network cuts: transmissions crossing an active cut
 	// are dropped until the cut's heal budget is exhausted.
 	Partitions []Partition
+	// OneWay are asymmetric cuts: only transmissions travelling in the
+	// cut's From→To direction are dropped; the reverse direction flows.
+	// This is the topology shape that fools heartbeat detectors — the
+	// mute side still hears everyone, everyone else suspects it.
+	OneWay []OneWayPartition
+	// Zones assigns processes to geo-latency tiers: transmissions whose
+	// endpoints sit in different zones suffer the extra CrossZoneDelay /
+	// CrossZoneDrop probabilities on top of the base rates. Processes
+	// not listed in any zone share one implicit zone of their own.
+	Zones [][]event.ProcID
+	// CrossZoneDelay is the extra probability a cross-zone transmission
+	// is pushed back into the in-flight set (geo latency as reordering).
+	CrossZoneDelay float64
+	// CrossZoneDrop is the extra probability a cross-zone transmission
+	// is discarded (long-haul loss).
+	CrossZoneDrop float64
+	// SlowLinks name individual degraded peer pairs (both directions):
+	// each carries its own delay/drop probabilities, independent of
+	// zones — a flaky cable inside an otherwise healthy tier.
+	SlowLinks []SlowLink
 	// Seed drives the injector's RNG (default 1).
 	Seed int64
 }
 
 // Enabled reports whether the plan injects any fault at all.
 func (p FaultPlan) Enabled() bool {
-	return p.DropRate > 0 || p.DupRate > 0 || p.DelayJitter > 0 || len(p.Partitions) > 0
+	return p.DropRate > 0 || p.DupRate > 0 || p.DelayJitter > 0 || len(p.Partitions) > 0 ||
+		len(p.OneWay) > 0 || len(p.SlowLinks) > 0 ||
+		(len(p.Zones) > 0 && (p.CrossZoneDelay > 0 || p.CrossZoneDrop > 0))
 }
 
 // Partition is a temporary network cut between two sets of processes.
@@ -69,6 +91,33 @@ type Partition struct {
 	// Heal is the number of crossing transmissions dropped before the
 	// partition heals (default 16).
 	Heal int
+}
+
+// OneWayPartition is an asymmetric network cut: transmissions from a
+// process in From to a process in To are dropped; the reverse direction
+// is untouched. Heal is the number of dropped transmissions before the
+// cut heals (0 = defaultHeal); a negative Heal never heals — the shape
+// needed to model a persistently unreachable process that a failure
+// detector must eventually evict.
+type OneWayPartition struct {
+	// From and To are the muted direction's endpoints.
+	From, To []event.ProcID
+	// Heal is the drop budget (0 = default; negative = permanent).
+	Heal int
+}
+
+// SlowLink degrades the channel between one pair of processes, in both
+// directions, with its own delay/drop probabilities on top of the base
+// plan rates.
+type SlowLink struct {
+	// A and B are the degraded pair.
+	A, B event.ProcID
+	// DelayProb is the extra probability a transmission on this link is
+	// pushed back into the in-flight set.
+	DelayProb float64
+	// DropProb is the extra probability a transmission on this link is
+	// discarded.
+	DropProb float64
 }
 
 // Action is the injector's verdict for one transmission.
@@ -85,11 +134,18 @@ const (
 // FaultCounters tallies injected faults by kind.
 type FaultCounters struct {
 	Drops, Dups, Delays, PartitionDrops int
+	// OneWayDrops counts transmissions muted by an asymmetric cut.
+	OneWayDrops int
+	// ZoneFaults counts faults charged to cross-zone geo penalties.
+	ZoneFaults int
+	// LinkFaults counts faults charged to a named slow link.
+	LinkFaults int
 }
 
 // Total returns the number of faults injected.
 func (c FaultCounters) Total() int {
-	return c.Drops + c.Dups + c.Delays + c.PartitionDrops
+	return c.Drops + c.Dups + c.Delays + c.PartitionDrops +
+		c.OneWayDrops + c.ZoneFaults + c.LinkFaults
 }
 
 // Injector is a seeded, concurrency-safe fault source.
@@ -98,6 +154,9 @@ type Injector struct {
 	plan   FaultPlan
 	rng    *rand.Rand
 	parts  []partitionState
+	oneway []onewayState
+	zone   map[event.ProcID]int
+	links  map[chanKey]SlowLink
 	counts FaultCounters
 	sink   *obs.Sink
 }
@@ -131,6 +190,12 @@ func (in *Injector) record(op obs.Op, name string, from, to event.ProcID) {
 type partitionState struct {
 	a, b   map[event.ProcID]bool
 	budget int
+}
+
+// onewayState tracks an asymmetric cut; budget < 0 means permanent.
+type onewayState struct {
+	from, to map[event.ProcID]bool
+	budget   int
 }
 
 // maxFaultRate bounds the total fault probability so the adversary's
@@ -171,7 +236,66 @@ func NewInjector(plan FaultPlan) *Injector {
 		}
 		in.parts = append(in.parts, st)
 	}
+	for _, p := range plan.OneWay {
+		in.oneway = append(in.oneway, newOnewayState(p.From, p.To, p.Heal))
+	}
+	if len(plan.Zones) > 0 {
+		in.zone = make(map[event.ProcID]int)
+		for z, procs := range plan.Zones {
+			for _, id := range procs {
+				in.zone[id] = z
+			}
+		}
+	}
+	if len(plan.SlowLinks) > 0 {
+		in.links = make(map[chanKey]SlowLink, 2*len(plan.SlowLinks))
+		for _, l := range plan.SlowLinks {
+			in.links[chanKey{l.A, l.B}] = l
+			in.links[chanKey{l.B, l.A}] = l
+		}
+	}
 	return in
+}
+
+// newOnewayState builds the runtime state for an asymmetric cut: a zero
+// heal budget takes the default, a negative one means the cut never
+// heals.
+func newOnewayState(from, to []event.ProcID, heal int) onewayState {
+	st := onewayState{
+		from:   make(map[event.ProcID]bool, len(from)),
+		to:     make(map[event.ProcID]bool, len(to)),
+		budget: heal,
+	}
+	if st.budget == 0 {
+		st.budget = defaultHeal
+	}
+	for _, id := range from {
+		st.from[id] = true
+	}
+	for _, id := range to {
+		st.to[id] = true
+	}
+	return st
+}
+
+// CutOneWay arms an asymmetric cut at runtime: transmissions from a
+// process in from to a process in to are dropped until the heal budget
+// is exhausted (heal == 0 takes the default budget; heal < 0 never
+// heals). The churn harness uses this to mute a process mid-run and
+// watch the survivors' failure detectors converge on exactly it.
+func (in *Injector) CutOneWay(from, to []event.ProcID, heal int) {
+	in.mu.Lock()
+	in.oneway = append(in.oneway, newOnewayState(from, to, heal))
+	in.mu.Unlock()
+}
+
+// HealOneWay disarms every asymmetric cut, healed or not, restoring
+// full bidirectional connectivity (modulo the plan's probabilistic
+// faults).
+func (in *Injector) HealOneWay() {
+	in.mu.Lock()
+	in.oneway = nil
+	in.mu.Unlock()
 }
 
 // Decide returns the network's action for a transmission from -> to.
@@ -185,6 +309,43 @@ func (in *Injector) Decide(from, to event.ProcID) Action {
 			in.counts.PartitionDrops++
 			in.record(obs.OpPartitionDrop, "partition", from, to)
 			return Drop
+		}
+	}
+	for i := range in.oneway {
+		p := &in.oneway[i]
+		if p.budget != 0 && p.from[from] && p.to[to] {
+			if p.budget > 0 {
+				p.budget--
+			}
+			in.counts.OneWayDrops++
+			in.record(obs.OpPartitionDrop, "oneway", from, to)
+			return Drop
+		}
+	}
+	if l, ok := in.links[chanKey{from, to}]; ok {
+		r := in.rng.Float64()
+		if r < l.DropProb {
+			in.counts.LinkFaults++
+			in.record(obs.OpDrop, "slowlink", from, to)
+			return Drop
+		}
+		if r < l.DropProb+l.DelayProb {
+			in.counts.LinkFaults++
+			in.record(obs.OpDelay, "slowlink", from, to)
+			return Delay
+		}
+	}
+	if in.zone != nil && in.crossZone(from, to) {
+		r := in.rng.Float64()
+		if r < in.plan.CrossZoneDrop {
+			in.counts.ZoneFaults++
+			in.record(obs.OpDrop, "zone", from, to)
+			return Drop
+		}
+		if r < in.plan.CrossZoneDrop+in.plan.CrossZoneDelay {
+			in.counts.ZoneFaults++
+			in.record(obs.OpDelay, "zone", from, to)
+			return Delay
 		}
 	}
 	r := in.rng.Float64()
@@ -208,6 +369,20 @@ func (in *Injector) Decide(from, to event.ProcID) Action {
 	return Deliver
 }
 
+// crossZone reports whether the endpoints sit in different geo zones.
+// Processes not listed in any zone share one implicit zone.
+func (in *Injector) crossZone(from, to event.ProcID) bool {
+	za, oka := in.zone[from]
+	zb, okb := in.zone[to]
+	if !oka {
+		za = -1
+	}
+	if !okb {
+		zb = -1
+	}
+	return za != zb
+}
+
 // Counters returns a snapshot of the injected-fault tallies.
 func (in *Injector) Counters() FaultCounters {
 	in.mu.Lock()
@@ -215,13 +390,18 @@ func (in *Injector) Counters() FaultCounters {
 	return in.counts
 }
 
-// Kind distinguishes data envelopes from acknowledgements.
+// Kind distinguishes data envelopes from acknowledgements and
+// liveness heartbeats.
 type Kind uint8
 
-// Envelope kinds.
+// Envelope kinds. Beat envelopes are liveness heartbeats: unsequenced,
+// unacknowledged, never retransmitted — they ride the same lossy
+// network as data (so a one-way cut silences them in exactly one
+// direction) but bypass the Reliable sublayer entirely.
 const (
 	Data Kind = iota + 1
 	Ack
+	Beat
 )
 
 // Envelope is one transport-layer transmission: a protocol wire wrapped

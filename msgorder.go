@@ -41,6 +41,7 @@ import (
 	"msgorder/internal/dsim"
 	"msgorder/internal/event"
 	"msgorder/internal/lattice"
+	"msgorder/internal/member"
 	"msgorder/internal/netmesh"
 	"msgorder/internal/obs"
 	"msgorder/internal/predicate"
@@ -48,6 +49,7 @@ import (
 	"msgorder/internal/protocols/causal"
 	"msgorder/internal/protocols/fifo"
 	"msgorder/internal/protocols/flush"
+	"msgorder/internal/protocols/handoff"
 	"msgorder/internal/protocols/kweaker"
 	syncproto "msgorder/internal/protocols/sync"
 	"msgorder/internal/protocols/tagless"
@@ -247,6 +249,7 @@ func Protocols() map[string]ProtocolMaker {
 		"flush":      flush.Maker,
 		"kweaker-1":  kweaker.Maker(1),
 		"kweaker-2":  kweaker.Maker(2),
+		"handoff":    handoff.Maker,
 	}
 }
 
@@ -467,4 +470,63 @@ func RunLoadSim(p NetProtocol, cfg LoadConfig) (LoadResult, error) {
 // TCP mesh — the batched, pooled, pipelined-ack hot path.
 func RunLoadMesh(p NetProtocol, cfg LoadConfig) (LoadResult, error) {
 	return conformance.RunLoadMesh(p, cfg)
+}
+
+// Dynamic membership. A MemberTracker holds the epoch-numbered group
+// view; joiners install a MemberCheckpoint captured from a departing
+// member's WAL (snapshot + verified suffix replay) so the successor's
+// user view splices byte-identically onto the departed incarnation's.
+// A MemberEvictor turns sustained heartbeat silence into an
+// administrative eviction. ChurnSweep closes the loop: every protocol
+// across every membership operation under topology-shaped network
+// environments (geo-latency zones, asymmetric one-way partitions,
+// slow links — see the FaultPlan Zones/OneWay/SlowLinks fields).
+type (
+	// MemberView is one epoch-numbered membership view.
+	MemberView = member.View
+	// MemberTracker applies join/leave/evict transitions and numbers
+	// the resulting views with monotonic epochs.
+	MemberTracker = member.Tracker
+	// MemberCheckpoint is a protocol-correct state-transfer artifact
+	// captured from a WAL at an epoch boundary.
+	MemberCheckpoint = member.Checkpoint
+	// MemberEvictor watches a crash detector and administratively
+	// evicts processes whose heartbeat silence outlasts its grace.
+	MemberEvictor = member.Evictor
+	// MemberEvictorConfig tunes the evictor's scan interval and grace.
+	MemberEvictorConfig = member.EvictorConfig
+	// StaleEpochError reports an operation pinned to a superseded
+	// membership epoch.
+	StaleEpochError = member.StaleEpochError
+	// OneWayPartition is an asymmetric cut inside a FaultPlan: frames
+	// From→To drop while the reverse direction flows.
+	OneWayPartition = transport.OneWayPartition
+	// SlowLink degrades one direction of one link inside a FaultPlan.
+	SlowLink = transport.SlowLink
+	// ChurnProtocol names one protocol for ChurnSweep.
+	ChurnProtocol = conformance.ChurnProtocol
+	// ChurnSweepConfig shapes the churn matrix.
+	ChurnSweepConfig = conformance.ChurnConfig
+	// ChurnCell is one (protocol, op, env) churn outcome.
+	ChurnCell = conformance.ChurnCell
+)
+
+// NewMemberTracker seeds a tracker at epoch 0 with the initial members.
+func NewMemberTracker(capacity int, initial []ProcID) *MemberTracker {
+	return member.NewTracker(capacity, initial)
+}
+
+// ChurnOps lists the membership operations ChurnSweep exercises.
+func ChurnOps() []string { return conformance.ChurnOps() }
+
+// ChurnEnvs lists ChurnSweep's topology-shaped network environments.
+func ChurnEnvs() []string { return conformance.ChurnEnvs() }
+
+// ChurnSweep runs the membership-churn conformance matrix: each
+// protocol executes on a loopback TCP mesh per (operation,
+// environment) cell with one membership change mid-run, and the
+// surviving members' user view is validated byte-for-byte against the
+// in-memory sim reference.
+func ChurnSweep(cfg ChurnSweepConfig, protos []ChurnProtocol) ([]ChurnCell, error) {
+	return conformance.ChurnMatrix(cfg, protos)
 }

@@ -76,7 +76,7 @@ echo "== go test -race (concurrency gate) =="
 # (plus the facade) under the race detector.
 go test -race ./internal/sim/... ./internal/transport/... ./internal/conformance/... \
     ./internal/crash/... ./internal/dsim/... ./internal/obs/... ./internal/shard/... \
-    ./internal/fleetobs/... .
+    ./internal/fleetobs/... ./internal/member/... .
 
 echo "== go test -race (socket runtime gate) =="
 # The TCP mesh, its RPC layer and the mod daemon are real-concurrency
@@ -135,6 +135,14 @@ echo "== obs-fleet smoke (observability-plane gate) =="
 # re-reads BENCH_obs.json and exits non-zero on any violation.
 go run ./cmd/mobench obs -json -outdir "$tracetmp/obs" -msgs 800 -runs 1 -fleet-msgs 120 >/dev/null
 [ -s "$tracetmp/obs/BENCH_obs.json" ]
+
+echo "== churn smoke (membership gate) =="
+# E16's fast sub-matrix: fifo through a state-transfer join and a
+# detector-driven eviction on clean loopback meshes with per-node WALs.
+# The subcommand exits non-zero unless every cell's surviving user view
+# matches the sim reference and the eviction names exactly the silent
+# process.
+go run ./cmd/mobench churn -smoke >/dev/null
 
 echo "== allocation budget (steady-path gate) =="
 # The pooled encode, outbox pop and frame read paths must be
