@@ -23,6 +23,10 @@
 //	mobench churn       # E16: membership churn matrix — {join,leave,evict,handoff}
 //	                    #      x topology-shaped environments (-json writes
 //	                    #      BENCH_churn.json; -smoke is the CI gate)
+//	mobench mux         # E17: multiplexed channels — per-channel guarantee levels
+//	                    #      over one shared mesh, views vs standalone + overhead
+//	                    #      comparison (-json writes BENCH_mux.json; -smoke is
+//	                    #      the CI gate)
 //	mobench bench       # write BENCH_*.json snapshots (-outdir picks the directory)
 //	mobench all         # every table experiment
 //
@@ -180,6 +184,8 @@ func run(args []string) error {
 		return obsCmd(args[1:])
 	case "churn":
 		return churnCmd(args[1:])
+	case "mux":
+		return muxCmd(args[1:])
 	}
 	fn, ok := cmds[args[0]]
 	if !ok {

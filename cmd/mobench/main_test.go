@@ -227,7 +227,8 @@ func TestBenchCmd(t *testing.T) {
 	}
 	for _, name := range []string{
 		"BENCH_explore.json", "BENCH_faults.json", "BENCH_crashes.json",
-		"BENCH_net.json", "BENCH_shard.json",
+		"BENCH_net.json", "BENCH_shard.json", "BENCH_churn.json",
+		"BENCH_mux.json",
 	} {
 		data, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {

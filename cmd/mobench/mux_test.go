@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMuxCmdSmoke runs the CI gate: three channels with distinct
+// guarantee levels over one shared mesh, every cell's view diffed
+// against its standalone sim run.
+func TestMuxCmdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second socket matrix")
+	}
+	if err := muxCmd([]string{"-smoke"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMuxCmdJSON checks that -json writes a BENCH_mux.json that parses
+// with both payload sections populated and re-validates clean.
+func TestMuxCmdJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket matrix + open-loop load")
+	}
+	dir := t.TempDir()
+	if err := muxCmd([]string{
+		"-json", "-outdir", dir, "-protos", "tagless,causal-rst",
+		"-msgs", "8", "-load-msgs", "200",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_mux.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		Experiment string       `json:"experiment"`
+		Rows       muxBenchRows `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows.Matrix) != 6 {
+		t.Fatalf("matrix has %d cells, want 6 (2 channels x 3 cells)", len(f.Rows.Matrix))
+	}
+	if len(f.Rows.Load) != 3 {
+		t.Fatalf("load has %d rows, want 3 (solo + 2 shared)", len(f.Rows.Load))
+	}
+}
+
+// TestMuxCmdRejectsUnknownProtocol pins the flag-validation exit path.
+func TestMuxCmdRejectsUnknownProtocol(t *testing.T) {
+	if err := muxCmd([]string{"-protos", "nope"}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+// TestValidateBenchMux pins the snapshot validator against corrupted
+// and failing files — the artifacts the mux-smoke gate trusts.
+func TestValidateBenchMux(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if err := validateBenchMux(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file validated")
+	}
+	if err := validateBenchMux(write("garbage.json", "{not json")); err == nil {
+		t.Fatal("garbage validated")
+	}
+	if err := validateBenchMux(write("empty.json",
+		`{"experiment":"e","rows":{"matrix":[],"load":[]}}`)); err == nil {
+		t.Fatal("empty rows validated")
+	}
+	if err := validateBenchMux(write("diverged.json",
+		`{"experiment":"e","rows":{"matrix":[{"Protocol":"fifo","Cell":"clean","Match":false}],
+		  "load":[{"runtime":"solo","protocol":"tagless","msgs":10,"msgs_per_sec":100}]}}`)); err == nil {
+		t.Fatal("diverged matrix cell validated")
+	}
+	if err := validateBenchMux(write("overhead.json",
+		`{"experiment":"e","rows":{"matrix":[{"Protocol":"fifo","Cell":"clean","Match":true}],
+		  "load":[{"runtime":"shared","protocol":"tagless","msgs":10,"msgs_per_sec":100,"tag_bytes_per_msg":4}]}}`)); err == nil {
+		t.Fatal("tagless overhead regression validated")
+	}
+	if err := validateBenchMux(write("good.json",
+		`{"experiment":"e","rows":{"matrix":[{"Protocol":"fifo","Cell":"clean","Match":true}],
+		  "load":[{"runtime":"solo","protocol":"tagless","msgs":10,"msgs_per_sec":100}]}}`)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -175,8 +175,8 @@ func writeBench(outdir, name, experiment string, rows any) error {
 
 // benchCmd regenerates the machine-readable benchmark snapshots at the
 // repo root (or -outdir): BENCH_explore.json, BENCH_faults.json,
-// BENCH_crashes.json, BENCH_net.json, BENCH_shard.json and
-// BENCH_obs.json.
+// BENCH_crashes.json, BENCH_net.json, BENCH_shard.json,
+// BENCH_obs.json, BENCH_churn.json and BENCH_mux.json.
 func benchCmd(args []string) error {
 	fs := flag.NewFlagSet("mobench bench", flag.ContinueOnError)
 	outdir := fs.String("outdir", ".", "directory to write BENCH_*.json into")
@@ -217,5 +217,8 @@ func benchCmd(args []string) error {
 	if err := benchObs(*outdir); err != nil {
 		return err
 	}
-	return benchChurn(*outdir)
+	if err := benchChurn(*outdir); err != nil {
+		return err
+	}
+	return benchMux(*outdir)
 }

@@ -11,6 +11,16 @@
 // per daemon, with the handshake fingerprint marking the mesh sharded
 // so mixed sharded/unsharded fleets refuse to form.
 //
+// -mux runs the daemon multi-tenant: many logical channels over the
+// same one-connection-per-peer-pair mesh, each with its own
+// specification, classifier verdict, and minimal protocol witness.
+// -channels seeds the channel table at boot ("name=spec" pairs,
+// comma-separated; a bare name means no specification, i.e. the
+// tagless witness); further channels open and close at runtime over
+// the client socket. Specification expressions containing commas must
+// be opened over the client socket instead. -mux excludes -sharded,
+// -proto, and -spec: guarantee levels are per channel, not per daemon.
+//
 // Usage (a 2-process mesh on one machine):
 //
 //	mod -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001 -proto causal-rst &
@@ -45,15 +55,13 @@ import (
 	"syscall"
 	"time"
 
-	"msgorder/internal/catalog"
-	"msgorder/internal/classify"
+	"msgorder/internal/chanmux"
 	"msgorder/internal/crash"
 	"msgorder/internal/event"
 	"msgorder/internal/fleetobs"
 	"msgorder/internal/modrpc"
 	"msgorder/internal/netmesh"
 	"msgorder/internal/obs"
-	"msgorder/internal/predicate"
 	"msgorder/internal/protocol"
 	"msgorder/internal/protocols/registry"
 	"msgorder/internal/shard"
@@ -67,72 +75,26 @@ func main() {
 	}
 }
 
-// resolveSpec turns -spec into a predicate: a catalog entry name, or a
-// forbidden-predicate expression.
-func resolveSpec(s string) (*predicate.Predicate, error) {
-	if e, ok := catalog.ByName(s); ok {
-		return e.Pred, nil
-	}
-	return predicate.Parse(s)
-}
-
-// classRank orders protocol classes by power so a forced -proto can be
-// checked against a specification's required class.
-func classRank(c protocol.Class) int { return int(c) }
-
-// requiredRank maps a classification verdict onto the same scale.
-func requiredRank(c classify.Class) (int, error) {
-	switch c {
-	case classify.Tagless:
-		return classRank(protocol.Tagless), nil
-	case classify.Tagged:
-		return classRank(protocol.Tagged), nil
-	case classify.General:
-		return classRank(protocol.General), nil
-	default:
-		return 0, fmt.Errorf("specification is unimplementable")
-	}
-}
-
-// witnessFor picks the minimal catalog witness for a required class.
-func witnessFor(c classify.Class) (registry.Entry, error) {
-	var name string
-	switch c {
-	case classify.Tagless:
-		name = "tagless"
-	case classify.Tagged:
-		name = "causal-rst"
-	case classify.General:
-		name = "sync"
-	default:
-		return registry.Entry{}, fmt.Errorf("specification is unimplementable: no protocol can realize it")
-	}
-	e, ok := registry.ByName(name)
-	if !ok {
-		return registry.Entry{}, fmt.Errorf("internal: witness %q missing from registry", name)
-	}
-	return e, nil
-}
-
 // selectProtocol resolves the -proto/-spec pair to a maker and the
-// fingerprint labels all peers must agree on.
+// fingerprint labels all peers must agree on. The spec→witness walk
+// (parse, classify, minimal-witness pick) lives in the registry so the
+// multiplexing daemon resolves per-channel specs identically.
 func selectProtocol(proto, spec string, out io.Writer) (registry.Entry, error) {
 	var required = -1
 	if spec != "" {
-		pred, err := resolveSpec(spec)
-		if err != nil {
+		witness, class, err := registry.ForSpec(spec)
+		if err != nil && class == 0 {
 			return registry.Entry{}, fmt.Errorf("-spec: %w", err)
 		}
-		res, err := classify.Classify(pred)
+		fmt.Fprintf(out, "mod spec class=%s\n", class)
 		if err != nil {
-			return registry.Entry{}, fmt.Errorf("classify: %w", err)
+			return registry.Entry{}, err
 		}
-		fmt.Fprintf(out, "mod spec class=%s\n", res.Class)
-		if required, err = requiredRank(res.Class); err != nil {
+		if required, err = registry.RequiredRank(class); err != nil {
 			return registry.Entry{}, err
 		}
 		if proto == "" {
-			return witnessFor(res.Class)
+			return witness, nil
 		}
 	}
 	if proto == "" {
@@ -146,7 +108,7 @@ func selectProtocol(proto, spec string, out io.Writer) (registry.Entry, error) {
 	}
 	if required >= 0 {
 		d, ok := e.Maker().(protocol.Describer)
-		if ok && classRank(d.Describe().Class) < required {
+		if ok && int(d.Describe().Class) < required {
 			return registry.Entry{}, fmt.Errorf(
 				"-proto %s is class %s, weaker than the specification requires", proto, d.Describe().Class)
 		}
@@ -167,6 +129,8 @@ func run(args []string, out io.Writer) error {
 		snapEvery  = fs.Int("snapshot-every", 64, "checkpoint the WAL every N journal entries (0 = never)")
 		seed       = fs.Int64("seed", 1, "seed for reconnect jitter")
 		sharded    = fs.Bool("sharded", false, "run one independent protocol instance per ordering key (lazy, demand-created); all peers must agree")
+		mux        = fs.Bool("mux", false, "multi-tenant mode: many logical channels with per-channel guarantee levels over one mesh; excludes -sharded, -proto, and -spec")
+		channels   = fs.String("channels", "", "channels to open at boot in -mux mode: comma-separated name=spec pairs (bare name = tagless); implies -mux")
 		dropRate   = fs.Float64("drop", 0, "loopback-experiment fault plan: envelope drop probability")
 		dupRate    = fs.Float64("dup", 0, "loopback-experiment fault plan: envelope duplication probability")
 		faultSeed  = fs.Int64("fault-seed", 1, "fault plan seed")
@@ -189,6 +153,22 @@ func run(args []string, out io.Writer) error {
 	}
 	if *id < 0 || *id >= len(addrs) {
 		return fmt.Errorf("-id %d out of range for %d peers", *id, len(addrs))
+	}
+	if *channels != "" {
+		*mux = true
+	}
+	if *mux {
+		if *sharded {
+			return fmt.Errorf("-sharded and -mux are mutually exclusive: sharding is per ordering key, channels are per tenant")
+		}
+		if *proto != "" || *spec != "" {
+			return fmt.Errorf("-proto/-spec and -channels are mutually exclusive: a multiplexed daemon takes per-channel specifications")
+		}
+		if *heartbeat > 0 {
+			return fmt.Errorf("-heartbeat is not supported in -mux mode")
+		}
+		return runMux(*id, addrs, *channels, *clientAddr, *httpAddr, *wal, *snapEvery, *seed,
+			*dropRate, *dupRate, *faultSeed, out)
 	}
 	entry, err := selectProtocol(*proto, *spec, out)
 	if err != nil {
@@ -277,6 +257,114 @@ func run(args []string, out io.Writer) error {
 		c := det.Counters()
 		fmt.Fprintf(out, "mod detector id=%d suspects=%v suspicions=%d alives=%d\n",
 			*id, det.Suspects(), c.Suspicions, c.Alives)
+	}
+	return nil
+}
+
+// parseChannels splits a -channels value into boot-time channel specs:
+// comma-separated entries, each "name" (tagless) or "name=spec".
+func parseChannels(list string) ([]chanmux.Spec, error) {
+	if list == "" {
+		return nil, nil
+	}
+	var specs []chanmux.Spec
+	for _, entry := range strings.Split(list, ",") {
+		name, spec, _ := strings.Cut(entry, "=")
+		if !chanmux.ValidName(name) {
+			return nil, fmt.Errorf("-channels: invalid channel name %q", name)
+		}
+		specs = append(specs, chanmux.Spec{Name: name, Spec: spec})
+	}
+	return specs, nil
+}
+
+// runMux is the multi-tenant daemon body: one chanmux mesh, the boot
+// channel table from -channels, and the channel-aware RPC surface.
+func runMux(id int, addrs []string, channels, clientAddr, httpAddr, walDir string,
+	snapEvery int, seed int64, dropRate, dupRate float64, faultSeed int64, out io.Writer) error {
+	specs, err := parseChannels(channels)
+	if err != nil {
+		return err
+	}
+	if walDir != "" {
+		if err := os.MkdirAll(walDir, 0o755); err != nil {
+			return fmt.Errorf("-wal: %w", err)
+		}
+	}
+	var inj *transport.Injector
+	if dropRate > 0 || dupRate > 0 {
+		inj = transport.NewInjector(transport.FaultPlan{
+			DropRate: dropRate, DupRate: dupRate, Seed: faultSeed,
+		})
+	}
+	collector := obs.NewCollector()
+	metrics := obs.NewRegistry()
+	m, err := chanmux.New(chanmux.Config{
+		Self:  event.ProcID(id),
+		Procs: len(addrs),
+		Mesh: netmesh.MeshConfig{
+			Addrs:    addrs,
+			Seed:     seed,
+			Injector: inj,
+		},
+		WALDir:        walDir,
+		SnapshotEvery: snapEvery,
+		Tracer:        collector,
+		Metrics:       metrics,
+	})
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	for _, s := range specs {
+		ch, err := m.Open(s)
+		if err != nil {
+			return fmt.Errorf("-channels: open %q: %w", s.Name, err)
+		}
+		fmt.Fprintf(out, "mod channel id=%d name=%s proto=%s class=%s\n",
+			id, ch.Name(), ch.Proto(), ch.Class())
+	}
+
+	rpc, err := modrpc.ServeMux(clientAddr, m)
+	if err != nil {
+		return err
+	}
+	defer rpc.Close()
+
+	httpBound := ""
+	if httpAddr != "" {
+		ln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return fmt.Errorf("-http: %w", err)
+		}
+		httpBound = ln.Addr().String()
+		srv := &http.Server{Handler: fleetobs.Mux(metrics, collector)}
+		go srv.Serve(ln)
+		defer srv.Close()
+	}
+
+	fmt.Fprintf(out, "mod ready id=%d proto=mux mesh=%s client=%s http=%s\n",
+		id, m.Addr(), rpc.Addr(), httpBound)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	select {
+	case <-sigc:
+	case <-rpc.ShutdownRequested():
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := m.Err(); err != nil {
+		return err
+	}
+	for _, info := range m.Channels() {
+		ch, err := m.Get(info.Name)
+		if err != nil {
+			continue
+		}
+		s := ch.Stats()
+		fmt.Fprintf(out, "mod exit id=%d channel=%s delivered=%d user=%d control=%d retransmits=%d recoveries=%d\n",
+			id, info.Name, len(ch.Deliveries()), s.UserMessages, s.ControlMessages, s.Retransmits, s.Recoveries)
 	}
 	return nil
 }

@@ -359,6 +359,91 @@ func TestHTTPObservability(t *testing.T) {
 	}
 }
 
+// TestMuxClusterMultiTenant boots a real 2-process multiplexed mesh
+// with a boot-time channel table, drives traffic on channels with
+// different guarantee levels over the client sockets, opens one more
+// channel at runtime, and shuts down cleanly.
+func TestMuxClusterMultiTenant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	ds := startCluster(t, 2, func(i int) []string {
+		return []string{"-mux", "-channels", "logs,orders=causal-b2"}
+	})
+	if got := ds[0].ready["proto"]; got != "mux" {
+		t.Fatalf("ready line proto = %q, want mux", got)
+	}
+	pong, err := ds[0].client.Ping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pong.Proto != "mux" || pong.Procs != 2 {
+		t.Fatalf("ping = %+v", pong)
+	}
+	chans, err := ds[0].client.Channels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chans) != 2 || chans[0].Name != "logs" || chans[1].Name != "orders" {
+		t.Fatalf("boot channels = %+v", chans)
+	}
+	if chans[0].Proto != "tagless" || chans[1].Proto != "causal-rst" {
+		t.Fatalf("boot witnesses = %s/%s", chans[0].Proto, chans[1].Proto)
+	}
+
+	for i := 0; i < 3; i++ {
+		if err := ds[0].client.ChannelInvoke("logs", i, 1, 0); err != nil {
+			t.Fatalf("logs invoke %d: %v", i, err)
+		}
+		if err := ds[0].client.ChannelInvoke("orders", i, 1, 0); err != nil {
+			t.Fatalf("orders invoke %d: %v", i, err)
+		}
+	}
+	for _, name := range []string{"logs", "orders"} {
+		if err := ds[1].client.ChannelWait(name, 3, 10*time.Second); err != nil {
+			t.Fatalf("waiting on %s: %v", name, err)
+		}
+	}
+
+	// A channel opened at runtime on both peers carries traffic too.
+	for _, d := range ds {
+		proto, class, err := d.client.OpenChannel("ctrl", "sync-2", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if proto != "sync" || class != "general" {
+			t.Fatalf("ctrl opened as %s/%s", proto, class)
+		}
+	}
+	if err := ds[1].client.ChannelInvoke("ctrl", 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds[0].client.ChannelWait("ctrl", 1, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The tagless boot channel paid no ordering overhead while tagged
+	// and general channels shared its connections.
+	stats, err := ds[0].client.ChannelStats("logs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Protocol.UserTagBytes != 0 || stats.Protocol.ControlMessages != 0 {
+		t.Fatalf("tagless channel overhead: %+v", stats.Protocol)
+	}
+
+	for _, d := range ds {
+		if err := d.client.Shutdown(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, d := range ds {
+		if err := d.wait(t, 10*time.Second); err != nil {
+			t.Fatalf("daemon %d exit = %v, want success", i, err)
+		}
+	}
+}
+
 // TestBadFlagsExitNonZero pins the daemon's CLI failure modes.
 func TestBadFlagsExitNonZero(t *testing.T) {
 	if testing.Short() {
@@ -370,6 +455,12 @@ func TestBadFlagsExitNonZero(t *testing.T) {
 		{"-id", "0", "-peers", "127.0.0.1:1,127.0.0.1:2"},                                         // no proto/spec
 		{"-id", "0", "-peers", "127.0.0.1:1,127.0.0.1:2", "-proto", "nope"},                       // unknown proto
 		{"-id", "0", "-peers", "127.0.0.1:1,127.0.0.1:2", "-spec", "sync-2", "-proto", "tagless"}, // class too weak
+		{"-id", "0", "-peers", "127.0.0.1:1,127.0.0.1:2", "-mux", "-sharded"},                     // sharding is per key, channels per tenant
+		{"-id", "0", "-peers", "127.0.0.1:1,127.0.0.1:2", "-channels", "a,b", "-sharded"},         // -channels implies -mux
+		{"-id", "0", "-peers", "127.0.0.1:1,127.0.0.1:2", "-channels", "a", "-proto", "fifo"},     // per-daemon proto vs per-channel specs
+		{"-id", "0", "-peers", "127.0.0.1:1,127.0.0.1:2", "-channels", "a", "-spec", "causal-b2"}, // per-daemon spec vs per-channel specs
+		{"-id", "0", "-peers", "127.0.0.1:1,127.0.0.1:2", "-channels", "bad name"},                // invalid channel name
+		{"-id", "0", "-peers", "127.0.0.1:1,127.0.0.1:2", "-channels", "x=not a ( spec"},          // malformed channel spec
 	} {
 		cmd := exec.Command(os.Args[0], args...)
 		cmd.Env = append(os.Environ(), "MOD_HELPER=1")

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"msgorder/internal/chanmux"
 	"msgorder/internal/event"
 	"msgorder/internal/netmesh"
 	"msgorder/internal/protocol"
@@ -27,8 +28,18 @@ import (
 // Request is one client line. Op selects the action; the remaining
 // fields are op-specific.
 type Request struct {
-	// Op is one of: ping, invoke, events, stats, wait, crash, shutdown.
+	// Op is one of: ping, invoke, events, stats, wait, crash, shutdown,
+	// open, close, channels.
 	Op string `json:"op"`
+	// Channel scopes an op to one multiplexed channel (empty on a
+	// single-protocol daemon). Required for every message-path op on a
+	// multiplexed daemon; names a channel to open/close for those ops.
+	Channel string `json:"channel,omitempty"`
+	// Spec and Proto configure an open: the channel's forbidden-predicate
+	// specification (classified to its cheapest witness) and an optional
+	// forced catalog protocol.
+	Spec  string `json:"spec,omitempty"`
+	Proto string `json:"proto,omitempty"`
 	// ID and To place a user message (invoke). The sender is always
 	// the daemon's own process.
 	ID int `json:"id,omitempty"`
@@ -60,11 +71,28 @@ type StatsRec struct {
 	Mesh      netmesh.Counters   `json:"mesh"`
 }
 
+// ChannelRec describes one open channel in a channels response.
+type ChannelRec struct {
+	Name  string `json:"name"`
+	ID    uint32 `json:"id"`
+	Proto string `json:"proto"`
+	Spec  string `json:"spec,omitempty"`
+	Class string `json:"class"`
+}
+
+// CodeUnknownChannel is the machine-readable Response.Code for an op
+// addressed to a channel the daemon has not opened; the client turns
+// it back into a typed *UnknownChannelError.
+const CodeUnknownChannel = "unknown-channel"
+
 // Response is one server line. OK=false carries Error; the data fields
 // are filled per-op.
 type Response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+	// Code is a machine-readable error discriminator (CodeUnknownChannel)
+	// so typed errors survive the JSON round trip.
+	Code string `json:"code,omitempty"`
 	// Proc, Procs, and Proto describe the daemon (ping).
 	Proc  int    `json:"proc,omitempty"`
 	Procs int    `json:"procs,omitempty"`
@@ -75,11 +103,51 @@ type Response struct {
 	Delivered []int      `json:"delivered,omitempty"`
 	// Stats is the tally bundle (stats).
 	Stats *StatsRec `json:"stats,omitempty"`
+	// Class is the classifier's verdict on an opened channel's spec
+	// (open); Channels the open-channel inventory (channels).
+	Class    string       `json:"class,omitempty"`
+	Channels []ChannelRec `json:"channels,omitempty"`
 }
 
-// Server serves the client protocol for one netmesh node.
+// ErrUnknownChannel reports an operation addressed to a multiplexed
+// channel the daemon has not opened — the client-side mirror of
+// chanmux.ErrUnknownChannel across the RPC boundary. Check with
+// errors.Is; the wrapped *UnknownChannelError carries the name.
+var ErrUnknownChannel = errors.New("modrpc: unknown channel")
+
+// UnknownChannelError details which channel an op failed to resolve.
+type UnknownChannelError struct {
+	// Channel is the name the request addressed; Op the operation.
+	Channel string
+	Op      string
+}
+
+// Error formats the failure.
+func (e *UnknownChannelError) Error() string {
+	return fmt.Sprintf("modrpc: %s: unknown channel %q", e.Op, e.Channel)
+}
+
+// Is makes errors.Is(err, ErrUnknownChannel) match.
+func (e *UnknownChannelError) Is(target error) bool { return target == ErrUnknownChannel }
+
+// host is the per-channel surface the message-path ops run against: a
+// standalone netmesh node and a multiplexed channel both satisfy it.
+type host interface {
+	Invoke(event.Message) error
+	Events() []event.Event
+	Deliveries() []event.MsgID
+	Stats() protocol.Stats
+	TransportCounters() transport.Counters
+	WaitDeliveries(int, time.Duration) error
+	Crash(time.Duration) error
+}
+
+// Server serves the client protocol for one netmesh node, or — when
+// built with ServeMux — for a multi-tenant multiplexed daemon whose
+// message-path ops are scoped per channel.
 type Server struct {
 	node *netmesh.Node
+	mux  *chanmux.Mux
 	ln   net.Listener
 
 	mu       sync.Mutex
@@ -93,12 +161,25 @@ type Server struct {
 // Serve binds addr (":0" picks a port) and starts answering clients
 // against node.
 func Serve(addr string, node *netmesh.Node) (*Server, error) {
+	return serve(addr, node, nil)
+}
+
+// ServeMux binds addr and starts answering clients against a
+// multiplexed daemon: message-path ops route to the channel named in
+// each request, and the open/close/channels verbs manage the tenant
+// set.
+func ServeMux(addr string, mux *chanmux.Mux) (*Server, error) {
+	return serve(addr, nil, mux)
+}
+
+func serve(addr string, node *netmesh.Node, mux *chanmux.Mux) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
 		node:     node,
+		mux:      mux,
 		ln:       ln,
 		conns:    make(map[net.Conn]struct{}),
 		shutdown: make(chan struct{}),
@@ -174,50 +255,146 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// self and procs describe the daemon regardless of flavor.
+func (s *Server) self() event.ProcID {
+	if s.mux != nil {
+		return s.mux.Self()
+	}
+	return s.node.Self()
+}
+
+func (s *Server) procs() int {
+	if s.mux != nil {
+		return s.mux.Procs()
+	}
+	return s.node.Procs()
+}
+
+// resolve routes a message-path op to its channel. On a multiplexed
+// daemon the channel name is required and must be open; on a
+// single-protocol daemon a channel-addressed request is an unknown
+// channel by definition.
+func (s *Server) resolve(channel string) (host, error) {
+	if s.mux == nil {
+		if channel != "" {
+			return nil, fmt.Errorf("%w: %q (daemon is not multiplexed)", chanmux.ErrUnknownChannel, channel)
+		}
+		return s.node, nil
+	}
+	if channel == "" {
+		return nil, fmt.Errorf("modrpc: a multiplexed daemon needs a channel on every message op")
+	}
+	return s.mux.Get(channel)
+}
+
 func (s *Server) handle(req Request) Response {
-	fail := func(err error) Response { return Response{Error: err.Error()} }
+	fail := func(err error) Response {
+		r := Response{Error: err.Error()}
+		if errors.Is(err, chanmux.ErrUnknownChannel) {
+			r.Code = CodeUnknownChannel
+		}
+		return r
+	}
 	switch req.Op {
 	case "ping":
-		return Response{OK: true, Proc: int(s.node.Self()), Procs: s.node.Procs(), Proto: s.node.Proto()}
+		proto := "mux"
+		if s.mux == nil {
+			proto = s.node.Proto()
+		}
+		return Response{OK: true, Proc: int(s.self()), Procs: s.procs(), Proto: proto}
+	case "open":
+		if s.mux == nil {
+			return fail(fmt.Errorf("modrpc: open needs a multiplexed daemon"))
+		}
+		ch, err := s.mux.Open(chanmux.Spec{Name: req.Channel, Spec: req.Spec, Proto: req.Proto})
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Proto: ch.Proto(), Class: ch.Class().String()}
+	case "close":
+		if s.mux == nil {
+			return fail(fmt.Errorf("modrpc: close needs a multiplexed daemon"))
+		}
+		if err := s.mux.CloseChannel(req.Channel); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case "channels":
+		if s.mux == nil {
+			return fail(fmt.Errorf("modrpc: channels needs a multiplexed daemon"))
+		}
+		infos := s.mux.Channels()
+		recs := make([]ChannelRec, 0, len(infos))
+		for _, in := range infos {
+			recs = append(recs, ChannelRec{Name: in.Name, ID: in.ID, Proto: in.Proto,
+				Spec: in.Spec, Class: in.Class})
+		}
+		return Response{OK: true, Channels: recs}
 	case "invoke":
+		h, err := s.resolve(req.Channel)
+		if err != nil {
+			return fail(err)
+		}
 		m := event.Message{
 			ID:    event.MsgID(req.ID),
-			From:  s.node.Self(),
+			From:  s.self(),
 			To:    event.ProcID(req.To),
 			Color: event.Color(req.Color),
 			Key:   event.Key(req.Key),
 		}
-		if err := s.node.Invoke(m); err != nil {
+		if err := h.Invoke(m); err != nil {
 			return fail(err)
 		}
 		return Response{OK: true}
 	case "events":
+		h, err := s.resolve(req.Channel)
+		if err != nil {
+			return fail(err)
+		}
 		var evs []EventRec
-		for _, e := range s.node.Events() {
+		for _, e := range h.Events() {
 			evs = append(evs, EventRec{Msg: int(e.Msg), Kind: int(e.Kind)})
 		}
 		var del []int
-		for _, id := range s.node.Deliveries() {
+		for _, id := range h.Deliveries() {
 			del = append(del, int(id))
 		}
 		return Response{OK: true, Events: evs, Delivered: del}
 	case "stats":
+		h, err := s.resolve(req.Channel)
+		if err != nil {
+			return fail(err)
+		}
+		mesh := netmesh.Counters{}
+		if s.mux != nil {
+			mesh = s.mux.MeshCounters()
+		} else {
+			mesh = s.node.MeshCounters()
+		}
 		return Response{OK: true, Stats: &StatsRec{
-			Protocol:  s.node.Stats(),
-			Transport: s.node.TransportCounters(),
-			Mesh:      s.node.MeshCounters(),
+			Protocol:  h.Stats(),
+			Transport: h.TransportCounters(),
+			Mesh:      mesh,
 		}}
 	case "wait":
+		h, err := s.resolve(req.Channel)
+		if err != nil {
+			return fail(err)
+		}
 		timeout := 10 * time.Second
 		if req.TimeoutMS > 0 {
 			timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 		}
-		if err := s.node.WaitDeliveries(req.Delivered, timeout); err != nil {
+		if err := h.WaitDeliveries(req.Delivered, timeout); err != nil {
 			return fail(err)
 		}
 		return Response{OK: true}
 	case "crash":
-		if err := s.node.Crash(time.Duration(req.DowntimeMS) * time.Millisecond); err != nil {
+		h, err := s.resolve(req.Channel)
+		if err != nil {
+			return fail(err)
+		}
+		if err := h.Crash(time.Duration(req.DowntimeMS) * time.Millisecond); err != nil {
 			return fail(err)
 		}
 		return Response{OK: true}
@@ -266,6 +443,9 @@ func (c *Client) do(req Request, readTimeout time.Duration) (Response, error) {
 		return Response{}, err
 	}
 	if !resp.OK {
+		if resp.Code == CodeUnknownChannel {
+			return resp, &UnknownChannelError{Channel: req.Channel, Op: req.Op}
+		}
 		return resp, fmt.Errorf("%s: %s", req.Op, resp.Error)
 	}
 	return resp, nil
@@ -290,13 +470,9 @@ func (c *Client) InvokeKeyed(id int, to event.ProcID, color event.Color, key eve
 	return err
 }
 
-// Events fetches the daemon's user-visible event log and delivery
+// decodeEvents turns an events response into the typed log + delivery
 // sequence.
-func (c *Client) Events() ([]event.Event, []event.MsgID, error) {
-	resp, err := c.do(Request{Op: "events"}, rpcSlack)
-	if err != nil {
-		return nil, nil, err
-	}
+func decodeEvents(resp Response) ([]event.Event, []event.MsgID, error) {
 	evs := make([]event.Event, 0, len(resp.Events))
 	for _, r := range resp.Events {
 		e := event.Event{Msg: event.MsgID(r.Msg), Kind: event.Kind(r.Kind)}
@@ -310,6 +486,16 @@ func (c *Client) Events() ([]event.Event, []event.MsgID, error) {
 		del = append(del, event.MsgID(id))
 	}
 	return evs, del, nil
+}
+
+// Events fetches the daemon's user-visible event log and delivery
+// sequence.
+func (c *Client) Events() ([]event.Event, []event.MsgID, error) {
+	resp, err := c.do(Request{Op: "events"}, rpcSlack)
+	if err != nil {
+		return nil, nil, err
+	}
+	return decodeEvents(resp)
 }
 
 // Stats fetches the daemon's tally bundle.
@@ -342,6 +528,80 @@ func (c *Client) Crash(downtime time.Duration) error {
 func (c *Client) Shutdown() error {
 	_, err := c.do(Request{Op: "shutdown"}, rpcSlack)
 	return err
+}
+
+// OpenChannel opens a multiplexed channel on the daemon (spec is its
+// forbidden-predicate specification, proto an optional forced catalog
+// protocol) and returns the protocol chosen to serve it and the
+// classifier's verdict on the spec.
+func (c *Client) OpenChannel(name, spec, proto string) (chosenProto, class string, err error) {
+	resp, err := c.do(Request{Op: "open", Channel: name, Spec: spec, Proto: proto}, rpcSlack)
+	if err != nil {
+		return "", "", err
+	}
+	return resp.Proto, resp.Class, nil
+}
+
+// CloseChannel closes a multiplexed channel at the daemon.
+func (c *Client) CloseChannel(name string) error {
+	_, err := c.do(Request{Op: "close", Channel: name}, rpcSlack)
+	return err
+}
+
+// Channels lists the daemon's open channels, sorted by name.
+func (c *Client) Channels() ([]ChannelRec, error) {
+	resp, err := c.do(Request{Op: "channels"}, rpcSlack)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Channels, nil
+}
+
+// ChannelInvoke places user message id on one multiplexed channel. An
+// unknown channel yields a typed *UnknownChannelError (errors.Is
+// ErrUnknownChannel), round-tripped through the wire code.
+func (c *Client) ChannelInvoke(channel string, id int, to event.ProcID, color event.Color) error {
+	_, err := c.do(Request{Op: "invoke", Channel: channel, ID: id, To: int(to), Color: int(color)}, rpcSlack)
+	return err
+}
+
+// ChannelEvents fetches one channel's user-visible log and delivery
+// sequence.
+func (c *Client) ChannelEvents(channel string) ([]event.Event, []event.MsgID, error) {
+	resp, err := c.do(Request{Op: "events", Channel: channel}, rpcSlack)
+	if err != nil {
+		return nil, nil, err
+	}
+	return decodeEvents(resp)
+}
+
+// ChannelWait blocks until one channel has delivered at least k
+// messages at the daemon.
+func (c *Client) ChannelWait(channel string, k int, timeout time.Duration) error {
+	_, err := c.do(Request{Op: "wait", Channel: channel, Delivered: k,
+		TimeoutMS: int(timeout / time.Millisecond)}, timeout+rpcSlack)
+	return err
+}
+
+// ChannelCrash crashes one channel's protocol instance for downtime;
+// its siblings on the daemon keep running.
+func (c *Client) ChannelCrash(channel string, downtime time.Duration) error {
+	_, err := c.do(Request{Op: "crash", Channel: channel,
+		DowntimeMS: int(downtime / time.Millisecond)}, rpcSlack)
+	return err
+}
+
+// ChannelStats fetches one channel's tally bundle (the mesh counters
+// are the shared carrier's).
+func (c *Client) ChannelStats(channel string) (StatsRec, error) {
+	resp, err := c.do(Request{Op: "stats", Channel: channel}, rpcSlack)
+	if err != nil {
+		return StatsRec{}, err
+	}
+	if resp.Stats == nil {
+		return StatsRec{}, fmt.Errorf("stats: empty response")
+	}
+	return *resp.Stats, nil
 }
 
 // Router maps ordering keys onto a fleet of daemon meshes with the

@@ -1,10 +1,13 @@
 package modrpc
 
 import (
+	"errors"
+	"net"
 	"strings"
 	"testing"
 	"time"
 
+	"msgorder/internal/chanmux"
 	"msgorder/internal/event"
 	"msgorder/internal/netmesh"
 	"msgorder/internal/protocols/causal"
@@ -160,5 +163,147 @@ func TestRPCRejectsUnknownOp(t *testing.T) {
 	_, err = c.do(Request{Op: "frobnicate"}, time.Second)
 	if err == nil || !strings.Contains(err.Error(), "unknown op") {
 		t.Fatalf("unknown op error = %v", err)
+	}
+}
+
+// startMuxPair boots a 2-process multiplexed mesh with an RPC server
+// and client per process.
+func startMuxPair(t *testing.T) ([]*chanmux.Mux, []*Client) {
+	t.Helper()
+	addrs := make([]string, 2)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	muxes := make([]*chanmux.Mux, 2)
+	clients := make([]*Client, 2)
+	for i := range muxes {
+		m, err := chanmux.New(chanmux.Config{
+			Self: event.ProcID(i), Procs: 2,
+			Mesh:      netmesh.MeshConfig{Addrs: addrs, Seed: int64(i + 1)},
+			Transport: transport.Config{RTO: 2 * time.Millisecond, MaxRTO: 30 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		muxes[i] = m
+		t.Cleanup(func() { m.Close() })
+		srv, err := ServeMux("127.0.0.1:0", m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		c, err := Dial(srv.Addr(), 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		t.Cleanup(func() { c.Close() })
+	}
+	return muxes, clients
+}
+
+// TestUnknownChannelRoundTrips is the typed-error contract: an op
+// addressed to an unopened channel must come back through the JSON
+// protocol as a *UnknownChannelError matching ErrUnknownChannel — on a
+// multiplexed daemon and on a single-protocol daemon alike.
+func TestUnknownChannelRoundTrips(t *testing.T) {
+	_, muxClients := startMuxPair(t)
+	err := muxClients[0].ChannelInvoke("ghost", 0, 1, 0)
+	if !errors.Is(err, ErrUnknownChannel) {
+		t.Fatalf("mux daemon: err = %v, want ErrUnknownChannel", err)
+	}
+	var uc *UnknownChannelError
+	if !errors.As(err, &uc) || uc.Channel != "ghost" || uc.Op != "invoke" {
+		t.Fatalf("mux daemon: typed detail = %+v", uc)
+	}
+	if err := muxClients[0].ChannelCrash("ghost", 0); !errors.Is(err, ErrUnknownChannel) {
+		t.Fatalf("crash on unknown channel: %v", err)
+	}
+	if err := muxClients[0].CloseChannel("ghost"); !errors.Is(err, ErrUnknownChannel) {
+		t.Fatalf("close of unknown channel: %v", err)
+	}
+
+	// A single-protocol daemon treats any channel-addressed op the same
+	// way: it has no channels at all.
+	_, plainClients := startPair(t)
+	err = plainClients[0].ChannelInvoke("orders", 0, 1, 0)
+	if !errors.Is(err, ErrUnknownChannel) {
+		t.Fatalf("plain daemon: err = %v, want ErrUnknownChannel", err)
+	}
+}
+
+// TestMuxRPCDrivesChannels drives the multi-tenant verbs end to end:
+// open two channels with different guarantee levels over one daemon
+// pair, invoke and wait per channel, list the inventory, read back
+// per-channel views, and close.
+func TestMuxRPCDrivesChannels(t *testing.T) {
+	_, clients := startMuxPair(t)
+	for i, c := range clients {
+		resp, err := c.Ping()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Proto != "mux" || resp.Proc != i || resp.Procs != 2 {
+			t.Fatalf("ping = %+v", resp)
+		}
+		proto, class, err := c.OpenChannel("logs", "", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if proto != "tagless" || class != "tagless" {
+			t.Fatalf("logs opened as %s/%s", proto, class)
+		}
+		proto, class, err = c.OpenChannel("orders", "causal-b2", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if proto != "causal-rst" || class != "tagged" {
+			t.Fatalf("orders opened as %s/%s", proto, class)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := clients[0].ChannelInvoke("orders", i, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := clients[0].ChannelInvoke("logs", i, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ch := range []string{"orders", "logs"} {
+		if err := clients[1].ChannelWait(ch, 5, 10*time.Second); err != nil {
+			t.Fatalf("%s: %v", ch, err)
+		}
+		_, del, err := clients[1].ChannelEvents(ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(del) != 5 {
+			t.Fatalf("%s delivered %d, want 5", ch, len(del))
+		}
+	}
+	chans, err := clients[0].Channels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chans) != 2 || chans[0].Name != "logs" || chans[1].Name != "orders" {
+		t.Fatalf("channels = %+v", chans)
+	}
+	st, err := clients[0].ChannelStats("logs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Protocol.UserTagBytes != 0 || st.Protocol.ControlMessages != 0 {
+		t.Fatalf("tagless channel paid overhead over RPC: %+v", st.Protocol)
+	}
+	if err := clients[0].CloseChannel("logs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := clients[0].ChannelWait("logs", 1, time.Second); !errors.Is(err, ErrUnknownChannel) {
+		t.Fatalf("wait on closed channel: %v", err)
 	}
 }

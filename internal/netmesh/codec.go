@@ -37,10 +37,11 @@ const (
 const maxFrame = 1 << 20
 
 // helloMagic opens every handshake payload so a stray client speaking
-// the wrong protocol is refused immediately. Bumped to momesh2 when the
-// envelope encoding grew the ordering-key field, so an old peer is
-// refused at the handshake instead of misparsing frames.
-const helloMagic = "momesh2"
+// the wrong protocol is refused immediately. Bumped to momesh3 when the
+// envelope encoding grew the multiplexed-channel ID field (momesh2 had
+// added the ordering-key field), so an old peer is refused at the
+// handshake instead of misparsing frames.
+const helloMagic = "momesh3"
 
 // errCorruptFrame reports a malformed frame payload.
 var errCorruptFrame = errors.New("netmesh: corrupt frame")
@@ -197,6 +198,7 @@ func encodeEnvelopeBody(w *snapio.Writer, e transport.Envelope) {
 	w.Int(int(e.Src))
 	w.Int(int(e.Dst))
 	w.Byte(byte(e.Kind))
+	w.U64(uint64(e.Chan))
 	w.U64(e.Seq)
 	w.U64(e.Cum)
 	w.Int(e.Attempt)
@@ -225,6 +227,7 @@ func decodeEnvelopeBody(r *snapio.Reader, arena *[]uint64) (transport.Envelope, 
 	e.Src = event.ProcID(r.Int())
 	e.Dst = event.ProcID(r.Int())
 	e.Kind = transport.Kind(r.Byte())
+	e.Chan = uint32(r.U64())
 	e.Seq = r.U64()
 	e.Cum = r.U64()
 	e.Attempt = r.Int()

@@ -1,0 +1,142 @@
+package netmesh
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"msgorder/internal/event"
+	"msgorder/internal/protocol"
+	"msgorder/internal/transport"
+)
+
+// TestPartitionedChannelDoesNotHOLBlock runs two logical channels over
+// one mesh connection: a "lame" channel whose 0→1 direction is cut by a
+// channel-scoped one-way partition (so its reliable sublayer retransmits
+// forever) and a "healthy" channel that sends 1000 messages. With
+// per-channel outbox queues and round-robin batch fill, the lame
+// channel's standing retransmission backlog must not head-of-line-block
+// the healthy channel: all 1000 messages must deliver within a budget
+// derived from the flush window, and no lame envelope may leak through
+// the cut.
+func TestPartitionedChannelDoesNotHOLBlock(t *testing.T) {
+	const (
+		lame    = uint32(7)
+		healthy = uint32(9)
+		lameN   = 256
+		msgs    = 1000
+	)
+	addrs := freePorts(t, 2)
+	fp := Fingerprint("holtest", "spec", 2)
+
+	in := transport.NewInjector(transport.FaultPlan{Seed: 7})
+	in.CutChanOneWay([]event.ProcID{0}, []event.ProcID{1}, lame, -1)
+
+	tcfg := transport.Config{RTO: 2 * time.Millisecond, MaxRTO: 10 * time.Millisecond}
+
+	// Receiver (proc 1): dedup healthy traffic through its own reliable
+	// sublayer, count deliveries, ack back over the mesh. Lame envelopes
+	// reaching it mean the channel-scoped cut leaked.
+	var delivered atomic.Int64
+	var leaked atomic.Int64
+	rx := transport.NewReliable(tcfg, func(transport.Envelope) {})
+	defer rx.Close()
+	var mesh1 *Mesh
+	mesh1, err := NewMesh(MeshConfig{Self: 1, Addrs: addrs, Fingerprint: fp, Seed: 2},
+		func(envs []transport.Envelope) {
+			for _, e := range envs {
+				if e.Kind != transport.Data {
+					continue
+				}
+				if e.Chan == lame {
+					leaked.Add(1)
+					continue
+				}
+				if rx.Accept(e) {
+					delivered.Add(1)
+				}
+				a := rx.CumAckFor(e)
+				a.Chan = e.Chan
+				mesh1.Send(a)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh1.Close()
+
+	// Sender (proc 0): one reliable instance per channel, each stamping
+	// its channel ID in the send hook so retransmissions carry it too.
+	var mesh0 *Mesh
+	var trLame, trHealthy *transport.Reliable
+	mesh0, err = NewMesh(MeshConfig{Self: 0, Addrs: addrs, Fingerprint: fp, Seed: 1, Injector: in},
+		func(envs []transport.Envelope) {
+			for _, e := range envs {
+				if e.Kind != transport.Ack {
+					continue
+				}
+				switch e.Chan {
+				case lame:
+					trLame.Ack(e)
+				case healthy:
+					trHealthy.Ack(e)
+				}
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh0.Close()
+	trLame = transport.NewReliable(tcfg, func(e transport.Envelope) {
+		e.Chan = lame
+		mesh0.Send(e)
+	})
+	defer trLame.Close()
+	trHealthy = transport.NewReliable(tcfg, func(e transport.Envelope) {
+		e.Chan = healthy
+		mesh0.Send(e)
+	})
+	defer trHealthy.Close()
+
+	// Build the lame backlog first: every envelope is dropped at the cut
+	// and retransmitted every few milliseconds for the whole test, so the
+	// shared outbox always has lame traffic competing for batch slots.
+	for i := 0; i < lameN; i++ {
+		w := protocol.Wire{From: 0, To: 1, Kind: protocol.UserWire, Msg: event.MsgID(i)}
+		e := trLame.Wrap(0, 1, w)
+		e.Chan = lame
+		mesh0.Send(e)
+	}
+
+	// Now the healthy load.
+	for i := 0; i < msgs; i++ {
+		w := protocol.Wire{From: 0, To: 1, Kind: protocol.UserWire, Msg: event.MsgID(lameN + i)}
+		e := trHealthy.Wrap(0, 1, w)
+		e.Chan = healthy
+		mesh0.Send(e)
+	}
+
+	// Budget: 1000 messages fill ~16 max-size batch frames; even if every
+	// frame lingered its full 100µs flush window and every envelope needed
+	// a retransmission round, the run completes in tens of milliseconds.
+	// 3s of slack covers dial/scheduler noise while still failing fast on
+	// genuine head-of-line blocking (the lame backlog never drains, so a
+	// starved channel would never finish).
+	deadline := time.Now().Add(3 * time.Second)
+	for delivered.Load() < msgs {
+		if time.Now().After(deadline) {
+			t.Fatalf("healthy channel delivered %d/%d within budget (lame backlog pending=%d)",
+				delivered.Load(), msgs, trLame.Pending())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := rx.CumFor(transport.Envelope{Src: 0, Dst: 1}); got != msgs {
+		t.Fatalf("healthy contiguous high-water mark = %d, want %d", got, msgs)
+	}
+	if n := leaked.Load(); n != 0 {
+		t.Fatalf("%d lame envelopes leaked through the channel-scoped cut", n)
+	}
+	if p := trLame.Pending(); p != lameN {
+		t.Fatalf("lame pending = %d, want all %d unacked", p, lameN)
+	}
+}

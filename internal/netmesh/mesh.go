@@ -19,6 +19,13 @@
 // *transport.Injector can sit on the outbound path and drop, duplicate
 // or delay frames on a real socket. Close drains every peer outbox
 // before tearing the connections down.
+//
+// Many logical channels can share each connection (internal/chanmux):
+// envelopes carry a channel ID (transport.Envelope.Chan), the per-peer
+// outbox keeps one FIFO per channel and drains them round-robin into
+// shared batch frames, so a blocked or retransmitting channel cannot
+// head-of-line-block a sibling channel's traffic. Un-multiplexed
+// deployments use channel 0 throughout and behave exactly as before.
 package netmesh
 
 import (
@@ -124,12 +131,35 @@ type Counters struct {
 // mesh shape, and the dialer must not keep retrying.
 var ErrRejected = errors.New("netmesh: handshake rejected")
 
-// outbox is an unbounded FIFO so mesh senders never block the protocol
-// handler that is enqueueing.
+// chanq is one logical channel's FIFO inside an outbox. head is the
+// pop cursor: popBatch consumes from head and compacts the backing
+// array afterwards, so steady-state traffic reuses the same slice.
+type chanq struct {
+	q    []transport.Envelope
+	head int
+}
+
+// len returns the queued (unconsumed) envelope count.
+func (c *chanq) len() int { return len(c.q) - c.head }
+
+// outbox is an unbounded per-peer queue so mesh senders never block the
+// protocol handler that is enqueueing. Internally it keeps one FIFO per
+// multiplexed channel (envelopes are segregated by Envelope.Chan) and
+// popBatch drains them round-robin, one envelope per turn — so a
+// channel with a deep backlog (say, a partitioned channel's
+// retransmissions) cannot head-of-line-block a sibling channel's
+// traffic on the same connection. Un-multiplexed deployments only ever
+// queue channel 0 and see the exact legacy FIFO behavior.
 type outbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	q      []transport.Envelope
+	mu   sync.Mutex
+	cond *sync.Cond
+	// chans maps channel ID → its FIFO; order is the round-robin scan
+	// order (append-only: a channel keeps its queue for the life of the
+	// outbox); rr is the round-robin cursor into order.
+	chans  map[uint32]*chanq
+	order  []uint32
+	rr     int
+	total  int
 	closed bool
 	// Flush-window timer lifecycle. timer is the currently armed window
 	// timer (nil when none); timerGen invalidates in-flight AfterFunc
@@ -148,7 +178,7 @@ type outbox struct {
 }
 
 func newOutbox() *outbox {
-	b := &outbox{}
+	b := &outbox{chans: make(map[uint32]*chanq)}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
@@ -163,7 +193,14 @@ func (b *outbox) push(e transport.Envelope) {
 			}
 			b.beats++
 		}
-		b.q = append(b.q, e)
+		cq := b.chans[e.Chan]
+		if cq == nil {
+			cq = &chanq{}
+			b.chans[e.Chan] = cq
+			b.order = append(b.order, e.Chan)
+		}
+		cq.q = append(cq.q, e)
+		b.total++
 	}
 	b.mu.Unlock()
 	b.cond.Signal()
@@ -171,18 +208,20 @@ func (b *outbox) push(e transport.Envelope) {
 
 // popBatch blocks until at least one envelope is queued (or the outbox
 // closes), then lingers up to window for more to coalesce, and moves up
-// to max envelopes into buf (reusing its capacity). The second result
-// is false only when the outbox is closed and drained.
+// to max envelopes into buf (reusing its capacity). Envelopes are taken
+// round-robin across the queued channels — per-channel FIFO order is
+// preserved, cross-channel order is fairness, not arrival. The second
+// result is false only when the outbox is closed and drained.
 func (b *outbox) popBatch(buf []transport.Envelope, max int, window time.Duration) ([]transport.Envelope, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for len(b.q) == 0 && !b.closed {
+	for b.total == 0 && !b.closed {
 		b.cond.Wait()
 	}
-	if len(b.q) == 0 {
+	if b.total == 0 {
 		return buf[:0], false
 	}
-	if window > 0 && len(b.q) < max && !b.closed {
+	if window > 0 && b.total < max && !b.closed {
 		gen := b.timerGen
 		b.expired = false
 		b.timer = time.AfterFunc(window, func() {
@@ -193,7 +232,7 @@ func (b *outbox) popBatch(buf []transport.Envelope, max int, window time.Duratio
 			b.mu.Unlock()
 			b.cond.Broadcast()
 		})
-		for len(b.q) < max && !b.closed && !b.expired {
+		for b.total < max && !b.closed && !b.expired {
 			b.cond.Wait()
 		}
 		// Retire this window: bump the generation so a callback that
@@ -206,20 +245,36 @@ func (b *outbox) popBatch(buf []transport.Envelope, max int, window time.Duratio
 			b.timer = nil
 		}
 	}
-	n := len(b.q)
+	n := b.total
 	if n > max {
 		n = max
 	}
-	buf = append(buf[:0], b.q[:n]...)
-	for _, e := range buf {
+	buf = buf[:0]
+	for taken := 0; taken < n; {
+		cq := b.chans[b.order[b.rr%len(b.order)]]
+		b.rr++
+		if cq.head >= len(cq.q) {
+			continue // this channel is drained; probe the next
+		}
+		e := cq.q[cq.head]
+		cq.head++
 		if e.Kind == transport.Beat {
 			b.beats--
 		}
+		buf = append(buf, e)
+		taken++
 	}
-	// Compact in place so the backing array keeps being reused instead
-	// of creeping forward and re-allocating.
-	m := copy(b.q, b.q[n:])
-	b.q = b.q[:m]
+	b.total -= n
+	// Compact each touched queue in place so the backing arrays keep
+	// being reused instead of creeping forward and re-allocating.
+	for _, id := range b.order {
+		cq := b.chans[id]
+		if cq.head > 0 {
+			m := copy(cq.q, cq.q[cq.head:])
+			cq.q = cq.q[:m]
+			cq.head = 0
+		}
+	}
 	return buf, true
 }
 
@@ -240,7 +295,7 @@ func (b *outbox) close() {
 func (b *outbox) empty() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.q) == 0
+	return b.total == 0
 }
 
 // flushable reports whether the outbox holds envelopes worth waiting
@@ -251,7 +306,7 @@ func (b *outbox) empty() bool {
 func (b *outbox) flushable() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.q) > b.beats
+	return b.total > b.beats
 }
 
 // Mesh is one process's endpoint of the peer mesh. NewMesh starts the
@@ -591,7 +646,7 @@ func (m *Mesh) decideFaults(e *transport.Envelope, box *outbox) bool {
 	if in == nil {
 		return true
 	}
-	switch in.Decide(e.Src, e.Dst) {
+	switch in.DecideChan(e.Src, e.Dst, e.Chan) {
 	case transport.Drop:
 		m.count(func(c *Counters) { c.FaultsInjected++ })
 		return false

@@ -39,9 +39,13 @@ var (
 
 // Fingerprint derives the handshake fingerprint for a mesh of n
 // processes running the named protocol under the given spec: every
-// field that must agree for a cross-process run to make sense.
+// field that must agree for a cross-process run to make sense. A
+// channel-multiplexing daemon fingerprints proto "mux" with a
+// channel-independent spec — channels open and close dynamically, so
+// per-channel agreement is the symmetric-open contract, not the
+// handshake's job.
 func Fingerprint(proto, spec string, n int) string {
-	return fmt.Sprintf("momesh2|n=%d|proto=%s|spec=%s", n, proto, spec)
+	return fmt.Sprintf("momesh3|n=%d|proto=%s|spec=%s", n, proto, spec)
 }
 
 // NodeConfig configures one protocol-hosting node.
@@ -75,6 +79,12 @@ type NodeConfig struct {
 	// Tracer and Metrics, when non-nil, instrument the node.
 	Tracer  obs.Tracer
 	Metrics *obs.Registry
+	// ProbeLabel, when non-empty, overrides the protocol name as the
+	// probe's histogram label. The channel-multiplexing daemon sets it
+	// per channel ("causal-rst@orders") so two channels running the same
+	// protocol keep separable latency and inhibition histograms in the
+	// shared registry.
+	ProbeLabel string
 }
 
 // HeartbeatConfig runs a liveness beat loop on the node: every
@@ -157,13 +167,18 @@ func (q *inbox) close() {
 	q.cond.Broadcast()
 }
 
-// Node is one live process of a protocol instance on the mesh.
+// Node is one live process of a protocol instance on the mesh. A node
+// normally owns its mesh endpoint (NewNode); a channel-multiplexing
+// host instead builds one node per channel over a shared mesh
+// (NewMuxNode) — then mesh is nil and every outbound envelope goes
+// through the host's send hook, which stamps the channel ID.
 type Node struct {
 	cfg   NodeConfig
 	class protocol.Class
 	proto string
 
-	mesh  *Mesh
+	mesh  *Mesh // nil for channel nodes hosted over a shared mesh
+	send  func(transport.Envelope)
 	tr    *transport.Reliable
 	wal   *crash.WAL
 	sink  *obs.Sink
@@ -239,7 +254,7 @@ func (e *nodeEnv) Send(w protocol.Wire) {
 	n.mu.Unlock()
 	n.journal(crash.Entry{Kind: crash.EntrySend, Wire: w})
 	n.probe.Send(&w)
-	n.mesh.Send(n.tr.Wrap(n.cfg.Self, w.To, w))
+	n.send(n.tr.Wrap(n.cfg.Self, w.To, w))
 }
 
 func (e *nodeEnv) Deliver(id event.MsgID) {
@@ -263,10 +278,34 @@ func (e *nodeEnv) Deliver(id event.MsgID) {
 // NewNode starts a node: mesh listener up, protocol instance
 // initialized, handler loop running.
 func NewNode(cfg NodeConfig) (*Node, error) {
+	return newNode(cfg, nil)
+}
+
+// NewMuxNode starts a node that hosts one multiplexed channel's
+// protocol instance over a carrier the caller owns, instead of binding
+// its own mesh endpoint: every outbound envelope (data, ack, journaled
+// re-send, heartbeat) goes through send — which must stamp the
+// channel's ID and hand the envelope to the shared mesh — and the
+// caller demultiplexes arriving envelopes into the node with
+// HandleEnvelopes. Everything else (per-process handler serialization,
+// reliable sublayer, WAL journaling, checkpoint restore and replay
+// verification) is byte-for-byte the standalone node's, which is what
+// makes a multiplexed channel's user view indistinguishable from a
+// single-spec deployment's. cfg.Mesh is ignored.
+func NewMuxNode(cfg NodeConfig, send func(transport.Envelope)) (*Node, error) {
+	if send == nil {
+		return nil, fmt.Errorf("netmesh: NewMuxNode needs a send hook")
+	}
+	return newNode(cfg, send)
+}
+
+// newNode builds a node; a nil send means the node owns a mesh
+// endpoint built from cfg.Mesh.
+func newNode(cfg NodeConfig, send func(transport.Envelope)) (*Node, error) {
 	if cfg.Procs <= 0 || int(cfg.Self) < 0 || int(cfg.Self) >= cfg.Procs {
 		return nil, fmt.Errorf("netmesh: bad node identity %d/%d", cfg.Self, cfg.Procs)
 	}
-	n := &Node{cfg: cfg, q: newInbox()}
+	n := &Node{cfg: cfg, q: newInbox(), send: send}
 	if cfg.Tracer != nil || cfg.Metrics != nil {
 		start := time.Now()
 		n.sink = &obs.Sink{Tracer: cfg.Tracer, Metrics: cfg.Metrics,
@@ -293,17 +332,13 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		n.proto = d.Describe().Name
 	}
 	if n.sink != nil {
-		n.probe = obs.NewProbe(cfg.Procs, cfg.Tracer, cfg.Metrics, n.proto, n.sink.Now)
+		label := n.proto
+		if cfg.ProbeLabel != "" {
+			label = cfg.ProbeLabel
+		}
+		n.probe = obs.NewProbe(cfg.Procs, cfg.Tracer, cfg.Metrics, label, n.sink.Now)
 	}
 
-	mcfg := cfg.Mesh
-	mcfg.Self = cfg.Self
-	if mcfg.Obs == nil {
-		mcfg.Obs = n.sink
-	}
-	if inj := mcfg.Injector; inj != nil && n.sink != nil {
-		inj.Observe(n.sink)
-	}
 	tcfg := cfg.Transport
 	if tcfg.Obs == nil {
 		tcfg.Obs = n.sink
@@ -311,19 +346,32 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.WALGroupCommit != nil {
 		n.wal.EnableGroupCommit(*cfg.WALGroupCommit)
 	}
-	mesh, err := NewMesh(mcfg, func(envs []transport.Envelope) {
-		n.q.push(nodeItem{kind: itemBatch, envs: envs})
-	})
-	if err != nil {
-		n.wal.Close()
-		return nil, err
+	if n.send == nil {
+		mcfg := cfg.Mesh
+		mcfg.Self = cfg.Self
+		if mcfg.Obs == nil {
+			mcfg.Obs = n.sink
+		}
+		if inj := mcfg.Injector; inj != nil && n.sink != nil {
+			inj.Observe(n.sink)
+		}
+		mesh, err := NewMesh(mcfg, func(envs []transport.Envelope) {
+			n.q.push(nodeItem{kind: itemBatch, envs: envs})
+		})
+		if err != nil {
+			n.wal.Close()
+			return nil, err
+		}
+		n.mesh = mesh
+		n.send = mesh.Send
 	}
-	n.mesh = mesh
-	n.tr = transport.NewReliable(tcfg, mesh.Send)
+	n.tr = transport.NewReliable(tcfg, n.send)
 
 	if err := n.boot(inst); err != nil {
 		n.tr.Close()
-		n.mesh.Close()
+		if n.mesh != nil {
+			n.mesh.Close()
+		}
 		n.wal.Close()
 		return nil, err
 	}
@@ -361,7 +409,7 @@ func (n *Node) runBeats(hb HeartbeatConfig) {
 			if event.ProcID(p) == n.cfg.Self {
 				continue
 			}
-			n.mesh.Send(transport.Envelope{Src: n.cfg.Self, Dst: event.ProcID(p), Kind: transport.Beat})
+			n.send(transport.Envelope{Src: n.cfg.Self, Dst: event.ProcID(p), Kind: transport.Beat})
 		}
 	}
 }
@@ -411,7 +459,7 @@ func (n *Node) boot(inst protocol.Process) error {
 		case crash.EntryReceive:
 			n.tr.MarkAccepted(en.Wire.From, n.cfg.Self, en.Seq)
 		case crash.EntrySend:
-			n.mesh.Send(n.tr.Wrap(n.cfg.Self, en.Wire.To, en.Wire))
+			n.send(n.tr.Wrap(n.cfg.Self, en.Wire.To, en.Wire))
 		}
 	}
 	e.replay = false
@@ -432,8 +480,21 @@ func (n *Node) boot(inst protocol.Process) error {
 	return nil
 }
 
-// Addr returns the mesh listener's bound address.
-func (n *Node) Addr() string { return n.mesh.Addr() }
+// Addr returns the mesh listener's bound address ("" for a channel
+// node hosted over a shared mesh).
+func (n *Node) Addr() string {
+	if n.mesh == nil {
+		return ""
+	}
+	return n.mesh.Addr()
+}
+
+// HandleEnvelopes feeds arriving envelopes into the node's inbox: the
+// entry point a channel-multiplexing host uses after demultiplexing a
+// frame batch by channel ID. The node takes ownership of the slice.
+func (n *Node) HandleEnvelopes(envs []transport.Envelope) {
+	n.q.push(nodeItem{kind: itemBatch, envs: envs})
+}
 
 // Self returns the hosted process's ID.
 func (n *Node) Self() event.ProcID { return n.cfg.Self }
@@ -514,8 +575,14 @@ func (n *Node) TransportCounters() transport.Counters { return n.tr.Counters() }
 // batching shows up as Flushes ≪ Appends).
 func (n *Node) WALStats() crash.WALStats { return n.wal.Stats() }
 
-// MeshCounters returns the socket layer's tallies.
-func (n *Node) MeshCounters() Counters { return n.mesh.Counters() }
+// MeshCounters returns the socket layer's tallies (zero for a channel
+// node — the shared mesh's host owns those counters).
+func (n *Node) MeshCounters() Counters {
+	if n.mesh == nil {
+		return Counters{}
+	}
+	return n.mesh.Counters()
+}
 
 // Err returns the first protocol/harness failure, or the mesh's
 // handshake refusal, if any.
@@ -525,6 +592,9 @@ func (n *Node) Err() error {
 	n.mu.Unlock()
 	if err != nil {
 		return err
+	}
+	if n.mesh == nil {
+		return nil
 	}
 	return n.mesh.Rejected()
 }
@@ -572,7 +642,9 @@ func (n *Node) Close() error {
 	n.q.close()
 	n.wg.Wait()
 	n.tr.Close()
-	n.mesh.Close()
+	if n.mesh != nil {
+		n.mesh.Close()
+	}
 	n.wal.Close()
 	return nil
 }
@@ -686,12 +758,12 @@ func (n *Node) handleBatch(envs []transport.Envelope) {
 	}
 	// Always (re-)acknowledge — the previous ack may have been lost.
 	for _, e := range hi {
-		n.mesh.Send(n.tr.CumAckFor(e))
+		n.send(n.tr.CumAckFor(e))
 	}
 	for _, e := range rest {
 		if e.Seq > n.tr.CumFor(e) {
 			// A gap the cumulative ack can't cover yet: ack it exactly.
-			n.mesh.Send(transport.AckFor(e))
+			n.send(transport.AckFor(e))
 		}
 	}
 }

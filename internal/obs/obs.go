@@ -177,6 +177,11 @@ type Record struct {
 	// runs and non-message records), so sharded traces can tell their
 	// domains apart.
 	Key event.Key `json:"key,omitempty"`
+	// Chan names the multiplexed channel the record belongs to (empty
+	// for un-multiplexed runs), so a multi-tenant daemon's merged trace
+	// can tell its tenants apart. Stamped by WithChannel wrappers, not
+	// by emitters.
+	Chan string `json:"chan,omitempty"`
 	// VC is the observability layer's vector clock at the event (nil
 	// when the emitter keeps no clocks, e.g. the transport).
 	VC vc.Vector `json:"vc,omitempty"`
@@ -190,6 +195,33 @@ type Record struct {
 // simulators emit from one goroutine.
 type Tracer interface {
 	Emit(Record)
+}
+
+// chanTracer stamps a channel label onto every record passing through.
+type chanTracer struct {
+	next Tracer
+	name string
+}
+
+// Emit forwards r with the channel label filled in (an already-labelled
+// record keeps its label, so nested wrappers compose innermost-wins).
+func (t chanTracer) Emit(r Record) {
+	if r.Chan == "" {
+		r.Chan = t.name
+	}
+	t.next.Emit(r)
+}
+
+// WithChannel wraps next so every record emitted through the wrapper
+// carries the multiplexed-channel name in Record.Chan. The multi-tenant
+// daemon gives each channel's protocol stack one wrapper around the
+// shared collector, so one merged timeline still attributes every
+// record to its tenant. A nil next (tracing off) stays nil.
+func WithChannel(next Tracer, channel string) Tracer {
+	if next == nil || channel == "" {
+		return next
+	}
+	return chanTracer{next: next, name: channel}
 }
 
 // Collector is an in-memory Tracer: it buffers records for later

@@ -317,3 +317,23 @@ func TestOpStrings(t *testing.T) {
 		t.Fatal("unknown op string")
 	}
 }
+
+// TestWithChannelStampsRecords checks the channel-label wrapper: every
+// record through the wrapper carries the channel name, already-labelled
+// records keep theirs, and a nil tracer stays nil (tracing off).
+func TestWithChannelStampsRecords(t *testing.T) {
+	col := NewCollector()
+	tr := WithChannel(col, "orders")
+	tr.Emit(Record{Proc: 0, Op: OpInvoke, Msg: 1})
+	tr.Emit(Record{Proc: 1, Op: OpDeliver, Msg: 1, Chan: "pre-labelled"})
+	recs := col.Records()
+	if len(recs) != 2 || recs[0].Chan != "orders" || recs[1].Chan != "pre-labelled" {
+		t.Fatalf("labels = %q, %q", recs[0].Chan, recs[1].Chan)
+	}
+	if WithChannel(nil, "orders") != nil {
+		t.Fatal("nil tracer grew a wrapper")
+	}
+	if got := WithChannel(col, ""); got != Tracer(col) {
+		t.Fatal("empty channel name grew a wrapper")
+	}
+}

@@ -7,7 +7,10 @@
 package registry
 
 import (
+	"fmt"
+
 	"msgorder/internal/catalog"
+	"msgorder/internal/classify"
 	"msgorder/internal/event"
 	"msgorder/internal/predicate"
 	"msgorder/internal/protocol"
@@ -80,6 +83,76 @@ func extras() []Entry {
 		{Name: "kweaker-2", Maker: kweaker.Maker(2)},
 		{Name: "handoff", Maker: handoff.Maker, Spec: "handoff", Colors: handoffColors},
 	}
+}
+
+// ResolveSpec turns a specification string into a predicate: a catalog
+// entry name, or a forbidden-predicate expression.
+func ResolveSpec(s string) (*predicate.Predicate, error) {
+	if e, ok := catalog.ByName(s); ok {
+		return e.Pred, nil
+	}
+	return predicate.Parse(s)
+}
+
+// RequiredRank maps a classification verdict onto protocol.Class's
+// power scale, so a forced protocol choice can be checked against what
+// a specification requires.
+func RequiredRank(c classify.Class) (int, error) {
+	switch c {
+	case classify.Tagless:
+		return int(protocol.Tagless), nil
+	case classify.Tagged:
+		return int(protocol.Tagged), nil
+	case classify.General:
+		return int(protocol.General), nil
+	default:
+		return 0, fmt.Errorf("specification is unimplementable")
+	}
+}
+
+// WitnessFor picks the minimal catalog witness for a required class:
+// the cheapest protocol whose class suffices per the paper's Theorem 1
+// hierarchy.
+func WitnessFor(c classify.Class) (Entry, error) {
+	var name string
+	switch c {
+	case classify.Tagless:
+		name = "tagless"
+	case classify.Tagged:
+		name = "causal-rst"
+	case classify.General:
+		name = "sync"
+	default:
+		return Entry{}, fmt.Errorf("specification is unimplementable: no protocol can realize it")
+	}
+	e, ok := ByName(name)
+	if !ok {
+		return Entry{}, fmt.Errorf("internal: witness %q missing from registry", name)
+	}
+	return e, nil
+}
+
+// ForSpec resolves a forbidden-predicate specification (a catalog spec
+// name or an expression) to the cheapest sufficient catalog witness:
+// the spec is parsed, run through the classifier, and mapped to its
+// class's minimal witness. An empty spec forbids nothing, so the
+// tagless witness suffices. The returned class lets callers check a
+// user-forced protocol against what the spec requires.
+func ForSpec(spec string) (Entry, classify.Class, error) {
+	if spec == "" {
+		e, err := WitnessFor(classify.Tagless)
+		return e, classify.Tagless, err
+	}
+	pred, err := ResolveSpec(spec)
+	if err != nil {
+		return Entry{}, 0, fmt.Errorf("spec: %w", err)
+	}
+	res, err := classify.Classify(pred)
+	if err != nil {
+		return Entry{}, 0, fmt.Errorf("classify: %w", err)
+	}
+	e, err := WitnessFor(res.Class)
+	return e, res.Class, err
 }
 
 // ByName resolves a protocol by CLI name, searching the catalog and

@@ -1,6 +1,10 @@
 package registry
 
-import "testing"
+import (
+	"testing"
+
+	"msgorder/internal/classify"
+)
 
 // TestCatalogResolves pins the catalog shape: 8 protocols, resolvable
 // by name, every named spec present in the catalog package.
@@ -44,5 +48,47 @@ func TestCatalogResolves(t *testing.T) {
 	}
 	if names := Names(); len(names) != 11 || names[0] != "tagless" {
 		t.Fatalf("Names() = %v", names)
+	}
+}
+
+// TestForSpecPicksMinimalWitness pins the spec→witness walk: each
+// classifier verdict maps to its class's cheapest catalog protocol,
+// catalog names and raw expressions both resolve, and unimplementable
+// or malformed specs are refused.
+func TestForSpecPicksMinimalWitness(t *testing.T) {
+	cases := []struct {
+		spec, witness string
+		class         classify.Class
+	}{
+		{"", "tagless", classify.Tagless},
+		{"fifo", "causal-rst", classify.Tagged},
+		{"causal-b2", "causal-rst", classify.Tagged},
+		{"sync-2", "sync", classify.General},
+	}
+	for _, c := range cases {
+		e, class, err := ForSpec(c.spec)
+		if err != nil {
+			t.Fatalf("ForSpec(%q): %v", c.spec, err)
+		}
+		if e.Name != c.witness || class != c.class {
+			t.Fatalf("ForSpec(%q) = %s/%s, want %s/%s", c.spec, e.Name, class, c.witness, c.class)
+		}
+	}
+	if _, _, err := ForSpec("not a ( spec"); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+}
+
+// TestRequiredRankOrdering pins the class power scale used to reject a
+// forced protocol weaker than its specification.
+func TestRequiredRankOrdering(t *testing.T) {
+	tl, _ := RequiredRank(classify.Tagless)
+	tg, _ := RequiredRank(classify.Tagged)
+	gn, _ := RequiredRank(classify.General)
+	if !(tl < tg && tg < gn) {
+		t.Fatalf("rank order broken: tagless=%d tagged=%d general=%d", tl, tg, gn)
+	}
+	if _, err := RequiredRank(classify.Unimplementable); err == nil {
+		t.Fatal("unimplementable class got a rank")
 	}
 }

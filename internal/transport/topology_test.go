@@ -82,6 +82,43 @@ func TestCutOneWayDynamic(t *testing.T) {
 	}
 }
 
+// TestCutChanOneWayScopedToChannel checks channel-scoped asymmetric
+// cuts: only transmissions stamped with the cut's channel ID are muted;
+// sibling channels on the same direction — and legacy Decide calls,
+// which carry the default channel 0 — keep flowing. A legacy CutOneWay
+// in the same injector still mutes every channel.
+func TestCutChanOneWayScopedToChannel(t *testing.T) {
+	in := NewInjector(FaultPlan{Seed: 7})
+	const lame, healthy = uint32(7), uint32(9)
+	in.CutChanOneWay([]event.ProcID{0}, []event.ProcID{1}, lame, -1)
+	for i := 0; i < 50; i++ {
+		if got := in.DecideChan(0, 1, lame); got != Drop {
+			t.Fatalf("cut channel 0->1: decide=%v, want Drop", got)
+		}
+		if got := in.DecideChan(0, 1, healthy); got != Deliver {
+			t.Fatalf("sibling channel 0->1: decide=%v, want Deliver", got)
+		}
+		if got := in.DecideChan(1, 0, lame); got != Deliver {
+			t.Fatalf("reverse direction 1->0: decide=%v, want Deliver", got)
+		}
+		if got := in.Decide(0, 1); got != Deliver {
+			t.Fatalf("default channel 0->1: decide=%v, want Deliver", got)
+		}
+	}
+	if c := in.Counters(); c.OneWayDrops != 50 {
+		t.Fatalf("OneWayDrops = %d, want 50", c.OneWayDrops)
+	}
+	// A legacy (channel-blind) cut layered on top mutes every channel.
+	in.CutOneWay([]event.ProcID{0}, []event.ProcID{1}, -1)
+	if got := in.DecideChan(0, 1, healthy); got != Drop {
+		t.Fatalf("legacy cut, healthy channel: decide=%v, want Drop", got)
+	}
+	in.HealOneWay()
+	if got := in.DecideChan(0, 1, lame); got != Deliver {
+		t.Fatalf("after heal: decide=%v, want Deliver", got)
+	}
+}
+
 // TestZonesCrossZonePenalty checks the geo tiers: cross-zone
 // transmissions suffer the extra drop/delay probabilities,
 // intra-zone ones never do.

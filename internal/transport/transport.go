@@ -193,9 +193,15 @@ type partitionState struct {
 }
 
 // onewayState tracks an asymmetric cut; budget < 0 means permanent.
+// chAny cuts mute every multiplexed channel (the legacy shape); a
+// channel-scoped cut (chAny false) mutes only transmissions stamped
+// with its channel ID, so one logical channel can be partitioned while
+// its siblings on the same connection keep flowing.
 type onewayState struct {
 	from, to map[event.ProcID]bool
 	budget   int
+	ch       uint32
+	chAny    bool
 }
 
 // maxFaultRate bounds the total fault probability so the adversary's
@@ -265,6 +271,7 @@ func newOnewayState(from, to []event.ProcID, heal int) onewayState {
 		from:   make(map[event.ProcID]bool, len(from)),
 		to:     make(map[event.ProcID]bool, len(to)),
 		budget: heal,
+		chAny:  true,
 	}
 	if st.budget == 0 {
 		st.budget = defaultHeal
@@ -289,6 +296,20 @@ func (in *Injector) CutOneWay(from, to []event.ProcID, heal int) {
 	in.mu.Unlock()
 }
 
+// CutChanOneWay arms an asymmetric cut scoped to one multiplexed
+// channel: only transmissions stamped with channel ID ch (and
+// travelling from → to) are dropped; sibling channels sharing the same
+// connection are untouched. This is the fault shape behind the
+// head-of-line-blocking regression tests — a partitioned channel must
+// not stall a healthy one. Heal semantics match CutOneWay.
+func (in *Injector) CutChanOneWay(from, to []event.ProcID, ch uint32, heal int) {
+	st := newOnewayState(from, to, heal)
+	st.ch, st.chAny = ch, false
+	in.mu.Lock()
+	in.oneway = append(in.oneway, st)
+	in.mu.Unlock()
+}
+
 // HealOneWay disarms every asymmetric cut, healed or not, restoring
 // full bidirectional connectivity (modulo the plan's probabilistic
 // faults).
@@ -298,8 +319,20 @@ func (in *Injector) HealOneWay() {
 	in.mu.Unlock()
 }
 
-// Decide returns the network's action for a transmission from -> to.
+// Decide returns the network's action for a transmission from -> to on
+// the default (un-multiplexed) channel. Channel-scoped cuts armed for a
+// non-zero channel ID never match here.
 func (in *Injector) Decide(from, to event.ProcID) Action {
+	return in.DecideChan(from, to, 0)
+}
+
+// DecideChan returns the network's action for a transmission from → to
+// stamped with multiplexed channel ID ch. Legacy cuts (FaultPlan.OneWay,
+// CutOneWay, Partitions) apply to every channel; CutChanOneWay cuts
+// apply only when ch matches. The probabilistic faults (drop, dup,
+// delay, zones, slow links) are channel-blind — a lossy wire loses
+// frames regardless of what they multiplex.
+func (in *Injector) DecideChan(from, to event.ProcID, ch uint32) Action {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	for i := range in.parts {
@@ -313,7 +346,7 @@ func (in *Injector) Decide(from, to event.ProcID) Action {
 	}
 	for i := range in.oneway {
 		p := &in.oneway[i]
-		if p.budget != 0 && p.from[from] && p.to[to] {
+		if p.budget != 0 && p.from[from] && p.to[to] && (p.chAny || p.ch == ch) {
 			if p.budget > 0 {
 				p.budget--
 			}
@@ -412,6 +445,15 @@ type Envelope struct {
 	// (reversed for acks relative to the data they acknowledge).
 	Src, Dst event.ProcID
 	Kind     Kind
+	// Chan is the logical multiplexed channel this envelope belongs to.
+	// Zero is the default (un-multiplexed) channel, so every legacy
+	// single-protocol deployment keeps its wire behavior unchanged. A
+	// channel-multiplexing host stamps its channel ID here on every
+	// outbound envelope (data, ack, retransmission) and demultiplexes
+	// arrivals by it; each channel runs its own Reliable instance, so
+	// sequence numbers, cumulative acks and dedup state are all
+	// channel-scoped without any key widening inside Reliable itself.
+	Chan uint32
 	// Seq is the sequence number on the data channel Src->Dst (for
 	// acks: Dst->Src). Sequencing identifies envelopes for ack matching
 	// and dedup; it does NOT impose FIFO delivery — the network above

@@ -34,6 +34,7 @@ package msgorder
 
 import (
 	"msgorder/internal/catalog"
+	"msgorder/internal/chanmux"
 	"msgorder/internal/check"
 	"msgorder/internal/classify"
 	"msgorder/internal/conformance"
@@ -529,4 +530,63 @@ func ChurnEnvs() []string { return conformance.ChurnEnvs() }
 // in-memory sim reference.
 func ChurnSweep(cfg ChurnSweepConfig, protos []ChurnProtocol) ([]ChurnCell, error) {
 	return conformance.ChurnMatrix(cfg, protos)
+}
+
+// Multiplexed channels. A ChannelMux carries many logical channels —
+// each with its own forbidden-predicate specification, classifier
+// verdict, and minimal protocol witness — over the existing
+// one-TCP-connection-per-peer-pair mesh. Channels are full protocol
+// instances (own sequencing, cumulative acks, WAL namespace, crash
+// recovery), so a tagless channel pays zero ordering overhead even
+// while a logically synchronous channel signals on the same sockets,
+// and per-channel outboxes keep a partitioned channel from head-of-
+// line-blocking its siblings. MuxSweep closes the loop: every channel
+// of a shared mesh must reproduce its standalone run's user view byte
+// for byte; MuxLoad measures what sharing the wire costs.
+type (
+	// ChannelMux multiplexes logical channels over one mesh endpoint.
+	ChannelMux = chanmux.Mux
+	// ChannelMuxConfig configures a mux endpoint (self, mesh address
+	// table, transport tuning, per-channel WAL directory).
+	ChannelMuxConfig = chanmux.Config
+	// ChannelSpec opens one channel: a name, an optional
+	// specification, and an optional forced protocol.
+	ChannelSpec = chanmux.Spec
+	// Channel is one logical channel — a full protocol instance
+	// multiplexed over the shared mesh.
+	Channel = chanmux.Channel
+	// ChannelInfo describes one open channel (name, wire ID, witness
+	// protocol, spec, class).
+	ChannelInfo = chanmux.Info
+	// MuxCell is one (channel, disturbance) cell of a MuxSweep.
+	MuxCell = conformance.MuxCell
+	// MuxLoadRow is one channel's row of a MuxLoad overhead
+	// comparison (solo vs shared).
+	MuxLoadRow = conformance.MuxLoadRow
+)
+
+// ErrUnknownChannel reports an operation on a channel the mux has not
+// opened.
+var ErrUnknownChannel = chanmux.ErrUnknownChannel
+
+// NewChannelMux starts a multiplexed mesh endpoint; channels open (and
+// close) independently afterwards via Open and CloseChannel.
+func NewChannelMux(cfg ChannelMuxConfig) (*ChannelMux, error) { return chanmux.New(cfg) }
+
+// MuxSweep runs the multi-tenant conformance sweep: every protocol
+// becomes one channel on a shared loopback TCP mesh, the channels'
+// seeded lockstep workloads interleave, and each channel's user view
+// is diffed byte-for-byte against a standalone in-memory sim run —
+// under clean, lossy, and crash-restart cells.
+func MuxSweep(cfg NetSweepConfig, protos []NetProtocol) ([]MuxCell, error) {
+	return conformance.MuxMatrix(cfg, protos)
+}
+
+// MuxLoad measures multiplexing overhead: the measured protocol's
+// channel runs an open-loop workload solo on a mux mesh and again
+// sharing the mesh with a companion channel under equal load. A
+// tagless measured channel must report identical per-message overhead
+// in both rows.
+func MuxLoad(cfg LoadConfig, measured, companion NetProtocol) ([]MuxLoadRow, error) {
+	return conformance.MuxLoad(cfg, measured, companion)
 }

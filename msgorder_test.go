@@ -1,8 +1,11 @@
 package msgorder
 
 import (
+	"errors"
+	"net"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestQuickstartFlow(t *testing.T) {
@@ -216,5 +219,48 @@ func TestSystemDiagramExported(t *testing.T) {
 	}
 	if d := SystemDiagram(res.System); !strings.Contains(d, "m0.s*") {
 		t.Errorf("system diagram missing invoke events:\n%s", d)
+	}
+}
+
+func TestChannelMuxExported(t *testing.T) {
+	addrs := make([]string, 2)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	muxes := make([]*ChannelMux, 2)
+	chans := make([]*Channel, 2)
+	for i := range muxes {
+		m, err := NewChannelMux(ChannelMuxConfig{
+			Self:  ProcID(i),
+			Procs: 2,
+			Mesh:  MeshConfig{Addrs: addrs, Seed: int64(i + 1)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		muxes[i] = m
+		ch, err := m.Open(ChannelSpec{Name: "orders", Spec: "causal-b2"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[i] = ch
+	}
+	if chans[0].Proto() != "causal-rst" {
+		t.Fatalf("witness = %q, want causal-rst", chans[0].Proto())
+	}
+	if err := chans[0].Invoke(Message{ID: 0, From: 0, To: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := chans[1].WaitDeliveries(1, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := muxes[0].Get("ghost"); !errors.Is(err, ErrUnknownChannel) {
+		t.Fatalf("Get(ghost) = %v, want ErrUnknownChannel", err)
 	}
 }

@@ -82,7 +82,7 @@ echo "== go test -race (socket runtime gate) =="
 # The TCP mesh, its RPC layer and the mod daemon are real-concurrency
 # code (listener/dialer goroutines, reconnect loops, OS-process tests);
 # their suites run under the race detector too.
-go test -race ./internal/netmesh/ ./internal/modrpc/ ./cmd/mod/ ./cmd/mostat/
+go test -race ./internal/netmesh/ ./internal/chanmux/ ./internal/modrpc/ ./cmd/mod/ ./cmd/mostat/
 
 echo "== fault-matrix smoke (short mode) =="
 # A quick seeded-loss pass over the fault-injection paths.
@@ -143,6 +143,15 @@ echo "== churn smoke (membership gate) =="
 # matches the sim reference and the eviction names exactly the silent
 # process.
 go run ./cmd/mobench churn -smoke >/dev/null
+
+echo "== mux smoke (multi-tenant gate) =="
+# E17's fast sub-matrix: three channels with distinct guarantee levels
+# (tagless / fifo / causal-rst) multiplexed over one 3-process loopback
+# mesh, each channel's user view diffed byte-for-byte against its
+# standalone sim run across clean, lossy and crash-restart cells. The
+# subcommand exits non-zero on any divergence, unknown-channel drop, or
+# tagless-channel overhead.
+go run ./cmd/mobench mux -smoke >/dev/null
 
 echo "== allocation budget (steady-path gate) =="
 # The pooled encode, outbox pop and frame read paths must be
